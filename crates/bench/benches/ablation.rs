@@ -1,0 +1,116 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! walk kernel (plain vs lazy), SLEM backend (Lanczos vs power),
+//! sampler (BFS vs walk vs forest fire), and generator family
+//! (community vs hierarchy vs Kronecker) — measuring the *cost* side
+//! of each choice (their accuracy sides are covered by tests and the
+//! repro harness).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socmix_core::{MixingProbe, Slem};
+use socmix_gen::hierarchy::HierarchyParams;
+use socmix_gen::kronecker::{kronecker, KroneckerParams};
+use socmix_gen::social::SocialParams;
+use socmix_gen::Dataset;
+use socmix_graph::sample;
+use socmix_markov::ergodic::WalkKind;
+
+fn bench_walk_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_walk_kernel");
+    let g = Dataset::Physics2.generate(0.1, 7);
+    group.bench_function("plain_tvd_series_t50", |b| {
+        let p = MixingProbe::new(&g).kernel(WalkKind::Plain);
+        b.iter(|| p.probe_sources(&[0, 1, 2, 3], 50))
+    });
+    group.bench_function("lazy_tvd_series_t50", |b| {
+        let p = MixingProbe::new(&g).kernel(WalkKind::Lazy);
+        b.iter(|| p.probe_sources(&[0, 1, 2, 3], 50))
+    });
+    group.finish();
+}
+
+fn bench_slem_backend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_slem_backend");
+    group.sample_size(10);
+    let g = Dataset::Youtube.generate(0.01, 7);
+    group.bench_function("lanczos", |b| {
+        b.iter(|| Slem::lanczos(&g).estimate().unwrap().mu)
+    });
+    group.bench_function("power", |b| {
+        b.iter(|| Slem::power_iteration(&g).estimate().unwrap().mu)
+    });
+    group.finish();
+}
+
+fn bench_samplers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_samplers");
+    let g = Dataset::FacebookA.generate(0.02, 7);
+    let target = g.num_nodes() / 10;
+    group.bench_function("bfs", |b| b.iter(|| sample::bfs_sample(&g, 0, target)));
+    group.bench_function("walk", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            sample::walk_sample(&g, 0, target, 50 * target, &mut rng)
+        })
+    });
+    group.bench_function("forest_fire", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            sample::forest_fire_sample(&g, 0, target, 0.5, &mut rng)
+        })
+    });
+    group.finish();
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_generators");
+    group.sample_size(10);
+    let n = 10_000usize;
+    group.bench_function("community_flat", |b| {
+        b.iter(|| {
+            SocialParams {
+                nodes: n,
+                avg_degree: 16.0,
+                community_size: 50,
+                inter_fraction: 0.05,
+                gamma: 2.5,
+            }
+            .generate(&mut StdRng::seed_from_u64(7))
+        })
+    });
+    group.bench_function("hierarchy", |b| {
+        b.iter(|| {
+            HierarchyParams {
+                nodes: n,
+                avg_degree: 16.0,
+                leaf_size: 50,
+                branching: 4,
+                inter_fraction: 0.05,
+                decay: 0.4,
+                gamma: 2.5,
+            }
+            .generate(&mut StdRng::seed_from_u64(7))
+        })
+    });
+    group.bench_function("kronecker", |b| {
+        b.iter(|| {
+            kronecker(
+                KroneckerParams {
+                    scale: 13, // 8192 nodes
+                    edge_factor: 8.0,
+                    ..Default::default()
+                },
+                &mut StdRng::seed_from_u64(7),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_walk_kernel, bench_slem_backend, bench_samplers, bench_generators
+}
+criterion_main!(benches);

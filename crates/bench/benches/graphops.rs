@@ -1,0 +1,45 @@
+//! Bench: graph-substrate operations the preprocessing pipeline uses
+//! (build, LCC, BFS sample, trim, triangle count).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use socmix_gen::Dataset;
+use socmix_graph::{components, sample, stats, trim, GraphBuilder, NodeId};
+use rand as _;
+
+fn bench_graphops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graphops");
+    let g = Dataset::Enron.generate(0.1, 7); // ~3.4k nodes
+    let edges: Vec<(NodeId, NodeId)> = g.edges().collect();
+    group.bench_function("build_csr", |b| {
+        b.iter(|| GraphBuilder::from_edges(edges.iter().copied()).build())
+    });
+    group.bench_function("largest_component", |b| {
+        b.iter(|| components::largest_component(&g))
+    });
+    group.bench_function("bfs_sample_half", |b| {
+        b.iter(|| sample::bfs_sample(&g, 0, g.num_nodes() / 2))
+    });
+    group.bench_function("trim_min_degree_3", |b| {
+        b.iter(|| trim::trim_min_degree(&g, 3))
+    });
+    group.bench_function("core_numbers", |b| b.iter(|| trim::core_numbers(&g)));
+    group.bench_function("triangles", |b| b.iter(|| stats::triangles_and_wedges(&g)));
+    group.bench_function("betweenness_sampled_32", |b| {
+        use rand::SeedableRng as _;
+        b.iter(|| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+            socmix_graph::centrality::betweenness_sampled(&g, 32, &mut rng)
+        })
+    });
+    group.bench_function("edge_disjoint_paths", |b| {
+        b.iter(|| socmix_graph::flow::edge_disjoint_paths(&g, 0, (g.num_nodes() - 1) as NodeId))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_graphops
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Bench: the sampling method (Figures 3–7) — per-source distribution
+//! evolution and the parallel multi-source probe.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use socmix_core::MixingProbe;
+use socmix_gen::Dataset;
+use socmix_markov::Evolver;
+
+fn bench_probe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("probe");
+    let g = Dataset::Physics2.generate(0.25, 7); // ~2.8k nodes
+    group.bench_function("tvd_series_t100_single_source", |b| {
+        let e = Evolver::new(&g);
+        b.iter(|| e.tvd_series(0, 100))
+    });
+    group.bench_function("probe_32_sources_t100_parallel", |b| {
+        let p = MixingProbe::new(&g).auto_kernel();
+        b.iter(|| p.probe_random_sources(32, 100, 7))
+    });
+    group.bench_function("all_sources_at_5_lengths", |b| {
+        let p = MixingProbe::new(&g).auto_kernel();
+        b.iter(|| p.all_sources_at_lengths(&[1, 5, 10, 20, 40]))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_probe
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Bench: SLEM backends (Table 1's workhorse) — Lanczos vs power
+//! iteration, and the dense ground truth at small sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use socmix_gen::Dataset;
+use socmix_core::Slem;
+
+fn bench_slem(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slem");
+    let g = Dataset::Enron.generate(0.05, 7); // ~1.7k nodes
+    group.bench_function("lanczos_enron_5pct", |b| {
+        b.iter(|| Slem::lanczos(&g).estimate().unwrap().mu)
+    });
+    group.bench_function("power_enron_5pct", |b| {
+        b.iter(|| Slem::power_iteration(&g).estimate().unwrap().mu)
+    });
+    let small = Dataset::Physics1.generate(0.05, 7); // ~200 nodes
+    group.bench_function("dense_physics1_5pct", |b| {
+        b.iter(|| Slem::dense(&small).estimate().unwrap().mu)
+    });
+    group.bench_function("lanczos_physics1_5pct", |b| {
+        b.iter(|| Slem::lanczos(&small).estimate().unwrap().mu)
+    });
+    group.bench_function("spectral_clustering_k2", |b| {
+        use socmix_community::{spectral_clustering, SpectralOptions};
+        b.iter(|| spectral_clustering(&small, SpectralOptions::default()))
+    });
+    group.bench_function("label_propagation", |b| {
+        use socmix_community::{label_propagation, LabelPropOptions};
+        b.iter(|| label_propagation(&g, LabelPropOptions::default()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_slem
+}
+criterion_main!(benches);

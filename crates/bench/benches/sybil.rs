@@ -1,0 +1,72 @@
+//! Bench: SybilLimit (Figure 8) — tail computation and verification.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use socmix_gen::Dataset;
+use socmix_graph::NodeId;
+use socmix_sybil::{SybilLimit, SybilLimitParams};
+
+fn bench_sybil(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sybillimit");
+    let g = Dataset::Physics1.generate(0.25, 7); // ~1k nodes
+    let suspects: Vec<NodeId> = (0..100).collect();
+    for w in [5usize, 20] {
+        let sl = SybilLimit::new(
+            &g,
+            SybilLimitParams {
+                r0: 3.0,
+                w,
+                seed: 7,
+                ..Default::default()
+            },
+        );
+        group.bench_function(format!("verify_100_suspects_w{w}"), |b| {
+            b.iter(|| sl.verify_all(0, &suspects))
+        });
+    }
+    group.bench_function("sybilinfer_mh_10k_iters", |b| {
+        use socmix_sybil::sybilinfer::{sybilinfer, SybilInferParams};
+        b.iter(|| {
+            sybilinfer(
+                &g,
+                0,
+                &SybilInferParams {
+                    walks_per_node: 3,
+                    walk_length: 8,
+                    mh_iterations: 10_000,
+                    samples: 50,
+                    prior_honest: 0.7,
+                    seed: 7,
+                },
+            )
+        })
+    });
+    group.bench_function("sumup_collect_100_votes", |b| {
+        use socmix_graph::NodeId as NId;
+        use socmix_sybil::sumup::{collect_votes, SumUpParams};
+        let voters: Vec<NId> = (1..101).collect();
+        b.iter(|| collect_votes(&g, 0, &voters, SumUpParams { rho: 128 }))
+    });
+    group.bench_function("pagerank_ranking", |b| {
+        use rand::SeedableRng as _;
+        use socmix_sybil::{attach_sybil_region, pagerank_ranking, AttackParams, SybilTopology};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let attacked = attach_sybil_region(
+            &g,
+            AttackParams {
+                sybil_count: g.num_nodes() / 5,
+                attack_edges: 8,
+                topology: SybilTopology::Random { avg_degree: 5.0 },
+            },
+            &mut rng,
+        );
+        b.iter(|| pagerank_ranking(&attacked, 0))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sybil
+}
+criterion_main!(benches);

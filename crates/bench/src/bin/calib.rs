@@ -1,0 +1,66 @@
+//! `calib` — catalog calibration checker.
+//!
+//! Regenerates every Table-1 stand-in at a given scale and prints the
+//! measured µ and T(0.1) lower bound next to the qualitative band its
+//! mixing class targets. Use after touching any generator or recipe
+//! knob; DESIGN.md §2 documents the calibration procedure.
+//!
+//! ```text
+//! calib [scale] [seed]     # defaults: 0.05  7
+//! ```
+
+use socmix_core::{MixingBounds, Slem};
+use socmix_gen::catalog::MixingClass;
+use socmix_gen::Dataset;
+
+/// The T(0.1) band each class targets, from the paper's figures
+/// (DESIGN.md §2). Fast has no band — anything below ~30 steps.
+fn target_band(class: MixingClass) -> (f64, f64) {
+    match class {
+        MixingClass::Fast => (0.0, 30.0),
+        MixingClass::Moderate => (100.0, 900.0),
+        MixingClass::Slow => (100.0, 700.0),
+        MixingClass::VerySlow => (1000.0, 6000.0),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale: f64 = args.first().map(|s| s.parse().expect("scale")).unwrap_or(0.05);
+    let seed: u64 = args.get(1).map(|s| s.parse().expect("seed")).unwrap_or(7);
+    println!(
+        "{:<14} {:>7} {:>9} {:>10} {:>10} {:>16} {:>6}",
+        "dataset", "n", "mu", "T(0.1)", "class", "target band", "ok?"
+    );
+    let mut all_ok = true;
+    for &ds in Dataset::all() {
+        let s = match ds {
+            Dataset::Physics1 | Dataset::Physics2 | Dataset::Physics3 => (scale * 5.0).min(1.0),
+            _ => scale,
+        };
+        let g = ds.generate(s, seed);
+        let mu = Slem::auto(&g).seed(seed).estimate().expect("connected").mu;
+        let t = MixingBounds::new(mu, g.num_nodes()).lower(0.1);
+        let (lo, hi) = target_band(ds.mixing_class());
+        // generous factor-of-3 acceptance: µ drifts with scale for the
+        // hierarchical stand-ins (that drift is the Figure-7 effect)
+        let ok = t >= lo / 3.0 && t <= hi * 3.0;
+        all_ok &= ok;
+        println!(
+            "{:<14} {:>7} {:>9.6} {:>10.1} {:>10} {:>9.0}..{:<5.0} {:>6}",
+            ds.name(),
+            g.num_nodes(),
+            mu,
+            t,
+            format!("{:?}", ds.mixing_class()),
+            lo,
+            hi,
+            if ok { "yes" } else { "DRIFT" }
+        );
+    }
+    if !all_ok {
+        eprintln!("\nnote: DRIFT rows are outside 3x of their band at this scale;");
+        eprintln!("      re-run near the calibration scale (20k nodes) before retuning");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,165 @@
+//! Aligned-table and CSV output for the repro harness.
+
+/// An aligned text table (right-aligned numeric columns, left-aligned
+/// first column), printed to stdout in the style of the paper's
+/// Table 1.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders with padding; first column left-aligned, the rest
+    /// right-aligned.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (c, h) in self.header.iter().enumerate() {
+            width[c] = width[c].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                width[c] = width[c].max(cell.chars().count());
+            }
+        }
+        let fmt_row = |row: &[String]| -> String {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(c, cell)| {
+                    let pad = width[c] - cell.chars().count();
+                    if c == 0 {
+                        format!("{cell}{}", " ".repeat(pad))
+                    } else {
+                        format!("{}{cell}", " ".repeat(pad))
+                    }
+                })
+                .collect();
+            cells.join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Minimal CSV emitter (comma-separated, quote-free values only — the
+/// harness emits numbers and identifiers).
+#[derive(Debug, Clone, Default)]
+pub struct Csv {
+    lines: Vec<String>,
+}
+
+impl Csv {
+    /// A CSV with a header row.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        let mut csv = Csv::default();
+        csv.push_row(header);
+        csv
+    }
+
+    /// Appends a row.
+    pub fn push_row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        debug_assert!(
+            row.iter().all(|c| !c.contains(',') && !c.contains('"')),
+            "CSV cells must be quote-free"
+        );
+        self.lines.push(row.join(","));
+    }
+
+    /// The CSV text.
+    pub fn render(&self) -> String {
+        let mut s = self.lines.join("\n");
+        s.push('\n');
+        s
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a float compactly for tables: scientific below 1e-3,
+/// otherwise fixed with up to 4 decimals.
+pub fn fmt_f64(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.is_infinite() {
+        "inf".to_string()
+    } else if x.abs() < 1e-3 || x.abs() >= 1e7 {
+        format!("{x:.3e}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["name", "n"]);
+        t.row(["a", "1"]);
+        t.row(["bcd", "1000"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a  "));
+        assert!(lines[3].ends_with("1000"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn csv_renders() {
+        let mut c = Csv::new(["x", "y"]);
+        c.push_row(["1", "2.5"]);
+        assert_eq!(c.render(), "x,y\n1,2.5\n");
+    }
+
+    #[test]
+    fn fmt_f64_ranges() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(f64::INFINITY), "inf");
+        assert_eq!(fmt_f64(0.12345), "0.1235"); // rounded
+        assert!(fmt_f64(1e-5).contains('e'));
+        assert!(fmt_f64(1e8).contains('e'));
+    }
+}

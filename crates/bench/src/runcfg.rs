@@ -1,0 +1,127 @@
+//! Run configuration shared by every `repro` subcommand.
+
+/// Configuration parsed from `repro`'s command line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunConfig {
+    /// Global dataset scale (1.0 = the paper's sizes). Defaults to
+    /// 0.05 so `repro all` completes on one machine; pass
+    /// `--scale 1.0` for paper-size runs.
+    pub scale: f64,
+    /// Seed for every generator and sampler.
+    pub seed: u64,
+    /// Number of random sources for sampling probes (the paper uses
+    /// 1000).
+    pub sources: usize,
+    /// Maximum walk length for probe series.
+    pub t_max: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            scale: 0.05,
+            seed: 7,
+            sources: 200,
+            t_max: 500,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Parses `--scale X --seed N --sources K --tmax T` style flags,
+    /// returning the config and the remaining positional arguments.
+    ///
+    /// Unknown flags produce an error string (the binary prints usage).
+    pub fn parse(args: &[String]) -> Result<(Self, Vec<String>), String> {
+        let mut cfg = RunConfig::default();
+        let mut rest = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let mut take = |name: &str| -> Result<f64, String> {
+                it.next()
+                    .ok_or_else(|| format!("{name} needs a value"))?
+                    .parse::<f64>()
+                    .map_err(|e| format!("{name}: {e}"))
+            };
+            match a.as_str() {
+                "--scale" => {
+                    cfg.scale = take("--scale")?;
+                    if !(cfg.scale > 0.0 && cfg.scale <= 1.0) {
+                        return Err("--scale must be in (0, 1]".into());
+                    }
+                }
+                "--seed" => cfg.seed = take("--seed")? as u64,
+                "--sources" => cfg.sources = take("--sources")? as usize,
+                "--tmax" => cfg.t_max = take("--tmax")? as usize,
+                flag if flag.starts_with("--") => {
+                    return Err(format!("unknown flag {flag}"));
+                }
+                positional => rest.push(positional.to_string()),
+            }
+        }
+        Ok((cfg, rest))
+    }
+
+    /// The physics co-authorship graphs are small enough that the
+    /// paper probes them exhaustively; boost their scale so the
+    /// brute-force figures stay meaningful at small global scales.
+    pub fn physics_scale(&self) -> f64 {
+        (self.scale * 5.0).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_without_flags() {
+        let (cfg, rest) = RunConfig::parse(&strs(&["table1"])).unwrap();
+        assert_eq!(cfg, RunConfig::default());
+        assert_eq!(rest, vec!["table1"]);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let (cfg, rest) =
+            RunConfig::parse(&strs(&["--scale", "0.5", "fig1", "--seed", "9", "--sources", "50",
+                "--tmax", "100"]))
+            .unwrap();
+        assert_eq!(cfg.scale, 0.5);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.sources, 50);
+        assert_eq!(cfg.t_max, 100);
+        assert_eq!(rest, vec!["fig1"]);
+    }
+
+    #[test]
+    fn rejects_bad_scale() {
+        assert!(RunConfig::parse(&strs(&["--scale", "2.0"])).is_err());
+        assert!(RunConfig::parse(&strs(&["--scale", "0"])).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_flag() {
+        assert!(RunConfig::parse(&strs(&["--bogus", "1"])).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        assert!(RunConfig::parse(&strs(&["--seed"])).is_err());
+    }
+
+    #[test]
+    fn physics_scale_boosted_and_capped() {
+        let mut cfg = RunConfig {
+            scale: 0.05,
+            ..Default::default()
+        };
+        assert!((cfg.physics_scale() - 0.25).abs() < 1e-12);
+        cfg.scale = 0.5;
+        assert_eq!(cfg.physics_scale(), 1.0);
+    }
+}

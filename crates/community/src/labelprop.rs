@@ -1,0 +1,173 @@
+//! Label propagation community detection (Raghavan et al. 2007).
+//!
+//! Near-linear per sweep: every node adopts the most frequent label
+//! among its neighbors (ties broken uniformly at random), iterating
+//! until labels are stable or the sweep budget is exhausted.
+//! Deterministic given the seed.
+
+use crate::partition::Partition;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use socmix_graph::{Graph, NodeId};
+
+/// Options for [`label_propagation`].
+#[derive(Debug, Clone, Copy)]
+pub struct LabelPropOptions {
+    /// Maximum full sweeps over the node set.
+    pub max_sweeps: usize,
+    /// RNG seed (node visiting order and tie-breaking).
+    pub seed: u64,
+}
+
+impl Default for LabelPropOptions {
+    fn default() -> Self {
+        LabelPropOptions {
+            max_sweeps: 50,
+            seed: 0,
+        }
+    }
+}
+
+/// Runs asynchronous label propagation and returns the resulting
+/// [`Partition`].
+pub fn label_propagation(g: &Graph, opts: LabelPropOptions) -> Partition {
+    let n = g.num_nodes();
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    if n == 0 {
+        return Partition::from_labels(&labels);
+    }
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut order: Vec<NodeId> = g.nodes().collect();
+    // scratch: label -> count, reset per node via the touched list
+    let mut counts: Vec<u32> = vec![0; n];
+    let mut touched: Vec<u32> = Vec::new();
+    let mut best_labels: Vec<u32> = Vec::new();
+    for _sweep in 0..opts.max_sweeps {
+        order.shuffle(&mut rng);
+        let mut changed = false;
+        for &v in &order {
+            let nbrs = g.neighbors(v);
+            if nbrs.is_empty() {
+                continue;
+            }
+            touched.clear();
+            let mut best = 0u32;
+            for &u in nbrs {
+                let l = labels[u as usize];
+                if counts[l as usize] == 0 {
+                    touched.push(l);
+                }
+                counts[l as usize] += 1;
+                best = best.max(counts[l as usize]);
+            }
+            best_labels.clear();
+            for &l in &touched {
+                if counts[l as usize] == best {
+                    best_labels.push(l);
+                }
+            }
+            let new = if best_labels.len() == 1 {
+                best_labels[0]
+            } else {
+                // prefer keeping the current label when it ties
+                // (stabilizes convergence), otherwise uniform choice
+                let cur = labels[v as usize];
+                if best_labels.contains(&cur) {
+                    cur
+                } else {
+                    best_labels[rng.random_range(0..best_labels.len())]
+                }
+            };
+            for &l in &touched {
+                counts[l as usize] = 0;
+            }
+            if new != labels[v as usize] {
+                labels[v as usize] = new;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Partition::from_labels(&labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use socmix_gen::fixtures;
+    use socmix_gen::sbm::planted_partition;
+
+    #[test]
+    fn splits_disconnected_cliques() {
+        use socmix_graph::GraphBuilder;
+        let mut b = GraphBuilder::new();
+        for c in 0..3u32 {
+            let base = c * 4;
+            for u in 0..4 {
+                for v in (u + 1)..4 {
+                    b.add_edge(base + u, base + v);
+                }
+            }
+        }
+        let g = b.build();
+        let p = label_propagation(&g, LabelPropOptions::default());
+        assert_eq!(p.num_communities(), 3);
+        for c in 0..3u32 {
+            assert_eq!(p.members(c).len(), 4);
+        }
+    }
+
+    #[test]
+    fn recovers_planted_partition() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = planted_partition(4, 50, 0.4, 0.005, &mut rng);
+        let p = label_propagation(&g, LabelPropOptions::default());
+        // strong planted structure: modularity should be high and
+        // the number of recovered communities close to 4
+        let q = p.modularity(&g);
+        assert!(q > 0.5, "modularity {q} too low for a strong planted partition");
+        assert!(
+            (2..=8).contains(&p.num_communities()),
+            "found {} communities",
+            p.num_communities()
+        );
+    }
+
+    #[test]
+    fn complete_graph_collapses_to_one() {
+        let g = fixtures::complete(12);
+        let p = label_propagation(&g, LabelPropOptions::default());
+        assert_eq!(p.num_communities(), 1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = planted_partition(3, 30, 0.3, 0.02, &mut rng);
+        let opts = LabelPropOptions {
+            max_sweeps: 50,
+            seed: 7,
+        };
+        let a = label_propagation(&g, opts);
+        let b = label_propagation(&g, opts);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_graph() {
+        use socmix_graph::Graph;
+        let p = label_propagation(&Graph::empty(0), LabelPropOptions::default());
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn isolated_nodes_keep_own_label() {
+        use socmix_graph::Graph;
+        let p = label_propagation(&Graph::empty(3), LabelPropOptions::default());
+        assert_eq!(p.num_communities(), 3);
+    }
+}

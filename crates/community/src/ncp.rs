@@ -1,0 +1,202 @@
+//! Network community profile (NCP).
+//!
+//! Leskovec et al.'s diagnostic (the paper cites their community-
+//! structure dataset paper — reference 10 — for Slashdot): for each community
+//! size `k`, the best (lowest) conductance achievable by a community
+//! of that size. Social networks characteristically have an NCP that
+//! dips at small sizes and rises for large ones — tight small
+//! communities, no good large cuts. The mixing-time connection: the
+//! global minimum of the NCP lower-bounds the conductance `Φ`, and
+//! `Φ ≥ 1 − µ` ties it to the SLEM.
+//!
+//! Computing the exact NCP is NP-hard; this module uses the standard
+//! approximation — sweeps of personalized-PageRank-style local
+//! diffusion vectors from many seeds — which is the technique the
+//! original NCP paper used.
+
+use crate::partition::Partition;
+use rand::Rng;
+use socmix_graph::{Graph, NodeId};
+
+/// One NCP point: best conductance observed at a given size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NcpPoint {
+    pub size: usize,
+    pub conductance: f64,
+}
+
+/// Approximates the NCP by sweeping truncated random-walk diffusion
+/// vectors from `seeds` random seeds, recording for each prefix size
+/// the minimum conductance seen.
+///
+/// Returns points for sizes `2..=max_size` where a cut was observed,
+/// sorted by size. Deterministic in the `rng`.
+pub fn ncp_approx<R: Rng + ?Sized>(
+    g: &Graph,
+    seeds: usize,
+    walk_steps: usize,
+    max_size: usize,
+    rng: &mut R,
+) -> Vec<NcpPoint> {
+    assert!(g.num_edges() > 0, "NCP needs edges");
+    let n = g.num_nodes();
+    let max_size = max_size.min(n - 1).max(2);
+    let mut best = vec![f64::INFINITY; max_size + 1];
+    let vol_total = g.total_degree();
+    for _ in 0..seeds {
+        let seed = rng.random_range(0..n as NodeId);
+        // truncated lazy diffusion from the seed
+        let mut x = vec![0.0f64; n];
+        x[seed as usize] = 1.0;
+        for _ in 0..walk_steps {
+            let mut y = vec![0.0f64; n];
+            for v in 0..n {
+                let mass = x[v];
+                if mass <= 1e-12 {
+                    continue;
+                }
+                y[v] += 0.5 * mass;
+                let share = 0.5 * mass / g.degree(v as NodeId).max(1) as f64;
+                for &u in g.neighbors(v as NodeId) {
+                    y[u as usize] += share;
+                }
+            }
+            x = y;
+        }
+        // sweep by degree-normalized mass
+        let mut order: Vec<NodeId> = (0..n as NodeId)
+            .filter(|&v| x[v as usize] > 0.0)
+            .collect();
+        order.sort_by(|&a, &b| {
+            let sa = x[a as usize] / g.degree(a).max(1) as f64;
+            let sb = x[b as usize] / g.degree(b).max(1) as f64;
+            sb.partial_cmp(&sa).unwrap().then(a.cmp(&b))
+        });
+        let mut in_set = vec![false; n];
+        let mut cut = 0isize;
+        let mut vol = 0usize;
+        for (k, &v) in order.iter().enumerate() {
+            in_set[v as usize] = true;
+            vol += g.degree(v);
+            for &u in g.neighbors(v) {
+                if in_set[u as usize] {
+                    cut -= 1;
+                } else {
+                    cut += 1;
+                }
+            }
+            let size = k + 1;
+            if size > max_size || size >= n {
+                break;
+            }
+            let denom = vol.min(vol_total - vol);
+            if denom == 0 {
+                continue;
+            }
+            let phi = cut as f64 / denom as f64;
+            if phi < best[size] {
+                best[size] = phi;
+            }
+        }
+    }
+    (2..=max_size)
+        .filter(|&s| best[s].is_finite())
+        .map(|s| NcpPoint {
+            size: s,
+            conductance: best[s],
+        })
+        .collect()
+}
+
+/// The minimum conductance over an NCP — an upper bound on the graph
+/// conductance `Φ` (and hence a certificate that `1 − µ ≤ Φ ≤` this).
+pub fn ncp_minimum(points: &[NcpPoint]) -> Option<NcpPoint> {
+    points
+        .iter()
+        .copied()
+        .min_by(|a, b| a.conductance.partial_cmp(&b.conductance).unwrap())
+}
+
+/// Conductance of each detected community of a [`Partition`], as NCP
+/// points (size, conductance) — the "detected communities" overlay on
+/// an NCP plot.
+pub fn partition_ncp(g: &Graph, p: &Partition) -> Vec<NcpPoint> {
+    let sizes = p.sizes();
+    p.community_conductances(g)
+        .into_iter()
+        .enumerate()
+        .filter_map(|(c, phi)| {
+            phi.map(|conductance| NcpPoint {
+                size: sizes[c],
+                conductance,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labelprop::{label_propagation, LabelPropOptions};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use socmix_gen::fixtures;
+    use socmix_gen::sbm::planted_partition;
+
+    #[test]
+    fn barbell_ncp_dips_at_clique_size() {
+        let k = 8;
+        let g = fixtures::barbell(k, 0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let points = ncp_approx(&g, 16, 8, 2 * k - 1, &mut rng);
+        let best = ncp_minimum(&points).unwrap();
+        assert_eq!(best.size, k, "best cut should isolate one clique");
+        let ideal = 1.0 / (k as f64 * (k as f64 - 1.0) + 1.0);
+        assert!((best.conductance - ideal).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expander_has_high_ncp_floor() {
+        let g = fixtures::complete(16);
+        let mut rng = StdRng::seed_from_u64(1);
+        let points = ncp_approx(&g, 8, 5, 15, &mut rng);
+        let best = ncp_minimum(&points).unwrap();
+        assert!(best.conductance > 0.4, "complete graph has no sparse cuts");
+    }
+
+    #[test]
+    fn planted_partition_ncp_finds_blocks() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = planted_partition(4, 40, 0.4, 0.005, &mut rng);
+        let points = ncp_approx(&g, 24, 10, 80, &mut rng);
+        let best = ncp_minimum(&points).unwrap();
+        // the planted blocks of 40 nodes are the best communities
+        assert!(
+            (30..=50).contains(&best.size),
+            "best size {} should be near the planted 40",
+            best.size
+        );
+        assert!(best.conductance < 0.1);
+    }
+
+    #[test]
+    fn points_are_size_sorted_and_bounded() {
+        let g = fixtures::grid(8, 8);
+        let mut rng = StdRng::seed_from_u64(3);
+        let points = ncp_approx(&g, 8, 6, 30, &mut rng);
+        assert!(points.windows(2).all(|w| w[0].size < w[1].size));
+        assert!(points.iter().all(|p| p.conductance > 0.0));
+    }
+
+    #[test]
+    fn partition_ncp_matches_community_conductance() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = planted_partition(3, 30, 0.5, 0.01, &mut rng);
+        let p = label_propagation(&g, LabelPropOptions::default());
+        let pts = partition_ncp(&g, &p);
+        assert_eq!(pts.len(), p.num_communities());
+        for pt in pts {
+            assert!(pt.conductance < 0.3, "planted blocks are strong communities");
+        }
+    }
+}

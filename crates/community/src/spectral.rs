@@ -1,0 +1,267 @@
+//! Spectral clustering via walk-matrix eigenvectors.
+//!
+//! The multi-eigenvector generalization of the sweep cut in
+//! `socmix-core::conductance`: embed each node by the leading
+//! non-trivial eigenvectors of the walk matrix (scaled by
+//! `D^{-1/2}`), then cluster the embedding with k-means. On
+//! community-structured graphs the embedding is near-piecewise-
+//! constant per community, so even plain Lloyd's iteration recovers
+//! them — and the eigenvalues driving the embedding are exactly the
+//! ones that slow the mixing down, making the "communities ⇔ slow
+//! mixing" correspondence visible coordinate by coordinate.
+
+use crate::partition::Partition;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use socmix_graph::{Graph, NodeId};
+use socmix_linalg::{lanczos_topk, DeflatedOp, LanczosOptions, SymmetricWalkOp};
+
+/// Options for [`spectral_clustering`].
+#[derive(Debug, Clone, Copy)]
+pub struct SpectralOptions {
+    /// Number of clusters `k` (uses `k − 1` eigenvectors).
+    pub clusters: usize,
+    /// Lloyd's iterations.
+    pub kmeans_iters: usize,
+    /// Restarts of k-means (best inertia wins).
+    pub restarts: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SpectralOptions {
+    fn default() -> Self {
+        SpectralOptions {
+            clusters: 2,
+            kmeans_iters: 50,
+            restarts: 4,
+            seed: 0,
+        }
+    }
+}
+
+/// The spectral embedding: rows are nodes, columns are the
+/// `dims` leading non-trivial walk eigenvectors scaled by
+/// `D^{-1/2}` (so the embedding is constant on a disconnected
+/// component — the idealized community).
+pub fn spectral_embedding(g: &Graph, dims: usize, seed: u64) -> Vec<Vec<f64>> {
+    assert!(g.num_edges() > 0 && dims >= 1);
+    let sop = SymmetricWalkOp::new(g);
+    let basis = vec![sop.top_eigenvector()];
+    let defl = DeflatedOp::new(sop, &basis);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5bec);
+    let opts = LanczosOptions {
+        max_iter: (dims * 40).max(120),
+        ..Default::default()
+    };
+    let top = lanczos_topk(&defl, dims, opts, &mut rng);
+    let n = g.num_nodes();
+    (0..n)
+        .map(|v| {
+            let scale = 1.0 / (g.degree(v as NodeId) as f64).sqrt();
+            top.vectors.iter().map(|vec| vec[v] * scale).collect()
+        })
+        .collect()
+}
+
+/// Spectral clustering: embedding + k-means. Returns a [`Partition`]
+/// with up to `clusters` communities.
+///
+/// # Example
+///
+/// ```
+/// use socmix_community::{spectral_clustering, SpectralOptions};
+/// let g = socmix_gen::fixtures::barbell(6, 0); // two cliques
+/// let p = spectral_clustering(&g, SpectralOptions::default());
+/// assert_eq!(p.num_communities(), 2);
+/// assert_ne!(p.label(0), p.label(11));
+/// ```
+pub fn spectral_clustering(g: &Graph, opts: SpectralOptions) -> Partition {
+    assert!(opts.clusters >= 2, "need at least 2 clusters");
+    let n = g.num_nodes();
+    if n == 0 {
+        return Partition::from_labels(&[]);
+    }
+    let dims = opts.clusters - 1;
+    let emb = spectral_embedding(g, dims, opts.seed);
+    let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x4a11);
+    let mut best: Option<(f64, Vec<u32>)> = None;
+    for _ in 0..opts.restarts.max(1) {
+        let (labels, inertia) = kmeans(&emb, opts.clusters, opts.kmeans_iters, &mut rng);
+        if best.as_ref().map(|(bi, _)| inertia < *bi).unwrap_or(true) {
+            best = Some((inertia, labels));
+        }
+    }
+    Partition::from_labels(&best.expect("restarts >= 1").1)
+}
+
+/// Plain Lloyd's k-means with k-means++-style seeding. Returns
+/// (labels, inertia).
+fn kmeans<R: Rng + ?Sized>(
+    points: &[Vec<f64>],
+    k: usize,
+    iters: usize,
+    rng: &mut R,
+) -> (Vec<u32>, f64) {
+    let n = points.len();
+    let d = points[0].len();
+    let dist2 = |a: &[f64], b: &[f64]| -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    };
+    // k-means++ seeding
+    let mut centers: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centers.push(points[rng.random_range(0..n)].clone());
+    while centers.len() < k {
+        let weights: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                centers
+                    .iter()
+                    .map(|c| dist2(p, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            // all points coincide with centers; duplicate one
+            centers.push(points[rng.random_range(0..n)].clone());
+            continue;
+        }
+        let mut x = rng.random::<f64>() * total;
+        let mut pick = n - 1;
+        for (i, w) in weights.iter().enumerate() {
+            if x < *w {
+                pick = i;
+                break;
+            }
+            x -= w;
+        }
+        centers.push(points[pick].clone());
+    }
+    let mut labels = vec![0u32; n];
+    for _ in 0..iters {
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    dist2(p, &centers[a])
+                        .partial_cmp(&dist2(p, &centers[b]))
+                        .unwrap()
+                })
+                .unwrap() as u32;
+            if best != labels[i] {
+                labels[i] = best;
+                changed = true;
+            }
+        }
+        // recompute centers
+        let mut sums = vec![vec![0.0f64; d]; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in points.iter().enumerate() {
+            let c = labels[i] as usize;
+            counts[c] += 1;
+            for (s, x) in sums[c].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for s in sums[c].iter_mut() {
+                    *s /= counts[c] as f64;
+                }
+                centers[c] = sums[c].clone();
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let inertia: f64 = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| dist2(p, &centers[labels[i] as usize]))
+        .sum();
+    (labels, inertia)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use socmix_gen::fixtures;
+    use socmix_gen::sbm::planted_partition;
+
+    #[test]
+    fn splits_barbell_cleanly() {
+        let k = 8;
+        let g = fixtures::barbell(k, 0);
+        let p = spectral_clustering(&g, SpectralOptions::default());
+        assert_eq!(p.num_communities(), 2);
+        // each clique entirely in one cluster
+        let c0 = p.label(0);
+        for v in 0..k as NodeId {
+            assert_eq!(p.label(v), c0);
+        }
+        let c1 = p.label(k as NodeId);
+        assert_ne!(c0, c1);
+        for v in k as NodeId..2 * k as NodeId {
+            assert_eq!(p.label(v), c1);
+        }
+    }
+
+    #[test]
+    fn recovers_planted_partition_k4() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = planted_partition(4, 40, 0.5, 0.005, &mut rng);
+        let p = spectral_clustering(
+            &g,
+            SpectralOptions {
+                clusters: 4,
+                restarts: 8,
+                ..Default::default()
+            },
+        );
+        let q = p.modularity(&g);
+        assert!(q > 0.6, "planted blocks should be recovered, Q = {q}");
+    }
+
+    #[test]
+    fn embedding_separates_communities() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = planted_partition(2, 30, 0.5, 0.01, &mut rng);
+        let emb = spectral_embedding(&g, 1, 7);
+        // first coordinate should have consistent sign per block
+        let mean_a: f64 = (0..30).map(|v| emb[v][0]).sum::<f64>() / 30.0;
+        let mean_b: f64 = (30..60).map(|v| emb[v][0]).sum::<f64>() / 30.0;
+        assert!(
+            mean_a * mean_b < 0.0,
+            "blocks should land on opposite sides: {mean_a} vs {mean_b}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = fixtures::barbell(6, 1);
+        let a = spectral_clustering(&g, SpectralOptions::default());
+        let b = spectral_clustering(&g, SpectralOptions::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn agrees_with_label_propagation_on_strong_structure() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = planted_partition(3, 30, 0.5, 0.005, &mut rng);
+        let sp = spectral_clustering(
+            &g,
+            SpectralOptions {
+                clusters: 3,
+                restarts: 8,
+                ..Default::default()
+            },
+        );
+        let lp = crate::labelprop::label_propagation(&g, Default::default());
+        // both should score high modularity on a strong partition
+        assert!(sp.modularity(&g) > 0.5);
+        assert!(lp.modularity(&g) > 0.5);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests for community detection over random structured
+//! graphs.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socmix_community::{label_propagation, LabelPropOptions, Partition};
+use socmix_gen::sbm::planted_partition;
+use socmix_graph::{GraphBuilder, NodeId};
+
+fn arbitrary_graph() -> impl Strategy<Value = socmix_graph::Graph> {
+    proptest::collection::vec((0u32..40, 0u32..40), 1..120)
+        .prop_map(|edges| GraphBuilder::from_edges(edges).build())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Partition invariants hold for arbitrary label vectors.
+    #[test]
+    fn partition_invariants(labels in proptest::collection::vec(0u32..10, 1..80)) {
+        let p = Partition::from_labels(&labels);
+        prop_assert_eq!(p.len(), labels.len());
+        prop_assert!(p.num_communities() >= 1);
+        prop_assert_eq!(p.sizes().iter().sum::<usize>(), p.len());
+        // dense labels
+        for v in 0..p.len() as NodeId {
+            prop_assert!((p.label(v) as usize) < p.num_communities());
+        }
+        // members partition the node set
+        let total: usize = (0..p.num_communities() as u32).map(|c| p.members(c).len()).sum();
+        prop_assert_eq!(total, p.len());
+    }
+
+    /// Modularity is bounded: Q ∈ [−1, 1] for any partition of any
+    /// graph.
+    #[test]
+    fn modularity_bounded(g in arbitrary_graph(), seed in 0u64..100) {
+        if g.num_edges() == 0 {
+            return Ok(());
+        }
+        let p = label_propagation(&g, LabelPropOptions { max_sweeps: 20, seed });
+        let q = p.modularity(&g);
+        prop_assert!((-1.0..=1.0).contains(&q), "Q = {q}");
+        // singletons and the single community both have Q ≤ detected
+        let single = Partition::single(g.num_nodes()).modularity(&g);
+        prop_assert!(single.abs() < 1e-9);
+    }
+
+    /// Label propagation is deterministic per seed and total.
+    #[test]
+    fn labelprop_deterministic(g in arbitrary_graph(), seed in 0u64..100) {
+        let opts = LabelPropOptions { max_sweeps: 30, seed };
+        let a = label_propagation(&g, opts);
+        let b = label_propagation(&g, opts);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Community conductances are valid probabilities-ish (in (0, 1]
+    /// for non-degenerate cuts) and sizes match.
+    #[test]
+    fn conductance_ranges(k in 2usize..4, size in 5usize..20, seed in 0u64..50) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = planted_partition(k, size, 0.6, 0.05, &mut rng);
+        let p = label_propagation(&g, LabelPropOptions::default());
+        for phi in p.community_conductances(&g).into_iter().flatten() {
+            prop_assert!(phi >= 0.0 && phi <= 1.0, "phi = {phi}");
+        }
+    }
+
+    /// Stronger planted structure yields higher modularity.
+    #[test]
+    fn modularity_tracks_structure(seed in 0u64..30) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let strong = planted_partition(3, 30, 0.6, 0.01, &mut rng);
+        let weak = planted_partition(3, 30, 0.2, 0.15, &mut rng);
+        let qs = label_propagation(&strong, LabelPropOptions::default()).modularity(&strong);
+        let qw = label_propagation(&weak, LabelPropOptions::default()).modularity(&weak);
+        prop_assert!(qs > qw - 0.05, "strong {qs} vs weak {qw}");
+    }
+}

@@ -1,0 +1,238 @@
+//! Aggregation of per-source probe series into the paper's plots.
+//!
+//! Figure 3/4 plot **CDFs** of the variation distance at fixed walk
+//! lengths over all sources; Figures 5 and 7 sort the per-source ε at
+//! each `t` and average within **percentile bands** (top 10%, median
+//! 20%, lowest 10%, and the "top 99.9%" near-worst-case curve),
+//! overlaying the SLEM lower bound.
+
+use crate::probe::ProbeResult;
+
+/// An empirical CDF over a sample of values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cdf {
+    /// Sorted sample values (the x axis).
+    pub values: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from an unsorted sample.
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Cdf { values: samples }
+    }
+
+    /// Fraction of the sample ≤ `x`.
+    pub fn at(&self, x: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let idx = self.values.partition_point(|&v| v <= x);
+        idx as f64 / self.values.len() as f64
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by the nearest-rank method.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        assert!(!self.values.is_empty(), "quantile of empty sample");
+        let n = self.values.len();
+        let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+        self.values[idx]
+    }
+
+    /// `(x, F(x))` pairs suitable for plotting (one per distinct
+    /// sample point).
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.values.len() as f64;
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (i + 1) as f64 / n))
+            .collect()
+    }
+}
+
+/// A percentile band definition over sorted per-source ε values:
+/// sources ranked from *best-mixing* (smallest ε at each t, rank 0.0)
+/// to *worst* (rank 1.0).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Band {
+    /// Inclusive lower rank in [0, 1).
+    pub lo: f64,
+    /// Exclusive upper rank in (0, 1].
+    pub hi: f64,
+    /// Label used by the repro harness output.
+    pub label: &'static str,
+}
+
+/// The bands the paper's Figure 7 reports.
+pub const PAPER_BANDS: [Band; 3] = [
+    Band {
+        lo: 0.0,
+        hi: 0.10,
+        label: "top 10%",
+    },
+    Band {
+        lo: 0.40,
+        hi: 0.60,
+        label: "median 20%",
+    },
+    Band {
+        lo: 0.90,
+        hi: 1.0,
+        label: "lowest 10%",
+    },
+];
+
+/// The near-worst-case curve of Figure 5 ("top 99.9%"): the 99.9th
+/// percentile of ε across sources at each `t`.
+pub const WORST_CASE_RANK: f64 = 0.999;
+
+/// One aggregated band curve: mean ε within the band at each `t`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandCurve {
+    pub band: Band,
+    /// `epsilon[t-1]` = mean TVD of band members after `t` steps.
+    pub epsilon: Vec<f64>,
+}
+
+/// Aggregates a probe result into band curves: at each `t`, sort the
+/// per-source TVDs ascending and average within each band's rank
+/// range.
+pub fn band_curves(result: &ProbeResult, bands: &[Band]) -> Vec<BandCurve> {
+    let t_max = result.t_max();
+    let k = result.num_sources();
+    assert!(k > 0, "no sources to aggregate");
+    let mut out: Vec<BandCurve> = bands
+        .iter()
+        .map(|&band| BandCurve {
+            band,
+            epsilon: Vec::with_capacity(t_max),
+        })
+        .collect();
+    for t in 1..=t_max {
+        let mut tvds = result.tvds_at(t);
+        tvds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (b, curve) in bands.iter().zip(&mut out) {
+            let lo = ((b.lo * k as f64).floor() as usize).min(k - 1);
+            let hi = ((b.hi * k as f64).ceil() as usize).clamp(lo + 1, k);
+            let slice = &tvds[lo..hi];
+            let mean = slice.iter().sum::<f64>() / slice.len() as f64;
+            curve.epsilon.push(mean);
+        }
+    }
+    out
+}
+
+/// The rank-`q` percentile curve of TVD across sources at each `t`
+/// (e.g. `q = 0.999` for the paper's near-worst-case overlay).
+pub fn percentile_curve(result: &ProbeResult, q: f64) -> Vec<f64> {
+    let t_max = result.t_max();
+    (1..=t_max)
+        .map(|t| Cdf::from_samples(result.tvds_at(t)).quantile(q))
+        .collect()
+}
+
+/// Mean TVD across all sources at each `t` — the "average mixing
+/// time" series of Figure 6(b).
+pub fn mean_curve(result: &ProbeResult) -> Vec<f64> {
+    let t_max = result.t_max();
+    let k = result.num_sources() as f64;
+    (1..=t_max)
+        .map(|t| result.tvds_at(t).iter().sum::<f64>() / k)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::MixingProbe;
+    use socmix_gen::fixtures;
+
+    #[test]
+    fn cdf_basics() {
+        let c = Cdf::from_samples(vec![3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(c.values, vec![1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(c.at(0.5), 0.0);
+        assert_eq!(c.at(2.0), 0.75);
+        assert_eq!(c.at(10.0), 1.0);
+    }
+
+    #[test]
+    fn cdf_quantiles() {
+        let c = Cdf::from_samples((1..=100).map(|i| i as f64).collect());
+        assert_eq!(c.quantile(0.5), 50.0);
+        assert_eq!(c.quantile(0.999), 100.0);
+        assert_eq!(c.quantile(0.0), 1.0);
+        assert_eq!(c.quantile(1.0), 100.0);
+    }
+
+    #[test]
+    fn cdf_points_monotone() {
+        let c = Cdf::from_samples(vec![0.5, 0.1, 0.9]);
+        let pts = c.points();
+        assert_eq!(pts.len(), 3);
+        assert!(pts.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 < w[1].1));
+        assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_cdf_at_is_zero() {
+        let c = Cdf::from_samples(vec![]);
+        assert_eq!(c.at(1.0), 0.0);
+    }
+
+    #[test]
+    fn band_curves_ordered() {
+        // top band (best mixers) must show smaller ε than lowest band
+        let g = fixtures::lollipop(8, 6);
+        let r = MixingProbe::new(&g).all_sources(50);
+        let curves = band_curves(&r, &PAPER_BANDS);
+        assert_eq!(curves.len(), 3);
+        let t = 20;
+        let top = curves[0].epsilon[t - 1];
+        let low = curves[2].epsilon[t - 1];
+        assert!(top <= low, "top band {top} should be ≤ lowest band {low}");
+    }
+
+    #[test]
+    fn band_curves_lengths() {
+        let g = fixtures::petersen();
+        let r = MixingProbe::new(&g).all_sources(15);
+        for c in band_curves(&r, &PAPER_BANDS) {
+            assert_eq!(c.epsilon.len(), 15);
+        }
+    }
+
+    #[test]
+    fn percentile_curve_bounds_mean() {
+        let g = fixtures::barbell(5, 2);
+        let r = MixingProbe::new(&g).all_sources(40);
+        let worst = percentile_curve(&r, WORST_CASE_RANK);
+        let mean = mean_curve(&r);
+        for (w, m) in worst.iter().zip(&mean) {
+            assert!(w + 1e-12 >= *m, "99.9th percentile below the mean");
+        }
+    }
+
+    #[test]
+    fn mean_curve_non_increasing_on_nonbipartite() {
+        let g = fixtures::petersen();
+        let r = MixingProbe::new(&g).all_sources(30);
+        let mean = mean_curve(&r);
+        for w in mean.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_source_bands_degenerate_gracefully() {
+        let g = fixtures::petersen();
+        let r = MixingProbe::new(&g).probe_sources(&[0], 10);
+        let curves = band_curves(&r, &PAPER_BANDS);
+        // all bands collapse to the single source's series
+        for c in &curves {
+            assert_eq!(c.epsilon, curves[0].epsilon);
+        }
+    }
+}

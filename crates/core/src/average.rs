@@ -1,0 +1,186 @@
+//! Average-case mixing time — the paper's proposed research
+//! direction.
+//!
+//! Definition 1 takes the **max** over sources; the paper's key
+//! empirical observation is that "the average mixing time is better
+//! than the worst-case mixing time … although the average mixing time
+//! is again much higher than the ones being used", and its conclusion
+//! proposes "building theoretical models that consider the average
+//! case". This module supplies the measurement side of that program:
+//!
+//! - [`average_mixing_time`] — `T_avg(ε) = min{t : 𝔼_i‖π − π⁽ⁱ⁾Pᵗ‖ < ε}`
+//!   (sources weighted uniformly),
+//! - [`stationary_weighted_mixing_time`] — sources weighted by `π`
+//!   (the natural weighting when walk *starters* are themselves
+//!   reached by walks, as in SybilLimit's suspect population),
+//! - [`coverage_mixing_time`] — the smallest `t` at which a `q`
+//!   fraction of sources has individually mixed: exactly the
+//!   service-coverage number a Sybil defense needs ("what walk length
+//!   serves 90% of honest users?").
+
+use crate::probe::ProbeResult;
+
+/// The average-case mixing time over the probed sources:
+/// minimal `t` with `mean_i TVD(π⁽ⁱ⁾Pᵗ, π) < ε`, or `None` within
+/// the recorded horizon.
+pub fn average_mixing_time(result: &ProbeResult, epsilon: f64) -> Option<usize> {
+    assert!(epsilon > 0.0);
+    let k = result.num_sources();
+    assert!(k > 0, "no sources probed");
+    for t in 1..=result.t_max() {
+        let mean = result.tvds_at(t).iter().sum::<f64>() / k as f64;
+        if mean < epsilon {
+            return Some(t);
+        }
+    }
+    None
+}
+
+/// Average-case mixing time with source `i` weighted by `weight[i]`
+/// (weights need not be normalized; they are scaled internally).
+///
+/// Pass the stationary probabilities of the probed sources to get the
+/// π-weighted variant.
+pub fn weighted_average_mixing_time(
+    result: &ProbeResult,
+    weights: &[f64],
+    epsilon: f64,
+) -> Option<usize> {
+    assert_eq!(weights.len(), result.num_sources());
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must have positive mass");
+    for t in 1..=result.t_max() {
+        let tvds = result.tvds_at(t);
+        let mean: f64 = tvds.iter().zip(weights).map(|(d, w)| d * w).sum::<f64>() / total;
+        if mean < epsilon {
+            return Some(t);
+        }
+    }
+    None
+}
+
+/// π-weighted average mixing time: sources weighted by their degree
+/// (∝ stationary probability).
+pub fn stationary_weighted_mixing_time(
+    g: &socmix_graph::Graph,
+    result: &ProbeResult,
+    epsilon: f64,
+) -> Option<usize> {
+    let weights: Vec<f64> = result
+        .sources
+        .iter()
+        .map(|&v| g.degree(v) as f64)
+        .collect();
+    weighted_average_mixing_time(result, &weights, epsilon)
+}
+
+/// The smallest `t` at which at least a fraction `q` of the probed
+/// sources has *individually* reached `TVD < ε` — the
+/// service-coverage walk length ("the majority of nodes with fast
+/// mixing would be served and those few other nodes with very slow
+/// mixing would be denied service", paper §5).
+pub fn coverage_mixing_time(result: &ProbeResult, epsilon: f64, q: f64) -> Option<usize> {
+    assert!((0.0..=1.0).contains(&q));
+    let k = result.num_sources();
+    assert!(k > 0);
+    let need = (q * k as f64).ceil() as usize;
+    if need == 0 {
+        return Some(1.min(result.t_max()));
+    }
+    // per-source first-hit times; TVD is non-increasing, so once a
+    // source is below ε it stays below
+    let hits = result.times_to_epsilon(epsilon);
+    let mut times: Vec<usize> = hits.into_iter().flatten().collect();
+    if times.len() < need {
+        return None;
+    }
+    times.sort_unstable();
+    Some(times[need - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::MixingProbe;
+    use socmix_gen::fixtures;
+
+    fn lollipop_probe() -> (socmix_graph::Graph, ProbeResult) {
+        let g = fixtures::lollipop(8, 6);
+        let r = MixingProbe::new(&g).all_sources(2000);
+        (g, r)
+    }
+
+    #[test]
+    fn average_at_most_worst_case() {
+        let (_, r) = lollipop_probe();
+        let eps = 0.05;
+        let avg = average_mixing_time(&r, eps).unwrap();
+        let worst = r.mixing_time(eps).unwrap();
+        assert!(avg <= worst, "avg {avg} > worst {worst}");
+    }
+
+    #[test]
+    fn coverage_interpolates_between_best_and_worst() {
+        let (_, r) = lollipop_probe();
+        let eps = 0.05;
+        let half = coverage_mixing_time(&r, eps, 0.5).unwrap();
+        let all = coverage_mixing_time(&r, eps, 1.0).unwrap();
+        let worst = r.mixing_time(eps).unwrap();
+        assert!(half <= all);
+        assert_eq!(all, worst, "q=1 coverage is the worst case");
+    }
+
+    #[test]
+    fn coverage_monotone_in_q() {
+        let (_, r) = lollipop_probe();
+        let eps = 0.1;
+        let mut last = 0usize;
+        for q in [0.25, 0.5, 0.75, 1.0] {
+            let t = coverage_mixing_time(&r, eps, q).unwrap();
+            assert!(t >= last, "coverage time dropped at q={q}");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn weighted_equal_weights_matches_plain_average() {
+        let (_, r) = lollipop_probe();
+        let eps = 0.05;
+        let w = vec![1.0; r.num_sources()];
+        assert_eq!(
+            weighted_average_mixing_time(&r, &w, eps),
+            average_mixing_time(&r, eps)
+        );
+    }
+
+    #[test]
+    fn stationary_weighting_favors_hub_sources() {
+        // in the lollipop, high-degree clique nodes mix fast; weighting
+        // by degree should not increase the average mixing time
+        let (g, r) = lollipop_probe();
+        let eps = 0.05;
+        let plain = average_mixing_time(&r, eps).unwrap();
+        let weighted = stationary_weighted_mixing_time(&g, &r, eps).unwrap();
+        assert!(
+            weighted <= plain,
+            "π-weighting should help on hub-heavy graphs ({weighted} vs {plain})"
+        );
+    }
+
+    #[test]
+    fn unreachable_epsilon_returns_none() {
+        let g = fixtures::barbell(6, 2);
+        let r = MixingProbe::new(&g).probe_sources(&[0], 3);
+        assert_eq!(average_mixing_time(&r, 1e-12), None);
+        assert_eq!(coverage_mixing_time(&r, 1e-12, 0.5), None);
+    }
+
+    #[test]
+    fn trivially_satisfied_epsilon() {
+        let g = fixtures::complete(10);
+        let r = MixingProbe::new(&g).all_sources(10);
+        // K_10 is 1/9-close to uniform after one step
+        assert_eq!(average_mixing_time(&r, 0.9), Some(1));
+        assert_eq!(coverage_mixing_time(&r, 0.9, 0.0), Some(1));
+    }
+}

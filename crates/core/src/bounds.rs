@@ -1,0 +1,234 @@
+//! The Theorem-2 mixing-time bounds.
+//!
+//! With `µ` the second largest eigenvalue modulus of the transition
+//! matrix (Sinclair '92, as restated in the paper's Theorem 2):
+//!
+//! ```text
+//!   µ/(2(1−µ)) · ln(1/2ε)  ≤  T(ε)  ≤  (ln n + ln 1/ε) / (1−µ)
+//! ```
+//!
+//! The paper plots the **lower** bound (its Figures 1, 2, 5, 6a, 7):
+//! showing that even the optimistic end of the bound is large is what
+//! establishes that social graphs mix slowly.
+
+/// Mixing-time bounds parameterized by `(µ, n)`.
+///
+/// # Example
+///
+/// ```
+/// use socmix_core::MixingBounds;
+/// // a Livejournal-grade SLEM on a million-node graph
+/// let b = MixingBounds::new(0.9998, 1_000_000);
+/// assert!(b.lower(0.1) > 1500.0, "needs thousands of steps");
+/// assert!(!b.is_fast_mixing(30.0), "fails the O(log n) bar");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixingBounds {
+    mu: f64,
+    n: usize,
+}
+
+impl MixingBounds {
+    /// Creates bounds for a graph with SLEM `µ` and `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ µ ≤ 1` and `n ≥ 2`.
+    pub fn new(mu: f64, n: usize) -> Self {
+        assert!((0.0..=1.0).contains(&mu), "µ must be in [0,1], got {mu}");
+        assert!(n >= 2, "mixing time needs n ≥ 2");
+        MixingBounds { mu, n }
+    }
+
+    /// The SLEM this bound was built from.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// The node count.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Lower bound `µ/(2(1−µ)) · ln(1/2ε)`, in walk steps.
+    ///
+    /// Returns `+∞` when `µ = 1` (disconnected or bipartite chain —
+    /// the walk never mixes) and `0` for `ε ≥ 1/2` (the bound is
+    /// vacuous there).
+    pub fn lower(&self, epsilon: f64) -> f64 {
+        assert!(epsilon > 0.0, "ε must be positive");
+        if epsilon >= 0.5 {
+            return 0.0;
+        }
+        if self.mu >= 1.0 {
+            return f64::INFINITY;
+        }
+        self.mu / (2.0 * (1.0 - self.mu)) * (1.0 / (2.0 * epsilon)).ln()
+    }
+
+    /// Upper bound `(ln n + ln 1/ε)/(1−µ)`, in walk steps.
+    ///
+    /// Returns `+∞` when `µ = 1`.
+    pub fn upper(&self, epsilon: f64) -> f64 {
+        assert!(epsilon > 0.0, "ε must be positive");
+        if self.mu >= 1.0 {
+            return f64::INFINITY;
+        }
+        ((self.n as f64).ln() + (1.0 / epsilon).ln()) / (1.0 - self.mu)
+    }
+
+    /// Both bounds at once.
+    pub fn at_epsilon(&self, epsilon: f64) -> (f64, f64) {
+        (self.lower(epsilon), self.upper(epsilon))
+    }
+
+    /// Inverts the lower bound: the variation distance `ε` that a
+    /// walk of length `t` is guaranteed *not yet* to have beaten —
+    /// i.e. `ε` such that `lower(ε) = t`. This is how the paper plots
+    /// "lower bound" curves in (t, ε) space (Figures 5–7 overlay them
+    /// on the sampled series).
+    ///
+    /// Returns 0.5 for `t ≤ 0` and 0 when `µ = 1` never yields a
+    /// finite answer — callers plot these as boundary points.
+    pub fn epsilon_at_lower(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 0.5;
+        }
+        if self.mu >= 1.0 {
+            return 0.5;
+        }
+        if self.mu <= 0.0 {
+            return 0.0;
+        }
+        // lower(ε) = t  ⇒  ε = ½ exp(−2t(1−µ)/µ)
+        0.5 * (-2.0 * t * (1.0 - self.mu) / self.mu).exp()
+    }
+
+    /// The paper's strengthened target `ε = Θ(1/n)`: the lower bound
+    /// at `ε = 1/n`.
+    pub fn lower_at_inverse_n(&self) -> f64 {
+        self.lower(1.0 / self.n as f64)
+    }
+
+    /// Whether `(µ, n)` satisfies the fast-mixing bar the Sybil
+    /// papers assume: `T(1/n) = O(log n)`, tested as
+    /// `upper(1/n) ≤ c·ln n` for the given constant `c`.
+    pub fn is_fast_mixing(&self, c: f64) -> bool {
+        self.upper(1.0 / self.n as f64) <= c * (self.n as f64).ln()
+    }
+}
+
+/// A logarithmically spaced ε grid from `hi` down to `lo` with
+/// `points_per_decade` samples per decade — the x-axis of the
+/// Figure-1/2 curves.
+pub fn epsilon_grid(hi: f64, lo: f64, points_per_decade: usize) -> Vec<f64> {
+    assert!(hi > lo && lo > 0.0);
+    assert!(points_per_decade >= 1);
+    let decades = (hi / lo).log10();
+    let count = (decades * points_per_decade as f64).ceil() as usize + 1;
+    let step = decades / (count - 1).max(1) as f64;
+    (0..count)
+        .map(|i| hi * 10f64.powf(-(i as f64) * step))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_below_upper() {
+        let b = MixingBounds::new(0.95, 10_000);
+        for eps in [0.2, 0.1, 0.01, 1e-4] {
+            let (lo, hi) = b.at_epsilon(eps);
+            assert!(lo <= hi, "ε={eps}: {lo} > {hi}");
+        }
+    }
+
+    #[test]
+    fn bounds_grow_as_epsilon_shrinks() {
+        let b = MixingBounds::new(0.99, 1000);
+        assert!(b.lower(0.01) > b.lower(0.1));
+        assert!(b.upper(0.01) > b.upper(0.1));
+    }
+
+    #[test]
+    fn bounds_grow_with_mu() {
+        let slow = MixingBounds::new(0.999, 1000);
+        let fast = MixingBounds::new(0.9, 1000);
+        assert!(slow.lower(0.01) > fast.lower(0.01));
+        assert!(slow.upper(0.01) > fast.upper(0.01));
+    }
+
+    #[test]
+    fn known_value() {
+        // µ=0.5: lower(0.05) = 0.5/(2·0.5)·ln(10) = ½·ln(10)·... wait:
+        // 0.5/(2(1-0.5)) = 0.5; ln(1/(2·0.05)) = ln 10
+        let b = MixingBounds::new(0.5, 100);
+        assert!((b.lower(0.05) - 0.5 * 10f64.ln()).abs() < 1e-12);
+        // upper(0.05) = (ln 100 + ln 20)/0.5
+        assert!((b.upper(0.05) - (100f64.ln() + 20f64.ln()) / 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mu_one_is_infinite() {
+        let b = MixingBounds::new(1.0, 50);
+        assert!(b.lower(0.01).is_infinite());
+        assert!(b.upper(0.01).is_infinite());
+    }
+
+    #[test]
+    fn vacuous_epsilon_gives_zero_lower() {
+        let b = MixingBounds::new(0.9, 50);
+        assert_eq!(b.lower(0.5), 0.0);
+        assert_eq!(b.lower(0.9), 0.0);
+    }
+
+    #[test]
+    fn epsilon_at_lower_inverts_lower() {
+        let b = MixingBounds::new(0.98, 5000);
+        for eps in [0.1, 0.01, 1e-3] {
+            let t = b.lower(eps);
+            let back = b.epsilon_at_lower(t);
+            assert!((back - eps).abs() / eps < 1e-10, "{back} vs {eps}");
+        }
+    }
+
+    #[test]
+    fn epsilon_at_lower_edge_cases() {
+        let b = MixingBounds::new(0.9, 100);
+        assert_eq!(b.epsilon_at_lower(0.0), 0.5);
+        assert_eq!(MixingBounds::new(1.0, 100).epsilon_at_lower(10.0), 0.5);
+        assert_eq!(MixingBounds::new(0.0, 100).epsilon_at_lower(10.0), 0.0);
+    }
+
+    #[test]
+    fn fast_mixing_classification() {
+        // an expander-grade µ on a big graph is fast mixing:
+        // upper(1/n) = 2·ln n / (1−µ) = 20·ln n exactly, so c = 21 clears it
+        assert!(MixingBounds::new(0.9, 1_000_000).is_fast_mixing(21.0));
+        // a Livejournal-grade µ is not
+        assert!(!MixingBounds::new(0.9999, 1_000_000).is_fast_mixing(20.0));
+    }
+
+    #[test]
+    fn epsilon_grid_shape() {
+        let grid = epsilon_grid(1.0, 1e-3, 2);
+        assert!((grid[0] - 1.0).abs() < 1e-12);
+        assert!(grid.last().unwrap() <= &1.001e-3);
+        assert!(grid.windows(2).all(|w| w[0] > w[1]), "must be decreasing");
+        assert_eq!(grid.len(), 7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_epsilon_rejected() {
+        let _ = MixingBounds::new(0.9, 10).lower(-0.1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mu_out_of_range_rejected() {
+        let _ = MixingBounds::new(1.5, 10);
+    }
+}

@@ -1,0 +1,212 @@
+//! Conductance and its relation to the SLEM.
+//!
+//! The paper (§3.2) notes that the second largest eigenvalue bounds
+//! the graph conductance — "a measure for the community structure …
+//! Φ ≥ 1 − µ" — and attributes slow mixing to the sparse cuts that
+//! community structure creates. This module computes cut conductance
+//! directly and finds low-conductance cuts by the classic spectral
+//! sweep, connecting the two measurements.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socmix_graph::{Graph, NodeId};
+use socmix_linalg::power::{power_iteration, PowerOptions};
+use socmix_linalg::{DeflatedOp, LazyOp, SymmetricWalkOp};
+
+/// Conductance of the cut `(set, V∖set)`:
+/// `Φ(S) = cut(S, S̄) / min(vol S, vol S̄)` where `vol` is total
+/// degree. Returns `None` for degenerate cuts (empty side or zero
+/// volume).
+pub fn cut_conductance(g: &Graph, in_set: &[bool]) -> Option<f64> {
+    assert_eq!(in_set.len(), g.num_nodes());
+    let mut cut = 0usize;
+    let mut vol_s = 0usize;
+    for v in g.nodes() {
+        if in_set[v as usize] {
+            vol_s += g.degree(v);
+            for &u in g.neighbors(v) {
+                if !in_set[u as usize] {
+                    cut += 1;
+                }
+            }
+        }
+    }
+    let vol_total = g.total_degree();
+    let vol_comp = vol_total - vol_s;
+    let denom = vol_s.min(vol_comp);
+    if denom == 0 {
+        None
+    } else {
+        Some(cut as f64 / denom as f64)
+    }
+}
+
+/// A cut found by the spectral sweep, with its conductance.
+#[derive(Debug, Clone)]
+pub struct SweepCut {
+    /// Membership of the best prefix cut.
+    pub in_set: Vec<bool>,
+    /// Its conductance.
+    pub conductance: f64,
+}
+
+/// Spectral sweep: order nodes by the second eigenvector of the walk
+/// matrix (computed as `D^{-1/2}·v₂(S)`), then scan prefix cuts and
+/// return the one with minimal conductance.
+///
+/// This is the constructive half of Cheeger's inequality — the cut it
+/// finds certifies `Φ ≤ √(2(1−λ₂))`, and any cut upper-bounds the
+/// true conductance. For community-structured graphs it recovers the
+/// dominant bottleneck (the property the paper blames slow mixing
+/// on).
+///
+/// # Panics
+///
+/// Panics if the graph has fewer than 3 nodes or no edges.
+pub fn spectral_sweep(g: &Graph, seed: u64) -> SweepCut {
+    let n = g.num_nodes();
+    assert!(n >= 3 && g.num_edges() > 0, "sweep needs a non-trivial graph");
+    // Second eigenvector of S via power iteration on the *lazy*
+    // deflated operator: (I+S)/2 maps the spectrum to [0,1], so the
+    // dominant eigenvalue of the deflated lazy operator is (1+λ₂)/2 —
+    // its eigenvector is v₂ regardless of how negative λₙ is.
+    let sop = SymmetricWalkOp::new(g);
+    let basis = vec![sop.top_eigenvector()];
+    let defl = DeflatedOp::new(LazyOp::new(SymmetricWalkOp::new(g)), &basis);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let opts = PowerOptions {
+        max_iter: 20_000,
+        tol: 1e-10,
+    };
+    let r = power_iteration(&defl, opts, &mut rng);
+    // walk eigenvector: x = D^{-1/2} v₂
+    let mut order: Vec<NodeId> = g.nodes().collect();
+    let score: Vec<f64> = (0..n)
+        .map(|v| r.vector[v] / (g.degree(v as NodeId) as f64).sqrt())
+        .collect();
+    order.sort_by(|&a, &b| {
+        score[a as usize]
+            .partial_cmp(&score[b as usize])
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+    // sweep prefixes, tracking cut size and volume incrementally
+    let mut in_set = vec![false; n];
+    let mut cut = 0isize;
+    let mut vol_s = 0usize;
+    let vol_total = g.total_degree();
+    let mut best = f64::INFINITY;
+    let mut best_prefix = 1usize;
+    for (k, &v) in order.iter().enumerate().take(n - 1) {
+        in_set[v as usize] = true;
+        vol_s += g.degree(v);
+        for &u in g.neighbors(v) {
+            if in_set[u as usize] {
+                cut -= 1; // edge absorbed into S
+            } else {
+                cut += 1; // new boundary edge
+            }
+        }
+        let denom = vol_s.min(vol_total - vol_s);
+        if denom == 0 {
+            continue;
+        }
+        let phi = cut as f64 / denom as f64;
+        if phi < best {
+            best = phi;
+            best_prefix = k + 1;
+        }
+    }
+    let mut final_set = vec![false; n];
+    for &v in order.iter().take(best_prefix) {
+        final_set[v as usize] = true;
+    }
+    SweepCut {
+        in_set: final_set,
+        conductance: best,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slem::Slem;
+    use socmix_gen::fixtures;
+
+    #[test]
+    fn conductance_of_balanced_cut_on_barbell() {
+        // split a zero-bridge barbell at the bridge edge: cut = 1
+        let k = 6;
+        let g = fixtures::barbell(k, 0);
+        let in_set: Vec<bool> = (0..2 * k).map(|v| v < k).collect();
+        let phi = cut_conductance(&g, &in_set).unwrap();
+        let vol_half = (k * (k - 1) + 1) as f64; // clique edges·2/2 + bridge
+        assert!((phi - 1.0 / vol_half).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cut_is_none() {
+        let g = fixtures::petersen();
+        assert_eq!(cut_conductance(&g, &vec![false; 10]), None);
+        assert_eq!(cut_conductance(&g, &vec![true; 10]), None);
+    }
+
+    #[test]
+    fn sweep_finds_barbell_bottleneck() {
+        let k = 8;
+        let g = fixtures::barbell(k, 0);
+        let sweep = spectral_sweep(&g, 0);
+        // best possible conductance is the bridge cut
+        let ideal = 1.0 / (k as f64 * (k as f64 - 1.0) + 1.0);
+        assert!(
+            (sweep.conductance - ideal).abs() < 1e-9,
+            "sweep {} vs ideal {}",
+            sweep.conductance,
+            ideal
+        );
+        // the cut must split the cliques cleanly
+        let side0: usize = (0..k).filter(|&v| sweep.in_set[v]).count();
+        assert!(side0 == 0 || side0 == k);
+    }
+
+    #[test]
+    fn sweep_conductance_lower_bounded_by_spectral_gap() {
+        // Φ ≥ (1-λ₂)/2 (easy Cheeger direction) for any cut the
+        // sweep returns, since Φ(sweep) ≥ Φ_G ≥ (1-λ₂)/2
+        for g in [fixtures::barbell(5, 1), fixtures::petersen(), fixtures::lollipop(6, 2)] {
+            let est = Slem::dense(&g).estimate().unwrap();
+            let lambda2 = est.lambda2.unwrap();
+            let sweep = spectral_sweep(&g, 1);
+            assert!(
+                sweep.conductance >= (1.0 - lambda2) / 2.0 - 1e-9,
+                "sweep Φ={} vs gap bound {}",
+                sweep.conductance,
+                (1.0 - lambda2) / 2.0
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_satisfies_cheeger_upper() {
+        // Φ(sweep) ≤ √(2(1-λ₂)) — the constructive Cheeger direction
+        for g in [fixtures::barbell(6, 0), fixtures::grid(5, 5)] {
+            let est = Slem::dense(&g).estimate().unwrap();
+            let lambda2 = est.lambda2.unwrap();
+            let sweep = spectral_sweep(&g, 2);
+            let cheeger = (2.0 * (1.0 - lambda2)).sqrt();
+            assert!(
+                sweep.conductance <= cheeger + 1e-9,
+                "sweep Φ={} vs Cheeger {}",
+                sweep.conductance,
+                cheeger
+            );
+        }
+    }
+
+    #[test]
+    fn complete_graph_has_high_conductance() {
+        let g = fixtures::complete(10);
+        let sweep = spectral_sweep(&g, 3);
+        assert!(sweep.conductance > 0.5);
+    }
+}

@@ -1,0 +1,163 @@
+//! Estimating µ from the sampled decay — a third, independent method.
+//!
+//! The paper's two methods are the spectral bound (µ via an
+//! eigensolver) and direct sampling (TVD series). They meet in the
+//! asymptotics: for large `t` the total variation distance decays as
+//! `TVD(t) ≈ C·µᵗ`, so the *slope of log TVD* over the tail of a
+//! sampled series is `ln µ`. Fitting that slope recovers µ from pure
+//! sampling — no eigensolver involved — giving a cross-check that
+//! exercises completely different code paths (and, on real
+//! measurements, a way to estimate µ when even the power iteration
+//! is too expensive).
+
+use crate::probe::ProbeResult;
+
+/// A µ estimate fitted from a TVD decay series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecayEstimate {
+    /// Fitted second largest eigenvalue modulus.
+    pub mu: f64,
+    /// Fitted prefactor `C` (`TVD(t) ≈ C·µᵗ`).
+    pub prefactor: f64,
+    /// R² of the log-linear fit — close to 1 when the series has
+    /// entered its asymptotic regime.
+    pub r_squared: f64,
+    /// Number of points used in the fit.
+    pub points: usize,
+}
+
+/// Fits `TVD(t) = C·µᵗ` on the tail of one TVD series by least
+/// squares on `ln TVD`.
+///
+/// Points below `floor` (default use: 1e-14) are excluded — they are
+/// dominated by floating-point noise. Returns `None` when fewer than
+/// 3 usable points remain or the series is not decaying.
+pub fn fit_decay(series: &[f64], skip: usize, floor: f64) -> Option<DecayEstimate> {
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .enumerate()
+        .skip(skip)
+        .filter(|(_, &d)| d > floor)
+        .map(|(t, &d)| ((t + 1) as f64, d.ln()))
+        .collect();
+    if pts.len() < 3 {
+        return None;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    if slope >= -1e-12 {
+        return None; // not decaying
+    }
+    // R²
+    let mean_y = sy / n;
+    let ss_tot: f64 = pts.iter().map(|p| (p.1 - mean_y) * (p.1 - mean_y)).sum();
+    let ss_res: f64 = pts
+        .iter()
+        .map(|p| {
+            let pred = intercept + slope * p.0;
+            (p.1 - pred) * (p.1 - pred)
+        })
+        .sum();
+    let r_squared = if ss_tot <= 0.0 {
+        1.0
+    } else {
+        (1.0 - ss_res / ss_tot).clamp(0.0, 1.0)
+    };
+    Some(DecayEstimate {
+        mu: slope.exp(),
+        prefactor: intercept.exp(),
+        points: pts.len(),
+        r_squared,
+    })
+}
+
+/// Fits µ from a probe result: averages the per-source TVD series
+/// (the mean decays at the same asymptotic rate, with less noise)
+/// and fits the asymptotic window — after the series first drops
+/// below 0.3 (pre-asymptotic transient excluded) and before it
+/// reaches floating-point noise.
+pub fn mu_from_probe(result: &ProbeResult) -> Option<DecayEstimate> {
+    let t_max = result.t_max();
+    if t_max < 6 {
+        return None;
+    }
+    let k = result.num_sources() as f64;
+    let mean: Vec<f64> = (1..=t_max)
+        .map(|t| result.tvds_at(t).iter().sum::<f64>() / k)
+        .collect();
+    let skip = mean.iter().position(|&d| d < 0.3).unwrap_or(t_max / 2);
+    fit_decay(&mean, skip, 1e-13)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::MixingProbe;
+    use crate::slem::Slem;
+    use socmix_gen::fixtures;
+
+    #[test]
+    fn fits_synthetic_decay_exactly() {
+        let mu = 0.85f64;
+        let c = 2.5;
+        let series: Vec<f64> = (1..=40).map(|t| c * mu.powi(t)).collect();
+        let est = fit_decay(&series, 0, 1e-13).unwrap();
+        assert!((est.mu - mu).abs() < 1e-9, "mu {}", est.mu);
+        assert!((est.prefactor - c).abs() < 1e-6);
+        assert!(est.r_squared > 0.999999);
+    }
+
+    #[test]
+    fn rejects_non_decaying_series() {
+        let flat = vec![0.5; 20];
+        assert!(fit_decay(&flat, 0, 1e-13).is_none());
+        let rising: Vec<f64> = (1..=20).map(|t| 0.01 * t as f64).collect();
+        assert!(fit_decay(&rising, 0, 1e-13).is_none());
+    }
+
+    #[test]
+    fn rejects_too_few_points() {
+        assert!(fit_decay(&[0.5, 0.25], 0, 1e-13).is_none());
+        assert!(fit_decay(&[0.5, 0.25, 0.125], 2, 1e-13).is_none());
+    }
+
+    #[test]
+    fn sampled_mu_matches_spectral_mu() {
+        // the cross-method check: decay-fitted µ ≈ eigensolver µ
+        for g in [fixtures::barbell(7, 0), fixtures::lollipop(8, 3), fixtures::petersen()] {
+            let spectral = Slem::dense(&g).estimate().unwrap().mu;
+            let probe = MixingProbe::new(&g);
+            let result = probe.all_sources(400);
+            let fitted = mu_from_probe(&result).expect("decaying series");
+            assert!(
+                (fitted.mu - spectral).abs() < 0.02,
+                "fitted {} vs spectral {} (R² {})",
+                fitted.mu,
+                spectral,
+                fitted.r_squared
+            );
+            assert!(fitted.r_squared > 0.95);
+        }
+    }
+
+    #[test]
+    fn floor_excludes_numerical_noise() {
+        let mu = 0.5f64;
+        let mut series: Vec<f64> = (1..=60).map(|t| mu.powi(t)).collect();
+        // simulate the floating-point floor
+        for d in series.iter_mut() {
+            *d = d.max(1e-16);
+        }
+        let est = fit_decay(&series, 0, 1e-13).unwrap();
+        assert!((est.mu - mu).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,205 @@
+//! One-call measurement summary — the "what is this graph's mixing
+//! time" API a downstream user reaches for first.
+//!
+//! Bundles the paper's full methodology behind one function:
+//! preprocessing check (connectivity), SLEM (method 1), Theorem-2
+//! bounds, sampled per-source measurement (method 2), and the
+//! average/coverage variants, rendered as a readable report.
+
+use crate::average::{average_mixing_time, coverage_mixing_time};
+use crate::bounds::MixingBounds;
+use crate::probe::MixingProbe;
+use crate::slem::{Slem, SlemError};
+use socmix_graph::Graph;
+
+/// Options for [`measure`].
+#[derive(Debug, Clone, Copy)]
+pub struct MeasureOptions {
+    /// Variation-distance target ε.
+    pub epsilon: f64,
+    /// Number of random probe sources (the paper uses 1000).
+    pub sources: usize,
+    /// Walk-length budget for the sampled measurement.
+    pub t_max: usize,
+    /// Seed for source sampling and the eigensolver start.
+    pub seed: u64,
+}
+
+impl Default for MeasureOptions {
+    fn default() -> Self {
+        MeasureOptions {
+            epsilon: 0.1,
+            sources: 1000,
+            t_max: 5_000,
+            seed: 7,
+        }
+    }
+}
+
+/// The combined measurement of one graph.
+#[derive(Debug, Clone)]
+pub struct MixingReport {
+    pub nodes: usize,
+    pub edges: usize,
+    pub epsilon: f64,
+    /// Second largest eigenvalue modulus (eigensolver).
+    pub mu: f64,
+    /// µ independently fitted from the sampled TVD decay
+    /// ([`crate::decay::mu_from_probe`]); `None` when the series has
+    /// not entered its asymptotic regime within the budget.
+    pub mu_decay_fit: Option<f64>,
+    /// Theorem-2 lower bound on T(ε).
+    pub lower_bound: f64,
+    /// Theorem-2 upper bound on T(ε).
+    pub upper_bound: f64,
+    /// Sampled worst-case mixing time over the probed sources
+    /// (None if the budget was exceeded).
+    pub sampled_worst: Option<usize>,
+    /// Sampled average-case mixing time.
+    pub sampled_average: Option<usize>,
+    /// Walk length serving 90% of probed sources.
+    pub coverage_90: Option<usize>,
+    /// Number of sources actually probed.
+    pub sources: usize,
+    /// Whether the graph passes the fast-mixing bar the Sybil papers
+    /// assume (T(1/n) = O(log n), constant 25).
+    pub fast_mixing: bool,
+}
+
+impl MixingReport {
+    /// Renders the report as aligned text.
+    pub fn render(&self) -> String {
+        let show = |o: Option<usize>| o.map(|t| t.to_string()).unwrap_or_else(|| "> budget".into());
+        format!(
+            "nodes:            {}\n\
+             edges:            {}\n\
+             mu (SLEM):        {:.8}\n\
+             mu (decay fit):   {}\n\
+             T({}) bounds:     [{:.1}, {:.1}]\n\
+             sampled worst:    {}  ({} sources)\n\
+             sampled average:  {}\n\
+             90% coverage:     {}\n\
+             fast mixing bar:  {}\n",
+            self.nodes,
+            self.edges,
+            self.mu,
+            self.mu_decay_fit
+                .map(|m| format!("{m:.8}"))
+                .unwrap_or_else(|| "n/a (pre-asymptotic)".into()),
+            self.epsilon,
+            self.lower_bound,
+            self.upper_bound,
+            show(self.sampled_worst),
+            self.sources,
+            show(self.sampled_average),
+            show(self.coverage_90),
+            if self.fast_mixing { "passes" } else { "FAILS" },
+        )
+    }
+}
+
+/// Measures the mixing time of `g` with both of the paper's methods.
+///
+/// Requires a connected graph (extract the LCC first, as the paper
+/// does); bipartite graphs are probed with the lazy kernel.
+pub fn measure(g: &Graph, opts: MeasureOptions) -> Result<MixingReport, SlemError> {
+    let est = Slem::auto(g).seed(opts.seed).estimate()?;
+    let bounds = MixingBounds::new(est.mu, g.num_nodes());
+    let probe = MixingProbe::new(g).auto_kernel();
+    let result = probe.probe_random_sources(opts.sources, opts.t_max, opts.seed);
+    Ok(MixingReport {
+        nodes: g.num_nodes(),
+        edges: g.num_edges(),
+        epsilon: opts.epsilon,
+        mu: est.mu,
+        mu_decay_fit: crate::decay::mu_from_probe(&result).map(|d| d.mu),
+        lower_bound: bounds.lower(opts.epsilon),
+        upper_bound: bounds.upper(opts.epsilon),
+        sampled_worst: result.mixing_time(opts.epsilon),
+        sampled_average: average_mixing_time(&result, opts.epsilon),
+        coverage_90: coverage_mixing_time(&result, opts.epsilon, 0.9),
+        sources: result.num_sources(),
+        fast_mixing: bounds.is_fast_mixing(25.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socmix_gen::fixtures;
+
+    fn quick_opts() -> MeasureOptions {
+        MeasureOptions {
+            epsilon: 0.1,
+            sources: 20,
+            t_max: 3_000,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn report_on_expander() {
+        let g = fixtures::petersen();
+        let r = measure(&g, quick_opts()).unwrap();
+        assert_eq!(r.nodes, 10);
+        assert!(r.mu < 0.8);
+        assert!(r.sampled_worst.unwrap() < 20);
+        assert!(r.fast_mixing);
+    }
+
+    #[test]
+    fn report_on_bottleneck() {
+        let g = fixtures::barbell(10, 0);
+        let r = measure(&g, quick_opts()).unwrap();
+        assert!(r.mu > 0.95);
+        // the decay-fitted µ agrees with the eigensolver
+        let fit = r.mu_decay_fit.expect("long budget: asymptotic regime reached");
+        assert!((fit - r.mu).abs() < 0.03, "fit {fit} vs spectral {}", r.mu);
+        let worst = r.sampled_worst.unwrap() as f64;
+        assert!(worst >= r.lower_bound.floor());
+        assert!(worst <= r.upper_bound.ceil() + 1.0);
+        assert!(r.sampled_average.unwrap() <= r.sampled_worst.unwrap());
+        assert!(r.coverage_90.unwrap() <= r.sampled_worst.unwrap());
+    }
+
+    #[test]
+    fn report_renders() {
+        let g = fixtures::petersen();
+        let r = measure(&g, quick_opts()).unwrap();
+        let text = r.render();
+        assert!(text.contains("mu (SLEM):"));
+        assert!(text.contains("passes"));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_honest() {
+        let g = fixtures::barbell(12, 4);
+        let r = measure(
+            &g,
+            MeasureOptions {
+                t_max: 3,
+                sources: 5,
+                ..quick_opts()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.sampled_worst, None);
+        assert!(r.render().contains("> budget"));
+    }
+
+    #[test]
+    fn disconnected_rejected() {
+        use socmix_graph::GraphBuilder;
+        let g = GraphBuilder::from_edges([(0, 1), (2, 3)]).build();
+        assert!(measure(&g, quick_opts()).is_err());
+    }
+
+    #[test]
+    fn bipartite_handled_via_lazy_kernel() {
+        let g = fixtures::complete_bipartite(4, 5);
+        let r = measure(&g, quick_opts()).unwrap();
+        // µ = 1 ⇒ bounds are infinite, but the lazy probe still mixes
+        assert!(r.lower_bound.is_infinite());
+        assert!(r.sampled_worst.is_some(), "lazy kernel must converge");
+    }
+}

@@ -1,0 +1,194 @@
+//! Preferential-attachment models.
+//!
+//! Online social networks — the paper's *fast-mixing* category
+//! (wiki-vote, Facebook, Slashdot) — have heavy-tailed degree
+//! distributions and expander-like cores; Barabási–Albert growth
+//! reproduces the former and, with the Holme–Kim triad-closure step,
+//! also the high clustering of friendship graphs.
+
+use rand::Rng;
+use socmix_graph::{Graph, GraphBuilder, NodeId};
+
+/// Barabási–Albert: grow from an `m+1`-clique, attaching each new node
+/// to `m` distinct existing nodes chosen proportionally to degree.
+///
+/// Implemented with the repeated-endpoint list so attachment is O(1)
+/// per edge. The result is always connected.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `n <= m`.
+pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Graph {
+    assert!(m >= 1, "attachment count must be positive");
+    assert!(n > m, "need more nodes than the attachment count");
+    let mut b = GraphBuilder::with_capacity(n * m);
+    // `endpoints` holds every edge endpoint; sampling uniformly from it
+    // is exactly degree-proportional sampling.
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * n * m);
+    // seed clique on m+1 nodes
+    for u in 0..=(m as NodeId) {
+        for v in (u + 1)..=(m as NodeId) {
+            b.add_edge(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    let mut targets = Vec::with_capacity(m);
+    for v in (m + 1)..n {
+        targets.clear();
+        while targets.len() < m {
+            let t = endpoints[rng.random_range(0..endpoints.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            b.add_edge(v as NodeId, t);
+            endpoints.push(v as NodeId);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+/// Holme–Kim: Barabási–Albert growth where, after each preferential
+/// attachment, with probability `p_triad` the *next* link of the same
+/// new node goes to a random neighbor of the previous target (closing
+/// a triangle) instead of a fresh preferential draw.
+///
+/// This keeps the power-law degree tail while raising clustering into
+/// the range observed on friendship graphs.
+pub fn holme_kim<R: Rng + ?Sized>(n: usize, m: usize, p_triad: f64, rng: &mut R) -> Graph {
+    assert!(m >= 1 && n > m);
+    assert!((0.0..=1.0).contains(&p_triad));
+    let mut b = GraphBuilder::with_capacity(n * m);
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * n * m);
+    // adjacency we maintain incrementally for the triad step
+    let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let link = |b: &mut GraphBuilder,
+                    endpoints: &mut Vec<NodeId>,
+                    adj: &mut Vec<Vec<NodeId>>,
+                    u: NodeId,
+                    v: NodeId| {
+        b.add_edge(u, v);
+        endpoints.push(u);
+        endpoints.push(v);
+        adj[u as usize].push(v);
+        adj[v as usize].push(u);
+    };
+    for u in 0..=(m as NodeId) {
+        for v in (u + 1)..=(m as NodeId) {
+            link(&mut b, &mut endpoints, &mut adj, u, v);
+        }
+    }
+    for v in (m + 1)..n {
+        let v = v as NodeId;
+        let mut added: Vec<NodeId> = Vec::with_capacity(m);
+        let mut last_target: Option<NodeId> = None;
+        while added.len() < m {
+            let candidate = if let Some(prev) = last_target {
+                if rng.random::<f64>() < p_triad {
+                    // triad closure: random neighbor of the previous target
+                    let nbrs = &adj[prev as usize];
+                    Some(nbrs[rng.random_range(0..nbrs.len())])
+                } else {
+                    None
+                }
+            } else {
+                None
+            };
+            let t = candidate
+                .filter(|t| *t != v && !added.contains(t))
+                .unwrap_or_else(|| {
+                    // fresh preferential draw
+                    loop {
+                        let t = endpoints[rng.random_range(0..endpoints.len())];
+                        if t != v && !added.contains(&t) {
+                            break t;
+                        }
+                    }
+                });
+            link(&mut b, &mut endpoints, &mut adj, v, t);
+            added.push(t);
+            last_target = Some(t);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use socmix_graph::components::is_connected;
+    use socmix_graph::stats::graph_stats;
+
+    #[test]
+    fn ba_counts_and_connectivity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (n, m) = (300, 4);
+        let g = barabasi_albert(n, m, &mut rng);
+        assert_eq!(g.num_nodes(), n);
+        // clique edges + m per new node
+        assert_eq!(g.num_edges(), m * (m + 1) / 2 + (n - m - 1) * m);
+        assert!(is_connected(&g));
+        assert!(g.min_degree() >= m);
+    }
+
+    #[test]
+    fn ba_has_heavy_tail() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = barabasi_albert(2000, 3, &mut rng);
+        // hubs should dwarf the average degree
+        assert!(g.max_degree() as f64 > 5.0 * g.avg_degree());
+    }
+
+    #[test]
+    fn ba_deterministic_per_seed() {
+        let a = barabasi_albert(200, 2, &mut StdRng::seed_from_u64(9));
+        let b = barabasi_albert(200, 2, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ba_minimal_case() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = barabasi_albert(2, 1, &mut rng);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ba_rejects_zero_m() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = barabasi_albert(10, 0, &mut rng);
+    }
+
+    #[test]
+    fn hk_counts_and_connectivity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = holme_kim(300, 3, 0.7, &mut rng);
+        assert_eq!(g.num_nodes(), 300);
+        assert_eq!(g.num_edges(), 3 * 4 / 2 + (300 - 4) * 3);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn hk_raises_clustering_over_ba() {
+        let ba = barabasi_albert(1500, 3, &mut StdRng::seed_from_u64(5));
+        let hk = holme_kim(1500, 3, 0.9, &mut StdRng::seed_from_u64(5));
+        let (tb, th) = (graph_stats(&ba).transitivity, graph_stats(&hk).transitivity);
+        assert!(
+            th > 2.0 * tb,
+            "triad closure should raise transitivity: ba={tb} hk={th}"
+        );
+    }
+
+    #[test]
+    fn hk_zero_triad_is_ba_like() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = holme_kim(100, 2, 0.0, &mut rng);
+        assert_eq!(g.num_edges(), 2 * 3 / 2 + 97 * 2);
+    }
+}

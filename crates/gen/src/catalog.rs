@@ -1,0 +1,545 @@
+//! The Table-1 dataset catalog: synthetic stand-ins for the paper's
+//! fifteen crawled social graphs.
+//!
+//! The original datasets are not redistributable, so each entry pairs
+//! the paper's reported node/edge counts with a deterministic
+//! generator recipe matched on size, density and *mixing class*
+//! (fast interaction graphs vs. slow acquaintance graphs — the
+//! distinction the paper's Section 3.4 draws). DESIGN.md §2 documents
+//! why this substitution preserves the measured behaviour.
+//!
+//! The µ column of Table 1 is not recoverable from the provided paper
+//! text (the digits were garbled in extraction), so calibration
+//! targets the *qualitative* classes established by the paper's
+//! Figures 1–2: at ε = 0.1 the physics/Enron/Epinion graphs need walk
+//! lengths of 200–400, Livejournal 1500–2500, and
+//! DBLP/Youtube/Facebook 100–400, while wiki-vote and Slashdot are
+//! fast. EXPERIMENTS.md records our measured µ per stand-in next to
+//! those targets.
+
+use crate::hierarchy::HierarchyParams;
+use crate::social::{CoauthorshipParams, SocialParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socmix_graph::Graph;
+
+/// Qualitative mixing-speed class from the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MixingClass {
+    /// Online graphs the paper found fast (wiki-vote, Slashdot,
+    /// Facebook NOLA).
+    Fast,
+    /// Large online graphs with moderate mixing (Facebook A/B,
+    /// Youtube, DBLP).
+    Moderate,
+    /// Acquaintance graphs with pronounced community structure
+    /// (physics co-authorship, Enron, Epinion).
+    Slow,
+    /// Livejournal — the slowest graphs in the paper (T(0.1) of
+    /// 1500–2500).
+    VerySlow,
+}
+
+/// The trust model the paper associates with each dataset category
+/// (its Section 3.4 / discussion): Sybil defenses assume
+/// acquaintance-level trust, which is precisely where mixing is slow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrustModel {
+    /// Physical acquaintance implied (co-authorship, corporate email).
+    Acquaintance,
+    /// Interaction required but not physical acquaintance
+    /// (Youtube, Livejournal).
+    Interaction,
+    /// Weak/no prior knowledge between endpoints (wiki votes,
+    /// Facebook links, Slashdot tags).
+    Weak,
+}
+
+/// A generator recipe for a catalog stand-in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Recipe {
+    /// Community-structured Chung–Lu model; see [`SocialParams`].
+    Community {
+        avg_degree: f64,
+        community_size: usize,
+        inter_fraction: f64,
+        gamma: f64,
+    },
+    /// Affiliation (paper-clique) model for co-authorship graphs; see
+    /// [`CoauthorshipParams`]. Reproduces the dense degree core that
+    /// makes the paper's Figure-6 trimming study meaningful.
+    Coauthorship {
+        groups_per_node: f64,
+        size_alpha: f64,
+        max_group: usize,
+        community_size: usize,
+        crossover: f64,
+    },
+    /// Hierarchical community model for the million-node crawls; see
+    /// [`HierarchyParams`]. Nested communities make µ grow with the
+    /// node count, which is what produces the Figure-7 trend (larger
+    /// BFS samples mix more slowly).
+    Hierarchy {
+        avg_degree: f64,
+        leaf_size: usize,
+        branching: usize,
+        inter_fraction: f64,
+        decay: f64,
+    },
+}
+
+/// One of the paper's fifteen datasets.
+///
+/// # Example
+///
+/// ```
+/// use socmix_gen::Dataset;
+/// let g = Dataset::WikiVote.generate(0.05, 7);
+/// assert!(socmix_graph::components::is_connected(&g));
+/// // density tracks the paper's Table-1 counts
+/// assert!((g.avg_degree() - Dataset::WikiVote.paper_avg_degree()).abs() < 15.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    WikiVote,
+    Slashdot1,
+    Slashdot2,
+    Facebook,
+    Physics1,
+    Physics2,
+    Physics3,
+    Enron,
+    Epinion,
+    Dblp,
+    FacebookA,
+    FacebookB,
+    LivejournalA,
+    LivejournalB,
+    Youtube,
+}
+
+impl Dataset {
+    /// All fifteen datasets in Table-1 order.
+    pub fn all() -> &'static [Dataset] {
+        use Dataset::*;
+        &[
+            WikiVote,
+            Slashdot2,
+            Slashdot1,
+            Facebook,
+            Physics1,
+            Physics2,
+            Physics3,
+            Enron,
+            Epinion,
+            Dblp,
+            FacebookA,
+            FacebookB,
+            LivejournalA,
+            LivejournalB,
+            Youtube,
+        ]
+    }
+
+    /// The Figure-1 "small datasets" panel.
+    pub fn small_set() -> &'static [Dataset] {
+        use Dataset::*;
+        &[
+            Enron, Slashdot1, Slashdot2, Epinion, Physics1, Physics2, Physics3, WikiVote,
+        ]
+    }
+
+    /// The Figure-2 "large datasets" panel.
+    pub fn large_set() -> &'static [Dataset] {
+        use Dataset::*;
+        &[FacebookA, FacebookB, Dblp, Youtube, LivejournalA, LivejournalB]
+    }
+
+    /// Human-readable name as printed in the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dataset::WikiVote => "Wiki-vote",
+            Dataset::Slashdot1 => "Slashdot 1",
+            Dataset::Slashdot2 => "Slashdot 2",
+            Dataset::Facebook => "Facebook",
+            Dataset::Physics1 => "Physics 1",
+            Dataset::Physics2 => "Physics 2",
+            Dataset::Physics3 => "Physics 3",
+            Dataset::Enron => "Enron",
+            Dataset::Epinion => "Epinion",
+            Dataset::Dblp => "DBLP",
+            Dataset::FacebookA => "Facebook A",
+            Dataset::FacebookB => "Facebook B",
+            Dataset::LivejournalA => "Livejournal A",
+            Dataset::LivejournalB => "Livejournal B",
+            Dataset::Youtube => "Youtube",
+        }
+    }
+
+    /// Node count reported in the paper's Table 1 (largest connected
+    /// component after symmetrization).
+    pub fn paper_nodes(&self) -> usize {
+        match self {
+            Dataset::WikiVote => 7_066,
+            Dataset::Slashdot1 => 82_168,
+            Dataset::Slashdot2 => 77_360,
+            Dataset::Facebook => 63_392,
+            Dataset::Physics1 => 4_158,
+            Dataset::Physics2 => 11_204,
+            Dataset::Physics3 => 8_638,
+            Dataset::Enron => 33_696,
+            Dataset::Epinion => 75_877,
+            Dataset::Dblp => 614_981,
+            Dataset::FacebookA => 1_000_000,
+            Dataset::FacebookB => 1_000_000,
+            Dataset::LivejournalA => 1_000_000,
+            Dataset::LivejournalB => 1_000_000,
+            Dataset::Youtube => 1_134_890,
+        }
+    }
+
+    /// Edge count reported in the paper's Table 1.
+    pub fn paper_edges(&self) -> usize {
+        match self {
+            Dataset::WikiVote => 100_736,
+            Dataset::Slashdot1 => 582_533,
+            Dataset::Slashdot2 => 546_487,
+            Dataset::Facebook => 816_886,
+            Dataset::Physics1 => 13_422,
+            Dataset::Physics2 => 117_619,
+            Dataset::Physics3 => 24_806,
+            Dataset::Enron => 180_811,
+            Dataset::Epinion => 405_739,
+            Dataset::Dblp => 1_155_148,
+            Dataset::FacebookA => 20_353_734,
+            Dataset::FacebookB => 15_807_563,
+            Dataset::LivejournalA => 26_151_771,
+            Dataset::LivejournalB => 27_562_349,
+            Dataset::Youtube => 2_987_624,
+        }
+    }
+
+    /// Average degree implied by the paper's counts.
+    pub fn paper_avg_degree(&self) -> f64 {
+        2.0 * self.paper_edges() as f64 / self.paper_nodes() as f64
+    }
+
+    /// Qualitative mixing class from the paper's Figures 1–2.
+    pub fn mixing_class(&self) -> MixingClass {
+        match self {
+            Dataset::WikiVote | Dataset::Slashdot1 | Dataset::Slashdot2 | Dataset::Facebook => {
+                MixingClass::Fast
+            }
+            Dataset::Dblp | Dataset::FacebookA | Dataset::FacebookB | Dataset::Youtube => {
+                MixingClass::Moderate
+            }
+            Dataset::Physics1
+            | Dataset::Physics2
+            | Dataset::Physics3
+            | Dataset::Enron
+            | Dataset::Epinion => MixingClass::Slow,
+            Dataset::LivejournalA | Dataset::LivejournalB => MixingClass::VerySlow,
+        }
+    }
+
+    /// Trust model the paper assigns to the dataset's category.
+    pub fn trust_model(&self) -> TrustModel {
+        match self {
+            Dataset::Physics1
+            | Dataset::Physics2
+            | Dataset::Physics3
+            | Dataset::Enron
+            | Dataset::Dblp => TrustModel::Acquaintance,
+            Dataset::Youtube
+            | Dataset::LivejournalA
+            | Dataset::LivejournalB
+            | Dataset::Epinion => TrustModel::Interaction,
+            Dataset::WikiVote
+            | Dataset::Slashdot1
+            | Dataset::Slashdot2
+            | Dataset::Facebook
+            | Dataset::FacebookA
+            | Dataset::FacebookB => TrustModel::Weak,
+        }
+    }
+
+    /// The generator recipe for this dataset's stand-in.
+    ///
+    /// Density parameters derive from the paper's counts; the
+    /// community knobs are calibrated so each [`MixingClass`] lands in
+    /// its observed mixing regime (the classes are ordered
+    /// Fast < Moderate < Slow < VerySlow in measured lower-bound
+    /// mixing time — an integration test enforces this ordering).
+    pub fn recipe(&self) -> Recipe {
+        // Knobs below were calibrated empirically (Lanczos µ on 10k-node
+        // instances) so each dataset's T(0.1) lower bound lands in the
+        // band its paper figure shows: Fast µ ≈ 0.9 (wiki-vote's
+        // reported 0.899), physics/Enron/Epinion T(0.1) ≈ 130–250,
+        // DBLP/Youtube/Facebook-crawl ≈ 180–400, Livejournal ≈ 1900.
+        // EXPERIMENTS.md records the measured values per run.
+        let avg = self.paper_avg_degree();
+        match self.mixing_class() {
+            MixingClass::Fast => Recipe::Community {
+                avg_degree: avg,
+                community_size: 100,
+                inter_fraction: 0.12,
+                gamma: 2.3,
+            },
+            MixingClass::Moderate => match self {
+                // DBLP is a co-authorship graph too
+                Dataset::Dblp => Recipe::Coauthorship {
+                    groups_per_node: 0.75,
+                    size_alpha: 3.0,
+                    max_group: 20,
+                    community_size: 50,
+                    crossover: 0.10,
+                },
+                Dataset::Youtube => Recipe::Community {
+                    avg_degree: avg,
+                    community_size: 20,
+                    inter_fraction: 0.08,
+                    gamma: 2.5,
+                },
+                // million-node Facebook crawls: nested communities,
+                // dense low levels, moderately thin high levels
+                _ => Recipe::Hierarchy {
+                    avg_degree: avg,
+                    leaf_size: 50,
+                    branching: 4,
+                    inter_fraction: match self {
+                        Dataset::FacebookB => 0.10,
+                        _ => 0.08,
+                    },
+                    decay: 0.45,
+                },
+            },
+            MixingClass::Slow => match self {
+                // co-authorship graphs: unions of paper cliques inside
+                // topical communities (gives the dense degree core the
+                // Figure-6 trimming study relies on)
+                Dataset::Physics1 => Recipe::Coauthorship {
+                    groups_per_node: 1.4,
+                    size_alpha: 2.8,
+                    max_group: 20,
+                    community_size: 40,
+                    crossover: 0.08,
+                },
+                Dataset::Physics2 => Recipe::Coauthorship {
+                    groups_per_node: 1.2,
+                    size_alpha: 2.0,
+                    max_group: 80,
+                    community_size: 60,
+                    crossover: 0.05,
+                },
+                Dataset::Physics3 => Recipe::Coauthorship {
+                    groups_per_node: 1.45,
+                    size_alpha: 3.0,
+                    max_group: 15,
+                    community_size: 40,
+                    crossover: 0.12,
+                },
+                // Enron (email) / Epinion (trust): community-structured
+                // but not clique unions
+                _ => Recipe::Community {
+                    avg_degree: avg,
+                    community_size: 40,
+                    inter_fraction: 0.02,
+                    gamma: 2.8,
+                },
+            },
+            MixingClass::VerySlow => Recipe::Hierarchy {
+                avg_degree: avg,
+                leaf_size: 100,
+                branching: 4,
+                inter_fraction: 0.015,
+                decay: 0.30,
+            },
+        }
+    }
+
+    /// Node count at the given scale (≥ 64, ≤ paper size).
+    pub fn scaled_nodes(&self, scale: f64) -> usize {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        ((self.paper_nodes() as f64 * scale).round() as usize)
+            .max(64)
+            .min(self.paper_nodes())
+    }
+
+    /// Generates the stand-in at `scale` (1.0 = paper size).
+    ///
+    /// Deterministic in `(self, scale, seed)`. The result is always
+    /// connected (the paper measures LCCs). Density and community
+    /// structure are scale-invariant: shrinking `scale` reduces the
+    /// number of communities, not their size, so the local structure —
+    /// and with it the mixing class — is preserved.
+    pub fn generate(&self, scale: f64, seed: u64) -> Graph {
+        let n = self.scaled_nodes(scale);
+        // Per-dataset stream so different datasets at the same seed are
+        // independent.
+        let stream = seed ^ fnv1a(self.name().as_bytes());
+        let mut rng = StdRng::seed_from_u64(stream);
+        match self.recipe() {
+            Recipe::Coauthorship {
+                groups_per_node,
+                size_alpha,
+                max_group,
+                community_size,
+                crossover,
+            } => CoauthorshipParams {
+                nodes: n,
+                groups_per_node,
+                size_alpha,
+                max_group,
+                author_gamma: 2.6,
+                community_size,
+                crossover,
+            }
+            .generate(&mut rng),
+            Recipe::Hierarchy {
+                avg_degree,
+                leaf_size,
+                branching,
+                inter_fraction,
+                decay,
+            } => HierarchyParams {
+                nodes: n,
+                avg_degree,
+                leaf_size,
+                branching,
+                inter_fraction,
+                decay,
+                gamma: 2.5,
+            }
+            .generate(&mut rng),
+            Recipe::Community {
+                avg_degree,
+                community_size,
+                inter_fraction,
+                gamma,
+            } => SocialParams {
+                nodes: n,
+                avg_degree,
+                community_size,
+                inter_fraction,
+                gamma,
+            }
+            .generate(&mut rng),
+        }
+    }
+}
+
+impl std::fmt::Display for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// FNV-1a, used to derive a per-dataset RNG stream from its name.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socmix_graph::components::is_connected;
+
+    #[test]
+    fn all_has_fifteen_entries() {
+        assert_eq!(Dataset::all().len(), 15);
+        let mut names: Vec<_> = Dataset::all().iter().map(|d| d.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 15, "names must be unique");
+    }
+
+    #[test]
+    fn panels_partition_sensibly() {
+        for d in Dataset::small_set() {
+            assert!(d.paper_nodes() < 100_000);
+        }
+        for d in Dataset::large_set() {
+            assert!(d.paper_nodes() > 500_000);
+        }
+    }
+
+    #[test]
+    fn paper_counts_are_plausible() {
+        for d in Dataset::all() {
+            let avg = d.paper_avg_degree();
+            assert!(avg > 2.0 && avg < 60.0, "{d}: avg degree {avg}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Dataset::Physics1.generate(0.1, 42);
+        let b = Dataset::Physics1.generate(0.1, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Dataset::Physics1.generate(0.1, 1);
+        let b = Dataset::Physics1.generate(0.1, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn generated_graphs_are_connected() {
+        for d in [
+            Dataset::WikiVote,
+            Dataset::Physics1,
+            Dataset::LivejournalA,
+            Dataset::Youtube,
+        ] {
+            let g = d.generate(0.02, 7);
+            assert!(is_connected(&g), "{d} stand-in disconnected");
+        }
+    }
+
+    #[test]
+    fn scaled_density_tracks_paper() {
+        for d in [Dataset::WikiVote, Dataset::Enron, Dataset::Dblp] {
+            let g = d.generate(0.05, 3);
+            let target = d.paper_avg_degree();
+            let got = g.avg_degree();
+            assert!(
+                got > 0.4 * target && got < 1.8 * target,
+                "{d}: avg degree {got} vs paper {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_nodes_floors_and_caps() {
+        assert_eq!(Dataset::Physics1.scaled_nodes(1.0), 4158);
+        assert_eq!(Dataset::Physics1.scaled_nodes(1e-6), 64);
+        assert!(Dataset::FacebookA.scaled_nodes(0.01) == 10_000);
+    }
+
+    #[test]
+    #[should_panic]
+    fn scale_above_one_rejected() {
+        let _ = Dataset::Physics1.scaled_nodes(1.5);
+    }
+
+    #[test]
+    fn classes_cover_all_variants() {
+        use std::collections::HashSet;
+        let classes: HashSet<_> = Dataset::all().iter().map(|d| d.mixing_class()).collect();
+        assert_eq!(classes.len(), 4);
+        let trusts: HashSet<_> = Dataset::all().iter().map(|d| d.trust_model()).collect();
+        assert_eq!(trusts.len(), 3);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Dataset::WikiVote.to_string(), "Wiki-vote");
+    }
+}

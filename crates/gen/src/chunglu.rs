@@ -1,0 +1,176 @@
+//! Chung–Lu graphs: random graphs with a prescribed expected degree
+//! sequence.
+//!
+//! Crawled social graphs have power-law degree tails; Chung–Lu with
+//! power-law weights is the standard null model that matches the tail
+//! without imposing growth dynamics. The catalog uses it inside
+//! communities so the stand-ins match both the density *and* the
+//! degree shape of the paper's datasets.
+
+use rand::Rng;
+use socmix_graph::{Graph, GraphBuilder, NodeId};
+
+/// Samples a Chung–Lu graph: edge `{u,v}` appears independently with
+/// probability `min(1, w_u·w_v / Σw)`.
+///
+/// Implemented with the Miller–Hagberg sorted-weight algorithm:
+/// O(n + m) expected when weights are sorted descending (done
+/// internally; node ids keep the caller's order).
+pub fn chung_lu<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> Graph {
+    let n = weights.len();
+    let mut b = GraphBuilder::new();
+    b.grow_to(n);
+    if n < 2 {
+        return b.build();
+    }
+    assert!(
+        weights.iter().all(|&w| w.is_finite() && w >= 0.0),
+        "weights must be non-negative and finite"
+    );
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return b.build();
+    }
+    // sort node indices by weight descending
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b2| weights[b2].partial_cmp(&weights[a]).unwrap());
+    let w = |i: usize| weights[order[i]];
+    for i in 0..(n - 1) {
+        let wi = w(i);
+        if wi <= 0.0 {
+            break; // all remaining weights are 0
+        }
+        let mut j = i + 1;
+        // probability for the first candidate
+        let mut p = (wi * w(j) / total).min(1.0);
+        while j < n && p > 0.0 {
+            if p < 1.0 {
+                // geometric skip
+                let r: f64 = rng.random();
+                let skip = ((1.0 - r).ln() / (1.0 - p).ln()).floor() as usize;
+                j += skip;
+            }
+            if j >= n {
+                break;
+            }
+            let q = (wi * w(j) / total).min(1.0);
+            // accept with q/p (q ≤ p since weights sorted descending)
+            if rng.random::<f64>() < q / p {
+                b.add_edge(order[i] as NodeId, order[j] as NodeId);
+            }
+            p = q;
+            j += 1;
+        }
+    }
+    b.build()
+}
+
+/// Power-law weights `w_v ∝ (v+v0)^(−1/(γ−1))` scaled so the mean is
+/// `avg_degree` — the standard construction giving a degree
+/// distribution with tail exponent `γ`.
+///
+/// # Panics
+///
+/// Panics unless `γ > 2` (finite mean) and `avg_degree > 0`.
+pub fn powerlaw_weights(n: usize, gamma: f64, avg_degree: f64) -> Vec<f64> {
+    assert!(gamma > 2.0, "need γ > 2 for a finite mean");
+    assert!(avg_degree > 0.0);
+    if n == 0 {
+        return Vec::new();
+    }
+    let alpha = 1.0 / (gamma - 1.0);
+    let raw: Vec<f64> = (0..n).map(|v| ((v + 1) as f64).powf(-alpha)).collect();
+    let mean: f64 = raw.iter().sum::<f64>() / n as f64;
+    let scale = avg_degree / mean;
+    raw.into_iter().map(|w| w * scale).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_weights_match_er_density() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = 500;
+        let weights = vec![10.0; n]; // expected degree 10 each
+        let g = chung_lu(&weights, &mut rng);
+        let expect = 10.0 * n as f64 / 2.0;
+        let got = g.num_edges() as f64;
+        assert!(
+            (got - expect).abs() < 0.15 * expect,
+            "got {got}, expected ≈{expect}"
+        );
+    }
+
+    #[test]
+    fn zero_weights_no_edges() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = chung_lu(&[0.0; 10], &mut rng);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn mixed_zero_and_positive() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut w = vec![0.0; 50];
+        w.extend(vec![20.0; 50]);
+        let g = chung_lu(&w, &mut rng);
+        // zero-weight nodes stay isolated
+        for v in 0..50 {
+            assert_eq!(g.degree(v), 0);
+        }
+        assert!(g.num_edges() > 0);
+    }
+
+    #[test]
+    fn expected_degrees_track_weights() {
+        // high-weight node should end up with much higher degree
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 2000;
+        let mut weights = vec![2.0; n];
+        weights[0] = 200.0;
+        let g = chung_lu(&weights, &mut rng);
+        assert!(
+            g.degree(0) > 50,
+            "hub degree {} too small for weight 200",
+            g.degree(0)
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let w = powerlaw_weights(300, 2.5, 8.0);
+        let a = chung_lu(&w, &mut StdRng::seed_from_u64(5));
+        let b = chung_lu(&w, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn powerlaw_weights_mean_is_avg_degree() {
+        let w = powerlaw_weights(1000, 2.5, 12.0);
+        let mean = w.iter().sum::<f64>() / w.len() as f64;
+        assert!((mean - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn powerlaw_weights_are_decreasing() {
+        let w = powerlaw_weights(100, 3.0, 5.0);
+        assert!(w.windows(2).all(|p| p[0] >= p[1]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn powerlaw_rejects_gamma_below_two() {
+        let _ = powerlaw_weights(10, 1.5, 3.0);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(chung_lu(&[], &mut rng).num_nodes(), 0);
+        assert_eq!(chung_lu(&[5.0], &mut rng).num_edges(), 0);
+    }
+}

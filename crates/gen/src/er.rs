@@ -1,0 +1,172 @@
+//! Erdős–Rényi random graphs.
+
+use rand::Rng;
+use socmix_graph::{Graph, GraphBuilder, NodeId};
+
+/// `G(n, p)`: each of the `C(n,2)` possible edges appears independently
+/// with probability `p`.
+///
+/// Uses geometric skipping (Batagelj–Brandes) so the cost is
+/// `O(n + m)` rather than `O(n²)`, which matters for the sparse
+/// regimes social graphs live in.
+pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut b = GraphBuilder::new();
+    b.grow_to(n);
+    if n < 2 || p == 0.0 {
+        return b.build();
+    }
+    if p >= 1.0 {
+        for u in 0..n {
+            for v in (u + 1)..n {
+                b.add_edge(u as NodeId, v as NodeId);
+            }
+        }
+        return b.build();
+    }
+    // Walk the upper-triangular edge index space with geometric jumps.
+    let lq = (1.0 - p).ln();
+    let (mut v, mut w) = (1usize, usize::MAX);
+    loop {
+        let r: f64 = rng.random::<f64>();
+        let skip = ((1.0 - r).ln() / lq).floor() as usize;
+        w = w.wrapping_add(skip).wrapping_add(1);
+        while w >= v && v < n {
+            w -= v;
+            v += 1;
+        }
+        if v >= n {
+            break;
+        }
+        b.add_edge(w as NodeId, v as NodeId);
+    }
+    b.build()
+}
+
+/// `G(n, m)`: exactly `m` distinct edges drawn uniformly from the
+/// `C(n,2)` possibilities.
+///
+/// # Panics
+///
+/// Panics if `m > C(n,2)`.
+pub fn gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Graph {
+    let max = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(m <= max, "m={m} exceeds C({n},2)={max}");
+    let mut b = GraphBuilder::new();
+    b.grow_to(n);
+    if m == 0 {
+        return b.build();
+    }
+    // Rejection sampling over a hash set of canonical pairs — expected
+    // O(m) when m is far from max, which is always the case for social
+    // densities; fall back to dense enumeration near the ceiling.
+    if m * 3 >= max {
+        let mut all: Vec<(NodeId, NodeId)> = Vec::with_capacity(max);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                all.push((u as NodeId, v as NodeId));
+            }
+        }
+        // partial Fisher–Yates for the first m picks
+        for i in 0..m {
+            let j = rng.random_range(i..all.len());
+            all.swap(i, j);
+            let (u, v) = all[i];
+            b.add_edge(u, v);
+        }
+        return b.build();
+    }
+    let mut chosen = std::collections::HashSet::with_capacity(m * 2);
+    while chosen.len() < m {
+        let u = rng.random_range(0..n as NodeId);
+        let v = rng.random_range(0..n as NodeId);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if chosen.insert(key) {
+            b.add_edge(key.0, key.1);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let g0 = gnp(10, 0.0, &mut rng);
+        assert_eq!(g0.num_edges(), 0);
+        let g1 = gnp(10, 1.0, &mut rng);
+        assert_eq!(g1.num_edges(), 45);
+    }
+
+    #[test]
+    fn gnp_edge_count_near_expectation() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let (n, p) = (400, 0.05);
+        let g = gnp(n, p, &mut rng);
+        let expect = p * (n * (n - 1) / 2) as f64;
+        let got = g.num_edges() as f64;
+        // 5 standard deviations of a Binomial(C(n,2), p)
+        let sd = (expect * (1.0 - p)).sqrt();
+        assert!((got - expect).abs() < 5.0 * sd, "got {got}, expected {expect}±{sd}");
+    }
+
+    #[test]
+    fn gnp_deterministic_per_seed() {
+        let a = gnp(100, 0.1, &mut StdRng::seed_from_u64(7));
+        let b = gnp(100, 0.1, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gnp_small_n() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(gnp(0, 0.5, &mut rng).num_nodes(), 0);
+        assert_eq!(gnp(1, 0.5, &mut rng).num_edges(), 0);
+    }
+
+    #[test]
+    fn gnm_exact_count() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = gnm(50, 200, &mut rng);
+        assert_eq!(g.num_nodes(), 50);
+        assert_eq!(g.num_edges(), 200);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn gnm_dense_path() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // m close to max triggers the Fisher–Yates path
+        let g = gnm(10, 40, &mut rng);
+        assert_eq!(g.num_edges(), 40);
+    }
+
+    #[test]
+    fn gnm_full_graph() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = gnm(8, 28, &mut rng);
+        assert_eq!(g.num_edges(), 28);
+        assert!(g.nodes().all(|v| g.degree(v) == 7));
+    }
+
+    #[test]
+    #[should_panic]
+    fn gnm_over_max_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = gnm(4, 7, &mut rng);
+    }
+
+    #[test]
+    fn gnm_zero_edges() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(gnm(5, 0, &mut rng).num_edges(), 0);
+    }
+}

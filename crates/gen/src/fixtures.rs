@@ -1,0 +1,285 @@
+//! Deterministic graph fixtures with known structure.
+//!
+//! Several of these have closed-form random-walk spectra, which the
+//! eigensolver tests in `socmix-linalg` and `socmix-core` check
+//! against:
+//!
+//! - cycle `C_n`: eigenvalues of `P` are `cos(2πk/n)`, so
+//!   SLEM = `cos(2π/n)` for odd `n` and `1` (bipartite) for even `n`;
+//! - complete `K_n`: eigenvalues `1` and `-1/(n-1)`;
+//! - complete bipartite `K_{a,b}`: eigenvalues `{1, 0, -1}`;
+//! - star `S_n` = `K_{1,n-1}`;
+//! - path `P_n`: eigenvalues `cos(πk/(n-1))`.
+
+use socmix_graph::{Graph, GraphBuilder, NodeId};
+
+/// Simple path `0-1-…-(n-1)`.
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::new();
+    b.grow_to(n);
+    for i in 1..n {
+        b.add_edge((i - 1) as NodeId, i as NodeId);
+    }
+    b.build()
+}
+
+/// Cycle `C_n` (requires `n ≥ 3`).
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs at least 3 nodes");
+    let mut b = GraphBuilder::new();
+    for i in 0..n {
+        b.add_edge(i as NodeId, ((i + 1) % n) as NodeId);
+    }
+    b.build()
+}
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::new();
+    b.grow_to(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u as NodeId, v as NodeId);
+        }
+    }
+    b.build()
+}
+
+/// Star: node 0 adjacent to `1..n` (`n ≥ 1` total nodes).
+pub fn star(n: usize) -> Graph {
+    let mut b = GraphBuilder::new();
+    b.grow_to(n);
+    for v in 1..n {
+        b.add_edge(0, v as NodeId);
+    }
+    b.build()
+}
+
+/// Complete bipartite `K_{a,b}`: parts `0..a` and `a..a+b`.
+pub fn complete_bipartite(a: usize, b_count: usize) -> Graph {
+    let mut b = GraphBuilder::new();
+    b.grow_to(a + b_count);
+    for u in 0..a {
+        for v in 0..b_count {
+            b.add_edge(u as NodeId, (a + v) as NodeId);
+        }
+    }
+    b.build()
+}
+
+/// `w × h` grid with 4-neighborhoods.
+pub fn grid(w: usize, h: usize) -> Graph {
+    let mut b = GraphBuilder::new();
+    b.grow_to(w * h);
+    let id = |x: usize, y: usize| (y * w + x) as NodeId;
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                b.add_edge(id(x, y), id(x + 1, y));
+            }
+            if y + 1 < h {
+                b.add_edge(id(x, y), id(x, y + 1));
+            }
+        }
+    }
+    b.build()
+}
+
+/// `w × h` torus (grid with wraparound; requires `w, h ≥ 3`).
+pub fn torus(w: usize, h: usize) -> Graph {
+    assert!(w >= 3 && h >= 3, "torus needs both dimensions ≥ 3");
+    let mut b = GraphBuilder::new();
+    let id = |x: usize, y: usize| (y * w + x) as NodeId;
+    for y in 0..h {
+        for x in 0..w {
+            b.add_edge(id(x, y), id((x + 1) % w, y));
+            b.add_edge(id(x, y), id(x, (y + 1) % h));
+        }
+    }
+    b.build()
+}
+
+/// Barbell: two `K_k` cliques joined by a path of `bridge` extra nodes
+/// (`bridge = 0` joins them by a single edge).
+///
+/// The classic slow-mixing fixture: the walk must cross the bridge, so
+/// the spectral gap vanishes as `k` grows. Used to sanity-check that
+/// the mixing-time machinery actually detects bottlenecks.
+pub fn barbell(k: usize, bridge: usize) -> Graph {
+    assert!(k >= 2, "cliques need at least 2 nodes");
+    let mut b = GraphBuilder::new();
+    let clique = |b: &mut GraphBuilder, base: usize| {
+        for u in 0..k {
+            for v in (u + 1)..k {
+                b.add_edge((base + u) as NodeId, (base + v) as NodeId);
+            }
+        }
+    };
+    clique(&mut b, 0);
+    clique(&mut b, k + bridge);
+    // path from clique-1 node (k-1) through bridge nodes to clique-2
+    // node (k+bridge)
+    let mut prev = (k - 1) as NodeId;
+    for i in 0..bridge {
+        let nxt = (k + i) as NodeId;
+        b.add_edge(prev, nxt);
+        prev = nxt;
+    }
+    b.add_edge(prev, (k + bridge) as NodeId);
+    b.build()
+}
+
+/// Lollipop: `K_k` with a pendant path of `tail` nodes.
+pub fn lollipop(k: usize, tail: usize) -> Graph {
+    assert!(k >= 2);
+    let mut b = GraphBuilder::new();
+    for u in 0..k {
+        for v in (u + 1)..k {
+            b.add_edge(u as NodeId, v as NodeId);
+        }
+    }
+    let mut prev = (k - 1) as NodeId;
+    for i in 0..tail {
+        let nxt = (k + i) as NodeId;
+        b.add_edge(prev, nxt);
+        prev = nxt;
+    }
+    b.build()
+}
+
+/// Complete binary tree of the given `depth` (depth 0 = single node).
+pub fn binary_tree(depth: usize) -> Graph {
+    let n = (1usize << (depth + 1)) - 1;
+    let mut b = GraphBuilder::new();
+    b.grow_to(n);
+    for v in 1..n {
+        b.add_edge(v as NodeId, ((v - 1) / 2) as NodeId);
+    }
+    b.build()
+}
+
+/// The Petersen graph (10 nodes, 3-regular, non-bipartite).
+pub fn petersen() -> Graph {
+    let mut b = GraphBuilder::new();
+    for i in 0..5u32 {
+        b.add_edge(i, (i + 1) % 5); // outer pentagon
+        b.add_edge(5 + i, 5 + (i + 2) % 5); // inner pentagram
+        b.add_edge(i, 5 + i); // spokes
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socmix_graph::components::is_connected;
+    use socmix_graph::traversal::two_color;
+
+    #[test]
+    fn path_counts() {
+        let g = path(10);
+        assert_eq!(g.num_nodes(), 10);
+        assert_eq!(g.num_edges(), 9);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn path_of_one_node() {
+        let g = path(1);
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn cycle_is_2_regular() {
+        let g = cycle(9);
+        assert!(g.nodes().all(|v| g.degree(v) == 2));
+        assert_eq!(g.num_edges(), 9);
+    }
+
+    #[test]
+    fn even_cycle_bipartite_odd_not() {
+        assert!(two_color(&cycle(8), 0).is_some());
+        assert!(two_color(&cycle(9), 0).is_none());
+    }
+
+    #[test]
+    fn complete_counts() {
+        let g = complete(7);
+        assert_eq!(g.num_edges(), 21);
+        assert!(g.nodes().all(|v| g.degree(v) == 6));
+    }
+
+    #[test]
+    fn star_is_bipartite() {
+        let g = star(6);
+        assert_eq!(g.degree(0), 5);
+        assert!(two_color(&g, 0).is_some());
+    }
+
+    #[test]
+    fn complete_bipartite_counts() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.num_nodes(), 7);
+        assert_eq!(g.num_edges(), 12);
+        assert!(two_color(&g, 0).is_some());
+    }
+
+    #[test]
+    fn grid_counts() {
+        let g = grid(4, 3);
+        assert_eq!(g.num_nodes(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 4 * 2); // horizontal + vertical
+    }
+
+    #[test]
+    fn torus_is_4_regular() {
+        let g = torus(5, 4);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert_eq!(g.num_edges(), 2 * 20);
+    }
+
+    #[test]
+    fn barbell_structure() {
+        let g = barbell(4, 2);
+        assert_eq!(g.num_nodes(), 10);
+        // 2 cliques of 6 edges + path of 3 edges
+        assert_eq!(g.num_edges(), 6 + 6 + 3);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn barbell_zero_bridge() {
+        let g = barbell(3, 0);
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.num_edges(), 3 + 3 + 1);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn lollipop_structure() {
+        let g = lollipop(5, 3);
+        assert_eq!(g.num_nodes(), 8);
+        assert_eq!(g.num_edges(), 10 + 3);
+        assert_eq!(g.degree(7), 1);
+    }
+
+    #[test]
+    fn binary_tree_structure() {
+        let g = binary_tree(3);
+        assert_eq!(g.num_nodes(), 15);
+        assert_eq!(g.num_edges(), 14);
+        assert_eq!(g.degree(0), 2);
+        assert!(two_color(&g, 0).is_some(), "trees are bipartite");
+    }
+
+    #[test]
+    fn petersen_properties() {
+        let g = petersen();
+        assert_eq!(g.num_nodes(), 10);
+        assert_eq!(g.num_edges(), 15);
+        assert!(g.nodes().all(|v| g.degree(v) == 3));
+        assert!(two_color(&g, 0).is_none(), "petersen has odd cycles");
+        assert!(is_connected(&g));
+    }
+}

@@ -1,0 +1,178 @@
+//! Stochastic Kronecker (R-MAT) graphs.
+//!
+//! The standard scalable model for internet-scale social/technology
+//! graphs (Leskovec et al.; the Graph500 generator). Included as an
+//! additional baseline for the ablation benches: Kronecker graphs
+//! have heavy-tailed degrees and a "nested core" structure, but —
+//! unlike the community and hierarchy models — no *planted* sparse
+//! cuts, so they mix fast; comparing the three isolates what actually
+//! slows a random walk down.
+
+use rand::Rng;
+use socmix_graph::{Graph, GraphBuilder, NodeId};
+
+/// Parameters of the R-MAT edge sampler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KroneckerParams {
+    /// log2 of the node count (n = 2^scale).
+    pub scale: u32,
+    /// Edges sampled per node (before dedup/symmetrization).
+    pub edge_factor: f64,
+    /// 2×2 initiator probabilities `[a, b, c, d]`, a+b+c+d = 1.
+    /// The classic R-MAT social choice is `[0.57, 0.19, 0.19, 0.05]`.
+    pub initiator: [f64; 4],
+}
+
+impl Default for KroneckerParams {
+    fn default() -> Self {
+        KroneckerParams {
+            scale: 10,
+            edge_factor: 8.0,
+            initiator: [0.57, 0.19, 0.19, 0.05],
+        }
+    }
+}
+
+/// Samples an undirected stochastic Kronecker graph.
+///
+/// Each directed edge descends `scale` levels of the adjacency
+/// matrix, picking a quadrant by the initiator probabilities;
+/// self-loops are dropped and parallels merged (so the realized edge
+/// count is below `edge_factor · n`). The result may be disconnected;
+/// callers wanting one component should extract the LCC (as the paper
+/// always does).
+///
+/// # Panics
+///
+/// Panics if the initiator is not a probability vector or
+/// `scale > 30`.
+pub fn kronecker<R: Rng + ?Sized>(params: KroneckerParams, rng: &mut R) -> Graph {
+    let sum: f64 = params.initiator.iter().sum();
+    assert!(
+        (sum - 1.0).abs() < 1e-9 && params.initiator.iter().all(|&p| p >= 0.0),
+        "initiator must be a probability vector"
+    );
+    assert!(params.scale >= 1 && params.scale <= 30, "scale out of range");
+    let n = 1usize << params.scale;
+    let m_target = (params.edge_factor * n as f64).round() as usize;
+    let [a, b, c, _] = params.initiator;
+    let mut builder = GraphBuilder::with_capacity(m_target);
+    builder.grow_to(n);
+    for _ in 0..m_target {
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..params.scale {
+            u <<= 1;
+            v <<= 1;
+            let x: f64 = rng.random();
+            if x < a {
+                // top-left: nothing to add
+            } else if x < a + b {
+                v |= 1;
+            } else if x < a + b + c {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        if u != v {
+            builder.add_edge(u as NodeId, v as NodeId);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn node_count_is_power_of_two() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = kronecker(
+            KroneckerParams {
+                scale: 8,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        assert_eq!(g.num_nodes(), 256);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn edge_count_near_target() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = KroneckerParams {
+            scale: 10,
+            edge_factor: 8.0,
+            ..Default::default()
+        };
+        let g = kronecker(p, &mut rng);
+        let target = 8.0 * 1024.0;
+        let got = g.num_edges() as f64;
+        // dedup and self-loop losses are significant for skewed
+        // initiators but bounded
+        assert!(got > 0.4 * target && got <= target, "edges {got} vs target {target}");
+    }
+
+    #[test]
+    fn skewed_initiator_gives_heavy_tail() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = kronecker(
+            KroneckerParams {
+                scale: 11,
+                edge_factor: 8.0,
+                initiator: [0.57, 0.19, 0.19, 0.05],
+            },
+            &mut rng,
+        );
+        assert!(
+            g.max_degree() as f64 > 8.0 * g.avg_degree(),
+            "R-MAT should have hubs: max {} vs avg {:.1}",
+            g.max_degree(),
+            g.avg_degree()
+        );
+    }
+
+    #[test]
+    fn uniform_initiator_is_er_like() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = kronecker(
+            KroneckerParams {
+                scale: 10,
+                edge_factor: 8.0,
+                initiator: [0.25, 0.25, 0.25, 0.25],
+            },
+            &mut rng,
+        );
+        // no hubs under the uniform initiator
+        assert!((g.max_degree() as f64) < 5.0 * g.avg_degree());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = KroneckerParams {
+            scale: 7,
+            ..Default::default()
+        };
+        let a = kronecker(p, &mut StdRng::seed_from_u64(9));
+        let b = kronecker(p, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_initiator_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = kronecker(
+            KroneckerParams {
+                initiator: [0.5, 0.5, 0.5, 0.5],
+                ..Default::default()
+            },
+            &mut rng,
+        );
+    }
+}

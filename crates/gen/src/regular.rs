@@ -1,0 +1,193 @@
+//! Random regular graphs (pairing / configuration model).
+//!
+//! A random `d`-regular graph is an expander with high probability
+//! (SLEM ≈ `2√(d−1)/d`, the Alon–Boppana floor), which makes it the
+//! reference *fast-mixing* baseline the paper's slow social graphs are
+//! contrasted against in our benches.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use socmix_graph::{Graph, GraphBuilder, NodeId};
+
+/// A uniformly random simple `d`-regular graph on `n` nodes via the
+/// pairing model, resampling until the pairing is simple.
+///
+/// Expected retries are `e^{(d²−1)/4}` — constant for fixed `d` — so
+/// this is practical for `d` up to ~8 and any `n`. Use
+/// [`random_regular_swap`] for larger `d`.
+///
+/// # Panics
+///
+/// Panics if `n·d` is odd or `d ≥ n`.
+pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph {
+    assert!(n * d % 2 == 0, "n·d must be even");
+    assert!(d < n, "degree must be < n");
+    if d == 0 {
+        return Graph::empty(n);
+    }
+    let mut stubs: Vec<NodeId> = (0..n as NodeId).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+    loop {
+        stubs.shuffle(rng);
+        if let Some(g) = try_pair(&stubs, n) {
+            return g;
+        }
+    }
+}
+
+/// Pairs consecutive stubs; returns None if a self-loop or multi-edge
+/// appears.
+fn try_pair(stubs: &[NodeId], n: usize) -> Option<Graph> {
+    let mut seen = std::collections::HashSet::with_capacity(stubs.len() / 2);
+    let mut b = GraphBuilder::with_capacity(stubs.len() / 2);
+    b.grow_to(n);
+    for pair in stubs.chunks_exact(2) {
+        let (u, v) = (pair[0], pair[1]);
+        if u == v {
+            return None;
+        }
+        if !seen.insert((u.min(v), u.max(v))) {
+            return None;
+        }
+        b.add_edge(u, v);
+    }
+    Some(b.build())
+}
+
+/// A random simple `d`-regular graph built by pairing once and then
+/// repairing self-loops/multi-edges with double-edge swaps.
+///
+/// Not exactly uniform, but asymptotically close and fast for any `d`;
+/// this is the standard practical construction.
+pub fn random_regular_swap<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph {
+    assert!(n * d % 2 == 0, "n·d must be even");
+    assert!(d < n, "degree must be < n");
+    if d == 0 {
+        return Graph::empty(n);
+    }
+    let mut stubs: Vec<NodeId> = (0..n as NodeId).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+    stubs.shuffle(rng);
+    // edges[i] pairs stubs (2i, 2i+1)
+    let mut edges: Vec<(NodeId, NodeId)> = stubs.chunks_exact(2).map(|p| (p[0], p[1])).collect();
+    let key = |u: NodeId, v: NodeId| (u.min(v), u.max(v));
+    let mut multiset: std::collections::HashMap<(NodeId, NodeId), usize> =
+        std::collections::HashMap::new();
+    for &(u, v) in &edges {
+        *multiset.entry(key(u, v)).or_insert(0) += 1;
+    }
+    let is_bad =
+        |u: NodeId, v: NodeId, ms: &std::collections::HashMap<(NodeId, NodeId), usize>| {
+            u == v || ms[&key(u, v)] > 1
+        };
+    // Repair loop: pick a bad edge and swap with a random edge when the
+    // swap strictly reduces badness.
+    let mut guard = 0usize;
+    let max_iters = 200 * edges.len().max(1);
+    loop {
+        let bad: Vec<usize> = (0..edges.len())
+            .filter(|&i| {
+                let (u, v) = edges[i];
+                is_bad(u, v, &multiset)
+            })
+            .collect();
+        if bad.is_empty() {
+            break;
+        }
+        guard += 1;
+        assert!(
+            guard < max_iters,
+            "edge-swap repair failed to converge (n={n}, d={d})"
+        );
+        let i = bad[rng.random_range(0..bad.len())];
+        let j = rng.random_range(0..edges.len());
+        if i == j {
+            continue;
+        }
+        let (a, b2) = edges[i];
+        let (c, dd) = edges[j];
+        // propose (a,c) and (b2,dd)
+        let (na, nb) = ((a, c), (b2, dd));
+        if na.0 == na.1 || nb.0 == nb.1 {
+            continue;
+        }
+        let cnt = |ms: &std::collections::HashMap<(NodeId, NodeId), usize>, e: (NodeId, NodeId)| {
+            ms.get(&key(e.0, e.1)).copied().unwrap_or(0)
+        };
+        if cnt(&multiset, na) > 0 || cnt(&multiset, nb) > 0 {
+            continue;
+        }
+        // apply swap
+        *multiset.get_mut(&key(a, b2)).unwrap() -= 1;
+        *multiset.get_mut(&key(c, dd)).unwrap() -= 1;
+        *multiset.entry(key(na.0, na.1)).or_insert(0) += 1;
+        *multiset.entry(key(nb.0, nb.1)).or_insert(0) += 1;
+        edges[i] = na;
+        edges[j] = nb;
+    }
+    let mut b = GraphBuilder::with_capacity(edges.len());
+    b.grow_to(n);
+    for (u, v) in edges {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use socmix_graph::components::is_connected;
+
+    #[test]
+    fn pairing_model_is_regular() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = random_regular(50, 4, &mut rng);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert_eq!(g.num_edges(), 100);
+    }
+
+    #[test]
+    fn pairing_model_usually_connected() {
+        // 3-regular random graphs are connected whp
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = random_regular(200, 3, &mut rng);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn zero_degree() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = random_regular(10, 0, &mut rng);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn odd_total_degree_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = random_regular(5, 3, &mut rng);
+    }
+
+    #[test]
+    fn swap_model_is_regular_high_degree() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = random_regular_swap(100, 20, &mut rng);
+        assert!(g.nodes().all(|v| g.degree(v) == 20));
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn swap_model_deterministic() {
+        let a = random_regular_swap(64, 6, &mut StdRng::seed_from_u64(3));
+        let b = random_regular_swap(64, 6, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn both_models_agree_on_degree_sequence() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g1 = random_regular(40, 4, &mut rng);
+        let g2 = random_regular_swap(40, 4, &mut rng);
+        assert_eq!(g1.total_degree(), g2.total_degree());
+    }
+}

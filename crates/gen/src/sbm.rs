@@ -1,0 +1,312 @@
+//! Stochastic block models and caveman graphs.
+//!
+//! These are the *slow-mixing* generators: community structure creates
+//! exactly the sparse cuts that the paper identifies (via the
+//! conductance relation `Φ ≥ 1−µ`) as the reason acquaintance
+//! networks mix slowly.
+
+use rand::Rng;
+use socmix_graph::{Graph, GraphBuilder, NodeId};
+
+/// General stochastic block model: `sizes[i]` nodes in block `i`;
+/// an edge between a node of block `i` and one of block `j` appears
+/// independently with probability `p[i][j]` (symmetric, diagonal =
+/// intra-block probability).
+///
+/// Cost is O(n²) pair enumeration within/between blocks with geometric
+/// skipping, so it is fine up to ~10⁵ nodes at social sparsities.
+///
+/// # Panics
+///
+/// Panics if `p` is not a `k×k` symmetric matrix of probabilities.
+pub fn sbm<R: Rng + ?Sized>(sizes: &[usize], p: &[Vec<f64>], rng: &mut R) -> Graph {
+    let k = sizes.len();
+    assert_eq!(p.len(), k, "probability matrix must be k×k");
+    for (i, row) in p.iter().enumerate() {
+        assert_eq!(row.len(), k);
+        for (j, &pij) in row.iter().enumerate() {
+            assert!((0.0..=1.0).contains(&pij), "p[{i}][{j}] out of range");
+            assert!(
+                (pij - p[j][i]).abs() < 1e-12,
+                "probability matrix must be symmetric"
+            );
+        }
+    }
+    let n: usize = sizes.iter().sum();
+    let mut start = Vec::with_capacity(k + 1);
+    start.push(0usize);
+    for &s in sizes {
+        start.push(start.last().unwrap() + s);
+    }
+    let mut b = GraphBuilder::new();
+    b.grow_to(n);
+    for i in 0..k {
+        // intra-block: upper triangle of block i
+        sample_block(
+            &mut b,
+            rng,
+            p[i][i],
+            start[i],
+            sizes[i],
+            start[i],
+            sizes[i],
+            true,
+        );
+        // inter-block pairs (i < j)
+        for j in (i + 1)..k {
+            sample_block(
+                &mut b,
+                rng,
+                p[i][j],
+                start[i],
+                sizes[i],
+                start[j],
+                sizes[j],
+                false,
+            );
+        }
+    }
+    b.build()
+}
+
+/// Samples edges between two index ranges with geometric skipping.
+/// When `triangular` the ranges are identical and only pairs `u < v`
+/// are considered.
+#[allow(clippy::too_many_arguments)]
+fn sample_block<R: Rng + ?Sized>(
+    b: &mut GraphBuilder,
+    rng: &mut R,
+    p: f64,
+    a_start: usize,
+    a_len: usize,
+    c_start: usize,
+    c_len: usize,
+    triangular: bool,
+) {
+    if p <= 0.0 || a_len == 0 || c_len == 0 {
+        return;
+    }
+    let total: usize = if triangular {
+        a_len * (a_len - 1) / 2
+    } else {
+        a_len * c_len
+    };
+    let decode = |idx: usize| -> (NodeId, NodeId) {
+        if triangular {
+            // row-major upper triangle decode
+            // find u such that offset of row u <= idx < offset of row u+1
+            // row u has (a_len - 1 - u) entries
+            let mut u = 0usize;
+            let mut rem = idx;
+            let mut row = a_len - 1;
+            while rem >= row {
+                rem -= row;
+                u += 1;
+                row -= 1;
+            }
+            ((a_start + u) as NodeId, (a_start + u + 1 + rem) as NodeId)
+        } else {
+            (
+                (a_start + idx / c_len) as NodeId,
+                (c_start + idx % c_len) as NodeId,
+            )
+        }
+    };
+    if p >= 1.0 {
+        for idx in 0..total {
+            let (u, v) = decode(idx);
+            b.add_edge(u, v);
+        }
+        return;
+    }
+    let lq = (1.0 - p).ln();
+    let mut idx = 0usize;
+    loop {
+        let r: f64 = rng.random();
+        let skip = ((1.0 - r).ln() / lq).floor() as usize;
+        idx = match idx.checked_add(skip) {
+            Some(i) => i,
+            None => break,
+        };
+        if idx >= total {
+            break;
+        }
+        let (u, v) = decode(idx);
+        b.add_edge(u, v);
+        idx += 1;
+    }
+}
+
+/// Planted partition: `k` equal blocks of size `size`, intra-block
+/// probability `p_in`, inter-block `p_out`.
+pub fn planted_partition<R: Rng + ?Sized>(
+    k: usize,
+    size: usize,
+    p_in: f64,
+    p_out: f64,
+    rng: &mut R,
+) -> Graph {
+    let sizes = vec![size; k];
+    let p: Vec<Vec<f64>> = (0..k)
+        .map(|i| (0..k).map(|j| if i == j { p_in } else { p_out }).collect())
+        .collect();
+    sbm(&sizes, &p, rng)
+}
+
+/// Connected caveman: `k` cliques of `size` nodes arranged in a ring,
+/// where one edge of each clique is redirected to the next clique.
+pub fn connected_caveman(k: usize, size: usize) -> Graph {
+    assert!(k >= 2 && size >= 2);
+    let mut b = GraphBuilder::new();
+    for c in 0..k {
+        let base = c * size;
+        for u in 0..size {
+            for v in (u + 1)..size {
+                // drop the (0,1) edge of each clique; it is replaced by
+                // the inter-clique link
+                if u == 0 && v == 1 {
+                    continue;
+                }
+                b.add_edge((base + u) as NodeId, (base + v) as NodeId);
+            }
+        }
+        // redirect: clique c node 0 links to clique c+1 node 1
+        let next_base = ((c + 1) % k) * size;
+        b.add_edge(base as NodeId, (next_base + 1) as NodeId);
+    }
+    b.build()
+}
+
+/// Relaxed caveman: start from `k` cliques of `size`, then rewire each
+/// edge with probability `p_rewire` to a uniformly random node.
+///
+/// The classic benchmark for community detection; mixing time
+/// interpolates from pathological (`p_rewire = 0` is disconnected) to
+/// ER-like as `p_rewire → 1`.
+pub fn relaxed_caveman<R: Rng + ?Sized>(
+    k: usize,
+    size: usize,
+    p_rewire: f64,
+    rng: &mut R,
+) -> Graph {
+    assert!(k >= 1 && size >= 2);
+    assert!((0.0..=1.0).contains(&p_rewire));
+    let n = k * size;
+    let mut edges = std::collections::HashSet::new();
+    let canon = |u: usize, v: usize| (u.min(v) as NodeId, u.max(v) as NodeId);
+    for c in 0..k {
+        let base = c * size;
+        for u in 0..size {
+            for v in (u + 1)..size {
+                edges.insert(canon(base + u, base + v));
+            }
+        }
+    }
+    let original: Vec<(NodeId, NodeId)> = {
+        let mut v: Vec<_> = edges.iter().copied().collect();
+        v.sort_unstable();
+        v
+    };
+    for (u, v) in original {
+        if rng.random::<f64>() >= p_rewire {
+            continue;
+        }
+        for _attempt in 0..64 {
+            let w = rng.random_range(0..n as NodeId);
+            if w == u {
+                continue;
+            }
+            let cand = (u.min(w), u.max(w));
+            if edges.contains(&cand) {
+                continue;
+            }
+            edges.remove(&(u, v));
+            edges.insert(cand);
+            break;
+        }
+    }
+    let mut b = GraphBuilder::new();
+    b.grow_to(n);
+    for (u, v) in edges {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use socmix_graph::components::{connected_components, is_connected};
+
+    #[test]
+    fn sbm_respects_zero_probabilities() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = sbm(&[10, 10], &[vec![1.0, 0.0], vec![0.0, 1.0]], &mut rng);
+        // two complete components
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 2);
+        assert_eq!(g.num_edges(), 2 * 45);
+    }
+
+    #[test]
+    fn sbm_inter_edges_appear() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = sbm(&[30, 30], &[vec![0.5, 0.1], vec![0.1, 0.5]], &mut rng);
+        let inter = g
+            .edges()
+            .filter(|&(u, v)| (u < 30) != (v < 30))
+            .count();
+        assert!(inter > 30, "expected ≈90 inter edges, got {inter}");
+    }
+
+    #[test]
+    fn sbm_edge_counts_near_expectation() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = planted_partition(4, 100, 0.2, 0.01, &mut rng);
+        let expect_intra = 4.0 * 0.2 * (100.0 * 99.0 / 2.0);
+        let expect_inter = 6.0 * 0.01 * (100.0 * 100.0);
+        let expect = expect_intra + expect_inter;
+        let got = g.num_edges() as f64;
+        assert!((got - expect).abs() < 0.1 * expect, "got {got}, expected ≈{expect}");
+    }
+
+    #[test]
+    fn sbm_deterministic() {
+        let a = planted_partition(3, 40, 0.3, 0.02, &mut StdRng::seed_from_u64(9));
+        let b = planted_partition(3, 40, 0.3, 0.02, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn sbm_rejects_asymmetric_matrix() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = sbm(&[5, 5], &[vec![0.5, 0.1], vec![0.2, 0.5]], &mut rng);
+    }
+
+    #[test]
+    fn caveman_structure() {
+        let g = connected_caveman(4, 5);
+        assert_eq!(g.num_nodes(), 20);
+        // each clique: C(5,2) - 1 edges + 1 inter edge
+        assert_eq!(g.num_edges(), 4 * (10 - 1) + 4);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn relaxed_caveman_zero_is_cliques() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = relaxed_caveman(3, 4, 0.0, &mut rng);
+        assert_eq!(connected_components(&g).count(), 3);
+        assert_eq!(g.num_edges(), 3 * 6);
+    }
+
+    #[test]
+    fn relaxed_caveman_preserves_edge_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = relaxed_caveman(5, 6, 0.4, &mut rng);
+        assert_eq!(g.num_edges(), 5 * 15);
+    }
+}

@@ -1,0 +1,118 @@
+//! Watts–Strogatz small-world graphs.
+
+use rand::Rng;
+use socmix_graph::{Graph, GraphBuilder, NodeId};
+
+/// Watts–Strogatz: a ring lattice where each node is joined to its `k`
+/// nearest neighbors (`k` even), with each lattice edge rewired to a
+/// uniformly random endpoint with probability `beta`.
+///
+/// `beta = 0` is the pure ring lattice (very slow mixing, high
+/// clustering); small `beta` adds the shortcuts that make the graph
+/// small-world; `beta = 1` approaches `G(n, m)`. Useful as a
+/// continuously tunable slow↔fast mixing family in the ablation
+/// benches.
+///
+/// # Panics
+///
+/// Panics if `k` is odd, `k < 2`, or `n <= k`.
+pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut R) -> Graph {
+    assert!(k >= 2 && k % 2 == 0, "k must be even and ≥ 2");
+    assert!(n > k, "need n > k");
+    assert!((0.0..=1.0).contains(&beta));
+    // Edge set as canonical pairs so rewiring can avoid duplicates.
+    let mut edges = std::collections::HashSet::with_capacity(n * k / 2);
+    let canon = |u: usize, v: usize| (u.min(v) as NodeId, u.max(v) as NodeId);
+    for u in 0..n {
+        for j in 1..=(k / 2) {
+            edges.insert(canon(u, (u + j) % n));
+        }
+    }
+    // Rewire each original lattice edge with probability beta.
+    let lattice: Vec<(NodeId, NodeId)> = {
+        let mut v: Vec<_> = edges.iter().copied().collect();
+        v.sort_unstable();
+        v
+    };
+    for (u, v) in lattice {
+        if rng.random::<f64>() >= beta {
+            continue;
+        }
+        // pick a new target for the u side, avoiding self/duplicate
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            if attempts > 64 {
+                break; // dense corner case: keep the original edge
+            }
+            let w = rng.random_range(0..n as NodeId);
+            if w == u {
+                continue;
+            }
+            let cand = (u.min(w), u.max(w));
+            if edges.contains(&cand) {
+                continue;
+            }
+            edges.remove(&(u, v));
+            edges.insert(cand);
+            break;
+        }
+    }
+    let mut b = GraphBuilder::with_capacity(edges.len());
+    b.grow_to(n);
+    for (u, v) in edges {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use socmix_graph::stats::graph_stats;
+
+    #[test]
+    fn beta_zero_is_ring_lattice() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = watts_strogatz(20, 4, 0.0, &mut rng);
+        assert_eq!(g.num_edges(), 20 * 2);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn edge_count_preserved_by_rewiring() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = watts_strogatz(100, 6, 0.3, &mut rng);
+        assert_eq!(g.num_edges(), 100 * 3);
+    }
+
+    #[test]
+    fn rewiring_lowers_clustering() {
+        let lattice = watts_strogatz(500, 8, 0.0, &mut StdRng::seed_from_u64(2));
+        let rewired = watts_strogatz(500, 8, 1.0, &mut StdRng::seed_from_u64(2));
+        let (cl, cr) = (
+            graph_stats(&lattice).transitivity,
+            graph_stats(&rewired).transitivity,
+        );
+        assert!(cr < cl / 2.0, "lattice {cl} vs rewired {cr}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = watts_strogatz(60, 4, 0.2, &mut StdRng::seed_from_u64(11));
+        let b = watts_strogatz(60, 4, 0.2, &mut StdRng::seed_from_u64(11));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn odd_k_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = watts_strogatz(10, 3, 0.1, &mut rng);
+    }
+}

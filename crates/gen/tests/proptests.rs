@@ -1,0 +1,157 @@
+//! Property tests for the generators: structural invariants hold for
+//! arbitrary parameters, not just the calibrated catalog values.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socmix_gen::social::{CoauthorshipParams, SocialParams};
+use socmix_gen::{ba, er, sbm, ws};
+use socmix_graph::components;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn gnp_valid_for_any_parameters(n in 0usize..120, p in 0.0f64..1.0, seed in 0u64..1000) {
+        let g = er::gnp(n, p, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(g.num_nodes(), n);
+        prop_assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn gnm_exact_edges(n in 2usize..60, seed in 0u64..1000, frac in 0.0f64..1.0) {
+        let max = n * (n - 1) / 2;
+        let m = (frac * max as f64) as usize;
+        let g = er::gnm(n, m, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(g.num_edges(), m);
+    }
+
+    #[test]
+    fn ba_always_connected(n in 3usize..150, m in 1usize..5, seed in 0u64..1000) {
+        prop_assume!(n > m);
+        let g = ba::barabasi_albert(n, m, &mut StdRng::seed_from_u64(seed));
+        prop_assert!(components::is_connected(&g));
+        prop_assert!(g.min_degree() >= m);
+    }
+
+    #[test]
+    fn hk_edge_count_formula(n in 5usize..100, m in 1usize..4, p in 0.0f64..1.0, seed in 0u64..100) {
+        prop_assume!(n > m + 1);
+        let g = ba::holme_kim(n, m, p, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(g.num_edges(), m * (m + 1) / 2 + (n - m - 1) * m);
+    }
+
+    #[test]
+    fn ws_preserves_edge_count(n in 8usize..80, k in 1usize..3, beta in 0.0f64..1.0, seed in 0u64..100) {
+        let k = k * 2; // even
+        prop_assume!(n > k);
+        let g = ws::watts_strogatz(n, k, beta, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(g.num_edges(), n * k / 2);
+    }
+
+    #[test]
+    fn planted_partition_valid(k in 1usize..5, size in 2usize..30, pin in 0.0f64..1.0, pout in 0.0f64..0.3, seed in 0u64..100) {
+        let g = sbm::planted_partition(k, size, pin, pout, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(g.num_nodes(), k * size);
+        prop_assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn social_model_always_connected(
+        n in 50usize..400,
+        avg in 3.0f64..15.0,
+        cs in 5usize..40,
+        inter in 0.0f64..0.5,
+        seed in 0u64..100
+    ) {
+        let g = SocialParams {
+            nodes: n,
+            avg_degree: avg,
+            community_size: cs,
+            inter_fraction: inter,
+            gamma: 2.6,
+        }
+        .generate(&mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(g.num_nodes(), n);
+        prop_assert!(components::is_connected(&g));
+    }
+
+    #[test]
+    fn coauthorship_always_connected(
+        n in 50usize..400,
+        gpn in 0.5f64..3.0,
+        cross in 0.0f64..0.5,
+        seed in 0u64..100
+    ) {
+        let g = CoauthorshipParams {
+            nodes: n,
+            groups_per_node: gpn,
+            size_alpha: 2.5,
+            max_group: 12,
+            author_gamma: 2.6,
+            community_size: 25,
+            crossover: cross,
+        }
+        .generate(&mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(g.num_nodes(), n);
+        prop_assert!(components::is_connected(&g));
+    }
+
+
+    #[test]
+    fn hierarchy_always_connected(
+        n in 100usize..600,
+        leaf in 10usize..40,
+        branching in 2usize..5,
+        inter in 0.01f64..0.3,
+        decay in 0.1f64..0.9,
+        seed in 0u64..50
+    ) {
+        use socmix_gen::hierarchy::HierarchyParams;
+        let g = HierarchyParams {
+            nodes: n,
+            avg_degree: 10.0,
+            leaf_size: leaf,
+            branching,
+            inter_fraction: inter,
+            decay,
+            gamma: 2.5,
+        }
+        .generate(&mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(g.num_nodes(), n);
+        prop_assert!(components::is_connected(&g));
+        prop_assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn kronecker_valid_for_any_initiator(
+        scale in 4u32..10,
+        a in 0.1f64..0.7,
+        b in 0.05f64..0.25,
+        seed in 0u64..50
+    ) {
+        use socmix_gen::kronecker::{kronecker, KroneckerParams};
+        let c = b;
+        let d = 1.0 - a - b - c;
+        prop_assume!(d >= 0.0);
+        let g = kronecker(
+            KroneckerParams {
+                scale,
+                edge_factor: 6.0,
+                initiator: [a, b, c, d],
+            },
+            &mut StdRng::seed_from_u64(seed),
+        );
+        prop_assert_eq!(g.num_nodes(), 1usize << scale);
+        prop_assert!(g.validate().is_ok());
+        prop_assert!(g.num_edges() <= (6.0 * (1u64 << scale) as f64) as usize);
+    }
+
+    #[test]
+    fn catalog_scaling_monotone(seed in 0u64..20) {
+        use socmix_gen::Dataset;
+        let small = Dataset::Enron.generate(0.01, seed);
+        let large = Dataset::Enron.generate(0.03, seed);
+        prop_assert!(small.num_nodes() <= large.num_nodes());
+    }
+}

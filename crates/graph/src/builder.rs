@@ -1,0 +1,205 @@
+//! Mutable edge accumulator that freezes into a [`Graph`].
+
+use crate::{Graph, NodeId};
+
+/// Accumulates edges and freezes them into a canonical [`Graph`].
+///
+/// The builder owns all input-sanitization policy:
+///
+/// - every added edge is treated as undirected (stored both ways), which
+///   is exactly the paper's directed→undirected conversion,
+/// - self-loops are dropped,
+/// - parallel edges are deduplicated at [`GraphBuilder::build`] time,
+/// - node ids are dense `0..n` where `n` is one past the largest id seen
+///   (or a larger explicit [`GraphBuilder::grow_to`] value).
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    /// Edge list as (min, max) pairs; may contain duplicates until build.
+    edges: Vec<(NodeId, NodeId)>,
+    /// Number of nodes = max id seen + 1, or an explicit floor.
+    n: usize,
+    /// Count of self-loops dropped, for diagnostics.
+    dropped_self_loops: usize,
+}
+
+impl GraphBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty builder that pre-reserves space for `m` edges.
+    pub fn with_capacity(m: usize) -> Self {
+        GraphBuilder {
+            edges: Vec::with_capacity(m),
+            n: 0,
+            dropped_self_loops: 0,
+        }
+    }
+
+    /// Adds the undirected edge `{u, v}`. Self-loops are silently
+    /// dropped (counted in [`GraphBuilder::dropped_self_loops`]);
+    /// duplicates are removed when building.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        let hi = u.max(v) as usize + 1;
+        if hi > self.n {
+            self.n = hi;
+        }
+        if u == v {
+            self.dropped_self_loops += 1;
+            return;
+        }
+        self.edges.push((u.min(v), u.max(v)));
+    }
+
+    /// Ensures the node-id space covers `0..n` even if some of those
+    /// nodes end up isolated.
+    pub fn grow_to(&mut self, n: usize) {
+        if n > self.n {
+            self.n = n;
+        }
+    }
+
+    /// Number of self-loop insertions that were dropped.
+    pub fn dropped_self_loops(&self) -> usize {
+        self.dropped_self_loops
+    }
+
+    /// Number of (possibly duplicate) edges currently staged.
+    pub fn staged_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Current node-id space size.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Builds the edge list from an iterator of pairs.
+    pub fn from_edges<I>(edges: I) -> Self
+    where
+        I: IntoIterator<Item = (NodeId, NodeId)>,
+    {
+        let mut b = GraphBuilder::new();
+        for (u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b
+    }
+
+    /// Freezes into a canonical [`Graph`] (sorted, deduplicated,
+    /// symmetric CSR). Consumes the builder.
+    pub fn build(mut self) -> Graph {
+        // Sort-dedup the canonicalized (min,max) pairs, then do a
+        // counting-sort style CSR fill. O(m log m + n + m).
+        self.edges.sort_unstable();
+        self.edges.dedup();
+
+        let n = self.n;
+        let mut deg = vec![0usize; n];
+        for &(u, v) in &self.edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut acc = 0usize;
+        for d in &deg {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0 as NodeId; acc];
+        for &(u, v) in &self.edges {
+            targets[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            targets[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        // Each list was filled in ascending order of the *other*
+        // endpoint only for the (u,v) with u<v half; the reverse half
+        // interleaves, so sort each list. Lists are typically short;
+        // sort_unstable on slices is fine and keeps the code obvious.
+        for v in 0..n {
+            targets[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        Graph::from_csr(offsets, targets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedups_parallel_edges() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        b.add_edge(0, 1);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn drops_self_loops() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(3, 3);
+        b.add_edge(0, 1);
+        assert_eq!(b.dropped_self_loops(), 1);
+        let g = b.build();
+        assert_eq!(g.num_nodes(), 4); // id 3 still reserves the space
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    fn grow_to_adds_isolated_nodes() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.grow_to(10);
+        let g = b.build();
+        assert_eq!(g.num_nodes(), 10);
+        assert_eq!(g.degree(9), 0);
+    }
+
+    #[test]
+    fn grow_to_never_shrinks() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(5, 6);
+        b.grow_to(2);
+        assert_eq!(b.num_nodes(), 7);
+    }
+
+    #[test]
+    fn from_edges_roundtrip() {
+        let g = GraphBuilder::from_edges([(0, 1), (1, 2), (2, 3), (3, 0)]).build();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn adjacency_sorted_after_build() {
+        // Insert edges in an order designed to interleave fills.
+        let g = GraphBuilder::from_edges([(5, 0), (0, 3), (0, 1), (4, 0), (0, 2)]).build();
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4, 5]);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut b = GraphBuilder::with_capacity(16);
+        b.add_edge(0, 1);
+        assert_eq!(b.staged_edges(), 1);
+        assert_eq!(b.build().num_edges(), 1);
+    }
+}

@@ -1,0 +1,242 @@
+//! Betweenness centrality (Brandes' algorithm).
+//!
+//! The paper's introduction points at defenses built on *node
+//! betweenness* — "an indicator of how a node is well-situated on the
+//! path between other nodes" (Quercia & Hailes' Sybil defense, Daly &
+//! Haahr's routing). This module provides the exact Brandes algorithm
+//! and the standard pivot-sampled approximation, so those designs'
+//! substrate is available next to the mixing-time machinery.
+
+use crate::{Graph, NodeId};
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// Exact betweenness centrality of every node (Brandes, 2001).
+///
+/// Unweighted shortest paths; endpoints excluded (the standard
+/// convention). Undirected graphs: each pair is counted once, i.e.
+/// raw dependencies are halved. Cost O(n·m).
+///
+/// # Example
+///
+/// ```
+/// // the middle of a path lies on the most shortest paths
+/// let g = socmix_graph::GraphBuilder::from_edges([(0, 1), (1, 2), (2, 3), (3, 4)]).build();
+/// let b = socmix_graph::centrality::betweenness(&g);
+/// assert_eq!(b[2], 4.0);
+/// ```
+pub fn betweenness(g: &Graph) -> Vec<f64> {
+    let n = g.num_nodes();
+    let mut centrality = vec![0.0f64; n];
+    let mut state = BrandesState::new(n);
+    for s in g.nodes() {
+        state.accumulate_from(g, s, &mut centrality);
+    }
+    for c in &mut centrality {
+        *c /= 2.0; // undirected: each pair counted twice
+    }
+    centrality
+}
+
+/// Pivot-sampled betweenness: exact dependency accumulation from
+/// `pivots` random sources, scaled by `n/pivots` — unbiased, with
+/// error shrinking as pivots grow. Use for graphs where O(n·m) is too
+/// slow.
+pub fn betweenness_sampled<R: Rng + ?Sized>(g: &Graph, pivots: usize, rng: &mut R) -> Vec<f64> {
+    let n = g.num_nodes();
+    assert!(pivots > 0 && n > 0);
+    let mut centrality = vec![0.0f64; n];
+    let mut state = BrandesState::new(n);
+    for _ in 0..pivots {
+        let s = rng.random_range(0..n as NodeId);
+        state.accumulate_from(g, s, &mut centrality);
+    }
+    let scale = n as f64 / pivots as f64 / 2.0;
+    for c in &mut centrality {
+        *c *= scale;
+    }
+    centrality
+}
+
+/// Reusable scratch buffers for Brandes' per-source pass.
+struct BrandesState {
+    sigma: Vec<f64>,
+    dist: Vec<i64>,
+    delta: Vec<f64>,
+    preds: Vec<Vec<NodeId>>,
+    order: Vec<NodeId>,
+}
+
+impl BrandesState {
+    fn new(n: usize) -> Self {
+        BrandesState {
+            sigma: vec![0.0; n],
+            dist: vec![-1; n],
+            delta: vec![0.0; n],
+            preds: vec![Vec::new(); n],
+            order: Vec::with_capacity(n),
+        }
+    }
+
+    /// One source's BFS + dependency accumulation into `centrality`.
+    fn accumulate_from(&mut self, g: &Graph, s: NodeId, centrality: &mut [f64]) {
+        let BrandesState {
+            sigma,
+            dist,
+            delta,
+            preds,
+            order,
+        } = self;
+        // reset only what the previous pass touched
+        for &v in order.iter() {
+            sigma[v as usize] = 0.0;
+            dist[v as usize] = -1;
+            delta[v as usize] = 0.0;
+            preds[v as usize].clear();
+        }
+        order.clear();
+        sigma[s as usize] = 1.0;
+        dist[s as usize] = 0;
+        let mut queue = VecDeque::new();
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            let dv = dist[v as usize];
+            for &w in g.neighbors(v) {
+                if dist[w as usize] < 0 {
+                    dist[w as usize] = dv + 1;
+                    queue.push_back(w);
+                }
+                if dist[w as usize] == dv + 1 {
+                    sigma[w as usize] += sigma[v as usize];
+                    preds[w as usize].push(v);
+                }
+            }
+        }
+        // accumulate dependencies in reverse BFS order
+        for &w in order.iter().rev() {
+            let coeff = (1.0 + delta[w as usize]) / sigma[w as usize];
+            for &v in &preds[w as usize] {
+                delta[v as usize] += sigma[v as usize] * coeff;
+            }
+            if w != s {
+                centrality[w as usize] += delta[w as usize];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn path_betweenness_closed_form() {
+        // path 0-1-2-3-4: b(i) = (i)·(n-1-i) pairs through i
+        let g = GraphBuilder::from_edges([(0, 1), (1, 2), (2, 3), (3, 4)]).build();
+        let b = betweenness(&g);
+        assert_close(b[0], 0.0, 1e-12);
+        assert_close(b[1], 3.0, 1e-12);
+        assert_close(b[2], 4.0, 1e-12);
+        assert_close(b[3], 3.0, 1e-12);
+        assert_close(b[4], 0.0, 1e-12);
+    }
+
+    #[test]
+    fn star_center_dominates() {
+        let g = GraphBuilder::from_edges([(0, 1), (0, 2), (0, 3), (0, 4)]).build();
+        let b = betweenness(&g);
+        // center lies on C(4,2) = 6 pairs
+        assert_close(b[0], 6.0, 1e-12);
+        for v in 1..5 {
+            assert_close(b[v], 0.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn cycle_betweenness_uniform() {
+        let mut bgraph = GraphBuilder::new();
+        let n = 8u32;
+        for i in 0..n {
+            bgraph.add_edge(i, (i + 1) % n);
+        }
+        let g = bgraph.build();
+        let b = betweenness(&g);
+        for v in 1..n as usize {
+            assert_close(b[v], b[0], 1e-9);
+        }
+        assert!(b[0] > 0.0);
+    }
+
+    #[test]
+    fn complete_graph_zero_betweenness() {
+        let mut bgraph = GraphBuilder::new();
+        for u in 0..6u32 {
+            for v in (u + 1)..6 {
+                bgraph.add_edge(u, v);
+            }
+        }
+        let b = betweenness(&bgraph.build());
+        for x in b {
+            assert_close(x, 0.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn split_shortest_paths_counted_fractionally() {
+        // square 0-1-2-3-0: two shortest paths between opposite
+        // corners, each middle node gets 1/2 per pair
+        let g = GraphBuilder::from_edges([(0, 1), (1, 2), (2, 3), (3, 0)]).build();
+        let b = betweenness(&g);
+        for v in 0..4 {
+            assert_close(b[v], 0.5, 1e-12);
+        }
+    }
+
+    #[test]
+    fn bridge_node_has_high_betweenness() {
+        // two triangles joined through node 3
+        let g = GraphBuilder::from_edges([
+            (0, 1),
+            (1, 2),
+            (0, 2),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (5, 6),
+            (4, 6),
+        ])
+        .build();
+        let b = betweenness(&g);
+        let max = b.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(b[3] >= max - 1e-9 || b[4] >= max - 1e-9, "bridge should top: {b:?}");
+    }
+
+    #[test]
+    fn sampled_with_all_pivots_matches_exact_scaling() {
+        let g = GraphBuilder::from_edges([(0, 1), (1, 2), (2, 3), (1, 3), (3, 4)]).build();
+        let exact = betweenness(&g);
+        let mut rng = StdRng::seed_from_u64(0);
+        // many pivots → close to exact
+        let approx = betweenness_sampled(&g, 4000, &mut rng);
+        for (a, e) in approx.iter().zip(&exact) {
+            assert!((a - e).abs() < 0.35 * (e.max(1.0)), "approx {a} vs exact {e}");
+        }
+    }
+
+    #[test]
+    fn disconnected_components_independent() {
+        let g = GraphBuilder::from_edges([(0, 1), (1, 2), (3, 4), (4, 5)]).build();
+        let b = betweenness(&g);
+        assert_close(b[1], 1.0, 1e-12);
+        assert_close(b[4], 1.0, 1e-12);
+        assert_close(b[0], 0.0, 1e-12);
+    }
+}

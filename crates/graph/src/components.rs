@@ -1,0 +1,182 @@
+//! Connected components and largest-component extraction.
+//!
+//! The mixing time is undefined for disconnected graphs, so the paper
+//! (like every Sybil-defense work it studies) measures on the largest
+//! connected component (LCC). [`largest_component`] is that
+//! preprocessing step.
+
+use crate::subgraph::{induced_subgraph, NodeMapping};
+use crate::{Graph, NodeId, UnionFind};
+use std::collections::VecDeque;
+
+/// Per-node component labels plus component sizes.
+#[derive(Debug, Clone)]
+pub struct Components {
+    /// `label[v]` ∈ `0..num_components`; labels are assigned in
+    /// discovery order of a scan from node 0.
+    pub label: Vec<u32>,
+    /// `sizes[c]` = number of nodes with label `c`.
+    pub sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Number of connected components.
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Label of the largest component (ties broken by smallest label).
+    pub fn largest(&self) -> u32 {
+        self.sizes
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i as u32)
+            .unwrap_or(0)
+    }
+
+    /// Nodes belonging to component `c`, ascending.
+    pub fn members(&self, c: u32) -> Vec<NodeId> {
+        self.label
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == c)
+            .map(|(v, _)| v as NodeId)
+            .collect()
+    }
+}
+
+/// Labels connected components by repeated BFS.
+pub fn connected_components(g: &Graph) -> Components {
+    const UNLABELED: u32 = u32::MAX;
+    let n = g.num_nodes();
+    let mut label = vec![UNLABELED; n];
+    let mut sizes = Vec::new();
+    let mut queue = VecDeque::new();
+    for start in 0..n as NodeId {
+        if label[start as usize] != UNLABELED {
+            continue;
+        }
+        let c = sizes.len() as u32;
+        let mut size = 0usize;
+        label[start as usize] = c;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            size += 1;
+            for &v in g.neighbors(u) {
+                if label[v as usize] == UNLABELED {
+                    label[v as usize] = c;
+                    queue.push_back(v);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+    Components { label, sizes }
+}
+
+/// Counts components with union-find — an independent implementation
+/// used by tests to cross-check [`connected_components`].
+pub fn count_components_unionfind(g: &Graph) -> usize {
+    let mut uf = UnionFind::new(g.num_nodes());
+    for (u, v) in g.edges() {
+        uf.union(u, v);
+    }
+    uf.num_components()
+}
+
+/// Whether the graph is connected (a zero-node graph counts as
+/// connected).
+pub fn is_connected(g: &Graph) -> bool {
+    g.num_nodes() == 0 || connected_components(g).count() == 1
+}
+
+/// Extracts the largest connected component as a relabeled graph.
+///
+/// Returns the component and the mapping back to original ids. On an
+/// empty graph returns an empty graph.
+pub fn largest_component(g: &Graph) -> (Graph, NodeMapping) {
+    if g.num_nodes() == 0 {
+        return (Graph::empty(0), NodeMapping::from_sorted(Vec::new()));
+    }
+    let comps = connected_components(g);
+    let members = comps.members(comps.largest());
+    induced_subgraph(g, &members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn two_components() -> Graph {
+        // triangle {0,1,2} + path {3,4}; node 5 isolated
+        let mut b = GraphBuilder::from_edges([(0, 1), (1, 2), (0, 2), (3, 4)]);
+        b.grow_to(6);
+        b.build()
+    }
+
+    #[test]
+    fn labels_and_sizes() {
+        let c = connected_components(&two_components());
+        assert_eq!(c.count(), 3);
+        assert_eq!(c.sizes, vec![3, 2, 1]);
+        assert_eq!(c.label[0], c.label[2]);
+        assert_ne!(c.label[0], c.label[3]);
+    }
+
+    #[test]
+    fn largest_picks_triangle() {
+        let c = connected_components(&two_components());
+        assert_eq!(c.largest(), 0);
+        assert_eq!(c.members(0), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn largest_tie_breaks_to_first() {
+        let g = GraphBuilder::from_edges([(0, 1), (2, 3)]).build();
+        let c = connected_components(&g);
+        assert_eq!(c.sizes, vec![2, 2]);
+        assert_eq!(c.largest(), 0);
+    }
+
+    #[test]
+    fn unionfind_agrees_with_bfs() {
+        let g = two_components();
+        assert_eq!(
+            count_components_unionfind(&g),
+            connected_components(&g).count()
+        );
+    }
+
+    #[test]
+    fn is_connected_cases() {
+        assert!(is_connected(&Graph::empty(0)));
+        assert!(is_connected(&GraphBuilder::from_edges([(0, 1)]).build()));
+        assert!(!is_connected(&two_components()));
+        assert!(!is_connected(&Graph::empty(2)));
+    }
+
+    #[test]
+    fn lcc_extraction() {
+        let (lcc, map) = largest_component(&two_components());
+        assert_eq!(lcc.num_nodes(), 3);
+        assert_eq!(lcc.num_edges(), 3);
+        assert!(is_connected(&lcc));
+        assert_eq!(map.kept(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn lcc_of_empty_graph() {
+        let (lcc, map) = largest_component(&Graph::empty(0));
+        assert_eq!(lcc.num_nodes(), 0);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn lcc_of_connected_graph_is_identity() {
+        let g = GraphBuilder::from_edges([(0, 1), (1, 2)]).build();
+        let (lcc, _) = largest_component(&g);
+        assert_eq!(lcc, g);
+    }
+}

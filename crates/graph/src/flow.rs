@@ -1,0 +1,272 @@
+//! Maximum flow (Dinic's algorithm) on integer-capacity networks.
+//!
+//! Substrate for SumUp (`socmix-sybil`), the vote-aggregation Sybil
+//! defense the paper's §2 cites among the systems Viswanath compared:
+//! SumUp bounds Sybil votes by computing a max-flow from voters to a
+//! collector over a capacity-assigned social graph. Dinic's algorithm
+//! gives O(E·√V) on the unit-ish capacities SumUp uses.
+
+use crate::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// A directed flow network under construction / being solved.
+///
+/// Nodes are dense `0..n`; edges are added directed with integer
+/// capacity (each insert also creates the 0-capacity residual twin).
+#[derive(Debug, Clone)]
+pub struct FlowNetwork {
+    /// head[v] -> first edge index, linked by `next`
+    head: Vec<i64>,
+    next: Vec<i64>,
+    to: Vec<u32>,
+    cap: Vec<i64>,
+}
+
+impl FlowNetwork {
+    /// An empty network on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        FlowNetwork {
+            head: vec![-1; n],
+            next: Vec::new(),
+            to: Vec::new(),
+            cap: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.head.len()
+    }
+
+    /// Adds a directed edge `u → v` with the given capacity (and its
+    /// residual twin). Returns the edge index (its twin is `idx ^ 1`).
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, capacity: i64) -> usize {
+        assert!(capacity >= 0, "capacities must be non-negative");
+        let idx = self.to.len();
+        // forward
+        self.to.push(v);
+        self.cap.push(capacity);
+        self.next.push(self.head[u as usize]);
+        self.head[u as usize] = idx as i64;
+        // residual
+        self.to.push(u);
+        self.cap.push(0);
+        self.next.push(self.head[v as usize]);
+        self.head[v as usize] = (idx + 1) as i64;
+        idx
+    }
+
+    /// Adds an *undirected* edge as two directed edges of the same
+    /// capacity (flow may use either direction up to `capacity`).
+    pub fn add_undirected_edge(&mut self, u: NodeId, v: NodeId, capacity: i64) {
+        self.add_edge(u, v, capacity);
+        self.add_edge(v, u, capacity);
+    }
+
+    /// Remaining capacity of edge `idx` (decreases as flow is pushed).
+    pub fn residual(&self, idx: usize) -> i64 {
+        self.cap[idx]
+    }
+
+    /// Computes the maximum `source → sink` flow (Dinic), mutating the
+    /// residual capacities in place.
+    pub fn max_flow(&mut self, source: NodeId, sink: NodeId) -> i64 {
+        assert_ne!(source, sink, "source and sink must differ");
+        let n = self.num_nodes();
+        let mut total = 0i64;
+        let mut level = vec![-1i32; n];
+        let mut iter = vec![0i64; n];
+        loop {
+            // BFS levels on the residual graph
+            level.iter_mut().for_each(|l| *l = -1);
+            level[source as usize] = 0;
+            let mut q = VecDeque::new();
+            q.push_back(source);
+            while let Some(u) = q.pop_front() {
+                let mut e = self.head[u as usize];
+                while e >= 0 {
+                    let ei = e as usize;
+                    let v = self.to[ei] as usize;
+                    if self.cap[ei] > 0 && level[v] < 0 {
+                        level[v] = level[u as usize] + 1;
+                        q.push_back(v as NodeId);
+                    }
+                    e = self.next[ei];
+                }
+            }
+            if level[sink as usize] < 0 {
+                break;
+            }
+            iter.copy_from_slice(&self.head);
+            loop {
+                let pushed = self.dfs(source, sink, i64::MAX, &level, &mut iter);
+                if pushed == 0 {
+                    break;
+                }
+                total += pushed;
+            }
+        }
+        total
+    }
+
+    /// Blocking-flow DFS along level-increasing residual edges.
+    fn dfs(&mut self, u: NodeId, sink: NodeId, limit: i64, level: &[i32], iter: &mut [i64]) -> i64 {
+        if u == sink {
+            return limit;
+        }
+        while iter[u as usize] >= 0 {
+            let ei = iter[u as usize] as usize;
+            let v = self.to[ei];
+            if self.cap[ei] > 0 && level[v as usize] == level[u as usize] + 1 {
+                let pushed = self.dfs(v, sink, limit.min(self.cap[ei]), level, iter);
+                if pushed > 0 {
+                    self.cap[ei] -= pushed;
+                    self.cap[ei ^ 1] += pushed;
+                    return pushed;
+                }
+            }
+            iter[u as usize] = self.next[ei];
+        }
+        0
+    }
+}
+
+/// Maximum number of edge-disjoint paths between `s` and `t` in an
+/// undirected graph (unit-capacity max-flow) — by Menger's theorem
+/// also the edge connectivity between the pair.
+///
+/// # Example
+///
+/// ```
+/// let mut b = socmix_graph::GraphBuilder::new();
+/// for i in 0..10u32 {
+///     b.add_edge(i, (i + 1) % 10); // a 10-cycle
+/// }
+/// let g = b.build();
+/// assert_eq!(socmix_graph::flow::edge_disjoint_paths(&g, 0, 5), 2);
+/// ```
+pub fn edge_disjoint_paths(g: &Graph, s: NodeId, t: NodeId) -> i64 {
+    let mut net = FlowNetwork::new(g.num_nodes());
+    for (u, v) in g.edges() {
+        net.add_undirected_edge(u, v, 1);
+    }
+    net.max_flow(s, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn single_path() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 5);
+        net.add_edge(1, 2, 3);
+        assert_eq!(net.max_flow(0, 2), 3);
+    }
+
+    #[test]
+    fn parallel_paths_add_up() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 2);
+        net.add_edge(1, 3, 2);
+        net.add_edge(0, 2, 3);
+        net.add_edge(2, 3, 3);
+        assert_eq!(net.max_flow(0, 3), 5);
+    }
+
+    #[test]
+    fn classic_crossing_network() {
+        // the textbook network where the naive greedy needs the
+        // residual cross edge
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 1);
+        net.add_edge(0, 2, 1);
+        net.add_edge(1, 2, 1);
+        net.add_edge(1, 3, 1);
+        net.add_edge(2, 3, 1);
+        assert_eq!(net.max_flow(0, 3), 2);
+    }
+
+    #[test]
+    fn disconnected_gives_zero() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 7);
+        net.add_edge(2, 3, 7);
+        assert_eq!(net.max_flow(0, 3), 0);
+    }
+
+    #[test]
+    fn bottleneck_respected() {
+        let mut net = FlowNetwork::new(5);
+        net.add_edge(0, 1, 100);
+        net.add_edge(1, 2, 1);
+        net.add_edge(2, 3, 100);
+        net.add_edge(3, 4, 100);
+        assert_eq!(net.max_flow(0, 4), 1);
+    }
+
+    #[test]
+    fn undirected_edge_usable_both_ways() {
+        let mut net = FlowNetwork::new(3);
+        net.add_undirected_edge(0, 1, 2);
+        net.add_undirected_edge(1, 2, 2);
+        assert_eq!(net.max_flow(0, 2), 2);
+        let mut net2 = FlowNetwork::new(3);
+        net2.add_undirected_edge(0, 1, 2);
+        net2.add_undirected_edge(1, 2, 2);
+        assert_eq!(net2.max_flow(2, 0), 2, "symmetric in direction");
+    }
+
+    #[test]
+    fn edge_disjoint_paths_on_cycle() {
+        // a cycle offers exactly 2 edge-disjoint paths between any pair
+        let mut b = GraphBuilder::new();
+        for i in 0..8u32 {
+            b.add_edge(i, (i + 1) % 8);
+        }
+        let g = b.build();
+        assert_eq!(edge_disjoint_paths(&g, 0, 4), 2);
+    }
+
+    #[test]
+    fn edge_disjoint_paths_on_complete_graph() {
+        let mut b = GraphBuilder::new();
+        for u in 0..6u32 {
+            for v in (u + 1)..6 {
+                b.add_edge(u, v);
+            }
+        }
+        let g = b.build();
+        // K_6: 5 edge-disjoint paths between any two nodes
+        assert_eq!(edge_disjoint_paths(&g, 0, 3), 5);
+    }
+
+    #[test]
+    fn bridge_limits_paths_to_one() {
+        let g = GraphBuilder::from_edges([(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)])
+            .build();
+        assert_eq!(edge_disjoint_paths(&g, 0, 5), 1, "edge 2-3 is a bridge");
+    }
+
+    #[test]
+    fn flow_conservation_via_cut() {
+        // max-flow equals the capacity of the obvious cut
+        let mut net = FlowNetwork::new(6);
+        net.add_edge(0, 1, 10);
+        net.add_edge(0, 2, 10);
+        net.add_edge(1, 3, 4);
+        net.add_edge(2, 3, 9);
+        net.add_edge(3, 4, 15);
+        net.add_edge(4, 5, 10);
+        assert_eq!(net.max_flow(0, 5), 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_capacity_rejected() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, -1);
+    }
+}

@@ -1,0 +1,281 @@
+//! Edge-list and binary graph I/O.
+//!
+//! Two formats:
+//!
+//! - **Text edge list** — the format the paper's datasets (SNAP et al.)
+//!   ship in: one `u v` pair per line, `#`-prefixed comment lines,
+//!   arbitrary whitespace. Directed inputs are symmetrized on load,
+//!   matching the paper's directed→undirected conversion.
+//! - **Compact binary** — a little-endian dump of the CSR arrays with a
+//!   magic header, for caching large generated graphs between
+//!   experiment runs without re-generation cost.
+
+use crate::{Graph, GraphBuilder, NodeId};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors from graph loading.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A data line could not be parsed as two node ids.
+    Parse { line: usize, content: String },
+    /// Binary header mismatch or truncated payload.
+    Format(String),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::Parse { line, content } => {
+                write!(f, "line {line}: cannot parse edge from {content:?}")
+            }
+            Self::Format(msg) => write!(f, "bad binary graph: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for LoadError {
+    fn from(e: io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+/// Parses a text edge list from a reader.
+///
+/// Lines starting with `#` or `%` and blank lines are skipped. Each
+/// remaining line must contain at least two whitespace-separated
+/// integers; any further columns (weights, timestamps) are ignored.
+/// Edges are symmetrized, self-loops dropped, duplicates merged.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, LoadError> {
+    let mut b = GraphBuilder::new();
+    let buf = BufReader::new(reader);
+    for (idx, line) in buf.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let (Some(a), Some(bb)) = (it.next(), it.next()) else {
+            return Err(LoadError::Parse {
+                line: idx + 1,
+                content: line.clone(),
+            });
+        };
+        let (Ok(u), Ok(v)) = (a.parse::<NodeId>(), bb.parse::<NodeId>()) else {
+            return Err(LoadError::Parse {
+                line: idx + 1,
+                content: line.clone(),
+            });
+        };
+        b.add_edge(u, v);
+    }
+    Ok(b.build())
+}
+
+/// Loads a text edge list from a file path.
+pub fn load_edge_list<P: AsRef<Path>>(path: P) -> Result<Graph, LoadError> {
+    read_edge_list(std::fs::File::open(path)?)
+}
+
+/// Writes the graph as a text edge list (one `u v` line per undirected
+/// edge, `u < v`), preceded by a comment header with counts.
+pub fn write_edge_list<W: Write>(g: &Graph, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# socmix edge list: nodes={} edges={}", g.num_nodes(), g.num_edges())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()
+}
+
+/// Saves a text edge list to a file path.
+pub fn save_edge_list<P: AsRef<Path>>(g: &Graph, path: P) -> io::Result<()> {
+    write_edge_list(g, std::fs::File::create(path)?)
+}
+
+const BIN_MAGIC: &[u8; 8] = b"SOCMIXG1";
+
+/// Writes the compact binary format.
+///
+/// Layout (little-endian): magic `SOCMIXG1`, `u64` node count, `u64`
+/// target count, `u64` offsets (n+1 of them), `u32` targets.
+pub fn write_binary<W: Write>(g: &Graph, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(BIN_MAGIC)?;
+    w.write_all(&(g.num_nodes() as u64).to_le_bytes())?;
+    w.write_all(&(g.total_degree() as u64).to_le_bytes())?;
+    for &off in g.offsets() {
+        w.write_all(&(off as u64).to_le_bytes())?;
+    }
+    for &t in g.raw_targets() {
+        w.write_all(&t.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Reads the compact binary format and re-validates all invariants.
+pub fn read_binary<R: Read>(reader: R) -> Result<Graph, LoadError> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != BIN_MAGIC {
+        return Err(LoadError::Format("magic mismatch".into()));
+    }
+    let mut u64buf = [0u8; 8];
+    r.read_exact(&mut u64buf)?;
+    let n = u64::from_le_bytes(u64buf) as usize;
+    r.read_exact(&mut u64buf)?;
+    let nt = u64::from_le_bytes(u64buf) as usize;
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        r.read_exact(&mut u64buf)?;
+        offsets.push(u64::from_le_bytes(u64buf) as usize);
+    }
+    let mut targets = Vec::with_capacity(nt);
+    let mut u32buf = [0u8; 4];
+    for _ in 0..nt {
+        r.read_exact(&mut u32buf)?;
+        targets.push(NodeId::from_le_bytes(u32buf));
+    }
+    if offsets.first() != Some(&0) || offsets.last() != Some(&nt) {
+        return Err(LoadError::Format("offset bounds inconsistent".into()));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(LoadError::Format("offsets not monotone".into()));
+    }
+    let g = Graph::from_csr_unchecked(offsets, targets);
+    g.validate()
+        .map_err(|e| LoadError::Format(format!("invariant violation: {e}")))?;
+    Ok(g)
+}
+
+/// Saves the compact binary format to a file path.
+pub fn save_binary<P: AsRef<Path>>(g: &Graph, path: P) -> io::Result<()> {
+    write_binary(g, std::fs::File::create(path)?)
+}
+
+/// Loads the compact binary format from a file path.
+pub fn load_binary<P: AsRef<Path>>(path: P) -> Result<Graph, LoadError> {
+    read_binary(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        GraphBuilder::from_edges([(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)]).build()
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn text_skips_comments_and_blanks() {
+        let text = "# comment\n% other comment\n\n0 1\n1 2 999 extra-cols\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn text_symmetrizes_directed_input() {
+        let text = "0 1\n1 0\n2 0\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn text_rejects_garbage() {
+        let err = read_edge_list("0 1\nhello world\n".as_bytes()).unwrap_err();
+        match err {
+            LoadError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn text_rejects_single_column() {
+        assert!(matches!(
+            read_edge_list("42\n".as_bytes()),
+            Err(LoadError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_roundtrip_empty() {
+        let g = Graph::empty(0);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        assert_eq!(read_binary(&buf[..]).unwrap(), g);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let buf = b"NOTMAGIC\0\0\0\0\0\0\0\0".to_vec();
+        assert!(matches!(read_binary(&buf[..]), Err(LoadError::Format(_))));
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(matches!(read_binary(&buf[..]), Err(LoadError::Io(_))));
+    }
+
+    #[test]
+    fn binary_rejects_corrupt_targets() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        // Clobber the final target with an out-of-range id.
+        let len = buf.len();
+        buf[len - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(read_binary(&buf[..]), Err(LoadError::Format(_))));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("socmix-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = sample();
+        let txt = dir.join("g.txt");
+        let bin = dir.join("g.bin");
+        save_edge_list(&g, &txt).unwrap();
+        save_binary(&g, &bin).unwrap();
+        assert_eq!(load_edge_list(&txt).unwrap(), g);
+        assert_eq!(load_binary(&bin).unwrap(), g);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,352 @@
+//! Subgraph sampling.
+//!
+//! The paper samples representative subgraphs of its four million-node
+//! datasets "using the breadth first search (BFS) algorithm beginning
+//! from a random node" to obtain 10K / 100K / 1000K node graphs
+//! (Section 4, with the footnote that BFS biases samples toward
+//! *faster* mixing — which only strengthens its slow-mixing
+//! conclusion). [`bfs_sample`] reproduces that sampler; a random-walk
+//! sampler is provided as an alternative for sensitivity analysis.
+
+use crate::subgraph::{induced_subgraph, NodeMapping};
+use crate::{Graph, NodeId};
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// BFS-samples up to `target` nodes starting from `seed` and returns
+/// the induced subgraph.
+///
+/// The frontier is expanded in breadth-first order; expansion stops as
+/// soon as `target` nodes have been collected (nodes already queued
+/// beyond the cutoff are discarded). If the component containing
+/// `seed` has fewer than `target` nodes the whole component is
+/// returned.
+pub fn bfs_sample(g: &Graph, seed: NodeId, target: usize) -> (Graph, NodeMapping) {
+    if target == 0 {
+        return (Graph::empty(0), NodeMapping::from_sorted(Vec::new()));
+    }
+    let mut seen = vec![false; g.num_nodes()];
+    let mut collected = Vec::with_capacity(target.min(g.num_nodes()));
+    let mut queue = VecDeque::new();
+    seen[seed as usize] = true;
+    queue.push_back(seed);
+    while let Some(u) = queue.pop_front() {
+        collected.push(u);
+        if collected.len() >= target {
+            break;
+        }
+        for &v in g.neighbors(u) {
+            if !seen[v as usize] {
+                seen[v as usize] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    induced_subgraph(g, &collected)
+}
+
+/// BFS sample from a uniformly random seed node.
+pub fn bfs_sample_random<R: Rng + ?Sized>(
+    g: &Graph,
+    target: usize,
+    rng: &mut R,
+) -> (Graph, NodeMapping) {
+    assert!(g.num_nodes() > 0, "cannot sample an empty graph");
+    let seed = rng.random_range(0..g.num_nodes() as NodeId);
+    bfs_sample(g, seed, target)
+}
+
+/// Collects up to `target` distinct nodes by running a simple random
+/// walk from `seed` (restarting at `seed` when stuck on an isolated
+/// node) and returns the induced subgraph.
+///
+/// Unlike BFS sampling this explores proportionally to stationary
+/// probability mass, producing samples that are *less* biased toward a
+/// tight, fast-mixing neighborhood; useful as a sensitivity check on
+/// the paper's BFS choice.
+pub fn walk_sample<R: Rng + ?Sized>(
+    g: &Graph,
+    seed: NodeId,
+    target: usize,
+    max_steps: usize,
+    rng: &mut R,
+) -> (Graph, NodeMapping) {
+    let mut seen = vec![false; g.num_nodes()];
+    let mut collected = Vec::new();
+    let mut cur = seed;
+    if target > 0 {
+        seen[seed as usize] = true;
+        collected.push(seed);
+    }
+    let mut steps = 0usize;
+    while collected.len() < target && steps < max_steps {
+        steps += 1;
+        let nbrs = g.neighbors(cur);
+        if nbrs.is_empty() {
+            break;
+        }
+        cur = nbrs[rng.random_range(0..nbrs.len())];
+        if !seen[cur as usize] {
+            seen[cur as usize] = true;
+            collected.push(cur);
+        }
+    }
+    induced_subgraph(g, &collected)
+}
+
+/// Forest-fire sampling (Leskovec–Faloutsos): from `seed`, "burn"
+/// a geometrically distributed number of unvisited neighbors of each
+/// burning node (mean `p_forward/(1−p_forward)` per node), breadth
+/// first, until `target` nodes are collected or the fire dies (then
+/// reignite at a random unvisited node).
+///
+/// Unlike BFS, forest fire does not exhaustively take every frontier
+/// node, so it preserves more of the original degree/community shape
+/// — the standard sampler-sensitivity comparison to the paper's BFS
+/// choice.
+pub fn forest_fire_sample<R: Rng + ?Sized>(
+    g: &Graph,
+    seed: NodeId,
+    target: usize,
+    p_forward: f64,
+    rng: &mut R,
+) -> (Graph, NodeMapping) {
+    assert!((0.0..1.0).contains(&p_forward), "p_forward must be in [0,1)");
+    if target == 0 {
+        return (Graph::empty(0), NodeMapping::from_sorted(Vec::new()));
+    }
+    let n = g.num_nodes();
+    let mut seen = vec![false; n];
+    let mut collected = Vec::with_capacity(target.min(n));
+    let mut queue = VecDeque::new();
+    let ignite = |v: NodeId,
+                      seen: &mut Vec<bool>,
+                      collected: &mut Vec<NodeId>,
+                      queue: &mut VecDeque<NodeId>| {
+        if !seen[v as usize] {
+            seen[v as usize] = true;
+            collected.push(v);
+            queue.push_back(v);
+        }
+    };
+    ignite(seed, &mut seen, &mut collected, &mut queue);
+    let mut scratch: Vec<NodeId> = Vec::new();
+    while collected.len() < target.min(n) {
+        let Some(u) = queue.pop_front() else {
+            // fire died: reignite at a random unburned node
+            let mut v = rng.random_range(0..n as NodeId);
+            let mut guard = 0;
+            while seen[v as usize] && guard < 4 * n {
+                v = rng.random_range(0..n as NodeId);
+                guard += 1;
+            }
+            if seen[v as usize] {
+                break; // everything burned
+            }
+            ignite(v, &mut seen, &mut collected, &mut queue);
+            continue;
+        };
+        // geometric number of forward burns with mean p/(1-p)
+        let mut burns = 0usize;
+        while rng.random::<f64>() < p_forward {
+            burns += 1;
+        }
+        if burns == 0 {
+            continue;
+        }
+        scratch.clear();
+        scratch.extend(g.neighbors(u).iter().copied().filter(|&v| !seen[v as usize]));
+        // burn a random subset of `burns` unvisited neighbors
+        for _ in 0..burns.min(scratch.len()) {
+            let i = rng.random_range(0..scratch.len());
+            let v = scratch.swap_remove(i);
+            ignite(v, &mut seen, &mut collected, &mut queue);
+            if collected.len() >= target {
+                break;
+            }
+        }
+    }
+    induced_subgraph(g, &collected)
+}
+
+/// A uniformly random node id.
+pub fn random_node<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> NodeId {
+    assert!(g.num_nodes() > 0, "empty graph has no nodes");
+    rng.random_range(0..g.num_nodes() as NodeId)
+}
+
+/// `k` distinct uniformly random node ids (Floyd's algorithm).
+///
+/// # Panics
+///
+/// Panics if `k > g.num_nodes()`.
+pub fn random_nodes<R: Rng + ?Sized>(g: &Graph, k: usize, rng: &mut R) -> Vec<NodeId> {
+    let n = g.num_nodes();
+    assert!(k <= n, "cannot draw {k} distinct nodes from {n}");
+    // Floyd's sampling: O(k) expected, distinct by construction.
+    let mut chosen = std::collections::HashSet::with_capacity(k);
+    let mut out = Vec::with_capacity(k);
+    for j in (n - k)..n {
+        let t = rng.random_range(0..=j as NodeId);
+        let pick = if chosen.insert(t) { t } else { j as NodeId };
+        if pick != t {
+            chosen.insert(pick);
+        }
+        out.push(pick);
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_connected;
+    use crate::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn grid(w: usize, h: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        let id = |x: usize, y: usize| (y * w + x) as NodeId;
+        for y in 0..h {
+            for x in 0..w {
+                if x + 1 < w {
+                    b.add_edge(id(x, y), id(x + 1, y));
+                }
+                if y + 1 < h {
+                    b.add_edge(id(x, y), id(x, y + 1));
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn bfs_sample_exact_size() {
+        let g = grid(10, 10);
+        let (s, map) = bfs_sample(&g, 0, 25);
+        assert_eq!(s.num_nodes(), 25);
+        assert_eq!(map.len(), 25);
+    }
+
+    #[test]
+    fn bfs_sample_is_connected_on_grid() {
+        // BFS prefix of a connected graph induces a connected subgraph
+        // (every sampled node reached through earlier sampled nodes).
+        let g = grid(12, 12);
+        for target in [1usize, 7, 50, 144] {
+            let (s, _) = bfs_sample(&g, 5, target);
+            assert!(is_connected(&s), "target={target}");
+        }
+    }
+
+    #[test]
+    fn bfs_sample_caps_at_component() {
+        let mut b = GraphBuilder::from_edges([(0, 1), (1, 2)]);
+        b.grow_to(10);
+        let g = b.build();
+        let (s, _) = bfs_sample(&g, 0, 100);
+        assert_eq!(s.num_nodes(), 3);
+    }
+
+    #[test]
+    fn bfs_sample_zero_target() {
+        let g = grid(3, 3);
+        let (s, _) = bfs_sample(&g, 0, 0);
+        assert_eq!(s.num_nodes(), 0);
+    }
+
+    #[test]
+    fn bfs_sample_contains_seed() {
+        let g = grid(5, 5);
+        let (_, map) = bfs_sample(&g, 13, 4);
+        assert!(map.new_id(13).is_some());
+    }
+
+    #[test]
+    fn walk_sample_collects_target() {
+        let g = grid(8, 8);
+        let mut rng = StdRng::seed_from_u64(7);
+        let (s, _) = walk_sample(&g, 0, 20, 100_000, &mut rng);
+        assert_eq!(s.num_nodes(), 20);
+    }
+
+    #[test]
+    fn walk_sample_respects_step_budget() {
+        let g = grid(8, 8);
+        let mut rng = StdRng::seed_from_u64(7);
+        let (s, _) = walk_sample(&g, 0, 64, 3, &mut rng);
+        assert!(s.num_nodes() <= 4); // seed + at most 3 steps
+    }
+
+    #[test]
+    fn forest_fire_reaches_target() {
+        let g = grid(12, 12);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (s, _) = forest_fire_sample(&g, 0, 50, 0.5, &mut rng);
+        assert_eq!(s.num_nodes(), 50);
+    }
+
+    #[test]
+    fn forest_fire_zero_target() {
+        let g = grid(4, 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (s, _) = forest_fire_sample(&g, 0, 0, 0.5, &mut rng);
+        assert_eq!(s.num_nodes(), 0);
+    }
+
+    #[test]
+    fn forest_fire_caps_at_graph_size() {
+        let g = grid(4, 4);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (s, _) = forest_fire_sample(&g, 0, 1000, 0.6, &mut rng);
+        assert_eq!(s.num_nodes(), 16);
+    }
+
+    #[test]
+    fn forest_fire_reignites_across_components() {
+        let mut b = GraphBuilder::from_edges([(0, 1), (1, 2), (3, 4), (4, 5)]);
+        b.grow_to(6);
+        let g = b.build();
+        let mut rng = StdRng::seed_from_u64(3);
+        let (s, _) = forest_fire_sample(&g, 0, 6, 0.7, &mut rng);
+        assert_eq!(s.num_nodes(), 6, "must reignite into the other component");
+    }
+
+    #[test]
+    fn forest_fire_deterministic() {
+        let g = grid(10, 10);
+        let a = forest_fire_sample(&g, 5, 40, 0.5, &mut StdRng::seed_from_u64(7));
+        let b = forest_fire_sample(&g, 5, 40, 0.5, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a.0, b.0);
+    }
+
+    #[test]
+    fn random_nodes_distinct_and_in_range() {
+        let g = grid(6, 6);
+        let mut rng = StdRng::seed_from_u64(42);
+        let picks = random_nodes(&g, 20, &mut rng);
+        assert_eq!(picks.len(), 20);
+        let mut dedup = picks.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 20, "duplicates drawn");
+        assert!(picks.iter().all(|&v| (v as usize) < g.num_nodes()));
+    }
+
+    #[test]
+    fn random_nodes_full_population() {
+        let g = grid(4, 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let picks = random_nodes(&g, 16, &mut rng);
+        assert_eq!(picks, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bfs_sample_random_deterministic_with_seed() {
+        let g = grid(9, 9);
+        let (a, _) = bfs_sample_random(&g, 30, &mut StdRng::seed_from_u64(5));
+        let (b, _) = bfs_sample_random(&g, 30, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,250 @@
+//! Descriptive graph statistics.
+//!
+//! The paper's Table 1 reports node/edge counts per dataset; the
+//! catalog calibration in `socmix-gen` additionally matches degree
+//! shape and clustering, which these helpers measure.
+
+use crate::{Graph, NodeId};
+use rand::Rng;
+
+/// Summary statistics in the shape of the paper's Table 1 row plus the
+/// structural quantities used for catalog calibration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    pub nodes: usize,
+    pub edges: usize,
+    pub min_degree: usize,
+    pub max_degree: usize,
+    pub avg_degree: f64,
+    /// Exact global clustering coefficient (transitivity):
+    /// `3·triangles / open-wedges`.
+    pub transitivity: f64,
+}
+
+/// Computes [`GraphStats`] (exact; `transitivity` costs
+/// O(Σ deg(v)·log·deg)).
+pub fn graph_stats(g: &Graph) -> GraphStats {
+    let (tri, wedges) = triangles_and_wedges(g);
+    GraphStats {
+        nodes: g.num_nodes(),
+        edges: g.num_edges(),
+        min_degree: g.min_degree(),
+        max_degree: g.max_degree(),
+        avg_degree: g.avg_degree(),
+        transitivity: if wedges == 0 {
+            0.0
+        } else {
+            3.0 * tri as f64 / wedges as f64
+        },
+    }
+}
+
+/// Histogram of degrees: `hist[d]` = number of nodes of degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in g.nodes() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+/// Exact triangle count and wedge (path of length 2) count.
+///
+/// Triangles are counted once each using the ordered-neighbor
+/// intersection trick: for every edge `(u,v)` with `u < v`, count
+/// common neighbors `w > v`.
+pub fn triangles_and_wedges(g: &Graph) -> (u64, u64) {
+    let mut triangles = 0u64;
+    for (u, v) in g.edges() {
+        let (a, b) = (g.neighbors(u), g.neighbors(v));
+        // two-pointer intersection restricted to w > v
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            let (x, y) = (a[i], b[j]);
+            if x == y {
+                if x > v {
+                    triangles += 1;
+                }
+                i += 1;
+                j += 1;
+            } else if x < y {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+    }
+    let wedges: u64 = g
+        .nodes()
+        .map(|v| {
+            let d = g.degree(v) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum();
+    (triangles, wedges)
+}
+
+/// Local clustering coefficient of one node.
+pub fn local_clustering(g: &Graph, v: NodeId) -> f64 {
+    let d = g.degree(v);
+    if d < 2 {
+        return 0.0;
+    }
+    let nbrs = g.neighbors(v);
+    let mut links = 0usize;
+    for (i, &a) in nbrs.iter().enumerate() {
+        for &b in &nbrs[i + 1..] {
+            if g.has_edge(a, b) {
+                links += 1;
+            }
+        }
+    }
+    2.0 * links as f64 / (d * (d - 1)) as f64
+}
+
+/// Average local clustering estimated over `samples` random nodes
+/// (exact if `samples >= n`).
+pub fn avg_clustering_sampled<R: Rng + ?Sized>(g: &Graph, samples: usize, rng: &mut R) -> f64 {
+    let n = g.num_nodes();
+    if n == 0 {
+        return 0.0;
+    }
+    if samples >= n {
+        let total: f64 = g.nodes().map(|v| local_clustering(g, v)).sum();
+        return total / n as f64;
+    }
+    let total: f64 = (0..samples)
+        .map(|_| local_clustering(g, rng.random_range(0..n as NodeId)))
+        .sum();
+    total / samples as f64
+}
+
+/// Degree assortativity (Pearson correlation of degrees across edges).
+///
+/// Social networks are typically assortative (r > 0); web/technology
+/// graphs disassortative. Returns 0 for degenerate graphs (no edges or
+/// constant degree).
+pub fn degree_assortativity(g: &Graph) -> f64 {
+    let m2 = g.total_degree() as f64; // 2m directed half-edges
+    if m2 == 0.0 {
+        return 0.0;
+    }
+    // Pearson over directed half-edges (each undirected edge counted in
+    // both orientations), the standard Newman formulation.
+    let (mut sxy, mut sx, mut sx2) = (0.0f64, 0.0f64, 0.0f64);
+    for u in g.nodes() {
+        let du = g.degree(u) as f64;
+        for &v in g.neighbors(u) {
+            let dv = g.degree(v) as f64;
+            sxy += du * dv;
+            sx += du;
+            sx2 += du * du;
+        }
+    }
+    let num = sxy / m2 - (sx / m2) * (sx / m2);
+    let den = sx2 / m2 - (sx / m2) * (sx / m2);
+    if den.abs() < 1e-15 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn triangle() -> Graph {
+        GraphBuilder::from_edges([(0, 1), (1, 2), (0, 2)]).build()
+    }
+
+    fn path4() -> Graph {
+        GraphBuilder::from_edges([(0, 1), (1, 2), (2, 3)]).build()
+    }
+
+    #[test]
+    fn triangle_counts() {
+        let (t, w) = triangles_and_wedges(&triangle());
+        assert_eq!(t, 1);
+        assert_eq!(w, 3);
+    }
+
+    #[test]
+    fn path_has_no_triangles() {
+        let (t, w) = triangles_and_wedges(&path4());
+        assert_eq!(t, 0);
+        assert_eq!(w, 2);
+    }
+
+    #[test]
+    fn transitivity_of_triangle_is_one() {
+        let s = graph_stats(&triangle());
+        assert!((s.transitivity - 1.0).abs() < 1e-12);
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.edges, 3);
+    }
+
+    #[test]
+    fn transitivity_of_star_is_zero() {
+        let star = GraphBuilder::from_edges([(0, 1), (0, 2), (0, 3)]).build();
+        assert_eq!(graph_stats(&star).transitivity, 0.0);
+    }
+
+    #[test]
+    fn complete_graph_triangle_count() {
+        let mut b = GraphBuilder::new();
+        let n = 6u32;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                b.add_edge(u, v);
+            }
+        }
+        let (t, _) = triangles_and_wedges(&b.build());
+        assert_eq!(t, 20); // C(6,3)
+    }
+
+    #[test]
+    fn degree_histogram_shape() {
+        let h = degree_histogram(&path4());
+        assert_eq!(h, vec![0, 2, 2]);
+    }
+
+    #[test]
+    fn degree_histogram_empty() {
+        assert_eq!(degree_histogram(&Graph::empty(0)), vec![0]);
+    }
+
+    #[test]
+    fn local_clustering_cases() {
+        let g = GraphBuilder::from_edges([(0, 1), (0, 2), (0, 3), (1, 2)]).build();
+        assert!((local_clustering(&g, 0) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(local_clustering(&g, 3), 0.0); // degree 1
+    }
+
+    #[test]
+    fn sampled_clustering_matches_exact_when_full() {
+        let g = triangle();
+        let mut rng = StdRng::seed_from_u64(0);
+        let c = avg_clustering_sampled(&g, 100, &mut rng);
+        assert!((c - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assortativity_bounds() {
+        // Star is maximally disassortative among these fixtures.
+        let star = GraphBuilder::from_edges([(0, 1), (0, 2), (0, 3), (0, 4)]).build();
+        let r = degree_assortativity(&star);
+        assert!(r < 0.0 || r.abs() < 1e-9, "star should be non-assortative, got {r}");
+        // Regular graph: degenerate, defined as 0.
+        let cyc = GraphBuilder::from_edges([(0, 1), (1, 2), (2, 3), (3, 0)]).build();
+        assert_eq!(degree_assortativity(&cyc), 0.0);
+    }
+
+    #[test]
+    fn assortativity_empty() {
+        assert_eq!(degree_assortativity(&Graph::empty(3)), 0.0);
+    }
+}

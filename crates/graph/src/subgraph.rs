@@ -1,0 +1,156 @@
+//! Induced subgraphs with id relabeling.
+
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// Mapping between original node ids and the dense ids of an extracted
+/// subgraph.
+///
+/// Every extraction in this crate (largest component, trimming, BFS
+/// sampling) returns one of these alongside the new [`Graph`], so that
+/// measurements on the subgraph can be reported against original ids.
+#[derive(Debug, Clone)]
+pub struct NodeMapping {
+    /// `to_original[new_id] = old_id`; sorted ascending.
+    to_original: Vec<NodeId>,
+}
+
+impl NodeMapping {
+    /// Builds a mapping from a sorted, deduplicated list of kept
+    /// original ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `kept` is not strictly increasing.
+    pub fn from_sorted(kept: Vec<NodeId>) -> Self {
+        debug_assert!(kept.windows(2).all(|w| w[0] < w[1]), "kept ids must be strictly sorted");
+        NodeMapping { to_original: kept }
+    }
+
+    /// Number of nodes in the subgraph.
+    pub fn len(&self) -> usize {
+        self.to_original.len()
+    }
+
+    /// Whether the subgraph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.to_original.is_empty()
+    }
+
+    /// Original id of subgraph node `new_id`.
+    pub fn original(&self, new_id: NodeId) -> NodeId {
+        self.to_original[new_id as usize]
+    }
+
+    /// Subgraph id of `old_id`, or `None` if it was dropped.
+    pub fn new_id(&self, old_id: NodeId) -> Option<NodeId> {
+        self.to_original
+            .binary_search(&old_id)
+            .ok()
+            .map(|i| i as NodeId)
+    }
+
+    /// The sorted original ids kept by the extraction.
+    pub fn kept(&self) -> &[NodeId] {
+        &self.to_original
+    }
+}
+
+/// Extracts the subgraph induced by `keep` (any order, duplicates
+/// ignored), relabeling nodes to dense ids.
+///
+/// Returns the subgraph and the id mapping. Edges are kept iff both
+/// endpoints are kept.
+pub fn induced_subgraph(g: &Graph, keep: &[NodeId]) -> (Graph, NodeMapping) {
+    let mut kept: Vec<NodeId> = keep.to_vec();
+    kept.sort_unstable();
+    kept.dedup();
+    let mapping = NodeMapping::from_sorted(kept);
+
+    // Dense reverse map for O(1) membership; UNSET sentinel.
+    const UNSET: NodeId = NodeId::MAX;
+    let mut rev = vec![UNSET; g.num_nodes()];
+    for (new_id, &old) in mapping.kept().iter().enumerate() {
+        rev[old as usize] = new_id as NodeId;
+    }
+
+    let mut b = GraphBuilder::new();
+    b.grow_to(mapping.len());
+    for (new_u, &old_u) in mapping.kept().iter().enumerate() {
+        for &old_v in g.neighbors(old_u) {
+            let new_v = rev[old_v as usize];
+            if new_v != UNSET && (new_u as NodeId) < new_v {
+                b.add_edge(new_u as NodeId, new_v);
+            }
+        }
+    }
+    (b.build(), mapping)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_with_tail() -> Graph {
+        // 0-1-2-3-0 square, tail 3-4
+        GraphBuilder::from_edges([(0, 1), (1, 2), (2, 3), (3, 0), (3, 4)]).build()
+    }
+
+    #[test]
+    fn keeps_internal_edges_only() {
+        let g = square_with_tail();
+        let (sub, map) = induced_subgraph(&g, &[0, 1, 2, 3]);
+        assert_eq!(sub.num_nodes(), 4);
+        assert_eq!(sub.num_edges(), 4);
+        assert!(map.new_id(4).is_none());
+    }
+
+    #[test]
+    fn relabels_densely() {
+        let g = square_with_tail();
+        let (sub, map) = induced_subgraph(&g, &[1, 3, 4]);
+        assert_eq!(sub.num_nodes(), 3);
+        // only 3-4 survives (1-3 is not an edge)
+        assert_eq!(sub.num_edges(), 1);
+        let n3 = map.new_id(3).unwrap();
+        let n4 = map.new_id(4).unwrap();
+        assert!(sub.has_edge(n3, n4));
+        assert_eq!(map.original(n3), 3);
+    }
+
+    #[test]
+    fn duplicates_and_order_ignored() {
+        let g = square_with_tail();
+        let (a, _) = induced_subgraph(&g, &[3, 0, 0, 1, 2, 3]);
+        let (b, _) = induced_subgraph(&g, &[0, 1, 2, 3]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_keep_set() {
+        let g = square_with_tail();
+        let (sub, map) = induced_subgraph(&g, &[]);
+        assert_eq!(sub.num_nodes(), 0);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn full_keep_set_is_identity() {
+        let g = square_with_tail();
+        let all: Vec<NodeId> = g.nodes().collect();
+        let (sub, map) = induced_subgraph(&g, &all);
+        assert_eq!(sub, g);
+        for v in g.nodes() {
+            assert_eq!(map.new_id(v), Some(v));
+            assert_eq!(map.original(v), v);
+        }
+    }
+
+    #[test]
+    fn mapping_roundtrip() {
+        let g = square_with_tail();
+        let (_, map) = induced_subgraph(&g, &[2, 4]);
+        for new_id in 0..map.len() as NodeId {
+            assert_eq!(map.new_id(map.original(new_id)), Some(new_id));
+        }
+    }
+}

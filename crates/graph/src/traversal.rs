@@ -1,0 +1,227 @@
+//! Breadth-first and depth-first traversal primitives.
+
+use crate::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Marker for "unreached" in distance arrays.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// BFS from `source`, returning hop distances (`UNREACHED` where the
+/// node is in another component).
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<u32> {
+    let mut dist = vec![UNREACHED; g.num_nodes()];
+    let mut queue = VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == UNREACHED {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Nodes reachable from `source`, in BFS visit order (including
+/// `source` itself first).
+pub fn bfs_order(g: &Graph, source: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; g.num_nodes()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    seen[source as usize] = true;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for &v in g.neighbors(u) {
+            if !seen[v as usize] {
+                seen[v as usize] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+/// Iterative DFS preorder from `source`.
+///
+/// Children are pushed in reverse adjacency order so the visit order
+/// matches the natural recursive DFS that explores the smallest
+/// neighbor first.
+pub fn dfs_order(g: &Graph, source: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; g.num_nodes()];
+    let mut order = Vec::new();
+    let mut stack = vec![source];
+    while let Some(u) = stack.pop() {
+        if seen[u as usize] {
+            continue;
+        }
+        seen[u as usize] = true;
+        order.push(u);
+        for &v in g.neighbors(u).iter().rev() {
+            if !seen[v as usize] {
+                stack.push(v);
+            }
+        }
+    }
+    order
+}
+
+/// Eccentricity of `source` within its component (max BFS distance).
+pub fn eccentricity(g: &Graph, source: NodeId) -> u32 {
+    bfs_distances(g, source)
+        .into_iter()
+        .filter(|&d| d != UNREACHED)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Lower bound on the diameter by the double-sweep heuristic: BFS from
+/// `seed`, then BFS again from the farthest node found.
+///
+/// Exact on trees; a strong lower bound in practice on social graphs,
+/// where computing the true diameter is quadratic.
+pub fn pseudo_diameter(g: &Graph, seed: NodeId) -> u32 {
+    let d1 = bfs_distances(g, seed);
+    let far = d1
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d != UNREACHED)
+        .max_by_key(|(_, &d)| d)
+        .map(|(i, _)| i as NodeId)
+        .unwrap_or(seed);
+    eccentricity(g, far)
+}
+
+/// Attempts to 2-color the component containing `source`.
+///
+/// Returns `Some(colors)` (0/1 per node, `u8::MAX` for nodes outside
+/// the component) when the component is bipartite, `None` when an
+/// odd cycle exists. Bipartite components make the plain random walk
+/// periodic, which is why the Markov layer checks this before taking
+/// powers of `P` (see `socmix-markov`).
+pub fn two_color(g: &Graph, source: NodeId) -> Option<Vec<u8>> {
+    let mut color = vec![u8::MAX; g.num_nodes()];
+    let mut queue = VecDeque::new();
+    color[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let cu = color[u as usize];
+        for &v in g.neighbors(u) {
+            let cv = &mut color[v as usize];
+            if *cv == u8::MAX {
+                *cv = cu ^ 1;
+                queue.push_back(v);
+            } else if *cv == cu {
+                return None;
+            }
+        }
+    }
+    Some(color)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn path(n: usize) -> Graph {
+        GraphBuilder::from_edges((0..n as NodeId - 1).map(|i| (i, i + 1))).build()
+    }
+
+    fn cycle(n: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        for i in 0..n as NodeId {
+            b.add_edge(i, (i + 1) % n as NodeId);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = path(5);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_marks_unreached() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(2, 3);
+        let g = b.build();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHED);
+        assert_eq!(d[3], UNREACHED);
+    }
+
+    #[test]
+    fn bfs_order_visits_component_once() {
+        let g = cycle(6);
+        let order = bfs_order(&g, 0);
+        assert_eq!(order.len(), 6);
+        assert_eq!(order[0], 0);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn dfs_order_prefers_smallest_neighbor() {
+        let g = path(4);
+        assert_eq!(dfs_order(&g, 0), vec![0, 1, 2, 3]);
+        // star from 0: visits leaves ascending
+        let star = GraphBuilder::from_edges([(0, 1), (0, 2), (0, 3)]).build();
+        assert_eq!(dfs_order(&star, 0), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn eccentricity_path_end() {
+        let g = path(7);
+        assert_eq!(eccentricity(&g, 0), 6);
+        assert_eq!(eccentricity(&g, 3), 3);
+    }
+
+    #[test]
+    fn pseudo_diameter_exact_on_path() {
+        let g = path(9);
+        assert_eq!(pseudo_diameter(&g, 4), 8);
+    }
+
+    #[test]
+    fn even_cycle_is_bipartite() {
+        let g = cycle(8);
+        let colors = two_color(&g, 0).expect("even cycle is bipartite");
+        for (u, v) in g.edges() {
+            assert_ne!(colors[u as usize], colors[v as usize]);
+        }
+    }
+
+    #[test]
+    fn odd_cycle_is_not_bipartite() {
+        let g = cycle(7);
+        assert!(two_color(&g, 0).is_none());
+    }
+
+    #[test]
+    fn two_color_outside_component_is_unset() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(2, 3);
+        let g = b.build();
+        let colors = two_color(&g, 0).unwrap();
+        assert_eq!(colors[2], u8::MAX);
+    }
+
+    #[test]
+    fn singleton_traversals() {
+        let g = Graph::empty(1);
+        assert_eq!(bfs_order(&g, 0), vec![0]);
+        assert_eq!(dfs_order(&g, 0), vec![0]);
+        assert_eq!(eccentricity(&g, 0), 0);
+        assert!(two_color(&g, 0).is_some());
+    }
+}

@@ -1,0 +1,255 @@
+//! Iterative low-degree trimming (degree core extraction).
+//!
+//! SybilGuard and SybilLimit preprocess their datasets by repeatedly
+//! removing nodes of low degree; the IMC'10 paper reproduces this in its
+//! Figure 6 (DBLP with minimum degree 1..5) and shows it trades graph
+//! coverage for mixing speed. [`trim_min_degree`] is exactly that
+//! operation: delete every node with degree < `d` and repeat until the
+//! remaining graph has minimum degree ≥ `d` — i.e. the `d`-core.
+
+use crate::subgraph::{induced_subgraph, NodeMapping};
+use crate::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Removes nodes of degree < `min_degree` iteratively until a fixpoint
+/// (the `min_degree`-core), relabeling the survivors densely.
+///
+/// `min_degree <= 1` keeps all non-isolated structure intact except
+/// isolated nodes when `min_degree == 1`; `min_degree == 0` is the
+/// identity. The result can be disconnected even if the input was
+/// connected — callers measuring mixing should re-extract the LCC
+/// (see [`trim_to_lcc`]).
+pub fn trim_min_degree(g: &Graph, min_degree: usize) -> (Graph, NodeMapping) {
+    let n = g.num_nodes();
+    if min_degree == 0 {
+        let all: Vec<NodeId> = g.nodes().collect();
+        return induced_subgraph(g, &all);
+    }
+    // Peeling: maintain residual degrees; queue nodes that fall below
+    // the threshold. O(n + m).
+    let mut deg: Vec<usize> = (0..n as NodeId).map(|v| g.degree(v)).collect();
+    let mut removed = vec![false; n];
+    let mut queue: VecDeque<NodeId> = (0..n as NodeId)
+        .filter(|&v| deg[v as usize] < min_degree)
+        .collect();
+    for &v in &queue {
+        removed[v as usize] = true;
+    }
+    while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            if removed[v as usize] {
+                continue;
+            }
+            deg[v as usize] -= 1;
+            if deg[v as usize] < min_degree {
+                removed[v as usize] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    let kept: Vec<NodeId> = (0..n as NodeId).filter(|&v| !removed[v as usize]).collect();
+    induced_subgraph(g, &kept)
+}
+
+/// Trims to the `min_degree`-core, then extracts the largest connected
+/// component — the full SybilGuard/SybilLimit preprocessing pipeline.
+///
+/// The returned mapping composes both steps (subgraph ids → original
+/// ids).
+pub fn trim_to_lcc(g: &Graph, min_degree: usize) -> (Graph, NodeMapping) {
+    let (core, map1) = trim_min_degree(g, min_degree);
+    let (lcc, map2) = crate::components::largest_component(&core);
+    let composed: Vec<NodeId> = map2.kept().iter().map(|&mid| map1.original(mid)).collect();
+    (lcc, NodeMapping::from_sorted(composed))
+}
+
+/// Core number of every node (the largest `k` such that the node
+/// survives in the `k`-core), via the standard peeling order.
+pub fn core_numbers(g: &Graph) -> Vec<u32> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Bucket-sort peeling (Batagelj–Zaveršnik), O(n + m).
+    let mut deg: Vec<usize> = (0..n as NodeId).map(|v| g.degree(v)).collect();
+    let maxd = *deg.iter().max().unwrap();
+    let mut bins = vec![0usize; maxd + 2];
+    for &d in &deg {
+        bins[d] += 1;
+    }
+    let mut start = 0usize;
+    for b in bins.iter_mut() {
+        let count = *b;
+        *b = start;
+        start += count;
+    }
+    // pos[v] = position of v in `order`; order sorted by current degree.
+    let mut order = vec![0 as NodeId; n];
+    let mut pos = vec![0usize; n];
+    {
+        let mut cursor = bins.clone();
+        for v in 0..n {
+            let d = deg[v];
+            order[cursor[d]] = v as NodeId;
+            pos[v] = cursor[d];
+            cursor[d] += 1;
+        }
+    }
+    let mut core = vec![0u32; n];
+    for i in 0..n {
+        let v = order[i];
+        core[v as usize] = deg[v as usize] as u32;
+        for &u in g.neighbors(v) {
+            let (du, dv) = (deg[u as usize], deg[v as usize]);
+            if du > dv {
+                // Swap u toward the front of its degree bucket, then
+                // shrink its degree.
+                let pu = pos[u as usize];
+                let pw = bins[du];
+                let w = order[pw];
+                if u != w {
+                    order[pu] = w;
+                    order[pw] = u;
+                    pos[u as usize] = pw;
+                    pos[w as usize] = pu;
+                }
+                bins[du] += 1;
+                deg[u as usize] -= 1;
+            }
+        }
+    }
+    core
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_connected;
+    use crate::GraphBuilder;
+
+    /// Triangle core with pendant chain: 3-4-5 hangs off node 0.
+    fn triangle_with_chain() -> Graph {
+        GraphBuilder::from_edges([(0, 1), (1, 2), (0, 2), (0, 3), (3, 4), (4, 5)]).build()
+    }
+
+    #[test]
+    fn trim_zero_is_identity() {
+        let g = triangle_with_chain();
+        let (t, map) = trim_min_degree(&g, 0);
+        assert_eq!(t, g);
+        assert_eq!(map.len(), g.num_nodes());
+    }
+
+    #[test]
+    fn trim_one_drops_isolated_only() {
+        let mut b = GraphBuilder::from_edges([(0, 1)]);
+        b.grow_to(4);
+        let g = b.build();
+        let (t, map) = trim_min_degree(&g, 1);
+        assert_eq!(t.num_nodes(), 2);
+        assert_eq!(map.kept(), &[0, 1]);
+    }
+
+    #[test]
+    fn trim_two_peels_chain_iteratively() {
+        let g = triangle_with_chain();
+        // degree-2 core: the chain 5,4,3 peels one after another.
+        let (t, map) = trim_min_degree(&g, 2);
+        assert_eq!(t.num_nodes(), 3);
+        assert_eq!(map.kept(), &[0, 1, 2]);
+        assert!(t.min_degree() >= 2);
+    }
+
+    #[test]
+    fn trim_result_min_degree_invariant() {
+        let g = triangle_with_chain();
+        for d in 0..5 {
+            let (t, _) = trim_min_degree(&g, d);
+            assert!(t.num_nodes() == 0 || t.min_degree() >= d, "d={d}");
+        }
+    }
+
+    #[test]
+    fn trim_beyond_max_degree_empties() {
+        let g = triangle_with_chain();
+        let (t, map) = trim_min_degree(&g, 4);
+        assert_eq!(t.num_nodes(), 0);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn trim_to_lcc_composes_mapping() {
+        // two triangles {0,1,2} and {4,5,6} joined by pendant 3 on 0:
+        // trimming d=2 leaves two disconnected triangles; LCC keeps one.
+        let g = GraphBuilder::from_edges([
+            (0, 1),
+            (1, 2),
+            (0, 2),
+            (0, 3),
+            (4, 5),
+            (5, 6),
+            (4, 6),
+        ])
+        .build();
+        let (t, map) = trim_to_lcc(&g, 2);
+        assert_eq!(t.num_nodes(), 3);
+        assert!(is_connected(&t));
+        // mapping must point back into one of the two triangles
+        let kept = map.kept();
+        assert!(kept == [0, 1, 2] || kept == [4, 5, 6]);
+    }
+
+    #[test]
+    fn core_numbers_on_mixed_graph() {
+        let g = triangle_with_chain();
+        let core = core_numbers(&g);
+        assert_eq!(core[0], 2);
+        assert_eq!(core[1], 2);
+        assert_eq!(core[2], 2);
+        assert_eq!(core[3], 1);
+        assert_eq!(core[4], 1);
+        assert_eq!(core[5], 1);
+    }
+
+    #[test]
+    fn core_numbers_agree_with_trim() {
+        // Node survives trim(d) iff core number >= d.
+        let g = GraphBuilder::from_edges([
+            (0, 1),
+            (1, 2),
+            (0, 2),
+            (2, 3),
+            (3, 4),
+            (4, 2),
+            (0, 3),
+            (5, 0),
+        ])
+        .build();
+        let core = core_numbers(&g);
+        for d in 0..4usize {
+            let (_, map) = trim_min_degree(&g, d);
+            let survivors: Vec<_> = map.kept().to_vec();
+            let expect: Vec<NodeId> = (0..g.num_nodes() as NodeId)
+                .filter(|&v| core[v as usize] as usize >= d)
+                .collect();
+            assert_eq!(survivors, expect, "d={d}");
+        }
+    }
+
+    #[test]
+    fn core_numbers_empty_graph() {
+        assert!(core_numbers(&Graph::empty(0)).is_empty());
+    }
+
+    #[test]
+    fn complete_graph_core() {
+        let mut b = GraphBuilder::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                b.add_edge(u, v);
+            }
+        }
+        let g = b.build();
+        assert!(core_numbers(&g).iter().all(|&c| c == 4));
+    }
+}

@@ -1,0 +1,177 @@
+//! Property tests over arbitrary edge lists: the graph substrate must
+//! uphold its invariants for any input, not just the fixtures.
+
+use proptest::prelude::*;
+use socmix_graph::{components, sample, subgraph, trim, GraphBuilder, NodeId};
+
+/// Arbitrary (possibly messy) edge list: duplicates, self-loops,
+/// arbitrary id gaps.
+fn edge_list() -> impl Strategy<Value = Vec<(NodeId, NodeId)>> {
+    proptest::collection::vec((0u32..60, 0u32..60), 0..150)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn builder_output_is_always_valid(edges in edge_list()) {
+        let g = GraphBuilder::from_edges(edges).build();
+        prop_assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn edge_count_consistency(edges in edge_list()) {
+        let g = GraphBuilder::from_edges(edges).build();
+        prop_assert_eq!(g.edges().count(), g.num_edges());
+        prop_assert_eq!(g.total_degree(), 2 * g.num_edges());
+        let degree_sum: usize = g.nodes().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, g.total_degree());
+    }
+
+    #[test]
+    fn has_edge_matches_edge_iterator(edges in edge_list()) {
+        let g = GraphBuilder::from_edges(edges).build();
+        for (u, v) in g.edges() {
+            prop_assert!(g.has_edge(u, v));
+            prop_assert!(g.has_edge(v, u));
+        }
+    }
+
+    #[test]
+    fn component_counts_agree(edges in edge_list()) {
+        let g = GraphBuilder::from_edges(edges).build();
+        if g.num_nodes() == 0 {
+            return Ok(());
+        }
+        prop_assert_eq!(
+            components::connected_components(&g).count(),
+            components::count_components_unionfind(&g)
+        );
+    }
+
+    #[test]
+    fn component_sizes_sum_to_n(edges in edge_list()) {
+        let g = GraphBuilder::from_edges(edges).build();
+        let c = components::connected_components(&g);
+        prop_assert_eq!(c.sizes.iter().sum::<usize>(), g.num_nodes());
+    }
+
+    #[test]
+    fn lcc_is_largest(edges in edge_list()) {
+        let g = GraphBuilder::from_edges(edges).build();
+        if g.num_nodes() == 0 {
+            return Ok(());
+        }
+        let (lcc, _) = components::largest_component(&g);
+        let c = components::connected_components(&g);
+        let max_size = c.sizes.iter().copied().max().unwrap_or(0);
+        prop_assert_eq!(lcc.num_nodes(), max_size);
+    }
+
+    #[test]
+    fn induced_subgraph_edges_are_subset(edges in edge_list(), keep in proptest::collection::vec(0u32..60, 0..40)) {
+        let g = GraphBuilder::from_edges(edges).build();
+        let keep: Vec<NodeId> = keep.into_iter().filter(|&v| (v as usize) < g.num_nodes()).collect();
+        let (sub, map) = subgraph::induced_subgraph(&g, &keep);
+        prop_assert!(sub.validate().is_ok());
+        for (u, v) in sub.edges() {
+            prop_assert!(g.has_edge(map.original(u), map.original(v)));
+        }
+    }
+
+    #[test]
+    fn trim_is_idempotent(edges in edge_list(), d in 0usize..5) {
+        let g = GraphBuilder::from_edges(edges).build();
+        let (once, _) = trim::trim_min_degree(&g, d);
+        let (twice, _) = trim::trim_min_degree(&once, d);
+        prop_assert_eq!(&once, &twice, "trimming must be a fixpoint");
+    }
+
+    #[test]
+    fn core_numbers_bounded_by_degree(edges in edge_list()) {
+        let g = GraphBuilder::from_edges(edges).build();
+        let core = trim::core_numbers(&g);
+        for v in g.nodes() {
+            prop_assert!(core[v as usize] as usize <= g.degree(v));
+        }
+    }
+
+    #[test]
+    fn bfs_sample_never_exceeds_target(edges in edge_list(), target in 0usize..80) {
+        let g = GraphBuilder::from_edges(edges).build();
+        if g.num_nodes() == 0 {
+            return Ok(());
+        }
+        let (s, map) = sample::bfs_sample(&g, 0, target);
+        prop_assert!(s.num_nodes() <= target);
+        prop_assert_eq!(s.num_nodes(), map.len());
+    }
+
+
+    #[test]
+    fn max_flow_weak_duality(edges in edge_list()) {
+        // flow value never exceeds the capacity of the degree cut
+        // around the source or the sink (two specific cuts)
+        use socmix_graph::flow::FlowNetwork;
+        let g = GraphBuilder::from_edges(edges).build();
+        if g.num_nodes() < 2 {
+            return Ok(());
+        }
+        let s = 0 as NodeId;
+        let t = (g.num_nodes() - 1) as NodeId;
+        if s == t {
+            return Ok(());
+        }
+        let mut net = FlowNetwork::new(g.num_nodes());
+        for (u, v) in g.edges() {
+            net.add_undirected_edge(u, v, 1);
+        }
+        let flow = net.max_flow(s, t);
+        prop_assert!(flow >= 0);
+        prop_assert!(flow as usize <= g.degree(s), "flow exceeds source degree cut");
+        prop_assert!(flow as usize <= g.degree(t), "flow exceeds sink degree cut");
+    }
+
+    #[test]
+    fn max_flow_symmetric_on_undirected(edges in edge_list()) {
+        use socmix_graph::flow::edge_disjoint_paths;
+        let g = GraphBuilder::from_edges(edges).build();
+        if g.num_nodes() < 2 {
+            return Ok(());
+        }
+        let s = 0 as NodeId;
+        let t = (g.num_nodes() / 2) as NodeId;
+        if s == t {
+            return Ok(());
+        }
+        prop_assert_eq!(edge_disjoint_paths(&g, s, t), edge_disjoint_paths(&g, t, s));
+    }
+
+    #[test]
+    fn betweenness_total_is_pair_path_mass(edges in edge_list()) {
+        // Σ_v b(v) counts, over all connected pairs, the number of
+        // interior nodes averaged over shortest paths — bounded by
+        // pairs·(n−2)
+        use socmix_graph::centrality::betweenness;
+        let g = GraphBuilder::from_edges(edges).build();
+        let n = g.num_nodes();
+        if n < 3 {
+            return Ok(());
+        }
+        let total: f64 = betweenness(&g).iter().sum();
+        let max_pairs = (n * (n - 1) / 2) as f64;
+        prop_assert!(total >= -1e-9);
+        prop_assert!(total <= max_pairs * (n as f64 - 2.0) + 1e-6);
+    }
+
+    #[test]
+    fn io_text_roundtrip(edges in edge_list()) {
+        let g = GraphBuilder::from_edges(edges).build();
+        let mut buf = Vec::new();
+        socmix_graph::io::write_edge_list(&g, &mut buf).unwrap();
+        let g2 = socmix_graph::io::read_edge_list(&buf[..]).unwrap();
+        // isolated trailing nodes are not representable in an edge
+        // list; compare edge sets and non-isolated structure
+        prop_assert_eq!(g.edges().collect::<Vec<_>>(), g2.edges().collect::<Vec<_>>());
+    }
+}

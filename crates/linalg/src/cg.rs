@@ -1,0 +1,175 @@
+//! Conjugate gradient for symmetric positive (semi)definite systems.
+//!
+//! Used by `socmix-markov`'s hitting-time solver: absorbing-walk
+//! equations reduce to Laplacian-minor systems `L_B x = b`, which are
+//! symmetric positive definite once at least one node is grounded.
+//! Matrix-free, like everything else in this crate.
+
+use crate::op::LinearOp;
+use crate::vecops::{axpy, dot, norm2};
+
+/// Options for [`conjugate_gradient`].
+#[derive(Debug, Clone, Copy)]
+pub struct CgOptions {
+    /// Maximum iterations (defaults to 10·dim at solve time if 0).
+    pub max_iter: usize,
+    /// Relative residual target `‖b − Ax‖ / ‖b‖`.
+    pub tol: f64,
+}
+
+impl Default for CgOptions {
+    fn default() -> Self {
+        CgOptions {
+            max_iter: 0,
+            tol: 1e-10,
+        }
+    }
+}
+
+/// Result of a CG solve.
+#[derive(Debug, Clone)]
+pub struct CgResult {
+    /// The solution estimate.
+    pub x: Vec<f64>,
+    /// Final relative residual.
+    pub residual: f64,
+    /// Iterations used.
+    pub iterations: usize,
+    /// Whether the tolerance was met.
+    pub converged: bool,
+}
+
+/// Solves `A x = b` for symmetric positive definite `A` by conjugate
+/// gradients, starting from `x = 0`.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+pub fn conjugate_gradient<Op: LinearOp>(a: &Op, b: &[f64], opts: CgOptions) -> CgResult {
+    let n = a.dim();
+    assert_eq!(b.len(), n, "rhs dimension mismatch");
+    let bnorm = norm2(b);
+    if bnorm == 0.0 {
+        return CgResult {
+            x: vec![0.0; n],
+            residual: 0.0,
+            iterations: 0,
+            converged: true,
+        };
+    }
+    let max_iter = if opts.max_iter == 0 {
+        (10 * n).max(100)
+    } else {
+        opts.max_iter
+    };
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut p = r.clone();
+    let mut rs_old = dot(&r, &r);
+    let mut ap = vec![0.0; n];
+    let mut iterations = 0;
+    for it in 0..max_iter {
+        iterations = it + 1;
+        a.apply(&p, &mut ap);
+        let pap = dot(&p, &ap);
+        if pap <= 0.0 {
+            // not positive definite along p (or numerically exhausted)
+            break;
+        }
+        let alpha = rs_old / pap;
+        axpy(alpha, &p, &mut x);
+        axpy(-alpha, &ap, &mut r);
+        let rs_new = dot(&r, &r);
+        if rs_new.sqrt() / bnorm < opts.tol {
+            rs_old = rs_new;
+            break;
+        }
+        let beta = rs_new / rs_old;
+        for (pi, ri) in p.iter_mut().zip(&r) {
+            *pi = ri + beta * *pi;
+        }
+        rs_old = rs_new;
+    }
+    let residual = rs_old.sqrt() / bnorm;
+    CgResult {
+        x,
+        residual,
+        iterations,
+        converged: residual < opts.tol,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::DenseOp;
+
+    #[test]
+    fn identity_system() {
+        let op = DenseOp {
+            data: vec![1.0, 0.0, 0.0, 1.0],
+            n: 2,
+        };
+        let r = conjugate_gradient(&op, &[3.0, -4.0], CgOptions::default());
+        assert!(r.converged);
+        assert!((r.x[0] - 3.0).abs() < 1e-9);
+        assert!((r.x[1] + 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spd_system() {
+        // A = [[4,1],[1,3]], b = [1,2] → x = [1/11, 7/11]
+        let op = DenseOp {
+            data: vec![4.0, 1.0, 1.0, 3.0],
+            n: 2,
+        };
+        let r = conjugate_gradient(&op, &[1.0, 2.0], CgOptions::default());
+        assert!(r.converged);
+        assert!((r.x[0] - 1.0 / 11.0).abs() < 1e-9);
+        assert!((r.x[1] - 7.0 / 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_rhs() {
+        let op = DenseOp {
+            data: vec![2.0, 0.0, 0.0, 2.0],
+            n: 2,
+        };
+        let r = conjugate_gradient(&op, &[0.0, 0.0], CgOptions::default());
+        assert!(r.converged);
+        assert_eq!(r.x, vec![0.0, 0.0]);
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn converges_in_at_most_n_steps_exact_arithmetic() {
+        // CG terminates in ≤ n iterations (up to roundoff)
+        let n = 8;
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            data[i * n + i] = (i + 1) as f64;
+        }
+        let op = DenseOp { data, n };
+        let b: Vec<f64> = (0..n).map(|i| (i as f64) - 3.0).collect();
+        let r = conjugate_gradient(&op, &b, CgOptions::default());
+        assert!(r.converged);
+        assert!(r.iterations <= n + 1);
+        for i in 0..n {
+            assert!((r.x[i] * (i + 1) as f64 - b[i]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn iteration_cap_respected() {
+        let op = DenseOp {
+            data: vec![1e6, 0.0, 0.0, 1e-6],
+            n: 2,
+        };
+        let opts = CgOptions {
+            max_iter: 1,
+            tol: 1e-15,
+        };
+        let r = conjugate_gradient(&op, &[1.0, 1.0], opts);
+        assert_eq!(r.iterations, 1);
+    }
+}

@@ -1,0 +1,525 @@
+//! Lanczos iteration with full reorthogonalization.
+//!
+//! The production SLEM path: run Lanczos on the deflated symmetric
+//! walk operator and read the extreme Ritz values — the top one
+//! converges to λ₂ and the bottom one to λₙ, giving
+//! `µ = max(λ₂, −λₙ)`.
+//!
+//! Full reorthogonalization (two Gram–Schmidt passes against the
+//! whole basis per step) trades memory — `O(n·k)` for `k` basis
+//! vectors — for unconditional numerical robustness; without it,
+//! Lanczos famously produces ghost copies of converged eigenvalues.
+//! At the basis sizes extremal problems need (k ≤ a few hundred) this
+//! is the right trade. For graphs too large for the basis to fit in
+//! memory, use [`crate::power::power_iteration`], which needs O(n).
+
+use crate::op::LinearOp;
+use crate::tridiag::tridiag_eigen;
+use crate::vecops::{axpy, dot, norm2, normalize, project_out};
+use rand::Rng;
+
+/// Options for [`lanczos_extreme`].
+#[derive(Debug, Clone, Copy)]
+pub struct LanczosOptions {
+    /// Maximum Lanczos steps (= maximum basis size).
+    pub max_iter: usize,
+    /// Residual tolerance for the extreme Ritz pairs.
+    pub tol: f64,
+    /// Check convergence every this many steps.
+    pub check_every: usize,
+}
+
+impl Default for LanczosOptions {
+    fn default() -> Self {
+        LanczosOptions {
+            max_iter: 300,
+            tol: 1e-9,
+            check_every: 10,
+        }
+    }
+}
+
+/// Result of [`lanczos_extreme`].
+#[derive(Debug, Clone)]
+pub struct LanczosResult {
+    /// Largest Ritz value (→ largest eigenvalue of the operator).
+    pub top: f64,
+    /// Smallest Ritz value (→ smallest eigenvalue of the operator).
+    pub bottom: f64,
+    /// Residual bound `|β_k · s_k|` for the top pair.
+    pub top_residual: f64,
+    /// Residual bound for the bottom pair.
+    pub bottom_residual: f64,
+    /// Lanczos steps taken.
+    pub iterations: usize,
+    /// Whether both residuals met the tolerance.
+    pub converged: bool,
+}
+
+/// Runs Lanczos on a symmetric operator and returns its extreme
+/// eigenvalues.
+///
+/// The starting vector is random (from `rng`) — callers wanting the
+/// operator restricted to a subspace should wrap it in
+/// [`crate::op::DeflatedOp`], whose projection is applied on every
+/// operator application, keeping the Krylov space orthogonal to the
+/// deflated directions.
+///
+/// # Panics
+///
+/// Panics if the operator dimension is 0.
+pub fn lanczos_extreme<Op: LinearOp, R: Rng + ?Sized>(
+    op: &Op,
+    opts: LanczosOptions,
+    rng: &mut R,
+) -> LanczosResult {
+    let n = op.dim();
+    assert!(n > 0, "operator must be non-empty");
+    let max_iter = opts.max_iter.min(n).max(1);
+
+    // random start, normalized
+    let mut v: Vec<f64> = (0..n).map(|_| rng.random::<f64>() - 0.5).collect();
+    // one operator application folds the start into the operator's
+    // range (for a DeflatedOp this also projects out the deflated
+    // directions); if it vanishes, fall back to the raw random vector.
+    {
+        let w = op.apply_vec(&v);
+        if norm2(&w) > 1e-12 {
+            v = w;
+        }
+    }
+    if normalize(&mut v) == 0.0 {
+        // operator is zero on this vector; report a zero spectrum
+        return LanczosResult {
+            top: 0.0,
+            bottom: 0.0,
+            top_residual: 0.0,
+            bottom_residual: 0.0,
+            iterations: 0,
+            converged: true,
+        };
+    }
+
+    let mut basis: Vec<Vec<f64>> = vec![v];
+    let mut alphas: Vec<f64> = Vec::new();
+    let mut betas: Vec<f64> = Vec::new();
+
+    let result = |alphas: &[f64], betas: &[f64], iters: usize, forced: bool| -> Option<LanczosResult> {
+        if alphas.is_empty() {
+            return None;
+        }
+        let k = alphas.len();
+        let (vals, vecs) = tridiag_eigen(alphas, &betas[..k - 1]);
+        let beta_last = betas.get(k - 1).copied().unwrap_or(0.0);
+        // residual bound for Ritz pair i: |β_k| · |s_{k,i}| where s is
+        // the bottom component of T's eigenvector
+        let res_top = beta_last.abs() * vecs[0][k - 1].abs();
+        let res_bot = beta_last.abs() * vecs[k - 1][k - 1].abs();
+        let converged = res_top < opts.tol && res_bot < opts.tol;
+        if converged || forced {
+            Some(LanczosResult {
+                top: vals[0],
+                bottom: vals[k - 1],
+                top_residual: res_top,
+                bottom_residual: res_bot,
+                iterations: iters,
+                converged,
+            })
+        } else {
+            None
+        }
+    };
+
+    for j in 0..max_iter {
+        let vj = basis[j].clone();
+        let mut w = op.apply_vec(&vj);
+        let alpha = dot(&w, &vj);
+        axpy(-alpha, &vj, &mut w);
+        if j > 0 {
+            let beta_prev = betas[j - 1];
+            axpy(-beta_prev, &basis[j - 1], &mut w);
+        }
+        // full reorthogonalization, two passes
+        for _ in 0..2 {
+            for b in &basis {
+                project_out(&mut w, b);
+            }
+        }
+        alphas.push(alpha);
+        let beta = norm2(&w);
+        if beta < 1e-14 {
+            // invariant subspace found: the tridiagonal matrix is exact
+            betas.push(0.0);
+            return result(&alphas, &betas, j + 1, true).expect("nonempty");
+        }
+        betas.push(beta);
+        if basis.len() == max_iter {
+            break;
+        }
+        normalize(&mut w);
+        basis.push(w);
+
+        if (j + 1) % opts.check_every == 0 {
+            if let Some(r) = result(&alphas, &betas, j + 1, false) {
+                return r;
+            }
+        }
+    }
+    let iters = alphas.len();
+    result(&alphas, &betas, iters, true).expect("nonempty")
+}
+
+
+/// Result of [`lanczos_topk`]: the leading Ritz pairs.
+#[derive(Debug, Clone)]
+pub struct TopkResult {
+    /// Ritz values, descending; `values.len() == k` requested (or the
+    /// reached basis size if smaller).
+    pub values: Vec<f64>,
+    /// `vectors[j]` is the unit Ritz vector for `values[j]`.
+    pub vectors: Vec<Vec<f64>>,
+    /// Residual bounds `|β·s|` per pair.
+    pub residuals: Vec<f64>,
+    /// Lanczos steps taken.
+    pub iterations: usize,
+}
+
+/// Runs Lanczos and returns the `k` *largest* eigenpairs (values and
+/// vectors) of a symmetric operator.
+///
+/// Used by the spectral-embedding clustering in `socmix-community`:
+/// on the deflated walk operator the top-k pairs are λ₂..λ_{k+1} and
+/// their eigenvectors — the coordinates that separate communities.
+///
+/// Convergence is judged on the k-th pair's residual; the basis grows
+/// until `opts.max_iter`.
+pub fn lanczos_topk<Op: LinearOp, R: Rng + ?Sized>(
+    op: &Op,
+    k: usize,
+    opts: LanczosOptions,
+    rng: &mut R,
+) -> TopkResult {
+    let n = op.dim();
+    assert!(n > 0 && k >= 1);
+    let max_iter = opts.max_iter.min(n).max(k);
+
+    let mut v: Vec<f64> = (0..n).map(|_| rng.random::<f64>() - 0.5).collect();
+    {
+        let w = op.apply_vec(&v);
+        if norm2(&w) > 1e-12 {
+            v = w;
+        }
+    }
+    if normalize(&mut v) == 0.0 {
+        return TopkResult {
+            values: vec![0.0; k.min(n)],
+            vectors: vec![vec![0.0; n]; k.min(n)],
+            residuals: vec![0.0; k.min(n)],
+            iterations: 0,
+        };
+    }
+    let mut basis: Vec<Vec<f64>> = vec![v];
+    let mut alphas: Vec<f64> = Vec::new();
+    let mut betas: Vec<f64> = Vec::new();
+    let mut exhausted = false;
+
+    for j in 0..max_iter {
+        let vj = basis[j].clone();
+        let mut w = op.apply_vec(&vj);
+        let alpha = dot(&w, &vj);
+        axpy(-alpha, &vj, &mut w);
+        if j > 0 {
+            axpy(-betas[j - 1], &basis[j - 1], &mut w);
+        }
+        for _ in 0..2 {
+            for b in &basis {
+                project_out(&mut w, b);
+            }
+        }
+        alphas.push(alpha);
+        let beta = norm2(&w);
+        if beta < 1e-14 {
+            betas.push(0.0);
+            exhausted = true;
+            break;
+        }
+        betas.push(beta);
+        if basis.len() == max_iter {
+            break;
+        }
+        normalize(&mut w);
+        basis.push(w);
+
+        // convergence check on the k-th pair
+        if (j + 1) % opts.check_every == 0 && j + 1 >= k {
+            let m = alphas.len();
+            let (_, vecs) = tridiag_eigen(&alphas, &betas[..m - 1]);
+            let res_k = betas[m - 1].abs() * vecs[k.min(m) - 1][m - 1].abs();
+            if res_k < opts.tol {
+                break;
+            }
+        }
+    }
+    let m = alphas.len();
+    let (vals, vecs) = tridiag_eigen(&alphas, &betas[..m - 1]);
+    let beta_last = if exhausted { 0.0 } else { betas[m - 1] };
+    let kk = k.min(m);
+    let mut out_vecs = Vec::with_capacity(kk);
+    let mut residuals = Vec::with_capacity(kk);
+    for j in 0..kk {
+        // Ritz vector: Σ_i s_{i,j} · v_i (the basis may hold one more
+        // vector than the tridiagonal matrix has rows)
+        let mut rv = vec![0.0f64; n];
+        for (i, b) in basis.iter().take(m).enumerate() {
+            axpy(vecs[j][i], b, &mut rv);
+        }
+        normalize(&mut rv);
+        out_vecs.push(rv);
+        residuals.push(beta_last.abs() * vecs[j][m - 1].abs());
+    }
+    TopkResult {
+        values: vals[..kk].to_vec(),
+        vectors: out_vecs,
+        residuals,
+        iterations: m,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::{jacobi_eigen, slem_dense, DenseMatrix};
+    use crate::op::{DeflatedOp, DenseOp, SymmetricWalkOp};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use socmix_graph::GraphBuilder;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn diagonal_operator_extremes() {
+        let n = 20;
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            data[i * n + i] = (i as f64) / (n as f64 - 1.0) * 2.0 - 1.0; // [-1, 1]
+        }
+        let op = DenseOp { data, n };
+        let mut rng = StdRng::seed_from_u64(0);
+        let r = lanczos_extreme(&op, LanczosOptions::default(), &mut rng);
+        assert!(r.converged);
+        assert_close(r.top, 1.0, 1e-8);
+        assert_close(r.bottom, -1.0, 1e-8);
+    }
+
+    #[test]
+    fn agrees_with_jacobi_on_random_symmetric() {
+        let n = 40;
+        let mut m = DenseMatrix::zeros(n);
+        for i in 0..n {
+            for j in i..n {
+                let v = (((i * 31 + j * 17 + 3) % 101) as f64) / 101.0 - 0.5;
+                m.set(i, j, v);
+                m.set(j, i, v);
+            }
+        }
+        let (jv, _) = jacobi_eigen(&m);
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                data[i * n + j] = m.get(i, j);
+            }
+        }
+        let op = DenseOp { data, n };
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = lanczos_extreme(&op, LanczosOptions::default(), &mut rng);
+        assert_close(r.top, jv[0], 1e-7);
+        assert_close(r.bottom, jv[n - 1], 1e-7);
+    }
+
+    #[test]
+    fn walk_spectrum_top_is_one() {
+        let g = GraphBuilder::from_edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 0)]).build();
+        let op = SymmetricWalkOp::new(&g);
+        let mut rng = StdRng::seed_from_u64(2);
+        let r = lanczos_extreme(&op, LanczosOptions::default(), &mut rng);
+        assert_close(r.top, 1.0, 1e-9);
+    }
+
+    #[test]
+    fn deflated_walk_gives_slem() {
+        // odd cycle: SLEM = cos(π/n) (the −cos(π/n) end dominates)
+        let n = 9;
+        let g = {
+            let mut b = GraphBuilder::new();
+            for i in 0..n as u32 {
+                b.add_edge(i, (i + 1) % n as u32);
+            }
+            b.build()
+        };
+        let sop = SymmetricWalkOp::new(&g);
+        let basis = vec![sop.top_eigenvector()];
+        let defl = DeflatedOp::new(SymmetricWalkOp::new(&g), &basis);
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = lanczos_extreme(&defl, LanczosOptions::default(), &mut rng);
+        let mu = r.top.max(-r.bottom);
+        assert_close(mu, (std::f64::consts::PI / n as f64).cos(), 1e-8);
+    }
+
+    #[test]
+    fn deflated_matches_dense_slem_on_random_graph() {
+        use rand::Rng;
+        let mut grng = StdRng::seed_from_u64(7);
+        // connected random graph on 60 nodes
+        let mut b = GraphBuilder::new();
+        for v in 1..60u32 {
+            let u = grng.random_range(0..v);
+            b.add_edge(u, v);
+        }
+        for _ in 0..120 {
+            let u = grng.random_range(0..60u32);
+            let v = grng.random_range(0..60u32);
+            if u != v {
+                b.add_edge(u, v);
+            }
+        }
+        let g = b.build();
+        let expect = slem_dense(&g);
+        let sop = SymmetricWalkOp::new(&g);
+        let basis = vec![sop.top_eigenvector()];
+        let defl = DeflatedOp::new(sop, &basis);
+        let mut rng = StdRng::seed_from_u64(8);
+        let r = lanczos_extreme(&defl, LanczosOptions::default(), &mut rng);
+        let mu = r.top.max(-r.bottom);
+        assert_close(mu, expect, 1e-7);
+    }
+
+    #[test]
+    fn bipartite_bottom_is_minus_one() {
+        // K_{3,3}: spectrum {1, 0, …, -1}
+        let g = {
+            let mut b = GraphBuilder::new();
+            for u in 0..3u32 {
+                for v in 0..3u32 {
+                    b.add_edge(u, 3 + v);
+                }
+            }
+            b.build()
+        };
+        let op = SymmetricWalkOp::new(&g);
+        let mut rng = StdRng::seed_from_u64(4);
+        let r = lanczos_extreme(&op, LanczosOptions::default(), &mut rng);
+        assert_close(r.bottom, -1.0, 1e-9);
+    }
+
+    #[test]
+    fn max_iter_cap_reports_unconverged_or_exact() {
+        let g = tests_support::big_cycle(101);
+        let sop = SymmetricWalkOp::new(&g);
+        let basis = vec![sop.top_eigenvector()];
+        let defl = DeflatedOp::new(sop, &basis);
+        let mut rng = StdRng::seed_from_u64(5);
+        let opts = LanczosOptions {
+            max_iter: 8,
+            tol: 1e-12,
+            check_every: 4,
+        };
+        let r = lanczos_extreme(&defl, opts, &mut rng);
+        assert!(r.iterations <= 8);
+        // with such a tiny basis the result is a valid *bound*:
+        // Ritz values are inside the true spectrum
+        assert!(r.top <= 1.0 + 1e-9);
+        assert!(r.bottom >= -1.0 - 1e-9);
+    }
+
+
+    #[test]
+    fn topk_matches_jacobi_on_dense() {
+        let n = 30;
+        let mut m = DenseMatrix::zeros(n);
+        for i in 0..n {
+            for j in i..n {
+                let v = (((i * 13 + j * 7 + 1) % 17) as f64) / 17.0 - 0.5;
+                m.set(i, j, v);
+                m.set(j, i, v);
+            }
+        }
+        let (jv, _) = jacobi_eigen(&m);
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                data[i * n + j] = m.get(i, j);
+            }
+        }
+        let op = DenseOp { data, n };
+        let mut rng = StdRng::seed_from_u64(21);
+        let r = lanczos_topk(&op, 4, LanczosOptions { max_iter: n, ..Default::default() }, &mut rng);
+        for j in 0..4 {
+            assert_close(r.values[j], jv[j], 1e-6);
+        }
+    }
+
+    #[test]
+    fn topk_vectors_are_eigenvectors() {
+        let g = GraphBuilder::from_edges([
+            (0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (0, 5),
+        ])
+        .build();
+        let op = SymmetricWalkOp::new(&g);
+        let mut rng = StdRng::seed_from_u64(22);
+        let r = lanczos_topk(&op, 3, LanczosOptions::default(), &mut rng);
+        for j in 0..3 {
+            let av = op.apply_vec(&r.vectors[j]);
+            for i in 0..g.num_nodes() {
+                assert_close(av[i], r.values[j] * r.vectors[j][i], 1e-6);
+            }
+        }
+        // orthonormal
+        for a in 0..3 {
+            for b in (a + 1)..3 {
+                assert_close(
+                    crate::vecops::dot(&r.vectors[a], &r.vectors[b]),
+                    0.0,
+                    1e-7,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn topk_top_value_is_one_for_walk() {
+        let g = tests_support::big_cycle(31);
+        let op = SymmetricWalkOp::new(&g);
+        let mut rng = StdRng::seed_from_u64(23);
+        let r = lanczos_topk(&op, 2, LanczosOptions::default(), &mut rng);
+        assert_close(r.values[0], 1.0, 1e-8);
+        assert_close(r.values[1], (2.0 * std::f64::consts::PI / 31.0).cos(), 1e-7);
+    }
+
+    #[test]
+    fn one_node_graph_trivial() {
+        // operator on a single node with a self-structure: dimension 1
+        let op = DenseOp {
+            data: vec![0.42],
+            n: 1,
+        };
+        let mut rng = StdRng::seed_from_u64(6);
+        let r = lanczos_extreme(&op, LanczosOptions::default(), &mut rng);
+        assert_close(r.top, 0.42, 1e-12);
+        assert_close(r.bottom, 0.42, 1e-12);
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use socmix_graph::{Graph, GraphBuilder};
+
+    pub fn big_cycle(n: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        for i in 0..n as u32 {
+            b.add_edge(i, (i + 1) % n as u32);
+        }
+        b.build()
+    }
+}

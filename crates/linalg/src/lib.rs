@@ -1,0 +1,43 @@
+//! Eigensolvers and linear operators for random-walk spectra.
+//!
+//! The paper's first measurement method needs the **second largest
+//! eigenvalue modulus** (SLEM) of the random-walk transition matrix
+//! `P = D⁻¹A` of graphs with up to a million nodes. No mature sparse
+//! eigensolver exists in the offline crate set, so this crate
+//! implements the whole stack from scratch:
+//!
+//! - [`op`] — matrix-free [`op::LinearOp`]s over a CSR graph: the
+//!   row-stochastic walk operator `P`, its symmetrization
+//!   `S = D^{-1/2} A D^{-1/2}` (same spectrum, symmetric — the key
+//!   trick that lets us use symmetric methods), lazy and deflated
+//!   wrappers.
+//! - [`dense`] — dense symmetric **Jacobi** eigensolver, the ground
+//!   truth for everything else on graphs up to a few hundred nodes.
+//! - [`tridiag`] — symmetric tridiagonal QL with implicit shifts,
+//!   the inner solver for Lanczos.
+//! - [`lanczos`] — **Lanczos with full reorthogonalization**, the
+//!   production path for SLEM on large graphs.
+//! - [`power`] — power iteration with Rayleigh quotients, an
+//!   independent second method used to cross-check Lanczos.
+//! - [`vecops`] — the dense vector kernels shared by all of the
+//!   above.
+//!
+//! Spectral facts used throughout (Theorem 2 of the paper, after
+//! Sinclair): for a connected undirected graph the eigenvalues of `P`
+//! are real, `1 = λ₁ > λ₂ ≥ … ≥ λₙ ≥ −1`, with `λₙ = −1` iff the
+//! graph is bipartite; `µ = max(λ₂, −λₙ)`; and the eigenvector of
+//! `S` for λ₁ is the known vector `D^{1/2}𝟙` (normalized), which we
+//! deflate explicitly instead of estimating.
+
+pub mod cg;
+pub mod dense;
+pub mod lanczos;
+pub mod op;
+pub mod power;
+pub mod tridiag;
+pub mod vecops;
+
+pub use dense::{jacobi_eigen, DenseMatrix};
+pub use lanczos::{lanczos_extreme, lanczos_topk, LanczosOptions, LanczosResult, TopkResult};
+pub use op::{DeflatedOp, LazyOp, LinearOp, SymmetricWalkOp, WalkOp};
+pub use power::{power_iteration, PowerOptions, PowerResult};

@@ -1,0 +1,262 @@
+//! Power iteration with Rayleigh quotients.
+//!
+//! The second, independent SLEM method: on the deflated symmetric walk
+//! operator the dominant eigenvalue *in modulus* is exactly
+//! `µ = max(λ₂, −λₙ)`, so plain power iteration recovers the SLEM
+//! directly. Needs only O(n) memory — the fallback for graphs whose
+//! Lanczos basis would not fit — and serves as a cross-check on the
+//! Lanczos path in tests.
+//!
+//! Convergence is geometric with ratio `|λ_second|/|λ_dominant|`;
+//! when λ₂ ≈ −λₙ (near-bipartite graphs) the *eigenvector* stalls,
+//! but the Rayleigh-quotient *modulus* still converges to µ, which is
+//! all the mixing bounds need.
+
+use crate::op::LinearOp;
+use crate::vecops::{axpy, dot, norm2, normalize};
+use rand::Rng;
+
+/// Options for [`power_iteration`].
+#[derive(Debug, Clone, Copy)]
+pub struct PowerOptions {
+    /// Maximum iterations.
+    pub max_iter: usize,
+    /// Convergence tolerance on the residual `‖Op·v − λv‖`.
+    pub tol: f64,
+}
+
+impl Default for PowerOptions {
+    fn default() -> Self {
+        PowerOptions {
+            max_iter: 5_000,
+            tol: 1e-9,
+        }
+    }
+}
+
+/// Result of [`power_iteration`].
+#[derive(Debug, Clone)]
+pub struct PowerResult {
+    /// Rayleigh quotient at the final iterate — the dominant
+    /// eigenvalue (signed).
+    pub eigenvalue: f64,
+    /// Final unit iterate (the eigenvector estimate).
+    pub vector: Vec<f64>,
+    /// Final residual `‖Op·v − λv‖`.
+    pub residual: f64,
+    /// Iterations used.
+    pub iterations: usize,
+    /// Whether the residual met the tolerance.
+    pub converged: bool,
+}
+
+/// Power iteration for the dominant (largest-modulus) eigenpair of a
+/// symmetric operator.
+///
+/// When the dominant eigenvalue is negative the iterate alternates
+/// sign; the Rayleigh quotient handles that transparently. When the
+/// top two eigenvalues have equal modulus and opposite signs the
+/// vector cycles between their combination — the reported residual
+/// stays large but `|eigenvalue|` still approaches the common
+/// modulus; callers interested only in µ should read
+/// `eigenvalue.abs()` (see [`spectral_radius_in_complement`] for the
+/// aggregated helper).
+pub fn power_iteration<Op: LinearOp, R: Rng + ?Sized>(
+    op: &Op,
+    opts: PowerOptions,
+    rng: &mut R,
+) -> PowerResult {
+    let n = op.dim();
+    assert!(n > 0, "operator must be non-empty");
+    let mut v: Vec<f64> = (0..n).map(|_| rng.random::<f64>() - 0.5).collect();
+    // fold into the operator's range (projects when Op is deflated)
+    let w = op.apply_vec(&v);
+    if norm2(&w) > 1e-12 {
+        v = w;
+    }
+    if normalize(&mut v) == 0.0 {
+        return PowerResult {
+            eigenvalue: 0.0,
+            vector: v,
+            residual: 0.0,
+            iterations: 0,
+            converged: true,
+        };
+    }
+    let mut lambda = 0.0;
+    let mut residual = f64::INFINITY;
+    let mut iterations = 0;
+    let mut w = vec![0.0; n];
+    for it in 0..opts.max_iter {
+        iterations = it + 1;
+        op.apply(&v, &mut w);
+        lambda = dot(&v, &w);
+        // residual ‖w − λv‖
+        let mut r = w.clone();
+        axpy(-lambda, &v, &mut r);
+        residual = norm2(&r);
+        if residual < opts.tol {
+            break;
+        }
+        if normalize(&mut w) == 0.0 {
+            // iterate collapsed: eigenvalue 0 on this component
+            lambda = 0.0;
+            residual = 0.0;
+            break;
+        }
+        std::mem::swap(&mut v, &mut w);
+    }
+    PowerResult {
+        eigenvalue: lambda,
+        vector: v,
+        residual,
+        iterations,
+        converged: residual < opts.tol,
+    }
+}
+
+/// Estimates the spectral radius of `op` (largest |eigenvalue|),
+/// robust to the ±pair degeneracy: runs power iteration, and if the
+/// residual stalls (the ± case), extracts the modulus from the
+/// two-step Rayleigh quotient `√(v·Op²v)`, which converges even then.
+pub fn spectral_radius_in_complement<Op: LinearOp, R: Rng + ?Sized>(
+    op: &Op,
+    opts: PowerOptions,
+    rng: &mut R,
+) -> f64 {
+    let r = power_iteration(op, opts, rng);
+    if r.converged {
+        return r.eigenvalue.abs();
+    }
+    // ± degeneracy: λ² from v·Op²v with the final iterate
+    let w = op.apply_vec(&r.vector);
+    let w2 = op.apply_vec(&w);
+    let lam2 = dot(&r.vector, &w2).max(0.0);
+    lam2.sqrt().max(r.eigenvalue.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::slem_dense;
+    use crate::op::{DeflatedOp, DenseOp, SymmetricWalkOp};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use socmix_graph::GraphBuilder;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn dominant_positive_eigenvalue() {
+        let op = DenseOp {
+            data: vec![2.0, 1.0, 1.0, 2.0],
+            n: 2,
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        let r = power_iteration(&op, PowerOptions::default(), &mut rng);
+        assert!(r.converged);
+        assert_close(r.eigenvalue, 3.0, 1e-7);
+    }
+
+    #[test]
+    fn dominant_negative_eigenvalue() {
+        // diag(-3, 1): dominant in modulus is -3
+        let op = DenseOp {
+            data: vec![-3.0, 0.0, 0.0, 1.0],
+            n: 2,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = power_iteration(&op, PowerOptions::default(), &mut rng);
+        assert!(r.converged);
+        assert_close(r.eigenvalue, -3.0, 1e-7);
+    }
+
+    #[test]
+    fn walk_top_eigenvalue_is_one() {
+        let g = GraphBuilder::from_edges([(0, 1), (1, 2), (2, 0), (2, 3)]).build();
+        let op = SymmetricWalkOp::new(&g);
+        let mut rng = StdRng::seed_from_u64(2);
+        let r = power_iteration(&op, PowerOptions::default(), &mut rng);
+        assert_close(r.eigenvalue, 1.0, 1e-7);
+    }
+
+    #[test]
+    fn deflated_power_matches_dense_slem() {
+        let g = GraphBuilder::from_edges([
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (5, 3),
+            (1, 4),
+        ])
+        .build();
+        let expect = slem_dense(&g);
+        let sop = SymmetricWalkOp::new(&g);
+        let basis = vec![sop.top_eigenvector()];
+        let defl = DeflatedOp::new(sop, &basis);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mu = spectral_radius_in_complement(&defl, PowerOptions::default(), &mut rng);
+        assert_close(mu, expect, 1e-6);
+    }
+
+    #[test]
+    fn pm_degenerate_pair_still_gives_modulus() {
+        // eigenvalues {+2, -2}: vector never settles, modulus must
+        let op = DenseOp {
+            data: vec![0.0, 2.0, 2.0, 0.0],
+            n: 2,
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let opts = PowerOptions {
+            max_iter: 200,
+            tol: 1e-12,
+        };
+        let mu = spectral_radius_in_complement(&op, opts, &mut rng);
+        assert_close(mu, 2.0, 1e-8);
+    }
+
+    #[test]
+    fn bipartite_slem_via_power() {
+        // star K_{1,4}: spectrum {1, 0, 0, 0, -1} → µ = 1
+        let g = GraphBuilder::from_edges([(0, 1), (0, 2), (0, 3), (0, 4)]).build();
+        let sop = SymmetricWalkOp::new(&g);
+        let basis = vec![sop.top_eigenvector()];
+        let defl = DeflatedOp::new(sop, &basis);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mu = spectral_radius_in_complement(&defl, PowerOptions::default(), &mut rng);
+        assert_close(mu, 1.0, 1e-6);
+    }
+
+    #[test]
+    fn zero_operator() {
+        let op = DenseOp {
+            data: vec![0.0; 9],
+            n: 3,
+        };
+        let mut rng = StdRng::seed_from_u64(6);
+        let r = power_iteration(&op, PowerOptions::default(), &mut rng);
+        assert_eq!(r.eigenvalue, 0.0);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn iteration_budget_respected() {
+        let op = DenseOp {
+            data: vec![1.0, 0.999, 0.999, 1.0],
+            n: 2,
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let opts = PowerOptions {
+            max_iter: 3,
+            tol: 1e-15,
+        };
+        let r = power_iteration(&op, opts, &mut rng);
+        assert_eq!(r.iterations, 3);
+        assert!(!r.converged);
+    }
+}

@@ -1,0 +1,117 @@
+//! Dense vector kernels.
+//!
+//! Plain `f64` slices, no SIMD intrinsics — the hot loops here are
+//! memory-bound gathers over the CSR arrays, and the compiler
+//! autovectorizes the rest.
+
+/// Dot product. Panics (debug) on length mismatch.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x *= alpha`.
+#[inline]
+pub fn scale(x: &mut [f64], alpha: f64) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Normalizes `x` to unit Euclidean norm; returns the original norm.
+/// A zero vector is left unchanged (returns 0).
+pub fn normalize(x: &mut [f64]) -> f64 {
+    let n = norm2(x);
+    if n > 0.0 {
+        scale(x, 1.0 / n);
+    }
+    n
+}
+
+/// Removes the component of `x` along the *unit* vector `u`:
+/// `x -= (u·x) u`. Returns the removed coefficient.
+pub fn project_out(x: &mut [f64], u: &[f64]) -> f64 {
+    let c = dot(u, x);
+    axpy(-c, u, x);
+    c
+}
+
+/// Maximum absolute entry (∞-norm).
+#[inline]
+pub fn norm_inf(a: &[f64]) -> f64 {
+    a.iter().fold(0.0f64, |m, &x| m.max(x.abs()))
+}
+
+/// Sum of entries.
+#[inline]
+pub fn sum(a: &[f64]) -> f64 {
+    a.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn axpy_updates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn normalize_unit() {
+        let mut x = vec![3.0, 4.0];
+        let n = normalize(&mut x);
+        assert!((n - 5.0).abs() < 1e-15);
+        assert!((norm2(&x) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn normalize_zero_vector_noop() {
+        let mut x = vec![0.0, 0.0];
+        assert_eq!(normalize(&mut x), 0.0);
+        assert_eq!(x, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn project_out_orthogonalizes() {
+        let u = {
+            let mut u = vec![1.0, 1.0];
+            normalize(&mut u);
+            u
+        };
+        let mut x = vec![2.0, 0.0];
+        project_out(&mut x, &u);
+        assert!(dot(&x, &u).abs() < 1e-14);
+    }
+
+    #[test]
+    fn norm_inf_and_sum() {
+        assert_eq!(norm_inf(&[-3.0, 2.0]), 3.0);
+        assert_eq!(sum(&[1.0, 2.0, -0.5]), 2.5);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+}

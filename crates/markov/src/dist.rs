@@ -1,0 +1,202 @@
+//! Distance measures between probability distributions.
+//!
+//! The paper's Definition 1 uses the **total variation distance**
+//! (it writes `‖·‖₁`, the common abuse of notation; TVD = ½ the L1
+//! distance). Its Section 2 critiques Whānau's use of the
+//! **separation-distance-style** measurement over walk tails; both
+//! are implemented here so that comparison is reproducible, along
+//! with the auxiliary norms used in tests.
+
+use socmix_graph::Graph;
+
+/// Total variation distance `½ Σ|p_i − q_i|` ∈ [0, 1].
+///
+/// # Panics
+///
+/// Panics (debug) on length mismatch.
+pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
+    0.5 * l1_distance(p, q)
+}
+
+/// L1 distance `Σ|p_i − q_i|` ∈ [0, 2] for distributions.
+pub fn l1_distance(p: &[f64], q: &[f64]) -> f64 {
+    debug_assert_eq!(p.len(), q.len());
+    p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum()
+}
+
+/// Euclidean (L2) distance.
+pub fn l2_distance(p: &[f64], q: &[f64]) -> f64 {
+    debug_assert_eq!(p.len(), q.len());
+    p.iter()
+        .zip(q)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Separation distance `max_i (1 − p_i/q_i)` ∈ [0, 1] — the one-sided
+/// measure Whānau-style analyses use. Upper-bounds TVD; `q_i = 0`
+/// entries are skipped when `p_i = 0` too, and force 1.0 otherwise
+/// (mass where the target has none never separates to 0).
+pub fn separation_distance(p: &[f64], q: &[f64]) -> f64 {
+    debug_assert_eq!(p.len(), q.len());
+    let mut s = 0.0f64;
+    for (&pi, &qi) in p.iter().zip(q) {
+        if qi <= 0.0 {
+            if pi > 0.0 {
+                continue; // p has mass outside q's support; not captured
+            }
+            continue;
+        }
+        s = s.max(1.0 - pi / qi);
+    }
+    s.clamp(0.0, 1.0)
+}
+
+/// Kullback–Leibler divergence `Σ p_i ln(p_i/q_i)` (nats).
+///
+/// Returns `f64::INFINITY` when `p` has mass where `q` has none.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    debug_assert_eq!(p.len(), q.len());
+    let mut d = 0.0f64;
+    for (&pi, &qi) in p.iter().zip(q) {
+        if pi <= 0.0 {
+            continue;
+        }
+        if qi <= 0.0 {
+            return f64::INFINITY;
+        }
+        d += pi * (pi / qi).ln();
+    }
+    d.max(0.0)
+}
+
+/// The tail-edge distribution induced by a node distribution `x`:
+/// a walk currently at `i` leaves along each incident edge with
+/// probability `x_i / deg(i)`, giving a distribution over the `2m`
+/// directed edges. Returns its total variation distance from the
+/// uniform edge distribution `1/2m` — the quantity the Whānau
+/// experiments eyeball.
+///
+/// **Lemma (tested below):** this equals exactly the node-level
+/// `‖x − π‖_tv`, since
+/// `½ Σᵢ deg(i)·|x_i/deg(i) − 1/2m| = ½ Σᵢ |x_i − deg(i)/2m|`.
+/// So plotting edge histograms measures the right quantity — the
+/// paper's §2 critique is that Whānau never turned the plots into a
+/// *distance threshold* (and used the stricter separation distance
+/// in its analysis; see [`separation_distance`]).
+pub fn edge_uniformity_tvd(g: &Graph, x: &[f64]) -> f64 {
+    assert_eq!(x.len(), g.num_nodes());
+    let m2 = g.total_degree() as f64;
+    assert!(m2 > 0.0, "graph has no edges");
+    let uniform = 1.0 / m2;
+    let mut acc = 0.0f64;
+    for v in g.nodes() {
+        let d = g.degree(v);
+        if d == 0 {
+            continue;
+        }
+        let per_edge = x[v as usize] / d as f64;
+        acc += (per_edge - uniform).abs() * d as f64;
+    }
+    0.5 * acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socmix_gen::fixtures;
+
+    #[test]
+    fn tvd_identical_is_zero() {
+        let p = vec![0.25; 4];
+        assert_eq!(total_variation(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn tvd_disjoint_is_one() {
+        let p = vec![1.0, 0.0];
+        let q = vec![0.0, 1.0];
+        assert!((total_variation(&p, &q) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn tvd_symmetric_and_triangle() {
+        let p = vec![0.5, 0.3, 0.2];
+        let q = vec![0.2, 0.5, 0.3];
+        let r = vec![0.1, 0.1, 0.8];
+        assert_eq!(total_variation(&p, &q), total_variation(&q, &p));
+        assert!(
+            total_variation(&p, &r) <= total_variation(&p, &q) + total_variation(&q, &r) + 1e-15
+        );
+    }
+
+    #[test]
+    fn l1_is_twice_tvd() {
+        let p = vec![0.7, 0.3];
+        let q = vec![0.4, 0.6];
+        assert!((l1_distance(&p, &q) - 2.0 * total_variation(&p, &q)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn l2_basic() {
+        assert!((l2_distance(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn separation_bounds_tvd() {
+        let p = vec![0.5, 0.25, 0.25];
+        let q = vec![0.25, 0.5, 0.25];
+        assert!(separation_distance(&p, &q) >= total_variation(&p, &q) - 1e-15);
+    }
+
+    #[test]
+    fn separation_zero_iff_p_covers_q() {
+        let q = vec![0.5, 0.5];
+        assert_eq!(separation_distance(&q, &q), 0.0);
+        let p = vec![1.0, 0.0];
+        assert!((separation_distance(&p, &q) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn kl_properties() {
+        let p = vec![0.5, 0.5];
+        let q = vec![0.9, 0.1];
+        assert_eq!(kl_divergence(&p, &p), 0.0);
+        assert!(kl_divergence(&p, &q) > 0.0);
+        assert_eq!(kl_divergence(&p, &[1.0, 0.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn edge_uniformity_at_stationarity_is_zero() {
+        let g = fixtures::barbell(4, 1);
+        let pi = crate::stationary::stationary_distribution(&g);
+        assert!(edge_uniformity_tvd(&g, &pi) < 1e-12);
+    }
+
+    #[test]
+    fn edge_uniformity_at_point_mass_is_large() {
+        let g = fixtures::cycle(20);
+        let x = crate::stationary::point_distribution(20, 0);
+        let d = edge_uniformity_tvd(&g, &x);
+        assert!(d > 0.9, "point mass should be far from edge-uniform, got {d}");
+    }
+
+    #[test]
+    fn edge_uniformity_equals_node_tvd() {
+        // the lemma: tail-edge uniformity distance == ‖x − π‖_tv
+        let g = fixtures::barbell(5, 2);
+        let pi = crate::stationary::stationary_distribution(&g);
+        let n = g.num_nodes();
+        for k in 0..4 {
+            let x: Vec<f64> = {
+                let raw: Vec<f64> = (0..n).map(|i| (((i * 13 + k * 7) % 10) + 1) as f64).collect();
+                let s: f64 = raw.iter().sum();
+                raw.into_iter().map(|v| v / s).collect()
+            };
+            let a = edge_uniformity_tvd(&g, &x);
+            let b = total_variation(&x, &pi);
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Ergodicity checks and walk-kind selection.
+//!
+//! The mixing time is defined only for ergodic chains: the walk on
+//! `G` is irreducible iff `G` is connected, and aperiodic iff `G` is
+//! non-bipartite. Social LCCs are never bipartite in practice, but
+//! synthetic generators (and fixtures like even cycles) can be; the
+//! probe falls back to the lazy walk `(I+P)/2` in that case, which is
+//! always aperiodic and has the same stationary distribution.
+
+use socmix_graph::traversal::two_color;
+use socmix_graph::{components, Graph};
+
+/// Which transition kernel to evolve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WalkKind {
+    /// The plain walk `P = D⁻¹A`.
+    #[default]
+    Plain,
+    /// The lazy walk `(I + P)/2` — aperiodic on any graph.
+    Lazy,
+}
+
+/// Result of the ergodicity check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ergodicity {
+    /// Graph is connected (walk is irreducible).
+    pub connected: bool,
+    /// Graph is bipartite (plain walk is periodic).
+    pub bipartite: bool,
+}
+
+impl Ergodicity {
+    /// Whether the *plain* walk is ergodic.
+    pub fn plain_walk_ergodic(&self) -> bool {
+        self.connected && !self.bipartite
+    }
+
+    /// The weakest kernel that is ergodic on this graph, or `None`
+    /// if the graph is disconnected (no kernel helps).
+    pub fn required_walk(&self) -> Option<WalkKind> {
+        if !self.connected {
+            None
+        } else if self.bipartite {
+            Some(WalkKind::Lazy)
+        } else {
+            Some(WalkKind::Plain)
+        }
+    }
+}
+
+/// Checks connectivity and bipartiteness.
+///
+/// A graph with no nodes or no edges is reported disconnected (the
+/// walk is undefined).
+pub fn ergodicity(g: &Graph) -> Ergodicity {
+    if g.num_nodes() == 0 || g.num_edges() == 0 {
+        return Ergodicity {
+            connected: false,
+            bipartite: false,
+        };
+    }
+    let connected = components::is_connected(g);
+    let bipartite = if connected {
+        two_color(g, 0).is_some()
+    } else {
+        false // undefined; connectivity already fails
+    };
+    Ergodicity {
+        connected,
+        bipartite,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socmix_gen::fixtures;
+    use socmix_graph::GraphBuilder;
+
+    #[test]
+    fn odd_cycle_is_ergodic() {
+        let e = ergodicity(&fixtures::cycle(9));
+        assert!(e.plain_walk_ergodic());
+        assert_eq!(e.required_walk(), Some(WalkKind::Plain));
+    }
+
+    #[test]
+    fn even_cycle_needs_lazy() {
+        let e = ergodicity(&fixtures::cycle(8));
+        assert!(e.connected && e.bipartite);
+        assert!(!e.plain_walk_ergodic());
+        assert_eq!(e.required_walk(), Some(WalkKind::Lazy));
+    }
+
+    #[test]
+    fn disconnected_has_no_kernel() {
+        let g = GraphBuilder::from_edges([(0, 1), (2, 3)]).build();
+        let e = ergodicity(&g);
+        assert!(!e.connected);
+        assert_eq!(e.required_walk(), None);
+    }
+
+    #[test]
+    fn star_is_bipartite() {
+        let e = ergodicity(&fixtures::star(6));
+        assert!(e.bipartite);
+    }
+
+    #[test]
+    fn petersen_is_ergodic() {
+        assert!(ergodicity(&fixtures::petersen()).plain_walk_ergodic());
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        use socmix_graph::Graph;
+        assert!(!ergodicity(&Graph::empty(0)).connected);
+        assert!(!ergodicity(&Graph::empty(5)).connected);
+    }
+}

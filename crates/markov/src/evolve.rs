@@ -1,0 +1,238 @@
+//! Exact distribution evolution — the engine of the paper's sampling
+//! method.
+//!
+//! Starting from the point distribution `π⁽ⁱ⁾`, one O(m) pass per
+//! step computes the exact `t`-step distribution `π⁽ⁱ⁾Pᵗ` (no
+//! sampling noise), and the series of total variation distances to
+//! `π` is exactly the quantity inside Definition 1's `min`.
+
+use crate::dist::total_variation;
+use crate::ergodic::WalkKind;
+use crate::stationary::{point_distribution, stationary_distribution};
+use socmix_graph::{Graph, NodeId};
+use socmix_linalg::{LinearOp, WalkOp};
+use socmix_par::Pool;
+
+/// Evolves distributions under the walk kernel of one graph.
+///
+/// # Example
+///
+/// ```
+/// use socmix_markov::Evolver;
+/// let g = socmix_gen::fixtures::petersen();
+/// let e = Evolver::new(&g);
+/// // the walk from any node converges to π = deg/2m
+/// assert!(e.time_to_epsilon(0, 0.01, 100).unwrap() < 30);
+/// ```
+///
+/// Holds the precomputed stationary distribution and inverse degrees
+/// so that per-source probes (of which the experiments run thousands)
+/// share the setup cost.
+pub struct Evolver<'g> {
+    graph: &'g Graph,
+    kind: WalkKind,
+    op: WalkOp<'g>,
+    pi: Vec<f64>,
+}
+
+impl<'g> Evolver<'g> {
+    /// Creates an evolver for the plain walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has no edges.
+    pub fn new(graph: &'g Graph) -> Self {
+        Self::with_kind(graph, WalkKind::Plain)
+    }
+
+    /// Creates an evolver with an explicit kernel choice.
+    pub fn with_kind(graph: &'g Graph, kind: WalkKind) -> Self {
+        // Evolution runs per-source in parallel at the experiment
+        // layer, so the per-step operator itself stays serial: nested
+        // parallelism would oversubscribe.
+        let op = WalkOp::with_pool(graph, Pool::serial());
+        let pi = stationary_distribution(graph);
+        Evolver {
+            graph,
+            kind,
+            op,
+            pi,
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// The walk kernel in use.
+    pub fn kind(&self) -> WalkKind {
+        self.kind
+    }
+
+    /// The stationary distribution `π` (shared slice).
+    pub fn stationary(&self) -> &[f64] {
+        &self.pi
+    }
+
+    /// One in-place evolution step `x ← xP` (or the lazy kernel
+    /// `x ← ½(x + xP)`, computed from the same operator).
+    pub fn step(&self, x: &mut Vec<f64>) {
+        let mut y = self.op.apply_vec(x);
+        if self.kind == WalkKind::Lazy {
+            for (yi, xi) in y.iter_mut().zip(x.iter()) {
+                *yi = 0.5 * (*yi + xi);
+            }
+        }
+        *x = y;
+    }
+
+    /// The exact `t`-step distribution from source `v`.
+    pub fn distribution_after(&self, v: NodeId, t: usize) -> Vec<f64> {
+        let mut x = point_distribution(self.graph.num_nodes(), v);
+        for _ in 0..t {
+            self.step(&mut x);
+        }
+        x
+    }
+
+    /// Total variation distance to `π` after each of `1..=t_max`
+    /// steps from source `v`: `out[t-1] = ‖π − π⁽ᵛ⁾Pᵗ‖_tv`.
+    ///
+    /// This is the raw series behind the paper's Figures 3, 4 and the
+    /// per-source curves aggregated in Figures 5–7.
+    pub fn tvd_series(&self, v: NodeId, t_max: usize) -> Vec<f64> {
+        let mut x = point_distribution(self.graph.num_nodes(), v);
+        let mut out = Vec::with_capacity(t_max);
+        for _ in 0..t_max {
+            self.step(&mut x);
+            out.push(total_variation(&x, &self.pi));
+        }
+        out
+    }
+
+    /// The minimal `t ≤ t_max` with `‖π − π⁽ᵛ⁾Pᵗ‖_tv < ε`, or `None`
+    /// if the walk does not get that close within the budget — the
+    /// per-source ingredient of Definition 1 (the mixing time is the
+    /// max over sources).
+    pub fn time_to_epsilon(&self, v: NodeId, epsilon: f64, t_max: usize) -> Option<usize> {
+        let mut x = point_distribution(self.graph.num_nodes(), v);
+        for t in 1..=t_max {
+            self.step(&mut x);
+            if total_variation(&x, &self.pi) < epsilon {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// TVD at a set of specific walk lengths (sorted ascending),
+    /// sharing one evolution pass — what the CDF figures need
+    /// (`w ∈ {1,5,10,20,40}` etc.).
+    pub fn tvd_at_lengths(&self, v: NodeId, lengths: &[usize]) -> Vec<f64> {
+        debug_assert!(lengths.windows(2).all(|w| w[0] < w[1]), "lengths must be sorted");
+        let mut x = point_distribution(self.graph.num_nodes(), v);
+        let mut out = Vec::with_capacity(lengths.len());
+        let mut t = 0usize;
+        for &target in lengths {
+            while t < target {
+                self.step(&mut x);
+                t += 1;
+            }
+            out.push(total_variation(&x, &self.pi));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socmix_gen::fixtures;
+
+    #[test]
+    fn distribution_stays_normalized() {
+        let g = fixtures::petersen();
+        let e = Evolver::new(&g);
+        let x = e.distribution_after(0, 25);
+        assert!((x.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn converges_to_stationary_on_nonbipartite() {
+        let g = fixtures::petersen();
+        let e = Evolver::new(&g);
+        let series = e.tvd_series(3, 60);
+        assert!(series.last().unwrap() < &1e-6, "petersen mixes fast");
+    }
+
+    #[test]
+    fn tvd_series_non_increasing() {
+        // TVD to stationarity never increases (contraction property)
+        let g = fixtures::barbell(5, 2);
+        let e = Evolver::new(&g);
+        let series = e.tvd_series(0, 100);
+        for w in series.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "TVD increased: {} -> {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn plain_walk_on_bipartite_oscillates() {
+        let g = fixtures::cycle(8);
+        let e = Evolver::new(&g);
+        let series = e.tvd_series(0, 200);
+        // never converges: distance stays bounded away from 0
+        assert!(series.last().unwrap() > &0.3);
+    }
+
+    #[test]
+    fn lazy_walk_on_bipartite_converges() {
+        let g = fixtures::cycle(8);
+        let e = Evolver::with_kind(&g, WalkKind::Lazy);
+        let series = e.tvd_series(0, 400);
+        assert!(series.last().unwrap() < &1e-6);
+    }
+
+    #[test]
+    fn time_to_epsilon_matches_series() {
+        let g = fixtures::petersen();
+        let e = Evolver::new(&g);
+        let series = e.tvd_series(0, 50);
+        let eps = 0.05;
+        let expect = series.iter().position(|&d| d < eps).map(|i| i + 1);
+        assert_eq!(e.time_to_epsilon(0, eps, 50), expect);
+    }
+
+    #[test]
+    fn time_to_epsilon_none_when_budget_too_small() {
+        let g = fixtures::barbell(8, 4);
+        let e = Evolver::new(&g);
+        assert_eq!(e.time_to_epsilon(0, 1e-9, 2), None);
+    }
+
+    #[test]
+    fn tvd_at_lengths_matches_series() {
+        let g = fixtures::petersen();
+        let e = Evolver::new(&g);
+        let series = e.tvd_series(2, 40);
+        let picks = e.tvd_at_lengths(2, &[1, 5, 10, 40]);
+        assert!((picks[0] - series[0]).abs() < 1e-15);
+        assert!((picks[1] - series[4]).abs() < 1e-15);
+        assert!((picks[2] - series[9]).abs() < 1e-15);
+        assert!((picks[3] - series[39]).abs() < 1e-15);
+    }
+
+    #[test]
+    fn slow_graph_mixes_slower_than_fast_graph() {
+        // the paper's core qualitative fact, in miniature
+        let fast = fixtures::complete(20);
+        let slow = fixtures::barbell(10, 0);
+        let t_fast = Evolver::new(&fast).time_to_epsilon(0, 0.01, 1000).unwrap();
+        let t_slow = Evolver::new(&slow).time_to_epsilon(0, 0.01, 1000).unwrap();
+        assert!(
+            t_slow > 5 * t_fast,
+            "barbell ({t_slow}) should mix much slower than clique ({t_fast})"
+        );
+    }
+}

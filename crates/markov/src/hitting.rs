@@ -1,0 +1,274 @@
+//! Hitting times and absorption probabilities.
+//!
+//! Complements the mixing-time measurements with the walk quantities
+//! the paper's discussion reasons about informally: how long a walk
+//! takes to *reach* a region (hitting time), and where it gets
+//! absorbed first (e.g. Sybil region vs slow periphery). Both reduce
+//! to Laplacian-minor linear systems, solved matrix-free with
+//! conjugate gradients.
+//!
+//! For a target set `A`, the expected hitting time `h(v)` satisfies
+//! `h|A = 0` and `(I − P)h = 1` off `A`; in symmetric form this is a
+//! positive definite system over the non-target nodes.
+
+use socmix_graph::{Graph, NodeId};
+use socmix_linalg::cg::{conjugate_gradient, CgOptions};
+use socmix_linalg::LinearOp;
+
+/// The grounded (Dirichlet) Laplacian operator `L_B = D_B − A_B`
+/// restricted to the complement of a target set, matrix-free.
+struct GroundedLaplacian<'g> {
+    graph: &'g Graph,
+    /// dense index of free nodes: `free_index[v] = Some(row)`.
+    free_index: Vec<Option<u32>>,
+    /// row → node id.
+    free_nodes: Vec<NodeId>,
+}
+
+impl<'g> GroundedLaplacian<'g> {
+    fn new(graph: &'g Graph, target: &[bool]) -> Self {
+        assert_eq!(target.len(), graph.num_nodes());
+        let mut free_index = vec![None; graph.num_nodes()];
+        let mut free_nodes = Vec::new();
+        for v in graph.nodes() {
+            if !target[v as usize] {
+                free_index[v as usize] = Some(free_nodes.len() as u32);
+                free_nodes.push(v);
+            }
+        }
+        GroundedLaplacian {
+            graph,
+            free_index,
+            free_nodes,
+        }
+    }
+}
+
+impl LinearOp for GroundedLaplacian<'_> {
+    fn dim(&self) -> usize {
+        self.free_nodes.len()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        for (row, &v) in self.free_nodes.iter().enumerate() {
+            let mut acc = self.graph.degree(v) as f64 * x[row];
+            for &u in self.graph.neighbors(v) {
+                if let Some(col) = self.free_index[u as usize] {
+                    acc -= x[col as usize];
+                }
+            }
+            y[row] = acc;
+        }
+    }
+}
+
+/// Expected hitting times to the target set: `out[v]` is the expected
+/// number of steps for a walk from `v` to first enter `{u :
+/// target[u]}`; 0 on the target itself.
+///
+/// Solved as the grounded Laplacian system `L_B h = d_B` (the
+/// degree-weighted form of `(I−P)h = 1`).
+///
+/// # Panics
+///
+/// Panics if no node is targeted, all nodes are targeted, or the
+/// graph is disconnected from the target (hitting time infinite).
+pub fn hitting_times(g: &Graph, target: &[bool]) -> Vec<f64> {
+    let n = g.num_nodes();
+    assert_eq!(target.len(), n);
+    let t_count = target.iter().filter(|&&t| t).count();
+    assert!(t_count > 0, "target set empty");
+    if t_count == n {
+        return vec![0.0; n];
+    }
+    let op = GroundedLaplacian::new(g, target);
+    // rhs: degree of each free node ((I−P)h = 1 ⇔ L_B h = d_B)
+    let b: Vec<f64> = op.free_nodes.iter().map(|&v| g.degree(v) as f64).collect();
+    let sol = conjugate_gradient(&op, &b, CgOptions::default());
+    assert!(
+        sol.converged,
+        "hitting-time solve failed (residual {}); is the target reachable?",
+        sol.residual
+    );
+    let mut out = vec![0.0; n];
+    for (row, &v) in op.free_nodes.iter().enumerate() {
+        out[v as usize] = sol.x[row];
+    }
+    out
+}
+
+/// Expected hitting time to a single node.
+///
+/// # Example
+///
+/// ```
+/// // K_n: hitting any specific other node takes n−1 steps in expectation
+/// let g = socmix_gen::fixtures::complete(6);
+/// let h = socmix_markov::hitting::hitting_time_to(&g, 0);
+/// assert!((h[3] - 5.0).abs() < 1e-6);
+/// ```
+pub fn hitting_time_to(g: &Graph, target: NodeId) -> Vec<f64> {
+    let mut t = vec![false; g.num_nodes()];
+    t[target as usize] = true;
+    hitting_times(g, &t)
+}
+
+/// Commute time between `u` and `v`: `H(u→v) + H(v→u)`. Classic
+/// identity: `C(u,v) = 2m · R_eff(u,v)`.
+pub fn commute_time(g: &Graph, u: NodeId, v: NodeId) -> f64 {
+    hitting_time_to(g, v)[u as usize] + hitting_time_to(g, u)[v as usize]
+}
+
+/// Probability, for each start node, that a walk hits set `a` before
+/// set `b` (1 on `a`, 0 on `b`). Both sets must be non-empty and
+/// disjoint.
+pub fn absorption_probabilities(g: &Graph, a: &[bool], b: &[bool]) -> Vec<f64> {
+    let n = g.num_nodes();
+    assert_eq!(a.len(), n);
+    assert_eq!(b.len(), n);
+    assert!(a.iter().any(|&x| x), "set A empty");
+    assert!(b.iter().any(|&x| x), "set B empty");
+    assert!(
+        a.iter().zip(b).all(|(&x, &y)| !(x && y)),
+        "sets must be disjoint"
+    );
+    let absorbed: Vec<bool> = a.iter().zip(b).map(|(&x, &y)| x || y).collect();
+    let op = GroundedLaplacian::new(g, &absorbed);
+    // harmonic extension: L_B p = boundary flux from A-neighbors
+    let rhs: Vec<f64> = op
+        .free_nodes
+        .iter()
+        .map(|&v| {
+            g.neighbors(v)
+                .iter()
+                .filter(|&&u| a[u as usize])
+                .count() as f64
+        })
+        .collect();
+    let sol = conjugate_gradient(&op, &rhs, CgOptions::default());
+    assert!(sol.converged, "absorption solve failed");
+    let mut out = vec![0.0; n];
+    for v in 0..n {
+        if a[v] {
+            out[v] = 1.0;
+        }
+    }
+    for (row, &v) in op.free_nodes.iter().enumerate() {
+        out[v as usize] = sol.x[row].clamp(0.0, 1.0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socmix_gen::fixtures;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn path_hitting_times_closed_form() {
+        // on a path 0-1-…-k, hitting time from node i to node 0 is i·(2k−i)
+        // for the walk on the path (standard gambler's-ruin result)
+        let k = 6;
+        let g = fixtures::path(k + 1);
+        let h = hitting_time_to(&g, 0);
+        for i in 0..=k {
+            let expect = (i * (2 * k - i)) as f64;
+            assert_close(h[i], expect, 1e-6);
+        }
+    }
+
+    #[test]
+    fn complete_graph_hitting_time() {
+        // K_n: hitting time between distinct nodes is n−1
+        let n = 9;
+        let g = fixtures::complete(n);
+        let h = hitting_time_to(&g, 0);
+        for v in 1..n {
+            assert_close(h[v], (n - 1) as f64, 1e-6);
+        }
+    }
+
+    #[test]
+    fn cycle_commute_time_symmetric() {
+        let g = fixtures::cycle(10);
+        let c1 = commute_time(&g, 0, 5);
+        let c2 = commute_time(&g, 5, 0);
+        assert_close(c1, c2, 1e-6);
+        // commute time = 2m·R_eff; on C_10 between antipodes R = 2.5Ω
+        assert_close(c1, 2.0 * 10.0 * 2.5, 1e-5);
+    }
+
+    #[test]
+    fn hitting_zero_on_target() {
+        let g = fixtures::petersen();
+        let h = hitting_time_to(&g, 3);
+        assert_eq!(h[3], 0.0);
+        assert!(h.iter().enumerate().all(|(v, &x)| v == 3 || x > 0.0));
+    }
+
+    #[test]
+    fn hitting_set_no_larger_than_single() {
+        let g = fixtures::grid(5, 5);
+        let single = hitting_time_to(&g, 0);
+        let mut t = vec![false; 25];
+        t[0] = true;
+        t[24] = true;
+        let set = hitting_times(&g, &t);
+        for v in 0..25 {
+            assert!(set[v] <= single[v] + 1e-7, "bigger target must be hit sooner");
+        }
+    }
+
+    #[test]
+    fn absorption_probabilities_gamblers_ruin() {
+        // path 0-…-k with absorbing ends: P(hit k before 0 | start i) = i/k
+        let k = 8;
+        let g = fixtures::path(k + 1);
+        let mut a = vec![false; k + 1];
+        a[k] = true;
+        let mut b = vec![false; k + 1];
+        b[0] = true;
+        let p = absorption_probabilities(&g, &a, &b);
+        for i in 0..=k {
+            assert_close(p[i], i as f64 / k as f64, 1e-7);
+        }
+    }
+
+    #[test]
+    fn absorption_bounds() {
+        let g = fixtures::petersen();
+        let mut a = vec![false; 10];
+        a[0] = true;
+        let mut b = vec![false; 10];
+        b[7] = true;
+        let p = absorption_probabilities(&g, &a, &b);
+        assert_eq!(p[0], 1.0);
+        assert_eq!(p[7], 0.0);
+        assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn bottleneck_inflates_hitting_time() {
+        // crossing the barbell bridge takes far longer than moving
+        // within a clique — the structural fact behind slow mixing
+        let g = fixtures::barbell(8, 0);
+        let h = hitting_time_to(&g, 0);
+        let within = h[1]; // same clique
+        let across = h[15]; // other clique
+        assert!(
+            across > 4.0 * within,
+            "bridge crossing ({across}) should dwarf intra-clique ({within})"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_target_rejected() {
+        let g = fixtures::petersen();
+        let _ = hitting_times(&g, &vec![false; 10]);
+    }
+}

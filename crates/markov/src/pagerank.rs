@@ -1,0 +1,173 @@
+//! PageRank and personalized PageRank.
+//!
+//! Viswanath et al.'s analysis (which the paper's §2 endorses:
+//! "different Sybil defenses work by ranking different nodes based on
+//! how well-connected are these nodes to a trusted node") reduces
+//! random-walk Sybil defenses to a *ranking* induced by a
+//! trust-seeded walk. Personalized PageRank is the canonical such
+//! ranking; `socmix-sybil`'s ranking module evaluates it against
+//! ground truth. Global PageRank is included for completeness.
+
+use socmix_graph::{Graph, NodeId};
+
+/// Options for the PageRank iterations.
+#[derive(Debug, Clone, Copy)]
+pub struct PagerankOptions {
+    /// Teleport (restart) probability `α` — the classic 0.15.
+    pub alpha: f64,
+    /// Convergence tolerance on the L1 change per iteration.
+    pub tol: f64,
+    /// Iteration cap.
+    pub max_iter: usize,
+}
+
+impl Default for PagerankOptions {
+    fn default() -> Self {
+        PagerankOptions {
+            alpha: 0.15,
+            tol: 1e-12,
+            max_iter: 1_000,
+        }
+    }
+}
+
+fn pagerank_with_restart(g: &Graph, restart: &[f64], opts: PagerankOptions) -> Vec<f64> {
+    let n = g.num_nodes();
+    assert_eq!(restart.len(), n);
+    assert!(g.num_edges() > 0, "pagerank needs edges");
+    assert!((0.0..1.0).contains(&opts.alpha) && opts.alpha > 0.0);
+    let mut x = restart.to_vec();
+    let mut y = vec![0.0f64; n];
+    for _ in 0..opts.max_iter {
+        y.iter_mut().for_each(|v| *v = 0.0);
+        let mut dangling = 0.0f64;
+        for v in 0..n {
+            let mass = x[v];
+            if mass == 0.0 {
+                continue;
+            }
+            let d = g.degree(v as NodeId);
+            if d == 0 {
+                dangling += mass;
+                continue;
+            }
+            let share = mass / d as f64;
+            for &u in g.neighbors(v as NodeId) {
+                y[u as usize] += share;
+            }
+        }
+        // dangling mass teleports like everything else
+        let mut delta = 0.0f64;
+        for v in 0..n {
+            let new = opts.alpha * restart[v]
+                + (1.0 - opts.alpha) * (y[v] + dangling * restart[v]);
+            delta += (new - x[v]).abs();
+            x[v] = new;
+        }
+        if delta < opts.tol {
+            break;
+        }
+    }
+    x
+}
+
+/// Global PageRank (uniform teleport vector).
+pub fn pagerank(g: &Graph, opts: PagerankOptions) -> Vec<f64> {
+    let n = g.num_nodes();
+    let restart = vec![1.0 / n as f64; n];
+    pagerank_with_restart(g, &restart, opts)
+}
+
+/// Personalized PageRank seeded at one trust anchor: the stationary
+/// distribution of "walk, but restart at `seed` with probability α".
+/// The ranking it induces is the common core of random-walk Sybil
+/// defenses.
+///
+/// # Example
+///
+/// ```
+/// use socmix_markov::pagerank::{personalized_pagerank, PagerankOptions};
+/// let g = socmix_gen::fixtures::path(10);
+/// let ppr = personalized_pagerank(&g, 0, PagerankOptions::default());
+/// assert!(ppr[0] > ppr[9], "trust decays with distance from the anchor");
+/// ```
+pub fn personalized_pagerank(g: &Graph, seed: NodeId, opts: PagerankOptions) -> Vec<f64> {
+    let n = g.num_nodes();
+    assert!((seed as usize) < n);
+    let mut restart = vec![0.0f64; n];
+    restart[seed as usize] = 1.0;
+    pagerank_with_restart(g, &restart, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socmix_gen::fixtures;
+
+    #[test]
+    fn global_pagerank_is_distribution() {
+        let g = fixtures::petersen();
+        let pr = pagerank(&g, PagerankOptions::default());
+        assert!((pr.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(pr.iter().all(|&p| p > 0.0));
+    }
+
+    #[test]
+    fn regular_graph_pagerank_uniform() {
+        let g = fixtures::cycle(12);
+        let pr = pagerank(&g, PagerankOptions::default());
+        for &p in &pr {
+            assert!((p - 1.0 / 12.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn star_center_ranks_highest() {
+        let g = fixtures::star(8);
+        let pr = pagerank(&g, PagerankOptions::default());
+        assert!(pr[0] > 3.0 * pr[1], "hub should dominate: {pr:?}");
+    }
+
+    #[test]
+    fn personalized_mass_concentrates_near_seed() {
+        let g = fixtures::path(20);
+        let ppr = personalized_pagerank(&g, 0, PagerankOptions::default());
+        assert!((ppr.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(ppr[0] > ppr[5]);
+        assert!(ppr[5] > ppr[19], "mass must decay with distance: {ppr:?}");
+    }
+
+    #[test]
+    fn higher_alpha_concentrates_more() {
+        let g = fixtures::grid(6, 6);
+        let tight = personalized_pagerank(
+            &g,
+            0,
+            PagerankOptions {
+                alpha: 0.5,
+                ..Default::default()
+            },
+        );
+        let loose = personalized_pagerank(
+            &g,
+            0,
+            PagerankOptions {
+                alpha: 0.05,
+                ..Default::default()
+            },
+        );
+        assert!(tight[0] > loose[0]);
+    }
+
+    #[test]
+    fn handles_isolated_nodes_as_dangling() {
+        use socmix_graph::GraphBuilder;
+        let mut b = GraphBuilder::from_edges([(0, 1), (1, 2), (2, 0)]);
+        b.grow_to(4); // node 3 isolated
+        let g = b.build();
+        let pr = pagerank(&g, PagerankOptions::default());
+        assert!((pr.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(pr[3] > 0.0, "teleport keeps isolated mass positive");
+        assert!(pr[3] < pr[0]);
+    }
+}

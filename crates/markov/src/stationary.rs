@@ -1,0 +1,97 @@
+//! The stationary distribution of the random walk (paper Theorem 1).
+
+use socmix_graph::Graph;
+
+/// The stationary distribution `π_v = deg(v) / 2m`.
+///
+/// For a connected non-bipartite graph this is the unique
+/// distribution with `πP = π`, and the distribution every random walk
+/// converges to. (On a regular graph it is uniform — the paper notes
+/// this as the special case where walk tails become uniform over
+/// nodes.)
+///
+/// # Panics
+///
+/// Panics if the graph has no edges (the walk is undefined).
+pub fn stationary_distribution(g: &Graph) -> Vec<f64> {
+    let total = g.total_degree();
+    assert!(total > 0, "stationary distribution undefined without edges");
+    let inv = 1.0 / total as f64;
+    (0..g.num_nodes() as u32)
+        .map(|v| g.degree(v) as f64 * inv)
+        .collect()
+}
+
+/// The point distribution concentrated at `v` — the paper's `π⁽ⁱ⁾`
+/// initial distribution.
+pub fn point_distribution(n: usize, v: u32) -> Vec<f64> {
+    let mut x = vec![0.0; n];
+    x[v as usize] = 1.0;
+    x
+}
+
+/// The uniform distribution over `n` nodes.
+pub fn uniform_distribution(n: usize) -> Vec<f64> {
+    assert!(n > 0);
+    vec![1.0 / n as f64; n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socmix_gen::fixtures;
+    use socmix_linalg::{LinearOp, WalkOp};
+
+    #[test]
+    fn sums_to_one() {
+        let g = fixtures::petersen();
+        let pi = stationary_distribution(&g);
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proportional_to_degree() {
+        let g = fixtures::star(5);
+        let pi = stationary_distribution(&g);
+        // center degree 4 of total 8
+        assert!((pi[0] - 0.5).abs() < 1e-12);
+        for v in 1..5 {
+            assert!((pi[v] - 0.125).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn uniform_on_regular_graph() {
+        let g = fixtures::cycle(12);
+        let pi = stationary_distribution(&g);
+        for p in &pi {
+            assert!((p - 1.0 / 12.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn invariant_under_walk_operator() {
+        let g = fixtures::barbell(4, 2);
+        let pi = stationary_distribution(&g);
+        let op = WalkOp::new(&g);
+        let pi2 = op.apply_vec(&pi);
+        for (a, b) in pi.iter().zip(&pi2) {
+            assert!((a - b).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_graph_rejected() {
+        use socmix_graph::Graph;
+        let _ = stationary_distribution(&Graph::empty(3));
+    }
+
+    #[test]
+    fn point_and_uniform() {
+        let p = point_distribution(4, 2);
+        assert_eq!(p, vec![0.0, 0.0, 1.0, 0.0]);
+        let u = uniform_distribution(4);
+        assert!((u.iter().sum::<f64>() - 1.0).abs() < 1e-15);
+    }
+}

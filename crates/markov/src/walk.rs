@@ -1,0 +1,158 @@
+//! Sampled random-walk trajectories.
+//!
+//! The exact evolution in [`crate::evolve`] measures distributions;
+//! the Sybil protocols in `socmix-sybil` need actual *walks* — node
+//! sequences with their tail edges. These helpers generate them.
+
+use rand::Rng;
+use socmix_graph::{Graph, NodeId};
+
+/// A sampled walk: the visited node sequence, `start` first.
+///
+/// `nodes.len() == length + 1` unless the walk hit a degree-0 node
+/// (impossible on connected graphs with ≥ 1 edge).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Walk {
+    pub nodes: Vec<NodeId>,
+}
+
+impl Walk {
+    /// The walk's start node.
+    pub fn start(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// The walk's final node.
+    pub fn end(&self) -> NodeId {
+        *self.nodes.last().unwrap()
+    }
+
+    /// The tail edge `(second-to-last, last)`, or `None` for a
+    /// zero-length walk. This is the "tail" that Whānau-style
+    /// protocols register.
+    pub fn tail_edge(&self) -> Option<(NodeId, NodeId)> {
+        let n = self.nodes.len();
+        if n < 2 {
+            None
+        } else {
+            Some((self.nodes[n - 2], self.nodes[n - 1]))
+        }
+    }
+
+    /// Number of steps taken.
+    pub fn length(&self) -> usize {
+        self.nodes.len() - 1
+    }
+}
+
+/// Samples a simple random walk of `length` steps from `start`.
+///
+/// # Panics
+///
+/// Panics if a visited node has degree 0 (pass connected graphs).
+pub fn random_walk<R: Rng + ?Sized>(g: &Graph, start: NodeId, length: usize, rng: &mut R) -> Walk {
+    let mut nodes = Vec::with_capacity(length + 1);
+    nodes.push(start);
+    let mut cur = start;
+    for _ in 0..length {
+        let nbrs = g.neighbors(cur);
+        assert!(!nbrs.is_empty(), "walk stranded at isolated node {cur}");
+        cur = nbrs[rng.random_range(0..nbrs.len())];
+        nodes.push(cur);
+    }
+    Walk { nodes }
+}
+
+/// Samples `count` walk endpoints of `length` steps from `start` and
+/// returns the endpoint histogram (length `n`). Dividing by `count`
+/// estimates `π⁽ˢᵗᵃʳᵗ⁾Pᵗ` — used in tests to validate the exact
+/// evolution, and by examples to illustrate sampling noise.
+pub fn endpoint_histogram<R: Rng + ?Sized>(
+    g: &Graph,
+    start: NodeId,
+    length: usize,
+    count: usize,
+    rng: &mut R,
+) -> Vec<u64> {
+    let mut hist = vec![0u64; g.num_nodes()];
+    for _ in 0..count {
+        let w = random_walk(g, start, length, rng);
+        hist[w.end() as usize] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evolve::Evolver;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use socmix_gen::fixtures;
+
+    #[test]
+    fn walk_has_requested_length() {
+        let g = fixtures::cycle(10);
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = random_walk(&g, 3, 25, &mut rng);
+        assert_eq!(w.length(), 25);
+        assert_eq!(w.start(), 3);
+    }
+
+    #[test]
+    fn walk_steps_are_edges() {
+        let g = fixtures::petersen();
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = random_walk(&g, 0, 50, &mut rng);
+        for pair in w.nodes.windows(2) {
+            assert!(g.has_edge(pair[0], pair[1]));
+        }
+    }
+
+    #[test]
+    fn zero_length_walk() {
+        let g = fixtures::cycle(5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = random_walk(&g, 4, 0, &mut rng);
+        assert_eq!(w.nodes, vec![4]);
+        assert_eq!(w.tail_edge(), None);
+        assert_eq!(w.end(), 4);
+    }
+
+    #[test]
+    fn tail_edge_is_last_step() {
+        let g = fixtures::path(4);
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = random_walk(&g, 0, 3, &mut rng);
+        let (a, b) = w.tail_edge().unwrap();
+        assert_eq!(b, w.end());
+        assert!(g.has_edge(a, b));
+    }
+
+    #[test]
+    fn endpoint_histogram_matches_exact_distribution() {
+        let g = fixtures::petersen();
+        let mut rng = StdRng::seed_from_u64(4);
+        let count = 40_000;
+        let hist = endpoint_histogram(&g, 0, 6, count, &mut rng);
+        assert_eq!(hist.iter().sum::<u64>(), count as u64);
+        let exact = Evolver::new(&g).distribution_after(0, 6);
+        for (h, p) in hist.iter().zip(&exact) {
+            let emp = *h as f64 / count as f64;
+            // 5σ binomial tolerance
+            let sd = (p * (1.0 - p) / count as f64).sqrt();
+            assert!(
+                (emp - p).abs() < 5.0 * sd + 1e-9,
+                "empirical {emp} vs exact {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = fixtures::cycle(15);
+        let a = random_walk(&g, 0, 30, &mut StdRng::seed_from_u64(5));
+        let b = random_walk(&g, 0, 30, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+}

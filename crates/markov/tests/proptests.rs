@@ -1,0 +1,146 @@
+//! Property tests for the Markov layer: distance axioms, evolution
+//! invariants, hitting-time identities on random structures.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socmix_graph::{GraphBuilder, NodeId};
+use socmix_markov::dist::{
+    edge_uniformity_tvd, kl_divergence, l1_distance, separation_distance, total_variation,
+};
+use socmix_markov::hitting::{absorption_probabilities, hitting_time_to};
+use socmix_markov::pagerank::{pagerank, personalized_pagerank, PagerankOptions};
+use socmix_markov::walk::random_walk;
+use socmix_markov::{stationary_distribution, Evolver};
+
+/// A normalized probability vector of the given length.
+fn distribution(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.01f64..1.0, len).prop_map(|raw| {
+        let s: f64 = raw.iter().sum();
+        raw.into_iter().map(|v| v / s).collect()
+    })
+}
+
+/// A connected graph built from a random tree plus extras.
+fn connected_graph(max_n: usize) -> impl Strategy<Value = socmix_graph::Graph> {
+    (3usize..=max_n, proptest::collection::vec((0u64..u64::MAX, 0u64..u64::MAX), 0..40))
+        .prop_flat_map(|(n, extra)| {
+            proptest::collection::vec(0u64..u64::MAX, n - 1).prop_map(move |tree| {
+                let mut b = GraphBuilder::new();
+                for (v, pick) in tree.iter().enumerate() {
+                    let v = (v + 1) as NodeId;
+                    b.add_edge((pick % v as u64) as NodeId, v);
+                }
+                for &(x, y) in &extra {
+                    let u = (x % n as u64) as NodeId;
+                    let v = (y % n as u64) as NodeId;
+                    if u != v {
+                        b.add_edge(u, v);
+                    }
+                }
+                b.build()
+            })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Distance axioms over arbitrary distribution pairs.
+    #[test]
+    fn distance_axioms(p in distribution(12), q in distribution(12)) {
+        let tv = total_variation(&p, &q);
+        prop_assert!((0.0..=1.0).contains(&tv));
+        prop_assert!((tv - total_variation(&q, &p)).abs() < 1e-14, "symmetry");
+        prop_assert!((l1_distance(&p, &q) - 2.0 * tv).abs() < 1e-14);
+        // separation dominates TVD
+        prop_assert!(separation_distance(&p, &q) >= tv - 1e-12);
+        // KL is non-negative (Gibbs) on full-support inputs
+        prop_assert!(kl_divergence(&p, &q) >= -1e-12);
+        // Pinsker: TVD ≤ √(KL/2)
+        prop_assert!(tv <= (kl_divergence(&p, &q) / 2.0).sqrt() + 1e-9);
+    }
+
+    /// Evolution preserves probability mass and never increases TVD
+    /// to π; the edge-uniformity identity holds at every step.
+    #[test]
+    fn evolution_invariants(g in connected_graph(20), steps in 1usize..25) {
+        let pi = stationary_distribution(&g);
+        let e = Evolver::new(&g);
+        let mut x = socmix_markov::stationary::point_distribution(g.num_nodes(), 0);
+        let mut last = f64::INFINITY;
+        for _ in 0..steps {
+            e.step(&mut x);
+            prop_assert!((x.iter().sum::<f64>() - 1.0).abs() < 1e-10);
+            let tv = total_variation(&x, &pi);
+            prop_assert!(tv <= last + 1e-12);
+            prop_assert!((edge_uniformity_tvd(&g, &x) - tv).abs() < 1e-10);
+            last = tv;
+        }
+    }
+
+    /// Hitting times satisfy the one-step recurrence
+    /// `h(v) = 1 + mean_{u∼v} h(u)` off the target.
+    #[test]
+    fn hitting_time_recurrence(g in connected_graph(16)) {
+        let h = hitting_time_to(&g, 0);
+        for v in 1..g.num_nodes() as NodeId {
+            let mean: f64 = g
+                .neighbors(v)
+                .iter()
+                .map(|&u| h[u as usize])
+                .sum::<f64>()
+                / g.degree(v) as f64;
+            prop_assert!((h[v as usize] - (1.0 + mean)).abs() < 1e-5,
+                "recurrence violated at {v}: {} vs {}", h[v as usize], 1.0 + mean);
+        }
+    }
+
+    /// Absorption probabilities are harmonic off the boundary.
+    #[test]
+    fn absorption_is_harmonic(g in connected_graph(16)) {
+        let n = g.num_nodes();
+        let mut a = vec![false; n];
+        a[0] = true;
+        let mut b = vec![false; n];
+        b[n - 1] = true;
+        if n < 3 {
+            return Ok(());
+        }
+        let p = absorption_probabilities(&g, &a, &b);
+        for v in 1..(n - 1) as NodeId {
+            let mean: f64 = g
+                .neighbors(v)
+                .iter()
+                .map(|&u| p[u as usize])
+                .sum::<f64>()
+                / g.degree(v) as f64;
+            prop_assert!((p[v as usize] - mean).abs() < 1e-6);
+        }
+    }
+
+    /// PageRank is a distribution; personalized mass decreases with
+    /// graph distance on trees.
+    #[test]
+    fn pagerank_is_distribution(g in connected_graph(20)) {
+        let pr = pagerank(&g, PagerankOptions::default());
+        prop_assert!((pr.iter().sum::<f64>() - 1.0).abs() < 1e-8);
+        let ppr = personalized_pagerank(&g, 0, PagerankOptions::default());
+        prop_assert!((ppr.iter().sum::<f64>() - 1.0).abs() < 1e-8);
+        // the anchor holds the single largest personalized mass... not
+        // always true on stars pointing away; assert positivity instead
+        prop_assert!(ppr.iter().all(|&x| x >= 0.0));
+        prop_assert!(ppr[0] > 1.0 / (2.0 * g.num_nodes() as f64));
+    }
+
+    /// Sampled walks traverse real edges and have exact length.
+    #[test]
+    fn walks_are_valid(g in connected_graph(20), len in 0usize..30, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = random_walk(&g, 0, len, &mut rng);
+        prop_assert_eq!(w.length(), len);
+        for pair in w.nodes.windows(2) {
+            prop_assert!(g.has_edge(pair[0], pair[1]));
+        }
+    }
+}

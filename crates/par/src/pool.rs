@@ -1,0 +1,91 @@
+//! A lightweight handle bundling a thread-count choice.
+
+use crate::scheduler;
+
+/// A reusable parallelism configuration.
+///
+/// `Pool` does not keep threads alive between calls (scoped threads are
+/// cheap at the granularity we use them — one spawn per long-running
+/// measurement); it exists so callers can thread an explicit degree of
+/// parallelism through an experiment instead of re-reading the
+/// environment at every call site.
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool using the global default thread count ([`crate::num_threads`]).
+    pub fn new() -> Self {
+        Pool {
+            threads: crate::num_threads(),
+        }
+    }
+
+    /// A pool with an explicit thread count (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> Self {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A pool that always runs on the calling thread.
+    pub fn serial() -> Self {
+        Pool { threads: 1 }
+    }
+
+    /// The number of worker threads this pool will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `0..n` in index order using this pool.
+    pub fn map_indexed<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send + Default + Clone,
+        F: Fn(usize) -> T + Sync,
+    {
+        scheduler::par_map_indexed_with(n, self.threads, f)
+    }
+
+    /// Runs `body` over disjoint chunks of `0..n` using this pool.
+    pub fn for_each_chunk<F>(&self, n: usize, body: F)
+    where
+        F: Fn(std::ops::Range<usize>) + Sync,
+    {
+        scheduler::par_for_each_chunk(n, self.threads, body)
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_pool_has_one_thread() {
+        assert_eq!(Pool::serial().threads(), 1);
+    }
+
+    #[test]
+    fn with_threads_clamps_to_one() {
+        assert_eq!(Pool::with_threads(0).threads(), 1);
+    }
+
+    #[test]
+    fn pool_map_matches_serial_map() {
+        let a = Pool::with_threads(4).map_indexed(100, |i| i * 2);
+        let b = Pool::serial().map_indexed(100, |i| i * 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn default_is_new() {
+        assert_eq!(Pool::default().threads(), Pool::new().threads());
+    }
+}

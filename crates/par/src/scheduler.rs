@@ -1,0 +1,224 @@
+//! Dynamic chunked scheduling over an index space.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How an index space `0..n` is cut into work units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkPlan {
+    /// Total number of indices.
+    pub n: usize,
+    /// Indices per work unit.
+    pub chunk: usize,
+}
+
+impl ChunkPlan {
+    /// Plans chunks for `n` items across `threads` workers.
+    ///
+    /// Aims for ~4 chunks per worker so dynamic scheduling can balance
+    /// skew, with a minimum chunk of 1.
+    pub fn new(n: usize, threads: usize) -> Self {
+        let target_units = threads.max(1) * 4;
+        let chunk = n.div_ceil(target_units).max(1);
+        ChunkPlan { n, chunk }
+    }
+
+    /// Number of work units in the plan.
+    pub fn units(&self) -> usize {
+        if self.n == 0 {
+            0
+        } else {
+            self.n.div_ceil(self.chunk)
+        }
+    }
+
+    /// The half-open index range of unit `u`.
+    pub fn range(&self, u: usize) -> std::ops::Range<usize> {
+        let lo = u * self.chunk;
+        let hi = (lo + self.chunk).min(self.n);
+        lo..hi
+    }
+}
+
+/// Runs `body` over disjoint chunks of `0..n` on `threads` workers.
+///
+/// `body` receives the half-open range it owns. Chunks are claimed
+/// dynamically from a shared cursor, so uneven chunk costs still balance.
+/// With `threads == 1` (or `n` small enough to fit one chunk) the body
+/// runs on the calling thread with no thread spawns.
+pub fn par_for_each_chunk<F>(n: usize, threads: usize, body: F)
+where
+    F: Fn(std::ops::Range<usize>) + Sync,
+{
+    let plan = ChunkPlan::new(n, threads);
+    let units = plan.units();
+    if units == 0 {
+        return;
+    }
+    if threads <= 1 || units == 1 {
+        for u in 0..units {
+            body(plan.range(u));
+        }
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    let body = &body;
+    let cursor = &cursor;
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(units) {
+            scope.spawn(move |_| loop {
+                let u = cursor.fetch_add(1, Ordering::Relaxed);
+                if u >= units {
+                    break;
+                }
+                body(plan.range(u));
+            });
+        }
+    })
+    .expect("socmix-par worker panicked");
+}
+
+/// Maps `f` over `0..n` in parallel and collects results in index order.
+pub fn par_map_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send + Default + Clone,
+    F: Fn(usize) -> T + Sync,
+{
+    par_map_indexed_with(n, crate::num_threads(), f)
+}
+
+/// As [`par_map_indexed`] but with an explicit thread count.
+pub fn par_map_indexed_with<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send + Default + Clone,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out = vec![T::default(); n];
+    {
+        // Each chunk owns a disjoint slice of `out`; hand out raw parts
+        // through a shared pointer wrapper to avoid a mutex per element.
+        struct SendPtr<T>(*mut T);
+        unsafe impl<T: Send> Send for SendPtr<T> {}
+        unsafe impl<T: Send> Sync for SendPtr<T> {}
+        let base = SendPtr(out.as_mut_ptr());
+        let base = &base;
+        let f = &f;
+        par_for_each_chunk(n, threads, move |range| {
+            for i in range {
+                // SAFETY: chunks from `par_for_each_chunk` are disjoint
+                // half-open ranges of 0..n, so each `i` is written by
+                // exactly one worker, and `out` outlives the scope.
+                unsafe {
+                    *base.0.add(i) = f(i);
+                }
+            }
+        });
+    }
+    out
+}
+
+/// Maps `f` over `0..n` in parallel and folds the results with `fold`.
+///
+/// `fold` must be associative and commutative (chunk results arrive in an
+/// unspecified order); `identity` is its unit.
+pub fn par_reduce_indexed<T, F, R>(n: usize, identity: T, f: F, fold: R) -> T
+where
+    T: Send + Sync + Clone,
+    F: Fn(usize) -> T + Sync,
+    R: Fn(T, T) -> T + Sync + Send,
+{
+    let threads = crate::num_threads();
+    let partials = parking_free_collect(n, threads, &f, &fold, identity.clone());
+    partials.into_iter().fold(identity, fold)
+}
+
+fn parking_free_collect<T, F, R>(n: usize, threads: usize, f: &F, fold: &R, identity: T) -> Vec<T>
+where
+    T: Send + Sync + Clone,
+    F: Fn(usize) -> T + Sync,
+    R: Fn(T, T) -> T + Sync + Send,
+{
+    use std::sync::Mutex;
+    let partials: Mutex<Vec<T>> = Mutex::new(Vec::new());
+    {
+        let partials = &partials;
+        par_for_each_chunk(n, threads, move |range| {
+            let mut acc = identity.clone();
+            for i in range {
+                acc = fold(acc, f(i));
+            }
+            partials.lock().unwrap().push(acc);
+        });
+    }
+    partials.into_inner().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_plan_covers_everything_once() {
+        for n in [0usize, 1, 2, 7, 64, 1000] {
+            for threads in [1usize, 2, 8] {
+                let plan = ChunkPlan::new(n, threads);
+                let mut seen = vec![false; n];
+                for u in 0..plan.units() {
+                    for i in plan.range(u) {
+                        assert!(!seen[i], "index {i} covered twice");
+                        seen[i] = true;
+                    }
+                }
+                assert!(seen.iter().all(|&s| s), "n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_plan_empty() {
+        let plan = ChunkPlan::new(0, 4);
+        assert_eq!(plan.units(), 0);
+    }
+
+    #[test]
+    fn map_matches_serial() {
+        let par = par_map_indexed(1000, |i| (i as u64) * 3 + 1);
+        let ser: Vec<u64> = (0..1000).map(|i| (i as u64) * 3 + 1).collect();
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn map_zero_len() {
+        let v: Vec<u32> = par_map_indexed(0, |_| 7);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn map_single_thread_path() {
+        let v = par_map_indexed_with(17, 1, |i| i + 1);
+        assert_eq!(v, (1..=17).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reduce_sums() {
+        let s = par_reduce_indexed(10_000, 0u64, |i| i as u64, |a, b| a + b);
+        assert_eq!(s, 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn reduce_max() {
+        let m = par_reduce_indexed(257, usize::MIN, |i| (i * 31) % 257, |a, b| a.max(b));
+        assert_eq!(m, 256);
+    }
+
+    #[test]
+    fn for_each_chunk_disjoint_writes() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let hits: Vec<AtomicU32> = (0..513).map(|_| AtomicU32::new(0)).collect();
+        par_for_each_chunk(513, 4, |range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+}

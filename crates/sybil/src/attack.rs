@@ -1,0 +1,392 @@
+//! The Sybil attack model: a controlled region attached through a
+//! bounded number of attack edges.
+//!
+//! The whole point of social Sybil defenses is that an attacker can
+//! mint unlimited identities but only limited *attack edges* (real
+//! trust links to honest users), so the Sybil region hangs off a
+//! sparse cut. This module builds that composite graph; the
+//! experiments measure how many Sybil identities slip through per
+//! attack edge (`≈ w` for SybilLimit) and how often honest walks
+//! escape into the region.
+
+use rand::Rng;
+use socmix_graph::{Graph, GraphBuilder, NodeId};
+
+/// Topology of the attacker-controlled region.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SybilTopology {
+    /// A clique — maximizes internal mixing of the Sybil region.
+    Clique,
+    /// A chain of nodes — the cheapest structure.
+    Chain,
+    /// An Erdős–Rényi-style region with the given average degree.
+    Random { avg_degree: f64 },
+}
+
+/// Attack parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackParams {
+    /// Number of Sybil identities created.
+    pub sybil_count: usize,
+    /// Number of attack edges `g` to random honest nodes.
+    pub attack_edges: usize,
+    /// Shape of the Sybil region.
+    pub topology: SybilTopology,
+}
+
+/// The composite graph: honest nodes keep their ids `0..honest`,
+/// Sybils occupy `honest..honest+sybil_count`.
+#[derive(Debug, Clone)]
+pub struct AttackedGraph {
+    /// The composite (honest ∪ sybil) graph.
+    pub graph: Graph,
+    /// Number of honest nodes (`=` the original graph's node count).
+    pub honest: usize,
+}
+
+impl AttackedGraph {
+    /// Whether `v` is a Sybil identity.
+    pub fn is_sybil(&self, v: NodeId) -> bool {
+        (v as usize) >= self.honest
+    }
+
+    /// All honest node ids.
+    pub fn honest_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.honest as NodeId
+    }
+
+    /// All Sybil node ids.
+    pub fn sybil_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.honest as NodeId..self.graph.num_nodes() as NodeId
+    }
+}
+
+/// Attaches a Sybil region to `honest` with the given parameters.
+///
+/// Attack-edge endpoints are uniform over honest nodes and over Sybil
+/// nodes; duplicate picks merge (the builder dedups), so the realized
+/// attack-edge count can be slightly below `attack_edges` — real
+/// attackers face the same constraint.
+///
+/// # Panics
+///
+/// Panics if `sybil_count == 0` or `attack_edges == 0` (use the raw
+/// graph for the no-attack case).
+pub fn attach_sybil_region<R: Rng + ?Sized>(
+    honest: &Graph,
+    params: AttackParams,
+    rng: &mut R,
+) -> AttackedGraph {
+    assert!(params.sybil_count > 0, "need at least one sybil");
+    assert!(params.attack_edges > 0, "need at least one attack edge");
+    assert!(honest.num_nodes() > 0, "honest region empty");
+    let h = honest.num_nodes();
+    let s = params.sybil_count;
+    let mut b = GraphBuilder::with_capacity(honest.num_edges() + s * 4);
+    b.grow_to(h + s);
+    for (u, v) in honest.edges() {
+        b.add_edge(u, v);
+    }
+    let sybil_id = |i: usize| (h + i) as NodeId;
+    match params.topology {
+        SybilTopology::Clique => {
+            for i in 0..s {
+                for j in (i + 1)..s {
+                    b.add_edge(sybil_id(i), sybil_id(j));
+                }
+            }
+        }
+        SybilTopology::Chain => {
+            for i in 1..s {
+                b.add_edge(sybil_id(i - 1), sybil_id(i));
+            }
+        }
+        SybilTopology::Random { avg_degree } => {
+            assert!(avg_degree > 0.0);
+            let target = ((s as f64 * avg_degree) / 2.0).round() as usize;
+            let mut added = 0usize;
+            let mut attempts = 0usize;
+            while added < target && attempts < target * 60 + 100 {
+                attempts += 1;
+                let i = rng.random_range(0..s);
+                let j = rng.random_range(0..s);
+                if i != j {
+                    b.add_edge(sybil_id(i), sybil_id(j));
+                    added += 1;
+                }
+            }
+            // connect stragglers into a chain so the region is one
+            // component (an attacker would)
+            for i in 1..s {
+                b.add_edge(sybil_id(i - 1), sybil_id(i));
+            }
+        }
+    }
+    for _ in 0..params.attack_edges {
+        let honest_end = rng.random_range(0..h as NodeId);
+        let sybil_end = sybil_id(rng.random_range(0..s));
+        b.add_edge(honest_end, sybil_end);
+    }
+    AttackedGraph {
+        graph: b.build(),
+        honest: h,
+    }
+}
+
+/// Fraction of `samples` random walks of length `w` from random
+/// honest sources that end inside the Sybil region — the *escape
+/// probability* the paper's discussion weighs against reaching slow
+/// parts of the honest graph.
+pub fn escape_probability<R: Rng + ?Sized>(
+    attacked: &AttackedGraph,
+    w: usize,
+    samples: usize,
+    rng: &mut R,
+) -> f64 {
+    assert!(samples > 0);
+    let mut escaped = 0usize;
+    for _ in 0..samples {
+        let start = rng.random_range(0..attacked.honest as NodeId);
+        let walk = socmix_markov::walk::random_walk(&attacked.graph, start, w, rng);
+        if attacked.is_sybil(walk.end()) {
+            escaped += 1;
+        }
+    }
+    escaped as f64 / samples as f64
+}
+
+/// Exact probability that a walk from `start` *touches* the Sybil
+/// region within `w` steps, computed by evolving the exact
+/// distribution with the Sybil nodes absorbing (no sampling noise).
+///
+/// Complements [`escape_probability`], which samples the related but
+/// weaker event "the walk is inside the region at step `w`".
+pub fn touch_probability_exact(attacked: &AttackedGraph, start: NodeId, w: usize) -> f64 {
+    let g = &attacked.graph;
+    assert!((start as usize) < attacked.honest, "start must be honest");
+    let n = g.num_nodes();
+    let mut x = vec![0.0f64; n];
+    x[start as usize] = 1.0;
+    let mut absorbed = 0.0f64;
+    let mut y = vec![0.0f64; n];
+    for _ in 0..w {
+        y.iter_mut().for_each(|v| *v = 0.0);
+        for v in 0..n {
+            let mass = x[v];
+            if mass <= 0.0 {
+                continue;
+            }
+            let share = mass / g.degree(v as NodeId) as f64;
+            for &u in g.neighbors(v as NodeId) {
+                y[u as usize] += share;
+            }
+        }
+        // absorb everything that stepped into the region
+        for v in attacked.honest..n {
+            absorbed += y[v];
+            y[v] = 0.0;
+        }
+        std::mem::swap(&mut x, &mut y);
+        if absorbed >= 1.0 - 1e-12 {
+            break;
+        }
+    }
+    absorbed.min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use socmix_gen::ba::barabasi_albert;
+    use socmix_graph::components::is_connected;
+
+    fn honest() -> Graph {
+        barabasi_albert(200, 3, &mut StdRng::seed_from_u64(0))
+    }
+
+    #[test]
+    fn composite_counts() {
+        let h = honest();
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = attach_sybil_region(
+            &h,
+            AttackParams {
+                sybil_count: 30,
+                attack_edges: 5,
+                topology: SybilTopology::Clique,
+            },
+            &mut rng,
+        );
+        assert_eq!(a.graph.num_nodes(), 230);
+        assert_eq!(a.honest, 200);
+        assert!(a.is_sybil(200));
+        assert!(!a.is_sybil(199));
+        assert!(is_connected(&a.graph));
+    }
+
+    #[test]
+    fn clique_topology_edge_count() {
+        let h = honest();
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = attach_sybil_region(
+            &h,
+            AttackParams {
+                sybil_count: 10,
+                attack_edges: 3,
+                topology: SybilTopology::Clique,
+            },
+            &mut rng,
+        );
+        let extra = a.graph.num_edges() - h.num_edges();
+        // 45 clique edges + ≤3 attack edges
+        assert!(extra >= 45 + 1 && extra <= 45 + 3, "extra={extra}");
+    }
+
+    #[test]
+    fn chain_topology_is_connected_region() {
+        let h = honest();
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = attach_sybil_region(
+            &h,
+            AttackParams {
+                sybil_count: 15,
+                attack_edges: 2,
+                topology: SybilTopology::Chain,
+            },
+            &mut rng,
+        );
+        assert!(is_connected(&a.graph));
+    }
+
+    #[test]
+    fn random_topology_has_requested_density() {
+        let h = honest();
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = attach_sybil_region(
+            &h,
+            AttackParams {
+                sybil_count: 100,
+                attack_edges: 4,
+                topology: SybilTopology::Random { avg_degree: 6.0 },
+            },
+            &mut rng,
+        );
+        let sybil_internal = a
+            .graph
+            .edges()
+            .filter(|&(u, v)| a.is_sybil(u) && a.is_sybil(v))
+            .count();
+        // chain backstop adds ≤99; ER target is 300
+        assert!(sybil_internal >= 250, "too sparse: {sybil_internal}");
+    }
+
+    #[test]
+    fn escape_probability_grows_with_attack_edges() {
+        let h = honest();
+        let mut rng = StdRng::seed_from_u64(5);
+        let few = attach_sybil_region(
+            &h,
+            AttackParams {
+                sybil_count: 50,
+                attack_edges: 2,
+                topology: SybilTopology::Clique,
+            },
+            &mut rng,
+        );
+        let many = attach_sybil_region(
+            &h,
+            AttackParams {
+                sybil_count: 50,
+                attack_edges: 60,
+                topology: SybilTopology::Clique,
+            },
+            &mut rng,
+        );
+        let pf = escape_probability(&few, 10, 3000, &mut rng);
+        let pm = escape_probability(&many, 10, 3000, &mut rng);
+        assert!(pm > pf, "more attack edges must leak more walks ({pf} vs {pm})");
+    }
+
+    #[test]
+    fn escape_probability_bounded() {
+        let h = honest();
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = attach_sybil_region(
+            &h,
+            AttackParams {
+                sybil_count: 10,
+                attack_edges: 1,
+                topology: SybilTopology::Chain,
+            },
+            &mut rng,
+        );
+        let p = escape_probability(&a, 5, 1000, &mut rng);
+        assert!((0.0..=1.0).contains(&p));
+        assert!(p < 0.2, "one attack edge should rarely leak, got {p}");
+    }
+
+    #[test]
+    fn touch_probability_monotone_in_w() {
+        let h = honest();
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = attach_sybil_region(
+            &h,
+            AttackParams {
+                sybil_count: 20,
+                attack_edges: 10,
+                topology: SybilTopology::Clique,
+            },
+            &mut rng,
+        );
+        let p5 = touch_probability_exact(&a, 0, 5);
+        let p50 = touch_probability_exact(&a, 0, 50);
+        assert!(p50 >= p5, "touch probability must grow with w ({p5} vs {p50})");
+        assert!((0.0..=1.0).contains(&p50));
+    }
+
+    #[test]
+    fn touch_probability_bounds_sampled_escape() {
+        // P(touch within w) >= P(inside at step w)
+        let h = honest();
+        let mut rng = StdRng::seed_from_u64(8);
+        let a = attach_sybil_region(
+            &h,
+            AttackParams {
+                sybil_count: 40,
+                attack_edges: 20,
+                topology: SybilTopology::Clique,
+            },
+            &mut rng,
+        );
+        let w = 12;
+        // average exact touch probability over all honest starts
+        let avg_touch: f64 = (0..a.honest as NodeId)
+            .step_by(10)
+            .map(|v| touch_probability_exact(&a, v, w))
+            .sum::<f64>()
+            / (a.honest as f64 / 10.0);
+        let sampled = escape_probability(&a, w, 4000, &mut rng);
+        assert!(
+            avg_touch + 0.05 >= sampled,
+            "touch ({avg_touch}) should dominate end-state escape ({sampled})"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_sybils_rejected() {
+        let h = honest();
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = attach_sybil_region(
+            &h,
+            AttackParams {
+                sybil_count: 0,
+                attack_edges: 1,
+                topology: SybilTopology::Clique,
+            },
+            &mut rng,
+        );
+    }
+}

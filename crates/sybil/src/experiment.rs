@@ -1,0 +1,216 @@
+//! Experiment drivers for the paper's Figure 8 and the discussion's
+//! attack analysis.
+
+use crate::attack::AttackedGraph;
+use crate::sybillimit::{SybilLimit, SybilLimitParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use socmix_graph::{sample, Graph, NodeId};
+
+/// One point of the admission-rate curve (Figure 8).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionPoint {
+    /// Random-route length.
+    pub w: usize,
+    /// Route count `r` used at this point.
+    pub r: usize,
+    /// Fraction of honest suspects accepted (intersection ∧ balance).
+    pub accepted: f64,
+    /// Fraction passing the intersection condition alone.
+    pub intersected: f64,
+}
+
+/// Sweeps the walk length and measures the honest admission rate —
+/// the paper's Figure 8 ("we increase t until the number of accepted
+/// nodes by a trusted node reaches almost all honest nodes"; no
+/// attacker, since SybilLimit's sybil bound is `g·w` regardless).
+///
+/// `suspect_count` honest suspects and the verifier are sampled
+/// deterministically from `seed`.
+pub fn admission_experiment(
+    g: &Graph,
+    r0: f64,
+    walk_lengths: &[usize],
+    suspect_count: usize,
+    seed: u64,
+) -> Vec<AdmissionPoint> {
+    assert!(g.num_nodes() >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let verifier = sample::random_node(g, &mut rng);
+    let suspects: Vec<NodeId> =
+        sample::random_nodes(g, suspect_count.min(g.num_nodes()), &mut rng);
+    walk_lengths
+        .iter()
+        .map(|&w| {
+            let sl = SybilLimit::new(
+                g,
+                SybilLimitParams {
+                    r0,
+                    w,
+                    seed,
+                    ..Default::default()
+                },
+            );
+            let v = sl.verify_all(verifier, &suspects);
+            AdmissionPoint {
+                w,
+                r: v.r,
+                accepted: v.accepted_fraction(),
+                intersected: v.intersection_fraction(),
+            }
+        })
+        .collect()
+}
+
+/// One point of the Sybil-yield curve: how many Sybil identities a
+/// verifier accepts at walk length `w`, against the `g·w` theoretical
+/// bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SybilYieldPoint {
+    pub w: usize,
+    /// Sybil identities accepted.
+    pub accepted_sybils: usize,
+    /// Sybil suspects presented.
+    pub presented_sybils: usize,
+    /// Attack edges in the composite graph (realized).
+    pub attack_edges: usize,
+    /// Accepted Sybils per attack edge — compare with the `w` bound.
+    pub per_attack_edge: f64,
+}
+
+/// Measures accepted Sybil identities as a function of `w` on an
+/// attacked graph. All Sybil nodes are presented as suspects to an
+/// honest verifier.
+pub fn sybil_yield_experiment(
+    attacked: &AttackedGraph,
+    r0: f64,
+    walk_lengths: &[usize],
+    seed: u64,
+) -> Vec<SybilYieldPoint> {
+    let g = &attacked.graph;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let verifier = rng.random_range(0..attacked.honest as NodeId);
+    let sybils: Vec<NodeId> = attacked.sybil_nodes().collect();
+    let attack_edges = g
+        .edges()
+        .filter(|&(u, v)| attacked.is_sybil(u) != attacked.is_sybil(v))
+        .count();
+    walk_lengths
+        .iter()
+        .map(|&w| {
+            let sl = SybilLimit::new(
+                g,
+                SybilLimitParams {
+                    r0,
+                    w,
+                    seed,
+                    ..Default::default()
+                },
+            );
+            let v = sl.verify_all(verifier, &sybils);
+            let accepted = v.accepted.iter().filter(|&&a| a).count();
+            SybilYieldPoint {
+                w,
+                accepted_sybils: accepted,
+                presented_sybils: sybils.len(),
+                attack_edges,
+                per_attack_edge: accepted as f64 / attack_edges.max(1) as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::{attach_sybil_region, AttackParams, SybilTopology};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use socmix_gen::ba::barabasi_albert;
+
+    fn honest() -> Graph {
+        barabasi_albert(250, 4, &mut StdRng::seed_from_u64(3))
+    }
+
+    #[test]
+    fn admission_rises_with_walk_length() {
+        let g = honest();
+        let pts = admission_experiment(&g, 3.0, &[1, 4, 12], 80, 7);
+        assert_eq!(pts.len(), 3);
+        assert!(
+            pts[2].accepted >= pts[0].accepted,
+            "admission should not fall with longer walks: {pts:?}"
+        );
+        assert!(pts[2].accepted > 0.8, "long walks should admit most: {pts:?}");
+    }
+
+    #[test]
+    fn intersection_at_least_accepted() {
+        let g = honest();
+        for p in admission_experiment(&g, 2.0, &[2, 8], 60, 1) {
+            assert!(p.intersected >= p.accepted);
+        }
+    }
+
+    #[test]
+    fn experiment_is_deterministic() {
+        let g = honest();
+        let a = admission_experiment(&g, 2.0, &[3, 6], 40, 5);
+        let b = admission_experiment(&g, 2.0, &[3, 6], 40, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sybil_yield_bounded_by_walklength_scaling() {
+        let h = honest();
+        let mut rng = StdRng::seed_from_u64(9);
+        let attacked = attach_sybil_region(
+            &h,
+            AttackParams {
+                sybil_count: 120,
+                attack_edges: 6,
+                topology: SybilTopology::Random { avg_degree: 5.0 },
+            },
+            &mut rng,
+        );
+        let pts = sybil_yield_experiment(&attacked, 3.0, &[2, 10], 11);
+        for p in &pts {
+            // SybilLimit theorem: accepted sybils per attack edge = O(w).
+            // generous constant: 3w + ln r slack
+            assert!(
+                p.per_attack_edge <= 3.0 * p.w as f64 + 10.0,
+                "yield {} per edge exceeds O(w={}) bound",
+                p.per_attack_edge,
+                p.w
+            );
+        }
+        assert_eq!(pts[0].presented_sybils, 120);
+    }
+
+    #[test]
+    fn more_attack_edges_more_sybils_accepted() {
+        let h = honest();
+        let mut rng = StdRng::seed_from_u64(13);
+        let mk = |edges: usize, rng: &mut StdRng| {
+            attach_sybil_region(
+                &h,
+                AttackParams {
+                    sybil_count: 100,
+                    attack_edges: edges,
+                    topology: SybilTopology::Random { avg_degree: 5.0 },
+                },
+                rng,
+            )
+        };
+        let few = mk(2, &mut rng);
+        let many = mk(40, &mut rng);
+        let yf = &sybil_yield_experiment(&few, 3.0, &[8], 1)[0];
+        let ym = &sybil_yield_experiment(&many, 3.0, &[8], 1)[0];
+        assert!(
+            ym.accepted_sybils >= yf.accepted_sybils,
+            "more attack edges should admit at least as many sybils ({} vs {})",
+            yf.accepted_sybils,
+            ym.accepted_sybils
+        );
+    }
+}

@@ -1,0 +1,249 @@
+//! Random routes: the convergent, back-traceable walk primitive.
+//!
+//! A random-route *instance* fixes, for every node, a uniformly
+//! random permutation `σ_v` of its incident edge slots. A route that
+//! enters `v` along its `i`-th incident edge always leaves along the
+//! `σ_v(i)`-th. Two properties follow (and are tested):
+//!
+//! - **Convergence**: routes that traverse the same directed edge
+//!   merge forever after (the table is deterministic per instance).
+//! - **Back-traceability**: `σ_v` being a bijection makes the
+//!   one-step map on *directed edges* a permutation, so a tail edge
+//!   identifies a unique length-`w` route — the anti-forgery property
+//!   SybilLimit's registration relies on.
+//!
+//! Instances are generated deterministically from `(seed, instance
+//! id)` so experiments are reproducible and tables need not be
+//! stored: rebuilding one instance is O(m).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use socmix_graph::{Graph, NodeId};
+
+/// A directed edge `(from, to)` — the unit of tail registration.
+pub type DirectedEdge = (NodeId, NodeId);
+
+/// One random-route instance: routing tables for every node.
+pub struct RouteInstance {
+    /// Flattened per-node permutations, indexed like the graph's CSR
+    /// targets: `perm[offsets[v] + in_slot] = out_slot`.
+    perm: Vec<u32>,
+    /// First out-slot used when a route *starts* at a node (fixed per
+    /// instance, as each node has exactly one route per instance).
+    first: Vec<u32>,
+}
+
+impl RouteInstance {
+    /// Builds instance `instance` of the routing tables for `g`,
+    /// deterministically from `seed`.
+    pub fn new(g: &Graph, seed: u64, instance: u32) -> Self {
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (instance as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15));
+        let offsets = g.offsets();
+        let mut perm = vec![0u32; g.total_degree()];
+        let mut first = vec![0u32; g.num_nodes()];
+        for v in 0..g.num_nodes() {
+            let d = offsets[v + 1] - offsets[v];
+            if d == 0 {
+                continue;
+            }
+            let slice = &mut perm[offsets[v]..offsets[v + 1]];
+            for (i, s) in slice.iter_mut().enumerate() {
+                *s = i as u32;
+            }
+            slice.shuffle(&mut rng);
+            first[v] = rng.random_range(0..d as u32);
+        }
+        RouteInstance { perm, first }
+    }
+
+    /// The out-slot for a route entering `v` via in-slot `i`.
+    #[inline]
+    fn out_slot(&self, g: &Graph, v: NodeId, in_slot: u32) -> u32 {
+        self.perm[g.offsets()[v as usize] + in_slot as usize]
+    }
+
+    /// Advances one step from the directed edge `(from, to)`:
+    /// the route leaves `to` along `σ_to(slot of from)`.
+    pub fn step(&self, g: &Graph, edge: DirectedEdge) -> DirectedEdge {
+        let (from, to) = edge;
+        let in_slot = g
+            .neighbors(to)
+            .binary_search(&from)
+            .expect("step requires a real edge") as u32;
+        let out = self.out_slot(g, to, in_slot);
+        (to, g.neighbors(to)[out as usize])
+    }
+
+    /// The full route of `w ≥ 1` steps starting at `start`, as the
+    /// node sequence (length `w + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is isolated or `w == 0`.
+    pub fn route(&self, g: &Graph, start: NodeId, w: usize) -> Vec<NodeId> {
+        assert!(w >= 1, "route needs at least one step");
+        let d = g.degree(start);
+        assert!(d > 0, "route cannot start at isolated node {start}");
+        let mut nodes = Vec::with_capacity(w + 1);
+        nodes.push(start);
+        let mut edge = (start, g.neighbors(start)[self.first[start as usize] as usize]);
+        nodes.push(edge.1);
+        for _ in 1..w {
+            edge = self.step(g, edge);
+            nodes.push(edge.1);
+        }
+        nodes
+    }
+
+    /// A route that starts by leaving `start` along its `slot`-th
+    /// incident edge (SybilGuard sends one route per edge).
+    pub fn route_from_slot(&self, g: &Graph, start: NodeId, slot: usize, w: usize) -> Vec<NodeId> {
+        assert!(w >= 1);
+        assert!(slot < g.degree(start), "slot out of range");
+        let mut nodes = Vec::with_capacity(w + 1);
+        nodes.push(start);
+        let mut edge = (start, g.neighbors(start)[slot]);
+        nodes.push(edge.1);
+        for _ in 1..w {
+            edge = self.step(g, edge);
+            nodes.push(edge.1);
+        }
+        nodes
+    }
+
+    /// The tail (last directed edge) of the length-`w` route from
+    /// `start` — the edge where SybilLimit registers/verifies.
+    pub fn tail(&self, g: &Graph, start: NodeId, w: usize) -> DirectedEdge {
+        let nodes = self.route(g, start, w);
+        (nodes[nodes.len() - 2], nodes[nodes.len() - 1])
+    }
+
+    /// Tails for every node in `starts` (shared instance, one pass).
+    pub fn tails(&self, g: &Graph, starts: &[NodeId], w: usize) -> Vec<DirectedEdge> {
+        starts.iter().map(|&s| self.tail(g, s, w)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socmix_gen::fixtures;
+    use std::collections::HashSet;
+
+    #[test]
+    fn routes_follow_edges() {
+        let g = fixtures::petersen();
+        let inst = RouteInstance::new(&g, 0, 0);
+        let r = inst.route(&g, 0, 20);
+        assert_eq!(r.len(), 21);
+        for pair in r.windows(2) {
+            assert!(g.has_edge(pair[0], pair[1]));
+        }
+    }
+
+    #[test]
+    fn routes_are_deterministic() {
+        let g = fixtures::petersen();
+        let inst = RouteInstance::new(&g, 7, 3);
+        assert_eq!(inst.route(&g, 2, 15), inst.route(&g, 2, 15));
+        let inst2 = RouteInstance::new(&g, 7, 3);
+        assert_eq!(inst.route(&g, 2, 15), inst2.route(&g, 2, 15));
+    }
+
+    #[test]
+    fn different_instances_differ() {
+        let g = fixtures::grid(6, 6);
+        let a = RouteInstance::new(&g, 7, 0);
+        let b = RouteInstance::new(&g, 7, 1);
+        let routes_a: Vec<_> = (0..36).map(|v| a.route(&g, v, 10)).collect();
+        let routes_b: Vec<_> = (0..36).map(|v| b.route(&g, v, 10)).collect();
+        assert_ne!(routes_a, routes_b);
+    }
+
+    #[test]
+    fn step_is_a_permutation_on_directed_edges() {
+        // back-traceability: the one-step map must be a bijection
+        let g = fixtures::petersen();
+        let inst = RouteInstance::new(&g, 1, 0);
+        let mut images = HashSet::new();
+        let mut count = 0usize;
+        for u in g.nodes() {
+            for &v in g.neighbors(u) {
+                let next = inst.step(&g, (u, v));
+                assert!(g.has_edge(next.0, next.1));
+                assert!(images.insert(next), "two edges map to {next:?}");
+                count += 1;
+            }
+        }
+        assert_eq!(count, g.total_degree());
+        assert_eq!(images.len(), g.total_degree());
+    }
+
+    #[test]
+    fn routes_converge_after_shared_edge() {
+        // if two routes traverse the same directed edge they coincide
+        // afterward
+        let g = fixtures::grid(5, 5);
+        let inst = RouteInstance::new(&g, 3, 0);
+        let e0: DirectedEdge = (0, 1);
+        let a = {
+            let mut e = e0;
+            let mut seq = vec![e];
+            for _ in 0..10 {
+                e = inst.step(&g, e);
+                seq.push(e);
+            }
+            seq
+        };
+        let b = {
+            let mut e = e0;
+            let mut seq = vec![e];
+            for _ in 0..10 {
+                e = inst.step(&g, e);
+                seq.push(e);
+            }
+            seq
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tail_matches_route_end() {
+        let g = fixtures::petersen();
+        let inst = RouteInstance::new(&g, 5, 2);
+        let r = inst.route(&g, 4, 12);
+        let t = inst.tail(&g, 4, 12);
+        assert_eq!(t, (r[11], r[12]));
+    }
+
+    #[test]
+    fn route_from_slot_starts_along_that_edge() {
+        let g = fixtures::petersen();
+        let inst = RouteInstance::new(&g, 2, 0);
+        for slot in 0..3 {
+            let r = inst.route_from_slot(&g, 0, slot, 5);
+            assert_eq!(r[1], g.neighbors(0)[slot]);
+        }
+    }
+
+    #[test]
+    fn tails_batch_matches_single() {
+        let g = fixtures::grid(4, 4);
+        let inst = RouteInstance::new(&g, 9, 1);
+        let starts: Vec<NodeId> = (0..16).collect();
+        let batch = inst.tails(&g, &starts, 8);
+        for (k, &s) in starts.iter().enumerate() {
+            assert_eq!(batch[k], inst.tail(&g, s, 8));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_length_route_rejected() {
+        let g = fixtures::petersen();
+        let inst = RouteInstance::new(&g, 0, 0);
+        let _ = inst.route(&g, 0, 0);
+    }
+}

@@ -1,0 +1,153 @@
+//! SybilGuard (Yu, Kaminsky, Gibbons, Flaxman — SIGCOMM 2006).
+//!
+//! The predecessor protocol: a single random-route instance in which
+//! every node sends one *witness route* of length `w` along **each**
+//! of its incident edges. A verifier accepts a suspect when enough of
+//! the verifier's routes intersect (share a node with) at least one
+//! of the suspect's routes. SybilGuard needs `w = Θ(√n log n)` —
+//! much longer than SybilLimit's — and is included here because the
+//! IMC'10 paper analyses its low-degree-trimming methodology
+//! (Figure 6) and cites its experiments as indirect mixing evidence.
+
+use crate::route::RouteInstance;
+use socmix_graph::{Graph, NodeId};
+use std::collections::HashSet;
+
+/// A configured SybilGuard protocol (one route instance).
+pub struct SybilGuard<'g> {
+    graph: &'g Graph,
+    w: usize,
+    instance: RouteInstance,
+    /// Fraction of verifier routes that must intersect (the paper
+    /// accepts on a majority; we default to 0.5).
+    threshold: f64,
+}
+
+impl<'g> SybilGuard<'g> {
+    /// Sets up the protocol with route length `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has no edges or `w == 0`.
+    pub fn new(graph: &'g Graph, w: usize, seed: u64) -> Self {
+        assert!(graph.num_edges() > 0 && w >= 1);
+        SybilGuard {
+            graph,
+            w,
+            instance: RouteInstance::new(graph, seed, 0),
+            threshold: 0.5,
+        }
+    }
+
+    /// Overrides the majority threshold (fraction of verifier routes
+    /// that must intersect).
+    pub fn threshold(mut self, threshold: f64) -> Self {
+        assert!((0.0..=1.0).contains(&threshold));
+        self.threshold = threshold;
+        self
+    }
+
+    /// The witness routes of `v`: one per incident edge, each a node
+    /// sequence of length `w + 1`.
+    pub fn routes_of(&self, v: NodeId) -> Vec<Vec<NodeId>> {
+        (0..self.graph.degree(v))
+            .map(|slot| self.instance.route_from_slot(self.graph, v, slot, self.w))
+            .collect()
+    }
+
+    /// Whether `verifier` accepts `suspect`: at least `threshold` of
+    /// the verifier's routes must share a node with some suspect
+    /// route.
+    pub fn verify(&self, verifier: NodeId, suspect: NodeId) -> bool {
+        let suspect_nodes: HashSet<NodeId> = self
+            .routes_of(suspect)
+            .into_iter()
+            .flatten()
+            .collect();
+        let v_routes = self.routes_of(verifier);
+        if v_routes.is_empty() {
+            return false;
+        }
+        let hits = v_routes
+            .iter()
+            .filter(|r| r.iter().any(|n| suspect_nodes.contains(n)))
+            .count();
+        hits as f64 >= self.threshold * v_routes.len() as f64
+    }
+
+    /// Fraction of `suspects` accepted by `verifier`.
+    pub fn admission_fraction(&self, verifier: NodeId, suspects: &[NodeId]) -> f64 {
+        if suspects.is_empty() {
+            return 0.0;
+        }
+        let hits = suspects.iter().filter(|&&s| self.verify(verifier, s)).count();
+        hits as f64 / suspects.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use socmix_gen::ba::barabasi_albert;
+    use socmix_gen::fixtures;
+
+    #[test]
+    fn routes_one_per_edge() {
+        let g = fixtures::petersen();
+        let sg = SybilGuard::new(&g, 6, 0);
+        let routes = sg.routes_of(0);
+        assert_eq!(routes.len(), 3);
+        for (slot, r) in routes.iter().enumerate() {
+            assert_eq!(r.len(), 7);
+            assert_eq!(r[1], g.neighbors(0)[slot]);
+        }
+    }
+
+    #[test]
+    fn self_verification_succeeds() {
+        let g = fixtures::petersen();
+        let sg = SybilGuard::new(&g, 5, 0);
+        assert!(sg.verify(3, 3));
+    }
+
+    #[test]
+    fn long_routes_admit_on_small_graph() {
+        let g = barabasi_albert(150, 3, &mut StdRng::seed_from_u64(0));
+        // √n·log n ≈ 12·5 ≈ 60; generous length admits nearly all
+        let sg = SybilGuard::new(&g, 60, 1);
+        let suspects: Vec<NodeId> = (0..50).collect();
+        let f = sg.admission_fraction(100, &suspects);
+        assert!(f > 0.9, "expected high admission with long routes, got {f}");
+    }
+
+    #[test]
+    fn short_routes_admit_less() {
+        let g = barabasi_albert(150, 3, &mut StdRng::seed_from_u64(0));
+        let long = SybilGuard::new(&g, 60, 1);
+        let short = SybilGuard::new(&g, 2, 1);
+        let suspects: Vec<NodeId> = (0..50).collect();
+        let fl = long.admission_fraction(100, &suspects);
+        let fs = short.admission_fraction(100, &suspects);
+        assert!(fs < fl, "short {fs} should admit less than long {fl}");
+    }
+
+    #[test]
+    fn threshold_one_is_stricter() {
+        let g = barabasi_albert(150, 3, &mut StdRng::seed_from_u64(2));
+        let suspects: Vec<NodeId> = (0..50).collect();
+        let majority = SybilGuard::new(&g, 10, 3).admission_fraction(100, &suspects);
+        let all = SybilGuard::new(&g, 10, 3)
+            .threshold(1.0)
+            .admission_fraction(100, &suspects);
+        assert!(all <= majority);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_w_rejected() {
+        let g = fixtures::petersen();
+        let _ = SybilGuard::new(&g, 0, 0);
+    }
+}

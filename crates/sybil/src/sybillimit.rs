@@ -1,0 +1,451 @@
+//! SybilLimit (Yu, Gibbons, Kaminsky, Xiao — IEEE S&P 2008).
+//!
+//! The protocol, as the IMC'10 paper exercises it:
+//!
+//! - `r = r₀·√m` independent random-route instances; in each, every
+//!   node has one route of length `w`.
+//! - A **suspect** registers its identity at the *tail* (last
+//!   directed edge) of each of its `r` routes.
+//! - A **verifier** collects its own `r` tails. It accepts a suspect
+//!   when (1) *intersection*: some verifier tail is an edge where the
+//!   suspect registered, and (2) *balance*: assigning the suspect to
+//!   the least-loaded intersecting tail keeps that tail's load under
+//!   `h·max(ln r, a·(A+1)/r)` where `A` counts accepted suspects.
+//!
+//! `r₀` comes from the birthday paradox (the IMC paper: "We set r to
+//! r₀√m … r₀ is computed from the birthday paradox to guarantee a
+//! given intersection probability"): two sets of `r₀√m` near-uniform
+//! tails over `2m` directed edges intersect with probability
+//! `≈ 1 − exp(−r₀²/2)` — but only once walks are *long enough to
+//! reach the edge-stationary distribution*, which is exactly why slow
+//! mixing hurts admission (the paper's Figure 8).
+
+use crate::route::{DirectedEdge, RouteInstance};
+use socmix_graph::{Graph, NodeId};
+use socmix_par::Pool;
+use std::collections::HashMap;
+
+/// SybilLimit protocol parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SybilLimitParams {
+    /// Route count multiplier: `r = ceil(r₀·√m)`.
+    pub r0: f64,
+    /// Random-route length.
+    pub w: usize,
+    /// Balance-condition multiplier `h` (the paper's implementation
+    /// note; SybilLimit uses a small constant — 4 is customary).
+    pub balance_h: f64,
+    /// Balance-condition load factor `a` in `h·max(ln r, a·(A+1)/r)`.
+    pub balance_a: f64,
+    /// Seed deriving every instance's routing tables.
+    pub seed: u64,
+}
+
+impl Default for SybilLimitParams {
+    fn default() -> Self {
+        SybilLimitParams {
+            r0: 3.0,
+            w: 10,
+            balance_h: 4.0,
+            balance_a: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+/// A configured SybilLimit protocol over one (composite) graph.
+///
+/// # Example
+///
+/// ```
+/// use socmix_sybil::{SybilLimit, SybilLimitParams};
+/// let g = socmix_gen::fixtures::complete(30);
+/// let sl = SybilLimit::new(&g, SybilLimitParams { w: 6, ..Default::default() });
+/// let v = sl.verify_all(0, &[1, 2, 3]);
+/// // on a clique, tails are stationary immediately: everyone admits
+/// assert!(v.accepted_fraction() > 0.9);
+/// ```
+pub struct SybilLimit<'g> {
+    graph: &'g Graph,
+    params: SybilLimitParams,
+    r: usize,
+    pool: Pool,
+}
+
+impl<'g> SybilLimit<'g> {
+    /// Sets up the protocol; `r` is derived from the graph's edge
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has no edges or `w == 0`.
+    pub fn new(graph: &'g Graph, params: SybilLimitParams) -> Self {
+        assert!(graph.num_edges() > 0, "SybilLimit needs edges");
+        assert!(params.w >= 1, "route length must be ≥ 1");
+        assert!(params.r0 > 0.0);
+        let r = ((params.r0 * (graph.num_edges() as f64).sqrt()).ceil() as usize).max(1);
+        SybilLimit {
+            graph,
+            params,
+            r,
+            pool: Pool::new(),
+        }
+    }
+
+    /// Number of route instances `r`.
+    pub fn r(&self) -> usize {
+        self.r
+    }
+
+    /// The parameters in force.
+    pub fn params(&self) -> &SybilLimitParams {
+        self.params_ref()
+    }
+
+    fn params_ref(&self) -> &SybilLimitParams {
+        &self.params
+    }
+
+    /// Tail sets for the given nodes: `tails[k][i]` is node `k`'s
+    /// tail in instance `i`. Instances are processed in parallel
+    /// (each is an independent O(m + |nodes|·w·log) pass).
+    pub fn tails_for(&self, nodes: &[NodeId]) -> Vec<Vec<DirectedEdge>> {
+        let g = self.graph;
+        let seed = self.params.seed;
+        let w = self.params.w;
+        let by_instance: Vec<Vec<DirectedEdge>> = self.pool.map_indexed(self.r, move |i| {
+            let inst = RouteInstance::new(g, seed, i as u32);
+            inst.tails(g, nodes, w)
+        });
+        // transpose to node-major
+        let mut out = vec![Vec::with_capacity(self.r); nodes.len()];
+        for inst_tails in by_instance {
+            for (k, t) in inst_tails.into_iter().enumerate() {
+                out[k].push(t);
+            }
+        }
+        out
+    }
+
+    /// Runs verification of `suspects` against `verifier`, applying
+    /// both protocol conditions in the order suspects are given
+    /// (balance is stateful). Returns one flag per suspect plus the
+    /// counts the experiments report.
+    pub fn verify_all(&self, verifier: NodeId, suspects: &[NodeId]) -> Verification {
+        // one pass computes every tail set (verifier last to reuse
+        // the batch)
+        let mut all: Vec<NodeId> = suspects.to_vec();
+        all.push(verifier);
+        let mut tails = self.tails_for(&all);
+        let verifier_tails = tails.pop().expect("verifier tails");
+
+        // index the verifier's tails for O(1) intersection lookups;
+        // a tail edge can recur across instances — keep every slot
+        let mut tail_slots: HashMap<DirectedEdge, Vec<usize>> = HashMap::new();
+        for (slot, &e) in verifier_tails.iter().enumerate() {
+            tail_slots.entry(e).or_default().push(slot);
+        }
+        let mut loads = vec![0usize; verifier_tails.len()];
+        let mut accepted_count = 0usize;
+        let mut accepted = Vec::with_capacity(suspects.len());
+        let mut intersected = Vec::with_capacity(suspects.len());
+        let r = self.r as f64;
+        for suspect_tails in &tails {
+            // intersection condition
+            let mut slots: Vec<usize> = suspect_tails
+                .iter()
+                .filter_map(|e| tail_slots.get(e))
+                .flatten()
+                .copied()
+                .collect();
+            slots.sort_unstable();
+            slots.dedup();
+            let hit = !slots.is_empty();
+            intersected.push(hit);
+            if !hit {
+                accepted.push(false);
+                continue;
+            }
+            // balance condition
+            let threshold = self.params.balance_h
+                * (r.ln()).max(self.params.balance_a * (accepted_count as f64 + 1.0) / r);
+            let best = slots
+                .iter()
+                .copied()
+                .min_by_key(|&s| loads[s])
+                .expect("nonempty");
+            if (loads[best] + 1) as f64 > threshold {
+                accepted.push(false);
+                continue;
+            }
+            loads[best] += 1;
+            accepted_count += 1;
+            accepted.push(true);
+        }
+        Verification {
+            accepted,
+            intersected,
+            r: self.r,
+        }
+    }
+}
+
+/// The result of the walk-length benchmarking procedure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WalkLengthEstimate {
+    /// Smallest tested `w` whose admission rate met the target.
+    pub w: usize,
+    /// Admission rate achieved at that `w`.
+    pub admission: f64,
+    /// Number of doubling rounds used.
+    pub rounds: usize,
+}
+
+/// SybilLimit's *benchmarking technique* for choosing `w` without
+/// knowing the mixing time (S&P'08 §4.3, exercised by the IMC paper's
+/// Figure-8 experiment): the verifier samples suspects it believes
+/// honest, runs the protocol on itself, and doubles `w` until the
+/// sampled admission rate reaches the target. On a fast-mixing graph
+/// this stops at small `w`; on a slow-mixing graph it keeps doubling —
+/// which is exactly how slow mixing silently converts into longer
+/// walks (and a proportionally larger Sybil bound `g·w`).
+///
+/// Returns `None` if the target is not reached by `w_max`.
+pub fn benchmark_walk_length(
+    graph: &Graph,
+    verifier: NodeId,
+    sample: &[NodeId],
+    target_rate: f64,
+    params: SybilLimitParams,
+    w_max: usize,
+) -> Option<WalkLengthEstimate> {
+    assert!((0.0..=1.0).contains(&target_rate));
+    assert!(!sample.is_empty(), "benchmark needs a suspect sample");
+    let mut w = params.w.max(1);
+    let mut rounds = 0usize;
+    while w <= w_max {
+        rounds += 1;
+        let sl = SybilLimit::new(graph, SybilLimitParams { w, ..params });
+        let admission = sl.verify_all(verifier, sample).accepted_fraction();
+        if admission >= target_rate {
+            return Some(WalkLengthEstimate {
+                w,
+                admission,
+                rounds,
+            });
+        }
+        w *= 2;
+    }
+    None
+}
+
+/// Outcome of a [`SybilLimit::verify_all`] run.
+#[derive(Debug, Clone)]
+pub struct Verification {
+    /// Final accept/reject per suspect (intersection ∧ balance).
+    pub accepted: Vec<bool>,
+    /// Whether the intersection condition alone held per suspect.
+    pub intersected: Vec<bool>,
+    /// The `r` used.
+    pub r: usize,
+}
+
+impl Verification {
+    /// Fraction of suspects accepted.
+    pub fn accepted_fraction(&self) -> f64 {
+        if self.accepted.is_empty() {
+            return 0.0;
+        }
+        self.accepted.iter().filter(|&&a| a).count() as f64 / self.accepted.len() as f64
+    }
+
+    /// Fraction passing the intersection condition (ignoring
+    /// balance).
+    pub fn intersection_fraction(&self) -> f64 {
+        if self.intersected.is_empty() {
+            return 0.0;
+        }
+        self.intersected.iter().filter(|&&a| a).count() as f64 / self.intersected.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use socmix_gen::ba::barabasi_albert;
+    use socmix_gen::fixtures;
+
+    fn fast_graph() -> socmix_graph::Graph {
+        barabasi_albert(300, 4, &mut StdRng::seed_from_u64(1))
+    }
+
+    #[test]
+    fn r_scales_with_sqrt_m() {
+        let g = fast_graph();
+        let sl = SybilLimit::new(&g, SybilLimitParams { r0: 2.0, ..Default::default() });
+        let expect = (2.0 * (g.num_edges() as f64).sqrt()).ceil() as usize;
+        assert_eq!(sl.r(), expect);
+    }
+
+    #[test]
+    fn tails_shape() {
+        let g = fixtures::petersen();
+        let sl = SybilLimit::new(&g, SybilLimitParams { r0: 1.0, w: 5, ..Default::default() });
+        let tails = sl.tails_for(&[0, 5]);
+        assert_eq!(tails.len(), 2);
+        assert!(tails.iter().all(|t| t.len() == sl.r()));
+        // tails are real edges
+        for ts in &tails {
+            for &(a, b) in ts {
+                assert!(g.has_edge(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn long_walks_admit_most_honest_nodes_on_fast_graph() {
+        let g = fast_graph();
+        let sl = SybilLimit::new(
+            &g,
+            SybilLimitParams { r0: 3.0, w: 15, ..Default::default() },
+        );
+        let suspects: Vec<NodeId> = (0..100).collect();
+        let v = sl.verify_all(200, &suspects);
+        assert!(
+            v.accepted_fraction() > 0.9,
+            "expected ≥90% admission on an expander, got {}",
+            v.accepted_fraction()
+        );
+    }
+
+    #[test]
+    fn tiny_walks_admit_fewer() {
+        // w=1 tails are concentrated near each node: intersection
+        // rarely happens between distant nodes
+        let g = fast_graph();
+        let short = SybilLimit::new(
+            &g,
+            SybilLimitParams { r0: 3.0, w: 1, ..Default::default() },
+        );
+        let long = SybilLimit::new(
+            &g,
+            SybilLimitParams { r0: 3.0, w: 15, ..Default::default() },
+        );
+        let suspects: Vec<NodeId> = (0..100).collect();
+        let fs = short.verify_all(200, &suspects).accepted_fraction();
+        let fl = long.verify_all(200, &suspects).accepted_fraction();
+        assert!(fs < fl, "short walks {fs} should admit less than long {fl}");
+    }
+
+    #[test]
+    fn verifier_accepts_itself_with_long_walks() {
+        let g = fast_graph();
+        let sl = SybilLimit::new(
+            &g,
+            SybilLimitParams { r0: 3.0, w: 15, ..Default::default() },
+        );
+        let v = sl.verify_all(0, &[0]);
+        assert!(v.accepted[0], "identical tail sets must intersect");
+    }
+
+    #[test]
+    fn balance_condition_limits_over_acceptance() {
+        // funnel many suspects through a tiny r: balance must reject
+        // some that pass intersection
+        let g = fixtures::complete(20);
+        let sl = SybilLimit::new(
+            &g,
+            SybilLimitParams {
+                r0: 0.2,
+                w: 8,
+                balance_h: 1.0,
+                balance_a: 0.5,
+                seed: 0,
+            },
+        );
+        let suspects: Vec<NodeId> = (0..20).flat_map(|v| std::iter::repeat_n(v, 5)).collect();
+        let v = sl.verify_all(0, &suspects);
+        let inter = v.intersection_fraction();
+        let acc = v.accepted_fraction();
+        assert!(
+            acc < inter,
+            "balance should bite: accepted {acc} vs intersected {inter}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = fast_graph();
+        let p = SybilLimitParams { r0: 1.5, w: 6, seed: 42, ..Default::default() };
+        let a = SybilLimit::new(&g, p).verify_all(0, &[1, 2, 3, 4, 5]);
+        let b = SybilLimit::new(&g, p).verify_all(0, &[1, 2, 3, 4, 5]);
+        assert_eq!(a.accepted, b.accepted);
+    }
+
+    #[test]
+    fn benchmarking_finds_small_w_on_fast_graph() {
+        let g = fast_graph();
+        let sample: Vec<NodeId> = (0..60).collect();
+        let est = benchmark_walk_length(
+            &g,
+            200,
+            &sample,
+            0.9,
+            SybilLimitParams { r0: 3.0, w: 2, ..Default::default() },
+            256,
+        )
+        .expect("expander should reach 90% admission");
+        assert!(est.w <= 16, "fast graph should need few doublings, got w={}", est.w);
+        assert!(est.admission >= 0.9);
+    }
+
+    #[test]
+    fn benchmarking_needs_longer_w_on_slow_graph() {
+        use rand::rngs::StdRng as SR;
+        let slow = socmix_gen::social::SocialParams {
+            nodes: 400,
+            avg_degree: 8.0,
+            community_size: 25,
+            inter_fraction: 0.04,
+            gamma: 2.6,
+        }
+        .generate(&mut SR::seed_from_u64(3));
+        let fast = fast_graph();
+        let sample_s: Vec<NodeId> = (0..60).collect();
+        let params = SybilLimitParams { r0: 3.0, w: 2, ..Default::default() };
+        let ws = benchmark_walk_length(&slow, 200, &sample_s, 0.9, params, 4096)
+            .expect("slow graph should still converge");
+        let wf = benchmark_walk_length(&fast, 200, &sample_s, 0.9, params, 4096).unwrap();
+        assert!(
+            ws.w > wf.w,
+            "slow graph must need longer walks ({} vs {})",
+            wf.w,
+            ws.w
+        );
+    }
+
+    #[test]
+    fn benchmarking_respects_budget() {
+        let g = fast_graph();
+        let sample: Vec<NodeId> = (0..30).collect();
+        // unreachable target within a w_max of 2
+        let est = benchmark_walk_length(
+            &g,
+            200,
+            &sample,
+            1.01_f64.min(1.0), // 100% with a tiny budget
+            SybilLimitParams { r0: 0.2, w: 1, ..Default::default() },
+            2,
+        );
+        assert!(est.is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_w_rejected() {
+        let g = fixtures::petersen();
+        let _ = SybilLimit::new(&g, SybilLimitParams { w: 0, ..Default::default() });
+    }
+}

@@ -1,0 +1,101 @@
+//! Protocol-level property tests for the random-route machinery.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socmix_graph::{components, GraphBuilder, NodeId};
+use socmix_sybil::RouteInstance;
+
+fn connected_graph() -> impl Strategy<Value = socmix_graph::Graph> {
+    (3usize..30, proptest::collection::vec((0u64..u64::MAX, 0u64..u64::MAX), 0..40))
+        .prop_map(|(n, extra)| {
+            let mut b = GraphBuilder::new();
+            for v in 1..n as NodeId {
+                b.add_edge(v - 1, v); // path backbone keeps it connected
+            }
+            for (x, y) in extra {
+                let u = (x % n as u64) as NodeId;
+                let v = (y % n as u64) as NodeId;
+                if u != v {
+                    b.add_edge(u, v);
+                }
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The one-step route map is a permutation of directed edges for
+    /// every graph and every instance — the back-traceability that
+    /// SybilLimit's security argument needs.
+    #[test]
+    fn route_step_is_bijective(g in connected_graph(), seed in 0u64..1000, inst in 0u32..8) {
+        prop_assert!(components::is_connected(&g));
+        let instance = RouteInstance::new(&g, seed, inst);
+        let mut images = std::collections::HashSet::new();
+        for u in g.nodes() {
+            for &v in g.neighbors(u) {
+                let next = instance.step(&g, (u, v));
+                prop_assert!(g.has_edge(next.0, next.1));
+                prop_assert!(images.insert(next), "collision at {next:?}");
+            }
+        }
+        prop_assert_eq!(images.len(), g.total_degree());
+    }
+
+    /// Routes are reproducible and consist of real edges.
+    #[test]
+    fn routes_deterministic_and_valid(g in connected_graph(), seed in 0u64..1000, w in 1usize..20) {
+        let a = RouteInstance::new(&g, seed, 0);
+        let b = RouteInstance::new(&g, seed, 0);
+        for start in g.nodes() {
+            let ra = a.route(&g, start, w);
+            let rb = b.route(&g, start, w);
+            prop_assert_eq!(&ra, &rb);
+            prop_assert_eq!(ra.len(), w + 1);
+            for pair in ra.windows(2) {
+                prop_assert!(g.has_edge(pair[0], pair[1]));
+            }
+        }
+    }
+
+    /// Tail distribution sanity: with enough instances, tails hit
+    /// many distinct directed edges (no degenerate collapse).
+    #[test]
+    fn tails_spread_over_edges(g in connected_graph(), seed in 0u64..100) {
+        let w = 6;
+        let mut tails = std::collections::HashSet::new();
+        for inst in 0..8u32 {
+            let instance = RouteInstance::new(&g, seed, inst);
+            for start in g.nodes() {
+                tails.insert((inst, instance.tail(&g, start, w)));
+            }
+        }
+        // at least as many distinct (instance, tail) pairs as nodes
+        prop_assert!(tails.len() >= g.num_nodes());
+    }
+
+    /// Escape probability is a probability and grows with the number
+    /// of attack edges.
+    #[test]
+    fn escape_probability_is_probability(seed in 0u64..50) {
+        use socmix_sybil::{attach_sybil_region, AttackParams, SybilTopology};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let honest = socmix_gen::ba::barabasi_albert(80, 3, &mut rng);
+        let attacked = attach_sybil_region(
+            &honest,
+            AttackParams {
+                sybil_count: 10,
+                attack_edges: 4,
+                topology: SybilTopology::Clique,
+            },
+            &mut rng,
+        );
+        let p = socmix_sybil::attack::escape_probability(&attacked, 8, 500, &mut rng);
+        prop_assert!((0.0..=1.0).contains(&p));
+        let exact = socmix_sybil::attack::touch_probability_exact(&attacked, 0, 8);
+        prop_assert!((0.0..=1.0).contains(&exact));
+    }
+}

@@ -1,0 +1,67 @@
+//! Community structure ⇔ mixing time, on one tunable family.
+//!
+//! ```text
+//! cargo run --release --example community_mixing
+//! ```
+//!
+//! Sweeps the inter-community edge fraction of the social-graph model
+//! and shows the chain the paper's discussion describes:
+//! weaker cuts → higher conductance → smaller µ → faster mixing —
+//! with the spectral sweep recovering the bottleneck cut and label
+//! propagation recovering the communities.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socmix::community::{label_propagation, LabelPropOptions};
+use socmix::core::conductance::spectral_sweep;
+use socmix::core::{MixingBounds, MixingProbe, Slem};
+use socmix::gen::social::SocialParams;
+
+fn main() {
+    println!(
+        "{:>7} {:>9} {:>9} {:>10} {:>9} {:>10} {:>8}",
+        "inter", "mu", "sweep Φ", "1-mu ≤ Φ?", "T(0.1)lo", "sampled T", "comms"
+    );
+    for &inter in &[0.005, 0.01, 0.02, 0.05, 0.10, 0.20, 0.40] {
+        let g = SocialParams {
+            nodes: 2_000,
+            avg_degree: 12.0,
+            community_size: 40,
+            inter_fraction: inter,
+            gamma: 2.6,
+        }
+        .generate(&mut StdRng::seed_from_u64(7));
+
+        let est = Slem::lanczos(&g).estimate().expect("connected");
+        let bounds = MixingBounds::new(est.mu, g.num_nodes());
+        let sweep = spectral_sweep(&g, 7);
+        // Φ ≥ 1 − µ is the paper's §3.2 relation (conductance of the
+        // whole graph); the sweep cut upper-bounds Φ so it can sit
+        // slightly above or below — report the check on λ₂'s easy
+        // Cheeger side: Φ(sweep) ≥ (1 − λ₂)/2.
+        let gap_ok = sweep.conductance >= (1.0 - est.lambda2.unwrap_or(est.mu)) / 2.0 - 1e-9;
+        let probe = MixingProbe::new(&g).auto_kernel();
+        let sampled = probe
+            .probe_random_sources(60, 3_000, 7)
+            .mixing_time(0.1)
+            .map(|t| t.to_string())
+            .unwrap_or_else(|| "> 3000".into());
+        let comms = label_propagation(&g, LabelPropOptions::default()).num_communities();
+        println!(
+            "{:>7} {:>9.5} {:>9.4} {:>10} {:>9.1} {:>10} {:>8}",
+            inter,
+            est.mu,
+            sweep.conductance,
+            if gap_ok { "yes" } else { "NO" },
+            bounds.lower(0.1),
+            sampled,
+            comms
+        );
+    }
+    println!(
+        "\n→ one knob (the fraction of edges crossing communities) moves\n\
+         conductance, SLEM, detected communities and the measured mixing\n\
+         time together — the mechanism behind the paper's finding that\n\
+         acquaintance networks (strong communities) mix slowly."
+    );
+}

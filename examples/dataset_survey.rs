@@ -1,0 +1,54 @@
+//! Survey the whole dataset catalog — a miniature Table 1.
+//!
+//! ```text
+//! cargo run --release --example dataset_survey
+//! ```
+//!
+//! Generates every Table-1 stand-in at 2% scale, computes its SLEM,
+//! graph statistics, and modularity, and prints the correlation the
+//! paper's discussion predicts: strong community structure (high
+//! modularity / low conductance) ⇔ slow mixing.
+
+use socmix::community::{label_propagation, LabelPropOptions};
+use socmix::core::{MixingBounds, Slem};
+use socmix::gen::Dataset;
+use socmix::graph::stats::graph_stats;
+
+fn main() {
+    let scale = 0.02;
+    println!(
+        "{:<14} {:>7} {:>8} {:>8} {:>9} {:>10} {:>8} {:>10}",
+        "dataset", "n", "m", "mu", "T(0.1)lo", "modularity", "transit", "class"
+    );
+    let mut rows: Vec<(f64, f64, String)> = Vec::new();
+    for &ds in Dataset::all() {
+        let g = ds.generate(scale, 7);
+        let est = Slem::auto(&g).estimate().expect("connected");
+        let b = MixingBounds::new(est.mu, g.num_nodes());
+        let s = graph_stats(&g);
+        let q = label_propagation(&g, LabelPropOptions::default()).modularity(&g);
+        println!(
+            "{:<14} {:>7} {:>8} {:>8.5} {:>9.1} {:>10.3} {:>8.3} {:>10?}",
+            ds.name(),
+            s.nodes,
+            s.edges,
+            est.mu,
+            b.lower(0.1),
+            q,
+            s.transitivity,
+            ds.mixing_class()
+        );
+        rows.push((q, est.mu, ds.name().to_string()));
+    }
+
+    // the discussion's correlation, stated quantitatively
+    rows.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    let top_q_mu: f64 = rows[..5].iter().map(|r| r.1).sum::<f64>() / 5.0;
+    let low_q_mu: f64 = rows[rows.len() - 5..].iter().map(|r| r.1).sum::<f64>() / 5.0;
+    println!(
+        "\nmean µ of the 5 most modular graphs:  {top_q_mu:.5}\n\
+         mean µ of the 5 least modular graphs: {low_q_mu:.5}\n\
+         → community structure {} slow mixing",
+        if top_q_mu > low_q_mu { "predicts" } else { "does not predict" }
+    );
+}

@@ -1,0 +1,113 @@
+//! All four Sybil defenses against the same attack, on graphs from
+//! both mixing classes — the Viswanath decomposition (paper §2),
+//! runnable.
+//!
+//! ```text
+//! cargo run --release --example defense_comparison
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socmix::gen::Dataset;
+use socmix::graph::NodeId;
+use socmix::sybil::sumup::{collect_votes, sybil_votes, SumUpParams};
+use socmix::sybil::sybilinfer::{sybilinfer, SybilInferParams};
+use socmix::sybil::{
+    attach_sybil_region, pagerank_ranking, AttackParams, SybilLimit, SybilLimitParams,
+    SybilTopology,
+};
+
+fn main() {
+    for (label, honest) in [
+        ("FAST-MIXING honest graph (Facebook stand-in)", Dataset::Facebook.generate(0.03, 7)),
+        ("SLOW-MIXING honest graph (Physics 3 stand-in)", Dataset::Physics3.generate(0.2, 7)),
+    ] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let attacked = attach_sybil_region(
+            &honest,
+            AttackParams {
+                sybil_count: honest.num_nodes() / 5,
+                attack_edges: 10,
+                topology: SybilTopology::Random { avg_degree: 6.0 },
+            },
+            &mut rng,
+        );
+        let g = &attacked.graph;
+        let verifier: NodeId = 0;
+        println!("\n=== {label} ===");
+        println!(
+            "{} honest + {} sybils via 10 attack edges\n",
+            attacked.honest,
+            g.num_nodes() - attacked.honest
+        );
+
+        // 1. SybilLimit at the canonical w = 10
+        let honest_suspects: Vec<NodeId> = (1..151.min(attacked.honest as NodeId)).collect();
+        let sybils: Vec<NodeId> = attacked.sybil_nodes().collect();
+        let sl = SybilLimit::new(
+            g,
+            SybilLimitParams {
+                r0: 3.0,
+                w: 10,
+                seed: 7,
+                ..Default::default()
+            },
+        );
+        let h = sl.verify_all(verifier, &honest_suspects);
+        let s = sl.verify_all(verifier, &sybils);
+        println!(
+            "SybilLimit (w=10):  {:.1}% honest admitted, {} sybils slip through",
+            100.0 * h.accepted_fraction(),
+            s.accepted.iter().filter(|&&a| a).count()
+        );
+
+        // 2. SybilInfer marginals
+        let si = sybilinfer(
+            g,
+            verifier,
+            &SybilInferParams {
+                walks_per_node: 5,
+                walk_length: 10,
+                mh_iterations: 40_000,
+                samples: 150,
+                prior_honest: 0.7,
+                seed: 7,
+            },
+        );
+        let avg = |r: std::ops::Range<usize>| {
+            let len = r.len() as f64;
+            r.map(|v| si.p_honest[v]).sum::<f64>() / len
+        };
+        println!(
+            "SybilInfer:         P(honest|honest node) = {:.2}, P(honest|sybil node) = {:.2}",
+            avg(0..attacked.honest),
+            avg(attacked.honest..g.num_nodes())
+        );
+
+        // 3. The ranking reduction
+        let e = pagerank_ranking(&attacked, verifier);
+        println!(
+            "PPR ranking:        AUC = {:.3}, precision at the natural cutoff = {:.1}%",
+            e.auc,
+            100.0 * e.precision_at_cutoff
+        );
+
+        // 4. SumUp votes
+        let params = SumUpParams {
+            rho: honest_suspects.len() * 3 / 2,
+        };
+        let hv = collect_votes(g, verifier, &honest_suspects, params);
+        let sv = sybil_votes(&attacked, verifier, params);
+        println!(
+            "SumUp:              {:.1}% honest votes collected, {} sybil votes",
+            100.0 * hv.acceptance(),
+            sv.accepted
+        );
+    }
+    println!(
+        "\n→ the same 10-attack-edge adversary: on the fast graph all four\n\
+         defenses hold; on the slow acquaintance graph all four degrade at\n\
+         once, because all four price trust with the same random-walk coin —\n\
+         the paper's measured point."
+    );
+}

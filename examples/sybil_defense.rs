@@ -1,0 +1,63 @@
+//! SybilLimit in action: admission vs walk length, with and without
+//! an attacker — the paper's Figure 8 plus the attack side.
+//!
+//! ```text
+//! cargo run --release --example sybil_defense
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socmix::gen::Dataset;
+use socmix::sybil::experiment::{admission_experiment, sybil_yield_experiment};
+use socmix::sybil::{attach_sybil_region, AttackParams, SybilTopology};
+
+fn main() {
+    // One fast-mixing and one slow-mixing stand-in.
+    let fast = Dataset::Facebook.generate(0.02, 7); // online interaction graph
+    let slow = Dataset::Physics3.generate(0.25, 7); // co-authorship graph
+
+    println!("honest admission rate vs random-route length w (no attacker)\n");
+    println!("{:<12} {:>4} {:>6} {:>10} {:>13}", "graph", "w", "r", "accepted", "intersected");
+    let ws = [1usize, 3, 5, 10, 15, 25, 50];
+    for (name, g) in [("facebook", &fast), ("physics", &slow)] {
+        for p in admission_experiment(g, 3.0, &ws, 150, 7) {
+            println!(
+                "{:<12} {:>4} {:>6} {:>9.1}% {:>12.1}%",
+                name,
+                p.w,
+                p.r,
+                100.0 * p.accepted,
+                100.0 * p.intersected
+            );
+        }
+        println!();
+    }
+    println!(
+        "→ the fast graph admits nearly everyone by w ≈ 10 (the defense\n\
+         papers' assumption); the slow co-authorship graph needs much\n\
+         longer routes — the paper's central finding.\n"
+    );
+
+    // Attack side: what longer walks cost. SybilLimit bounds accepted
+    // sybils per attack edge by O(w), so raising w to serve slow
+    // graphs directly inflates the attacker's budget.
+    let mut rng = StdRng::seed_from_u64(7);
+    let attacked = attach_sybil_region(
+        &fast,
+        AttackParams {
+            sybil_count: fast.num_nodes() / 5,
+            attack_edges: 10,
+            topology: SybilTopology::Random { avg_degree: 6.0 },
+        },
+        &mut rng,
+    );
+    println!("sybil identities accepted vs w (g = 10 attack edges)\n");
+    println!("{:>4} {:>16} {:>16}", "w", "accepted sybils", "per attack edge");
+    for y in sybil_yield_experiment(&attacked, 3.0, &[5, 10, 20, 40], 7) {
+        println!(
+            "{:>4} {:>16} {:>16.2}",
+            y.w, y.accepted_sybils, y.per_attack_edge
+        );
+    }
+    println!("\n→ longer walks admit more sybils per attack edge: the\n   security/utility trade-off the paper's discussion quantifies.");
+}

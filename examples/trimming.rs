@@ -1,0 +1,52 @@
+//! The SybilGuard/SybilLimit trimming trade-off (paper Figure 6).
+//!
+//! ```text
+//! cargo run --release --example trimming
+//! ```
+//!
+//! Iteratively removes low-degree nodes from a DBLP-like
+//! co-authorship graph and shows the two curves the paper plots:
+//! mixing improves, coverage collapses.
+
+use socmix::core::trimming::trimming_experiment;
+use socmix::gen::Dataset;
+
+fn main() {
+    let g = Dataset::Dblp.generate(0.03, 7);
+    println!(
+        "DBLP stand-in: {} nodes, {} edges\n",
+        g.num_nodes(),
+        g.num_edges()
+    );
+    let levels =
+        trimming_experiment(&g, &[1, 2, 3, 4, 5], 150, 400, 7).expect("connected stand-in");
+    println!(
+        "{:<8} {:>7} {:>8} {:>9} {:>10} {:>12} {:>12}",
+        "trim", "nodes", "kept%", "mu", "T(0.1)lo", "avgTVD@100", "avgTVD@400"
+    );
+    let n0 = levels.first().map(|l| l.nodes).unwrap_or(1) as f64;
+    for l in &levels {
+        let b = l.bounds();
+        println!(
+            "{:<8} {:>7} {:>7.1}% {:>9.5} {:>10.1} {:>12.4} {:>12.4}",
+            format!("DBLP {}", l.min_degree),
+            l.nodes,
+            100.0 * l.nodes as f64 / n0,
+            l.slem.mu,
+            b.lower(0.1),
+            l.mean_tvd[99],
+            l.mean_tvd[399],
+        );
+    }
+    if let (Some(first), Some(last)) = (levels.first(), levels.last()) {
+        println!(
+            "\n→ trimming to minimum degree {} improved the T(0.1) bound\n\
+             from {:.0} to {:.0} steps, but discarded {:.0}% of the graph —\n\
+             the paper's point: those users are denied service outright.",
+            last.min_degree,
+            first.bounds().lower(0.1),
+            last.bounds().lower(0.1),
+            100.0 * (1.0 - last.nodes as f64 / first.nodes as f64)
+        );
+    }
+}

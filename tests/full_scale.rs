@@ -1,0 +1,66 @@
+//! Paper-scale smoke tests (ignored by default — run with
+//! `cargo test --release -- --ignored`).
+//!
+//! These verify that the pipeline holds up at the paper's actual
+//! sizes: million-node generation, O(n)-memory SLEM via the power
+//! backend, and the distribution-evolution step on 20M+ edges. They
+//! take minutes each, which is why they're opt-in.
+
+use socmix::core::{MixingProbe, Slem};
+use socmix::gen::Dataset;
+use socmix::graph::components;
+
+/// Generate the full-size Youtube stand-in (1.13M nodes) and verify
+/// structural invariants.
+#[test]
+#[ignore = "paper-scale: ~1 min and ~1 GB"]
+fn full_scale_youtube_generation() {
+    let g = Dataset::Youtube.generate(1.0, 7);
+    assert_eq!(g.num_nodes(), Dataset::Youtube.paper_nodes());
+    assert!(components::is_connected(&g));
+    let target = Dataset::Youtube.paper_avg_degree();
+    let got = g.avg_degree();
+    assert!(
+        (got - target).abs() < 0.4 * target,
+        "avg degree {got} vs paper {target}"
+    );
+    assert!(g.validate().is_ok());
+}
+
+/// SLEM of a million-node graph through the automatic backend (power
+/// iteration at this size — O(n) memory).
+#[test]
+#[ignore = "paper-scale: several minutes"]
+fn full_scale_slem_youtube() {
+    let g = Dataset::Youtube.generate(1.0, 7);
+    let est = Slem::auto(&g).estimate().unwrap();
+    assert!(est.mu > 0.99 && est.mu < 1.0, "µ = {}", est.mu);
+}
+
+/// Distribution evolution on the 20M-edge Facebook A stand-in: one
+/// probe source for 50 steps.
+#[test]
+#[ignore = "paper-scale: ~2 min and ~2 GB"]
+fn full_scale_evolution_facebook_a() {
+    let g = Dataset::FacebookA.generate(1.0, 7);
+    assert_eq!(g.num_nodes(), 1_000_000);
+    let probe = MixingProbe::new(&g).auto_kernel();
+    let r = probe.probe_sources(&[0], 50);
+    let series = &r.series[0];
+    assert!(series.windows(2).all(|w| w[1] <= w[0] + 1e-12));
+    assert!(series[49] < series[0]);
+}
+
+/// The BFS 10K/100K/1000K sampling pipeline of Figure 7 at paper
+/// scale (uses the full Livejournal A stand-in).
+#[test]
+#[ignore = "paper-scale: several minutes"]
+fn full_scale_figure7_sampling_pipeline() {
+    let base = Dataset::LivejournalA.generate(1.0, 7);
+    for target in [10_000usize, 100_000, 1_000_000] {
+        let (sub, _) = socmix::graph::sample::bfs_sample(&base, 0, target);
+        let (lcc, _) = components::largest_component(&sub);
+        assert!(lcc.num_nodes() > target / 2);
+        assert!(components::is_connected(&lcc));
+    }
+}

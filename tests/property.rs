@@ -1,0 +1,148 @@
+//! Property-based tests over random connected graphs, spanning the
+//! graph, linalg, markov and core crates.
+
+use proptest::prelude::*;
+use socmix::core::Slem;
+use socmix::graph::{components, Graph, GraphBuilder, NodeId};
+use socmix::markov::{ergodicity, stationary_distribution, total_variation, Evolver};
+
+/// Strategy: a connected, non-bipartite graph on `3..=max_n` nodes —
+/// a random spanning tree plus extra random edges plus one triangle
+/// (which kills bipartiteness).
+fn connected_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (3usize..=max_n)
+        .prop_flat_map(|n| {
+            (
+                Just(n),
+                proptest::collection::vec(0u64..u64::MAX, n - 1),
+                proptest::collection::vec((0u64..u64::MAX, 0u64..u64::MAX), 0..2 * n),
+            )
+        })
+        .prop_map(|(n, tree_picks, extra)| {
+            let mut b = GraphBuilder::new();
+            for (v, pick) in tree_picks.iter().enumerate() {
+                let v = (v + 1) as NodeId;
+                let u = (pick % v as u64) as NodeId;
+                b.add_edge(u, v);
+            }
+            for (x, y) in extra {
+                let u = (x % n as u64) as NodeId;
+                let v = (y % n as u64) as NodeId;
+                if u != v {
+                    b.add_edge(u, v);
+                }
+            }
+            // force a triangle on the three lowest ids
+            b.add_edge(0, 1);
+            b.add_edge(1, 2);
+            b.add_edge(0, 2);
+            b.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Generated graphs really are connected and ergodic.
+    #[test]
+    fn strategy_produces_ergodic_graphs(g in connected_graph(30)) {
+        prop_assert!(components::is_connected(&g));
+        prop_assert!(ergodicity(&g).plain_walk_ergodic());
+    }
+
+    /// π is a distribution and a fixpoint of the walk.
+    #[test]
+    fn stationary_is_invariant(g in connected_graph(30)) {
+        let pi = stationary_distribution(&g);
+        prop_assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        let e = Evolver::new(&g);
+        let mut x = pi.clone();
+        e.step(&mut x);
+        prop_assert!(total_variation(&x, &pi) < 1e-12);
+    }
+
+    /// TVD to π never increases along the evolution.
+    #[test]
+    fn tvd_is_monotone_nonincreasing(g in connected_graph(25)) {
+        let e = Evolver::new(&g);
+        let series = e.tvd_series(0, 40);
+        for w in series.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-12, "TVD rose: {} -> {}", w[0], w[1]);
+        }
+    }
+
+    /// Lanczos agrees with the dense Jacobi ground truth.
+    #[test]
+    fn lanczos_matches_dense(g in connected_graph(24)) {
+        let l = Slem::lanczos(&g).estimate().unwrap().mu;
+        let d = Slem::dense(&g).estimate().unwrap().mu;
+        prop_assert!((l - d).abs() < 1e-6, "lanczos {l} vs dense {d}");
+    }
+
+    /// Power iteration agrees with dense Jacobi.
+    #[test]
+    fn power_matches_dense(g in connected_graph(20)) {
+        let p = Slem::power_iteration(&g).estimate().unwrap().mu;
+        let d = Slem::dense(&g).estimate().unwrap().mu;
+        prop_assert!((p - d).abs() < 1e-4, "power {p} vs dense {d}");
+    }
+
+    /// The spectral decay law: after t steps the TVD from any source
+    /// is at most C·µᵗ with C = √(max deg/min deg)·√n — the quantity
+    /// behind Theorem 2's upper bound. Checked empirically.
+    #[test]
+    fn spectral_decay_bounds_evolution(g in connected_graph(20)) {
+        let est = Slem::dense(&g).estimate().unwrap();
+        if est.mu >= 0.999999 {
+            // bipartite-degenerate corner (shouldn't happen: triangle)
+            return Ok(());
+        }
+        let n = g.num_nodes() as f64;
+        let dmax = g.max_degree() as f64;
+        let dmin = g.min_degree().max(1) as f64;
+        let c = (dmax / dmin).sqrt() * n.sqrt();
+        let e = Evolver::new(&g);
+        let series = e.tvd_series(0, 30);
+        for (i, d) in series.iter().enumerate() {
+            let bound = c * est.mu.powi(i as i32 + 1);
+            prop_assert!(
+                *d <= bound + 1e-9,
+                "t={}: tvd {} exceeds C·µᵗ = {}",
+                i + 1, d, bound
+            );
+        }
+    }
+
+    /// Largest-component extraction + validation: always valid CSR,
+    /// connected, and no larger than the input.
+    #[test]
+    fn lcc_is_valid_and_connected(g in connected_graph(30)) {
+        let (lcc, map) = components::largest_component(&g);
+        prop_assert!(lcc.validate().is_ok());
+        prop_assert!(components::is_connected(&lcc));
+        prop_assert_eq!(lcc.num_nodes(), map.len());
+        prop_assert!(lcc.num_nodes() <= g.num_nodes());
+    }
+
+    /// Binary I/O round trip over arbitrary connected graphs.
+    #[test]
+    fn binary_io_roundtrip(g in connected_graph(30)) {
+        let mut buf = Vec::new();
+        socmix::graph::io::write_binary(&g, &mut buf).unwrap();
+        let g2 = socmix::graph::io::read_binary(&buf[..]).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+
+    /// Trimming invariant: the d-core has min degree ≥ d and is a
+    /// subgraph (never gains edges).
+    #[test]
+    fn trim_invariants(g in connected_graph(30), d in 0usize..5) {
+        let (core, map) = socmix::graph::trim::trim_min_degree(&g, d);
+        prop_assert!(core.num_nodes() == 0 || core.min_degree() >= d);
+        prop_assert!(core.num_edges() <= g.num_edges());
+        // every kept edge exists in the original under the mapping
+        for (u, v) in core.edges() {
+            prop_assert!(g.has_edge(map.original(u), map.original(v)));
+        }
+    }
+}

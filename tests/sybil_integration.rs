@@ -1,0 +1,109 @@
+//! Cross-crate Sybil-defense integration: the Figure-8 story and the
+//! security trade-off, end to end on catalog graphs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socmix::gen::Dataset;
+use socmix::graph::NodeId;
+use socmix::sybil::experiment::admission_experiment;
+use socmix::sybil::{
+    attach_sybil_region, AttackParams, SybilGuard, SybilLimit, SybilLimitParams, SybilTopology,
+};
+
+/// The paper's Figure-8 contrast in miniature: at the walk lengths
+/// the defense papers assumed (w ≈ 10–15), the fast-mixing stand-in
+/// admits most honest nodes while the slow acquaintance stand-in
+/// admits markedly fewer.
+#[test]
+fn short_walks_disadvantage_slow_graphs() {
+    let fast = Dataset::Facebook.generate(0.02, 7);
+    let slow = Dataset::Physics3.generate(0.15, 7);
+    let w = 10;
+    let f = admission_experiment(&fast, 3.0, &[w], 120, 7)[0].accepted;
+    let s = admission_experiment(&slow, 3.0, &[w], 120, 7)[0].accepted;
+    assert!(
+        f > s + 0.1,
+        "fast graph ({f}) should admit clearly more than slow graph ({s}) at w={w}"
+    );
+    assert!(f > 0.8, "fast graph should serve most honest nodes at w=10, got {f}");
+}
+
+/// Raising w on the slow graph recovers admission — the paper's
+/// "give up performance to recover utility" horn of the dilemma.
+#[test]
+fn longer_walks_recover_admission_on_slow_graphs() {
+    let slow = Dataset::Physics3.generate(0.15, 7);
+    let pts = admission_experiment(&slow, 3.0, &[5, 60], 120, 7);
+    assert!(
+        pts[1].accepted > pts[0].accepted,
+        "w=60 ({}) should beat w=5 ({})",
+        pts[1].accepted,
+        pts[0].accepted
+    );
+    assert!(pts[1].accepted > 0.85);
+}
+
+/// ... but the attacker's yield grows with w at the same time — the
+/// other horn. Both horns measured on the same composite graph.
+#[test]
+fn security_utility_tradeoff() {
+    let honest = Dataset::Facebook.generate(0.02, 7);
+    let mut rng = StdRng::seed_from_u64(7);
+    let attacked = attach_sybil_region(
+        &honest,
+        AttackParams {
+            sybil_count: honest.num_nodes() / 4,
+            attack_edges: 8,
+            topology: SybilTopology::Random { avg_degree: 6.0 },
+        },
+        &mut rng,
+    );
+    let short = socmix::sybil::experiment::sybil_yield_experiment(&attacked, 3.0, &[3], 7);
+    let long = socmix::sybil::experiment::sybil_yield_experiment(&attacked, 3.0, &[30], 7);
+    assert!(
+        long[0].accepted_sybils >= short[0].accepted_sybils,
+        "longer walks must not reduce sybil yield ({} vs {})",
+        short[0].accepted_sybils,
+        long[0].accepted_sybils
+    );
+}
+
+/// SybilLimit's tails really follow the graph's edges and repeat
+/// deterministically — protocol sanity at the integration level.
+#[test]
+fn sybillimit_tails_are_edges_and_deterministic() {
+    let g = Dataset::WikiVote.generate(0.05, 1);
+    let params = SybilLimitParams {
+        r0: 1.0,
+        w: 8,
+        seed: 42,
+        ..Default::default()
+    };
+    let sl = SybilLimit::new(&g, params);
+    let nodes: Vec<NodeId> = (0..10).collect();
+    let t1 = sl.tails_for(&nodes);
+    let t2 = SybilLimit::new(&g, params).tails_for(&nodes);
+    assert_eq!(t1, t2);
+    for tails in &t1 {
+        assert_eq!(tails.len(), sl.r());
+        for &(a, b) in tails {
+            assert!(g.has_edge(a, b));
+        }
+    }
+}
+
+/// SybilGuard (the single-instance ancestor) shows the same
+/// walk-length sensitivity.
+#[test]
+fn sybilguard_walk_length_sensitivity() {
+    let g = Dataset::Physics1.generate(0.1, 2);
+    let suspects: Vec<NodeId> = (0..40).collect();
+    let verifier = (g.num_nodes() - 1) as NodeId;
+    let short = SybilGuard::new(&g, 3, 1).admission_fraction(verifier, &suspects);
+    let long = SybilGuard::new(&g, 80, 1).admission_fraction(verifier, &suspects);
+    assert!(
+        long >= short,
+        "longer witness routes should not reduce admission ({short} vs {long})"
+    );
+    assert!(long > 0.7, "80-step routes should intersect broadly, got {long}");
+}
