@@ -1,0 +1,44 @@
+//! Bench: blocked multi-source evolution vs the per-source serial
+//! path, on a catalog graph at the 100k-node scale the paper's larger
+//! datasets live at. The tentpole claim tracked here: one shared CSR
+//! traversal serving a block of sources beats re-streaming the edge
+//! array once per source by ≥2×.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use socmix_core::MixingProbe;
+use socmix_gen::Dataset;
+
+const SOURCES: usize = 16;
+const T_MAX: usize = 20;
+
+fn bench_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch");
+    // 100_000 nodes, ~1M edges: big enough that the CSR stream blows
+    // through cache and the re-read cost dominates the serial path.
+    let g = Dataset::FacebookA.generate(0.1, 7);
+    let sources: Vec<_> = (0..SOURCES as u32).collect();
+    group.sample_size(10);
+    group.bench_function("serial_16_sources_t20_100k", |b| {
+        let p = MixingProbe::new(&g).auto_kernel().block_size(1);
+        b.iter(|| p.probe_sources(&sources, T_MAX))
+    });
+    group.bench_function("batched_16_sources_t20_100k", |b| {
+        let p = MixingProbe::new(&g).auto_kernel().block_size(SOURCES);
+        b.iter(|| p.probe_sources(&sources, T_MAX))
+    });
+    group.bench_function("batched_retired_16_sources_t20_100k", |b| {
+        let p = MixingProbe::new(&g)
+            .auto_kernel()
+            .block_size(SOURCES)
+            .retire_at(0.05);
+        b.iter(|| p.probe_sources(&sources, T_MAX))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_batch
+}
+criterion_main!(benches);

@@ -2,9 +2,9 @@
 //! (build, LCC, BFS sample, trim, triangle count).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use rand as _;
 use socmix_gen::Dataset;
 use socmix_graph::{components, sample, stats, trim, GraphBuilder, NodeId};
-use rand as _;
 
 fn bench_graphops(c: &mut Criterion) {
     let mut group = c.benchmark_group("graphops");

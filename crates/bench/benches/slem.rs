@@ -2,8 +2,8 @@
 //! iteration, and the dense ground truth at small sizes.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use socmix_gen::Dataset;
 use socmix_core::Slem;
+use socmix_gen::Dataset;
 
 fn bench_slem(c: &mut Criterion) {
     let mut group = c.benchmark_group("slem");

@@ -26,7 +26,10 @@ fn target_band(class: MixingClass) -> (f64, f64) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale: f64 = args.first().map(|s| s.parse().expect("scale")).unwrap_or(0.05);
+    let scale: f64 = args
+        .first()
+        .map(|s| s.parse().expect("scale"))
+        .unwrap_or(0.05);
     let seed: u64 = args.get(1).map(|s| s.parse().expect("seed")).unwrap_or(7);
     println!(
         "{:<14} {:>7} {:>9} {:>10} {:>10} {:>16} {:>6}",

@@ -140,7 +140,10 @@ fn gen(ds: Dataset, cfg: &RunConfig) -> Graph {
 // ---------------------------------------------------------------- table 1
 
 fn table1(cfg: &RunConfig) {
-    banner("Table 1: datasets, properties, second largest eigenvalue", cfg);
+    banner(
+        "Table 1: datasets, properties, second largest eigenvalue",
+        cfg,
+    );
     let mut t = Table::new([
         "Dataset", "paper n", "paper m", "n", "m", "avg deg", "mu", "1-mu", "class",
     ]);
@@ -270,7 +273,13 @@ fn fig6(cfg: &RunConfig) {
     let levels = trimming_experiment(&g, &[1, 2, 3, 4, 5], cfg.sources, cfg.t_max, cfg.seed)
         .expect("DBLP stand-in is connected");
     let mut t = Table::new([
-        "DBLP x", "nodes", "edges", "mu", "T(0.1) lo", "avg tvd@100", "avg tvd@500",
+        "DBLP x",
+        "nodes",
+        "edges",
+        "mu",
+        "T(0.1) lo",
+        "avg tvd@100",
+        "avg tvd@500",
     ]);
     let mut csv = Csv::new(["min_degree", "t", "avg_tvd", "lower_bound_eps"]);
     for level in &levels {
@@ -322,7 +331,14 @@ fn fig7(cfg: &RunConfig) {
     let sources = (cfg.sources / 4).max(50);
     let t_max = cfg.t_max.min(300);
     let mut csv = Csv::new([
-        "dataset", "sample", "nodes", "mu", "t", "lower_bound_eps", "top10_eps", "median20_eps",
+        "dataset",
+        "sample",
+        "nodes",
+        "mu",
+        "t",
+        "lower_bound_eps",
+        "top10_eps",
+        "median20_eps",
         "low10_eps",
     ]);
     let report_ts: Vec<usize> = [1usize, 5, 10, 20, 50, 100, 200, 300]
@@ -358,7 +374,12 @@ fn fig7(cfg: &RunConfig) {
                     fmt_f64(bands[2].epsilon[t - 1]),
                 ]);
             }
-            eprintln!("fig7: {} {} ({} nodes) done", ds.name(), label, g.num_nodes());
+            eprintln!(
+                "fig7: {} {} ({} nodes) done",
+                ds.name(),
+                label,
+                g.num_nodes()
+            );
         }
     }
     println!("# csv");
@@ -400,13 +421,19 @@ fn fig8(cfg: &RunConfig) {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let sample = socmix_graph::sample::random_nodes(g, cfg.sources.min(g.num_nodes()), &mut rng);
+        let sample =
+            socmix_graph::sample::random_nodes(g, cfg.sources.min(g.num_nodes()), &mut rng);
         let est = socmix_sybil::benchmark_walk_length(
             g,
             socmix_graph::sample::random_node(g, &mut rng),
             &sample,
             0.95,
-            socmix_sybil::SybilLimitParams { r0: 3.0, w: 2, seed: cfg.seed, ..Default::default() },
+            socmix_sybil::SybilLimitParams {
+                r0: 3.0,
+                w: 2,
+                seed: cfg.seed,
+                ..Default::default()
+            },
             2048,
         );
         match est {
@@ -438,7 +465,11 @@ fn sybil_attack(cfg: &RunConfig) {
     use rand::SeedableRng;
     let honest = Dataset::Facebook.generate(cfg.scale, cfg.seed);
     let mut csv = Csv::new([
-        "attack_edges", "w", "accepted_sybils", "per_attack_edge", "escape_prob",
+        "attack_edges",
+        "w",
+        "accepted_sybils",
+        "per_attack_edge",
+        "escape_prob",
     ]);
     for &g_edges in &[1usize, 5, 10, 20, 50] {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -514,7 +545,12 @@ fn average(cfg: &RunConfig) {
     );
     use socmix_core::average::{average_mixing_time, coverage_mixing_time};
     let mut t = Table::new([
-        "Dataset", "eps", "worst T", "avg T", "90% coverage T", "50% coverage T",
+        "Dataset",
+        "eps",
+        "worst T",
+        "avg T",
+        "90% coverage T",
+        "50% coverage T",
     ]);
     for &ds in &[
         Dataset::WikiVote,
@@ -553,8 +589,20 @@ fn ncp(cfg: &RunConfig) {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use socmix_community::{ncp_approx, ncp_minimum};
-    let mut t = Table::new(["Dataset", "lambda2", "(1-l2)/2", "NCP min phi", "at size", "cheeger ok?"]);
-    for &ds in &[Dataset::WikiVote, Dataset::Physics1, Dataset::Dblp, Dataset::LivejournalA] {
+    let mut t = Table::new([
+        "Dataset",
+        "lambda2",
+        "(1-l2)/2",
+        "NCP min phi",
+        "at size",
+        "cheeger ok?",
+    ]);
+    for &ds in &[
+        Dataset::WikiVote,
+        Dataset::Physics1,
+        Dataset::Dblp,
+        Dataset::LivejournalA,
+    ] {
         let g = gen(ds, cfg);
         let est = slem_of(&g, cfg.seed, ds.name());
         let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -570,7 +618,11 @@ fn ncp(cfg: &RunConfig) {
             fmt_f64(gap_bound),
             fmt_f64(best.conductance),
             best.size.to_string(),
-            if gap_bound <= best.conductance + 1e-9 { "yes".into() } else { "NO".to_string() },
+            if gap_bound <= best.conductance + 1e-9 {
+                "yes".into()
+            } else {
+                "NO".to_string()
+            },
         ]);
         eprintln!("ncp: {} done", ds.name());
     }
@@ -595,10 +647,17 @@ fn defenses(cfg: &RunConfig) {
     };
 
     let mut t = Table::new([
-        "graph", "defense", "honest utility", "sybil leakage", "metric",
+        "graph",
+        "defense",
+        "honest utility",
+        "sybil leakage",
+        "metric",
     ]);
     for (label, honest) in [
-        ("fast (Facebook)", Dataset::Facebook.generate(cfg.scale, cfg.seed)),
+        (
+            "fast (Facebook)",
+            Dataset::Facebook.generate(cfg.scale, cfg.seed),
+        ),
         ("slow (Physics 3)", {
             let sc = (cfg.scale * 2.0).min(1.0);
             Dataset::Physics3.generate(sc, cfg.seed)
@@ -616,11 +675,20 @@ fn defenses(cfg: &RunConfig) {
         );
         let g = &attacked.graph;
         let verifier: NodeId = 0;
-        let honest_suspects: Vec<NodeId> = (1..(cfg.sources as NodeId + 1).min(attacked.honest as NodeId)).collect();
+        let honest_suspects: Vec<NodeId> =
+            (1..(cfg.sources as NodeId + 1).min(attacked.honest as NodeId)).collect();
         let sybil_suspects: Vec<NodeId> = attacked.sybil_nodes().collect();
 
         // SybilLimit at the defenses' canonical w=10
-        let sl = SybilLimit::new(g, SybilLimitParams { r0: 3.0, w: 10, seed: cfg.seed, ..Default::default() });
+        let sl = SybilLimit::new(
+            g,
+            SybilLimitParams {
+                r0: 3.0,
+                w: 10,
+                seed: cfg.seed,
+                ..Default::default()
+            },
+        );
         let hv = sl.verify_all(verifier, &honest_suspects);
         let sv = sl.verify_all(verifier, &sybil_suspects);
         t.row([
@@ -653,7 +721,10 @@ fn defenses(cfg: &RunConfig) {
             label.to_string(),
             "SybilInfer".to_string(),
             format!("{:.2} mean P(honest)", avg(0..attacked.honest)),
-            format!("{:.2} mean P(sybil side)", avg(attacked.honest..g.num_nodes())),
+            format!(
+                "{:.2} mean P(sybil side)",
+                avg(attacked.honest..g.num_nodes())
+            ),
             "marginals".to_string(),
         ]);
         eprintln!("defenses: {label} SybilInfer done");
@@ -670,7 +741,9 @@ fn defenses(cfg: &RunConfig) {
         eprintln!("defenses: {label} ranking done");
 
         // SumUp votes
-        let params = SumUpParams { rho: (honest_suspects.len() as f64 * 1.5) as usize };
+        let params = SumUpParams {
+            rho: (honest_suspects.len() as f64 * 1.5) as usize,
+        };
         let hv = collect_votes(g, verifier, &honest_suspects, params);
         let sv = sybil_votes(&attacked, verifier, params);
         t.row([
@@ -760,8 +833,19 @@ fn null_model(cfg: &RunConfig) {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use socmix_gen::rewire::degree_preserving_rewire;
-    let mut t = Table::new(["dataset", "mu (original)", "mu (rewired null)", "T(0.1) orig", "T(0.1) null"]);
-    for &ds in &[Dataset::WikiVote, Dataset::Physics1, Dataset::Enron, Dataset::LivejournalA] {
+    let mut t = Table::new([
+        "dataset",
+        "mu (original)",
+        "mu (rewired null)",
+        "T(0.1) orig",
+        "T(0.1) null",
+    ]);
+    for &ds in &[
+        Dataset::WikiVote,
+        Dataset::Physics1,
+        Dataset::Enron,
+        Dataset::LivejournalA,
+    ] {
         let scale = match ds {
             Dataset::LivejournalA => (cfg.scale / 2.5).max(0.005),
             _ => cfg.scale,

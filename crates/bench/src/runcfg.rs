@@ -87,10 +87,18 @@ mod tests {
 
     #[test]
     fn parses_all_flags() {
-        let (cfg, rest) =
-            RunConfig::parse(&strs(&["--scale", "0.5", "fig1", "--seed", "9", "--sources", "50",
-                "--tmax", "100"]))
-            .unwrap();
+        let (cfg, rest) = RunConfig::parse(&strs(&[
+            "--scale",
+            "0.5",
+            "fig1",
+            "--seed",
+            "9",
+            "--sources",
+            "50",
+            "--tmax",
+            "100",
+        ]))
+        .unwrap();
         assert_eq!(cfg.scale, 0.5);
         assert_eq!(cfg.seed, 9);
         assert_eq!(cfg.sources, 50);

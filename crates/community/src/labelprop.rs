@@ -129,7 +129,10 @@ mod tests {
         // strong planted structure: modularity should be high and
         // the number of recovered communities close to 4
         let q = p.modularity(&g);
-        assert!(q > 0.5, "modularity {q} too low for a strong planted partition");
+        assert!(
+            q > 0.5,
+            "modularity {q} too low for a strong planted partition"
+        );
         assert!(
             (2..=8).contains(&p.num_communities()),
             "found {} communities",

@@ -64,9 +64,7 @@ pub fn ncp_approx<R: Rng + ?Sized>(
             x = y;
         }
         // sweep by degree-normalized mass
-        let mut order: Vec<NodeId> = (0..n as NodeId)
-            .filter(|&v| x[v as usize] > 0.0)
-            .collect();
+        let mut order: Vec<NodeId> = (0..n as NodeId).filter(|&v| x[v as usize] > 0.0).collect();
         order.sort_by(|&a, &b| {
             let sa = x[a as usize] / g.degree(a).max(1) as f64;
             let sb = x[b as usize] / g.degree(b).max(1) as f64;
@@ -196,7 +194,10 @@ mod tests {
         let pts = partition_ncp(&g, &p);
         assert_eq!(pts.len(), p.num_communities());
         for pt in pts {
-            assert!(pt.conductance < 0.3, "planted blocks are strong communities");
+            assert!(
+                pt.conductance < 0.3,
+                "planted blocks are strong communities"
+            );
         }
     }
 }

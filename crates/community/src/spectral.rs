@@ -105,9 +105,8 @@ fn kmeans<R: Rng + ?Sized>(
 ) -> (Vec<u32>, f64) {
     let n = points.len();
     let d = points[0].len();
-    let dist2 = |a: &[f64], b: &[f64]| -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
-    };
+    let dist2 =
+        |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum() };
     // k-means++ seeding
     let mut centers: Vec<Vec<f64>> = Vec::with_capacity(k);
     centers.push(points[rng.random_range(0..n)].clone());

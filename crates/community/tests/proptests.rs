@@ -64,7 +64,7 @@ proptest! {
         let g = planted_partition(k, size, 0.6, 0.05, &mut rng);
         let p = label_propagation(&g, LabelPropOptions::default());
         for phi in p.community_conductances(&g).into_iter().flatten() {
-            prop_assert!(phi >= 0.0 && phi <= 1.0, "phi = {phi}");
+            prop_assert!((0.0..=1.0).contains(&phi), "phi = {phi}");
         }
     }
 

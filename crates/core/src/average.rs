@@ -66,11 +66,7 @@ pub fn stationary_weighted_mixing_time(
     result: &ProbeResult,
     epsilon: f64,
 ) -> Option<usize> {
-    let weights: Vec<f64> = result
-        .sources
-        .iter()
-        .map(|&v| g.degree(v) as f64)
-        .collect();
+    let weights: Vec<f64> = result.sources.iter().map(|&v| g.degree(v) as f64).collect();
     weighted_average_mixing_time(result, &weights, epsilon)
 }
 

@@ -65,7 +65,10 @@ pub struct SweepCut {
 /// Panics if the graph has fewer than 3 nodes or no edges.
 pub fn spectral_sweep(g: &Graph, seed: u64) -> SweepCut {
     let n = g.num_nodes();
-    assert!(n >= 3 && g.num_edges() > 0, "sweep needs a non-trivial graph");
+    assert!(
+        n >= 3 && g.num_edges() > 0,
+        "sweep needs a non-trivial graph"
+    );
     // Second eigenvector of S via power iteration on the *lazy*
     // deflated operator: (I+S)/2 maps the spectrum to [0,1], so the
     // dominant eigenvalue of the deflated lazy operator is (1+λ₂)/2 —
@@ -147,8 +150,8 @@ mod tests {
     #[test]
     fn degenerate_cut_is_none() {
         let g = fixtures::petersen();
-        assert_eq!(cut_conductance(&g, &vec![false; 10]), None);
-        assert_eq!(cut_conductance(&g, &vec![true; 10]), None);
+        assert_eq!(cut_conductance(&g, &[false; 10]), None);
+        assert_eq!(cut_conductance(&g, &[true; 10]), None);
     }
 
     #[test]
@@ -173,7 +176,11 @@ mod tests {
     fn sweep_conductance_lower_bounded_by_spectral_gap() {
         // Φ ≥ (1-λ₂)/2 (easy Cheeger direction) for any cut the
         // sweep returns, since Φ(sweep) ≥ Φ_G ≥ (1-λ₂)/2
-        for g in [fixtures::barbell(5, 1), fixtures::petersen(), fixtures::lollipop(6, 2)] {
+        for g in [
+            fixtures::barbell(5, 1),
+            fixtures::petersen(),
+            fixtures::lollipop(6, 2),
+        ] {
             let est = Slem::dense(&g).estimate().unwrap();
             let lambda2 = est.lambda2.unwrap();
             let sweep = spectral_sweep(&g, 1);

@@ -133,7 +133,11 @@ mod tests {
     #[test]
     fn sampled_mu_matches_spectral_mu() {
         // the cross-method check: decay-fitted µ ≈ eigensolver µ
-        for g in [fixtures::barbell(7, 0), fixtures::lollipop(8, 3), fixtures::petersen()] {
+        for g in [
+            fixtures::barbell(7, 0),
+            fixtures::lollipop(8, 3),
+            fixtures::petersen(),
+        ] {
             let spectral = Slem::dense(&g).estimate().unwrap().mu;
             let probe = MixingProbe::new(&g);
             let result = probe.all_sources(400);

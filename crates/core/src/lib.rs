@@ -52,4 +52,4 @@ pub mod trimming;
 pub use bounds::MixingBounds;
 pub use probe::MixingProbe;
 pub use report::{measure, MeasureOptions, MixingReport};
-pub use slem::{Slem, SlemEstimate, SlemError, SlemMethod};
+pub use slem::{Slem, SlemError, SlemEstimate, SlemMethod};

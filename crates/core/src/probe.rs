@@ -12,8 +12,28 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use socmix_graph::{sample, Graph, NodeId};
 use socmix_markov::ergodic::WalkKind;
-use socmix_markov::{ergodicity, Evolver};
+use socmix_markov::{ergodicity, BatchEvolver, Evolver};
 use socmix_par::Pool;
+
+/// Default number of sources evolved together per block.
+///
+/// 16 columns = 128 bytes per gathered row — two cache lines, small
+/// enough that a block of walk frontiers stays cache-resident on the
+/// catalog graphs, large enough to amortize the CSR stream ~16×.
+/// Override per probe with [`MixingProbe::block_size`] or globally
+/// with the `SOCMIX_BLOCK` environment variable.
+pub const DEFAULT_BLOCK: usize = 16;
+
+fn default_block() -> usize {
+    if let Ok(v) = std::env::var("SOCMIX_BLOCK") {
+        if let Ok(b) = v.trim().parse::<usize>() {
+            if b >= 1 {
+                return b;
+            }
+        }
+    }
+    DEFAULT_BLOCK
+}
 
 /// Per-source TVD series produced by a probe run.
 #[derive(Debug, Clone)]
@@ -84,6 +104,8 @@ pub struct MixingProbe<'g> {
     graph: &'g Graph,
     kind: WalkKind,
     pool: Pool,
+    block: usize,
+    retire_epsilon: Option<f64>,
 }
 
 impl<'g> MixingProbe<'g> {
@@ -98,6 +120,8 @@ impl<'g> MixingProbe<'g> {
             graph,
             kind: WalkKind::Plain,
             pool: Pool::new(),
+            block: default_block(),
+            retire_epsilon: None,
         }
     }
 
@@ -116,9 +140,35 @@ impl<'g> MixingProbe<'g> {
         self
     }
 
-    /// Sets the worker pool for the per-source parallel loop.
+    /// Sets the worker pool that the source blocks are scheduled over.
     pub fn pool(mut self, pool: Pool) -> Self {
         self.pool = pool;
+        self
+    }
+
+    /// Sets the number of sources evolved together per block (default
+    /// [`DEFAULT_BLOCK`], or `SOCMIX_BLOCK` from the environment).
+    /// `1` degenerates to the serial per-source path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is zero.
+    pub fn block_size(mut self, block: usize) -> Self {
+        assert!(block >= 1, "block size must be at least 1");
+        self.block = block;
+        self
+    }
+
+    /// Retires a source's column as soon as its TVD drops below `ε`,
+    /// skipping the remaining steps for that column. First ε-crossings
+    /// — and therefore [`ProbeResult::mixing_time`] and
+    /// [`ProbeResult::times_to_epsilon`] at any threshold ≥ ε — are
+    /// identical to the exact run; series entries *after* the crossing
+    /// are padded with the crossing value instead of evolved further.
+    /// Off by default (series are exact).
+    pub fn retire_at(mut self, epsilon: f64) -> Self {
+        assert!(epsilon > 0.0, "retirement threshold must be positive");
+        self.retire_epsilon = Some(epsilon);
         self
     }
 
@@ -127,19 +177,25 @@ impl<'g> MixingProbe<'g> {
         self.kind
     }
 
-    /// TVD series from each of the given sources, in parallel.
+    /// The block size in use.
+    pub fn current_block_size(&self) -> usize {
+        self.block
+    }
+
+    /// TVD series from each of the given sources. Sources are
+    /// partitioned into blocks of [`Self::block_size`]; each block is
+    /// evolved through one shared CSR traversal per step by a
+    /// [`BatchEvolver`], and the blocks are scheduled over the pool.
     pub fn probe_sources(&self, sources: &[NodeId], t_max: usize) -> ProbeResult {
-        let graph = self.graph;
-        let kind = self.kind;
-        let series = self.pool.map_indexed(sources.len(), move |k| {
-            // One evolver per worker call: holds only π and inverse
-            // degrees, cheap relative to the t_max O(m) steps.
-            let e = Evolver::with_kind(graph, kind);
-            e.tvd_series(sources[k], t_max)
+        let be = BatchEvolver::with_kind(self.graph, self.kind);
+        let blocks: Vec<&[NodeId]> = sources.chunks(self.block).collect();
+        let retire = self.retire_epsilon;
+        let per_block = self.pool.map_indexed(blocks.len(), |bi| {
+            be.tvd_series_block(blocks[bi], t_max, retire)
         });
         ProbeResult {
             sources: sources.to_vec(),
-            series,
+            series: per_block.into_iter().flatten().collect(),
         }
     }
 
@@ -166,16 +222,16 @@ impl<'g> MixingProbe<'g> {
 
     /// TVD at fixed walk lengths for every node — the raw data of the
     /// paper's CDF figures (3 and 4). Returns one row per source in
-    /// node order; row `k` holds TVDs at each of `lengths`.
+    /// node order; row `k` holds TVDs at each of `lengths`. Sources
+    /// are evolved in blocks like [`Self::probe_sources`].
     pub fn all_sources_at_lengths(&self, lengths: &[usize]) -> Vec<Vec<f64>> {
-        let graph = self.graph;
-        let kind = self.kind;
-        let lengths_owned: Vec<usize> = lengths.to_vec();
-        let lref = &lengths_owned;
-        self.pool.map_indexed(graph.num_nodes(), move |v| {
-            let e = Evolver::with_kind(graph, kind);
-            e.tvd_at_lengths(v as NodeId, lref)
-        })
+        let sources: Vec<NodeId> = self.graph.nodes().collect();
+        let be = BatchEvolver::with_kind(self.graph, self.kind);
+        let blocks: Vec<&[NodeId]> = sources.chunks(self.block).collect();
+        let per_block = self.pool.map_indexed(blocks.len(), |bi| {
+            be.tvd_at_lengths_block(blocks[bi], lengths)
+        });
+        per_block.into_iter().flatten().collect()
     }
 }
 
@@ -271,5 +327,67 @@ mod tests {
         let p = MixingProbe::new(&g);
         let r = p.probe_random_sources(100, 5, 0);
         assert_eq!(r.num_sources(), 7);
+    }
+
+    #[test]
+    fn series_invariant_under_block_size() {
+        let g = fixtures::lollipop(5, 3);
+        let sources: Vec<_> = g.nodes().collect();
+        let reference = MixingProbe::new(&g)
+            .block_size(1)
+            .probe_sources(&sources, 40);
+        for b in [2, 3, 8, 64] {
+            let r = MixingProbe::new(&g)
+                .block_size(b)
+                .probe_sources(&sources, 40);
+            // bit-for-bit: the batched kernel performs the same
+            // floating-point operations in the same order per column
+            assert_eq!(r.series, reference.series, "block size {b}");
+        }
+    }
+
+    #[test]
+    fn probe_empty_sources() {
+        let g = fixtures::petersen();
+        let p = MixingProbe::new(&g);
+        let r = p.probe_sources(&[], 10);
+        assert_eq!(r.num_sources(), 0);
+        assert_eq!(r.t_max(), 0);
+    }
+
+    #[test]
+    fn retire_at_preserves_mixing_times() {
+        let g = fixtures::lollipop(6, 4);
+        let eps = 0.01;
+        let exact = MixingProbe::new(&g).block_size(4).all_sources(2000);
+        let retired = MixingProbe::new(&g)
+            .block_size(4)
+            .retire_at(eps)
+            .all_sources(2000);
+        assert_eq!(
+            exact.mixing_time(eps).unwrap(),
+            retired.mixing_time(eps).unwrap()
+        );
+        assert_eq!(exact.times_to_epsilon(eps), retired.times_to_epsilon(eps));
+        // and at a looser threshold, which retired series still answer
+        assert_eq!(exact.times_to_epsilon(0.1), retired.times_to_epsilon(0.1));
+    }
+
+    #[test]
+    fn at_lengths_invariant_under_block_size() {
+        let g = fixtures::grid(5, 5);
+        let p1 = MixingProbe::new(&g).auto_kernel().block_size(1);
+        let p7 = MixingProbe::new(&g).auto_kernel().block_size(7);
+        assert_eq!(
+            p1.all_sources_at_lengths(&[1, 4, 9]),
+            p7.all_sources_at_lengths(&[1, 4, 9])
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must be at least 1")]
+    fn zero_block_size_rejected() {
+        let g = fixtures::petersen();
+        let _ = MixingProbe::new(&g).block_size(0);
     }
 }

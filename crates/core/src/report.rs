@@ -69,7 +69,10 @@ pub struct MixingReport {
 impl MixingReport {
     /// Renders the report as aligned text.
     pub fn render(&self) -> String {
-        let show = |o: Option<usize>| o.map(|t| t.to_string()).unwrap_or_else(|| "> budget".into());
+        let show = |o: Option<usize>| {
+            o.map(|t| t.to_string())
+                .unwrap_or_else(|| "> budget".into())
+        };
         format!(
             "nodes:            {}\n\
              edges:            {}\n\
@@ -153,7 +156,9 @@ mod tests {
         let r = measure(&g, quick_opts()).unwrap();
         assert!(r.mu > 0.95);
         // the decay-fitted µ agrees with the eigensolver
-        let fit = r.mu_decay_fit.expect("long budget: asymptotic regime reached");
+        let fit = r
+            .mu_decay_fit
+            .expect("long budget: asymptotic regime reached");
         assert!((fit - r.mu).abs() < 0.03, "fit {fit} vs spectral {}", r.mu);
         let worst = r.sampled_worst.unwrap() as f64;
         assert!(worst >= r.lower_bound.floor());

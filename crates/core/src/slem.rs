@@ -59,7 +59,10 @@ impl std::fmt::Display for SlemError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::Disconnected => {
-                write!(f, "graph is disconnected; extract the largest component first")
+                write!(
+                    f,
+                    "graph is disconnected; extract the largest component first"
+                )
             }
             Self::TooSmall => write!(f, "graph needs at least 2 nodes"),
         }
@@ -228,7 +231,11 @@ mod tests {
     fn complete_graph_all_methods_agree() {
         let g = fixtures::complete(12);
         let expect = 1.0 / 11.0;
-        for method in [SlemMethod::Dense, SlemMethod::Lanczos, SlemMethod::PowerIteration] {
+        for method in [
+            SlemMethod::Dense,
+            SlemMethod::Lanczos,
+            SlemMethod::PowerIteration,
+        ] {
             let est = Slem::new(&g, method).estimate().unwrap();
             assert_close(est.mu, expect, 1e-6);
         }
@@ -269,7 +276,11 @@ mod tests {
 
     #[test]
     fn power_matches_dense_on_fixture_zoo() {
-        for g in [fixtures::petersen(), fixtures::barbell(5, 2), fixtures::grid(4, 4)] {
+        for g in [
+            fixtures::petersen(),
+            fixtures::barbell(5, 2),
+            fixtures::grid(4, 4),
+        ] {
             let d = Slem::dense(&g).estimate().unwrap().mu;
             let p = Slem::power_iteration(&g).estimate().unwrap().mu;
             assert_close(d, p, 1e-5);
@@ -297,8 +308,14 @@ mod tests {
     #[test]
     fn barbell_mu_approaches_one_with_clique_size() {
         let small = Slem::dense(&fixtures::barbell(4, 0)).estimate().unwrap().mu;
-        let large = Slem::dense(&fixtures::barbell(12, 0)).estimate().unwrap().mu;
-        assert!(large > small, "bigger cliques ⇒ tighter bottleneck ⇒ larger µ");
+        let large = Slem::dense(&fixtures::barbell(12, 0))
+            .estimate()
+            .unwrap()
+            .mu;
+        assert!(
+            large > small,
+            "bigger cliques ⇒ tighter bottleneck ⇒ larger µ"
+        );
         assert!(large > 0.95);
     }
 

@@ -11,7 +11,7 @@
 use crate::aggregate::mean_curve;
 use crate::bounds::MixingBounds;
 use crate::probe::MixingProbe;
-use crate::slem::{Slem, SlemEstimate, SlemError};
+use crate::slem::{Slem, SlemError, SlemEstimate};
 use socmix_graph::{trim, Graph};
 
 /// Result of one trimming level.

@@ -8,7 +8,10 @@ use socmix_core::{MixingBounds, MixingProbe, Slem};
 use socmix_graph::{GraphBuilder, NodeId};
 
 fn connected_nonbipartite(max_n: usize) -> impl Strategy<Value = socmix_graph::Graph> {
-    (4usize..=max_n, proptest::collection::vec((0u64..u64::MAX, 0u64..u64::MAX), 0..30))
+    (
+        4usize..=max_n,
+        proptest::collection::vec((0u64..u64::MAX, 0u64..u64::MAX), 0..30),
+    )
         .prop_flat_map(|(n, extra)| {
             proptest::collection::vec(0u64..u64::MAX, n - 1).prop_map(move |tree| {
                 let mut b = GraphBuilder::new();
@@ -103,6 +106,24 @@ proptest! {
             last = c;
         }
         prop_assert_eq!(last, worst);
+    }
+
+    /// The batched probe agrees with the serial per-source path:
+    /// identical series at any block size, and identical Definition-1
+    /// mixing times even with early retirement on.
+    #[test]
+    fn batched_mixing_time_matches_serial(g in connected_nonbipartite(18), block in 2usize..9) {
+        let t_max = 600;
+        let eps = 0.05;
+        let serial = MixingProbe::new(&g).block_size(1).all_sources(t_max);
+        let batched = MixingProbe::new(&g).block_size(block).all_sources(t_max);
+        prop_assert_eq!(&batched.series, &serial.series);
+        let retired = MixingProbe::new(&g)
+            .block_size(block)
+            .retire_at(eps)
+            .all_sources(t_max);
+        prop_assert_eq!(retired.mixing_time(eps), serial.mixing_time(eps));
+        prop_assert_eq!(retired.times_to_epsilon(eps), serial.times_to_epsilon(eps));
     }
 
     /// CDF quantiles are inverse-consistent with the CDF.

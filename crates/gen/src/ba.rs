@@ -66,10 +66,10 @@ pub fn holme_kim<R: Rng + ?Sized>(n: usize, m: usize, p_triad: f64, rng: &mut R)
     // adjacency we maintain incrementally for the triad step
     let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
     let link = |b: &mut GraphBuilder,
-                    endpoints: &mut Vec<NodeId>,
-                    adj: &mut Vec<Vec<NodeId>>,
-                    u: NodeId,
-                    v: NodeId| {
+                endpoints: &mut Vec<NodeId>,
+                adj: &mut Vec<Vec<NodeId>>,
+                u: NodeId,
+                v: NodeId| {
         b.add_edge(u, v);
         endpoints.push(u);
         endpoints.push(v);

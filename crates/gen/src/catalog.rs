@@ -152,7 +152,14 @@ impl Dataset {
     /// The Figure-2 "large datasets" panel.
     pub fn large_set() -> &'static [Dataset] {
         use Dataset::*;
-        &[FacebookA, FacebookB, Dblp, Youtube, LivejournalA, LivejournalB]
+        &[
+            FacebookA,
+            FacebookB,
+            Dblp,
+            Youtube,
+            LivejournalA,
+            LivejournalB,
+        ]
     }
 
     /// Human-readable name as printed in the paper.
@@ -250,10 +257,9 @@ impl Dataset {
             | Dataset::Physics3
             | Dataset::Enron
             | Dataset::Dblp => TrustModel::Acquaintance,
-            Dataset::Youtube
-            | Dataset::LivejournalA
-            | Dataset::LivejournalB
-            | Dataset::Epinion => TrustModel::Interaction,
+            Dataset::Youtube | Dataset::LivejournalA | Dataset::LivejournalB | Dataset::Epinion => {
+                TrustModel::Interaction
+            }
             Dataset::WikiVote
             | Dataset::Slashdot1
             | Dataset::Slashdot2

@@ -115,7 +115,10 @@ mod tests {
         let got = g.num_edges() as f64;
         // 5 standard deviations of a Binomial(C(n,2), p)
         let sd = (expect * (1.0 - p)).sqrt();
-        assert!((got - expect).abs() < 5.0 * sd, "got {got}, expected {expect}±{sd}");
+        assert!(
+            (got - expect).abs() < 5.0 * sd,
+            "got {got}, expected {expect}±{sd}"
+        );
     }
 
     #[test]

@@ -52,7 +52,10 @@ pub fn kronecker<R: Rng + ?Sized>(params: KroneckerParams, rng: &mut R) -> Graph
         (sum - 1.0).abs() < 1e-9 && params.initiator.iter().all(|&p| p >= 0.0),
         "initiator must be a probability vector"
     );
-    assert!(params.scale >= 1 && params.scale <= 30, "scale out of range");
+    assert!(
+        params.scale >= 1 && params.scale <= 30,
+        "scale out of range"
+    );
     let n = 1usize << params.scale;
     let m_target = (params.edge_factor * n as f64).round() as usize;
     let [a, b, c, _] = params.initiator;
@@ -115,7 +118,10 @@ mod tests {
         let got = g.num_edges() as f64;
         // dedup and self-loop losses are significant for skewed
         // initiators but bounded
-        assert!(got > 0.4 * target && got <= target, "edges {got} vs target {target}");
+        assert!(
+            got > 0.4 * target && got <= target,
+            "edges {got} vs target {target}"
+        );
     }
 
     #[test]

@@ -20,12 +20,14 @@ use socmix_graph::{Graph, GraphBuilder, NodeId};
 ///
 /// Panics if `n·d` is odd or `d ≥ n`.
 pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph {
-    assert!(n * d % 2 == 0, "n·d must be even");
+    assert!((n * d).is_multiple_of(2), "n·d must be even");
     assert!(d < n, "degree must be < n");
     if d == 0 {
         return Graph::empty(n);
     }
-    let mut stubs: Vec<NodeId> = (0..n as NodeId).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+    let mut stubs: Vec<NodeId> = (0..n as NodeId)
+        .flat_map(|v| std::iter::repeat_n(v, d))
+        .collect();
     loop {
         stubs.shuffle(rng);
         if let Some(g) = try_pair(&stubs, n) {
@@ -59,12 +61,14 @@ fn try_pair(stubs: &[NodeId], n: usize) -> Option<Graph> {
 /// Not exactly uniform, but asymptotically close and fast for any `d`;
 /// this is the standard practical construction.
 pub fn random_regular_swap<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph {
-    assert!(n * d % 2 == 0, "n·d must be even");
+    assert!((n * d).is_multiple_of(2), "n·d must be even");
     assert!(d < n, "degree must be < n");
     if d == 0 {
         return Graph::empty(n);
     }
-    let mut stubs: Vec<NodeId> = (0..n as NodeId).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+    let mut stubs: Vec<NodeId> = (0..n as NodeId)
+        .flat_map(|v| std::iter::repeat_n(v, d))
+        .collect();
     stubs.shuffle(rng);
     // edges[i] pairs stubs (2i, 2i+1)
     let mut edges: Vec<(NodeId, NodeId)> = stubs.chunks_exact(2).map(|p| (p[0], p[1])).collect();
@@ -74,10 +78,9 @@ pub fn random_regular_swap<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> 
     for &(u, v) in &edges {
         *multiset.entry(key(u, v)).or_insert(0) += 1;
     }
-    let is_bad =
-        |u: NodeId, v: NodeId, ms: &std::collections::HashMap<(NodeId, NodeId), usize>| {
-            u == v || ms[&key(u, v)] > 1
-        };
+    let is_bad = |u: NodeId, v: NodeId, ms: &std::collections::HashMap<(NodeId, NodeId), usize>| {
+        u == v || ms[&key(u, v)] > 1
+    };
     // Repair loop: pick a bad edge and swap with a random edge when the
     // swap strictly reduces badness.
     let mut guard = 0usize;

@@ -26,8 +26,7 @@ pub fn degree_preserving_rewire<R: Rng + ?Sized>(g: &Graph, swaps: usize, rng: &
     if edges.len() < 2 {
         return g.clone();
     }
-    let mut present: std::collections::HashSet<(NodeId, NodeId)> =
-        edges.iter().copied().collect();
+    let mut present: std::collections::HashSet<(NodeId, NodeId)> = edges.iter().copied().collect();
     let canon = |a: NodeId, b: NodeId| (a.min(b), a.max(b));
     let mut done = 0usize;
     let mut attempts = 0usize;

@@ -43,26 +43,12 @@ pub fn sbm<R: Rng + ?Sized>(sizes: &[usize], p: &[Vec<f64>], rng: &mut R) -> Gra
     for i in 0..k {
         // intra-block: upper triangle of block i
         sample_block(
-            &mut b,
-            rng,
-            p[i][i],
-            start[i],
-            sizes[i],
-            start[i],
-            sizes[i],
-            true,
+            &mut b, rng, p[i][i], start[i], sizes[i], start[i], sizes[i], true,
         );
         // inter-block pairs (i < j)
         for j in (i + 1)..k {
             sample_block(
-                &mut b,
-                rng,
-                p[i][j],
-                start[i],
-                sizes[i],
-                start[j],
-                sizes[j],
-                false,
+                &mut b, rng, p[i][j], start[i], sizes[i], start[j], sizes[j], false,
             );
         }
     }
@@ -254,10 +240,7 @@ mod tests {
     fn sbm_inter_edges_appear() {
         let mut rng = StdRng::seed_from_u64(1);
         let g = sbm(&[30, 30], &[vec![0.5, 0.1], vec![0.1, 0.5]], &mut rng);
-        let inter = g
-            .edges()
-            .filter(|&(u, v)| (u < 30) != (v < 30))
-            .count();
+        let inter = g.edges().filter(|&(u, v)| (u < 30) != (v < 30)).count();
         assert!(inter > 30, "expected ≈90 inter edges, got {inter}");
     }
 
@@ -269,7 +252,10 @@ mod tests {
         let expect_inter = 6.0 * 0.01 * (100.0 * 100.0);
         let expect = expect_intra + expect_inter;
         let got = g.num_edges() as f64;
-        assert!((got - expect).abs() < 0.1 * expect, "got {got}, expected ≈{expect}");
+        assert!(
+            (got - expect).abs() < 0.1 * expect,
+            "got {got}, expected ≈{expect}"
+        );
     }
 
     #[test]

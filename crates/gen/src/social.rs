@@ -43,7 +43,10 @@ impl SocialParams {
     pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Graph {
         assert!(self.nodes >= 2, "need at least 2 nodes");
         assert!(self.avg_degree > 0.0);
-        assert!(self.community_size >= 2, "communities need at least 2 nodes");
+        assert!(
+            self.community_size >= 2,
+            "communities need at least 2 nodes"
+        );
         assert!((0.0..=1.0).contains(&self.inter_fraction));
         let n = self.nodes;
         let k = n.div_ceil(self.community_size);
@@ -72,7 +75,8 @@ impl SocialParams {
         }
 
         // Inter-community edges: uniform random cross pairs.
-        let target_inter = (n as f64 * self.avg_degree * self.inter_fraction / 2.0).round() as usize;
+        let target_inter =
+            (n as f64 * self.avg_degree * self.inter_fraction / 2.0).round() as usize;
         let community_of = |v: usize| -> usize {
             // bounds is sorted; k is small relative to n so binary search
             match bounds.binary_search(&v) {
@@ -231,7 +235,6 @@ mod tests {
             gamma: 2.7,
         }
     }
-
 
     fn coauth(crossover: f64) -> CoauthorshipParams {
         CoauthorshipParams {

@@ -17,7 +17,7 @@ use socmix_graph::{Graph, GraphBuilder, NodeId};
 ///
 /// Panics if `k` is odd, `k < 2`, or `n <= k`.
 pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut R) -> Graph {
-    assert!(k >= 2 && k % 2 == 0, "k must be even and ≥ 2");
+    assert!(k >= 2 && k.is_multiple_of(2), "k must be even and ≥ 2");
     assert!(n > k, "need n > k");
     assert!((0.0..=1.0).contains(&beta));
     // Edge set as canonical pairs so rewiring can avoid duplicates.

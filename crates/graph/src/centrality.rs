@@ -155,8 +155,8 @@ mod tests {
         let b = betweenness(&g);
         // center lies on C(4,2) = 6 pairs
         assert_close(b[0], 6.0, 1e-12);
-        for v in 1..5 {
-            assert_close(b[v], 0.0, 1e-12);
+        for &bv in &b[1..5] {
+            assert_close(bv, 0.0, 1e-12);
         }
     }
 
@@ -195,8 +195,8 @@ mod tests {
         // corners, each middle node gets 1/2 per pair
         let g = GraphBuilder::from_edges([(0, 1), (1, 2), (2, 3), (3, 0)]).build();
         let b = betweenness(&g);
-        for v in 0..4 {
-            assert_close(b[v], 0.5, 1e-12);
+        for &bv in &b[..4] {
+            assert_close(bv, 0.5, 1e-12);
         }
     }
 
@@ -216,7 +216,10 @@ mod tests {
         .build();
         let b = betweenness(&g);
         let max = b.iter().cloned().fold(f64::MIN, f64::max);
-        assert!(b[3] >= max - 1e-9 || b[4] >= max - 1e-9, "bridge should top: {b:?}");
+        assert!(
+            b[3] >= max - 1e-9 || b[4] >= max - 1e-9,
+            "bridge should top: {b:?}"
+        );
     }
 
     #[test]
@@ -227,7 +230,10 @@ mod tests {
         // many pivots → close to exact
         let approx = betweenness_sampled(&g, 4000, &mut rng);
         for (a, e) in approx.iter().zip(&exact) {
-            assert!((a - e).abs() < 0.35 * (e.max(1.0)), "approx {a} vs exact {e}");
+            assert!(
+                (a - e).abs() < 0.35 * (e.max(1.0)),
+                "approx {a} vs exact {e}"
+            );
         }
     }
 

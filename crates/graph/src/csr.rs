@@ -171,7 +171,7 @@ impl Graph {
                 if u == v {
                     return Err(SelfLoop { node: v });
                 }
-                if !self.neighbors(u).binary_search(&v).is_ok() {
+                if self.neighbors(u).binary_search(&v).is_err() {
                     return Err(Asymmetric { from: v, to: u });
                 }
             }
@@ -206,7 +206,10 @@ impl std::fmt::Display for GraphInvariantError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::UnsortedOrDuplicate { node } => {
-                write!(f, "adjacency list of node {node} is unsorted or has duplicates")
+                write!(
+                    f,
+                    "adjacency list of node {node} is unsorted or has duplicates"
+                )
             }
             Self::TargetOutOfRange { node, target } => {
                 write!(f, "node {node} points to out-of-range target {target}")
@@ -321,7 +324,10 @@ mod tests {
             offsets: vec![0, 1],
             targets: vec![0],
         };
-        assert!(matches!(g.validate(), Err(GraphInvariantError::SelfLoop { node: 0 })));
+        assert!(matches!(
+            g.validate(),
+            Err(GraphInvariantError::SelfLoop { node: 0 })
+        ));
     }
 
     #[test]

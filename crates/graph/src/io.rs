@@ -94,7 +94,12 @@ pub fn load_edge_list<P: AsRef<Path>>(path: P) -> Result<Graph, LoadError> {
 /// edge, `u < v`), preceded by a comment header with counts.
 pub fn write_edge_list<W: Write>(g: &Graph, writer: W) -> io::Result<()> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# socmix edge list: nodes={} edges={}", g.num_nodes(), g.num_edges())?;
+    writeln!(
+        w,
+        "# socmix edge list: nodes={} edges={}",
+        g.num_nodes(),
+        g.num_edges()
+    )?;
     for (u, v) in g.edges() {
         writeln!(w, "{u} {v}")?;
     }

@@ -22,6 +22,7 @@ use std::collections::VecDeque;
 /// `seed` has fewer than `target` nodes the whole component is
 /// returned.
 pub fn bfs_sample(g: &Graph, seed: NodeId, target: usize) -> (Graph, NodeMapping) {
+    assert_seed_in_range(g, seed, "bfs_sample");
     if target == 0 {
         return (Graph::empty(0), NodeMapping::from_sorted(Vec::new()));
     }
@@ -71,6 +72,7 @@ pub fn walk_sample<R: Rng + ?Sized>(
     max_steps: usize,
     rng: &mut R,
 ) -> (Graph, NodeMapping) {
+    assert_seed_in_range(g, seed, "walk_sample");
     let mut seen = vec![false; g.num_nodes()];
     let mut collected = Vec::new();
     let mut cur = seed;
@@ -111,7 +113,11 @@ pub fn forest_fire_sample<R: Rng + ?Sized>(
     p_forward: f64,
     rng: &mut R,
 ) -> (Graph, NodeMapping) {
-    assert!((0.0..1.0).contains(&p_forward), "p_forward must be in [0,1)");
+    assert_seed_in_range(g, seed, "forest_fire_sample");
+    assert!(
+        (0.0..1.0).contains(&p_forward),
+        "p_forward must be in [0,1)"
+    );
     if target == 0 {
         return (Graph::empty(0), NodeMapping::from_sorted(Vec::new()));
     }
@@ -120,9 +126,9 @@ pub fn forest_fire_sample<R: Rng + ?Sized>(
     let mut collected = Vec::with_capacity(target.min(n));
     let mut queue = VecDeque::new();
     let ignite = |v: NodeId,
-                      seen: &mut Vec<bool>,
-                      collected: &mut Vec<NodeId>,
-                      queue: &mut VecDeque<NodeId>| {
+                  seen: &mut Vec<bool>,
+                  collected: &mut Vec<NodeId>,
+                  queue: &mut VecDeque<NodeId>| {
         if !seen[v as usize] {
             seen[v as usize] = true;
             collected.push(v);
@@ -155,7 +161,12 @@ pub fn forest_fire_sample<R: Rng + ?Sized>(
             continue;
         }
         scratch.clear();
-        scratch.extend(g.neighbors(u).iter().copied().filter(|&v| !seen[v as usize]));
+        scratch.extend(
+            g.neighbors(u)
+                .iter()
+                .copied()
+                .filter(|&v| !seen[v as usize]),
+        );
         // burn a random subset of `burns` unvisited neighbors
         for _ in 0..burns.min(scratch.len()) {
             let i = rng.random_range(0..scratch.len());
@@ -167,6 +178,17 @@ pub fn forest_fire_sample<R: Rng + ?Sized>(
         }
     }
     induced_subgraph(g, &collected)
+}
+
+/// Validates a sampler's starting node up front, so a bad seed fails
+/// with a clear message instead of an index-out-of-bounds panic deep
+/// inside the visited-set bookkeeping.
+fn assert_seed_in_range(g: &Graph, seed: NodeId, sampler: &str) {
+    assert!(
+        (seed as usize) < g.num_nodes(),
+        "{sampler}: seed node {seed} is out of range for a graph with {} nodes",
+        g.num_nodes()
+    );
 }
 
 /// A uniformly random node id.
@@ -340,6 +362,27 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let picks = random_nodes(&g, 16, &mut rng);
         assert_eq!(picks, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "bfs_sample: seed node 99 is out of range")]
+    fn bfs_sample_rejects_out_of_range_seed() {
+        let g = grid(3, 3);
+        bfs_sample(&g, 99, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "walk_sample: seed node 42 is out of range")]
+    fn walk_sample_rejects_out_of_range_seed() {
+        let g = grid(3, 3);
+        walk_sample(&g, 42, 4, 100, &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "forest_fire_sample: seed node 16 is out of range")]
+    fn forest_fire_rejects_out_of_range_seed() {
+        let g = grid(4, 4);
+        forest_fire_sample(&g, 16, 4, 0.5, &mut StdRng::seed_from_u64(0));
     }
 
     #[test]

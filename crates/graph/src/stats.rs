@@ -237,7 +237,10 @@ mod tests {
         // Star is maximally disassortative among these fixtures.
         let star = GraphBuilder::from_edges([(0, 1), (0, 2), (0, 3), (0, 4)]).build();
         let r = degree_assortativity(&star);
-        assert!(r < 0.0 || r.abs() < 1e-9, "star should be non-assortative, got {r}");
+        assert!(
+            r < 0.0 || r.abs() < 1e-9,
+            "star should be non-assortative, got {r}"
+        );
         // Regular graph: degenerate, defined as 0.
         let cyc = GraphBuilder::from_edges([(0, 1), (1, 2), (2, 3), (3, 0)]).build();
         assert_eq!(degree_assortativity(&cyc), 0.0);

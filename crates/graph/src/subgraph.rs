@@ -22,7 +22,10 @@ impl NodeMapping {
     ///
     /// Panics (debug) if `kept` is not strictly increasing.
     pub fn from_sorted(kept: Vec<NodeId>) -> Self {
-        debug_assert!(kept.windows(2).all(|w| w[0] < w[1]), "kept ids must be strictly sorted");
+        debug_assert!(
+            kept.windows(2).all(|w| w[0] < w[1]),
+            "kept ids must be strictly sorted"
+        );
         NodeMapping { to_original: kept }
     }
 

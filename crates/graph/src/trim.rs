@@ -181,16 +181,8 @@ mod tests {
     fn trim_to_lcc_composes_mapping() {
         // two triangles {0,1,2} and {4,5,6} joined by pendant 3 on 0:
         // trimming d=2 leaves two disconnected triangles; LCC keeps one.
-        let g = GraphBuilder::from_edges([
-            (0, 1),
-            (1, 2),
-            (0, 2),
-            (0, 3),
-            (4, 5),
-            (5, 6),
-            (4, 6),
-        ])
-        .build();
+        let g = GraphBuilder::from_edges([(0, 1), (1, 2), (0, 2), (0, 3), (4, 5), (5, 6), (4, 6)])
+            .build();
         let (t, map) = trim_to_lcc(&g, 2);
         assert_eq!(t.num_nodes(), 3);
         assert!(is_connected(&t));

@@ -154,8 +154,8 @@ mod tests {
         let r = conjugate_gradient(&op, &b, CgOptions::default());
         assert!(r.converged);
         assert!(r.iterations <= n + 1);
-        for i in 0..n {
-            assert!((r.x[i] * (i + 1) as f64 - b[i]).abs() < 1e-8);
+        for (i, (&xi, &bi)) in r.x.iter().zip(&b).enumerate() {
+            assert!((xi * (i + 1) as f64 - bi).abs() < 1e-8);
         }
     }
 

@@ -93,13 +93,13 @@ impl DenseMatrix {
     pub fn vec_mul(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n);
         let mut y = vec![0.0; self.n];
-        for i in 0..self.n {
-            let xi = x[i];
+        for (i, &xi) in x.iter().enumerate() {
             if xi == 0.0 {
                 continue;
             }
-            for j in 0..self.n {
-                y[j] += xi * self.data[i * self.n + j];
+            let row = &self.data[i * self.n..(i + 1) * self.n];
+            for (yj, &mij) in y.iter_mut().zip(row) {
+                *yj += xi * mij;
             }
         }
         y
@@ -305,8 +305,8 @@ mod tests {
         let s = DenseMatrix::symmetric_walk_matrix(&g);
         let (vals, _) = jacobi_eigen(&s);
         assert_close(vals[0], 1.0, 1e-10);
-        for k in 1..n {
-            assert_close(vals[k], -1.0 / (n as f64 - 1.0), 1e-10);
+        for &vk in &vals[1..n] {
+            assert_close(vk, -1.0 / (n as f64 - 1.0), 1e-10);
         }
         assert_close(slem_dense(&g), 1.0 / (n as f64 - 1.0), 1e-10);
     }
@@ -358,9 +358,9 @@ mod tests {
         // xP via vec_mul must equal Pᵀx via manual transpose product
         let y = p.vec_mul(&x);
         let mut yt = vec![0.0; 4];
-        for i in 0..4 {
-            for j in 0..4 {
-                yt[j] += x[i] * p.get(i, j);
+        for (i, &xi) in x.iter().enumerate() {
+            for (j, ytj) in yt.iter_mut().enumerate() {
+                *ytj += xi * p.get(i, j);
             }
         }
         for (a, b) in y.iter().zip(&yt) {

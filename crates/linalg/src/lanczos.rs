@@ -104,31 +104,32 @@ pub fn lanczos_extreme<Op: LinearOp, R: Rng + ?Sized>(
     let mut alphas: Vec<f64> = Vec::new();
     let mut betas: Vec<f64> = Vec::new();
 
-    let result = |alphas: &[f64], betas: &[f64], iters: usize, forced: bool| -> Option<LanczosResult> {
-        if alphas.is_empty() {
-            return None;
-        }
-        let k = alphas.len();
-        let (vals, vecs) = tridiag_eigen(alphas, &betas[..k - 1]);
-        let beta_last = betas.get(k - 1).copied().unwrap_or(0.0);
-        // residual bound for Ritz pair i: |β_k| · |s_{k,i}| where s is
-        // the bottom component of T's eigenvector
-        let res_top = beta_last.abs() * vecs[0][k - 1].abs();
-        let res_bot = beta_last.abs() * vecs[k - 1][k - 1].abs();
-        let converged = res_top < opts.tol && res_bot < opts.tol;
-        if converged || forced {
-            Some(LanczosResult {
-                top: vals[0],
-                bottom: vals[k - 1],
-                top_residual: res_top,
-                bottom_residual: res_bot,
-                iterations: iters,
-                converged,
-            })
-        } else {
-            None
-        }
-    };
+    let result =
+        |alphas: &[f64], betas: &[f64], iters: usize, forced: bool| -> Option<LanczosResult> {
+            if alphas.is_empty() {
+                return None;
+            }
+            let k = alphas.len();
+            let (vals, vecs) = tridiag_eigen(alphas, &betas[..k - 1]);
+            let beta_last = betas.get(k - 1).copied().unwrap_or(0.0);
+            // residual bound for Ritz pair i: |β_k| · |s_{k,i}| where s is
+            // the bottom component of T's eigenvector
+            let res_top = beta_last.abs() * vecs[0][k - 1].abs();
+            let res_bot = beta_last.abs() * vecs[k - 1][k - 1].abs();
+            let converged = res_top < opts.tol && res_bot < opts.tol;
+            if converged || forced {
+                Some(LanczosResult {
+                    top: vals[0],
+                    bottom: vals[k - 1],
+                    top_residual: res_top,
+                    bottom_residual: res_bot,
+                    iterations: iters,
+                    converged,
+                })
+            } else {
+                None
+            }
+        };
 
     for j in 0..max_iter {
         let vj = basis[j].clone();
@@ -168,7 +169,6 @@ pub fn lanczos_extreme<Op: LinearOp, R: Rng + ?Sized>(
     let iters = alphas.len();
     result(&alphas, &betas, iters, true).expect("nonempty")
 }
-
 
 /// Result of [`lanczos_topk`]: the leading Ritz pairs.
 #[derive(Debug, Clone)]
@@ -266,16 +266,16 @@ pub fn lanczos_topk<Op: LinearOp, R: Rng + ?Sized>(
     let kk = k.min(m);
     let mut out_vecs = Vec::with_capacity(kk);
     let mut residuals = Vec::with_capacity(kk);
-    for j in 0..kk {
+    for sv in vecs.iter().take(kk) {
         // Ritz vector: Σ_i s_{i,j} · v_i (the basis may hold one more
         // vector than the tridiagonal matrix has rows)
         let mut rv = vec![0.0f64; n];
         for (i, b) in basis.iter().take(m).enumerate() {
-            axpy(vecs[j][i], b, &mut rv);
+            axpy(sv[i], b, &mut rv);
         }
         normalize(&mut rv);
         out_vecs.push(rv);
-        residuals.push(beta_last.abs() * vecs[j][m - 1].abs());
+        residuals.push(beta_last.abs() * sv[m - 1].abs());
     }
     TopkResult {
         values: vals[..kk].to_vec(),
@@ -433,7 +433,6 @@ mod tests {
         assert!(r.bottom >= -1.0 - 1e-9);
     }
 
-
     #[test]
     fn topk_matches_jacobi_on_dense() {
         let n = 30;
@@ -454,35 +453,46 @@ mod tests {
         }
         let op = DenseOp { data, n };
         let mut rng = StdRng::seed_from_u64(21);
-        let r = lanczos_topk(&op, 4, LanczosOptions { max_iter: n, ..Default::default() }, &mut rng);
-        for j in 0..4 {
-            assert_close(r.values[j], jv[j], 1e-6);
+        let r = lanczos_topk(
+            &op,
+            4,
+            LanczosOptions {
+                max_iter: n,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        for (&rv, &jvj) in r.values.iter().zip(&jv).take(4) {
+            assert_close(rv, jvj, 1e-6);
         }
     }
 
     #[test]
     fn topk_vectors_are_eigenvectors() {
         let g = GraphBuilder::from_edges([
-            (0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (0, 5),
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (5, 3),
+            (0, 5),
         ])
         .build();
         let op = SymmetricWalkOp::new(&g);
         let mut rng = StdRng::seed_from_u64(22);
         let r = lanczos_topk(&op, 3, LanczosOptions::default(), &mut rng);
-        for j in 0..3 {
-            let av = op.apply_vec(&r.vectors[j]);
-            for i in 0..g.num_nodes() {
-                assert_close(av[i], r.values[j] * r.vectors[j][i], 1e-6);
+        for (vec_j, &val_j) in r.vectors.iter().zip(&r.values).take(3) {
+            let av = op.apply_vec(vec_j);
+            for (&avi, &vji) in av.iter().zip(vec_j) {
+                assert_close(avi, val_j * vji, 1e-6);
             }
         }
         // orthonormal
         for a in 0..3 {
             for b in (a + 1)..3 {
-                assert_close(
-                    crate::vecops::dot(&r.vectors[a], &r.vectors[b]),
-                    0.0,
-                    1e-7,
-                );
+                assert_close(crate::vecops::dot(&r.vectors[a], &r.vectors[b]), 0.0, 1e-7);
             }
         }
     }

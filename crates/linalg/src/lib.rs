@@ -11,6 +11,10 @@
 //!   `S = D^{-1/2} A D^{-1/2}` (same spectrum, symmetric — the key
 //!   trick that lets us use symmetric methods), lazy and deflated
 //!   wrappers.
+//! - [`multivec`] — row-major `n × B` blocks and the batched
+//!   [`multivec::MultiLinearOp`] apply: one CSR traversal serves `B`
+//!   stacked distributions, the GEMM-shaped kernel behind the
+//!   sampling probe.
 //! - [`dense`] — dense symmetric **Jacobi** eigensolver, the ground
 //!   truth for everything else on graphs up to a few hundred nodes.
 //! - [`tridiag`] — symmetric tridiagonal QL with implicit shifts,
@@ -32,6 +36,7 @@
 pub mod cg;
 pub mod dense;
 pub mod lanczos;
+pub mod multivec;
 pub mod op;
 pub mod power;
 pub mod tridiag;
@@ -39,5 +44,6 @@ pub mod vecops;
 
 pub use dense::{jacobi_eigen, DenseMatrix};
 pub use lanczos::{lanczos_extreme, lanczos_topk, LanczosOptions, LanczosResult, TopkResult};
+pub use multivec::{MultiLinearOp, MultiVec};
 pub use op::{DeflatedOp, LazyOp, LinearOp, SymmetricWalkOp, WalkOp};
 pub use power::{power_iteration, PowerOptions, PowerResult};

@@ -1,0 +1,323 @@
+//! Blocked multi-vector storage and batched operator application.
+//!
+//! The sampling method evolves thousands of independent source
+//! distributions through the same walk operator. Done one vector at a
+//! time, every source re-streams the whole CSR edge array through
+//! cache — a GEMV when the workload is a GEMM. A [`MultiVec`] packs
+//! `B` distributions as a **row-major `n × B` block** so that one CSR
+//! traversal serves all `B` columns: each gathered neighbor row is
+//! `B` contiguous doubles, which the compiler auto-vectorizes.
+//!
+//! [`MultiLinearOp::apply_multi`] is the batched counterpart of
+//! [`LinearOp::apply`](crate::LinearOp::apply); per column it performs
+//! the same floating-point operations in the same order as the serial
+//! kernel, so batched results are bit-for-bit equal.
+
+use crate::op::{LazyOp, LinearOp, WalkOp};
+
+/// A row-major `n × width` block of `width` stacked column vectors.
+///
+/// `data[i * width + c]` is entry `i` of column `c`. Rows are
+/// contiguous, which is the layout the batched CSR gather wants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiVec {
+    data: Vec<f64>,
+    n: usize,
+    width: usize,
+}
+
+impl MultiVec {
+    /// An all-zero block with `n` rows and `width` columns.
+    pub fn zeros(n: usize, width: usize) -> Self {
+        MultiVec {
+            data: vec![0.0; n * width],
+            n,
+            width,
+        }
+    }
+
+    /// Number of rows (the operator dimension).
+    pub fn rows(&self) -> usize {
+        self.n
+    }
+
+    /// Number of columns (the block width / stride).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Row `i` as a slice of `width` column entries.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.width..(i + 1) * self.width]
+    }
+
+    /// Mutable row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.width..(i + 1) * self.width]
+    }
+
+    /// Entry `(i, c)`.
+    #[inline]
+    pub fn get(&self, i: usize, c: usize) -> f64 {
+        self.data[i * self.width + c]
+    }
+
+    /// Sets entry `(i, c)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, c: usize, v: f64) {
+        self.data[i * self.width + c] = v;
+    }
+
+    /// Copies column `c` out as an ordinary vector.
+    pub fn column(&self, c: usize) -> Vec<f64> {
+        assert!(c < self.width, "column {c} out of range");
+        (0..self.n).map(|i| self.get(i, c)).collect()
+    }
+
+    /// Overwrites column `c` from a slice of length `n`.
+    pub fn set_column(&mut self, c: usize, v: &[f64]) {
+        assert!(c < self.width, "column {c} out of range");
+        assert_eq!(v.len(), self.n);
+        for (i, &x) in v.iter().enumerate() {
+            self.set(i, c, x);
+        }
+    }
+
+    /// Swaps columns `a` and `b` in every row (used to compact
+    /// retired columns out of the active prefix).
+    pub fn swap_columns(&mut self, a: usize, b: usize) {
+        assert!(a < self.width && b < self.width, "column out of range");
+        if a == b {
+            return;
+        }
+        for i in 0..self.n {
+            self.data.swap(i * self.width + a, i * self.width + b);
+        }
+    }
+
+    /// Sets every entry to zero.
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// The raw row-major backing slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The raw mutable row-major backing slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+}
+
+/// Operators that can apply themselves to a block of vectors in one
+/// pass over their sparsity structure.
+///
+/// `width` restricts work to the first `width` columns of each row
+/// (the *active prefix*) — callers that retire converged columns swap
+/// them past the prefix and shrink `width` instead of reallocating.
+///
+/// # Exactness contract
+///
+/// For every active column `c`, `apply_multi` must produce exactly the
+/// floating-point result of the serial
+/// [`LinearOp::apply`](crate::LinearOp::apply) on that column: same
+/// operations, same order, no reassociation. The batch engine's
+/// equivalence tests rely on it.
+pub trait MultiLinearOp: LinearOp {
+    /// Computes `Y[:, 0..width] = Op · X[:, 0..width]` column-wise in
+    /// one traversal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blocks disagree with [`LinearOp::dim`] or their
+    /// widths differ or are smaller than `width`.
+    fn apply_multi(&self, x: &MultiVec, y: &mut MultiVec, width: usize);
+}
+
+fn check_block_shapes(dim: usize, x: &MultiVec, y: &MultiVec, width: usize) {
+    assert_eq!(x.rows(), dim, "input block row mismatch");
+    assert_eq!(y.rows(), dim, "output block row mismatch");
+    assert_eq!(x.width(), y.width(), "block stride mismatch");
+    assert!(width <= x.width(), "active width exceeds block width");
+}
+
+impl MultiLinearOp for WalkOp<'_> {
+    fn apply_multi(&self, x: &MultiVec, y: &mut MultiVec, width: usize) {
+        check_block_shapes(self.dim(), x, y, width);
+        if width == 0 {
+            return;
+        }
+        let g = self.graph();
+        let offsets = g.offsets();
+        let targets = g.raw_targets();
+        let inv_deg = self.inv_degrees();
+        let stride = x.width();
+        let xs = x.as_slice();
+        let n = self.dim();
+        // Disjoint row ranges of y per chunk; same SendMut pattern as
+        // the serial kernel.
+        let yptr = SendMutF64(y.as_mut_slice().as_mut_ptr());
+        let ypref = &yptr;
+        self.pool().for_each_chunk(n, move |range| {
+            for j in range {
+                // SAFETY: chunks own disjoint row ranges of y.
+                let yr = unsafe { std::slice::from_raw_parts_mut(ypref.0.add(j * stride), width) };
+                yr.fill(0.0);
+                for &i in &targets[offsets[j]..offsets[j + 1]] {
+                    let i = i as usize;
+                    let d = inv_deg[i];
+                    let xr = &xs[i * stride..i * stride + width];
+                    // Per column: y[j,c] += x[i,c] * (1/deg i) — the
+                    // exact two-op sequence of the serial kernel
+                    // (z = x·inv rounded, then accumulate).
+                    for c in 0..width {
+                        yr[c] += xr[c] * d;
+                    }
+                }
+            }
+        });
+    }
+}
+
+impl<Op: MultiLinearOp> MultiLinearOp for LazyOp<Op> {
+    fn apply_multi(&self, x: &MultiVec, y: &mut MultiVec, width: usize) {
+        self.inner().apply_multi(x, y, width);
+        let stride = x.width();
+        let xs = x.as_slice();
+        let ys = y.as_mut_slice();
+        for i in 0..x.rows() {
+            let base = i * stride;
+            for c in 0..width {
+                ys[base + c] = 0.5 * (ys[base + c] + xs[base + c]);
+            }
+        }
+    }
+}
+
+/// Raw-pointer wrapper for disjoint-row writes (same pattern as the
+/// serial operators).
+struct SendMutF64(*mut f64);
+unsafe impl Send for SendMutF64 {}
+unsafe impl Sync for SendMutF64 {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socmix_graph::GraphBuilder;
+    use socmix_par::Pool;
+
+    fn diamond() -> socmix_graph::Graph {
+        GraphBuilder::from_edges([(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).build()
+    }
+
+    #[test]
+    fn multivec_roundtrip() {
+        let mut m = MultiVec::zeros(3, 2);
+        m.set(0, 0, 1.0);
+        m.set(2, 1, 5.0);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.column(1), vec![0.0, 0.0, 5.0]);
+        assert_eq!(m.row(2), &[0.0, 5.0]);
+        m.set_column(0, &[7.0, 8.0, 9.0]);
+        assert_eq!(m.column(0), vec![7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn swap_columns_swaps_every_row() {
+        let mut m = MultiVec::zeros(4, 3);
+        m.set_column(0, &[1.0, 2.0, 3.0, 4.0]);
+        m.set_column(2, &[5.0, 6.0, 7.0, 8.0]);
+        m.swap_columns(0, 2);
+        assert_eq!(m.column(2), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.column(0), vec![5.0, 6.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn batched_walk_matches_serial_bitwise() {
+        let g = diamond();
+        let op = WalkOp::with_pool(&g, Pool::serial());
+        let n = g.num_nodes();
+        let cols: Vec<Vec<f64>> = (0..4)
+            .map(|c| {
+                (0..n)
+                    .map(|i| ((i * 7 + c * 3) % 5) as f64 / 10.0)
+                    .collect()
+            })
+            .collect();
+        let mut x = MultiVec::zeros(n, 4);
+        for (c, col) in cols.iter().enumerate() {
+            x.set_column(c, col);
+        }
+        let mut y = MultiVec::zeros(n, 4);
+        op.apply_multi(&x, &mut y, 4);
+        for (c, col) in cols.iter().enumerate() {
+            let serial = op.apply_vec(col);
+            assert_eq!(y.column(c), serial, "column {c} must match bit-for-bit");
+        }
+    }
+
+    #[test]
+    fn batched_walk_parallel_pool_matches_serial() {
+        let g = diamond();
+        let op = WalkOp::with_pool(&g, Pool::with_threads(4));
+        let n = g.num_nodes();
+        let mut x = MultiVec::zeros(n, 3);
+        for c in 0..3 {
+            let col: Vec<f64> = (0..n).map(|i| (i + c + 1) as f64).collect();
+            x.set_column(c, &col);
+        }
+        let mut y = MultiVec::zeros(n, 3);
+        op.apply_multi(&x, &mut y, 3);
+        let serial_op = WalkOp::with_pool(&g, Pool::serial());
+        for c in 0..3 {
+            assert_eq!(y.column(c), serial_op.apply_vec(&x.column(c)));
+        }
+    }
+
+    #[test]
+    fn batched_lazy_matches_serial_bitwise() {
+        let g = diamond();
+        let op = LazyOp::new(WalkOp::with_pool(&g, Pool::serial()));
+        let n = g.num_nodes();
+        let col: Vec<f64> = (0..n).map(|i| 1.0 / (i + 1) as f64).collect();
+        let mut x = MultiVec::zeros(n, 2);
+        x.set_column(0, &col);
+        x.set_column(1, &col);
+        let mut y = MultiVec::zeros(n, 2);
+        op.apply_multi(&x, &mut y, 2);
+        let serial = op.apply_vec(&col);
+        assert_eq!(y.column(0), serial);
+        assert_eq!(y.column(1), serial);
+    }
+
+    #[test]
+    fn width_restricts_active_prefix() {
+        let g = diamond();
+        let op = WalkOp::with_pool(&g, Pool::serial());
+        let n = g.num_nodes();
+        let mut x = MultiVec::zeros(n, 3);
+        x.set(0, 0, 1.0);
+        x.set(0, 1, 1.0);
+        x.set(0, 2, 1.0);
+        let mut y = MultiVec::zeros(n, 3);
+        // poison the inactive column; it must stay untouched
+        y.set_column(2, &vec![9.0; n]);
+        op.apply_multi(&x, &mut y, 2);
+        assert_eq!(y.column(2), vec![9.0; n]);
+        assert_eq!(y.column(0), op.apply_vec(&x.column(0)));
+    }
+
+    #[test]
+    fn zero_width_is_noop() {
+        let g = diamond();
+        let op = WalkOp::with_pool(&g, Pool::serial());
+        let x = MultiVec::zeros(g.num_nodes(), 2);
+        let mut y = MultiVec::zeros(g.num_nodes(), 2);
+        op.apply_multi(&x, &mut y, 0);
+        assert!(y.as_slice().iter().all(|&v| v == 0.0));
+    }
+}

@@ -68,6 +68,16 @@ impl<'g> WalkOp<'g> {
     pub fn graph(&self) -> &Graph {
         self.graph
     }
+
+    /// The precomputed `1/deg(v)` table (0 for isolated nodes).
+    pub fn inv_degrees(&self) -> &[f64] {
+        &self.inv_deg
+    }
+
+    /// The pool this operator schedules row chunks on.
+    pub fn pool(&self) -> &Pool {
+        &self.pool
+    }
 }
 
 impl LinearOp for WalkOp<'_> {
@@ -210,6 +220,11 @@ impl<Op: LinearOp> LazyOp<Op> {
     pub fn new(inner: Op) -> Self {
         LazyOp { inner }
     }
+
+    /// The wrapped operator.
+    pub fn inner(&self) -> &Op {
+        &self.inner
+    }
 }
 
 impl<Op: LinearOp> LinearOp for LazyOp<Op> {
@@ -282,8 +297,8 @@ impl LinearOp for DenseOp {
     }
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
-        for i in 0..self.n {
-            y[i] = vecops::dot(&self.data[i * self.n..(i + 1) * self.n], x);
+        for (i, yi) in y.iter_mut().enumerate().take(self.n) {
+            *yi = vecops::dot(&self.data[i * self.n..(i + 1) * self.n], x);
         }
     }
 }

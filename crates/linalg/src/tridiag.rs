@@ -196,12 +196,12 @@ mod tests {
         let e = vec![0.5, -0.25, 0.8, 0.1, -0.6];
         let n = d.len();
         let mut m = DenseMatrix::zeros(n);
-        for i in 0..n {
-            m.set(i, i, d[i]);
+        for (i, &di) in d.iter().enumerate() {
+            m.set(i, i, di);
         }
-        for i in 0..n - 1 {
-            m.set(i, i + 1, e[i]);
-            m.set(i + 1, i, e[i]);
+        for (i, &ei) in e.iter().enumerate() {
+            m.set(i, i + 1, ei);
+            m.set(i + 1, i, ei);
         }
         let (jv, _) = jacobi_eigen(&m);
         let tv = tridiag_eigenvalues(&d, &e);

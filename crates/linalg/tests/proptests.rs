@@ -4,27 +4,26 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use socmix_graph::{GraphBuilder, NodeId};
 use socmix_linalg::dense::{jacobi_eigen, slem_dense, DenseMatrix};
 use socmix_linalg::tridiag::{tridiag_eigen, tridiag_eigenvalues};
 use socmix_linalg::{lanczos_extreme, DeflatedOp, LanczosOptions, LinearOp, SymmetricWalkOp};
-use socmix_graph::{GraphBuilder, NodeId};
 
 fn symmetric_matrix(max_n: usize) -> impl Strategy<Value = DenseMatrix> {
-    (2usize..=max_n)
-        .prop_flat_map(|n| {
-            proptest::collection::vec(-1.0f64..1.0, n * (n + 1) / 2).prop_map(move |vals| {
-                let mut m = DenseMatrix::zeros(n);
-                let mut k = 0;
-                for i in 0..n {
-                    for j in i..n {
-                        m.set(i, j, vals[k]);
-                        m.set(j, i, vals[k]);
-                        k += 1;
-                    }
+    (2usize..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec(-1.0f64..1.0, n * (n + 1) / 2).prop_map(move |vals| {
+            let mut m = DenseMatrix::zeros(n);
+            let mut k = 0;
+            for i in 0..n {
+                for j in i..n {
+                    m.set(i, j, vals[k]);
+                    m.set(j, i, vals[k]);
+                    k += 1;
                 }
-                m
-            })
+            }
+            m
         })
+    })
 }
 
 proptest! {
@@ -61,12 +60,12 @@ proptest! {
         let e = &raw_e[..n - 1];
         let tv = tridiag_eigenvalues(&d, e);
         let mut m = DenseMatrix::zeros(n);
-        for i in 0..n {
-            m.set(i, i, d[i]);
+        for (i, &di) in d.iter().enumerate() {
+            m.set(i, i, di);
         }
-        for i in 0..n - 1 {
-            m.set(i, i + 1, e[i]);
-            m.set(i + 1, i, e[i]);
+        for (i, &ei) in e.iter().enumerate() {
+            m.set(i, i + 1, ei);
+            m.set(i + 1, i, ei);
         }
         let (jv, _) = jacobi_eigen(&m);
         for (a, b) in tv.iter().zip(&jv) {

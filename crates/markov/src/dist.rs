@@ -44,7 +44,9 @@ pub fn separation_distance(p: &[f64], q: &[f64]) -> f64 {
     for (&pi, &qi) in p.iter().zip(q) {
         if qi <= 0.0 {
             if pi > 0.0 {
-                continue; // p has mass outside q's support; not captured
+                // p has mass outside q's support: the distance is
+                // maximal (and cannot be exceeded), per the contract.
+                return 1.0;
             }
             continue;
         }
@@ -159,6 +161,24 @@ mod tests {
     }
 
     #[test]
+    fn separation_forces_one_outside_target_support() {
+        // Regression: mass where the target has no support must force
+        // the maximal distance, not be silently skipped.
+        let p = vec![0.5, 0.25, 0.25];
+        let q = vec![0.5, 0.5, 0.0];
+        assert_eq!(separation_distance(&p, &q), 1.0);
+        // ... even when every in-support ratio is ≥ 1 (which on its
+        // own would report distance 0).
+        let p2 = vec![0.6, 0.3, 0.1];
+        let q2 = vec![0.5, 0.3, 0.0];
+        assert_eq!(separation_distance(&p2, &q2), 1.0);
+        // No stray mass: shared zero entries are still skipped.
+        let p3 = vec![0.5, 0.5, 0.0];
+        let q3 = vec![0.25, 0.75, 0.0];
+        assert!((separation_distance(&p3, &q3) - 1.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
     fn kl_properties() {
         let p = vec![0.5, 0.5];
         let q = vec![0.9, 0.1];
@@ -179,7 +199,10 @@ mod tests {
         let g = fixtures::cycle(20);
         let x = crate::stationary::point_distribution(20, 0);
         let d = edge_uniformity_tvd(&g, &x);
-        assert!(d > 0.9, "point mass should be far from edge-uniform, got {d}");
+        assert!(
+            d > 0.9,
+            "point mass should be far from edge-uniform, got {d}"
+        );
     }
 
     #[test]
@@ -190,7 +213,9 @@ mod tests {
         let n = g.num_nodes();
         for k in 0..4 {
             let x: Vec<f64> = {
-                let raw: Vec<f64> = (0..n).map(|i| (((i * 13 + k * 7) % 10) + 1) as f64).collect();
+                let raw: Vec<f64> = (0..n)
+                    .map(|i| (((i * 13 + k * 7) % 10) + 1) as f64)
+                    .collect();
                 let s: f64 = raw.iter().sum();
                 raw.into_iter().map(|v| v / s).collect()
             };

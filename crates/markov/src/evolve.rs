@@ -130,7 +130,10 @@ impl<'g> Evolver<'g> {
     /// sharing one evolution pass — what the CDF figures need
     /// (`w ∈ {1,5,10,20,40}` etc.).
     pub fn tvd_at_lengths(&self, v: NodeId, lengths: &[usize]) -> Vec<f64> {
-        debug_assert!(lengths.windows(2).all(|w| w[0] < w[1]), "lengths must be sorted");
+        debug_assert!(
+            lengths.windows(2).all(|w| w[0] < w[1]),
+            "lengths must be sorted"
+        );
         let mut x = point_distribution(self.graph.num_nodes(), v);
         let mut out = Vec::with_capacity(lengths.len());
         let mut t = 0usize;

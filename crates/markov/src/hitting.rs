@@ -138,12 +138,7 @@ pub fn absorption_probabilities(g: &Graph, a: &[bool], b: &[bool]) -> Vec<f64> {
     let rhs: Vec<f64> = op
         .free_nodes
         .iter()
-        .map(|&v| {
-            g.neighbors(v)
-                .iter()
-                .filter(|&&u| a[u as usize])
-                .count() as f64
-        })
+        .map(|&v| g.neighbors(v).iter().filter(|&&u| a[u as usize]).count() as f64)
         .collect();
     let sol = conjugate_gradient(&op, &rhs, CgOptions::default());
     assert!(sol.converged, "absorption solve failed");
@@ -175,9 +170,9 @@ mod tests {
         let k = 6;
         let g = fixtures::path(k + 1);
         let h = hitting_time_to(&g, 0);
-        for i in 0..=k {
+        for (i, &hi) in h.iter().enumerate() {
             let expect = (i * (2 * k - i)) as f64;
-            assert_close(h[i], expect, 1e-6);
+            assert_close(hi, expect, 1e-6);
         }
     }
 
@@ -187,8 +182,8 @@ mod tests {
         let n = 9;
         let g = fixtures::complete(n);
         let h = hitting_time_to(&g, 0);
-        for v in 1..n {
-            assert_close(h[v], (n - 1) as f64, 1e-6);
+        for &hv in &h[1..n] {
+            assert_close(hv, (n - 1) as f64, 1e-6);
         }
     }
 
@@ -219,7 +214,10 @@ mod tests {
         t[24] = true;
         let set = hitting_times(&g, &t);
         for v in 0..25 {
-            assert!(set[v] <= single[v] + 1e-7, "bigger target must be hit sooner");
+            assert!(
+                set[v] <= single[v] + 1e-7,
+                "bigger target must be hit sooner"
+            );
         }
     }
 
@@ -233,8 +231,8 @@ mod tests {
         let mut b = vec![false; k + 1];
         b[0] = true;
         let p = absorption_probabilities(&g, &a, &b);
-        for i in 0..=k {
-            assert_close(p[i], i as f64 / k as f64, 1e-7);
+        for (i, &pv) in p.iter().enumerate() {
+            assert_close(pv, i as f64 / k as f64, 1e-7);
         }
     }
 
@@ -269,6 +267,6 @@ mod tests {
     #[should_panic]
     fn empty_target_rejected() {
         let g = fixtures::petersen();
-        let _ = hitting_times(&g, &vec![false; 10]);
+        let _ = hitting_times(&g, &[false; 10]);
     }
 }

@@ -15,10 +15,14 @@
 //!   comparison can be reproduced),
 //! - [`evolve`] — exact distribution evolution `x ← xP` in O(m) per
 //!   step, the workhorse of the sampling method,
+//! - [`batch`] — blocked multi-source evolution: one CSR traversal
+//!   serves a whole block of sources, with early retirement of
+//!   converged columns,
 //! - [`walk`] — sampled trajectories (used by the Sybil protocols),
 //! - [`ergodic`] — connectivity/aperiodicity checks and the lazy-walk
 //!   fallback for bipartite graphs.
 
+pub mod batch;
 pub mod dist;
 pub mod ergodic;
 pub mod evolve;
@@ -27,6 +31,7 @@ pub mod pagerank;
 pub mod stationary;
 pub mod walk;
 
+pub use batch::BatchEvolver;
 pub use dist::total_variation;
 pub use ergodic::{ergodicity, Ergodicity, WalkKind};
 pub use evolve::Evolver;

@@ -41,8 +41,7 @@ fn pagerank_with_restart(g: &Graph, restart: &[f64], opts: PagerankOptions) -> V
     for _ in 0..opts.max_iter {
         y.iter_mut().for_each(|v| *v = 0.0);
         let mut dangling = 0.0f64;
-        for v in 0..n {
-            let mass = x[v];
+        for (v, &mass) in x.iter().enumerate() {
             if mass == 0.0 {
                 continue;
             }
@@ -59,8 +58,7 @@ fn pagerank_with_restart(g: &Graph, restart: &[f64], opts: PagerankOptions) -> V
         // dangling mass teleports like everything else
         let mut delta = 0.0f64;
         for v in 0..n {
-            let new = opts.alpha * restart[v]
-                + (1.0 - opts.alpha) * (y[v] + dangling * restart[v]);
+            let new = opts.alpha * restart[v] + (1.0 - opts.alpha) * (y[v] + dangling * restart[v]);
             delta += (new - x[v]).abs();
             x[v] = new;
         }

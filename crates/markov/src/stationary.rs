@@ -55,8 +55,8 @@ mod tests {
         let pi = stationary_distribution(&g);
         // center degree 4 of total 8
         assert!((pi[0] - 0.5).abs() < 1e-12);
-        for v in 1..5 {
-            assert!((pi[v] - 0.125).abs() < 1e-12);
+        for &pv in &pi[1..5] {
+            assert!((pv - 0.125).abs() < 1e-12);
         }
     }
 

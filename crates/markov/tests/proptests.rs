@@ -23,7 +23,10 @@ fn distribution(len: usize) -> impl Strategy<Value = Vec<f64>> {
 
 /// A connected graph built from a random tree plus extras.
 fn connected_graph(max_n: usize) -> impl Strategy<Value = socmix_graph::Graph> {
-    (3usize..=max_n, proptest::collection::vec((0u64..u64::MAX, 0u64..u64::MAX), 0..40))
+    (
+        3usize..=max_n,
+        proptest::collection::vec((0u64..u64::MAX, 0u64..u64::MAX), 0..40),
+    )
         .prop_flat_map(|(n, extra)| {
             proptest::collection::vec(0u64..u64::MAX, n - 1).prop_map(move |tree| {
                 let mut b = GraphBuilder::new();

@@ -1,4 +1,4 @@
-//! Minimal data-parallel utilities built on [`crossbeam`] scoped threads.
+//! Minimal data-parallel utilities built on [`std::thread::scope`].
 //!
 //! The mixing-time measurements in this workspace are embarrassingly
 //! parallel over *sources* (each initial distribution evolves

@@ -63,9 +63,9 @@ where
     let cursor = AtomicUsize::new(0);
     let body = &body;
     let cursor = &cursor;
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(units) {
-            scope.spawn(move |_| loop {
+            scope.spawn(move || loop {
                 let u = cursor.fetch_add(1, Ordering::Relaxed);
                 if u >= units {
                     break;
@@ -73,8 +73,7 @@ where
                 body(plan.range(u));
             });
         }
-    })
-    .expect("socmix-par worker panicked");
+    });
 }
 
 /// Maps `f` over `0..n` in parallel and collects results in index order.

@@ -171,8 +171,7 @@ pub fn touch_probability_exact(attacked: &AttackedGraph, start: NodeId, w: usize
     let mut y = vec![0.0f64; n];
     for _ in 0..w {
         y.iter_mut().for_each(|v| *v = 0.0);
-        for v in 0..n {
-            let mass = x[v];
+        for (v, &mass) in x.iter().enumerate() {
             if mass <= 0.0 {
                 continue;
             }
@@ -182,9 +181,9 @@ pub fn touch_probability_exact(attacked: &AttackedGraph, start: NodeId, w: usize
             }
         }
         // absorb everything that stepped into the region
-        for v in attacked.honest..n {
-            absorbed += y[v];
-            y[v] = 0.0;
+        for yv in &mut y[attacked.honest..] {
+            absorbed += *yv;
+            *yv = 0.0;
         }
         std::mem::swap(&mut x, &mut y);
         if absorbed >= 1.0 - 1e-12 {
@@ -241,7 +240,7 @@ mod tests {
         );
         let extra = a.graph.num_edges() - h.num_edges();
         // 45 clique edges + ≤3 attack edges
-        assert!(extra >= 45 + 1 && extra <= 45 + 3, "extra={extra}");
+        assert!((46..=48).contains(&extra), "extra={extra}");
     }
 
     #[test]
@@ -306,7 +305,10 @@ mod tests {
         );
         let pf = escape_probability(&few, 10, 3000, &mut rng);
         let pm = escape_probability(&many, 10, 3000, &mut rng);
-        assert!(pm > pf, "more attack edges must leak more walks ({pf} vs {pm})");
+        assert!(
+            pm > pf,
+            "more attack edges must leak more walks ({pf} vs {pm})"
+        );
     }
 
     #[test]
@@ -342,7 +344,10 @@ mod tests {
         );
         let p5 = touch_probability_exact(&a, 0, 5);
         let p50 = touch_probability_exact(&a, 0, 50);
-        assert!(p50 >= p5, "touch probability must grow with w ({p5} vs {p50})");
+        assert!(
+            p50 >= p5,
+            "touch probability must grow with w ({p5} vs {p50})"
+        );
         assert!((0.0..=1.0).contains(&p50));
     }
 

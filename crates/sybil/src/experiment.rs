@@ -37,8 +37,7 @@ pub fn admission_experiment(
     assert!(g.num_nodes() >= 2);
     let mut rng = StdRng::seed_from_u64(seed);
     let verifier = sample::random_node(g, &mut rng);
-    let suspects: Vec<NodeId> =
-        sample::random_nodes(g, suspect_count.min(g.num_nodes()), &mut rng);
+    let suspects: Vec<NodeId> = sample::random_nodes(g, suspect_count.min(g.num_nodes()), &mut rng);
     walk_lengths
         .iter()
         .map(|&w| {
@@ -141,7 +140,10 @@ mod tests {
             pts[2].accepted >= pts[0].accepted,
             "admission should not fall with longer walks: {pts:?}"
         );
-        assert!(pts[2].accepted > 0.8, "long walks should admit most: {pts:?}");
+        assert!(
+            pts[2].accepted > 0.8,
+            "long walks should admit most: {pts:?}"
+        );
     }
 
     #[test]

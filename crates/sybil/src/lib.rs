@@ -30,15 +30,15 @@ pub mod attack;
 pub mod experiment;
 pub mod ranking;
 pub mod route;
+pub mod sumup;
 pub mod sybilguard;
 pub mod sybilinfer;
 pub mod sybillimit;
-pub mod sumup;
 
 pub use attack::{attach_sybil_region, AttackParams, AttackedGraph, SybilTopology};
 pub use ranking::{evaluate_ranking, pagerank_ranking, RankingEvaluation};
 pub use route::{DirectedEdge, RouteInstance};
+pub use sumup::{collect_votes, SumUpParams, VoteOutcome};
 pub use sybilguard::SybilGuard;
 pub use sybilinfer::{sybilinfer, SybilInferParams, SybilInferResult};
 pub use sybillimit::{benchmark_walk_length, SybilLimit, SybilLimitParams, WalkLengthEstimate};
-pub use sumup::{collect_votes, SumUpParams, VoteOutcome};

@@ -110,7 +110,7 @@ mod tests {
         let honest = barabasi_albert(60, 3, &mut StdRng::seed_from_u64(0));
         let a = attacked_on(&honest, 3, 1);
         let scores: Vec<f64> = (0..a.graph.num_nodes())
-            .map(|v| if (v as usize) < a.honest { 1.0 } else { 0.0 })
+            .map(|v| if v < a.honest { 1.0 } else { 0.0 })
             .collect();
         let e = evaluate_ranking(&a, &scores);
         assert!((e.auc - 1.0).abs() < 1e-12);
@@ -122,7 +122,11 @@ mod tests {
         let honest = barabasi_albert(60, 3, &mut StdRng::seed_from_u64(0));
         let a = attacked_on(&honest, 3, 1);
         let e = evaluate_ranking(&a, &vec![0.5; a.graph.num_nodes()]);
-        assert!((e.auc - 0.5).abs() < 1e-9, "midranked ties must give 0.5, got {}", e.auc);
+        assert!(
+            (e.auc - 0.5).abs() < 1e-9,
+            "midranked ties must give 0.5, got {}",
+            e.auc
+        );
     }
 
     #[test]
@@ -130,7 +134,11 @@ mod tests {
         let honest = barabasi_albert(300, 4, &mut StdRng::seed_from_u64(2));
         let a = attacked_on(&honest, 5, 3);
         let e = pagerank_ranking(&a, 0);
-        assert!(e.auc > 0.9, "few attack edges on an expander: AUC {}", e.auc);
+        assert!(
+            e.auc > 0.9,
+            "few attack edges on an expander: AUC {}",
+            e.auc
+        );
     }
 
     #[test]

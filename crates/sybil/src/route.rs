@@ -88,7 +88,10 @@ impl RouteInstance {
         assert!(d > 0, "route cannot start at isolated node {start}");
         let mut nodes = Vec::with_capacity(w + 1);
         nodes.push(start);
-        let mut edge = (start, g.neighbors(start)[self.first[start as usize] as usize]);
+        let mut edge = (
+            start,
+            g.neighbors(start)[self.first[start as usize] as usize],
+        );
         nodes.push(edge.1);
         for _ in 1..w {
             edge = self.step(g, edge);

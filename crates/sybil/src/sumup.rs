@@ -149,7 +149,11 @@ pub fn collect_votes(
 
 /// Sybil vote yield: all Sybil identities vote; returns how many get
 /// through — bounded by the attack edges' total capacity.
-pub fn sybil_votes(attacked: &AttackedGraph, collector: NodeId, params: SumUpParams) -> VoteOutcome {
+pub fn sybil_votes(
+    attacked: &AttackedGraph,
+    collector: NodeId,
+    params: SumUpParams,
+) -> VoteOutcome {
     assert!(!attacked.is_sybil(collector), "collector must be honest");
     let sybils: Vec<NodeId> = attacked.sybil_nodes().collect();
     collect_votes(&attacked.graph, collector, &sybils, params)

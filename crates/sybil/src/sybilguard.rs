@@ -59,11 +59,8 @@ impl<'g> SybilGuard<'g> {
     /// the verifier's routes must share a node with some suspect
     /// route.
     pub fn verify(&self, verifier: NodeId, suspect: NodeId) -> bool {
-        let suspect_nodes: HashSet<NodeId> = self
-            .routes_of(suspect)
-            .into_iter()
-            .flatten()
-            .collect();
+        let suspect_nodes: HashSet<NodeId> =
+            self.routes_of(suspect).into_iter().flatten().collect();
         let v_routes = self.routes_of(verifier);
         if v_routes.is_empty() {
             return false;
@@ -80,7 +77,10 @@ impl<'g> SybilGuard<'g> {
         if suspects.is_empty() {
             return 0.0;
         }
-        let hits = suspects.iter().filter(|&&s| self.verify(verifier, s)).count();
+        let hits = suspects
+            .iter()
+            .filter(|&&s| self.verify(verifier, s))
+            .count();
         hits as f64 / suspects.len() as f64
     }
 }

@@ -137,7 +137,9 @@ pub fn sybilinfer(g: &Graph, verifier: NodeId, params: &SybilInferParams) -> Syb
     //   k_out       = walks with start∈X and end∉X
     //   sum_logdeg  = Σ ln deg(end) over the k_in walks
     //   vol_x       = total degree of X, size_x = |X|
-    let log_deg: Vec<f64> = (0..n).map(|v| (g.degree(v as NodeId) as f64).ln()).collect();
+    let log_deg: Vec<f64> = (0..n)
+        .map(|v| (g.degree(v as NodeId) as f64).ln())
+        .collect();
     let mut in_x = vec![true; n]; // start from "everyone honest"
     let mut vol_x: u64 = (0..n).map(|v| g.degree(v as NodeId) as u64).sum();
     let mut size_x = n;

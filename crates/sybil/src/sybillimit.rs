@@ -284,7 +284,13 @@ mod tests {
     #[test]
     fn r_scales_with_sqrt_m() {
         let g = fast_graph();
-        let sl = SybilLimit::new(&g, SybilLimitParams { r0: 2.0, ..Default::default() });
+        let sl = SybilLimit::new(
+            &g,
+            SybilLimitParams {
+                r0: 2.0,
+                ..Default::default()
+            },
+        );
         let expect = (2.0 * (g.num_edges() as f64).sqrt()).ceil() as usize;
         assert_eq!(sl.r(), expect);
     }
@@ -292,7 +298,14 @@ mod tests {
     #[test]
     fn tails_shape() {
         let g = fixtures::petersen();
-        let sl = SybilLimit::new(&g, SybilLimitParams { r0: 1.0, w: 5, ..Default::default() });
+        let sl = SybilLimit::new(
+            &g,
+            SybilLimitParams {
+                r0: 1.0,
+                w: 5,
+                ..Default::default()
+            },
+        );
         let tails = sl.tails_for(&[0, 5]);
         assert_eq!(tails.len(), 2);
         assert!(tails.iter().all(|t| t.len() == sl.r()));
@@ -309,7 +322,11 @@ mod tests {
         let g = fast_graph();
         let sl = SybilLimit::new(
             &g,
-            SybilLimitParams { r0: 3.0, w: 15, ..Default::default() },
+            SybilLimitParams {
+                r0: 3.0,
+                w: 15,
+                ..Default::default()
+            },
         );
         let suspects: Vec<NodeId> = (0..100).collect();
         let v = sl.verify_all(200, &suspects);
@@ -327,11 +344,19 @@ mod tests {
         let g = fast_graph();
         let short = SybilLimit::new(
             &g,
-            SybilLimitParams { r0: 3.0, w: 1, ..Default::default() },
+            SybilLimitParams {
+                r0: 3.0,
+                w: 1,
+                ..Default::default()
+            },
         );
         let long = SybilLimit::new(
             &g,
-            SybilLimitParams { r0: 3.0, w: 15, ..Default::default() },
+            SybilLimitParams {
+                r0: 3.0,
+                w: 15,
+                ..Default::default()
+            },
         );
         let suspects: Vec<NodeId> = (0..100).collect();
         let fs = short.verify_all(200, &suspects).accepted_fraction();
@@ -344,7 +369,11 @@ mod tests {
         let g = fast_graph();
         let sl = SybilLimit::new(
             &g,
-            SybilLimitParams { r0: 3.0, w: 15, ..Default::default() },
+            SybilLimitParams {
+                r0: 3.0,
+                w: 15,
+                ..Default::default()
+            },
         );
         let v = sl.verify_all(0, &[0]);
         assert!(v.accepted[0], "identical tail sets must intersect");
@@ -378,7 +407,12 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let g = fast_graph();
-        let p = SybilLimitParams { r0: 1.5, w: 6, seed: 42, ..Default::default() };
+        let p = SybilLimitParams {
+            r0: 1.5,
+            w: 6,
+            seed: 42,
+            ..Default::default()
+        };
         let a = SybilLimit::new(&g, p).verify_all(0, &[1, 2, 3, 4, 5]);
         let b = SybilLimit::new(&g, p).verify_all(0, &[1, 2, 3, 4, 5]);
         assert_eq!(a.accepted, b.accepted);
@@ -393,11 +427,19 @@ mod tests {
             200,
             &sample,
             0.9,
-            SybilLimitParams { r0: 3.0, w: 2, ..Default::default() },
+            SybilLimitParams {
+                r0: 3.0,
+                w: 2,
+                ..Default::default()
+            },
             256,
         )
         .expect("expander should reach 90% admission");
-        assert!(est.w <= 16, "fast graph should need few doublings, got w={}", est.w);
+        assert!(
+            est.w <= 16,
+            "fast graph should need few doublings, got w={}",
+            est.w
+        );
         assert!(est.admission >= 0.9);
     }
 
@@ -414,7 +456,11 @@ mod tests {
         .generate(&mut SR::seed_from_u64(3));
         let fast = fast_graph();
         let sample_s: Vec<NodeId> = (0..60).collect();
-        let params = SybilLimitParams { r0: 3.0, w: 2, ..Default::default() };
+        let params = SybilLimitParams {
+            r0: 3.0,
+            w: 2,
+            ..Default::default()
+        };
         let ws = benchmark_walk_length(&slow, 200, &sample_s, 0.9, params, 4096)
             .expect("slow graph should still converge");
         let wf = benchmark_walk_length(&fast, 200, &sample_s, 0.9, params, 4096).unwrap();
@@ -436,7 +482,11 @@ mod tests {
             200,
             &sample,
             1.01_f64.min(1.0), // 100% with a tiny budget
-            SybilLimitParams { r0: 0.2, w: 1, ..Default::default() },
+            SybilLimitParams {
+                r0: 0.2,
+                w: 1,
+                ..Default::default()
+            },
             2,
         );
         assert!(est.is_none());
@@ -446,6 +496,12 @@ mod tests {
     #[should_panic]
     fn zero_w_rejected() {
         let g = fixtures::petersen();
-        let _ = SybilLimit::new(&g, SybilLimitParams { w: 0, ..Default::default() });
+        let _ = SybilLimit::new(
+            &g,
+            SybilLimitParams {
+                w: 0,
+                ..Default::default()
+            },
+        );
     }
 }

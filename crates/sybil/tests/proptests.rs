@@ -7,7 +7,10 @@ use socmix_graph::{components, GraphBuilder, NodeId};
 use socmix_sybil::RouteInstance;
 
 fn connected_graph() -> impl Strategy<Value = socmix_graph::Graph> {
-    (3usize..30, proptest::collection::vec((0u64..u64::MAX, 0u64..u64::MAX), 0..40))
+    (
+        3usize..30,
+        proptest::collection::vec((0u64..u64::MAX, 0u64..u64::MAX), 0..40),
+    )
         .prop_map(|(n, extra)| {
             let mut b = GraphBuilder::new();
             for v in 1..n as NodeId {

@@ -49,6 +49,10 @@ fn main() {
         "\nmean µ of the 5 most modular graphs:  {top_q_mu:.5}\n\
          mean µ of the 5 least modular graphs: {low_q_mu:.5}\n\
          → community structure {} slow mixing",
-        if top_q_mu > low_q_mu { "predicts" } else { "does not predict" }
+        if top_q_mu > low_q_mu {
+            "predicts"
+        } else {
+            "does not predict"
+        }
     );
 }

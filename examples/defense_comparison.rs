@@ -19,8 +19,14 @@ use socmix::sybil::{
 
 fn main() {
     for (label, honest) in [
-        ("FAST-MIXING honest graph (Facebook stand-in)", Dataset::Facebook.generate(0.03, 7)),
-        ("SLOW-MIXING honest graph (Physics 3 stand-in)", Dataset::Physics3.generate(0.2, 7)),
+        (
+            "FAST-MIXING honest graph (Facebook stand-in)",
+            Dataset::Facebook.generate(0.03, 7),
+        ),
+        (
+            "SLOW-MIXING honest graph (Physics 3 stand-in)",
+            Dataset::Physics3.generate(0.2, 7),
+        ),
     ] {
         let mut rng = StdRng::seed_from_u64(7);
         let attacked = attach_sybil_region(

@@ -50,7 +50,10 @@ fn main() {
     let median = sorted[n / 2];
     let p95 = sorted[(n as f64 * 0.95) as usize];
     println!("hitting time to the verifier: median {median:.0}, 95th pct {p95:.0} steps");
-    println!("→ serving the slowest 5% of nodes needs walks ≳ {:.0}\n", p95 / 4.0);
+    println!(
+        "→ serving the slowest 5% of nodes needs walks ≳ {:.0}\n",
+        p95 / 4.0
+    );
 
     // The cost of those longer walks: probability a verifier's walk
     // touches the Sybil region within w steps.

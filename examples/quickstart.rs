@@ -31,10 +31,12 @@ fn main() {
     //    random-walk transition matrix, then Theorem 2.
     let est = Slem::lanczos(&g).estimate().expect("connected graph");
     let bounds = MixingBounds::new(est.mu, g.num_nodes());
-    println!("\nSLEM µ = {:.6}  (λ₂ = {:.6}, λₙ = {:.6})",
+    println!(
+        "\nSLEM µ = {:.6}  (λ₂ = {:.6}, λₙ = {:.6})",
         est.mu,
         est.lambda2.unwrap_or(f64::NAN),
-        est.lambda_n.unwrap_or(f64::NAN));
+        est.lambda_n.unwrap_or(f64::NAN)
+    );
     for eps in [0.25, 0.10, 0.01] {
         let (lo, hi) = bounds.at_epsilon(eps);
         println!("  T({eps:4}) ∈ [{lo:8.1}, {hi:8.1}] walk steps");

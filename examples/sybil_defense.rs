@@ -17,7 +17,10 @@ fn main() {
     let slow = Dataset::Physics3.generate(0.25, 7); // co-authorship graph
 
     println!("honest admission rate vs random-route length w (no attacker)\n");
-    println!("{:<12} {:>4} {:>6} {:>10} {:>13}", "graph", "w", "r", "accepted", "intersected");
+    println!(
+        "{:<12} {:>4} {:>6} {:>10} {:>13}",
+        "graph", "w", "r", "accepted", "intersected"
+    );
     let ws = [1usize, 3, 5, 10, 15, 25, 50];
     for (name, g) in [("facebook", &fast), ("physics", &slow)] {
         for p in admission_experiment(g, 3.0, &ws, 150, 7) {
@@ -52,7 +55,10 @@ fn main() {
         &mut rng,
     );
     println!("sybil identities accepted vs w (g = 10 attack edges)\n");
-    println!("{:>4} {:>16} {:>16}", "w", "accepted sybils", "per attack edge");
+    println!(
+        "{:>4} {:>16} {:>16}",
+        "w", "accepted sybils", "per attack edge"
+    );
     for y in sybil_yield_experiment(&attacked, 3.0, &[5, 10, 20, 40], 7) {
         println!(
             "{:>4} {:>16} {:>16.2}",

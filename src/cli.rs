@@ -154,17 +154,25 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             if pos.len() != 2 {
                 return Err("stats needs <graph.edges>".into());
             }
-            Ok(Command::Stats { path: pos[1].clone() })
+            Ok(Command::Stats {
+                path: pos[1].clone(),
+            })
         }
         "slem" => {
             if pos.len() != 2 {
                 return Err("slem needs <graph.edges>".into());
             }
-            let method = flags.get("method").cloned().unwrap_or_else(|| "lanczos".into());
+            let method = flags
+                .get("method")
+                .cloned()
+                .unwrap_or_else(|| "lanczos".into());
             if !["lanczos", "power", "dense"].contains(&method.as_str()) {
                 return Err(format!("unknown --method {method}"));
             }
-            Ok(Command::Slem { path: pos[1].clone(), method })
+            Ok(Command::Slem {
+                path: pos[1].clone(),
+                method,
+            })
         }
         "mix" => {
             if pos.len() != 2 {
@@ -275,7 +283,10 @@ pub fn find_dataset(name: &str) -> Option<Dataset> {
             .collect::<String>()
     };
     let want = norm(name);
-    Dataset::all().iter().copied().find(|d| norm(d.name()) == want)
+    Dataset::all()
+        .iter()
+        .copied()
+        .find(|d| norm(d.name()) == want)
 }
 
 fn load(path: &str) -> Result<Graph, String> {
@@ -301,8 +312,12 @@ pub fn run<W: Write>(cmd: &Command, out: &mut W) -> Result<(), String> {
     match cmd {
         Command::Help => write!(out, "{USAGE}").map_err(w),
         Command::Datasets => {
-            writeln!(out, "{:<14} {:>9} {:>10} {:>10} {:>12}", "name", "nodes", "edges", "class", "trust")
-                .map_err(w)?;
+            writeln!(
+                out,
+                "{:<14} {:>9} {:>10} {:>10} {:>12}",
+                "name", "nodes", "edges", "class", "trust"
+            )
+            .map_err(w)?;
             for &d in Dataset::all() {
                 writeln!(
                     out,
@@ -317,13 +332,23 @@ pub fn run<W: Write>(cmd: &Command, out: &mut W) -> Result<(), String> {
             }
             Ok(())
         }
-        Command::Gen { dataset, out: path, scale, seed } => {
+        Command::Gen {
+            dataset,
+            out: path,
+            scale,
+            seed,
+        } => {
             let ds = find_dataset(dataset)
                 .ok_or_else(|| format!("unknown dataset {dataset:?}; see `socmix datasets`"))?;
             let g = ds.generate(*scale, *seed);
             save(&g, path)?;
-            writeln!(out, "wrote {} nodes, {} edges to {path}", g.num_nodes(), g.num_edges())
-                .map_err(w)
+            writeln!(
+                out,
+                "wrote {} nodes, {} edges to {path}",
+                g.num_nodes(),
+                g.num_edges()
+            )
+            .map_err(w)
         }
         Command::Stats { path } => {
             let g = load(path)?;
@@ -332,8 +357,12 @@ pub fn run<W: Write>(cmd: &Command, out: &mut W) -> Result<(), String> {
             let comps = components::connected_components(&g);
             writeln!(out, "nodes:        {}", s.nodes).map_err(w)?;
             writeln!(out, "edges:        {}", s.edges).map_err(w)?;
-            writeln!(out, "degree:       min {} / avg {:.2} / max {}", s.min_degree, s.avg_degree, s.max_degree)
-                .map_err(w)?;
+            writeln!(
+                out,
+                "degree:       min {} / avg {:.2} / max {}",
+                s.min_degree, s.avg_degree, s.max_degree
+            )
+            .map_err(w)?;
             writeln!(out, "transitivity: {:.4}", s.transitivity).map_err(w)?;
             writeln!(out, "components:   {}", comps.count()).map_err(w)?;
             writeln!(out, "connected:    {}", erg.connected).map_err(w)?;
@@ -360,7 +389,13 @@ pub fn run<W: Write>(cmd: &Command, out: &mut W) -> Result<(), String> {
             }
             Ok(())
         }
-        Command::Mix { path, epsilon, sources, t_max, seed } => {
+        Command::Mix {
+            path,
+            epsilon,
+            sources,
+            t_max,
+            seed,
+        } => {
             let g = load(path)?;
             let report = crate::core::measure(
                 &g,
@@ -374,7 +409,11 @@ pub fn run<W: Write>(cmd: &Command, out: &mut W) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
             write!(out, "{}", report.render()).map_err(w)
         }
-        Command::Trim { path, min_degree, out: opath } => {
+        Command::Trim {
+            path,
+            min_degree,
+            out: opath,
+        } => {
             let g = load(path)?;
             let (t, _) = trim::trim_to_lcc(&g, *min_degree);
             save(&t, opath)?;
@@ -387,15 +426,31 @@ pub fn run<W: Write>(cmd: &Command, out: &mut W) -> Result<(), String> {
             )
             .map_err(w)
         }
-        Command::Sample { path, nodes, out: opath, seed } => {
+        Command::Sample {
+            path,
+            nodes,
+            out: opath,
+            seed,
+        } => {
             let g = load(path)?;
             let mut rng = StdRng::seed_from_u64(*seed);
             let (s, _) = sample::bfs_sample_random(&g, *nodes, &mut rng);
             save(&s, opath)?;
-            writeln!(out, "BFS sample: {} nodes, {} edges, wrote {opath}", s.num_nodes(), s.num_edges())
-                .map_err(w)
+            writeln!(
+                out,
+                "BFS sample: {} nodes, {} edges, wrote {opath}",
+                s.num_nodes(),
+                s.num_edges()
+            )
+            .map_err(w)
         }
-        Command::Compare { a, b, epsilon, sources, t_max } => {
+        Command::Compare {
+            a,
+            b,
+            epsilon,
+            sources,
+            t_max,
+        } => {
             let opts = crate::core::MeasureOptions {
                 epsilon: *epsilon,
                 sources: *sources,
@@ -410,7 +465,11 @@ pub fn run<W: Write>(cmd: &Command, out: &mut W) -> Result<(), String> {
             }
             Ok(())
         }
-        Command::Pagerank { path, top, seed_node } => {
+        Command::Pagerank {
+            path,
+            top,
+            seed_node,
+        } => {
             let g = load(path)?;
             use crate::markov::pagerank::{pagerank, personalized_pagerank, PagerankOptions};
             let scores = match seed_node {
@@ -426,8 +485,14 @@ pub fn run<W: Write>(cmd: &Command, out: &mut W) -> Result<(), String> {
             order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap());
             writeln!(out, "{:<8} {:>12} {:>8}", "node", "score", "degree").map_err(w)?;
             for &v in order.iter().take(*top) {
-                writeln!(out, "{:<8} {:>12.6e} {:>8}", v, scores[v], g.degree(v as u32))
-                    .map_err(w)?;
+                writeln!(
+                    out,
+                    "{:<8} {:>12.6e} {:>8}",
+                    v,
+                    scores[v],
+                    g.degree(v as u32)
+                )
+                .map_err(w)?;
             }
             Ok(())
         }
@@ -445,14 +510,26 @@ pub fn run<W: Write>(cmd: &Command, out: &mut W) -> Result<(), String> {
             order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap());
             writeln!(out, "{:<8} {:>14} {:>8}", "node", "betweenness", "degree").map_err(w)?;
             for &v in order.iter().take(*top) {
-                writeln!(out, "{:<8} {:>14.2} {:>8}", v, scores[v], g.degree(v as u32))
-                    .map_err(w)?;
+                writeln!(
+                    out,
+                    "{:<8} {:>14.2} {:>8}",
+                    v,
+                    scores[v],
+                    g.degree(v as u32)
+                )
+                .map_err(w)?;
             }
             Ok(())
         }
-        Command::Communities { path, method, clusters } => {
+        Command::Communities {
+            path,
+            method,
+            clusters,
+        } => {
             let g = load(path)?;
-            use crate::community::{label_propagation, spectral_clustering, LabelPropOptions, SpectralOptions};
+            use crate::community::{
+                label_propagation, spectral_clustering, LabelPropOptions, SpectralOptions,
+            };
             let p = if method == "spectral" {
                 spectral_clustering(
                     &g,
@@ -476,8 +553,13 @@ pub fn run<W: Write>(cmd: &Command, out: &mut W) -> Result<(), String> {
         Command::Convert { input, out: opath } => {
             let g = load(input)?;
             save(&g, opath)?;
-            writeln!(out, "converted {input} -> {opath} ({} nodes, {} edges)", g.num_nodes(), g.num_edges())
-                .map_err(w)
+            writeln!(
+                out,
+                "converted {input} -> {opath} ({} nodes, {} edges)",
+                g.num_nodes(),
+                g.num_edges()
+            )
+            .map_err(w)
         }
     }
 }
@@ -492,8 +574,16 @@ mod tests {
 
     #[test]
     fn parse_gen_with_flags() {
-        let c = parse(&strs(&["gen", "Physics 1", "out.edges", "--scale", "0.1", "--seed", "3"]))
-            .unwrap();
+        let c = parse(&strs(&[
+            "gen",
+            "Physics 1",
+            "out.edges",
+            "--scale",
+            "0.1",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
         assert_eq!(
             c,
             Command::Gen {
@@ -509,7 +599,13 @@ mod tests {
     fn parse_defaults() {
         let c = parse(&strs(&["mix", "g.edges"])).unwrap();
         match c {
-            Command::Mix { epsilon, sources, t_max, seed, .. } => {
+            Command::Mix {
+                epsilon,
+                sources,
+                t_max,
+                seed,
+                ..
+            } => {
                 assert_eq!(epsilon, 0.1);
                 assert_eq!(sources, 1000);
                 assert_eq!(t_max, 5000);
@@ -600,7 +696,14 @@ mod tests {
             &mut buf,
         )
         .unwrap();
-        run(&Command::Convert { input: txt.clone(), out: bin.clone() }, &mut buf).unwrap();
+        run(
+            &Command::Convert {
+                input: txt.clone(),
+                out: bin.clone(),
+            },
+            &mut buf,
+        )
+        .unwrap();
         let a = crate::graph::io::load_edge_list(&txt).unwrap();
         let b = crate::graph::io::load_binary(&bin).unwrap();
         assert_eq!(a, b);
@@ -627,8 +730,15 @@ mod tests {
                 pivots: 16
             }
         );
-        let c = parse(&strs(&["communities", "g.edges", "--method", "spectral", "--clusters", "4"]))
-            .unwrap();
+        let c = parse(&strs(&[
+            "communities",
+            "g.edges",
+            "--method",
+            "spectral",
+            "--clusters",
+            "4",
+        ]))
+        .unwrap();
         assert_eq!(
             c,
             Command::Communities {
@@ -642,7 +752,14 @@ mod tests {
 
     #[test]
     fn parse_compare() {
-        let c = parse(&strs(&["compare", "a.edges", "b.edges", "--epsilon", "0.25"])).unwrap();
+        let c = parse(&strs(&[
+            "compare",
+            "a.edges",
+            "b.edges",
+            "--epsilon",
+            "0.25",
+        ]))
+        .unwrap();
         match c {
             Command::Compare { a, b, epsilon, .. } => {
                 assert_eq!(a, "a.edges");

@@ -19,7 +19,7 @@
 //!   modularity, conductance sweeps).
 //! - [`sybil`] — SybilLimit / SybilGuard protocols and the
 //!   admission-rate experiment.
-//! - [`par`] — minimal crossbeam-based data parallelism.
+//! - [`par`] — minimal scoped-thread data parallelism.
 //! - [`cli`] — the `socmix` command-line tool's parser and runner.
 //!
 //! # Quickstart

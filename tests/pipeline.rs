@@ -13,7 +13,11 @@ use socmix::markov::{ergodicity, stationary_distribution, total_variation};
 fn full_pipeline_on_physics_standin() {
     let g = Dataset::Physics1.generate(0.1, 3);
     let (lcc, _) = components::largest_component(&g);
-    assert_eq!(lcc.num_nodes(), g.num_nodes(), "catalog graphs are connected");
+    assert_eq!(
+        lcc.num_nodes(),
+        g.num_nodes(),
+        "catalog graphs are connected"
+    );
 
     let est = Slem::lanczos(&lcc).estimate().unwrap();
     assert!(est.mu > 0.9 && est.mu < 1.0, "slow class: µ = {}", est.mu);
@@ -78,10 +82,7 @@ fn slem_backends_agree_on_catalog() {
         let g = ds.generate(0.02, 5);
         let l = Slem::lanczos(&g).estimate().unwrap().mu;
         let p = Slem::power_iteration(&g).estimate().unwrap().mu;
-        assert!(
-            (l - p).abs() < 1e-4,
-            "{ds}: lanczos {l} vs power {p}"
-        );
+        assert!((l - p).abs() < 1e-4, "{ds}: lanczos {l} vs power {p}");
     }
 }
 

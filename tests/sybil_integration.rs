@@ -25,7 +25,10 @@ fn short_walks_disadvantage_slow_graphs() {
         f > s + 0.1,
         "fast graph ({f}) should admit clearly more than slow graph ({s}) at w={w}"
     );
-    assert!(f > 0.8, "fast graph should serve most honest nodes at w=10, got {f}");
+    assert!(
+        f > 0.8,
+        "fast graph should serve most honest nodes at w=10, got {f}"
+    );
 }
 
 /// Raising w on the slow graph recovers admission — the paper's
@@ -105,5 +108,8 @@ fn sybilguard_walk_length_sensitivity() {
         long >= short,
         "longer witness routes should not reduce admission ({short} vs {long})"
     );
-    assert!(long > 0.7, "80-step routes should intersect broadly, got {long}");
+    assert!(
+        long > 0.7,
+        "80-step routes should intersect broadly, got {long}"
+    );
 }

@@ -1,0 +1,364 @@
+//! Offline drop-in subset of the [`criterion`](https://docs.rs/criterion)
+//! bench harness.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors
+//! the slice of criterion its benches use: `criterion_group!` /
+//! `criterion_main!`, benchmark groups, `bench_function` /
+//! `bench_with_input`, `Throughput`, and `Bencher::iter`. Statistics
+//! are simpler than upstream (min / median / mean over `sample_size`
+//! timed samples, no bootstrap), which is plenty for tracking
+//! regressions across PRs.
+//!
+//! Results print to stdout and are appended to `BENCH_<bench>.json`
+//! (one JSON object per benchmark id) in the working directory —
+//! override the path with the `SOCMIX_BENCH_JSON` environment
+//! variable. A CLI substring filter is honored: `cargo bench -- tvd`
+//! runs only benchmark ids containing `tvd`.
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One measured benchmark, as serialized to the JSON log.
+#[derive(Debug, Clone)]
+struct Record {
+    id: String,
+    min_ns: f64,
+    median_ns: f64,
+    mean_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+    throughput: Option<Throughput>,
+}
+
+/// The bench context: configuration plus collected results.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+    records: Vec<Record>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            filter: None,
+            records: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Restricts runs to benchmark ids containing `substr`
+    /// (used by `criterion_main!` to honor CLI arguments).
+    pub fn with_filter(mut self, substr: Option<String>) -> Self {
+        self.filter = substr;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Flushes collected records to `BENCH_<bench>.json` (or
+    /// `$SOCMIX_BENCH_JSON`). Called by `criterion_main!`.
+    pub fn finalize(&self, bench_name: &str) {
+        if self.records.is_empty() {
+            return;
+        }
+        let path = std::env::var("SOCMIX_BENCH_JSON")
+            .unwrap_or_else(|_| format!("BENCH_{bench_name}.json"));
+        let mut out = String::from("[\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let thrpt = match r.throughput {
+                Some(Throughput::Elements(e)) => {
+                    format!(
+                        ",\"elements_per_sec\":{:.3}",
+                        e as f64 / (r.median_ns * 1e-9)
+                    )
+                }
+                Some(Throughput::Bytes(b)) => {
+                    format!(",\"bytes_per_sec\":{:.3}", b as f64 / (r.median_ns * 1e-9))
+                }
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "  {{\"id\":\"{}\",\"min_ns\":{:.1},\"median_ns\":{:.1},\"mean_ns\":{:.1},\
+                 \"samples\":{},\"iters_per_sample\":{}{}}}{}\n",
+                r.id,
+                r.min_ns,
+                r.median_ns,
+                r.mean_ns,
+                r.samples,
+                r.iters_per_sample,
+                thrpt,
+                if i + 1 == self.records.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("]\n");
+        match std::fs::File::create(&path).and_then(|mut f| f.write_all(out.as_bytes())) {
+            Ok(()) => println!("\nwrote {path}"),
+            Err(e) => eprintln!("\ncould not write {path}: {e}"),
+        }
+    }
+}
+
+/// A named set of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Declares the work per iteration so results report throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark taking no input.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.name, id.into_benchmark_id());
+        self.run(full_id, |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full_id = format!("{}/{}", self.name, id.into_benchmark_id());
+        self.run(full_id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API parity; flushing happens in
+    /// [`Criterion::finalize`]).
+    pub fn finish(self) {}
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        if let Some(filter) = &self.criterion.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        // Calibration pass: discover iteration cost so each timed
+        // sample runs long enough to be measurable.
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+        let target = Duration::from_millis(20);
+        let iters = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut times: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut bencher = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut bencher);
+            times.push(bencher.elapsed.as_secs_f64() * 1e9 / iters as f64);
+        }
+        times.sort_by(|a, b| a.total_cmp(b));
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        let thrpt = match self.throughput {
+            Some(Throughput::Elements(e)) => {
+                format!("  thrpt: {:>10.3} Melem/s", e as f64 / median / 1e-3)
+            }
+            Some(Throughput::Bytes(b)) => {
+                format!(
+                    "  thrpt: {:>10.3} MiB/s",
+                    b as f64 / median * 1e9 / (1 << 20) as f64
+                )
+            }
+            None => String::new(),
+        };
+        println!(
+            "{id:<48} time: [{} {} {}]{thrpt}",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean)
+        );
+        self.criterion.records.push(Record {
+            id,
+            min_ns: min,
+            median_ns: median,
+            mean_ns: mean,
+            samples,
+            iters_per_sample: iters,
+            throughput: self.throughput,
+        });
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f` (set by the harness calibration).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A `name/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// Anything `bench_function`-style calls accept as an id.
+pub trait IntoBenchmarkId {
+    /// The rendered id fragment.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Declared work per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Bundles bench functions with a configuration, mirroring upstream's
+/// two accepted forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name(filter: ::std::option::Option<::std::string::String>) -> $crate::Criterion {
+            let mut criterion = $config.with_filter(filter);
+            $($target(&mut criterion);)+
+            criterion
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` running the given groups, honoring a CLI
+/// substring filter (`cargo bench -- <substr>`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let filter = ::std::env::args()
+                .skip(1)
+                .find(|a| !a.starts_with('-'));
+            let bench = ::std::env::args()
+                .next()
+                .map(|p| {
+                    let stem = ::std::path::Path::new(&p)
+                        .file_stem()
+                        .and_then(|s| s.to_str())
+                        .unwrap_or("bench")
+                        .to_string();
+                    // strip cargo's trailing `-<hash>` disambiguator
+                    match stem.rsplit_once('-') {
+                        Some((head, tail))
+                            if tail.len() == 16
+                                && tail.bytes().all(|b| b.is_ascii_hexdigit()) =>
+                        {
+                            head.to_string()
+                        }
+                        _ => stem,
+                    }
+                })
+                .unwrap_or_else(|| "bench".to_string());
+            $(
+                let criterion = $group(filter.clone());
+                criterion.finalize(&bench);
+            )+
+        }
+    };
+}

@@ -1,0 +1,6 @@
+//! One-stop imports mirroring `proptest::prelude`.
+
+pub use crate::{
+    prop_assert, prop_assert_eq, prop_assume, proptest, Just, ProptestConfig, Strategy,
+    TestCaseError,
+};

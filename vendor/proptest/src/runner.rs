@@ -1,0 +1,105 @@
+//! Case execution: configuration, error type, deterministic driver.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-test configuration (the subset upstream callers use).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Hard cap on discarded (`prop_assume!`-rejected) cases before
+    /// the test aborts as ineffective.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered the inputs; case is discarded.
+    Reject(String),
+    /// A `prop_assert!` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// FNV-1a, used to derive a stable per-test base seed from its name.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Runs `config.cases` generated cases of `body`.
+///
+/// Case `k` draws its inputs from `StdRng::seed_from_u64(base ^ k)`
+/// where `base` hashes the test name (overridable with the
+/// `PROPTEST_SEED` environment variable), so any reported failure
+/// reproduces exactly. Panics on the first failing case.
+pub fn run_cases<F>(config: ProptestConfig, name: &str, mut body: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    let base = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or_else(|| fnv1a(name));
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut case = 0u64;
+    while passed < config.cases {
+        let case_seed = base ^ case;
+        case += 1;
+        let mut rng = StdRng::seed_from_u64(case_seed);
+        match body(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.max_global_rejects,
+                    "proptest `{name}`: too many prop_assume! rejections \
+                     ({rejected}) — strategy and assumptions are incompatible"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest `{name}` failed at case #{case} \
+                     (reproduce with case seed {case_seed:#x}):\n{msg}"
+                );
+            }
+        }
+    }
+}

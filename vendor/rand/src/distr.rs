@@ -1,0 +1,139 @@
+//! Uniform sampling over type domains and ranges.
+
+use crate::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// Types with a canonical "standard" uniform distribution
+/// (what [`Rng::random`] draws from).
+pub trait StandardUniform: Sized {
+    /// Draws one value from the standard distribution of `Self`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardUniform for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardUniform for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardUniform for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // Use the top bit; low bits of some generators are weaker.
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardUniform for $t {
+            fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardUniform for u128 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() as u128) << 64 | rng.next_u64() as u128
+    }
+}
+
+/// Marker for types [`Rng::random_range`] can sample.
+pub trait SampleUniform: Sized {}
+
+/// A range that can produce uniform samples of `T`.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Unbiased integer-in-`[0, span)` via Lemire's widening-multiply
+/// rejection method on 64-bit words.
+fn uniform_u64_below<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // First draw: accept unless the low word lands in the biased zone.
+    let mut m = (rng.next_u64() as u128) * (span as u128);
+    let mut lo = m as u64;
+    if lo < span {
+        let threshold = span.wrapping_neg() % span;
+        while lo < threshold {
+            m = (rng.next_u64() as u128) * (span as u128);
+            lo = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleUniform for $t {}
+
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                self.start.wrapping_add(uniform_u64_below(rng, span) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(uniform_u64_below(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+);
+
+macro_rules! impl_sample_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {}
+
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let u: $t = StandardUniform::sample(rng);
+                let v = self.start + u * (self.end - self.start);
+                // Guard rounding at the top of the interval.
+                if v >= self.end {
+                    self.start
+                } else {
+                    v
+                }
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let u: $t = StandardUniform::sample(rng);
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+impl_sample_range_float!(f32, f64);

@@ -1,0 +1,184 @@
+//! Offline drop-in subset of the [`rand`](https://docs.rs/rand/0.9) API.
+//!
+//! The build container has no access to crates.io, so the workspace
+//! vendors the small slice of `rand` 0.9 it actually uses: the [`Rng`]
+//! extension trait (`random`, `random_range`), [`SeedableRng`] with
+//! `seed_from_u64`, the [`rngs::StdRng`] generator and
+//! [`seq::SliceRandom::shuffle`]. Semantics match the upstream
+//! contracts (uniformity, range bounds, determinism per seed); the
+//! exact output streams differ — `StdRng` here is xoshiro256**
+//! seeded via SplitMix64 rather than ChaCha12, which is explicitly
+//! allowed by upstream's portability policy ("StdRng is not
+//! reproducible across versions").
+
+pub mod rngs;
+pub mod seq;
+
+mod distr;
+pub use distr::{SampleRange, SampleUniform, StandardUniform};
+
+/// A source of random `u64` words plus the convenience methods the
+/// workspace uses. Implemented by [`rngs::StdRng`]; generic code takes
+/// `R: Rng + ?Sized`.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly random value of `T` (`f64`/`f32` in `[0, 1)`,
+    /// integers over their whole domain, fair `bool`).
+    fn random<T: StandardUniform>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniformly random value in `range` (half-open `a..b` or
+    /// inclusive `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// A bool that is `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Deterministic construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+
+    /// A generator seeded from system entropy (here: process time and
+    /// a counter — good enough for the non-reproducible paths).
+    fn from_os_rng() -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::time::{SystemTime, UNIX_EPOCH};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let t = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        Self::seed_from_u64(t ^ COUNTER.fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_near_half() {
+        let mut r = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let s: f64 = (0..n).map(|_| r.random::<f64>()).sum();
+        assert!((s / n as f64 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = r.random_range(10usize..20);
+            assert!((10..20).contains(&v));
+            let w = r.random_range(5u32..=5);
+            assert_eq!(w, 5);
+            let x = r.random_range(-3i64..4);
+            assert!((-3..4).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_hits_all_values() {
+        let mut r = StdRng::seed_from_u64(9);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.random_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn float_range() {
+        let mut r = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let x = r.random_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bool_is_roughly_fair() {
+        let mut r = StdRng::seed_from_u64(13);
+        let heads = (0..100_000).filter(|_| r.random::<bool>()).count();
+        assert!((heads as f64 / 100_000.0 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        use seq::SliceRandom;
+        let mut r = StdRng::seed_from_u64(17);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "50 items should move");
+    }
+
+    #[test]
+    fn unsized_rng_callable() {
+        fn takes_unsized<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.random::<f64>()
+        }
+        let mut r = StdRng::seed_from_u64(1);
+        let x = takes_unsized(&mut r);
+        assert!((0.0..1.0).contains(&x));
+    }
+}

@@ -1,0 +1,34 @@
+//! Sequence helpers (`shuffle`, `choose`).
+
+use crate::Rng;
+
+/// Slice extension methods mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Uniform in-place Fisher–Yates shuffle.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// A uniformly random element, or `None` on an empty slice.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.random_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.random_range(0..self.len())])
+        }
+    }
+}
