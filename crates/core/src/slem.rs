@@ -8,6 +8,7 @@ use socmix_linalg::{
     dense, lanczos_extreme, DeflatedOp, LanczosOptions, PowerOptions, SymmetricWalkOp,
 };
 use socmix_markov::ergodicity;
+use socmix_par::Pool;
 
 /// Which eigensolver backend computes µ.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,6 +92,7 @@ pub struct Slem<'g> {
     seed: u64,
     lanczos_opts: LanczosOptions,
     power_opts: PowerOptions,
+    pool: Pool,
 }
 
 impl<'g> Slem<'g> {
@@ -102,6 +104,7 @@ impl<'g> Slem<'g> {
             seed: 0x50C1A1,
             lanczos_opts: LanczosOptions::default(),
             power_opts: PowerOptions::default(),
+            pool: Pool::new(),
         }
     }
 
@@ -140,6 +143,15 @@ impl<'g> Slem<'g> {
     /// Overrides the power-iteration options.
     pub fn power_options(mut self, opts: PowerOptions) -> Self {
         self.power_opts = opts;
+        self
+    }
+
+    /// Sets the thread pool the iterative backends apply the walk
+    /// operator on. The answer is bit-for-bit independent of the pool
+    /// (disjoint row chunks, no float reassociation); only wall-clock
+    /// changes.
+    pub fn pool(mut self, pool: Pool) -> Self {
+        self.pool = pool;
         self
     }
 
@@ -183,7 +195,7 @@ impl<'g> Slem<'g> {
                 }
             }
             SlemMethod::Lanczos => {
-                let sop = SymmetricWalkOp::new(g);
+                let sop = SymmetricWalkOp::with_pool(g, self.pool);
                 let basis = vec![sop.top_eigenvector()];
                 let defl = DeflatedOp::new(sop, &basis);
                 let r = lanczos_extreme(&defl, self.lanczos_opts, &mut rng);
@@ -197,19 +209,17 @@ impl<'g> Slem<'g> {
                 }
             }
             SlemMethod::PowerIteration => {
-                let sop = SymmetricWalkOp::new(g);
+                let sop = SymmetricWalkOp::with_pool(g, self.pool);
                 let basis = vec![sop.top_eigenvector()];
                 let defl = DeflatedOp::new(sop, &basis);
                 let mu = spectral_radius_in_complement(&defl, self.power_opts, &mut rng);
                 SlemEstimate {
-                    mu: mu.clamp(0.0, 1.0),
+                    mu: mu.radius.clamp(0.0, 1.0),
                     lambda2: None,
                     lambda_n: None,
                     method: SlemMethod::PowerIteration,
-                    // spectral_radius_in_complement internally recovers
-                    // the ± degenerate case, so the modulus is reliable
-                    converged: true,
-                    iterations: self.power_opts.max_iter,
+                    converged: mu.converged,
+                    iterations: mu.iterations,
                 }
             }
             SlemMethod::Auto => unreachable!("resolved above"),
@@ -332,6 +342,51 @@ mod tests {
         let a = Slem::lanczos(&g).seed(1).estimate().unwrap().mu;
         let b = Slem::lanczos(&g).seed(999).estimate().unwrap().mu;
         assert_close(a, b, 1e-7);
+    }
+
+    #[test]
+    fn power_backend_reports_real_provenance() {
+        let g = fixtures::petersen();
+        let est = Slem::power_iteration(&g).estimate().unwrap();
+        assert!(est.converged);
+        assert!(
+            est.iterations > 0 && est.iterations < PowerOptions::default().max_iter,
+            "iterations must be the actual count, not the budget ({})",
+            est.iterations
+        );
+        // a starved budget must be reported as not converged
+        let starved = Slem::power_iteration(&g)
+            .power_options(PowerOptions {
+                max_iter: 1,
+                tol: 1e-15,
+            })
+            .estimate()
+            .unwrap();
+        assert!(!starved.converged);
+        assert_eq!(starved.iterations, 1);
+    }
+
+    #[test]
+    fn pool_width_does_not_change_estimate() {
+        let g = fixtures::barbell(8, 2);
+        let serial = Slem::lanczos(&g).pool(Pool::serial()).estimate().unwrap();
+        for threads in [2, 8] {
+            let par = Slem::lanczos(&g)
+                .pool(Pool::with_threads(threads))
+                .estimate()
+                .unwrap();
+            assert_eq!(serial.mu.to_bits(), par.mu.to_bits());
+        }
+        let pserial = Slem::power_iteration(&g)
+            .pool(Pool::serial())
+            .estimate()
+            .unwrap();
+        let ppar = Slem::power_iteration(&g)
+            .pool(Pool::with_threads(4))
+            .estimate()
+            .unwrap();
+        assert_eq!(pserial.mu.to_bits(), ppar.mu.to_bits());
+        assert_eq!(pserial.iterations, ppar.iterations);
     }
 
     #[test]

@@ -132,10 +132,13 @@ pub fn lanczos_extreme<Op: LinearOp, R: Rng + ?Sized>(
         };
 
     for j in 0..max_iter {
-        let vj = basis[j].clone();
-        let mut w = op.apply_vec(&vj);
-        let alpha = dot(&w, &vj);
-        axpy(-alpha, &vj, &mut w);
+        // `w` is the only per-step allocation left: it becomes the
+        // next basis vector (storage the algorithm must keep), while
+        // the operator's own scratch is reused across applies.
+        let mut w = vec![0.0; n];
+        op.apply(&basis[j], &mut w);
+        let alpha = dot(&w, &basis[j]);
+        axpy(-alpha, &basis[j], &mut w);
         if j > 0 {
             let beta_prev = betas[j - 1];
             axpy(-beta_prev, &basis[j - 1], &mut w);
@@ -224,10 +227,10 @@ pub fn lanczos_topk<Op: LinearOp, R: Rng + ?Sized>(
     let mut exhausted = false;
 
     for j in 0..max_iter {
-        let vj = basis[j].clone();
-        let mut w = op.apply_vec(&vj);
-        let alpha = dot(&w, &vj);
-        axpy(-alpha, &vj, &mut w);
+        let mut w = vec![0.0; n];
+        op.apply(&basis[j], &mut w);
+        let alpha = dot(&w, &basis[j]);
+        axpy(-alpha, &basis[j], &mut w);
         if j > 0 {
             axpy(-betas[j - 1], &basis[j - 1], &mut w);
         }

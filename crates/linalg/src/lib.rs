@@ -25,6 +25,9 @@
 //!   independent second method used to cross-check Lanczos.
 //! - [`vecops`] — the dense vector kernels shared by all of the
 //!   above.
+//! - [`workspace`] — per-thread reusable scratch buffers; with them
+//!   the operators above allocate **nothing** per application, so the
+//!   iterative drivers run allocation-free in steady state.
 //!
 //! Spectral facts used throughout (Theorem 2 of the paper, after
 //! Sinclair): for a connected undirected graph the eigenvalues of `P`
@@ -41,9 +44,10 @@ pub mod op;
 pub mod power;
 pub mod tridiag;
 pub mod vecops;
+pub mod workspace;
 
 pub use dense::{jacobi_eigen, DenseMatrix};
 pub use lanczos::{lanczos_extreme, lanczos_topk, LanczosOptions, LanczosResult, TopkResult};
 pub use multivec::{MultiLinearOp, MultiVec};
 pub use op::{DeflatedOp, LazyOp, LinearOp, SymmetricWalkOp, WalkOp};
-pub use power::{power_iteration, PowerOptions, PowerResult};
+pub use power::{power_iteration, PowerOptions, PowerResult, SpectralRadius};

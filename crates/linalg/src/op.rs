@@ -1,6 +1,16 @@
 //! Matrix-free linear operators over a CSR graph.
+//!
+//! Operator applications are the hot path of every measurement in the
+//! workspace, so they are engineered to be **allocation-free**: the
+//! per-apply scratch (the `z` scale vector of [`WalkOp`] and
+//! [`SymmetricWalkOp`], the projected input copy of [`DeflatedOp`])
+//! comes from the reusable per-thread pool in [`crate::workspace`],
+//! and row chunks are scheduled on `socmix-par`'s persistent worker
+//! runtime — no thread spawns, no steady-state heap traffic per
+//! apply.
 
 use crate::vecops;
+use crate::workspace::with_scratch;
 use socmix_graph::Graph;
 use socmix_par::Pool;
 
@@ -88,31 +98,34 @@ impl LinearOp for WalkOp<'_> {
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.dim());
         assert_eq!(y.len(), self.dim());
-        // z[i] = x[i]/deg(i), then gather: y[j] = Σ_{i∼j} z[i].
-        let z: Vec<f64> = x
-            .iter()
-            .zip(&self.inv_deg)
-            .map(|(xi, inv)| xi * inv)
-            .collect();
-        let g = self.graph;
-        let offsets = g.offsets();
-        let targets = g.raw_targets();
-        let zref = &z;
         let n = self.dim();
-        // SAFETY-free parallel write: chunks own disjoint ranges of y.
-        let yptr = SendMut(y.as_mut_ptr());
-        let ypref = &yptr;
-        self.pool.for_each_chunk(n, move |range| {
-            for j in range {
-                let mut acc = 0.0;
-                for &i in &targets[offsets[j]..offsets[j + 1]] {
-                    acc += zref[i as usize];
-                }
-                // SAFETY: ranges from for_each_chunk are disjoint.
-                unsafe {
-                    *ypref.0.add(j) = acc;
-                }
+        // z[i] = x[i]/deg(i), then gather: y[j] = Σ_{i∼j} z[i].
+        // z lives in the reusable per-thread workspace: no allocation
+        // per apply once the pool is warm.
+        with_scratch(n, |z| {
+            for ((zi, xi), inv) in z.iter_mut().zip(x).zip(&self.inv_deg) {
+                *zi = xi * inv;
             }
+            let g = self.graph;
+            let offsets = g.offsets();
+            let targets = g.raw_targets();
+            let zref = &*z;
+            // Parallel write without locks: chunks own disjoint ranges
+            // of y.
+            let yptr = SendMut(y.as_mut_ptr());
+            let ypref = &yptr;
+            self.pool.for_each_chunk(n, move |range| {
+                for j in range {
+                    let mut acc = 0.0;
+                    for &i in &targets[offsets[j]..offsets[j + 1]] {
+                        acc += zref[i as usize];
+                    }
+                    // SAFETY: ranges from for_each_chunk are disjoint.
+                    unsafe {
+                        *ypref.0.add(j) = acc;
+                    }
+                }
+            });
         });
     }
 }
@@ -177,31 +190,32 @@ impl LinearOp for SymmetricWalkOp<'_> {
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.dim());
         assert_eq!(y.len(), self.dim());
-        // y[i] = (1/√deg i) Σ_{j∼i} x[j]/√deg j
-        let z: Vec<f64> = x
-            .iter()
-            .zip(&self.inv_sqrt_deg)
-            .map(|(xi, inv)| xi * inv)
-            .collect();
-        let g = self.graph;
-        let offsets = g.offsets();
-        let targets = g.raw_targets();
-        let zref = &z;
-        let inv = &self.inv_sqrt_deg;
         let n = self.dim();
-        let yptr = SendMut(y.as_mut_ptr());
-        let ypref = &yptr;
-        self.pool.for_each_chunk(n, move |range| {
-            for i in range {
-                let mut acc = 0.0;
-                for &j in &targets[offsets[i]..offsets[i + 1]] {
-                    acc += zref[j as usize];
-                }
-                // SAFETY: ranges from for_each_chunk are disjoint.
-                unsafe {
-                    *ypref.0.add(i) = acc * inv[i];
-                }
+        // y[i] = (1/√deg i) Σ_{j∼i} x[j]/√deg j — z reused from the
+        // per-thread workspace like the plain walk kernel.
+        with_scratch(n, |z| {
+            for ((zi, xi), inv) in z.iter_mut().zip(x).zip(&self.inv_sqrt_deg) {
+                *zi = xi * inv;
             }
+            let g = self.graph;
+            let offsets = g.offsets();
+            let targets = g.raw_targets();
+            let zref = &*z;
+            let inv = &self.inv_sqrt_deg;
+            let yptr = SendMut(y.as_mut_ptr());
+            let ypref = &yptr;
+            self.pool.for_each_chunk(n, move |range| {
+                for i in range {
+                    let mut acc = 0.0;
+                    for &j in &targets[offsets[i]..offsets[i + 1]] {
+                        acc += zref[j as usize];
+                    }
+                    // SAFETY: ranges from for_each_chunk are disjoint.
+                    unsafe {
+                        *ypref.0.add(i) = acc * inv[i];
+                    }
+                }
+            });
         });
     }
 }
@@ -277,9 +291,13 @@ impl<Op: LinearOp> LinearOp for DeflatedOp<'_, Op> {
     }
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
-        let mut xp = x.to_vec();
-        self.project(&mut xp);
-        self.inner.apply(&xp, y);
+        // The projected input copy comes from the per-thread
+        // workspace; the nested inner apply checks out its own buffer.
+        with_scratch(x.len(), |xp| {
+            xp.copy_from_slice(x);
+            self.project(xp);
+            self.inner.apply(xp, y);
+        });
         self.project(y);
     }
 }

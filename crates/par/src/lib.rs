@@ -1,19 +1,45 @@
-//! Minimal data-parallel utilities built on [`std::thread::scope`].
+//! Minimal data-parallel utilities over a **persistent worker-pool
+//! runtime**.
 //!
 //! The mixing-time measurements in this workspace are embarrassingly
 //! parallel over *sources* (each initial distribution evolves
 //! independently) and over *rows* (each node's slice of a sparse
-//! matrix-vector product is independent). The offline dependency set does
-//! not include `rayon`, so this crate provides the small subset we need:
+//! matrix-vector product is independent) — but they are also
+//! *iterated*: a single SLEM estimate applies the walk operator
+//! hundreds to thousands of times. Spawning threads per application
+//! (the original design) pays a spawn/join round per apply, which
+//! dwarfs the matvec itself on small and mid-size graphs. This crate
+//! therefore keeps one process-wide set of workers:
+//!
+//! - Workers are spawned **lazily** on the first parallel dispatch
+//!   (a [`Pool::serial`] pool never spawns anything) and **park**
+//!   between jobs.
+//! - Dispatching a job resets a recycled job header, pushes it on a
+//!   queue, and wakes the workers — sub-microsecond, and
+//!   allocation-free in steady state.
+//! - The dispatching thread participates as worker #0, so tiny jobs
+//!   complete inline while the workers are still waking.
+//! - The worker set grows on demand (a pool asking for more threads
+//!   than ever seen spawns the difference) and lives for the process.
+//!
+//! The offline dependency set does not include `rayon`, so this crate
+//! provides the small subset we need:
 //!
 //! - [`par_map_indexed`] — map a function over `0..n` into a `Vec`,
 //! - [`par_for_each_chunk`] — process disjoint index ranges in parallel,
 //! - [`par_reduce_indexed`] — map over `0..n` and fold the results,
-//! - [`Pool`] — a reusable handle carrying the thread count.
+//! - [`Pool`] — a reusable handle carrying the thread count and
+//!   [`Dispatch`] strategy ([`par_for_each_chunk_spawn`] and
+//!   [`Dispatch::Spawn`] keep the old spawn-per-call path alive as a
+//!   benchmark baseline).
 //!
 //! Scheduling is dynamic: workers pull fixed-size chunks of the index
 //! space from a shared atomic cursor, so skewed workloads (e.g. sources
-//! that mix at very different speeds) still balance.
+//! that mix at very different speeds) still balance. Chunk geometry
+//! depends only on `(n, threads)`, never on dispatch strategy or
+//! worker wake order — and since chunks own disjoint output ranges,
+//! every result in this crate is **bit-for-bit identical** across
+//! dispatch strategies and across runs.
 //!
 //! # Example
 //!
@@ -23,16 +49,21 @@
 //! ```
 
 mod pool;
+mod runtime;
 mod scheduler;
 
-pub use pool::Pool;
-pub use scheduler::{par_for_each_chunk, par_map_indexed, par_reduce_indexed, ChunkPlan};
+pub use pool::{Dispatch, Pool};
+pub use scheduler::{
+    par_for_each_chunk, par_for_each_chunk_spawn, par_map_indexed, par_reduce_indexed, ChunkPlan,
+};
 
 /// Returns the number of worker threads used by the free functions.
 ///
 /// Defaults to [`std::thread::available_parallelism`], clamped to at least
 /// 1, and can be overridden with the `SOCMIX_THREADS` environment
-/// variable (useful for reproducible benchmarking).
+/// variable (useful for reproducible benchmarking). With
+/// `SOCMIX_THREADS=1` every default pool runs inline and the runtime
+/// never spawns a worker.
 pub fn num_threads() -> usize {
     if let Ok(v) = std::env::var("SOCMIX_THREADS") {
         if let Ok(n) = v.trim().parse::<usize>() {

@@ -1,17 +1,36 @@
-//! A lightweight handle bundling a thread-count choice.
+//! A reusable parallelism handle over the persistent runtime.
 
-use crate::scheduler;
+use crate::scheduler::{self, ChunkPlan};
+
+/// How a [`Pool`] turns a job into running threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Dispatch {
+    /// Hand chunks to the persistent worker pool (workers spawned
+    /// once, parked between jobs). The default: dispatch is
+    /// sub-microsecond and allocation-free in steady state.
+    #[default]
+    Persistent,
+    /// Spawn (and join) fresh scoped threads per call — the
+    /// pre-runtime behaviour, kept as a measured baseline and for
+    /// callers that must not leave parked workers behind. Chunk
+    /// geometry is identical, so results are bit-for-bit the same.
+    Spawn,
+}
 
 /// A reusable parallelism configuration.
 ///
-/// `Pool` does not keep threads alive between calls (scoped threads are
-/// cheap at the granularity we use them — one spawn per long-running
-/// measurement); it exists so callers can thread an explicit degree of
-/// parallelism through an experiment instead of re-reading the
-/// environment at every call site.
+/// A `Pool` names a degree of parallelism and a [`Dispatch`] strategy;
+/// the actual worker threads live in a process-wide runtime that is
+/// spawned lazily on the first parallel dispatch and reused by every
+/// pool thereafter (see the crate docs for the lifecycle). `Pool` is
+/// therefore still `Copy` — cloning or dropping one never spawns or
+/// stops a thread — and exists so callers can thread an explicit
+/// degree of parallelism through an experiment instead of re-reading
+/// the environment at every call site.
 #[derive(Debug, Clone, Copy)]
 pub struct Pool {
     threads: usize,
+    dispatch: Dispatch,
 }
 
 impl Pool {
@@ -19,6 +38,7 @@ impl Pool {
     pub fn new() -> Self {
         Pool {
             threads: crate::num_threads(),
+            dispatch: Dispatch::Persistent,
         }
     }
 
@@ -26,17 +46,34 @@ impl Pool {
     pub fn with_threads(threads: usize) -> Self {
         Pool {
             threads: threads.max(1),
+            dispatch: Dispatch::Persistent,
         }
     }
 
-    /// A pool that always runs on the calling thread.
+    /// A pool that always runs on the calling thread. Never touches
+    /// the runtime: no threads are spawned, woken, or waited on.
     pub fn serial() -> Self {
-        Pool { threads: 1 }
+        Pool {
+            threads: 1,
+            dispatch: Dispatch::Persistent,
+        }
+    }
+
+    /// Switches this pool to spawn-per-call dispatch (the benchmark
+    /// baseline; see [`Dispatch::Spawn`]).
+    pub fn spawn_per_call(mut self) -> Self {
+        self.dispatch = Dispatch::Spawn;
+        self
     }
 
     /// The number of worker threads this pool will use.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The dispatch strategy in force.
+    pub fn dispatch(&self) -> Dispatch {
+        self.dispatch
     }
 
     /// Maps `f` over `0..n` in index order using this pool.
@@ -45,7 +82,7 @@ impl Pool {
         T: Send + Default + Clone,
         F: Fn(usize) -> T + Sync,
     {
-        scheduler::par_map_indexed_with(n, self.threads, f)
+        scheduler::map_indexed_dispatch(n, self.threads, self.dispatch, f)
     }
 
     /// Runs `body` over disjoint chunks of `0..n` using this pool.
@@ -53,7 +90,28 @@ impl Pool {
     where
         F: Fn(std::ops::Range<usize>) + Sync,
     {
-        scheduler::par_for_each_chunk(n, self.threads, body)
+        scheduler::run_dispatch(
+            ChunkPlan::new(n, self.threads),
+            self.threads,
+            self.dispatch,
+            &body,
+        );
+    }
+
+    /// Maps `f` over `0..n` and folds the results with `fold` using
+    /// this pool.
+    ///
+    /// `fold` must be associative with `identity` as its unit;
+    /// partials are folded in chunk-index order (lock-free per-chunk
+    /// slots), so the result is deterministic for a fixed thread
+    /// count.
+    pub fn reduce_indexed<T, F, R>(&self, n: usize, identity: T, f: F, fold: R) -> T
+    where
+        T: Send + Sync + Clone,
+        F: Fn(usize) -> T + Sync,
+        R: Fn(T, T) -> T + Sync + Send,
+    {
+        scheduler::reduce_indexed_dispatch(n, self.threads, self.dispatch, identity, f, fold)
     }
 }
 
@@ -85,7 +143,25 @@ mod tests {
     }
 
     #[test]
+    fn spawn_pool_map_matches_persistent() {
+        let a = Pool::with_threads(4)
+            .spawn_per_call()
+            .map_indexed(257, |i| i * i);
+        let b = Pool::with_threads(4).map_indexed(257, |i| i * i);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pool_reduce_matches_serial() {
+        let par = Pool::with_threads(8).reduce_indexed(4000, 0u64, |i| i as u64, |a, b| a + b);
+        assert_eq!(par, 4000 * 3999 / 2);
+        let ser = Pool::serial().reduce_indexed(4000, 0u64, |i| i as u64, |a, b| a + b);
+        assert_eq!(par, ser);
+    }
+
+    #[test]
     fn default_is_new() {
         assert_eq!(Pool::default().threads(), Pool::new().threads());
+        assert_eq!(Pool::default().dispatch(), Dispatch::Persistent);
     }
 }

@@ -1,0 +1,317 @@
+//! The persistent worker-pool runtime behind every parallel dispatch.
+//!
+//! Workers are spawned **once**, lazily, the first time a job actually
+//! needs them (a serial pool never touches the runtime), and then park
+//! on a condvar between jobs. Dispatching a job is: reset a recycled
+//! job header, push it on the shared queue, wake the workers — no
+//! thread spawn, no join, and in steady state no heap allocation (job
+//! headers are recycled through a freelist once every borrower has
+//! dropped its handle). The caller participates as worker #0, claiming
+//! chunks from the same atomic cursor, so a dispatch where the body is
+//! tiny often completes before a single worker wakes.
+//!
+//! The worker set only grows: a job asking for `t` threads ensures
+//! `t − 1` workers exist (capped by how many chunks the job actually
+//! has). `SOCMIX_THREADS` bounds the *default* pool width via
+//! [`crate::num_threads`]; explicit [`crate::Pool::with_threads`]
+//! requests can still grow past it, exactly as spawn-per-call could.
+//!
+//! # Why this is sound
+//!
+//! The job body is a type-erased borrowed closure. The dispatcher
+//! blocks until `remaining == 0`; a worker decrements `remaining` only
+//! *after* its chunk's body call returns, and claims chunks only while
+//! the job header is reachable from the queue, so no thread can touch
+//! the closure after the dispatch call returns. The header itself is
+//! an `Arc` that outlives any late worker that cloned it from the
+//! queue but lost the cursor race; headers are recycled only once
+//! `Arc::get_mut` proves the dispatcher holds the sole reference.
+
+use crate::scheduler::ChunkPlan;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Type-erased pointer to the borrowed job body. Valid for the
+/// duration of the dispatch call that published it (see module docs).
+struct BodyPtr(*const (dyn Fn(std::ops::Range<usize>) + Sync));
+unsafe impl Send for BodyPtr {}
+unsafe impl Sync for BodyPtr {}
+
+/// One dispatched job: a chunk plan, a claim cursor, and a completion
+/// counter. Plain fields are mutated only between runs, under
+/// `Arc::get_mut` uniqueness, and published to workers through the
+/// queue mutex.
+struct Job {
+    plan: ChunkPlan,
+    units: usize,
+    body: BodyPtr,
+    /// Next unclaimed chunk index.
+    cursor: AtomicUsize,
+    /// Chunks whose body call has not yet returned.
+    remaining: AtomicUsize,
+    done: Mutex<()>,
+    done_cv: Condvar,
+}
+
+impl Job {
+    fn idle() -> Self {
+        Job {
+            plan: ChunkPlan { n: 0, chunk: 1 },
+            units: 0,
+            body: BodyPtr(&NOOP_BODY as *const _),
+            cursor: AtomicUsize::new(0),
+            remaining: AtomicUsize::new(0),
+            done: Mutex::new(()),
+            done_cv: Condvar::new(),
+        }
+    }
+
+    /// Claims and runs chunks until the cursor is exhausted. Called by
+    /// workers and by the dispatching thread alike.
+    fn run_chunks(&self) {
+        loop {
+            let u = self.cursor.fetch_add(1, Ordering::Relaxed);
+            if u >= self.units {
+                return;
+            }
+            // SAFETY: `u < units` means the dispatcher is still blocked
+            // in `run`, so the borrowed body is alive (module docs).
+            let body = unsafe { &*self.body.0 };
+            body(self.plan.range(u));
+            if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let _g = self.done.lock().unwrap();
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.cursor.load(Ordering::Relaxed) >= self.units
+    }
+}
+
+static NOOP_BODY: fn(std::ops::Range<usize>) = |_| {};
+
+struct State {
+    /// Jobs with unclaimed chunks (plus recently exhausted ones their
+    /// dispatcher has not yet collected).
+    queue: Vec<Arc<Job>>,
+    /// Recycled job headers awaiting reuse.
+    free: Vec<Arc<Job>>,
+    /// Workers spawned so far (process lifetime).
+    workers: usize,
+}
+
+/// Cap on the recycled-header freelist; beyond this, headers drop.
+const FREE_CAP: usize = 64;
+
+struct Runtime {
+    state: Mutex<State>,
+    work_cv: Condvar,
+}
+
+fn runtime() -> &'static Runtime {
+    static RT: OnceLock<Runtime> = OnceLock::new();
+    RT.get_or_init(|| Runtime {
+        state: Mutex::new(State {
+            queue: Vec::new(),
+            free: Vec::new(),
+            workers: 0,
+        }),
+        work_cv: Condvar::new(),
+    })
+}
+
+fn worker_loop(rt: &'static Runtime) {
+    let mut guard = rt.state.lock().unwrap();
+    loop {
+        let job = guard.queue.iter().find(|j| !j.exhausted()).cloned();
+        match job {
+            Some(job) => {
+                drop(guard);
+                job.run_chunks();
+                drop(job);
+                guard = rt.state.lock().unwrap();
+            }
+            None => guard = rt.work_cv.wait(guard).unwrap(),
+        }
+    }
+}
+
+/// Runs `body` over the chunks of `plan` on up to `threads` threads
+/// (the caller plus parked pool workers). Blocks until every chunk's
+/// body call has returned.
+///
+/// `threads <= 1` and single-chunk plans run inline on the caller with
+/// no locking and no runtime access, which keeps `Pool::serial`
+/// spawn-free and lock-free.
+pub(crate) fn run(plan: ChunkPlan, threads: usize, body: &(dyn Fn(std::ops::Range<usize>) + Sync)) {
+    let units = plan.units();
+    if units == 0 {
+        return;
+    }
+    if threads <= 1 || units == 1 {
+        for u in 0..units {
+            body(plan.range(u));
+        }
+        return;
+    }
+    let rt = runtime();
+    let job;
+    {
+        let mut st = rt.state.lock().unwrap();
+        // Reuse a header nobody else still references; allocate only
+        // when the freelist has none (cold start).
+        let slot = st
+            .free
+            .iter()
+            .position(|j| Arc::strong_count(j) == 1)
+            .map(|i| st.free.swap_remove(i));
+        let mut handle = slot.unwrap_or_else(|| Arc::new(Job::idle()));
+        {
+            let j = Arc::get_mut(&mut handle).expect("freelist header is unique");
+            j.plan = plan;
+            j.units = units;
+            // SAFETY: lifetime erasure only — the pointer is
+            // dereferenced exclusively while this dispatch call is
+            // blocked (see module docs), during which `body` is live.
+            j.body = BodyPtr(unsafe {
+                std::mem::transmute::<
+                    *const (dyn Fn(std::ops::Range<usize>) + Sync + '_),
+                    *const (dyn Fn(std::ops::Range<usize>) + Sync + 'static),
+                >(body as *const _)
+            });
+            j.cursor.store(0, Ordering::Relaxed);
+            j.remaining.store(units, Ordering::Relaxed);
+        }
+        // Grow the worker set: the caller participates, so `threads`
+        // threads of parallelism need `threads - 1` workers — and never
+        // more workers than remaining chunks.
+        let want = (threads - 1).min(units - 1);
+        while st.workers < want {
+            st.workers += 1;
+            let name = format!("socmix-par-{}", st.workers);
+            std::thread::Builder::new()
+                .name(name)
+                .spawn(move || worker_loop(runtime()))
+                .expect("failed to spawn pool worker");
+        }
+        st.queue.push(handle.clone());
+        job = handle;
+        rt.work_cv.notify_all();
+    }
+    // The caller is worker #0.
+    job.run_chunks();
+    // Wait for workers still inside body calls on claimed chunks.
+    {
+        let mut g = job.done.lock().unwrap();
+        while job.remaining.load(Ordering::Acquire) != 0 {
+            g = job.done_cv.wait(g).unwrap();
+        }
+    }
+    // Collect the header: off the queue, onto the freelist.
+    let mut st = rt.state.lock().unwrap();
+    st.queue.retain(|j| !Arc::ptr_eq(j, &job));
+    if st.free.len() < FREE_CAP {
+        st.free.push(job);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn covers_every_index_once() {
+        let hits: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+        let hits_ref = &hits;
+        run(ChunkPlan::new(1000, 4), 4, &move |range| {
+            for i in range {
+                hits_ref[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn repeated_dispatch_reuses_workers() {
+        // 200 back-to-back jobs: under spawn-per-call this would be
+        // 600 thread spawns; here the worker set stays fixed.
+        let sum = AtomicU64::new(0);
+        for _ in 0..200 {
+            let sum_ref = &sum;
+            run(ChunkPlan::new(64, 4), 4, &move |range| {
+                for i in range {
+                    sum_ref.fetch_add(i as u64, Ordering::Relaxed);
+                }
+            });
+        }
+        assert_eq!(sum.load(Ordering::Relaxed), 200 * (64 * 63 / 2));
+    }
+
+    #[test]
+    fn nested_dispatch_completes() {
+        // a chunk body that itself dispatches a parallel job must not
+        // deadlock: the inner dispatcher drains its own cursor.
+        let total = AtomicU64::new(0);
+        let total_ref = &total;
+        run(ChunkPlan::new(8, 2), 2, &move |outer| {
+            for _ in outer {
+                run(ChunkPlan::new(32, 2), 2, &move |inner| {
+                    for i in inner {
+                        total_ref.fetch_add(i as u64, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 8 * (32 * 31 / 2));
+    }
+
+    #[test]
+    fn zero_units_is_noop() {
+        run(ChunkPlan::new(0, 8), 8, &|_| panic!("no chunks to run"));
+    }
+
+    #[test]
+    fn oversubscribed_threads_small_n() {
+        let hits: Vec<AtomicU64> = (0..3).map(|_| AtomicU64::new(0)).collect();
+        let hits_ref = &hits;
+        run(ChunkPlan::new(3, 32), 32, &move |range| {
+            for i in range {
+                hits_ref[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn concurrent_dispatchers_from_plain_threads() {
+        // two foreign threads dispatching simultaneously share the
+        // worker set without interference
+        let a = AtomicU64::new(0);
+        let b = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for _ in 0..50 {
+                    run(ChunkPlan::new(128, 3), 3, &|range| {
+                        for _ in range {
+                            a.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+            s.spawn(|| {
+                for _ in 0..50 {
+                    run(ChunkPlan::new(128, 3), 3, &|range| {
+                        for _ in range {
+                            b.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+        });
+        assert_eq!(a.load(Ordering::Relaxed), 50 * 128);
+        assert_eq!(b.load(Ordering::Relaxed), 50 * 128);
+    }
+}

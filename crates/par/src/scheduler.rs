@@ -1,5 +1,15 @@
 //! Dynamic chunked scheduling over an index space.
+//!
+//! All entry points cut `0..n` into the same [`ChunkPlan`] and hand
+//! chunks out from an atomic cursor; what differs is *dispatch* — how
+//! threads come to be running the chunk loop. The default is the
+//! persistent runtime (`crate::runtime`): workers spawned once, parked
+//! between jobs. The old spawn-per-call dispatch is kept as
+//! [`par_for_each_chunk_spawn`], the benchmark baseline that the
+//! dispatch-overhead bench (`socmix-bench`, `benches/pool.rs`)
+//! measures the runtime against.
 
+use crate::pool::Dispatch;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// How an index space `0..n` is cut into work units.
@@ -39,17 +49,38 @@ impl ChunkPlan {
     }
 }
 
-/// Runs `body` over disjoint chunks of `0..n` on `threads` workers.
+/// Runs `body` over disjoint chunks of `0..n` on `threads` threads via
+/// the persistent worker pool.
 ///
 /// `body` receives the half-open range it owns. Chunks are claimed
-/// dynamically from a shared cursor, so uneven chunk costs still balance.
-/// With `threads == 1` (or `n` small enough to fit one chunk) the body
-/// runs on the calling thread with no thread spawns.
+/// dynamically from a shared cursor, so uneven chunk costs still
+/// balance. With `threads == 1` (or `n` small enough to fit one chunk)
+/// the body runs on the calling thread with no pool interaction at
+/// all.
 pub fn par_for_each_chunk<F>(n: usize, threads: usize, body: F)
 where
     F: Fn(std::ops::Range<usize>) + Sync,
 {
-    let plan = ChunkPlan::new(n, threads);
+    crate::runtime::run(ChunkPlan::new(n, threads), threads, &body);
+}
+
+/// As [`par_for_each_chunk`], dispatching by spawning (and joining)
+/// fresh scoped threads for this one call.
+///
+/// This is the pre-runtime dispatch strategy, kept as the measured
+/// baseline for the pool benches and for callers that explicitly do
+/// not want the process to retain parked workers. Chunk geometry is
+/// identical to the persistent path, so results are bit-for-bit the
+/// same.
+pub fn par_for_each_chunk_spawn<F>(n: usize, threads: usize, body: F)
+where
+    F: Fn(std::ops::Range<usize>) + Sync,
+{
+    spawn_run(ChunkPlan::new(n, threads), threads, &body);
+}
+
+/// Spawn-per-call dispatch over an explicit plan.
+fn spawn_run(plan: ChunkPlan, threads: usize, body: &(dyn Fn(std::ops::Range<usize>) + Sync)) {
     let units = plan.units();
     if units == 0 {
         return;
@@ -61,7 +92,6 @@ where
         return;
     }
     let cursor = AtomicUsize::new(0);
-    let body = &body;
     let cursor = &cursor;
     std::thread::scope(|scope| {
         for _ in 0..threads.min(units) {
@@ -74,6 +104,19 @@ where
             });
         }
     });
+}
+
+/// Dispatch-selected chunk runner shared by the `Pool` methods.
+pub(crate) fn run_dispatch(
+    plan: ChunkPlan,
+    threads: usize,
+    dispatch: Dispatch,
+    body: &(dyn Fn(std::ops::Range<usize>) + Sync),
+) {
+    match dispatch {
+        Dispatch::Persistent => crate::runtime::run(plan, threads, body),
+        Dispatch::Spawn => spawn_run(plan, threads, body),
+    }
 }
 
 /// Maps `f` over `0..n` in parallel and collects results in index order.
@@ -91,65 +134,126 @@ where
     T: Send + Default + Clone,
     F: Fn(usize) -> T + Sync,
 {
+    map_indexed_dispatch(n, threads, Dispatch::Persistent, f)
+}
+
+/// Dispatch-selected map used by [`crate::Pool::map_indexed`].
+pub(crate) fn map_indexed_dispatch<T, F>(
+    n: usize,
+    threads: usize,
+    dispatch: Dispatch,
+    f: F,
+) -> Vec<T>
+where
+    T: Send + Default + Clone,
+    F: Fn(usize) -> T + Sync,
+{
     let mut out = vec![T::default(); n];
     {
         // Each chunk owns a disjoint slice of `out`; hand out raw parts
         // through a shared pointer wrapper to avoid a mutex per element.
-        struct SendPtr<T>(*mut T);
-        unsafe impl<T: Send> Send for SendPtr<T> {}
-        unsafe impl<T: Send> Sync for SendPtr<T> {}
         let base = SendPtr(out.as_mut_ptr());
         let base = &base;
         let f = &f;
-        par_for_each_chunk(n, threads, move |range| {
-            for i in range {
-                // SAFETY: chunks from `par_for_each_chunk` are disjoint
-                // half-open ranges of 0..n, so each `i` is written by
-                // exactly one worker, and `out` outlives the scope.
-                unsafe {
-                    *base.0.add(i) = f(i);
+        run_dispatch(
+            ChunkPlan::new(n, threads),
+            threads,
+            dispatch,
+            &move |range: std::ops::Range<usize>| {
+                for i in range {
+                    // SAFETY: chunks are disjoint half-open ranges of
+                    // 0..n, so each `i` is written by exactly one
+                    // worker, and `out` outlives the dispatch.
+                    unsafe {
+                        *base.0.add(i) = f(i);
+                    }
                 }
-            }
-        });
+            },
+        );
     }
     out
 }
 
 /// Maps `f` over `0..n` in parallel and folds the results with `fold`.
 ///
-/// `fold` must be associative and commutative (chunk results arrive in an
-/// unspecified order); `identity` is its unit.
+/// `fold` must be associative with `identity` as its unit. Each chunk
+/// folds its indices in ascending order into a per-chunk partial slot
+/// (no locks), and the partials are folded in chunk-index order — so
+/// for a fixed thread count the result is deterministic, including for
+/// non-commutative or floating-point folds. Across *different* thread
+/// counts the chunk geometry (and hence the association order) can
+/// differ.
 pub fn par_reduce_indexed<T, F, R>(n: usize, identity: T, f: F, fold: R) -> T
 where
     T: Send + Sync + Clone,
     F: Fn(usize) -> T + Sync,
     R: Fn(T, T) -> T + Sync + Send,
 {
-    let threads = crate::num_threads();
-    let partials = parking_free_collect(n, threads, &f, &fold, identity.clone());
-    partials.into_iter().fold(identity, fold)
+    reduce_indexed_dispatch(
+        n,
+        crate::num_threads(),
+        Dispatch::Persistent,
+        identity,
+        f,
+        fold,
+    )
 }
 
-fn parking_free_collect<T, F, R>(n: usize, threads: usize, f: &F, fold: &R, identity: T) -> Vec<T>
+/// Dispatch-selected reduce used by [`crate::Pool::reduce_indexed`].
+///
+/// Partials live in one slot per chunk — workers never contend on a
+/// lock (the old implementation pushed partials through a
+/// `Mutex<Vec<T>>`, serializing every chunk completion).
+pub(crate) fn reduce_indexed_dispatch<T, F, R>(
+    n: usize,
+    threads: usize,
+    dispatch: Dispatch,
+    identity: T,
+    f: F,
+    fold: R,
+) -> T
 where
     T: Send + Sync + Clone,
     F: Fn(usize) -> T + Sync,
     R: Fn(T, T) -> T + Sync + Send,
 {
-    use std::sync::Mutex;
-    let partials: Mutex<Vec<T>> = Mutex::new(Vec::new());
+    let plan = ChunkPlan::new(n, threads);
+    let units = plan.units();
+    if units == 0 {
+        return identity;
+    }
+    let mut slots: Vec<Option<T>> = vec![None; units];
     {
-        let partials = &partials;
-        par_for_each_chunk(n, threads, move |range| {
+        let base = SendPtr(slots.as_mut_ptr());
+        let base = &base;
+        let f = &f;
+        let fold = &fold;
+        let identity = &identity;
+        let chunk = plan.chunk;
+        run_dispatch(plan, threads, dispatch, &move |range: std::ops::Range<
+            usize,
+        >| {
+            let u = range.start / chunk;
             let mut acc = identity.clone();
             for i in range {
                 acc = fold(acc, f(i));
             }
-            partials.lock().unwrap().push(acc);
+            // SAFETY: chunk `u` is claimed by exactly one worker,
+            // so slot `u` has exactly one writer, and `slots`
+            // outlives the dispatch.
+            unsafe {
+                *base.0.add(u) = Some(acc);
+            }
         });
     }
-    partials.into_inner().unwrap()
+    slots.into_iter().flatten().fold(identity, fold)
 }
+
+/// Raw-pointer wrapper so disjoint chunks can write one output buffer
+/// without a lock.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 #[cfg(test)]
 mod tests {
@@ -210,8 +314,46 @@ mod tests {
     }
 
     #[test]
+    fn reduce_is_repeatable_for_floats() {
+        // per-chunk slots folded in chunk order: the float association
+        // is fixed for a given thread count, so reruns agree exactly
+        let run = || {
+            reduce_indexed_dispatch(
+                5_000,
+                4,
+                Dispatch::Persistent,
+                0.0f64,
+                |i| 1.0 / (i + 1) as f64,
+                |a, b| a + b,
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn spawn_and_persistent_dispatch_agree() {
+        use std::sync::atomic::AtomicU32;
+        for n in [1usize, 5, 513, 2000] {
+            let hits: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+            par_for_each_chunk(n, 4, |range| {
+                for i in range {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            par_for_each_chunk_spawn(n, 4, |range| {
+                for i in range {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 2), "n={n}");
+        }
+    }
+
+    #[test]
     fn for_each_chunk_disjoint_writes() {
-        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::atomic::AtomicU32;
         let hits: Vec<AtomicU32> = (0..513).map(|_| AtomicU32::new(0)).collect();
         par_for_each_chunk(513, 4, |range| {
             for i in range {

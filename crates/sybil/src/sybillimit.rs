@@ -97,6 +97,14 @@ impl<'g> SybilLimit<'g> {
         self.r
     }
 
+    /// Sets the thread pool route instances are evaluated on. Verdicts
+    /// are independent of the pool width — instances are seeded by
+    /// index, not by worker.
+    pub fn pool(mut self, pool: Pool) -> Self {
+        self.pool = pool;
+        self
+    }
+
     /// The parameters in force.
     pub fn params(&self) -> &SybilLimitParams {
         self.params_ref()
@@ -279,6 +287,23 @@ mod tests {
 
     fn fast_graph() -> socmix_graph::Graph {
         barabasi_albert(300, 4, &mut StdRng::seed_from_u64(1))
+    }
+
+    #[test]
+    fn pool_width_does_not_change_verdicts() {
+        let g = fast_graph();
+        let params = SybilLimitParams {
+            w: 6,
+            ..Default::default()
+        };
+        let suspects: Vec<_> = (1..40).collect();
+        let serial = SybilLimit::new(&g, params)
+            .pool(Pool::serial())
+            .verify_all(0, &suspects);
+        let par = SybilLimit::new(&g, params)
+            .pool(Pool::with_threads(4))
+            .verify_all(0, &suspects);
+        assert_eq!(serial.accepted, par.accepted);
     }
 
     #[test]
