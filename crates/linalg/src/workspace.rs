@@ -13,7 +13,16 @@
 //! reuses, so a whole Lanczos/power/probe run performs **zero heap
 //! allocation per operator application** in steady state. Nested
 //! checkouts (a [`crate::DeflatedOp`] whose inner operator also needs
-//! scratch) receive distinct buffers because the pool is a stack.
+//! scratch) receive distinct buffers because checked-out buffers leave
+//! the pool.
+//!
+//! Buffers are keyed by power-of-two *size class*: a checkout only
+//! reuses a buffer whose capacity matches its class, so alternating
+//! large and small requests each get their own buffer instead of
+//! resizing one back and forth, and a small request never grows to the
+//! largest `n` the thread has ever seen. The pool keeps at most
+//! [`MAX_POOLED`] buffers per thread (drops the returning buffer past
+//! that), which bounds how much memory an idle persistent worker pins.
 //!
 //! Thread-local storage is what keeps the operators `Sync`: a shared
 //! `&WalkOp` can be applied concurrently from many pool workers (the
@@ -29,6 +38,19 @@ thread_local! {
     static SCRATCH: RefCell<Vec<Vec<f64>>> = const { RefCell::new(Vec::new()) };
 }
 
+/// Most buffers retained per thread; a returning buffer is dropped
+/// once the pool is full. Nested checkout depth in this codebase is
+/// 2–3 (`DeflatedOp` over `SymmetricWalkOp`), so 8 leaves headroom.
+pub const MAX_POOLED: usize = 8;
+
+/// Smallest buffer class, so tiny requests don't fragment the pool
+/// into many near-empty classes.
+const MIN_CLASS: usize = 64;
+
+fn size_class(n: usize) -> usize {
+    n.next_power_of_two().max(MIN_CLASS)
+}
+
 /// Runs `f` with a scratch buffer of length `n` checked out of the
 /// calling thread's buffer pool.
 ///
@@ -36,10 +58,23 @@ thread_local! {
 /// it later reads. The buffer returns to the pool when `f` returns
 /// (on panic it is simply dropped).
 pub fn with_scratch<R>(n: usize, f: impl FnOnce(&mut [f64]) -> R) -> R {
-    let mut buf = SCRATCH.with(|s| s.borrow_mut().pop()).unwrap_or_default();
+    let class = size_class(n);
+    let mut buf = SCRATCH
+        .with(|s| {
+            let mut pool = s.borrow_mut();
+            pool.iter()
+                .position(|b| b.capacity() >= class && b.capacity() < class * 2)
+                .map(|i| pool.swap_remove(i))
+        })
+        .unwrap_or_else(|| Vec::with_capacity(class));
     buf.resize(n, 0.0);
     let r = f(&mut buf);
-    SCRATCH.with(|s| s.borrow_mut().push(buf));
+    SCRATCH.with(|s| {
+        let mut pool = s.borrow_mut();
+        if pool.len() < MAX_POOLED {
+            pool.push(buf);
+        }
+    });
     r
 }
 
@@ -77,5 +112,32 @@ mod tests {
         let p1 = with_scratch(64, |b| b.as_ptr() as usize);
         let p2 = with_scratch(64, |b| b.as_ptr() as usize);
         assert_eq!(p1, p2, "steady-state checkout must reuse the buffer");
+    }
+
+    #[test]
+    fn alternating_sizes_keep_distinct_buffers() {
+        // large and small checkouts land in different size classes, so
+        // neither resizes the other's buffer back and forth
+        let big = with_scratch(100_000, |b| b.as_ptr() as usize);
+        let small = with_scratch(100, |b| b.as_ptr() as usize);
+        assert_ne!(big, small);
+        for _ in 0..4 {
+            assert_eq!(with_scratch(100_000, |b| b.as_ptr() as usize), big);
+            assert_eq!(with_scratch(100, |b| b.as_ptr() as usize), small);
+        }
+    }
+
+    #[test]
+    fn pool_retention_is_bounded() {
+        // deeper simultaneous nesting than MAX_POOLED must not grow
+        // the retained pool past the cap (excess buffers drop)
+        fn nest(depth: usize) {
+            if depth > 0 {
+                with_scratch(32, |_| nest(depth - 1));
+            }
+        }
+        nest(MAX_POOLED + 4);
+        let retained = SCRATCH.with(|s| s.borrow().len());
+        assert!(retained <= MAX_POOLED, "retained {retained} buffers");
     }
 }

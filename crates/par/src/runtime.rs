@@ -26,8 +26,26 @@
 //! an `Arc` that outlives any late worker that cloned it from the
 //! queue but lost the cursor race; headers are recycled only once
 //! `Arc::get_mut` proves the dispatcher holds the sole reference.
+//!
+//! # Panic safety
+//!
+//! Every body call runs under `catch_unwind`, on workers and on the
+//! dispatching thread alike, so a panicking body can never unwind out
+//! of [`run`] while the job header (and its borrowed body pointer) is
+//! still claimable from the queue, and can never kill a pool worker.
+//! The first panic *poisons* the job — the cursor jumps to the end, so
+//! no further chunks are claimed — and retires every never-handed-out
+//! chunk from `remaining` in the same step, so the dispatcher's wait
+//! still terminates once in-flight chunks drain. The dispatcher then
+//! collects the header off the queue as usual and only *afterwards*
+//! re-raises the stored payload via `resume_unwind`, matching the
+//! propagation semantics of the `std::thread::scope` dispatch this
+//! runtime replaced. Workers survive body panics, so the pool stays
+//! fully functional for subsequent dispatches.
 
 use crate::scheduler::ChunkPlan;
+use std::any::Any;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
@@ -47,10 +65,14 @@ struct Job {
     body: BodyPtr,
     /// Next unclaimed chunk index.
     cursor: AtomicUsize,
-    /// Chunks whose body call has not yet returned.
+    /// Chunks whose body call has not yet returned (plus, until a
+    /// poisoning panic retires them, chunks never handed out).
     remaining: AtomicUsize,
     done: Mutex<()>,
     done_cv: Condvar,
+    /// First panic payload from any body call; re-raised by the
+    /// dispatcher after the job is collected (module docs).
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
 }
 
 impl Job {
@@ -63,11 +85,14 @@ impl Job {
             remaining: AtomicUsize::new(0),
             done: Mutex::new(()),
             done_cv: Condvar::new(),
+            panic: Mutex::new(None),
         }
     }
 
     /// Claims and runs chunks until the cursor is exhausted. Called by
-    /// workers and by the dispatching thread alike.
+    /// workers and by the dispatching thread alike. Never unwinds: a
+    /// panicking body poisons the job and stashes the payload for the
+    /// dispatcher to re-raise (module docs, "Panic safety").
     fn run_chunks(&self) {
         loop {
             let u = self.cursor.fetch_add(1, Ordering::Relaxed);
@@ -77,8 +102,27 @@ impl Job {
             // SAFETY: `u < units` means the dispatcher is still blocked
             // in `run`, so the borrowed body is alive (module docs).
             let body = unsafe { &*self.body.0 };
-            body(self.plan.range(u));
-            if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // AssertUnwindSafe: on unwind the job is poisoned and the
+            // payload re-raised on the dispatcher, so a broken-invariant
+            // body still surfaces as a panic on the caller, exactly as
+            // it would under `std::thread::scope` dispatch.
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| body(self.plan.range(u))));
+            // Chunks this call retires: its own, plus — on panic —
+            // every chunk never handed out (the poisoned cursor
+            // guarantees nobody will claim them).
+            let mut retired = 1;
+            if let Err(payload) = outcome {
+                let handed_out = self
+                    .cursor
+                    .swap(self.units, Ordering::AcqRel)
+                    .min(self.units);
+                retired += self.units - handed_out;
+                let mut slot = self.panic.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            if self.remaining.fetch_sub(retired, Ordering::AcqRel) == retired {
                 let _g = self.done.lock().unwrap();
                 self.done_cv.notify_all();
             }
@@ -125,7 +169,11 @@ fn runtime() -> &'static Runtime {
 fn worker_loop(rt: &'static Runtime) {
     let mut guard = rt.state.lock().unwrap();
     loop {
-        let job = guard.queue.iter().find(|j| !j.exhausted()).cloned();
+        // Drop exhausted entries eagerly so the scan stays short under
+        // concurrent dispatchers; each dispatcher holds its own Arc and
+        // does not need the queue entry to collect its job.
+        guard.queue.retain(|j| !j.exhausted());
+        let job = guard.queue.first().cloned();
         match job {
             Some(job) => {
                 drop(guard);
@@ -189,31 +237,48 @@ pub(crate) fn run(plan: ChunkPlan, threads: usize, body: &(dyn Fn(std::ops::Rang
         // more workers than remaining chunks.
         let want = (threads - 1).min(units - 1);
         while st.workers < want {
-            st.workers += 1;
-            let name = format!("socmix-par-{}", st.workers);
-            std::thread::Builder::new()
+            let name = format!("socmix-par-{}", st.workers + 1);
+            let spawned = std::thread::Builder::new()
                 .name(name)
-                .spawn(move || worker_loop(runtime()))
-                .expect("failed to spawn pool worker");
+                .spawn(move || worker_loop(runtime()));
+            match spawned {
+                Ok(_) => st.workers += 1,
+                // Degrade gracefully on spawn failure: the caller
+                // drains the cursor itself, so the job still completes
+                // on fewer threads. Panicking here would poison the
+                // runtime mutex for the whole process.
+                Err(_) => break,
+            }
         }
         st.queue.push(handle.clone());
         job = handle;
         rt.work_cv.notify_all();
     }
-    // The caller is worker #0.
+    // The caller is worker #0. `run_chunks` never unwinds — a body
+    // panic poisons the job and is stashed for re-raising below.
     job.run_chunks();
-    // Wait for workers still inside body calls on claimed chunks.
+    // Wait for workers still inside body calls on claimed chunks. A
+    // poisoning panic retires the never-handed-out chunks, so this
+    // terminates even when the job was cut short.
     {
         let mut g = job.done.lock().unwrap();
         while job.remaining.load(Ordering::Acquire) != 0 {
             g = job.done_cv.wait(g).unwrap();
         }
     }
-    // Collect the header: off the queue, onto the freelist.
-    let mut st = rt.state.lock().unwrap();
-    st.queue.retain(|j| !Arc::ptr_eq(j, &job));
-    if st.free.len() < FREE_CAP {
-        st.free.push(job);
+    let payload = job.panic.lock().unwrap().take();
+    // Collect the header: off the queue, onto the freelist. This must
+    // happen before any unwinding so no queue entry can outlive the
+    // borrowed body it points at.
+    {
+        let mut st = rt.state.lock().unwrap();
+        st.queue.retain(|j| !Arc::ptr_eq(j, &job));
+        if st.free.len() < FREE_CAP {
+            st.free.push(job);
+        }
+    }
+    if let Some(payload) = payload {
+        std::panic::resume_unwind(payload);
     }
 }
 
@@ -278,6 +343,54 @@ mod tests {
         let hits: Vec<AtomicU64> = (0..3).map(|_| AtomicU64::new(0)).collect();
         let hits_ref = &hits;
         run(ChunkPlan::new(3, 32), 32, &move |range| {
+            for i in range {
+                hits_ref[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn panicking_body_propagates_and_pool_survives() {
+        // the chunk that owns index 0 panics; the dispatch must
+        // re-raise that panic on the caller (not hang, not UB) and the
+        // pool must stay usable afterwards
+        let caught = std::panic::catch_unwind(|| {
+            run(ChunkPlan::new(256, 4), 4, &|range| {
+                if range.start == 0 {
+                    panic!("boom");
+                }
+            });
+        });
+        let payload = caught.expect_err("body panic must propagate to the dispatcher");
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"boom"));
+
+        let sum = AtomicU64::new(0);
+        run(ChunkPlan::new(64, 4), 4, &|range| {
+            for i in range {
+                sum.fetch_add(i as u64, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 64 * 63 / 2);
+    }
+
+    #[test]
+    fn repeated_panics_never_hang_or_kill_workers() {
+        // workers survive body panics (catch_unwind in run_chunks), so
+        // even many panicking dispatches leave a functional pool
+        for round in 0..20 {
+            let caught = std::panic::catch_unwind(|| {
+                run(ChunkPlan::new(512, 8), 4, &|range| {
+                    if range.start % 64 == 0 {
+                        panic!("round {round}");
+                    }
+                });
+            });
+            assert!(caught.is_err());
+        }
+        let hits: Vec<AtomicU64> = (0..100).map(|_| AtomicU64::new(0)).collect();
+        let hits_ref = &hits;
+        run(ChunkPlan::new(100, 4), 4, &move |range| {
             for i in range {
                 hits_ref[i].fetch_add(1, Ordering::Relaxed);
             }
