@@ -3,7 +3,7 @@
 //! catalog.
 //!
 //! ```text
-//! repro [--scale S] [--seed N] [--sources K] [--tmax T] <command>
+//! repro [--scale S] [--seed N] [--sources K] [--tmax T] [--metrics PATH] [--quiet] <command>
 //!
 //! commands:
 //!   table1        dataset properties and second largest eigenvalues
@@ -40,6 +40,64 @@ use socmix_markov::dist::{edge_uniformity_tvd, separation_distance};
 use socmix_markov::Evolver;
 use socmix_sybil::experiment::{admission_experiment, sybil_yield_experiment};
 use socmix_sybil::{attach_sybil_region, AttackParams, SybilTopology};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// Set once in `main` from `--quiet`; gates every progress line.
+static QUIET: AtomicBool = AtomicBool::new(false);
+
+/// A progress line on stderr, suppressed by `--quiet`.
+macro_rules! progress {
+    ($($arg:tt)+) => {
+        if !QUIET.load(Ordering::Relaxed) {
+            eprintln!($($arg)+);
+        }
+    };
+}
+
+/// Every subcommand, in the order `all` runs them.
+const COMMANDS: &[&str] = &[
+    "table1",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "sybil-attack",
+    "whanau",
+    "average",
+    "ncp",
+    "defenses",
+    "sampler-bias",
+    "null-model",
+];
+
+/// Runs one subcommand; `false` for an unknown name.
+fn dispatch(cmd: &str, cfg: &RunConfig) -> bool {
+    match cmd {
+        "table1" => table1(cfg),
+        "fig1" => fig12(cfg, Dataset::small_set(), "Figure 1 (small datasets)"),
+        "fig2" => fig12(cfg, Dataset::large_set(), "Figure 2 (large datasets)"),
+        "fig3" => fig34(cfg, &FIG3_LENGTHS, "Figure 3 (short walks)"),
+        "fig4" => fig34(cfg, &FIG4_LENGTHS, "Figure 4 (long walks)"),
+        "fig5" => fig5(cfg),
+        "fig6" => fig6(cfg),
+        "fig7" => fig7(cfg),
+        "fig8" => fig8(cfg),
+        "sybil-attack" => sybil_attack(cfg),
+        "whanau" => whanau(cfg),
+        "average" => average(cfg),
+        "ncp" => ncp(cfg),
+        "defenses" => defenses(cfg),
+        "sampler-bias" => sampler_bias(cfg),
+        "null-model" => null_model(cfg),
+        _ => return false,
+    }
+    true
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,52 +113,62 @@ fn main() {
         usage();
         std::process::exit(2);
     };
-    match cmd.as_str() {
-        "table1" => table1(&cfg),
-        "fig1" => fig12(&cfg, Dataset::small_set(), "Figure 1 (small datasets)"),
-        "fig2" => fig12(&cfg, Dataset::large_set(), "Figure 2 (large datasets)"),
-        "fig3" => fig34(&cfg, &FIG3_LENGTHS, "Figure 3 (short walks)"),
-        "fig4" => fig34(&cfg, &FIG4_LENGTHS, "Figure 4 (long walks)"),
-        "fig5" => fig5(&cfg),
-        "fig6" => fig6(&cfg),
-        "fig7" => fig7(&cfg),
-        "fig8" => fig8(&cfg),
-        "sybil-attack" => sybil_attack(&cfg),
-        "whanau" => whanau(&cfg),
-        "average" => average(&cfg),
-        "ncp" => ncp(&cfg),
-        "defenses" => defenses(&cfg),
-        "sampler-bias" => sampler_bias(&cfg),
-        "null-model" => null_model(&cfg),
-        "all" => {
-            table1(&cfg);
-            fig12(&cfg, Dataset::small_set(), "Figure 1 (small datasets)");
-            fig12(&cfg, Dataset::large_set(), "Figure 2 (large datasets)");
-            fig34(&cfg, &FIG3_LENGTHS, "Figure 3 (short walks)");
-            fig34(&cfg, &FIG4_LENGTHS, "Figure 4 (long walks)");
-            fig5(&cfg);
-            fig6(&cfg);
-            fig7(&cfg);
-            fig8(&cfg);
-            sybil_attack(&cfg);
-            whanau(&cfg);
-            average(&cfg);
-            ncp(&cfg);
-            defenses(&cfg);
-            sampler_bias(&cfg);
-            null_model(&cfg);
-        }
-        other => {
-            eprintln!("unknown command {other:?}\n");
+    QUIET.store(cfg.quiet, Ordering::Relaxed);
+    let stage_names: Vec<&str> = if cmd == "all" {
+        COMMANDS.to_vec()
+    } else {
+        if !COMMANDS.contains(&cmd.as_str()) {
+            eprintln!("unknown command {cmd:?}\n");
             usage();
             std::process::exit(2);
         }
+        vec![cmd.as_str()]
+    };
+    if cfg.metrics.is_some() {
+        // count the run itself, not whatever module initialization ran
+        // before main
+        socmix_obs::set_metrics_enabled(true);
+        socmix_obs::reset();
+    }
+    let t0 = Instant::now();
+    let mut stages: Vec<(String, f64)> = Vec::new();
+    for name in stage_names {
+        let t = Instant::now();
+        dispatch(name, &cfg);
+        let secs = t.elapsed().as_secs_f64();
+        progress!("[{name}] finished in {secs:.2}s");
+        stages.push((name.to_string(), secs));
+    }
+    let total = t0.elapsed().as_secs_f64();
+
+    // wall-clock footer (stdout, part of the reproducible record)
+    println!();
+    println!("--- wall clock ---");
+    for (name, secs) in &stages {
+        println!("{name:<14} {secs:9.2}s");
+    }
+    println!("{:<14} {total:9.2}s", "total");
+
+    if let Some(path) = &cfg.metrics {
+        let manifest = socmix_bench::run_manifest(
+            cmd,
+            &cfg,
+            &stages,
+            total,
+            &socmix_bench::git_describe(),
+            &socmix_obs::snapshot(),
+        );
+        if let Err(e) = std::fs::write(path, manifest.to_pretty()) {
+            eprintln!("error: could not write metrics manifest to {path}: {e}");
+            std::process::exit(1);
+        }
+        progress!("wrote metrics manifest to {path}");
     }
 }
 
 fn usage() {
     eprintln!(
-        "usage: repro [--scale S] [--seed N] [--sources K] [--tmax T] <command>\n\
+        "usage: repro [--scale S] [--seed N] [--sources K] [--tmax T] [--metrics PATH] [--quiet] <command>\n\
          commands: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 sybil-attack whanau average ncp defenses sampler-bias null-model all"
     );
 }
@@ -122,7 +190,7 @@ fn slem_of(g: &Graph, seed: u64, label: &str) -> SlemEstimate {
         panic!("SLEM of {label}: {e}");
     });
     if !est.converged {
-        eprintln!("note: SLEM of {label} not fully converged (residual bound reported)");
+        progress!("note: SLEM of {label} not fully converged (residual bound reported)");
     }
     est
 }
@@ -161,7 +229,7 @@ fn table1(cfg: &RunConfig) {
             fmt_f64(1.0 - est.mu),
             format!("{:?}", ds.mixing_class()),
         ]);
-        eprintln!("table1: {} done", ds.name());
+        progress!("table1: {} done", ds.name());
     }
     t.print();
 }
@@ -192,7 +260,7 @@ fn fig12(cfg: &RunConfig, set: &[Dataset], title: &str) {
             fmt_f64(b.lower(0.01)),
             fmt_f64(b.lower_at_inverse_n()),
         ]);
-        eprintln!("{title}: {} done", ds.name());
+        progress!("{title}: {} done", ds.name());
     }
     t.print();
     println!();
@@ -224,7 +292,7 @@ fn fig34(cfg: &RunConfig, lengths: &[usize], title: &str) {
                 ]);
             }
         }
-        eprintln!("{title}: {} ({} sources) done", ds.name(), g.num_nodes());
+        progress!("{title}: {} ({} sources) done", ds.name(), g.num_nodes());
     }
     println!("# csv  (tvd value at each CDF fraction; one row per dataset x w x fraction)");
     csv.print();
@@ -259,7 +327,7 @@ fn fig5(cfg: &RunConfig) {
                 fmt_f64(mean[t - 1]),
             ]);
         }
-        eprintln!("fig5: {} done", ds.name());
+        progress!("fig5: {} done", ds.name());
     }
     println!("# csv  (epsilon achieved at walk length t: SLEM bound vs sampled curves)");
     csv.print();
@@ -310,7 +378,7 @@ fn fig6(cfg: &RunConfig) {
                 ]);
             }
         }
-        eprintln!("fig6: min degree {} done", level.min_degree);
+        progress!("fig6: min degree {} done", level.min_degree);
     }
     t.print();
     println!();
@@ -374,7 +442,7 @@ fn fig7(cfg: &RunConfig) {
                     fmt_f64(bands[2].epsilon[t - 1]),
                 ]);
             }
-            eprintln!(
+            progress!(
                 "fig7: {} {} ({} nodes) done",
                 ds.name(),
                 label,
@@ -445,7 +513,7 @@ fn fig8(cfg: &RunConfig) {
             ]),
             None => bench_rows.row([name.to_string(), "> 2048".into(), "-".into(), "-".into()]),
         }
-        eprintln!("fig8: {name} done");
+        progress!("fig8: {name} done");
     }
     println!("# csv");
     csv.print();
@@ -493,7 +561,7 @@ fn sybil_attack(cfg: &RunConfig) {
                 fmt_f64(esc),
             ]);
         }
-        eprintln!("sybil-attack: g={g_edges} done");
+        progress!("sybil-attack: g={g_edges} done");
     }
     println!("# csv");
     csv.print();
@@ -527,7 +595,7 @@ fn whanau(cfg: &RunConfig) {
                 fmt_f64(edge_uniformity_tvd(&g, &x)),
             ]);
         }
-        eprintln!("whanau: {} done", ds.name());
+        progress!("whanau: {} done", ds.name());
     }
     println!("# csv  (edge-uniformity == tvd exactly — the histogram Whanau eyeballs");
     println!("#       does measure the right quantity; the separation distance its");
@@ -571,7 +639,7 @@ fn average(cfg: &RunConfig) {
             show(coverage_mixing_time(&result, eps, 0.9)),
             show(coverage_mixing_time(&result, eps, 0.5)),
         ]);
-        eprintln!("average: {} done", ds.name());
+        progress!("average: {} done", ds.name());
     }
     t.print();
     println!();
@@ -624,7 +692,7 @@ fn ncp(cfg: &RunConfig) {
                 "NO".to_string()
             },
         ]);
-        eprintln!("ncp: {} done", ds.name());
+        progress!("ncp: {} done", ds.name());
     }
     t.print();
 }
@@ -698,7 +766,7 @@ fn defenses(cfg: &RunConfig) {
             format!("{} sybils", sv.accepted.iter().filter(|&&a| a).count()),
             "admission".to_string(),
         ]);
-        eprintln!("defenses: {label} SybilLimit done");
+        progress!("defenses: {label} SybilLimit done");
 
         // SybilInfer marginals
         let si = sybilinfer(
@@ -727,7 +795,7 @@ fn defenses(cfg: &RunConfig) {
             ),
             "marginals".to_string(),
         ]);
-        eprintln!("defenses: {label} SybilInfer done");
+        progress!("defenses: {label} SybilInfer done");
 
         // PPR ranking (the Viswanath reduction)
         let e = pagerank_ranking(&attacked, verifier);
@@ -738,7 +806,7 @@ fn defenses(cfg: &RunConfig) {
             format!("{:.1}% precision@cut", 100.0 * e.precision_at_cutoff),
             "ranking".to_string(),
         ]);
-        eprintln!("defenses: {label} ranking done");
+        progress!("defenses: {label} ranking done");
 
         // SumUp votes
         let params = SumUpParams {
@@ -753,7 +821,7 @@ fn defenses(cfg: &RunConfig) {
             format!("{} sybil votes", sv.accepted),
             "votes".to_string(),
         ]);
-        eprintln!("defenses: {label} SumUp done");
+        progress!("defenses: {label} SumUp done");
     }
     t.print();
     println!();
@@ -813,7 +881,7 @@ fn sampler_bias(cfg: &RunConfig) {
                 format!("{mu:.6}"),
                 format!("{full_mu:.6}"),
             ]);
-            eprintln!("sampler-bias: {} {} done", ds.name(), name);
+            progress!("sampler-bias: {} {} done", ds.name(), name);
         }
     }
     t.print();
@@ -873,7 +941,7 @@ fn null_model(cfg: &RunConfig) {
             fmt_f64(tt(mu)),
             fmt_f64(tt(mu_null)),
         ]);
-        eprintln!("null-model: {} done", ds.name());
+        progress!("null-model: {} done", ds.name());
     }
     t.print();
     println!();

@@ -1,10 +1,12 @@
 //! Shared harness utilities for the `repro` binary and the Criterion
-//! benches: run configuration, aligned-table/CSV output, and the
-//! walk-length grids the paper's figures use.
+//! benches: run configuration, aligned-table/CSV output, JSON run
+//! manifests, and the walk-length grids the paper's figures use.
 
+pub mod manifest;
 pub mod output;
 pub mod runcfg;
 
+pub use manifest::{git_describe, run_manifest};
 pub use output::{Csv, Table};
 pub use runcfg::RunConfig;
 

@@ -1,0 +1,146 @@
+//! Run manifests: a machine-readable record of what a `repro`
+//! invocation did — command, configuration, environment knobs, build
+//! provenance, per-stage wall-clock, and the full telemetry snapshot.
+//!
+//! Written by `repro --metrics <path>` so a slow or surprising run can
+//! be diagnosed after the fact (how many matvecs? how wide was the
+//! pool? was `SOCMIX_BLOCK` set?) and so results can be tied to the
+//! exact configuration that produced them.
+
+use crate::RunConfig;
+use socmix_obs::{MetricsSnapshot, Value};
+
+/// One timed stage of a run: `(command name, wall-clock seconds)`.
+pub type Stage = (String, f64);
+
+/// Builds the manifest for a finished run.
+///
+/// `git` is the build provenance string (see [`git_describe`]) and
+/// `snapshot` the telemetry state at the end of the run.
+pub fn run_manifest(
+    command: &str,
+    cfg: &RunConfig,
+    stages: &[Stage],
+    total_seconds: f64,
+    git: &str,
+    snapshot: &MetricsSnapshot,
+) -> Value {
+    let env_knob = |name: &str| match std::env::var(name) {
+        Ok(v) => Value::Str(v),
+        Err(_) => Value::Null,
+    };
+    Value::Obj(vec![
+        ("command".into(), Value::Str(command.to_string())),
+        (
+            "config".into(),
+            Value::Obj(vec![
+                ("scale".into(), Value::Float(cfg.scale)),
+                ("seed".into(), Value::Int(cfg.seed as i64)),
+                ("sources".into(), Value::Int(cfg.sources as i64)),
+                ("t_max".into(), Value::Int(cfg.t_max as i64)),
+            ]),
+        ),
+        (
+            "threads".into(),
+            Value::Int(socmix_par::num_threads() as i64),
+        ),
+        (
+            "env".into(),
+            Value::Obj(vec![
+                ("SOCMIX_THREADS".into(), env_knob("SOCMIX_THREADS")),
+                ("SOCMIX_BLOCK".into(), env_knob("SOCMIX_BLOCK")),
+                ("SOCMIX_LOG".into(), env_knob("SOCMIX_LOG")),
+            ]),
+        ),
+        ("git".into(), Value::Str(git.to_string())),
+        (
+            "stages".into(),
+            Value::Arr(
+                stages
+                    .iter()
+                    .map(|(name, secs)| {
+                        Value::Obj(vec![
+                            ("name".into(), Value::Str(name.clone())),
+                            ("seconds".into(), Value::Float(*secs)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("total_seconds".into(), Value::Float(total_seconds)),
+        ("metrics".into(), snapshot.to_json()),
+    ])
+}
+
+/// Build provenance: `git describe --always --dirty`, or `"unknown"`
+/// when git (or the repository) is unavailable.
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socmix_obs::parse;
+
+    fn sample_manifest() -> Value {
+        let cfg = RunConfig::default();
+        let stages = vec![("table1".to_string(), 1.25), ("fig1".to_string(), 0.5)];
+        run_manifest(
+            "all",
+            &cfg,
+            &stages,
+            1.75,
+            "deadbeef",
+            &socmix_obs::snapshot(),
+        )
+    }
+
+    #[test]
+    fn manifest_round_trips_through_json() {
+        let m = sample_manifest();
+        let text = m.to_pretty();
+        let back = parse(&text).expect("manifest must be valid JSON");
+        assert_eq!(back.get("command").unwrap().as_str(), Some("all"));
+        assert_eq!(
+            back.get("config").unwrap().get("seed").unwrap().as_i64(),
+            Some(7)
+        );
+        assert_eq!(back.get("git").unwrap().as_str(), Some("deadbeef"));
+        let stages = back.get("stages").unwrap().as_arr().unwrap();
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].get("name").unwrap().as_str(), Some("table1"));
+        assert_eq!(stages[0].get("seconds").unwrap().as_f64(), Some(1.25));
+        assert_eq!(back.get("total_seconds").unwrap().as_f64(), Some(1.75));
+        assert!(back.get("metrics").unwrap().get("counters").is_some());
+    }
+
+    #[test]
+    fn manifest_records_live_counters() {
+        socmix_obs::set_metrics_enabled(true);
+        static PROBE: socmix_obs::Counter = socmix_obs::Counter::new("bench.manifest.probe");
+        PROBE.add(3);
+        let m = sample_manifest();
+        let counters = m.get("metrics").unwrap().get("counters").unwrap();
+        assert!(counters.get("bench.manifest.probe").unwrap().as_i64() >= Some(3));
+    }
+
+    #[test]
+    fn threads_field_is_positive() {
+        let m = sample_manifest();
+        assert!(m.get("threads").unwrap().as_i64().unwrap() >= 1);
+    }
+
+    #[test]
+    fn git_describe_never_panics() {
+        let s = git_describe();
+        assert!(!s.is_empty());
+    }
+}

@@ -1,7 +1,7 @@
 //! Run configuration shared by every `repro` subcommand.
 
 /// Configuration parsed from `repro`'s command line.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunConfig {
     /// Global dataset scale (1.0 = the paper's sizes). Defaults to
     /// 0.05 so `repro all` completes on one machine; pass
@@ -14,6 +14,12 @@ pub struct RunConfig {
     pub sources: usize,
     /// Maximum walk length for probe series.
     pub t_max: usize,
+    /// `--metrics <path>`: enable telemetry and write a JSON run
+    /// manifest (command, config, per-stage timings, full metrics
+    /// snapshot) to this path on exit.
+    pub metrics: Option<String>,
+    /// `--quiet`: suppress per-stage progress lines on stderr.
+    pub quiet: bool,
 }
 
 impl Default for RunConfig {
@@ -23,13 +29,16 @@ impl Default for RunConfig {
             seed: 7,
             sources: 200,
             t_max: 500,
+            metrics: None,
+            quiet: false,
         }
     }
 }
 
 impl RunConfig {
-    /// Parses `--scale X --seed N --sources K --tmax T` style flags,
-    /// returning the config and the remaining positional arguments.
+    /// Parses `--scale X --seed N --sources K --tmax T --metrics P
+    /// --quiet` style flags, returning the config and the remaining
+    /// positional arguments.
     ///
     /// Unknown flags produce an error string (the binary prints usage).
     pub fn parse(args: &[String]) -> Result<(Self, Vec<String>), String> {
@@ -53,6 +62,14 @@ impl RunConfig {
                 "--seed" => cfg.seed = take("--seed")? as u64,
                 "--sources" => cfg.sources = take("--sources")? as usize,
                 "--tmax" => cfg.t_max = take("--tmax")? as usize,
+                "--metrics" => {
+                    let path = it.next().ok_or("--metrics needs a path")?;
+                    if path.is_empty() {
+                        return Err("--metrics needs a non-empty path".into());
+                    }
+                    cfg.metrics = Some(path.clone());
+                }
+                "--quiet" => cfg.quiet = true,
                 flag if flag.starts_with("--") => {
                     return Err(format!("unknown flag {flag}"));
                 }
@@ -104,6 +121,20 @@ mod tests {
         assert_eq!(cfg.sources, 50);
         assert_eq!(cfg.t_max, 100);
         assert_eq!(rest, vec!["fig1"]);
+    }
+
+    #[test]
+    fn parses_metrics_and_quiet() {
+        let (cfg, rest) =
+            RunConfig::parse(&strs(&["--metrics", "/tmp/m.json", "--quiet", "all"])).unwrap();
+        assert_eq!(cfg.metrics.as_deref(), Some("/tmp/m.json"));
+        assert!(cfg.quiet);
+        assert_eq!(rest, vec!["all"]);
+    }
+
+    #[test]
+    fn rejects_missing_metrics_path() {
+        assert!(RunConfig::parse(&strs(&["--metrics"])).is_err());
     }
 
     #[test]

@@ -13,7 +13,13 @@ use rand::SeedableRng;
 use socmix_graph::{sample, Graph, NodeId};
 use socmix_markov::ergodic::WalkKind;
 use socmix_markov::{ergodicity, BatchEvolver, Evolver};
+use socmix_obs::{obs_debug, Counter};
 use socmix_par::Pool;
+
+/// Source blocks handed to the pool by probe runs.
+static BLOCKS: Counter = Counter::new("core.probe.blocks");
+/// Sources probed across all probe runs.
+static SOURCES: Counter = Counter::new("core.probe.sources");
 
 /// Default number of sources evolved together per block.
 ///
@@ -25,14 +31,25 @@ use socmix_par::Pool;
 pub const DEFAULT_BLOCK: usize = 16;
 
 fn default_block() -> usize {
-    if let Ok(v) = std::env::var("SOCMIX_BLOCK") {
-        if let Ok(b) = v.trim().parse::<usize>() {
-            if b >= 1 {
-                return b;
-            }
+    block_from_env(std::env::var("SOCMIX_BLOCK").ok().as_deref())
+}
+
+fn block_from_env(raw: Option<&str>) -> usize {
+    if let Some(v) = raw {
+        match parse_block(v) {
+            Some(b) => return b,
+            None => socmix_obs::warn_once!(
+                "core.probe",
+                "ignoring invalid SOCMIX_BLOCK={v:?}: expected a positive integer, \
+                 falling back to the default block of {DEFAULT_BLOCK}"
+            ),
         }
     }
     DEFAULT_BLOCK
+}
+
+fn parse_block(v: &str) -> Option<usize> {
+    v.trim().parse::<usize>().ok().filter(|&b| b >= 1)
 }
 
 /// Per-source TVD series produced by a probe run.
@@ -190,6 +207,16 @@ impl<'g> MixingProbe<'g> {
         let be = BatchEvolver::with_kind(self.graph, self.kind);
         let blocks: Vec<&[NodeId]> = sources.chunks(self.block).collect();
         let retire = self.retire_epsilon;
+        BLOCKS.add(blocks.len() as u64);
+        SOURCES.add(sources.len() as u64);
+        obs_debug!(
+            "core.probe",
+            "probing {} sources in {} blocks of ≤{} for {t_max} steps ({:?} kernel)",
+            sources.len(),
+            blocks.len(),
+            self.block,
+            self.kind
+        );
         let per_block = self.pool.map_indexed(blocks.len(), |bi| {
             be.tvd_series_block(blocks[bi], t_max, retire)
         });
@@ -228,6 +255,8 @@ impl<'g> MixingProbe<'g> {
         let sources: Vec<NodeId> = self.graph.nodes().collect();
         let be = BatchEvolver::with_kind(self.graph, self.kind);
         let blocks: Vec<&[NodeId]> = sources.chunks(self.block).collect();
+        BLOCKS.add(blocks.len() as u64);
+        SOURCES.add(sources.len() as u64);
         let per_block = self.pool.map_indexed(blocks.len(), |bi| {
             be.tvd_at_lengths_block(blocks[bi], lengths)
         });
@@ -389,5 +418,34 @@ mod tests {
     fn zero_block_size_rejected() {
         let g = fixtures::petersen();
         let _ = MixingProbe::new(&g).block_size(0);
+    }
+
+    #[test]
+    fn block_parse_accepts_positive_integers() {
+        assert_eq!(parse_block("1"), Some(1));
+        assert_eq!(parse_block(" 32 "), Some(32));
+        assert_eq!(parse_block("0"), None);
+        assert_eq!(parse_block("abc"), None);
+        assert_eq!(parse_block(""), None);
+        assert_eq!(parse_block("-4"), None);
+    }
+
+    #[test]
+    fn invalid_block_override_warns_and_falls_back() {
+        // the warning must be visible even if the ambient SOCMIX_LOG
+        // suppressed it
+        socmix_obs::set_log_level(socmix_obs::Level::Warn);
+        let _ = socmix_obs::take_recent_events();
+        assert_eq!(block_from_env(Some("0")), DEFAULT_BLOCK);
+        assert_eq!(block_from_env(Some("abc")), DEFAULT_BLOCK);
+        assert_eq!(block_from_env(None), DEFAULT_BLOCK);
+        assert_eq!(block_from_env(Some("24")), 24);
+        let warnings: Vec<String> = socmix_obs::take_recent_events()
+            .into_iter()
+            .filter(|e| e.contains("invalid SOCMIX_BLOCK"))
+            .collect();
+        // warn_once: the first invalid value warns, later ones are
+        // latched silent
+        assert_eq!(warnings.len(), 1, "got {warnings:?}");
     }
 }

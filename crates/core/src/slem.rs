@@ -8,7 +8,13 @@ use socmix_linalg::{
     dense, lanczos_extreme, DeflatedOp, LanczosOptions, PowerOptions, SymmetricWalkOp,
 };
 use socmix_markov::ergodicity;
+use socmix_obs::{obs_info, Counter};
 use socmix_par::Pool;
+
+/// `Auto` runs resolved to the Lanczos backend (n ≤ 200k).
+static AUTO_LANCZOS: Counter = Counter::new("core.slem.auto_lanczos");
+/// `Auto` runs resolved to power iteration (n > 200k).
+static AUTO_POWER: Counter = Counter::new("core.slem.auto_power");
 
 /// Which eigensolver backend computes µ.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -171,11 +177,19 @@ impl<'g> Slem<'g> {
         }
         let method = match self.method {
             SlemMethod::Auto => {
-                if g.num_nodes() <= 200_000 {
+                let chosen = if g.num_nodes() <= 200_000 {
+                    AUTO_LANCZOS.incr();
                     SlemMethod::Lanczos
                 } else {
+                    AUTO_POWER.incr();
                     SlemMethod::PowerIteration
-                }
+                };
+                obs_info!(
+                    "core.slem",
+                    "auto backend for n={}: {chosen:?}",
+                    g.num_nodes()
+                );
+                chosen
             }
             m => m,
         };

@@ -1,0 +1,154 @@
+//! Cross-layer telemetry contracts:
+//!
+//! 1. **Determinism of the numbers** — enabling metrics and debug
+//!    logging must not change any numeric output of [`measure`]
+//!    (bit-for-bit), because instrumentation only reads what the
+//!    algorithms already computed.
+//! 2. **Determinism of the work counters** — counters that measure
+//!    algorithmic work (matvecs, batch steps, probe blocks) must not
+//!    depend on how many threads the work was scheduled over; only
+//!    scheduling counters (parks, wakes, chunk claims) may.
+
+use socmix_core::{measure, MeasureOptions, MixingProbe};
+use socmix_gen::fixtures;
+use socmix_par::Pool;
+use std::sync::Mutex;
+
+/// Serializes tests that flip the global metrics gate or read global
+/// counter deltas.
+static GATE: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn opts() -> MeasureOptions {
+    MeasureOptions {
+        epsilon: 0.1,
+        sources: 12,
+        t_max: 2_000,
+        seed: 3,
+    }
+}
+
+/// The fields of a report that are computed, not configured.
+fn fingerprint(r: &socmix_core::MixingReport) -> (u64, Option<u64>, u64, u64, Option<usize>) {
+    (
+        r.mu.to_bits(),
+        r.mu_decay_fit.map(f64::to_bits),
+        r.lower_bound.to_bits(),
+        r.upper_bound.to_bits(),
+        r.sampled_worst,
+    )
+}
+
+#[test]
+fn telemetry_does_not_perturb_measure() {
+    let _g = lock();
+    let graph = fixtures::barbell(8, 2);
+
+    socmix_obs::set_metrics_enabled(false);
+    socmix_obs::set_log_level(socmix_obs::Level::Off);
+    let baseline = measure(&graph, opts()).unwrap();
+
+    socmix_obs::set_metrics_enabled(true);
+    socmix_obs::set_log_level(socmix_obs::Level::Debug);
+    let instrumented = measure(&graph, opts()).unwrap();
+
+    socmix_obs::set_metrics_enabled(false);
+    socmix_obs::set_log_level(socmix_obs::Level::Warn);
+    let _ = socmix_obs::take_recent_events();
+
+    assert_eq!(
+        fingerprint(&baseline),
+        fingerprint(&instrumented),
+        "metrics + debug logging must be bit-for-bit invisible"
+    );
+    assert_eq!(baseline.render(), instrumented.render());
+}
+
+#[test]
+fn work_counters_are_thread_count_invariant() {
+    let _g = lock();
+    let graph = fixtures::lollipop(6, 4);
+    let sources: Vec<_> = graph.nodes().collect();
+
+    socmix_obs::set_metrics_enabled(true);
+    let mut deltas: Vec<Vec<(String, u64)>> = Vec::new();
+    for threads in [1usize, 4] {
+        let pool = if threads == 1 {
+            Pool::serial()
+        } else {
+            Pool::with_threads(threads)
+        };
+        let before = socmix_obs::snapshot();
+        let probe = MixingProbe::new(&graph).block_size(4).pool(pool);
+        let result = probe.probe_sources(&sources, 400);
+        assert_eq!(result.num_sources(), sources.len());
+        let after = socmix_obs::snapshot();
+        let delta = |name: &str| {
+            (
+                name.to_string(),
+                after.counter(name).unwrap_or(0) - before.counter(name).unwrap_or(0),
+            )
+        };
+        deltas.push(vec![
+            delta("core.probe.blocks"),
+            delta("core.probe.sources"),
+            delta("markov.batch.steps"),
+            delta("linalg.matvec.multi"),
+            delta("linalg.matvec.multi_cols"),
+        ]);
+    }
+    socmix_obs::set_metrics_enabled(false);
+
+    assert!(
+        deltas[0].iter().all(|(_, v)| *v > 0),
+        "probe must exercise every work counter: {:?}",
+        deltas[0]
+    );
+    assert_eq!(
+        deltas[0], deltas[1],
+        "work counters must not depend on the pool width"
+    );
+}
+
+#[test]
+fn probe_counts_blocks_and_sources() {
+    let _g = lock();
+    let graph = fixtures::petersen();
+    socmix_obs::set_metrics_enabled(true);
+    let before = socmix_obs::snapshot();
+    let probe = MixingProbe::new(&graph).block_size(3);
+    probe.probe_sources(&[0, 1, 2, 3, 4, 5, 6], 10);
+    let after = socmix_obs::snapshot();
+    socmix_obs::set_metrics_enabled(false);
+    // 7 sources in blocks of 3 → 3 blocks
+    assert_eq!(
+        after.counter("core.probe.blocks").unwrap_or(0)
+            - before.counter("core.probe.blocks").unwrap_or(0),
+        3
+    );
+    assert_eq!(
+        after.counter("core.probe.sources").unwrap_or(0)
+            - before.counter("core.probe.sources").unwrap_or(0),
+        7
+    );
+}
+
+#[test]
+fn retirement_is_counted() {
+    let _g = lock();
+    let graph = fixtures::petersen();
+    socmix_obs::set_metrics_enabled(true);
+    let before = socmix_obs::snapshot();
+    let probe = MixingProbe::new(&graph).retire_at(0.05);
+    probe.all_sources(200);
+    let after = socmix_obs::snapshot();
+    socmix_obs::set_metrics_enabled(false);
+    // the Petersen graph mixes well below 0.05 within 200 steps, so
+    // every probed source must retire early
+    let retired = after.counter("markov.batch.retired").unwrap_or(0)
+        - before.counter("markov.batch.retired").unwrap_or(0);
+    assert_eq!(retired, graph.num_nodes() as u64);
+}

@@ -17,6 +17,10 @@ use crate::op::LinearOp;
 use crate::tridiag::tridiag_eigen;
 use crate::vecops::{axpy, dot, norm2, normalize, project_out};
 use rand::Rng;
+use socmix_obs::{obs_debug, Counter};
+
+static RUNS: Counter = Counter::new("linalg.lanczos.runs");
+static STEPS: Counter = Counter::new("linalg.lanczos.steps");
 
 /// Options for [`lanczos_extreme`].
 #[derive(Debug, Clone, Copy)]
@@ -75,6 +79,7 @@ pub fn lanczos_extreme<Op: LinearOp, R: Rng + ?Sized>(
 ) -> LanczosResult {
     let n = op.dim();
     assert!(n > 0, "operator must be non-empty");
+    RUNS.incr();
     let max_iter = opts.max_iter.min(n).max(1);
 
     // random start, normalized
@@ -116,6 +121,13 @@ pub fn lanczos_extreme<Op: LinearOp, R: Rng + ?Sized>(
             // the bottom component of T's eigenvector
             let res_top = beta_last.abs() * vecs[0][k - 1].abs();
             let res_bot = beta_last.abs() * vecs[k - 1][k - 1].abs();
+            // residual trajectory: one event per convergence check
+            obs_debug!(
+                "linalg.lanczos",
+                "step {iters}: ritz [{:.8}, {:.8}] residuals [{res_top:.3e}, {res_bot:.3e}]",
+                vals[k - 1],
+                vals[0]
+            );
             let converged = res_top < opts.tol && res_bot < opts.tol;
             if converged || forced {
                 Some(LanczosResult {
@@ -132,6 +144,7 @@ pub fn lanczos_extreme<Op: LinearOp, R: Rng + ?Sized>(
         };
 
     for j in 0..max_iter {
+        STEPS.incr();
         // `w` is the only per-step allocation left: it becomes the
         // next basis vector (storage the algorithm must keep), while
         // the operator's own scratch is reused across applies.
@@ -204,6 +217,7 @@ pub fn lanczos_topk<Op: LinearOp, R: Rng + ?Sized>(
 ) -> TopkResult {
     let n = op.dim();
     assert!(n > 0 && k >= 1);
+    RUNS.incr();
     let max_iter = opts.max_iter.min(n).max(k);
 
     let mut v: Vec<f64> = (0..n).map(|_| rng.random::<f64>() - 0.5).collect();
@@ -227,6 +241,7 @@ pub fn lanczos_topk<Op: LinearOp, R: Rng + ?Sized>(
     let mut exhausted = false;
 
     for j in 0..max_iter {
+        STEPS.incr();
         let mut w = vec![0.0; n];
         op.apply(&basis[j], &mut w);
         let alpha = dot(&w, &basis[j]);
@@ -258,6 +273,7 @@ pub fn lanczos_topk<Op: LinearOp, R: Rng + ?Sized>(
             let m = alphas.len();
             let (_, vecs) = tridiag_eigen(&alphas, &betas[..m - 1]);
             let res_k = betas[m - 1].abs() * vecs[k.min(m) - 1][m - 1].abs();
+            obs_debug!("linalg.lanczos", "topk step {m}: residual {res_k:.3e}");
             if res_k < opts.tol {
                 break;
             }

@@ -14,6 +14,13 @@
 //! kernel, so batched results are bit-for-bit equal.
 
 use crate::op::{LazyOp, LinearOp, WalkOp};
+use socmix_obs::Counter;
+
+/// Batched walk-operator applications (one CSR traversal each).
+static MULTI_MATVECS: Counter = Counter::new("linalg.matvec.multi");
+/// Total active columns served by those traversals — compare against
+/// `linalg.matvec` to see how much CSR re-streaming the blocking saved.
+static MULTI_COLUMNS: Counter = Counter::new("linalg.matvec.multi_cols");
 
 /// A row-major `n × width` block of `width` stacked column vectors.
 ///
@@ -151,6 +158,8 @@ impl MultiLinearOp for WalkOp<'_> {
         if width == 0 {
             return;
         }
+        MULTI_MATVECS.incr();
+        MULTI_COLUMNS.add(width as u64);
         let g = self.graph();
         let offsets = g.offsets();
         let targets = g.raw_targets();

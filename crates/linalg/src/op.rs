@@ -12,7 +12,12 @@
 use crate::vecops;
 use crate::workspace::with_scratch;
 use socmix_graph::Graph;
+use socmix_obs::Counter;
 use socmix_par::Pool;
+
+/// Sparse walk-operator applications (serial kernels; the batched
+/// kernel counts separately under `linalg.matvec.multi`).
+static MATVECS: Counter = Counter::new("linalg.matvec");
 
 /// A (square) linear operator applied matrix-free.
 ///
@@ -98,6 +103,7 @@ impl LinearOp for WalkOp<'_> {
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.dim());
         assert_eq!(y.len(), self.dim());
+        MATVECS.incr();
         let n = self.dim();
         // z[i] = x[i]/deg(i), then gather: y[j] = Σ_{i∼j} z[i].
         // z lives in the reusable per-thread workspace: no allocation
@@ -190,6 +196,7 @@ impl LinearOp for SymmetricWalkOp<'_> {
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.dim());
         assert_eq!(y.len(), self.dim());
+        MATVECS.incr();
         let n = self.dim();
         // y[i] = (1/√deg i) Σ_{j∼i} x[j]/√deg j — z reused from the
         // per-thread workspace like the plain walk kernel.

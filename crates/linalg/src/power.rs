@@ -15,6 +15,16 @@
 use crate::op::LinearOp;
 use crate::vecops::{axpy, dot, norm2, normalize};
 use rand::Rng;
+use socmix_obs::{obs_debug, Counter};
+
+static RUNS: Counter = Counter::new("linalg.power.runs");
+static ITERS: Counter = Counter::new("linalg.power.iters");
+/// Times the ±pair degeneracy forced the two-step Rayleigh fallback in
+/// [`spectral_radius_in_complement`].
+static TWO_STEP_FALLBACKS: Counter = Counter::new("linalg.power.two_step_fallback");
+
+/// Emit a residual-trajectory event every this many iterations.
+const TRACE_EVERY: usize = 100;
 
 /// Options for [`power_iteration`].
 #[derive(Debug, Clone, Copy)]
@@ -68,6 +78,7 @@ pub fn power_iteration<Op: LinearOp, R: Rng + ?Sized>(
 ) -> PowerResult {
     let n = op.dim();
     assert!(n > 0, "operator must be non-empty");
+    RUNS.incr();
     let mut v: Vec<f64> = (0..n).map(|_| rng.random::<f64>() - 0.5).collect();
     // fold into the operator's range (projects when Op is deflated)
     let w = op.apply_vec(&v);
@@ -91,12 +102,19 @@ pub fn power_iteration<Op: LinearOp, R: Rng + ?Sized>(
     let mut resid = vec![0.0; n];
     for it in 0..opts.max_iter {
         iterations = it + 1;
+        ITERS.incr();
         op.apply(&v, &mut w);
         lambda = dot(&v, &w);
         // residual ‖w − λv‖
         resid.copy_from_slice(&w);
         axpy(-lambda, &v, &mut resid);
         residual = norm2(&resid);
+        if iterations % TRACE_EVERY == 0 {
+            obs_debug!(
+                "linalg.power",
+                "iter {iterations}: lambda {lambda:.8} residual {residual:.3e}"
+            );
+        }
         if residual < opts.tol {
             break;
         }
@@ -148,6 +166,12 @@ pub fn spectral_radius_in_complement<Op: LinearOp, R: Rng + ?Sized>(
             converged: true,
         };
     }
+    TWO_STEP_FALLBACKS.incr();
+    obs_debug!(
+        "linalg.power",
+        "one-step residual stalled after {} iters; trying two-step Rayleigh fallback",
+        r.iterations
+    );
     // ± degeneracy: λ² from v·Op²v with the final iterate. The final
     // iterate is an (approximate) combination of the ± pair, which is
     // an eigenvector of Op², so convergence is judged on the two-step

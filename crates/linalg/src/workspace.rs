@@ -32,11 +32,21 @@
 //! independent of reuse history (the bit-for-bit serial-equivalence
 //! contract).
 
+use socmix_obs::{Counter, Gauge};
 use std::cell::RefCell;
 
 thread_local! {
     static SCRATCH: RefCell<Vec<Vec<f64>>> = const { RefCell::new(Vec::new()) };
 }
+
+/// Checkouts served from a pooled buffer (the steady state).
+static POOL_HITS: Counter = Counter::new("linalg.scratch.hits");
+/// Checkouts that had to allocate (cold pool or new size class).
+static POOL_MISSES: Counter = Counter::new("linalg.scratch.misses");
+/// Bytes currently parked in scratch pools across all threads —
+/// falls on checkout, rises on return, so the level is what an idle
+/// process pins. Dropped returns (pool full) leave it untouched.
+static POOL_BYTES_RETAINED: Gauge = Gauge::new("linalg.scratch.bytes_retained");
 
 /// Most buffers retained per thread; a returning buffer is dropped
 /// once the pool is full. Nested checkout depth in this codebase is
@@ -59,19 +69,28 @@ fn size_class(n: usize) -> usize {
 /// (on panic it is simply dropped).
 pub fn with_scratch<R>(n: usize, f: impl FnOnce(&mut [f64]) -> R) -> R {
     let class = size_class(n);
-    let mut buf = SCRATCH
-        .with(|s| {
-            let mut pool = s.borrow_mut();
-            pool.iter()
-                .position(|b| b.capacity() >= class && b.capacity() < class * 2)
-                .map(|i| pool.swap_remove(i))
-        })
-        .unwrap_or_else(|| Vec::with_capacity(class));
+    let mut buf = match SCRATCH.with(|s| {
+        let mut pool = s.borrow_mut();
+        pool.iter()
+            .position(|b| b.capacity() >= class && b.capacity() < class * 2)
+            .map(|i| pool.swap_remove(i))
+    }) {
+        Some(buf) => {
+            POOL_HITS.incr();
+            POOL_BYTES_RETAINED.add(-((buf.capacity() * 8) as i64));
+            buf
+        }
+        None => {
+            POOL_MISSES.incr();
+            Vec::with_capacity(class)
+        }
+    };
     buf.resize(n, 0.0);
     let r = f(&mut buf);
     SCRATCH.with(|s| {
         let mut pool = s.borrow_mut();
         if pool.len() < MAX_POOLED {
+            POOL_BYTES_RETAINED.add((buf.capacity() * 8) as i64);
             pool.push(buf);
         }
     });

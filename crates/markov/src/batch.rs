@@ -25,7 +25,14 @@ use crate::ergodic::WalkKind;
 use crate::stationary::stationary_distribution;
 use socmix_graph::{Graph, NodeId};
 use socmix_linalg::{MultiLinearOp, MultiVec, WalkOp};
+use socmix_obs::Counter;
 use socmix_par::Pool;
+
+/// Blocked `X ← X·P` steps performed (one per walk step per block).
+static STEPS: Counter = Counter::new("markov.batch.steps");
+/// Columns retired early because their TVD crossed the ε threshold —
+/// each retirement saves that source the remaining walk steps.
+static RETIRED: Counter = Counter::new("markov.batch.retired");
 
 /// Evolves blocks of source distributions under one walk kernel.
 ///
@@ -94,6 +101,7 @@ impl<'g> BatchEvolver<'g> {
     /// One blocked evolution step `X ← X·P` (or the lazy kernel) over
     /// the first `width` columns, writing into `next`.
     fn step_block(&self, cur: &MultiVec, next: &mut MultiVec, width: usize) {
+        STEPS.incr();
         self.op.apply_multi(cur, next, width);
         if self.kind == WalkKind::Lazy {
             let stride = cur.width();
@@ -188,6 +196,7 @@ impl<'g> BatchEvolver<'g> {
                         next.swap_columns(j, width - 1);
                         active.swap(j, width - 1);
                         width -= 1;
+                        RETIRED.incr();
                     }
                 }
             }

@@ -1,0 +1,231 @@
+//! Log₂-bucketed histograms for latency and size distributions.
+//!
+//! A [`Histogram`] is 64 atomic buckets plus count/sum/max: bucket 0
+//! holds zeros and bucket `i` holds values in `[2^(i-1), 2^i)`, so one
+//! histogram spans nanoseconds to hours with constant memory and a
+//! `leading_zeros` per record. That resolution (the bucket knows the
+//! value within 2×) is exactly what dispatch-latency and span-timing
+//! questions need — "is this microseconds or milliseconds" — without
+//! the allocation or locking a quantile sketch would cost on the hot
+//! path.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Number of buckets; values at or above `2^(BUCKETS-2)` saturate into
+/// the last bucket.
+pub const BUCKETS: usize = 64;
+
+/// A named, thread-safe, log₂-bucketed histogram.
+///
+/// Recording is wait-free (four relaxed atomic RMWs) and a no-op while
+/// metrics are off. Like [`crate::Counter`], histograms are declared
+/// as `static` items and register themselves on first record.
+pub struct Histogram {
+    name: &'static str,
+    registered: AtomicBool,
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    /// Declares a histogram (usable in `static` position).
+    pub const fn new(name: &'static str) -> Self {
+        // interior mutability is the point: this const is only the
+        // array-initialization seed for the atomic buckets
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            name,
+            registered: AtomicBool::new(false),
+            buckets: [ZERO; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation; a no-op (one relaxed load) while
+    /// metrics are off.
+    #[inline]
+    pub fn record(&'static self, v: u64) {
+        if !crate::metrics_enabled() {
+            return;
+        }
+        if !self.registered.load(Ordering::Acquire) {
+            self.register();
+        }
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Copies the current state out (relaxed reads; safe under
+    /// concurrent recording).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            name: self.name.to_string(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    #[cold]
+    fn register(&'static self) {
+        if !self.registered.swap(true, Ordering::AcqRel) {
+            crate::registry::register_hist(self);
+        }
+    }
+}
+
+/// Bucket 0 ← 0; bucket `i` ← `[2^(i-1), 2^i)`; saturates at the top.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    ((u64::BITS - v.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    pub name: String,
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+    /// All [`BUCKETS`] bucket counts (mostly zero in practice).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Folds another snapshot of the same logical histogram in
+    /// (duplicate-name merging in [`crate::snapshot`]).
+    pub(crate) fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+
+    /// Renders as `{ "count": .., "sum": .., "max": .., "mean": ..,
+    /// "buckets": [[lo, n], ..] }` with only non-empty buckets listed.
+    pub fn to_json(&self) -> crate::Value {
+        use crate::Value;
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                let lo = if i == 0 { 0u64 } else { 1u64 << (i - 1) };
+                Value::Arr(vec![Value::Int(lo as i64), Value::Int(n as i64)])
+            })
+            .collect();
+        Value::Obj(vec![
+            ("count".into(), Value::Int(self.count as i64)),
+            ("sum".into(), Value::Int(self.sum as i64)),
+            ("max".into(), Value::Int(self.max as i64)),
+            ("mean".into(), Value::Float(self.mean())),
+            ("buckets".into(), Value::Arr(buckets)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn record_and_snapshot() {
+        static H: Histogram = Histogram::new("test.hist.basic");
+        let _g = crate::test_gate_lock();
+        crate::set_metrics_enabled(true);
+        H.reset();
+        for v in [0u64, 1, 5, 5, 900, 1_000_000] {
+            H.record(v);
+        }
+        let s = H.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1_000_911);
+        assert_eq!(s.max, 1_000_000);
+        assert_eq!(s.buckets[0], 1); // the zero
+        assert_eq!(s.buckets[3], 2); // the fives
+        assert!((s.mean() - 1_000_911.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        static H: Histogram = Histogram::new("test.hist.concurrent");
+        let _g = crate::test_gate_lock();
+        crate::set_metrics_enabled(true);
+        H.reset();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        H.record(t * 10_000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(H.snapshot().count, 40_000);
+    }
+
+    #[test]
+    fn json_lists_only_nonempty_buckets() {
+        static H: Histogram = Histogram::new("test.hist.json");
+        let _g = crate::test_gate_lock();
+        crate::set_metrics_enabled(true);
+        H.reset();
+        H.record(6);
+        let json = H.snapshot().to_json();
+        let buckets = match json.get("buckets") {
+            Some(crate::Value::Arr(b)) => b,
+            other => panic!("buckets missing: {other:?}"),
+        };
+        assert_eq!(buckets.len(), 1);
+    }
+}

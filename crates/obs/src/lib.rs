@@ -1,0 +1,120 @@
+//! Zero-dependency observability for the socmix workspace.
+//!
+//! The measurements this workspace reproduces are long-running — a
+//! 1000-source sampling probe is thousands of blocked matvec sweeps, a
+//! SLEM solve is hundreds of operator applications — and the only way
+//! to defend "as fast as the hardware allows" is to see where those
+//! iterations, dispatches, and wall-clock actually go. The offline
+//! build has no `tracing`/`metrics`, so this crate provides the small
+//! subset the workspace needs, with two hard contracts:
+//!
+//! 1. **The disabled path costs one relaxed atomic load.** Counters,
+//!    histograms, and spans check [`metrics_enabled`] first and touch
+//!    nothing else when it is off; events check [`log_enabled`]
+//!    likewise. No clock reads, no locks, no allocation. The overhead
+//!    bench (`socmix-bench`, `benches/obs.rs`) guards this.
+//! 2. **Telemetry never perturbs numerics.** Instrumentation observes;
+//!    it must not change chunk geometry, iteration order, RNG draws,
+//!    or float association. The workspace determinism suite asserts
+//!    outputs are bit-for-bit identical with telemetry on and off.
+//!
+//! # Pieces
+//!
+//! - [`Counter`] / [`Gauge`] — named process-wide atomics, registered
+//!   lazily on first touch into a global registry; [`snapshot`] merges
+//!   duplicates by name and [`reset`] zeroes everything (e.g. between
+//!   `repro` commands).
+//! - [`Histogram`] — 64 log₂ buckets plus count/sum/max; cheap enough
+//!   for per-dispatch latencies.
+//! - [`Span`] — an RAII timer that records elapsed nanoseconds into a
+//!   histogram on drop (or an early [`Span::finish`]); aggregation is
+//!   thread-aware because the backing histogram is atomic, so spans on
+//!   concurrent pool workers fold into one distribution.
+//! - [`obs_event!`] and friends — leveled diagnostics gated by
+//!   `SOCMIX_LOG` (off/error/warn/info/debug, default `warn`), written
+//!   to stderr and mirrored into a small in-memory ring
+//!   ([`take_recent_events`]) so tests can assert on emissions.
+//! - [`Value`] — a minimal JSON document model with a writer and
+//!   parser, used for the `repro --metrics` run manifests.
+//!
+//! # Gates
+//!
+//! Metrics default **off** and turn on via the `SOCMIX_METRICS`
+//! environment variable (any non-empty value other than `0`) or
+//! programmatically via [`set_metrics_enabled`] (what `repro
+//! --metrics` does). Logging defaults to `warn` so misconfiguration
+//! warnings (e.g. an invalid `SOCMIX_THREADS`) are visible without any
+//! setup, and is tuned via `SOCMIX_LOG` or [`set_log_level`]. Both
+//! gates are single atomics: flipping them is safe at any time from
+//! any thread.
+
+mod event;
+mod hist;
+mod json;
+mod registry;
+mod span;
+
+pub use event::{emit, log_enabled, log_level, set_log_level, take_recent_events, Level};
+pub use hist::{Histogram, HistogramSnapshot, BUCKETS};
+pub use json::{parse, Value};
+pub use registry::{reset, snapshot, Counter, Gauge, MetricsSnapshot};
+pub use span::Span;
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+const GATE_UNINIT: u8 = 0;
+const GATE_OFF: u8 = 1;
+const GATE_ON: u8 = 2;
+
+static METRICS: AtomicU8 = AtomicU8::new(GATE_UNINIT);
+
+/// Whether counters/histograms/spans record anything.
+///
+/// The hot-path check: one relaxed load once the gate has resolved
+/// (the environment is consulted exactly once, lazily).
+#[inline]
+pub fn metrics_enabled() -> bool {
+    match METRICS.load(Ordering::Relaxed) {
+        GATE_ON => true,
+        GATE_OFF => false,
+        _ => init_metrics(),
+    }
+}
+
+#[cold]
+fn init_metrics() -> bool {
+    let on = matches!(std::env::var("SOCMIX_METRICS"), Ok(v) if !v.is_empty() && v != "0");
+    METRICS.store(if on { GATE_ON } else { GATE_OFF }, Ordering::Relaxed);
+    on
+}
+
+/// Turns metric recording on or off, overriding `SOCMIX_METRICS`.
+///
+/// `repro --metrics` calls this so a manifest run needs no environment
+/// setup. Counters touched while the gate was off simply hold zero.
+pub fn set_metrics_enabled(on: bool) {
+    METRICS.store(if on { GATE_ON } else { GATE_OFF }, Ordering::Relaxed);
+}
+
+/// Serializes unit tests that flip or depend on the process-global
+/// gates (they would race across the test harness's threads).
+#[cfg(test)]
+pub(crate) fn test_gate_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_flips_both_ways() {
+        let _g = test_gate_lock();
+        set_metrics_enabled(true);
+        assert!(metrics_enabled());
+        set_metrics_enabled(false);
+        assert!(!metrics_enabled());
+        set_metrics_enabled(true);
+    }
+}

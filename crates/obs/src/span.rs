@@ -1,0 +1,119 @@
+//! RAII span timers.
+//!
+//! A [`Span`] reads the clock on creation and records the elapsed
+//! nanoseconds into its [`Histogram`] when finished or dropped. With
+//! metrics off, creation stores `None` and drop does nothing — the
+//! clock is never read, so a span on a hot path costs one relaxed
+//! atomic load when telemetry is disabled. Aggregation is thread-aware
+//! for free: the backing histogram is atomic, so spans opened
+//! concurrently on many pool workers fold into one distribution
+//! without any per-thread state.
+
+use crate::hist::Histogram;
+use std::time::Instant;
+
+/// Times a scope into a histogram (nanoseconds).
+///
+/// ```
+/// static DISPATCH_NS: socmix_obs::Histogram =
+///     socmix_obs::Histogram::new("demo.dispatch_ns");
+/// {
+///     let _span = socmix_obs::Span::start(&DISPATCH_NS);
+///     // ... timed work ...
+/// } // recorded here
+/// ```
+pub struct Span {
+    hist: &'static Histogram,
+    /// `None` when metrics were off at creation, or after an explicit
+    /// [`finish`](Span::finish) — which is what makes finish-then-drop
+    /// (and any double finish) record exactly once.
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Opens a span; reads the clock only if metrics are enabled.
+    #[inline]
+    pub fn start(hist: &'static Histogram) -> Span {
+        Span {
+            hist,
+            start: crate::metrics_enabled().then(Instant::now),
+        }
+    }
+
+    /// Ends the span early, recording now rather than at drop.
+    /// Idempotent: later calls (and the eventual drop) are no-ops.
+    #[inline]
+    pub fn finish(&mut self) {
+        if let Some(t0) = self.start.take() {
+            self.hist.record(t0.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+impl Drop for Span {
+    #[inline]
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static NEST_NS: Histogram = Histogram::new("test.span.nest_ns");
+
+    #[test]
+    fn nested_spans_each_record_once() {
+        let _g = crate::test_gate_lock();
+        crate::set_metrics_enabled(true);
+        let before = NEST_NS.snapshot().count;
+        {
+            let _outer = Span::start(&NEST_NS);
+            {
+                let _inner = Span::start(&NEST_NS);
+            }
+        }
+        assert_eq!(NEST_NS.snapshot().count, before + 2);
+    }
+
+    #[test]
+    fn finish_then_drop_records_once() {
+        static H: Histogram = Histogram::new("test.span.double");
+        let _g = crate::test_gate_lock();
+        crate::set_metrics_enabled(true);
+        H.reset();
+        let mut span = Span::start(&H);
+        span.finish();
+        span.finish(); // second finish: no-op
+        drop(span); // drop after finish: no-op
+        assert_eq!(H.snapshot().count, 1);
+    }
+
+    #[test]
+    fn disabled_span_never_records() {
+        static H: Histogram = Histogram::new("test.span.disabled");
+        let _g = crate::test_gate_lock();
+        crate::set_metrics_enabled(false);
+        {
+            let _span = Span::start(&H);
+        }
+        crate::set_metrics_enabled(true);
+        assert_eq!(H.snapshot().count, 0);
+    }
+
+    #[test]
+    fn enabled_span_records_plausible_duration() {
+        static H: Histogram = Histogram::new("test.span.duration");
+        let _g = crate::test_gate_lock();
+        crate::set_metrics_enabled(true);
+        H.reset();
+        {
+            let _span = Span::start(&H);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let s = H.snapshot();
+        assert_eq!(s.count, 1);
+        assert!(s.sum >= 2_000_000, "slept 2ms but recorded {}ns", s.sum);
+    }
+}

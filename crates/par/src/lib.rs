@@ -63,18 +63,35 @@ pub use scheduler::{
 /// 1, and can be overridden with the `SOCMIX_THREADS` environment
 /// variable (useful for reproducible benchmarking). With
 /// `SOCMIX_THREADS=1` every default pool runs inline and the runtime
-/// never spawns a worker.
+/// never spawns a worker. An invalid override (`0`, non-numeric) is
+/// ignored with a once-per-process warning through `socmix-obs`.
 pub fn num_threads() -> usize {
-    if let Ok(v) = std::env::var("SOCMIX_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
+    threads_from_env(std::env::var("SOCMIX_THREADS").ok().as_deref())
+}
+
+/// Resolves a raw `SOCMIX_THREADS` value (`None` = unset) to a thread
+/// count. Split from [`num_threads`] so the rejection path is testable
+/// without mutating the process environment (which is unsafe under the
+/// parallel test harness).
+fn threads_from_env(raw: Option<&str>) -> usize {
+    if let Some(v) = raw {
+        match parse_threads(v) {
+            Some(n) => return n,
+            None => socmix_obs::warn_once!(
+                "par",
+                "ignoring invalid SOCMIX_THREADS={v:?}: expected a positive integer, \
+                 falling back to available parallelism"
+            ),
         }
     }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// A valid `SOCMIX_THREADS` value is a positive integer.
+fn parse_threads(v: &str) -> Option<usize> {
+    v.trim().parse::<usize>().ok().filter(|&n| n >= 1)
 }
 
 #[cfg(test)]
@@ -92,5 +109,38 @@ mod tests {
         // check the parse path through a pool constructed explicitly.
         let pool = Pool::with_threads(3);
         assert_eq!(pool.threads(), 3);
+    }
+
+    #[test]
+    fn threads_parse_accepts_positive_integers() {
+        assert_eq!(parse_threads("1"), Some(1));
+        assert_eq!(parse_threads(" 8 "), Some(8));
+        assert_eq!(parse_threads("0"), None);
+        assert_eq!(parse_threads("abc"), None);
+        assert_eq!(parse_threads(""), None);
+        assert_eq!(parse_threads("-2"), None);
+    }
+
+    #[test]
+    fn invalid_threads_override_warns_and_falls_back() {
+        let fallback = threads_from_env(None);
+        // the warning must fire regardless of the ambient SOCMIX_LOG
+        socmix_obs::set_log_level(socmix_obs::Level::Warn);
+        let _ = socmix_obs::take_recent_events();
+        // both invalid shapes fall back; the warning fires once per
+        // process (warn_once), so assert on the pair together
+        assert_eq!(threads_from_env(Some("0")), fallback);
+        assert_eq!(threads_from_env(Some("abc")), fallback);
+        let events = socmix_obs::take_recent_events();
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.contains("invalid SOCMIX_THREADS"))
+                .count(),
+            1,
+            "expected exactly one warning, got {events:?}"
+        );
+        // a valid override still short-circuits
+        assert_eq!(threads_from_env(Some("3")), 3);
     }
 }

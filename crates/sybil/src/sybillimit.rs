@@ -22,8 +22,14 @@
 
 use crate::route::{DirectedEdge, RouteInstance};
 use socmix_graph::{Graph, NodeId};
+use socmix_obs::{obs_debug, Counter};
 use socmix_par::Pool;
 use std::collections::HashMap;
+
+/// Random routes walked (one per node per instance per tail batch).
+static WALKS: Counter = Counter::new("sybil.walks");
+/// Suspect tail sets checked against a verifier's tails.
+static INTERSECTION_CHECKS: Counter = Counter::new("sybil.intersection.checks");
 
 /// SybilLimit protocol parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -121,6 +127,13 @@ impl<'g> SybilLimit<'g> {
         let g = self.graph;
         let seed = self.params.seed;
         let w = self.params.w;
+        WALKS.add((self.r * nodes.len()) as u64);
+        obs_debug!(
+            "sybil",
+            "computing tails for {} nodes over r={} instances (w={w})",
+            nodes.len(),
+            self.r
+        );
         let by_instance: Vec<Vec<DirectedEdge>> = self.pool.map_indexed(self.r, move |i| {
             let inst = RouteInstance::new(g, seed, i as u32);
             inst.tails(g, nodes, w)
@@ -160,6 +173,7 @@ impl<'g> SybilLimit<'g> {
         let r = self.r as f64;
         for suspect_tails in &tails {
             // intersection condition
+            INTERSECTION_CHECKS.incr();
             let mut slots: Vec<usize> = suspect_tails
                 .iter()
                 .filter_map(|e| tail_slots.get(e))
