@@ -3,7 +3,9 @@
 //! catalog.
 //!
 //! ```text
-//! repro [--scale S] [--seed N] [--sources K] [--tmax T] [--metrics PATH] [--quiet] <command>
+//! repro [--scale S] [--seed N] [--sources K] [--tmax T] [--metrics PATH]
+//!       [--cache-dir D | --no-cache] [--out-dir D] [--resume | --fresh]
+//!       [--stage-jobs N] [--quiet] <command>
 //!
 //! commands:
 //!   table1        dataset properties and second largest eigenvalues
@@ -28,31 +30,55 @@
 //! Default `--scale 0.05` keeps the full suite laptop-sized; the
 //! paper's sizes are `--scale 1.0`. Output is aligned tables plus
 //! CSV blocks (marked `# csv`) for plotting.
+//!
+//! The harness is a cached, resumable, stage-parallel pipeline:
+//! generated graphs are cached under `--cache-dir` (`results/cache`)
+//! keyed by (dataset, scale, seed, generator version); `repro all`
+//! overlaps independent stages via `--stage-jobs`; each completed
+//! stage writes its output and a stamp under `--out-dir`
+//! (`results/stages`), so an interrupted run continues with
+//! `--resume`. Stage outputs and stdout stage text are byte-identical
+//! to a serial (`--stage-jobs 1`) run.
 
 use socmix_bench::output::fmt_f64;
+use socmix_bench::pipeline::{run_pipeline, stage_config_hash, PipelineOptions, StageDef};
 use socmix_bench::{Csv, RunConfig, Table, CDF_POINTS, FIG3_LENGTHS, FIG4_LENGTHS, FIG8_LENGTHS};
 use socmix_core::aggregate::{band_curves, percentile_curve, Cdf, PAPER_BANDS, WORST_CASE_RANK};
 use socmix_core::trimming::trimming_experiment;
 use socmix_core::{MixingBounds, MixingProbe, Slem, SlemEstimate};
-use socmix_gen::Dataset;
+use socmix_gen::{Dataset, GraphCache};
 use socmix_graph::{sample, Graph};
 use socmix_markov::dist::{edge_uniformity_tvd, separation_distance};
 use socmix_markov::Evolver;
 use socmix_sybil::experiment::{admission_experiment, sybil_yield_experiment};
 use socmix_sybil::{attach_sybil_region, AttackParams, SybilTopology};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 /// Set once in `main` from `--quiet`; gates every progress line.
 static QUIET: AtomicBool = AtomicBool::new(false);
 
-/// A progress line on stderr, suppressed by `--quiet`.
+/// A progress line on stderr, suppressed by `--quiet`. Safe to call
+/// from concurrently-running stages (lines may interleave between
+/// stages, never within one line).
 macro_rules! progress {
     ($($arg:tt)+) => {
         if !QUIET.load(Ordering::Relaxed) {
             eprintln!($($arg)+);
         }
     };
+}
+
+/// `println!` into a stage's output buffer.
+macro_rules! outln {
+    ($out:expr) => {
+        $out.push('\n')
+    };
+    ($out:expr, $($arg:tt)+) => {{
+        use std::fmt::Write as _;
+        let _ = writeln!($out, $($arg)+);
+    }};
 }
 
 /// Every subcommand, in the order `all` runs them.
@@ -75,25 +101,153 @@ const COMMANDS: &[&str] = &[
     "null-model",
 ];
 
-/// Runs one subcommand; `false` for an unknown name.
-fn dispatch(cmd: &str, cfg: &RunConfig) -> bool {
+/// Everything a stage needs: the run configuration and the (optional)
+/// graph artifact cache. Shared by reference across stage threads.
+#[derive(Clone, Copy)]
+struct Ctx<'a> {
+    cfg: &'a RunConfig,
+    cache: Option<&'a GraphCache>,
+}
+
+impl Ctx<'_> {
+    /// Generates (or cache-loads) a catalog dataset at an explicit
+    /// scale. Every stage's base-graph generation funnels through
+    /// here so each `(dataset, scale, seed)` is built at most once
+    /// per cache lifetime.
+    fn gen_at(&self, ds: Dataset, scale: f64) -> Graph {
+        match self.cache {
+            Some(cache) => cache.load_or_generate(ds, scale, self.cfg.seed),
+            None => ds.generate(scale, self.cfg.seed),
+        }
+    }
+
+    /// Generates a catalog dataset at the run's default scale policy:
+    /// physics sets boosted to the brute-force-friendly scale.
+    fn gen(&self, ds: Dataset) -> Graph {
+        self.gen_at(ds, default_scale(ds, self.cfg))
+    }
+}
+
+/// The run's default scale for a dataset (physics sets boosted).
+fn default_scale(ds: Dataset, cfg: &RunConfig) -> f64 {
+    match ds {
+        Dataset::Physics1 | Dataset::Physics2 | Dataset::Physics3 => cfg.physics_scale(),
+        _ => cfg.scale,
+    }
+}
+
+/// The `(dataset, scale)` artifacts a stage generates through the
+/// cache. Drives dependency planning: when two stages share an
+/// artifact that is not yet on disk, the later stage waits for the
+/// earlier one so the graph is generated once and loaded once —
+/// instead of twice concurrently. (Getting this list wrong can only
+/// cost duplicate generation, never correctness: cache writes are
+/// atomic and every stage falls back to generating on a miss.)
+fn stage_artifacts(name: &str, cfg: &RunConfig) -> Vec<(Dataset, f64)> {
+    let at = |ds: Dataset| (ds, default_scale(ds, cfg));
+    let raw = |ds: Dataset| (ds, cfg.scale);
+    match name {
+        "table1" => Dataset::all().iter().map(|&ds| at(ds)).collect(),
+        "fig1" => Dataset::small_set().iter().map(|&ds| at(ds)).collect(),
+        "fig2" => Dataset::large_set().iter().map(|&ds| at(ds)).collect(),
+        "fig3" | "fig4" | "fig5" => [Dataset::Physics1, Dataset::Physics2, Dataset::Physics3]
+            .iter()
+            .map(|&ds| at(ds))
+            .collect(),
+        "fig6" => vec![raw(Dataset::Dblp)],
+        "fig7" => vec![
+            raw(Dataset::FacebookA),
+            raw(Dataset::FacebookB),
+            raw(Dataset::LivejournalA),
+            raw(Dataset::LivejournalB),
+        ],
+        "fig8" => vec![
+            at(Dataset::Physics1),
+            at(Dataset::Physics2),
+            at(Dataset::Physics3),
+            raw(Dataset::FacebookA),
+            raw(Dataset::Slashdot1),
+        ],
+        "sybil-attack" => vec![raw(Dataset::Facebook)],
+        "whanau" => vec![at(Dataset::Physics1), at(Dataset::WikiVote)],
+        "average" => vec![
+            at(Dataset::WikiVote),
+            at(Dataset::Physics1),
+            at(Dataset::Enron),
+            at(Dataset::Youtube),
+        ],
+        "ncp" => vec![
+            at(Dataset::WikiVote),
+            at(Dataset::Physics1),
+            at(Dataset::Dblp),
+            at(Dataset::LivejournalA),
+        ],
+        "defenses" => vec![
+            raw(Dataset::Facebook),
+            (Dataset::Physics3, (cfg.scale * 2.0).min(1.0)),
+        ],
+        "sampler-bias" => vec![raw(Dataset::LivejournalA), raw(Dataset::FacebookA)],
+        "null-model" => vec![
+            raw(Dataset::WikiVote),
+            at(Dataset::Physics1),
+            raw(Dataset::Enron),
+            (Dataset::LivejournalA, (cfg.scale / 2.5).max(0.005)),
+        ],
+        _ => Vec::new(),
+    }
+}
+
+/// Dependency edges for the selected stages: stage *i* depends on the
+/// first selected stage that generates an artifact *i* also needs,
+/// unless that artifact is already cached on disk (then both just
+/// load it). With the cache disabled there is nothing to share and
+/// every stage is independent.
+fn plan_deps(names: &[&str], cfg: &RunConfig, cache: Option<&GraphCache>) -> Vec<Vec<usize>> {
+    let mut first_user: HashMap<u64, usize> = HashMap::new();
+    let mut deps: Vec<Vec<usize>> = Vec::with_capacity(names.len());
+    for (i, name) in names.iter().enumerate() {
+        let mut d = Vec::new();
+        for (ds, scale) in stage_artifacts(name, cfg) {
+            let key = GraphCache::key(ds, scale, cfg.seed);
+            match first_user.get(&key) {
+                Some(&owner) => {
+                    if let Some(cache) = cache {
+                        if !cache.contains(ds, scale, cfg.seed) {
+                            d.push(owner);
+                        }
+                    }
+                }
+                None => {
+                    first_user.insert(key, i);
+                }
+            }
+        }
+        d.sort_unstable();
+        d.dedup();
+        deps.push(d);
+    }
+    deps
+}
+
+/// Runs one subcommand into `out`; `false` for an unknown name.
+fn dispatch(cmd: &str, ctx: &Ctx<'_>, out: &mut String) -> bool {
     match cmd {
-        "table1" => table1(cfg),
-        "fig1" => fig12(cfg, Dataset::small_set(), "Figure 1 (small datasets)"),
-        "fig2" => fig12(cfg, Dataset::large_set(), "Figure 2 (large datasets)"),
-        "fig3" => fig34(cfg, &FIG3_LENGTHS, "Figure 3 (short walks)"),
-        "fig4" => fig34(cfg, &FIG4_LENGTHS, "Figure 4 (long walks)"),
-        "fig5" => fig5(cfg),
-        "fig6" => fig6(cfg),
-        "fig7" => fig7(cfg),
-        "fig8" => fig8(cfg),
-        "sybil-attack" => sybil_attack(cfg),
-        "whanau" => whanau(cfg),
-        "average" => average(cfg),
-        "ncp" => ncp(cfg),
-        "defenses" => defenses(cfg),
-        "sampler-bias" => sampler_bias(cfg),
-        "null-model" => null_model(cfg),
+        "table1" => table1(ctx, out),
+        "fig1" => fig12(ctx, out, Dataset::small_set(), "Figure 1 (small datasets)"),
+        "fig2" => fig12(ctx, out, Dataset::large_set(), "Figure 2 (large datasets)"),
+        "fig3" => fig34(ctx, out, &FIG3_LENGTHS, "Figure 3 (short walks)"),
+        "fig4" => fig34(ctx, out, &FIG4_LENGTHS, "Figure 4 (long walks)"),
+        "fig5" => fig5(ctx, out),
+        "fig6" => fig6(ctx, out),
+        "fig7" => fig7(ctx, out),
+        "fig8" => fig8(ctx, out),
+        "sybil-attack" => sybil_attack(ctx, out),
+        "whanau" => whanau(ctx, out),
+        "average" => average(ctx, out),
+        "ncp" => ncp(ctx, out),
+        "defenses" => defenses(ctx, out),
+        "sampler-bias" => sampler_bias(ctx, out),
+        "null-model" => null_model(ctx, out),
         _ => return false,
     }
     true
@@ -114,15 +268,17 @@ fn main() {
         std::process::exit(2);
     };
     QUIET.store(cfg.quiet, Ordering::Relaxed);
-    let stage_names: Vec<&str> = if cmd == "all" {
+    let stage_names: Vec<&'static str> = if cmd == "all" {
         COMMANDS.to_vec()
     } else {
-        if !COMMANDS.contains(&cmd.as_str()) {
-            eprintln!("unknown command {cmd:?}\n");
-            usage();
-            std::process::exit(2);
+        match COMMANDS.iter().find(|&&c| c == cmd) {
+            Some(&c) => vec![c],
+            None => {
+                eprintln!("unknown command {cmd:?}\n");
+                usage();
+                std::process::exit(2);
+            }
         }
-        vec![cmd.as_str()]
     };
     if cfg.metrics.is_some() {
         // count the run itself, not whatever module initialization ran
@@ -130,32 +286,59 @@ fn main() {
         socmix_obs::set_metrics_enabled(true);
         socmix_obs::reset();
     }
+
+    let cache = cfg.cache_dir.as_ref().map(GraphCache::at);
+    let ctx = Ctx {
+        cfg: &cfg,
+        cache: cache.as_ref(),
+    };
+    let deps = plan_deps(&stage_names, &cfg, cache.as_ref());
+    let stages: Vec<StageDef<'_>> = stage_names
+        .iter()
+        .zip(deps)
+        .map(|(&name, deps)| StageDef {
+            name: name.to_string(),
+            deps,
+            config_hash: stage_config_hash(&cfg, name),
+            run: Box::new(move |out: &mut String| {
+                dispatch(name, &ctx, out);
+            }),
+        })
+        .collect();
+    let opts = PipelineOptions {
+        jobs: if cmd == "all" { cfg.stage_jobs() } else { 1 },
+        out_dir: Some(std::path::PathBuf::from(&cfg.out_dir)),
+        resume: cfg.resume,
+        fresh: cfg.fresh,
+    };
+
     let t0 = Instant::now();
-    let mut stages: Vec<(String, f64)> = Vec::new();
-    for name in stage_names {
-        let t = Instant::now();
-        dispatch(name, &cfg);
-        let secs = t.elapsed().as_secs_f64();
-        progress!("[{name}] finished in {secs:.2}s");
-        stages.push((name.to_string(), secs));
-    }
+    let outcomes = run_pipeline(&stages, &opts, &|text| print!("{text}"), &|line| {
+        progress!("{line}")
+    });
     let total = t0.elapsed().as_secs_f64();
 
     // wall-clock footer (stdout, part of the reproducible record)
     println!();
     println!("--- wall clock ---");
-    for (name, secs) in &stages {
-        println!("{name:<14} {secs:9.2}s");
+    for o in &outcomes {
+        if o.resumed {
+            println!("{:<14} {:>9}", o.name, "resumed");
+        } else {
+            println!("{:<14} {:9.2}s", o.name, o.seconds);
+        }
     }
     println!("{:<14} {total:9.2}s", "total");
 
     if let Some(path) = &cfg.metrics {
+        let events = cache.as_ref().map(|c| c.take_events());
         let manifest = socmix_bench::run_manifest(
             cmd,
             &cfg,
-            &stages,
+            &outcomes,
             total,
             &socmix_bench::git_describe(),
+            events.as_deref(),
             &socmix_obs::snapshot(),
         );
         if let Err(e) = std::fs::write(path, manifest.to_pretty()) {
@@ -168,19 +351,25 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "usage: repro [--scale S] [--seed N] [--sources K] [--tmax T] [--metrics PATH] [--quiet] <command>\n\
+        "usage: repro [--scale S] [--seed N] [--sources K] [--tmax T] [--metrics PATH]\n\
+         \x20            [--cache-dir D | --no-cache] [--out-dir D] [--resume | --fresh]\n\
+         \x20            [--stage-jobs N] [--quiet] <command>\n\
          commands: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 sybil-attack whanau average ncp defenses sampler-bias null-model all"
     );
 }
 
-fn banner(title: &str, cfg: &RunConfig) {
-    println!();
-    println!("=== {title} ===");
-    println!(
+fn banner(out: &mut String, title: &str, cfg: &RunConfig) {
+    outln!(out);
+    outln!(out, "=== {title} ===");
+    outln!(
+        out,
         "(scale {}, seed {}, sources {}, tmax {})",
-        cfg.scale, cfg.seed, cfg.sources, cfg.t_max
+        cfg.scale,
+        cfg.seed,
+        cfg.sources,
+        cfg.t_max
     );
-    println!();
+    outln!(out);
 }
 
 /// SLEM with the automatic backend; prints a warning on
@@ -195,20 +384,12 @@ fn slem_of(g: &Graph, seed: u64, label: &str) -> SlemEstimate {
     est
 }
 
-/// Generates a catalog dataset, boosting physics sets to the
-/// brute-force-friendly scale.
-fn gen(ds: Dataset, cfg: &RunConfig) -> Graph {
-    let scale = match ds {
-        Dataset::Physics1 | Dataset::Physics2 | Dataset::Physics3 => cfg.physics_scale(),
-        _ => cfg.scale,
-    };
-    ds.generate(scale, cfg.seed)
-}
-
 // ---------------------------------------------------------------- table 1
 
-fn table1(cfg: &RunConfig) {
+fn table1(ctx: &Ctx<'_>, out: &mut String) {
+    let cfg = ctx.cfg;
     banner(
+        out,
         "Table 1: datasets, properties, second largest eigenvalue",
         cfg,
     );
@@ -216,7 +397,7 @@ fn table1(cfg: &RunConfig) {
         "Dataset", "paper n", "paper m", "n", "m", "avg deg", "mu", "1-mu", "class",
     ]);
     for &ds in Dataset::all() {
-        let g = gen(ds, cfg);
+        let g = ctx.gen(ds);
         let est = slem_of(&g, cfg.seed, ds.name());
         t.row([
             ds.name().to_string(),
@@ -231,19 +412,24 @@ fn table1(cfg: &RunConfig) {
         ]);
         progress!("table1: {} done", ds.name());
     }
-    t.print();
+    out.push_str(&t.render());
 }
 
 // ------------------------------------------------------------- figures 1/2
 
-fn fig12(cfg: &RunConfig, set: &[Dataset], title: &str) {
-    banner(&format!("{title}: lower bound of the mixing time"), cfg);
+fn fig12(ctx: &Ctx<'_>, out: &mut String, set: &[Dataset], title: &str) {
+    let cfg = ctx.cfg;
+    banner(
+        out,
+        &format!("{title}: lower bound of the mixing time"),
+        cfg,
+    );
     // ε grid: 0.25 down to 1e-5, two points per decade
     let grid = socmix_core::bounds::epsilon_grid(0.25, 1e-5, 2);
     let mut csv = Csv::new(["dataset", "epsilon", "lower_bound_steps"]);
     let mut t = Table::new(["Dataset", "mu", "T(0.10) lo", "T(0.01) lo", "T(1/n) lo"]);
     for &ds in set {
-        let g = gen(ds, cfg);
+        let g = ctx.gen(ds);
         let est = slem_of(&g, cfg.seed, ds.name());
         let b = MixingBounds::new(est.mu, g.num_nodes());
         for &eps in &grid {
@@ -262,22 +448,24 @@ fn fig12(cfg: &RunConfig, set: &[Dataset], title: &str) {
         ]);
         progress!("{title}: {} done", ds.name());
     }
-    t.print();
-    println!();
-    println!("# csv");
-    csv.print();
+    out.push_str(&t.render());
+    outln!(out);
+    outln!(out, "# csv");
+    out.push_str(&csv.render());
 }
 
 // ------------------------------------------------------------- figures 3/4
 
-fn fig34(cfg: &RunConfig, lengths: &[usize], title: &str) {
+fn fig34(ctx: &Ctx<'_>, out: &mut String, lengths: &[usize], title: &str) {
+    let cfg = ctx.cfg;
     banner(
+        out,
         &format!("{title}: CDF of variation distance, every source brute-force"),
         cfg,
     );
     let mut csv = Csv::new(["dataset", "w", "cdf_fraction", "tvd"]);
     for &ds in &[Dataset::Physics1, Dataset::Physics2, Dataset::Physics3] {
-        let g = gen(ds, cfg);
+        let g = ctx.gen(ds);
         let probe = MixingProbe::new(&g).auto_kernel();
         let rows = probe.all_sources_at_lengths(lengths);
         for (wi, &w) in lengths.iter().enumerate() {
@@ -294,14 +482,19 @@ fn fig34(cfg: &RunConfig, lengths: &[usize], title: &str) {
         }
         progress!("{title}: {} ({} sources) done", ds.name(), g.num_nodes());
     }
-    println!("# csv  (tvd value at each CDF fraction; one row per dataset x w x fraction)");
-    csv.print();
+    outln!(
+        out,
+        "# csv  (tvd value at each CDF fraction; one row per dataset x w x fraction)"
+    );
+    out.push_str(&csv.render());
 }
 
 // ---------------------------------------------------------------- figure 5
 
-fn fig5(cfg: &RunConfig) {
+fn fig5(ctx: &Ctx<'_>, out: &mut String) {
+    let cfg = ctx.cfg;
     banner(
+        out,
         "Figure 5: lower bound vs sampled mixing, physics datasets (brute force)",
         cfg,
     );
@@ -311,7 +504,7 @@ fn fig5(cfg: &RunConfig) {
         .collect();
     let mut csv = Csv::new(["dataset", "t", "lower_bound_eps", "top99.9_eps", "mean_eps"]);
     for &ds in &[Dataset::Physics1, Dataset::Physics2, Dataset::Physics3] {
-        let g = gen(ds, cfg);
+        let g = ctx.gen(ds);
         let est = slem_of(&g, cfg.seed, ds.name());
         let b = MixingBounds::new(est.mu, g.num_nodes());
         let probe = MixingProbe::new(&g).auto_kernel();
@@ -329,15 +522,19 @@ fn fig5(cfg: &RunConfig) {
         }
         progress!("fig5: {} done", ds.name());
     }
-    println!("# csv  (epsilon achieved at walk length t: SLEM bound vs sampled curves)");
-    csv.print();
+    outln!(
+        out,
+        "# csv  (epsilon achieved at walk length t: SLEM bound vs sampled curves)"
+    );
+    out.push_str(&csv.render());
 }
 
 // ---------------------------------------------------------------- figure 6
 
-fn fig6(cfg: &RunConfig) {
-    banner("Figure 6: DBLP low-degree trimming", cfg);
-    let g = Dataset::Dblp.generate(cfg.scale, cfg.seed);
+fn fig6(ctx: &Ctx<'_>, out: &mut String) {
+    let cfg = ctx.cfg;
+    banner(out, "Figure 6: DBLP low-degree trimming", cfg);
+    let g = ctx.gen_at(Dataset::Dblp, cfg.scale);
     let levels = trimming_experiment(&g, &[1, 2, 3, 4, 5], cfg.sources, cfg.t_max, cfg.seed)
         .expect("DBLP stand-in is connected");
     let mut t = Table::new([
@@ -380,16 +577,18 @@ fn fig6(cfg: &RunConfig) {
         }
         progress!("fig6: min degree {} done", level.min_degree);
     }
-    t.print();
-    println!();
-    println!("# csv");
-    csv.print();
+    out.push_str(&t.render());
+    outln!(out);
+    outln!(out, "# csv");
+    out.push_str(&csv.render());
 }
 
 // ---------------------------------------------------------------- figure 7
 
-fn fig7(cfg: &RunConfig) {
+fn fig7(ctx: &Ctx<'_>, out: &mut String) {
+    let cfg = ctx.cfg;
     banner(
+        out,
         "Figure 7: sampling vs lower bound across BFS sample sizes",
         cfg,
     );
@@ -419,7 +618,7 @@ fn fig7(cfg: &RunConfig) {
         Dataset::LivejournalA,
         Dataset::LivejournalB,
     ] {
-        let base = ds.generate(cfg.scale, cfg.seed);
+        let base = ctx.gen_at(ds, cfg.scale);
         for &(frac, label) in &fractions {
             let target = ((base.num_nodes() as f64 * frac) as usize).max(200);
             let (sub, _) = sample::bfs_sample(&base, 0, target);
@@ -450,25 +649,32 @@ fn fig7(cfg: &RunConfig) {
             );
         }
     }
-    println!("# csv");
-    csv.print();
+    outln!(out, "# csv");
+    out.push_str(&csv.render());
 }
 
 // ---------------------------------------------------------------- figure 8
 
-fn fig8(cfg: &RunConfig) {
-    banner("Figure 8: SybilLimit admission rate vs walk length", cfg);
+fn fig8(ctx: &Ctx<'_>, out: &mut String) {
+    let cfg = ctx.cfg;
+    banner(
+        out,
+        "Figure 8: SybilLimit admission rate vs walk length",
+        cfg,
+    );
     let mut csv = Csv::new(["dataset", "w", "r", "accepted_frac", "intersection_frac"]);
     let mut datasets: Vec<(String, Graph)> = Vec::new();
     for &ds in &[Dataset::Physics1, Dataset::Physics2, Dataset::Physics3] {
-        datasets.push((ds.name().to_string(), gen(ds, cfg)));
+        datasets.push((ds.name().to_string(), ctx.gen(ds)));
     }
     // the paper uses 10,000-node BFS samples of Facebook A and
     // Slashdot 1; we sample the equivalent fraction of our base
     for &ds in &[Dataset::FacebookA, Dataset::Slashdot1] {
-        let base = ds.generate(cfg.scale, cfg.seed);
+        let base = ctx.gen_at(ds, cfg.scale);
+        // clamp the sample target into [500, n]; tiny-scale runs where
+        // the whole base graph is smaller than 500 just take all of it
         let target = (10_000.0 * cfg.scale * 10.0) as usize;
-        let (sub, _) = sample::bfs_sample(&base, 0, target.clamp(500, base.num_nodes()));
+        let (sub, _) = sample::bfs_sample(&base, 0, target.max(500).min(base.num_nodes()));
         let (g, _) = socmix_graph::components::largest_component(&sub);
         datasets.push((format!("{} sample", ds.name()), g));
     }
@@ -515,23 +721,28 @@ fn fig8(cfg: &RunConfig) {
         }
         progress!("fig8: {name} done");
     }
-    println!("# csv");
-    csv.print();
-    println!();
-    println!("SybilLimit's own benchmarking procedure (doubling w to 95% admission):");
-    bench_rows.print();
+    outln!(out, "# csv");
+    out.push_str(&csv.render());
+    outln!(out);
+    outln!(
+        out,
+        "SybilLimit's own benchmarking procedure (doubling w to 95% admission):"
+    );
+    out.push_str(&bench_rows.render());
 }
 
 // ------------------------------------------------------ extension: attack
 
-fn sybil_attack(cfg: &RunConfig) {
+fn sybil_attack(ctx: &Ctx<'_>, out: &mut String) {
+    let cfg = ctx.cfg;
     banner(
+        out,
         "Extension: SybilLimit sybil yield and escape probability vs attack edges",
         cfg,
     );
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    let honest = Dataset::Facebook.generate(cfg.scale, cfg.seed);
+    let honest = ctx.gen_at(Dataset::Facebook, cfg.scale);
     let mut csv = Csv::new([
         "attack_edges",
         "w",
@@ -563,20 +774,22 @@ fn sybil_attack(cfg: &RunConfig) {
         }
         progress!("sybil-attack: g={g_edges} done");
     }
-    println!("# csv");
-    csv.print();
+    outln!(out, "# csv");
+    out.push_str(&csv.render());
 }
 
 // ------------------------------------------------------ extension: whanau
 
-fn whanau(cfg: &RunConfig) {
+fn whanau(ctx: &Ctx<'_>, out: &mut String) {
+    let cfg = ctx.cfg;
     banner(
+        out,
         "Extension (critique in paper sec. 2): tail-edge uniformity vs true variation distance",
         cfg,
     );
     let mut csv = Csv::new(["dataset", "w", "tvd", "separation_dist", "edge_uniformity"]);
     for &ds in &[Dataset::Physics1, Dataset::WikiVote] {
-        let g = gen(ds, cfg);
+        let g = ctx.gen(ds);
         let e = Evolver::new(&g);
         let source = 0;
         let mut x = socmix_markov::stationary::point_distribution(g.num_nodes(), source);
@@ -597,17 +810,31 @@ fn whanau(cfg: &RunConfig) {
         }
         progress!("whanau: {} done", ds.name());
     }
-    println!("# csv  (edge-uniformity == tvd exactly — the histogram Whanau eyeballs");
-    println!("#       does measure the right quantity; the separation distance its");
-    println!("#       analysis uses is the much stricter column, which is why the");
-    println!("#       paper's sec. 2 finds the claimed walk lengths insufficient)");
-    csv.print();
+    outln!(
+        out,
+        "# csv  (edge-uniformity == tvd exactly — the histogram Whanau eyeballs"
+    );
+    outln!(
+        out,
+        "#       does measure the right quantity; the separation distance its"
+    );
+    outln!(
+        out,
+        "#       analysis uses is the much stricter column, which is why the"
+    );
+    outln!(
+        out,
+        "#       paper's sec. 2 finds the claimed walk lengths insufficient)"
+    );
+    out.push_str(&csv.render());
 }
 
 // ------------------------------------------------ extension: average case
 
-fn average(cfg: &RunConfig) {
+fn average(ctx: &Ctx<'_>, out: &mut String) {
+    let cfg = ctx.cfg;
     banner(
+        out,
         "Extension (paper sec. 5/6): worst-case vs average-case vs coverage mixing time",
         cfg,
     );
@@ -626,7 +853,7 @@ fn average(cfg: &RunConfig) {
         Dataset::Enron,
         Dataset::Youtube,
     ] {
-        let g = gen(ds, cfg);
+        let g = ctx.gen(ds);
         let probe = MixingProbe::new(&g).auto_kernel();
         let result = probe.probe_random_sources(cfg.sources, cfg.t_max * 4, cfg.seed);
         let eps = 0.1;
@@ -641,16 +868,24 @@ fn average(cfg: &RunConfig) {
         ]);
         progress!("average: {} done", ds.name());
     }
-    t.print();
-    println!();
-    println!("(worst >= 90% coverage >= 50% coverage; avg tracks the bulk — the");
-    println!(" paper's case for average-case models of the mixing time)");
+    out.push_str(&t.render());
+    outln!(out);
+    outln!(
+        out,
+        "(worst >= 90% coverage >= 50% coverage; avg tracks the bulk — the"
+    );
+    outln!(
+        out,
+        " paper's case for average-case models of the mixing time)"
+    );
 }
 
 // ------------------------------------------------ extension: ncp
 
-fn ncp(cfg: &RunConfig) {
+fn ncp(ctx: &Ctx<'_>, out: &mut String) {
+    let cfg = ctx.cfg;
     banner(
+        out,
         "Extension (paper sec. 3.2): network community profile minima vs SLEM",
         cfg,
     );
@@ -671,7 +906,7 @@ fn ncp(cfg: &RunConfig) {
         Dataset::Dblp,
         Dataset::LivejournalA,
     ] {
-        let g = gen(ds, cfg);
+        let g = ctx.gen(ds);
         let est = slem_of(&g, cfg.seed, ds.name());
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let points = ncp_approx(&g, 40, 12, g.num_nodes() / 2, &mut rng);
@@ -694,13 +929,15 @@ fn ncp(cfg: &RunConfig) {
         ]);
         progress!("ncp: {} done", ds.name());
     }
-    t.print();
+    out.push_str(&t.render());
 }
 
 // ------------------------------------------- extension: defense comparison
 
-fn defenses(cfg: &RunConfig) {
+fn defenses(ctx: &Ctx<'_>, out: &mut String) {
+    let cfg = ctx.cfg;
     banner(
+        out,
         "Extension (Viswanath/sec. 2): four Sybil defenses, fast vs slow honest graph",
         cfg,
     );
@@ -722,13 +959,10 @@ fn defenses(cfg: &RunConfig) {
         "metric",
     ]);
     for (label, honest) in [
-        (
-            "fast (Facebook)",
-            Dataset::Facebook.generate(cfg.scale, cfg.seed),
-        ),
+        ("fast (Facebook)", ctx.gen_at(Dataset::Facebook, cfg.scale)),
         ("slow (Physics 3)", {
             let sc = (cfg.scale * 2.0).min(1.0);
-            Dataset::Physics3.generate(sc, cfg.seed)
+            ctx.gen_at(Dataset::Physics3, sc)
         }),
     ] {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -823,16 +1057,24 @@ fn defenses(cfg: &RunConfig) {
         ]);
         progress!("defenses: {label} SumUp done");
     }
-    t.print();
-    println!();
-    println!("(all four defenses degrade on the slow graph with the same attack");
-    println!(" budget — the shared fast-mixing assumption the paper measures)");
+    out.push_str(&t.render());
+    outln!(out);
+    outln!(
+        out,
+        "(all four defenses degrade on the slow graph with the same attack"
+    );
+    outln!(
+        out,
+        " budget — the shared fast-mixing assumption the paper measures)"
+    );
 }
 
 // ------------------------------------------ extension: sampler bias
 
-fn sampler_bias(cfg: &RunConfig) {
+fn sampler_bias(ctx: &Ctx<'_>, out: &mut String) {
+    let cfg = ctx.cfg;
     banner(
+        out,
         "Extension (paper footnote 3): sampling-method bias on the measured mu",
         cfg,
     );
@@ -840,7 +1082,7 @@ fn sampler_bias(cfg: &RunConfig) {
     use rand::SeedableRng;
     let mut t = Table::new(["dataset", "sampler", "nodes", "mu", "full-graph mu"]);
     for &ds in &[Dataset::LivejournalA, Dataset::FacebookA] {
-        let base = ds.generate(cfg.scale, cfg.seed);
+        let base = ctx.gen_at(ds, cfg.scale);
         let full_mu = slem_of(&base, cfg.seed, ds.name()).mu;
         let target = base.num_nodes() / 100;
         let samples: Vec<(&str, socmix_graph::Graph)> = vec![
@@ -884,17 +1126,25 @@ fn sampler_bias(cfg: &RunConfig) {
             progress!("sampler-bias: {} {} done", ds.name(), name);
         }
     }
-    t.print();
-    println!();
-    println!("(the paper's footnote: BFS biases samples toward faster mixing,");
-    println!(" which only strengthens its slow-mixing conclusion — here the");
-    println!(" bias is measurable against the alternative samplers)");
+    out.push_str(&t.render());
+    outln!(out);
+    outln!(
+        out,
+        "(the paper's footnote: BFS biases samples toward faster mixing,"
+    );
+    outln!(
+        out,
+        " which only strengthens its slow-mixing conclusion — here the"
+    );
+    outln!(out, " bias is measurable against the alternative samplers)");
 }
 
 // --------------------------------------------- extension: null model
 
-fn null_model(cfg: &RunConfig) {
+fn null_model(ctx: &Ctx<'_>, out: &mut String) {
+    let cfg = ctx.cfg;
     banner(
+        out,
         "Extension: is slow mixing structural? mu before/after degree-preserving rewiring",
         cfg,
     );
@@ -916,12 +1166,10 @@ fn null_model(cfg: &RunConfig) {
     ] {
         let scale = match ds {
             Dataset::LivejournalA => (cfg.scale / 2.5).max(0.005),
+            Dataset::Physics1 => cfg.physics_scale(),
             _ => cfg.scale,
         };
-        let g = match ds {
-            Dataset::Physics1 => ds.generate(cfg.physics_scale(), cfg.seed),
-            _ => ds.generate(scale, cfg.seed),
-        };
+        let g = ctx.gen_at(ds, scale);
         let mu = slem_of(&g, cfg.seed, ds.name()).mu;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let rewired = degree_preserving_rewire(&g, 10 * g.num_edges(), &mut rng);
@@ -943,9 +1191,15 @@ fn null_model(cfg: &RunConfig) {
         ]);
         progress!("null-model: {} done", ds.name());
     }
-    t.print();
-    println!();
-    println!("(the rewired graphs keep every node's degree but lose the community");
-    println!(" structure; their mixing collapses to expander speed — slow mixing is");
-    println!(" structural, not a degree-sequence artifact)");
+    out.push_str(&t.render());
+    outln!(out);
+    outln!(
+        out,
+        "(the rewired graphs keep every node's degree but lose the community"
+    );
+    outln!(
+        out,
+        " structure; their mixing collapses to expander speed — slow mixing is"
+    );
+    outln!(out, " structural, not a degree-sequence artifact)");
 }

@@ -4,10 +4,12 @@
 
 pub mod manifest;
 pub mod output;
+pub mod pipeline;
 pub mod runcfg;
 
 pub use manifest::{git_describe, run_manifest};
 pub use output::{Csv, Table};
+pub use pipeline::{run_pipeline, stage_config_hash, PipelineOptions, StageDef, StageOutcome};
 pub use runcfg::RunConfig;
 
 /// The short walk lengths of the paper's Figure 3 CDFs.

@@ -1,33 +1,64 @@
 //! Run manifests: a machine-readable record of what a `repro`
 //! invocation did — command, configuration, environment knobs, build
-//! provenance, per-stage wall-clock, and the full telemetry snapshot.
+//! provenance, per-stage wall-clock and resume state, artifact-cache
+//! provenance, and the full telemetry snapshot.
 //!
 //! Written by `repro --metrics <path>` so a slow or surprising run can
-//! be diagnosed after the fact (how many matvecs? how wide was the
-//! pool? was `SOCMIX_BLOCK` set?) and so results can be tied to the
-//! exact configuration that produced them.
+//! be diagnosed after the fact (how many matvecs? which graphs came
+//! from cache? which stages were replayed from stamps?) and so results
+//! can be tied to the exact configuration that produced them.
 
+use crate::pipeline::StageOutcome;
 use crate::RunConfig;
+use socmix_gen::CacheEvent;
 use socmix_obs::{MetricsSnapshot, Value};
-
-/// One timed stage of a run: `(command name, wall-clock seconds)`.
-pub type Stage = (String, f64);
 
 /// Builds the manifest for a finished run.
 ///
 /// `git` is the build provenance string (see [`git_describe`]) and
-/// `snapshot` the telemetry state at the end of the run.
+/// `snapshot` the telemetry state at the end of the run. `cache_events`
+/// is the per-artifact provenance drained from the graph cache
+/// (`None` when the cache is disabled).
 pub fn run_manifest(
     command: &str,
     cfg: &RunConfig,
-    stages: &[Stage],
+    stages: &[StageOutcome],
     total_seconds: f64,
     git: &str,
+    cache_events: Option<&[CacheEvent]>,
     snapshot: &MetricsSnapshot,
 ) -> Value {
     let env_knob = |name: &str| match std::env::var(name) {
         Ok(v) => Value::Str(v),
         Err(_) => Value::Null,
+    };
+    let cache = match (&cfg.cache_dir, cache_events) {
+        (Some(dir), Some(events)) => Value::Obj(vec![
+            ("enabled".into(), Value::Bool(true)),
+            ("dir".into(), Value::Str(dir.clone())),
+            (
+                "generator_version".into(),
+                Value::Int(socmix_gen::GENERATOR_VERSION as i64),
+            ),
+            (
+                "entries".into(),
+                Value::Arr(
+                    events
+                        .iter()
+                        .map(|e| {
+                            Value::Obj(vec![
+                                ("dataset".into(), Value::Str(e.dataset.clone())),
+                                ("scale".into(), Value::Float(e.scale)),
+                                ("seed".into(), Value::Int(e.seed as i64)),
+                                ("key".into(), Value::Str(format!("{:016x}", e.key))),
+                                ("outcome".into(), Value::Str(e.outcome.name().into())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+        _ => Value::Obj(vec![("enabled".into(), Value::Bool(false))]),
     };
     Value::Obj(vec![
         ("command".into(), Value::Str(command.to_string())),
@@ -38,6 +69,9 @@ pub fn run_manifest(
                 ("seed".into(), Value::Int(cfg.seed as i64)),
                 ("sources".into(), Value::Int(cfg.sources as i64)),
                 ("t_max".into(), Value::Int(cfg.t_max as i64)),
+                ("resume".into(), Value::Bool(cfg.resume)),
+                ("fresh".into(), Value::Bool(cfg.fresh)),
+                ("stage_jobs".into(), Value::Int(cfg.stage_jobs() as i64)),
             ]),
         ),
         (
@@ -53,15 +87,28 @@ pub fn run_manifest(
             ]),
         ),
         ("git".into(), Value::Str(git.to_string())),
+        ("cache".into(), cache),
         (
             "stages".into(),
             Value::Arr(
                 stages
                     .iter()
-                    .map(|(name, secs)| {
+                    .map(|s| {
                         Value::Obj(vec![
-                            ("name".into(), Value::Str(name.clone())),
-                            ("seconds".into(), Value::Float(*secs)),
+                            ("name".into(), Value::Str(s.name.clone())),
+                            ("seconds".into(), Value::Float(s.seconds)),
+                            ("resumed".into(), Value::Bool(s.resumed)),
+                            (
+                                "config_hash".into(),
+                                Value::Str(format!("{:016x}", s.config_hash)),
+                            ),
+                            (
+                                "output".into(),
+                                match &s.output_path {
+                                    Some(p) => Value::Str(p.display().to_string()),
+                                    None => Value::Null,
+                                },
+                            ),
                         ])
                     })
                     .collect(),
@@ -88,17 +135,48 @@ pub fn git_describe() -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use socmix_gen::CacheOutcome;
     use socmix_obs::parse;
+
+    fn sample_stages() -> Vec<StageOutcome> {
+        vec![
+            StageOutcome {
+                name: "table1".into(),
+                seconds: 1.25,
+                resumed: false,
+                config_hash: 0xabcd,
+                output_path: Some("results/stages/table1.txt".into()),
+            },
+            StageOutcome {
+                name: "fig1".into(),
+                seconds: 0.0,
+                resumed: true,
+                config_hash: 0x1234,
+                output_path: None,
+            },
+        ]
+    }
+
+    fn sample_events() -> Vec<CacheEvent> {
+        vec![CacheEvent {
+            dataset: "wiki-vote".into(),
+            scale: 0.05,
+            seed: 7,
+            key: 0xfeed,
+            outcome: CacheOutcome::Hit,
+        }]
+    }
 
     fn sample_manifest() -> Value {
         let cfg = RunConfig::default();
-        let stages = vec![("table1".to_string(), 1.25), ("fig1".to_string(), 0.5)];
+        let events = sample_events();
         run_manifest(
             "all",
             &cfg,
-            &stages,
+            &sample_stages(),
             1.75,
             "deadbeef",
+            Some(&events),
             &socmix_obs::snapshot(),
         )
     }
@@ -118,8 +196,64 @@ mod tests {
         assert_eq!(stages.len(), 2);
         assert_eq!(stages[0].get("name").unwrap().as_str(), Some("table1"));
         assert_eq!(stages[0].get("seconds").unwrap().as_f64(), Some(1.25));
+        assert_eq!(
+            stages[0].get("config_hash").unwrap().as_str(),
+            Some("000000000000abcd")
+        );
+        assert_eq!(stages[1].get("resumed").unwrap().as_bool(), Some(true));
         assert_eq!(back.get("total_seconds").unwrap().as_f64(), Some(1.75));
         assert!(back.get("metrics").unwrap().get("counters").is_some());
+    }
+
+    #[test]
+    fn manifest_records_cache_provenance() {
+        let m = sample_manifest();
+        let cache = m.get("cache").unwrap();
+        assert_eq!(cache.get("enabled").unwrap().as_bool(), Some(true));
+        assert_eq!(cache.get("dir").unwrap().as_str(), Some("results/cache"));
+        assert_eq!(
+            cache.get("generator_version").unwrap().as_i64(),
+            Some(socmix_gen::GENERATOR_VERSION as i64)
+        );
+        let entries = cache.get("entries").unwrap().as_arr().unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(
+            entries[0].get("dataset").unwrap().as_str(),
+            Some("wiki-vote")
+        );
+        assert_eq!(entries[0].get("outcome").unwrap().as_str(), Some("hit"));
+        assert_eq!(
+            entries[0].get("key").unwrap().as_str(),
+            Some("000000000000feed")
+        );
+    }
+
+    #[test]
+    fn disabled_cache_is_recorded_as_disabled() {
+        let cfg = RunConfig {
+            cache_dir: None,
+            ..RunConfig::default()
+        };
+        let m = run_manifest(
+            "all",
+            &cfg,
+            &sample_stages(),
+            1.0,
+            "deadbeef",
+            None,
+            &socmix_obs::snapshot(),
+        );
+        let cache = m.get("cache").unwrap();
+        assert_eq!(cache.get("enabled").unwrap().as_bool(), Some(false));
+        assert!(cache.get("entries").is_none());
+    }
+
+    #[test]
+    fn manifest_records_pipeline_config() {
+        let m = sample_manifest();
+        let config = m.get("config").unwrap();
+        assert_eq!(config.get("resume").unwrap().as_bool(), Some(false));
+        assert!(config.get("stage_jobs").unwrap().as_i64().unwrap() >= 1);
     }
 
     #[test]

@@ -15,11 +15,26 @@ pub struct RunConfig {
     /// Maximum walk length for probe series.
     pub t_max: usize,
     /// `--metrics <path>`: enable telemetry and write a JSON run
-    /// manifest (command, config, per-stage timings, full metrics
-    /// snapshot) to this path on exit.
+    /// manifest (command, config, per-stage timings, cache provenance,
+    /// full metrics snapshot) to this path on exit.
     pub metrics: Option<String>,
     /// `--quiet`: suppress per-stage progress lines on stderr.
     pub quiet: bool,
+    /// Artifact-cache directory for generated graphs (`--cache-dir`),
+    /// or `None` with `--no-cache`. Defaults to `results/cache`.
+    pub cache_dir: Option<String>,
+    /// Directory for per-stage output files and completion stamps
+    /// (`--out-dir`). Defaults to `results/stages`.
+    pub out_dir: String,
+    /// `--resume`: skip stages whose stamp matches the current config
+    /// hash, replaying their recorded output.
+    pub resume: bool,
+    /// `--fresh`: delete existing stamps for the selected stages
+    /// before running (guaranteed clean run).
+    pub fresh: bool,
+    /// `--stage-jobs N`: maximum stages in flight. `None` = auto
+    /// (see [`RunConfig::stage_jobs`]).
+    pub stage_jobs: Option<usize>,
 }
 
 impl Default for RunConfig {
@@ -31,14 +46,20 @@ impl Default for RunConfig {
             t_max: 500,
             metrics: None,
             quiet: false,
+            cache_dir: Some("results/cache".to_string()),
+            out_dir: "results/stages".to_string(),
+            resume: false,
+            fresh: false,
+            stage_jobs: None,
         }
     }
 }
 
 impl RunConfig {
     /// Parses `--scale X --seed N --sources K --tmax T --metrics P
-    /// --quiet` style flags, returning the config and the remaining
-    /// positional arguments.
+    /// --quiet --cache-dir D --no-cache --out-dir D --resume --fresh
+    /// --stage-jobs N` style flags, returning the config and the
+    /// remaining positional arguments.
     ///
     /// Unknown flags produce an error string (the binary prints usage).
     pub fn parse(args: &[String]) -> Result<(Self, Vec<String>), String> {
@@ -62,6 +83,13 @@ impl RunConfig {
                 "--seed" => cfg.seed = take("--seed")? as u64,
                 "--sources" => cfg.sources = take("--sources")? as usize,
                 "--tmax" => cfg.t_max = take("--tmax")? as usize,
+                "--stage-jobs" => {
+                    let n = take("--stage-jobs")? as usize;
+                    if n < 1 {
+                        return Err("--stage-jobs must be at least 1".into());
+                    }
+                    cfg.stage_jobs = Some(n);
+                }
                 "--metrics" => {
                     let path = it.next().ok_or("--metrics needs a path")?;
                     if path.is_empty() {
@@ -69,12 +97,32 @@ impl RunConfig {
                     }
                     cfg.metrics = Some(path.clone());
                 }
+                "--cache-dir" => {
+                    let path = it.next().ok_or("--cache-dir needs a path")?;
+                    if path.is_empty() {
+                        return Err("--cache-dir needs a non-empty path".into());
+                    }
+                    cfg.cache_dir = Some(path.clone());
+                }
+                "--no-cache" => cfg.cache_dir = None,
+                "--out-dir" => {
+                    let path = it.next().ok_or("--out-dir needs a path")?;
+                    if path.is_empty() {
+                        return Err("--out-dir needs a non-empty path".into());
+                    }
+                    cfg.out_dir = path.clone();
+                }
+                "--resume" => cfg.resume = true,
+                "--fresh" => cfg.fresh = true,
                 "--quiet" => cfg.quiet = true,
                 flag if flag.starts_with("--") => {
                     return Err(format!("unknown flag {flag}"));
                 }
                 positional => rest.push(positional.to_string()),
             }
+        }
+        if cfg.resume && cfg.fresh {
+            return Err("--resume and --fresh are mutually exclusive".into());
         }
         Ok((cfg, rest))
     }
@@ -84,6 +132,14 @@ impl RunConfig {
     /// brute-force figures stay meaningful at small global scales.
     pub fn physics_scale(&self) -> f64 {
         (self.scale * 5.0).min(1.0)
+    }
+
+    /// Resolved stage concurrency: the explicit `--stage-jobs` value,
+    /// else the pool width capped at 4 (stages are internally parallel
+    /// — wider stage fan-out would just oversubscribe the cores).
+    pub fn stage_jobs(&self) -> usize {
+        self.stage_jobs
+            .unwrap_or_else(|| socmix_par::num_threads().clamp(1, 4))
     }
 }
 
@@ -99,6 +155,7 @@ mod tests {
     fn defaults_without_flags() {
         let (cfg, rest) = RunConfig::parse(&strs(&["table1"])).unwrap();
         assert_eq!(cfg, RunConfig::default());
+        assert_eq!(cfg.cache_dir.as_deref(), Some("results/cache"));
         assert_eq!(rest, vec!["table1"]);
     }
 
@@ -130,6 +187,51 @@ mod tests {
         assert_eq!(cfg.metrics.as_deref(), Some("/tmp/m.json"));
         assert!(cfg.quiet);
         assert_eq!(rest, vec!["all"]);
+    }
+
+    #[test]
+    fn parses_cache_and_pipeline_flags() {
+        let (cfg, rest) = RunConfig::parse(&strs(&[
+            "--cache-dir",
+            "/tmp/cache",
+            "--out-dir",
+            "/tmp/stages",
+            "--resume",
+            "--stage-jobs",
+            "3",
+            "all",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.cache_dir.as_deref(), Some("/tmp/cache"));
+        assert_eq!(cfg.out_dir, "/tmp/stages");
+        assert!(cfg.resume);
+        assert!(!cfg.fresh);
+        assert_eq!(cfg.stage_jobs, Some(3));
+        assert_eq!(cfg.stage_jobs(), 3);
+        assert_eq!(rest, vec!["all"]);
+    }
+
+    #[test]
+    fn no_cache_disables_cache() {
+        let (cfg, _) = RunConfig::parse(&strs(&["--no-cache", "all"])).unwrap();
+        assert_eq!(cfg.cache_dir, None);
+    }
+
+    #[test]
+    fn rejects_resume_plus_fresh() {
+        assert!(RunConfig::parse(&strs(&["--resume", "--fresh", "all"])).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_stage_jobs() {
+        assert!(RunConfig::parse(&strs(&["--stage-jobs", "0", "all"])).is_err());
+    }
+
+    #[test]
+    fn stage_jobs_auto_is_bounded() {
+        let cfg = RunConfig::default();
+        let jobs = cfg.stage_jobs();
+        assert!((1..=4).contains(&jobs));
     }
 
     #[test]

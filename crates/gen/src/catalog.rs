@@ -440,8 +440,9 @@ impl std::fmt::Display for Dataset {
     }
 }
 
-/// FNV-1a, used to derive a per-dataset RNG stream from its name.
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// FNV-1a, used to derive a per-dataset RNG stream from its name (and
+/// by the artifact cache to key entries).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf29ce484222325u64;
     for &b in bytes {
         h ^= b as u64;

@@ -29,6 +29,7 @@
 //! ```
 
 pub mod ba;
+pub mod cache;
 pub mod catalog;
 pub mod chunglu;
 pub mod connect;
@@ -42,4 +43,5 @@ pub mod sbm;
 pub mod social;
 pub mod ws;
 
+pub use cache::{CacheEvent, CacheOutcome, GraphCache, GENERATOR_VERSION};
 pub use catalog::Dataset;

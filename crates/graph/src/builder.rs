@@ -38,16 +38,19 @@ impl GraphBuilder {
     }
 
     /// Adds the undirected edge `{u, v}`. Self-loops are silently
-    /// dropped (counted in [`GraphBuilder::dropped_self_loops`]);
-    /// duplicates are removed when building.
+    /// dropped (counted in [`GraphBuilder::dropped_self_loops`]) and do
+    /// **not** grow the node-id space — a dropped loop on an otherwise
+    /// unseen id must not manufacture an isolated node (use
+    /// [`GraphBuilder::grow_to`] to reserve ids explicitly). Duplicates
+    /// are removed when building.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
-        let hi = u.max(v) as usize + 1;
-        if hi > self.n {
-            self.n = hi;
-        }
         if u == v {
             self.dropped_self_loops += 1;
             return;
+        }
+        let hi = u.max(v) as usize + 1;
+        if hi > self.n {
+            self.n = hi;
         }
         self.edges.push((u.min(v), u.max(v)));
     }
@@ -149,9 +152,25 @@ mod tests {
         b.add_edge(0, 1);
         assert_eq!(b.dropped_self_loops(), 1);
         let g = b.build();
-        assert_eq!(g.num_nodes(), 4); // id 3 still reserves the space
+        assert_eq!(g.num_nodes(), 2); // the dropped loop reserves nothing
         assert_eq!(g.num_edges(), 1);
-        assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    fn dropped_self_loop_does_not_reserve_id_space() {
+        // A self-loop on a previously unseen max id must not create an
+        // isolated node; only real edges (or grow_to) extend `n`.
+        let mut b = GraphBuilder::new();
+        b.add_edge(9, 9);
+        assert_eq!(b.num_nodes(), 0);
+        assert_eq!(b.dropped_self_loops(), 1);
+        b.add_edge(0, 1);
+        assert_eq!(b.num_nodes(), 2);
+        // grow_to remains the explicit way to reserve the id
+        b.grow_to(10);
+        let g = b.build();
+        assert_eq!(g.num_nodes(), 10);
+        assert_eq!(g.degree(9), 0);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //!   magic header, for caching large generated graphs between
 //!   experiment runs without re-generation cost.
 
+use crate::subgraph::NodeMapping;
 use crate::{Graph, GraphBuilder, NodeId};
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
@@ -52,14 +53,41 @@ impl From<io::Error> for LoadError {
     }
 }
 
-/// Parses a text edge list from a reader.
+/// A parsed edge list after dense id compaction.
+///
+/// SNAP-style datasets use sparse, non-contiguous node ids; taking
+/// `max id + 1` as the node count (the old behavior) silently creates
+/// huge runs of isolated zero-π nodes that inflate `n`, skew the
+/// stationary distribution, and waste memory. Loading therefore
+/// compacts ids to dense `0..n` and reports what was remapped so
+/// results can still be tied back to the original ids.
+#[derive(Debug, Clone)]
+pub struct EdgeListLoad {
+    /// The compacted graph (dense ids, symmetrized, deduplicated).
+    pub graph: Graph,
+    /// Dense id → original id. `mapping.new_id(old)` recovers the
+    /// compacted id of an original one.
+    pub mapping: NodeMapping,
+    /// Number of `u u` lines dropped.
+    pub dropped_self_loops: usize,
+    /// Count of unused ids below the largest referenced id — the
+    /// isolated-node run the old `max id + 1` policy would have
+    /// manufactured (0 for an already-dense input).
+    pub id_gaps: usize,
+}
+
+/// Parses a text edge list from a reader, compacting sparse node ids.
 ///
 /// Lines starting with `#` or `%` and blank lines are skipped. Each
 /// remaining line must contain at least two whitespace-separated
 /// integers; any further columns (weights, timestamps) are ignored.
-/// Edges are symmetrized, self-loops dropped, duplicates merged.
-pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, LoadError> {
-    let mut b = GraphBuilder::new();
+/// Edges are symmetrized, self-loops dropped, duplicates merged, and
+/// node ids are relabeled to dense `0..n` (ids appearing only in
+/// dropped self-loops are not kept). See [`EdgeListLoad`] for the
+/// returned mapping and diagnostics.
+pub fn read_edge_list_report<R: Read>(reader: R) -> Result<EdgeListLoad, LoadError> {
+    let mut raw: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut dropped_self_loops = 0usize;
     let buf = BufReader::new(reader);
     for (idx, line) in buf.lines().enumerate() {
         let line = line?;
@@ -80,9 +108,43 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, LoadError> {
                 content: line.clone(),
             });
         };
-        b.add_edge(u, v);
+        if u == v {
+            dropped_self_loops += 1;
+        } else {
+            raw.push((u, v));
+        }
     }
-    Ok(b.build())
+    // Dense compaction: sorted distinct endpoint ids become the new id
+    // space; the mapping records new → old.
+    let mut kept: Vec<NodeId> = raw.iter().flat_map(|&(u, v)| [u, v]).collect();
+    kept.sort_unstable();
+    kept.dedup();
+    let id_gaps = match kept.last() {
+        Some(&max) => max as usize + 1 - kept.len(),
+        None => 0,
+    };
+    let mapping = NodeMapping::from_sorted(kept);
+    let mut b = GraphBuilder::with_capacity(raw.len());
+    for (u, v) in raw {
+        // ids are guaranteed present in the mapping by construction
+        let cu = mapping.new_id(u).expect("endpoint id in mapping");
+        let cv = mapping.new_id(v).expect("endpoint id in mapping");
+        b.add_edge(cu, cv);
+    }
+    b.grow_to(mapping.len());
+    Ok(EdgeListLoad {
+        graph: b.build(),
+        mapping,
+        dropped_self_loops,
+        id_gaps,
+    })
+}
+
+/// Parses a text edge list from a reader (compacting sparse ids),
+/// returning just the graph. Use [`read_edge_list_report`] when the
+/// original-id mapping or load diagnostics are needed.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, LoadError> {
+    Ok(read_edge_list_report(reader)?.graph)
 }
 
 /// Loads a text edge list from a file path.
@@ -131,9 +193,34 @@ pub fn write_binary<W: Write>(g: &Graph, writer: W) -> io::Result<()> {
     w.flush()
 }
 
-/// Reads the compact binary format and re-validates all invariants.
-pub fn read_binary<R: Read>(reader: R) -> Result<Graph, LoadError> {
-    let mut r = BufReader::new(reader);
+/// Largest node count the format can describe: `NodeId` is `u32`, so
+/// a header claiming more nodes than the id space is corrupt.
+const MAX_BIN_NODES: u64 = NodeId::MAX as u64 + 1;
+
+/// Elements pre-allocated per array before any payload has been seen.
+/// Header counts are **untrusted**: a corrupt or truncated file can
+/// claim astronomically large arrays, and sizing `Vec::with_capacity`
+/// straight from the wire would commit multi-GB allocations (or abort
+/// on capacity overflow) before a single payload byte is validated.
+/// Capping the pre-allocation means memory grows only as data actually
+/// arrives — a lying header just reads until EOF and fails with a
+/// typed error.
+const MAX_PREALLOC: usize = 1 << 20;
+
+/// Bytes in the fixed header: magic + node count + target count.
+const BIN_HEADER_BYTES: u64 = 8 + 8 + 8;
+
+/// Validated header counts `(n, nt)` for the binary format.
+///
+/// `payload_len` — the exact byte count following the header, when the
+/// source can know it (a file's metadata, a slice's length) — lets the
+/// claimed counts be cross-checked against reality *before* any
+/// allocation. Without it, counts are still bounded by the id space
+/// and by checked size arithmetic.
+fn read_bin_header<R: Read>(
+    r: &mut R,
+    payload_len: Option<u64>,
+) -> Result<(usize, usize), LoadError> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != BIN_MAGIC {
@@ -141,15 +228,43 @@ pub fn read_binary<R: Read>(reader: R) -> Result<Graph, LoadError> {
     }
     let mut u64buf = [0u8; 8];
     r.read_exact(&mut u64buf)?;
-    let n = u64::from_le_bytes(u64buf) as usize;
+    let n = u64::from_le_bytes(u64buf);
     r.read_exact(&mut u64buf)?;
-    let nt = u64::from_le_bytes(u64buf) as usize;
-    let mut offsets = Vec::with_capacity(n + 1);
+    let nt = u64::from_le_bytes(u64buf);
+    if n > MAX_BIN_NODES {
+        return Err(LoadError::Format(format!(
+            "header claims {n} nodes, beyond the u32 id space"
+        )));
+    }
+    // 8 bytes per offset (n+1 of them), 4 per target; checked so a
+    // malicious header cannot overflow the size computation.
+    let expected = (n + 1)
+        .checked_mul(8)
+        .and_then(|o| nt.checked_mul(4).and_then(|t| o.checked_add(t)));
+    let Some(expected) = expected else {
+        return Err(LoadError::Format(format!(
+            "header sizes overflow ({n} nodes, {nt} targets)"
+        )));
+    };
+    if let Some(len) = payload_len {
+        if expected != len {
+            return Err(LoadError::Format(format!(
+                "header claims {expected} payload bytes but stream has {len}"
+            )));
+        }
+    }
+    Ok((n as usize, nt as usize))
+}
+
+/// Reads the binary arrays after a validated header.
+fn read_bin_body<R: Read>(r: &mut R, n: usize, nt: usize) -> Result<Graph, LoadError> {
+    let mut u64buf = [0u8; 8];
+    let mut offsets = Vec::with_capacity((n + 1).min(MAX_PREALLOC));
     for _ in 0..=n {
         r.read_exact(&mut u64buf)?;
         offsets.push(u64::from_le_bytes(u64buf) as usize);
     }
-    let mut targets = Vec::with_capacity(nt);
+    let mut targets = Vec::with_capacity(nt.min(MAX_PREALLOC));
     let mut u32buf = [0u8; 4];
     for _ in 0..nt {
         r.read_exact(&mut u32buf)?;
@@ -167,14 +282,46 @@ pub fn read_binary<R: Read>(reader: R) -> Result<Graph, LoadError> {
     Ok(g)
 }
 
+/// Reads the compact binary format and re-validates all invariants.
+///
+/// Header counts are treated as untrusted (bounded pre-allocation,
+/// checked arithmetic); corrupt input yields a typed [`LoadError`],
+/// never a panic or an unbounded allocation. When the total stream
+/// length is known up front, prefer [`read_binary_sized`] (which
+/// [`load_binary`] uses), rejecting count/length mismatches before
+/// reading any payload.
+pub fn read_binary<R: Read>(reader: R) -> Result<Graph, LoadError> {
+    let mut r = BufReader::new(reader);
+    let (n, nt) = read_bin_header(&mut r, None)?;
+    read_bin_body(&mut r, n, nt)
+}
+
+/// As [`read_binary`], for sources whose total length (header included)
+/// is known: the header's claimed counts must match `stream_len`
+/// exactly, so truncated or padded files fail as [`LoadError::Format`]
+/// before any array is allocated.
+pub fn read_binary_sized<R: Read>(reader: R, stream_len: u64) -> Result<Graph, LoadError> {
+    let mut r = BufReader::new(reader);
+    let payload = stream_len.checked_sub(BIN_HEADER_BYTES).ok_or_else(|| {
+        LoadError::Format(format!(
+            "stream of {stream_len} bytes is shorter than the {BIN_HEADER_BYTES}-byte header"
+        ))
+    })?;
+    let (n, nt) = read_bin_header(&mut r, Some(payload))?;
+    read_bin_body(&mut r, n, nt)
+}
+
 /// Saves the compact binary format to a file path.
 pub fn save_binary<P: AsRef<Path>>(g: &Graph, path: P) -> io::Result<()> {
     write_binary(g, std::fs::File::create(path)?)
 }
 
-/// Loads the compact binary format from a file path.
+/// Loads the compact binary format from a file path, cross-checking
+/// the header's claimed counts against the file size before reading.
 pub fn load_binary<P: AsRef<Path>>(path: P) -> Result<Graph, LoadError> {
-    read_binary(std::fs::File::open(path)?)
+    let f = std::fs::File::open(path)?;
+    let len = f.metadata()?.len();
+    read_binary_sized(f, len)
 }
 
 #[cfg(test)]
@@ -245,6 +392,113 @@ mod tests {
     }
 
     #[test]
+    fn text_compacts_sparse_ids() {
+        // SNAP-style sparse ids: 5, 1_000_000, 2_000_000 must become a
+        // 3-node graph, not a 2,000,001-node one.
+        let text = "1000000 2000000\n2000000 5\n";
+        let load = read_edge_list_report(text.as_bytes()).unwrap();
+        assert_eq!(load.graph.num_nodes(), 3);
+        assert_eq!(load.graph.num_edges(), 2);
+        assert_eq!(load.id_gaps, 2_000_001 - 3);
+        assert_eq!(load.mapping.original(load.mapping.new_id(5).unwrap()), 5);
+        let a = load.mapping.new_id(1_000_000).unwrap();
+        let b = load.mapping.new_id(2_000_000).unwrap();
+        assert!(load.graph.has_edge(a, b));
+        assert!(load.mapping.new_id(6).is_none());
+    }
+
+    #[test]
+    fn text_dense_input_maps_identically() {
+        let load = read_edge_list_report("0 1\n1 2\n".as_bytes()).unwrap();
+        assert_eq!(load.id_gaps, 0);
+        assert_eq!(load.dropped_self_loops, 0);
+        for v in 0..3u32 {
+            assert_eq!(load.mapping.new_id(v), Some(v));
+        }
+    }
+
+    #[test]
+    fn text_loop_only_id_is_not_kept() {
+        // id 7 appears only in a dropped self-loop: it must not become
+        // an isolated node in the compacted graph.
+        let load = read_edge_list_report("0 1\n7 7\n".as_bytes()).unwrap();
+        assert_eq!(load.graph.num_nodes(), 2);
+        assert_eq!(load.dropped_self_loops, 1);
+        assert!(load.mapping.new_id(7).is_none());
+    }
+
+    #[test]
+    fn binary_rejects_absurd_header_counts() {
+        // A header claiming u64::MAX nodes must fail with a typed
+        // error, not a capacity overflow abort or a huge allocation.
+        for (n, nt) in [
+            (u64::MAX, 0u64),
+            (u64::MAX - 7, u64::MAX - 7),
+            (1u64 << 40, 8),
+            (4, u64::MAX / 4),
+        ] {
+            let mut buf = BIN_MAGIC.to_vec();
+            buf.extend_from_slice(&n.to_le_bytes());
+            buf.extend_from_slice(&nt.to_le_bytes());
+            assert!(
+                matches!(
+                    read_binary(&buf[..]),
+                    Err(LoadError::Format(_) | LoadError::Io(_))
+                ),
+                "n={n} nt={nt} must be rejected"
+            );
+            let len = buf.len() as u64;
+            assert!(
+                matches!(read_binary_sized(&buf[..], len), Err(LoadError::Format(_))),
+                "sized read must reject n={n} nt={nt} from the header alone"
+            );
+        }
+    }
+
+    #[test]
+    fn binary_sized_rejects_truncation_as_format() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        let len = buf.len() as u64;
+        assert!(matches!(
+            read_binary_sized(&buf[..], len),
+            Err(LoadError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn binary_sized_rejects_trailing_garbage() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf.extend_from_slice(&[0u8; 5]);
+        let len = buf.len() as u64;
+        assert!(matches!(
+            read_binary_sized(&buf[..], len),
+            Err(LoadError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn binary_sized_rejects_short_header() {
+        assert!(matches!(
+            read_binary_sized(&b"SOC"[..], 3),
+            Err(LoadError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn binary_sized_accepts_exact_stream() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let len = buf.len() as u64;
+        assert_eq!(read_binary_sized(&buf[..], len).unwrap(), g);
+    }
+
+    #[test]
     fn binary_rejects_bad_magic() {
         let buf = b"NOTMAGIC\0\0\0\0\0\0\0\0".to_vec();
         assert!(matches!(read_binary(&buf[..]), Err(LoadError::Format(_))));
@@ -257,6 +511,27 @@ mod tests {
         write_binary(&g, &mut buf).unwrap();
         buf.truncate(buf.len() - 3);
         assert!(matches!(read_binary(&buf[..]), Err(LoadError::Io(_))));
+    }
+
+    #[test]
+    fn binary_rejects_non_monotone_offsets() {
+        // single edge 0–1: n=2, nt=2, offsets [0, 1, 2], targets [1, 0]
+        let mut buf = BIN_MAGIC.to_vec();
+        buf.extend_from_slice(&2u64.to_le_bytes());
+        buf.extend_from_slice(&2u64.to_le_bytes());
+        for off in [0u64, 1, 2] {
+            buf.extend_from_slice(&off.to_le_bytes());
+        }
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        // sanity: the untampered buffer parses
+        assert!(read_binary(&buf[..]).is_ok());
+        // non-monotone interior offset: [0, 9, 2]
+        buf[32..40].copy_from_slice(&9u64.to_le_bytes());
+        match read_binary(&buf[..]) {
+            Err(LoadError::Format(msg)) => assert!(msg.contains("monotone"), "{msg}"),
+            other => panic!("expected monotone-offset rejection, got {other:?}"),
+        }
     }
 
     #[test]

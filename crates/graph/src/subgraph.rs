@@ -56,6 +56,30 @@ impl NodeMapping {
     pub fn kept(&self) -> &[NodeId] {
         &self.to_original
     }
+
+    /// Composes two extraction stages into one mapping.
+    ///
+    /// If `self` maps stage-1 ids to original ids and `second` maps
+    /// stage-2 ids to stage-1 ids (a further extraction performed on
+    /// the stage-1 subgraph), the result maps stage-2 ids straight to
+    /// original ids — so a pipeline like *compact → largest component
+    /// → trim* can report against the raw input ids with one lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `second` references stage-1 ids outside
+    /// `self`.
+    pub fn compose(&self, second: &NodeMapping) -> NodeMapping {
+        let to_original = second
+            .kept()
+            .iter()
+            .map(|&mid| self.original(mid))
+            .collect();
+        // `self.to_original` is sorted and `second.kept()` is sorted,
+        // so the composition is sorted too; `from_sorted` re-checks in
+        // debug builds.
+        NodeMapping::from_sorted(to_original)
+    }
 }
 
 /// Extracts the subgraph induced by `keep` (any order, duplicates

@@ -169,9 +169,74 @@ proptest! {
         let g = GraphBuilder::from_edges(edges).build();
         let mut buf = Vec::new();
         socmix_graph::io::write_edge_list(&g, &mut buf).unwrap();
-        let g2 = socmix_graph::io::read_edge_list(&buf[..]).unwrap();
-        // isolated trailing nodes are not representable in an edge
-        // list; compare edge sets and non-isolated structure
-        prop_assert_eq!(g.edges().collect::<Vec<_>>(), g2.edges().collect::<Vec<_>>());
+        // isolated nodes are not representable in an edge list, and
+        // loading compacts ids — compare edge sets through the mapping
+        let load = socmix_graph::io::read_edge_list_report(&buf[..]).unwrap();
+        let original: Vec<(u32, u32)> = g.edges().collect();
+        let mapped: Vec<(u32, u32)> = load
+            .graph
+            .edges()
+            .map(|(u, v)| (load.mapping.original(u), load.mapping.original(v)))
+            .collect();
+        prop_assert_eq!(original, mapped);
+        // the mapping keeps exactly the non-isolated nodes
+        prop_assert_eq!(
+            load.graph.num_nodes(),
+            g.nodes().filter(|&v| g.degree(v) > 0).count()
+        );
+    }
+
+    #[test]
+    fn io_binary_roundtrip(edges in edge_list()) {
+        let g = GraphBuilder::from_edges(edges).build();
+        let mut buf = Vec::new();
+        socmix_graph::io::write_binary(&g, &mut buf).unwrap();
+        // both the unsized and the length-checked readers reproduce
+        // the graph exactly (binary carries isolated nodes too)
+        let g2 = socmix_graph::io::read_binary(&buf[..]).unwrap();
+        prop_assert_eq!(&g, &g2);
+        let g3 = socmix_graph::io::read_binary_sized(&buf[..], buf.len() as u64).unwrap();
+        prop_assert_eq!(&g, &g3);
+    }
+
+    #[test]
+    fn io_binary_never_panics_on_corruption(edges in edge_list(), cut in 0usize..200, patch in 0u8..=255) {
+        // Truncate at an arbitrary byte and clobber the byte before
+        // the cut: every outcome must be a typed LoadError or a valid
+        // graph — never a panic, abort, or unbounded allocation.
+        let g = GraphBuilder::from_edges(edges).build();
+        let mut buf = Vec::new();
+        socmix_graph::io::write_binary(&g, &mut buf).unwrap();
+        buf.truncate(cut.min(buf.len()));
+        if let Some(last) = buf.last_mut() {
+            *last ^= patch;
+        }
+        let _ = socmix_graph::io::read_binary(&buf[..]);
+        let _ = socmix_graph::io::read_binary_sized(&buf[..], buf.len() as u64);
+    }
+
+    #[test]
+    fn io_compaction_composes_with_extraction(edges in edge_list()) {
+        // compact (text load) then extract a subgraph: the composed
+        // mapping must agree with looking ids up stage by stage
+        let g = GraphBuilder::from_edges(edges).build();
+        let mut buf = Vec::new();
+        socmix_graph::io::write_edge_list(&g, &mut buf).unwrap();
+        let load = socmix_graph::io::read_edge_list_report(&buf[..]).unwrap();
+        let keep: Vec<u32> = load.graph.nodes().filter(|v| v % 2 == 0).collect();
+        let (sub, submap) = socmix_graph::subgraph::induced_subgraph(&load.graph, &keep);
+        let composed = load.mapping.compose(&submap);
+        prop_assert_eq!(composed.len(), sub.num_nodes());
+        for v in sub.nodes() {
+            // stage-by-stage lookup equals the composed lookup
+            prop_assert_eq!(
+                load.mapping.original(submap.original(v)),
+                composed.original(v)
+            );
+        }
+        // and the composed mapping inverts cleanly
+        for v in sub.nodes() {
+            prop_assert_eq!(composed.new_id(composed.original(v)), Some(v));
+        }
     }
 }

@@ -61,6 +61,14 @@ impl Value {
         }
     }
 
+    /// The boolean value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The array elements.
     pub fn as_arr(&self) -> Option<&[Value]> {
         match self {

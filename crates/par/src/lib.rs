@@ -48,10 +48,12 @@
 //! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
 //! ```
 
+pub mod dag;
 mod pool;
 mod runtime;
 mod scheduler;
 
+pub use dag::{run_dag, DagError};
 pub use pool::{Dispatch, Pool};
 pub use scheduler::{
     par_for_each_chunk, par_for_each_chunk_spawn, par_map_indexed, par_reduce_indexed, ChunkPlan,
