@@ -14,6 +14,7 @@ impl Partition {
     /// Builds a partition from raw labels, renumbering them densely
     /// in order of first appearance.
     pub fn from_labels(raw: &[u32]) -> Self {
+        // socmix-lint: allow(hashmap-iter-in-numeric): lookup-only map — dense ids come from insertion order over the input slice and the map itself is never iterated, so hash order cannot affect results.
         let mut remap = std::collections::HashMap::new();
         let mut labels = Vec::with_capacity(raw.len());
         for &l in raw {

@@ -36,6 +36,10 @@
 //! `S` for λ₁ is the known vector `D^{1/2}𝟙` (normalized), which we
 //! deflate explicitly instead of estimating.
 
+// Every pointer dereference inside an unsafe fn must carry its own
+// unsafe block (and SAFETY comment) instead of riding the signature.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod cg;
 pub mod dense;
 pub mod lanczos;

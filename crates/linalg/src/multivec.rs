@@ -210,7 +210,12 @@ impl<Op: MultiLinearOp> MultiLinearOp for LazyOp<Op> {
 /// Raw-pointer wrapper for disjoint-row writes (same pattern as the
 /// serial operators).
 struct SendMutF64(*mut f64);
+// SAFETY: each worker writes only the rows of its assigned chunk, and
+// chunks partition the row space, so the shared base pointer never
+// creates overlapping mutable access from two threads.
 unsafe impl Send for SendMutF64 {}
+// SAFETY: copies share only the pointer value; writes stay
+// row-disjoint per the Send argument above.
 unsafe impl Sync for SendMutF64 {}
 
 #[cfg(test)]

@@ -331,7 +331,13 @@ impl LinearOp for DenseOp {
 /// Raw-pointer wrapper so disjoint chunks can write one output slice
 /// without a lock (same pattern as `socmix-par`'s map).
 struct SendMut(*mut f64);
+// SAFETY: workers write through `base.add(i)` only for row indices
+// `i` in their own chunk, and chunks partition the output slice, so
+// the pointer never produces overlapping mutable access; `f64` is
+// trivially sendable.
 unsafe impl Send for SendMut {}
+// SAFETY: shared copies carry only the base address; disjointness of
+// the written rows (Send argument above) rules out aliased `&mut`.
 unsafe impl Sync for SendMut {}
 
 #[cfg(test)]

@@ -1,0 +1,290 @@
+//! Rule identities, per-rule path scoping, and workspace file walking.
+//!
+//! Scoping is data, not code: each rule carries a [`Scope`] of include
+//! and exclude patterns matched against the `/`-separated path relative
+//! to the workspace root. [`Config::workspace`] encodes the repo's real
+//! invariant map (which crates are "numeric", which modules are the
+//! sanctioned env-knob readers, which files are the parallel runtime's
+//! hot path); tests substitute their own scopes to point the same rules
+//! at fixture files.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The five invariant rules, in diagnostic-code order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// SL001 — every `unsafe` needs an adjacent `// SAFETY:` comment.
+    UndocumentedUnsafe,
+    /// SL002 — no `println!`/`eprintln!`/`print!`/`eprint!`/`dbg!` in
+    /// library crates.
+    BarePrint,
+    /// SL003 — `std::env` reads only in designated knob modules.
+    StrayEnvRead,
+    /// SL004 — no `HashMap`/`HashSet` in crates doing float math.
+    HashmapIterInNumeric,
+    /// SL005 — no panicking APIs in the worker/dispatch hot path.
+    PanickingApiInHotPath,
+}
+
+/// All rules, in order.
+pub const RULES: [Rule; 5] = [
+    Rule::UndocumentedUnsafe,
+    Rule::BarePrint,
+    Rule::StrayEnvRead,
+    Rule::HashmapIterInNumeric,
+    Rule::PanickingApiInHotPath,
+];
+
+impl Rule {
+    /// Stable diagnostic code (the contract CI and tooling match on).
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::UndocumentedUnsafe => "SL001",
+            Rule::BarePrint => "SL002",
+            Rule::StrayEnvRead => "SL003",
+            Rule::HashmapIterInNumeric => "SL004",
+            Rule::PanickingApiInHotPath => "SL005",
+        }
+    }
+
+    /// The rule name as used in allow pragmas.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::UndocumentedUnsafe => "undocumented-unsafe",
+            Rule::BarePrint => "bare-print",
+            Rule::StrayEnvRead => "stray-env-read",
+            Rule::HashmapIterInNumeric => "hashmap-iter-in-numeric",
+            Rule::PanickingApiInHotPath => "panicking-api-in-hot-path",
+        }
+    }
+
+    /// Looks a rule up by its pragma name.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        RULES.into_iter().find(|r| r.name() == name)
+    }
+
+    /// Whether diagnostics inside `#[cfg(test)]` items are suppressed.
+    /// Tests may print, unwrap, and hash freely — the invariants these
+    /// rules guard protect production numerics and diagnostics.
+    /// `unsafe` is the exception: a SAFETY argument is owed everywhere.
+    pub fn exempts_test_code(self) -> bool {
+        !matches!(self, Rule::UndocumentedUnsafe)
+    }
+}
+
+/// Where a rule applies, as substring patterns over the relative path.
+#[derive(Debug, Clone, Default)]
+pub struct Scope {
+    /// A file is in scope if any pattern is a substring of its path
+    /// (empty list: every scanned file is in scope).
+    pub include: Vec<String>,
+    /// …unless any of these is a substring of its path.
+    pub exclude: Vec<String>,
+}
+
+impl Scope {
+    /// Scope matching every scanned file.
+    pub fn everywhere() -> Scope {
+        Scope::default()
+    }
+
+    fn hit(patterns: &[String], rel: &str) -> bool {
+        patterns.iter().any(|p| rel.contains(p.as_str()))
+    }
+
+    /// Whether `rel` (a `/`-separated workspace-relative path) is in
+    /// scope.
+    pub fn matches(&self, rel: &str) -> bool {
+        (self.include.is_empty() || Scope::hit(&self.include, rel))
+            && !Scope::hit(&self.exclude, rel)
+    }
+}
+
+/// Per-rule scoping for one lint run.
+#[derive(Debug, Clone)]
+pub struct Config {
+    pub undocumented_unsafe: Scope,
+    pub bare_print: Scope,
+    pub stray_env_read: Scope,
+    pub hashmap_iter_in_numeric: Scope,
+    pub panicking_api_in_hot_path: Scope,
+}
+
+fn strings(patterns: &[&str]) -> Vec<String> {
+    patterns.iter().map(|s| s.to_string()).collect()
+}
+
+impl Config {
+    /// The scope governing `rule`.
+    pub fn scope(&self, rule: Rule) -> &Scope {
+        match rule {
+            Rule::UndocumentedUnsafe => &self.undocumented_unsafe,
+            Rule::BarePrint => &self.bare_print,
+            Rule::StrayEnvRead => &self.stray_env_read,
+            Rule::HashmapIterInNumeric => &self.hashmap_iter_in_numeric,
+            Rule::PanickingApiInHotPath => &self.panicking_api_in_hot_path,
+        }
+    }
+
+    /// Every rule everywhere — the fixture-test configuration.
+    pub fn all_everywhere() -> Config {
+        Config {
+            undocumented_unsafe: Scope::everywhere(),
+            bare_print: Scope::everywhere(),
+            stray_env_read: Scope::everywhere(),
+            hashmap_iter_in_numeric: Scope::everywhere(),
+            panicking_api_in_hot_path: Scope::everywhere(),
+        }
+    }
+
+    /// The repo's real invariant map (see README, "Static analysis").
+    pub fn workspace() -> Config {
+        Config {
+            // A SAFETY argument is owed at every unsafe site, bins and
+            // tests included.
+            undocumented_unsafe: Scope::everywhere(),
+            // Library crates route output through socmix-obs or a
+            // caller-provided writer; binaries own their stdio. The
+            // root src/ is the CLI frontend crate and is exempt like
+            // the bins.
+            bare_print: Scope {
+                include: strings(&["crates/"]),
+                exclude: strings(&["/src/bin/"]),
+            },
+            // Every SOCMIX_* knob must stay warn-once-validated and
+            // manifest-recorded, so env reads live only in the five
+            // designated knob modules.
+            stray_env_read: Scope {
+                include: vec![],
+                exclude: strings(&[
+                    "crates/obs/src/event.rs",
+                    "crates/obs/src/lib.rs",
+                    "crates/par/src/lib.rs",
+                    "crates/core/src/probe.rs",
+                    "crates/bench/src/manifest.rs",
+                ]),
+            },
+            // Unordered iteration reorders float accumulation — banned
+            // from the crates that do the numerics.
+            hashmap_iter_in_numeric: Scope {
+                include: strings(&[
+                    "crates/linalg/src/",
+                    "crates/markov/src/",
+                    "crates/core/src/",
+                    "crates/community/src/",
+                ]),
+                exclude: vec![],
+            },
+            // A panic on these paths must go through the runtime's
+            // catch_unwind poisoning protocol.
+            panicking_api_in_hot_path: Scope {
+                include: strings(&[
+                    "crates/par/src/runtime.rs",
+                    "crates/par/src/scheduler.rs",
+                    "crates/par/src/dag.rs",
+                ]),
+                exclude: vec![],
+            },
+        }
+    }
+}
+
+/// Finds the workspace root by walking up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// Collects the lintable sources: `src/` and every `crates/*/src/`
+/// (vendored dependency subsets under `vendor/` are not ours to lint).
+/// Returns `(relative_path, absolute_path)` pairs sorted by relative
+/// path so diagnostics and the audit render deterministically.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+    let mut roots = vec![root.join("src")];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in std::fs::read_dir(&crates_dir)? {
+            let src = entry?.path().join("src");
+            if src.is_dir() {
+                roots.push(src);
+            }
+        }
+    }
+    let mut files = Vec::new();
+    for r in roots {
+        collect_rs(&r, &mut files)?;
+    }
+    let mut out = Vec::new();
+    for abs in files {
+        let rel = abs
+            .strip_prefix(root)
+            .unwrap_or(&abs)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        out.push((rel, abs));
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.exists() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_matching() {
+        let s = Scope {
+            include: strings(&["crates/"]),
+            exclude: strings(&["/src/bin/"]),
+        };
+        assert!(s.matches("crates/linalg/src/op.rs"));
+        assert!(!s.matches("crates/bench/src/bin/repro.rs"));
+        assert!(!s.matches("src/cli.rs"));
+        assert!(Scope::everywhere().matches("anything.rs"));
+    }
+
+    #[test]
+    fn rule_names_round_trip() {
+        for r in RULES {
+            assert_eq!(Rule::from_name(r.name()), Some(r));
+        }
+        assert_eq!(Rule::from_name("no-such-rule"), None);
+    }
+
+    #[test]
+    fn codes_are_stable() {
+        assert_eq!(Rule::UndocumentedUnsafe.code(), "SL001");
+        assert_eq!(Rule::BarePrint.code(), "SL002");
+        assert_eq!(Rule::StrayEnvRead.code(), "SL003");
+        assert_eq!(Rule::HashmapIterInNumeric.code(), "SL004");
+        assert_eq!(Rule::PanickingApiInHotPath.code(), "SL005");
+    }
+}

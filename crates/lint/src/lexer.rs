@@ -1,0 +1,429 @@
+//! A small hand-rolled Rust lexer — just enough syntax to lint safely.
+//!
+//! The rules in this crate match *token* sequences, never raw text, so
+//! an `unsafe` inside a string literal or a `println!` inside a comment
+//! can never fire a diagnostic (the false positives that sank the old
+//! CI grep). The lexer therefore has to get the boundary cases of
+//! Rust's lexical grammar right: line and **nested** block comments,
+//! string/char/byte literals with escapes, raw strings with arbitrary
+//! `#` fences, raw identifiers, and the `'a` lifetime vs `'a'`
+//! char-literal ambiguity. It does *not* parse: everything past the
+//! token level (attributes, test modules, call chains) is reconstructed
+//! by the rule engine from the token stream.
+//!
+//! The lexer never fails — malformed input (an unterminated string at
+//! EOF, say) simply yields a final token covering the rest of the file,
+//! which keeps the tool usable on work-in-progress sources.
+
+/// Lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unsafe`, `println`, `HashMap`, …).
+    Ident,
+    /// Lifetime (`'a`, `'static`, `'_`) — *not* a char literal.
+    Lifetime,
+    /// Numeric literal (int or float, any base, with suffix).
+    Number,
+    /// String literal: plain, raw, byte, or raw-byte.
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// `// …` (includes `///` and `//!` doc comments).
+    LineComment,
+    /// `/* … */`, possibly nested and spanning lines.
+    BlockComment,
+    /// Any single punctuation character (`:`, `!`, `#`, `{`, …).
+    Punct,
+}
+
+impl TokenKind {
+    /// Whether the token participates in rule matching (comments are
+    /// carried for SAFETY/pragma analysis but are not "code").
+    pub fn is_significant(self) -> bool {
+        !matches!(self, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Source text of the token (for comments: including the `//` or
+    /// `/*` markers; for raw identifiers: the bare name without `r#`).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in chars) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// 1-based line of the token's last character (tokens can span
+    /// lines: block comments, multi-line strings).
+    pub fn end_line(&self) -> u32 {
+        self.line + self.text.chars().filter(|&c| c == '\n').count() as u32
+    }
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.i).copied()
+    }
+
+    fn peek_at(&self, k: usize) -> Option<char> {
+        self.chars.get(self.i + k).copied()
+    }
+
+    fn bump(&mut self, buf: &mut String) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        buf.push(c);
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes a whole source file into tokens (comments included).
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut tokens = Vec::new();
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        let mut text = String::new();
+        let kind = if c.is_whitespace() {
+            cur.bump(&mut text);
+            continue;
+        } else if c == '/' && cur.peek_at(1) == Some('/') {
+            while let Some(c) = cur.peek() {
+                if c == '\n' {
+                    break;
+                }
+                cur.bump(&mut text);
+            }
+            TokenKind::LineComment
+        } else if c == '/' && cur.peek_at(1) == Some('*') {
+            cur.bump(&mut text);
+            cur.bump(&mut text);
+            let mut depth = 1usize;
+            while depth > 0 {
+                match (cur.peek(), cur.peek_at(1)) {
+                    (Some('/'), Some('*')) => {
+                        depth += 1;
+                        cur.bump(&mut text);
+                        cur.bump(&mut text);
+                    }
+                    (Some('*'), Some('/')) => {
+                        depth -= 1;
+                        cur.bump(&mut text);
+                        cur.bump(&mut text);
+                    }
+                    (Some(_), _) => {
+                        cur.bump(&mut text);
+                    }
+                    (None, _) => break,
+                }
+            }
+            TokenKind::BlockComment
+        } else if is_ident_start(c) {
+            while cur.peek().is_some_and(is_ident_continue) {
+                cur.bump(&mut text);
+            }
+            match ident_prefix_literal(&mut cur, &mut text) {
+                Some(kind) => kind,
+                None => TokenKind::Ident,
+            }
+        } else if c.is_ascii_digit() {
+            lex_number(&mut cur, &mut text);
+            TokenKind::Number
+        } else if c == '"' {
+            lex_quoted(&mut cur, &mut text, '"');
+            TokenKind::Str
+        } else if c == '\'' {
+            lex_char_or_lifetime(&mut cur, &mut text)
+        } else {
+            cur.bump(&mut text);
+            TokenKind::Punct
+        };
+        tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+    tokens
+}
+
+/// After lexing an identifier, decides whether it actually introduces a
+/// literal (`r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'x'`) or a raw
+/// identifier (`r#name`). Returns the literal's kind when it consumed
+/// one; `None` leaves the plain identifier as-is.
+fn ident_prefix_literal(cur: &mut Cursor, text: &mut String) -> Option<TokenKind> {
+    let raw_capable = text == "r" || text == "br";
+    let byte_prefix = text == "b";
+    if (raw_capable || byte_prefix) && cur.peek() == Some('"') {
+        if raw_capable {
+            lex_raw_string(cur, text, 0);
+        } else {
+            // b"…" uses ordinary escapes
+            lex_quoted(cur, text, '"');
+        }
+        return Some(TokenKind::Str);
+    }
+    if byte_prefix && cur.peek() == Some('\'') {
+        lex_quoted(cur, text, '\'');
+        return Some(TokenKind::Char);
+    }
+    if raw_capable && cur.peek() == Some('#') {
+        let mut hashes = 0usize;
+        while cur.peek_at(hashes) == Some('#') {
+            hashes += 1;
+        }
+        if cur.peek_at(hashes) == Some('"') {
+            for _ in 0..hashes {
+                cur.bump(text);
+            }
+            lex_raw_string(cur, text, hashes);
+            return Some(TokenKind::Str);
+        }
+        if text == "r" && hashes == 1 && cur.peek_at(1).is_some_and(is_ident_start) {
+            // raw identifier r#name: re-lex as the bare name so rules
+            // treat `r#type` as the ident `type`
+            cur.bump(text); // '#'
+            text.clear();
+            while cur.peek().is_some_and(is_ident_continue) {
+                cur.bump(text);
+            }
+            return Some(TokenKind::Ident);
+        }
+    }
+    None
+}
+
+/// Consumes a `"`-delimited raw string whose fence is `hashes` many
+/// `#` characters (escapes are inert inside raw strings).
+fn lex_raw_string(cur: &mut Cursor, text: &mut String, hashes: usize) {
+    cur.bump(text); // opening quote
+    while let Some(c) = cur.peek() {
+        if c == '"' {
+            let closed = (0..hashes).all(|k| cur.peek_at(1 + k) == Some('#'));
+            cur.bump(text);
+            if closed {
+                for _ in 0..hashes {
+                    cur.bump(text);
+                }
+                return;
+            }
+        } else {
+            cur.bump(text);
+        }
+    }
+}
+
+/// Consumes a quoted literal with backslash escapes, starting at the
+/// opening delimiter.
+fn lex_quoted(cur: &mut Cursor, text: &mut String, delim: char) {
+    cur.bump(text); // opening delimiter
+    while let Some(c) = cur.peek() {
+        if c == '\\' {
+            cur.bump(text);
+            cur.bump(text);
+        } else if c == delim {
+            cur.bump(text);
+            return;
+        } else {
+            cur.bump(text);
+        }
+    }
+}
+
+/// Disambiguates `'` into a char literal or a lifetime.
+fn lex_char_or_lifetime(cur: &mut Cursor, text: &mut String) -> TokenKind {
+    if cur.peek_at(1) == Some('\\') {
+        // '\…' is always a char literal; consume through the close
+        // quote (covers '\u{…}' and '\'')
+        cur.bump(text); // '
+        cur.bump(text); // backslash
+        cur.bump(text); // escaped char
+        while let Some(c) = cur.peek() {
+            cur.bump(text);
+            if c == '\'' {
+                break;
+            }
+        }
+        return TokenKind::Char;
+    }
+    if cur.peek_at(2) == Some('\'') && cur.peek_at(1).is_some_and(|c| c != '\'') {
+        cur.bump(text);
+        cur.bump(text);
+        cur.bump(text);
+        return TokenKind::Char;
+    }
+    if cur.peek_at(1).is_some_and(is_ident_start) {
+        cur.bump(text); // '
+        while cur.peek().is_some_and(is_ident_continue) {
+            cur.bump(text);
+        }
+        return TokenKind::Lifetime;
+    }
+    cur.bump(text);
+    TokenKind::Punct
+}
+
+/// Consumes a numeric literal (any base, underscores, float forms with
+/// exponents, type suffixes). Rules never inspect numbers; this only
+/// has to find the right end.
+fn lex_number(cur: &mut Cursor, text: &mut String) {
+    let mut last = '\0';
+    loop {
+        while cur.peek().is_some_and(is_ident_continue) {
+            last = cur.bump(text).unwrap();
+        }
+        if cur.peek() == Some('.') && cur.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+            last = cur.bump(text).unwrap();
+            continue;
+        }
+        if matches!(last, 'e' | 'E')
+            && matches!(cur.peek(), Some('+') | Some('-'))
+            && cur.peek_at(1).is_some_and(|c| c.is_ascii_digit())
+        {
+            last = cur.bump(text).unwrap();
+            continue;
+        }
+        break;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_keywords() {
+        assert_eq!(
+            idents(r#"let s = "unsafe { println!() }";"#),
+            vec!["let", "s"]
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = r####"let s = r##"quote " and "# inside, unsafe"##; done"####;
+        assert_eq!(idents(src), vec!["let", "s", "done"]);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let src = r##"let s = b"unsafe"; let t = br#"dbg!"#;"##;
+        assert_eq!(idents(src), vec!["let", "s", "let", "t"]);
+    }
+
+    #[test]
+    fn raw_identifiers_keep_their_name() {
+        assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* a /* b */ unsafe */ x");
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert_eq!(toks[1], (TokenKind::Ident, "x".to_string()));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = kinds(r"fn f<'a>(x: &'a u8) { let c = 'c'; let q = '\''; let n = '\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2, "{toks:?}");
+        assert_eq!(chars.len(), 3, "{toks:?}");
+    }
+
+    #[test]
+    fn byte_char_literal() {
+        let toks = kinds(r"let b = b'x'; let e = b'\n';");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn numbers_do_not_derail() {
+        let toks = kinds("let x = 1.5e-3 + 0xFF_u32 + 2. .0;");
+        assert!(toks
+            .iter()
+            .all(|(k, _)| *k != TokenKind::Str && *k != TokenKind::Char));
+        // tuple access `.0` after a space stays punct + number
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t == "0"));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn multi_line_tokens_report_end_line() {
+        let toks = lex("/* a\nb\nc */ x");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[0].end_line(), 3);
+    }
+
+    #[test]
+    fn unterminated_string_reaches_eof_without_panic() {
+        let toks = lex("let s = \"open");
+        assert_eq!(toks.last().unwrap().kind, TokenKind::Str);
+    }
+
+    #[test]
+    fn line_comment_keeps_text() {
+        let toks = lex("x // trailing note");
+        assert_eq!(toks[1].kind, TokenKind::LineComment);
+        assert!(toks[1].text.contains("trailing note"));
+    }
+}

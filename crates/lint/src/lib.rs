@@ -1,0 +1,25 @@
+//! socmix-lint — in-tree static analysis for the socmix workspace.
+//!
+//! The reproduction's headline claims (bit-for-bit serial/parallel
+//! equality, byte-identical resume, perturbation-free telemetry) rest
+//! on conventions no compiler checks: `SAFETY:` discipline at every
+//! unsafe site, no stray stdio or env reads from library crates, no
+//! unordered containers in float-accumulating code, panic discipline
+//! in the worker-pool hot path. This crate machine-checks them, in the
+//! same zero-dependency in-tree style as `socmix-obs`: a hand-rolled
+//! lexer ([`lexer`]) feeds a token-stream rule engine ([`rules`])
+//! scoped by the workspace invariant map ([`config`]), and the unsafe
+//! inventory renderer ([`audit`]) keeps `results/unsafe_audit.md`
+//! honest.
+//!
+//! Run it as `cargo run -p socmix-lint -- check [--json] [paths…]`;
+//! see the README's "Static analysis" section for the diagnostic-code
+//! table and the allow-pragma contract.
+
+pub mod audit;
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+pub use config::{find_workspace_root, workspace_files, Config, Rule, Scope, RULES};
+pub use rules::{lint_source, Diagnostic, CODE_MALFORMED_PRAGMA, CODE_UNUSED_PRAGMA};

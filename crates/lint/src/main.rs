@@ -1,0 +1,219 @@
+//! CLI frontend: `check` lints the workspace (or given paths), `audit`
+//! maintains `results/unsafe_audit.md`.
+//!
+//! Exit codes are part of the CI contract: 0 clean, 1 diagnostics
+//! found (or a stale audit under `--check`), 2 usage or I/O error.
+//! Output goes through explicit `writeln!` handles — this crate is in
+//! scope for its own bare-print rule.
+
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use socmix_lint::config::{self, Config};
+use socmix_lint::rules::{lint_source, Diagnostic};
+use socmix_lint::{audit, find_workspace_root};
+use socmix_obs::Value;
+
+fn main() {
+    std::process::exit(run());
+}
+
+const USAGE: &str = "usage: socmix-lint <check [--json] [paths…] | audit [--out PATH] [--check]>";
+
+fn run() -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("check") => cmd_check(&args[1..]),
+        Some("audit") => cmd_audit(&args[1..]),
+        _ => Err(USAGE.to_string()),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            let _ = writeln!(io::stderr(), "socmix-lint: {msg}");
+            2
+        }
+    }
+}
+
+fn workspace_root() -> Result<PathBuf, String> {
+    let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    find_workspace_root(&cwd)
+        .ok_or_else(|| "no workspace root (Cargo.toml with [workspace]) above cwd".to_string())
+}
+
+/// Turns an absolute path into the `/`-separated workspace-relative
+/// form the scoping patterns match against.
+fn rel_path(root: &Path, abs: &Path) -> String {
+    abs.strip_prefix(root)
+        .unwrap_or(abs)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Expands explicit path arguments into `(rel, abs)` pairs, walking
+/// directories recursively.
+fn explicit_files(root: &Path, paths: &[String]) -> Result<Vec<(String, PathBuf)>, String> {
+    let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    let mut out = Vec::new();
+    for p in paths {
+        let abs = {
+            let pb = PathBuf::from(p);
+            if pb.is_absolute() {
+                pb
+            } else {
+                cwd.join(pb)
+            }
+        };
+        if abs.is_dir() {
+            let before = out.len();
+            collect_dir(&abs, root, &mut out).map_err(|e| format!("reading {p}: {e}"))?;
+            if out.len() == before {
+                let _ = writeln!(io::stderr(), "socmix-lint: warning: no .rs files under {p}");
+            }
+        } else if abs.is_file() {
+            out.push((rel_path(root, &abs), abs));
+        } else {
+            return Err(format!("no such path: {p}"));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_dir(dir: &Path, root: &Path, out: &mut Vec<(String, PathBuf)>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_dir(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push((rel_path(root, &path), path));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_check(args: &[String]) -> Result<i32, String> {
+    let mut json = false;
+    let mut paths = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            p if p.starts_with('-') => return Err(format!("unknown flag {p} ({USAGE})")),
+            p => paths.push(p.to_string()),
+        }
+    }
+    let root = workspace_root()?;
+    let files = if paths.is_empty() {
+        config::workspace_files(&root).map_err(|e| format!("scanning workspace: {e}"))?
+    } else {
+        explicit_files(&root, &paths)?
+    };
+    let cfg = Config::workspace();
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    for (rel, abs) in &files {
+        let src =
+            std::fs::read_to_string(abs).map_err(|e| format!("reading {}: {e}", abs.display()))?;
+        diags.extend(lint_source(rel, &src, &cfg));
+    }
+
+    let mut stdout = io::stdout();
+    if json {
+        let report = Value::Obj(vec![
+            ("tool".into(), Value::Str("socmix-lint".into())),
+            ("files_scanned".into(), Value::Int(files.len() as i64)),
+            (
+                "diagnostics".into(),
+                Value::Arr(diags.iter().map(diag_json).collect()),
+            ),
+            ("count".into(), Value::Int(diags.len() as i64)),
+        ]);
+        write!(stdout, "{}", report.to_pretty()).map_err(|e| e.to_string())?;
+    } else {
+        for d in &diags {
+            writeln!(stdout, "{}", d.render()).map_err(|e| e.to_string())?;
+        }
+        if diags.is_empty() {
+            writeln!(stdout, "socmix-lint: clean ({} files)", files.len())
+                .map_err(|e| e.to_string())?;
+        } else {
+            writeln!(
+                stdout,
+                "socmix-lint: {} diagnostic(s) across {} scanned file(s)",
+                diags.len(),
+                files.len()
+            )
+            .map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(if diags.is_empty() { 0 } else { 1 })
+}
+
+fn diag_json(d: &Diagnostic) -> Value {
+    Value::Obj(vec![
+        ("code".into(), Value::Str(d.code.into())),
+        ("rule".into(), Value::Str(d.rule.into())),
+        ("path".into(), Value::Str(d.path.clone())),
+        ("line".into(), Value::Int(d.line as i64)),
+        ("col".into(), Value::Int(d.col as i64)),
+        ("message".into(), Value::Str(d.message.clone())),
+    ])
+}
+
+fn cmd_audit(args: &[String]) -> Result<i32, String> {
+    let mut out_path: Option<PathBuf> = None;
+    let mut check = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--check" => check = true,
+            "--out" => {
+                i += 1;
+                let p = args.get(i).ok_or(format!("--out needs a path ({USAGE})"))?;
+                out_path = Some(PathBuf::from(p));
+            }
+            p => return Err(format!("unknown argument {p} ({USAGE})")),
+        }
+        i += 1;
+    }
+    let root = workspace_root()?;
+    let files = config::workspace_files(&root).map_err(|e| format!("scanning workspace: {e}"))?;
+    let sites = audit::collect_sites(&files).map_err(|e| format!("collecting sites: {e}"))?;
+    let rendered = audit::render(&sites);
+    let target = out_path.unwrap_or_else(|| root.join("results/unsafe_audit.md"));
+
+    if check {
+        let committed = std::fs::read_to_string(&target)
+            .map_err(|e| format!("reading {}: {e}", target.display()))?;
+        if committed == rendered {
+            writeln!(
+                io::stdout(),
+                "socmix-lint: audit up to date ({} sites)",
+                sites.len()
+            )
+            .map_err(|e| e.to_string())?;
+            return Ok(0);
+        }
+        let _ = writeln!(
+            io::stderr(),
+            "socmix-lint: {} is stale — regenerate with `cargo run -p socmix-lint -- audit`",
+            target.display()
+        );
+        return Ok(1);
+    }
+    if let Some(parent) = target.parent() {
+        std::fs::create_dir_all(parent)
+            .map_err(|e| format!("creating {}: {e}", parent.display()))?;
+    }
+    std::fs::write(&target, &rendered).map_err(|e| format!("writing {}: {e}", target.display()))?;
+    writeln!(
+        io::stdout(),
+        "socmix-lint: wrote {} ({} sites)",
+        target.display(),
+        sites.len()
+    )
+    .map_err(|e| e.to_string())?;
+    Ok(0)
+}

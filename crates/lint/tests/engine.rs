@@ -1,0 +1,132 @@
+//! Rule-engine tests over the fixture corpus: each rule has a paired
+//! should-fire / must-not-fire fixture, plus pragma and scoping cases.
+
+use socmix_lint::{lint_source, Config, Scope};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+/// Lints a fixture with every rule in scope and returns the codes in
+/// diagnostic order.
+fn codes(name: &str) -> Vec<&'static str> {
+    lint_source(name, &fixture(name), &Config::all_everywhere())
+        .into_iter()
+        .map(|d| d.code)
+        .collect()
+}
+
+#[test]
+fn undocumented_unsafe_fires() {
+    assert_eq!(codes("unsafe_fire.rs"), vec!["SL001"; 5]);
+}
+
+#[test]
+fn documented_and_disguised_unsafe_is_clean() {
+    assert_eq!(codes("unsafe_clean.rs"), Vec::<&str>::new());
+}
+
+#[test]
+fn bare_print_fires() {
+    assert_eq!(codes("print_fire.rs"), vec!["SL002"; 4]);
+}
+
+#[test]
+fn routed_and_test_prints_are_clean() {
+    assert_eq!(codes("print_clean.rs"), Vec::<&str>::new());
+}
+
+#[test]
+fn stray_env_read_fires_on_both_path_forms() {
+    assert_eq!(codes("env_fire.rs"), vec!["SL003"; 2]);
+}
+
+#[test]
+fn benign_env_use_is_clean() {
+    assert_eq!(codes("env_clean.rs"), Vec::<&str>::new());
+}
+
+#[test]
+fn hashmap_in_numeric_fires() {
+    assert_eq!(codes("hashmap_fire.rs"), vec!["SL004"; 4]);
+}
+
+#[test]
+fn ordered_containers_are_clean() {
+    assert_eq!(codes("hashmap_clean.rs"), Vec::<&str>::new());
+}
+
+#[test]
+fn panicking_api_fires() {
+    assert_eq!(codes("panic_fire.rs"), vec!["SL005"; 4]);
+}
+
+#[test]
+fn poison_propagation_idiom_is_clean() {
+    assert_eq!(codes("panic_clean.rs"), Vec::<&str>::new());
+}
+
+#[test]
+fn well_formed_pragmas_suppress() {
+    assert_eq!(codes("pragma.rs"), Vec::<&str>::new());
+}
+
+#[test]
+fn pragma_hygiene_is_enforced() {
+    let got = codes("pragma_bad.rs");
+    let count = |c: &str| got.iter().filter(|&&g| g == c).count();
+    // malformed pragmas are reported AND fail to suppress
+    assert_eq!(count("SL005"), 2, "{got:?}");
+    assert_eq!(count("SL006"), 2, "{got:?}");
+    assert_eq!(count("SL007"), 1, "{got:?}");
+    assert_eq!(got.len(), 5, "{got:?}");
+}
+
+#[test]
+fn lexer_edge_cases_produce_nothing() {
+    assert_eq!(codes("lexer_torture.rs"), Vec::<&str>::new());
+}
+
+#[test]
+fn scoping_excludes_files() {
+    let mut cfg = Config::all_everywhere();
+    cfg.stray_env_read = Scope {
+        include: vec![],
+        exclude: vec!["env_fire.rs".to_string()],
+    };
+    let diags = lint_source("env_fire.rs", &fixture("env_fire.rs"), &cfg);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn workspace_scope_permits_knob_modules_only() {
+    let cfg = Config::workspace();
+    let src = "pub fn f() -> Option<String> { std::env::var(\"SOCMIX_X\").ok() }\n";
+    assert!(lint_source("crates/obs/src/event.rs", src, &cfg).is_empty());
+    let stray = lint_source("crates/markov/src/walk.rs", src, &cfg);
+    assert_eq!(stray.len(), 1);
+    assert_eq!(stray[0].code, "SL003");
+}
+
+#[test]
+fn workspace_scope_confines_hashmap_rule_to_numeric_crates() {
+    let cfg = Config::workspace();
+    let src = "pub fn f() { let _m = std::collections::HashMap::<u32, u32>::new(); }\n";
+    assert_eq!(lint_source("crates/linalg/src/op.rs", src, &cfg).len(), 1);
+    assert!(lint_source("crates/bench/src/output.rs", src, &cfg).is_empty());
+}
+
+#[test]
+fn diagnostics_carry_positions_and_render_stably() {
+    let src = "pub fn f() {\n    println!(\"x\");\n}\n";
+    let diags = lint_source("lib.rs", src, &Config::all_everywhere());
+    assert_eq!(diags.len(), 1);
+    let d = &diags[0];
+    assert_eq!((d.line, d.col), (2, 5));
+    assert!(
+        d.render().starts_with("lib.rs:2:5: SL002 [bare-print]"),
+        "{}",
+        d.render()
+    );
+}

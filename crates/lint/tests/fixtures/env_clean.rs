@@ -1,0 +1,19 @@
+//! No diagnostics: non-var env APIs, env tokens in strings, and reads
+//! inside #[cfg(test)] are all fine.
+
+pub fn fine() -> std::path::PathBuf {
+    std::env::temp_dir()
+}
+
+pub fn strings_only() -> &'static str {
+    // std::env::var("IN_A_COMMENT") is not code
+    "std::env::var(\"NOT_CODE\")"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_read_env() {
+        let _ = std::env::var("PATH");
+    }
+}

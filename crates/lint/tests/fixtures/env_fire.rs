@@ -1,0 +1,11 @@
+//! Two env reads outside a knob module: 2 x SL003.
+
+use std::env;
+
+pub fn sneaky() -> Option<String> {
+    std::env::var("SOCMIX_SNEAKY").ok()
+}
+
+pub fn also_sneaky() -> bool {
+    env::var_os("SOCMIX_ALSO").is_some()
+}

@@ -1,0 +1,29 @@
+//! No diagnostics: ordered containers, hash tokens in strings and
+//! comments, and hash maps inside #[cfg(test)] are all fine.
+
+use std::collections::BTreeMap;
+
+pub fn accumulate(xs: &[(u32, f64)]) -> f64 {
+    let mut m: BTreeMap<u32, f64> = BTreeMap::new();
+    for &(k, v) in xs {
+        *m.entry(k).or_insert(0.0) += v;
+    }
+    m.values().sum()
+}
+
+pub fn not_code() -> &'static str {
+    // HashMap in a comment is not code
+    "HashMap in a string"
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn tests_may_hash() {
+        let mut m = HashMap::new();
+        m.insert(1u32, 2u32);
+        assert_eq!(m[&1], 2);
+    }
+}

@@ -1,0 +1,16 @@
+//! Four unordered-container mentions in non-test code: 4 x SL004.
+
+use std::collections::HashMap;
+
+pub fn accumulate(xs: &[(u32, f64)]) -> f64 {
+    let mut m: HashMap<u32, f64> = HashMap::new();
+    for &(k, v) in xs {
+        *m.entry(k).or_insert(0.0) += v;
+    }
+    m.values().sum()
+}
+
+pub fn dedup(xs: &[u32]) -> usize {
+    let s: std::collections::HashSet<u32> = xs.iter().copied().collect();
+    s.len()
+}

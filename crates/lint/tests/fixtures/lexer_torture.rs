@@ -1,0 +1,31 @@
+//! Lexer edge cases: raw strings with fences, byte and raw-byte
+//! strings, raw identifiers, nested block comments, char-vs-lifetime
+//! ambiguity. Expected: zero diagnostics.
+
+pub fn raw_strings() -> Vec<String> {
+    vec![
+        r"plain raw with unsafe inside".to_string(),
+        r#"fenced " quote, println!("x")"#.to_string(),
+        r##"deeper fence "# still inside, dbg!(1)"##.to_string(),
+        String::from_utf8_lossy(b"byte unsafe").into_owned(),
+        String::from_utf8_lossy(br#"raw byte HashMap"#).into_owned(),
+    ]
+}
+
+pub fn r#type(x: u32) -> u32 {
+    let r#match = x + 1;
+    r#match
+}
+
+pub fn chars_and_lifetimes<'a>(x: &'a u8) -> (char, char, char, u8) {
+    let q = '\'';
+    let n = '\n';
+    let u = '\u{1F600}';
+    (q, n, u, *x)
+}
+
+pub fn comments() -> u32 {
+    /* nested /* block /* comments */ */ with println! inside */
+    // line comment with unsafe impl Send and std::env::var("X")
+    1
+}

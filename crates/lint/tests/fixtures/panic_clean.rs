@@ -1,0 +1,37 @@
+//! No diagnostics: the lock/wait poison-propagation idiom, non-panicking
+//! combinators, panic tokens in strings/comments, and #[cfg(test)].
+
+use std::sync::{Condvar, Mutex};
+
+pub fn poison_propagation(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap()
+}
+
+pub fn condvar_wait(pair: &(Mutex<bool>, Condvar)) {
+    let (m, cv) = pair;
+    let mut g = m.lock().unwrap();
+    while !*g {
+        g = cv.wait(g).unwrap();
+    }
+}
+
+pub fn handled(v: Option<u32>) -> u32 {
+    v.unwrap_or(0)
+}
+
+pub fn not_code() -> &'static str {
+    // x.unwrap() and panic! in a comment are not code
+    "x.unwrap(); panic!(\"in a string\")"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        if v.is_none() {
+            panic!("nope");
+        }
+    }
+}

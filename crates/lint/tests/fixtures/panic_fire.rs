@@ -1,0 +1,13 @@
+//! Four panicking constructs in non-test code: 4 x SL005.
+
+pub fn worker(v: Option<u32>) -> u32 {
+    let a = v.unwrap();
+    let b = v.expect("present");
+    if a + b == 0 {
+        panic!("impossible");
+    }
+    match a {
+        0 => unreachable!(),
+        n => n,
+    }
+}

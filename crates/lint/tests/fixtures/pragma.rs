@@ -1,0 +1,16 @@
+//! Allow pragmas in leading and trailing form, including one pragma
+//! naming two rules. Expected: zero diagnostics.
+
+pub fn leading(v: Option<u32>) -> u32 {
+    // socmix-lint: allow(panicking-api-in-hot-path): fixture — invariant assertion for the engine tests.
+    v.unwrap()
+}
+
+pub fn trailing() {
+    println!("allowed"); // socmix-lint: allow(bare-print): fixture — trailing-form suppression.
+}
+
+pub fn multi(v: Option<u32>) -> u32 {
+    // socmix-lint: allow(panicking-api-in-hot-path, bare-print): fixture — one pragma, two rules, one target line.
+    println!("loud"); v.unwrap()
+}

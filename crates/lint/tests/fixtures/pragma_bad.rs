@@ -1,0 +1,18 @@
+//! Pragma hygiene failures. Expected: 2 x SL006 (and the underlying
+//! 2 x SL005 still fire, since malformed pragmas suppress nothing)
+//! plus 1 x SL007 for the pragma that suppresses nothing.
+
+pub fn missing_justification(v: Option<u32>) -> u32 {
+    // socmix-lint: allow(panicking-api-in-hot-path)
+    v.unwrap()
+}
+
+pub fn unknown_rule(v: Option<u32>) -> u32 {
+    // socmix-lint: allow(no-such-rule): justification present but the rule name is unknown.
+    v.unwrap()
+}
+
+pub fn unused(x: u32) -> u32 {
+    // socmix-lint: allow(bare-print): nothing below prints, so this pragma is dead weight.
+    x + 1
+}

@@ -1,0 +1,19 @@
+//! No diagnostics: writer-routed output, print tokens in strings and
+//! comments, and prints inside #[cfg(test)] are all fine.
+
+use std::io::Write;
+
+pub fn quiet(out: &mut impl Write) -> &'static str {
+    let _ = writeln!(out, "fine");
+    // println! inside a comment is not code
+    "println!(\"inside a string\")"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_print() {
+        println!("test output is exempt");
+        dbg!(42);
+    }
+}

@@ -1,0 +1,8 @@
+//! Four bare print macros in non-test code: 4 x SL002.
+
+pub fn loud() {
+    println!("a");
+    eprintln!("b");
+    print!("c");
+    dbg!(1 + 1);
+}

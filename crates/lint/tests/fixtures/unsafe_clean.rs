@@ -1,0 +1,38 @@
+//! No diagnostics: every unsafe site is documented, and unsafe tokens
+//! inside strings and comments are invisible to the rules.
+
+pub struct W(pub *mut u8);
+
+// SAFETY: W is a unique owner; sending the raw pointer moves that
+// unique access wholesale to the receiving thread.
+unsafe impl Send for W {}
+
+pub fn trailing_form(w: &W) -> u8 {
+    unsafe { *w.0 } // SAFETY: caller upholds validity (trailing form)
+}
+
+pub fn multi_line(w: &W) -> u8 {
+    // SAFETY: a long argument that
+    // wraps across several comment lines
+    // before reaching the site itself
+    unsafe { *w.0 }
+}
+
+/* SAFETY: the block-comment form works too */
+pub unsafe fn block_comment_form(p: *mut u8) -> u8 {
+    // SAFETY: p is valid per this fn's contract
+    unsafe { *p }
+}
+
+// SAFETY: an attribute between the comment and the item is skipped
+#[inline]
+pub unsafe fn through_attribute(p: *mut u8) -> u8 {
+    // SAFETY: p is valid per this fn's contract
+    unsafe { *p }
+}
+
+pub fn not_code() -> (&'static str, &'static str) {
+    // a comment mentioning unsafe fires nothing
+    /* nested /* unsafe impl Send */ comment */
+    ("unsafe { in a string }", r#"unsafe impl Send for W"#)
+}

@@ -1,0 +1,25 @@
+//! Every unsafe site below lacks an adjacent SAFETY comment: 5 x SL001.
+
+pub struct W(pub *mut u8);
+
+unsafe impl Send for W {}
+
+pub fn no_comment(w: &W) -> u8 {
+    unsafe { *w.0 }
+}
+
+pub fn wrong_comment(w: &W) -> u8 {
+    // not a safety argument, just a note
+    unsafe { *w.0 }
+}
+
+pub fn blank_line_breaks_adjacency(w: &W) -> u8 {
+    // SAFETY: caller promises w.0 is valid
+
+    unsafe { *w.0 }
+}
+
+// SAFETY: documents only the fn item below, not the block inside it
+pub unsafe fn fn_documented_block_not(p: *mut u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,55 @@
+//! Self-checks over the real workspace: the tree must be lint-clean
+//! under the workspace invariant map, and the committed unsafe audit
+//! must match a fresh rendering.
+
+use std::path::PathBuf;
+
+use socmix_lint::{audit, config, lint_source, Config};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = workspace_root();
+    let files = config::workspace_files(&root).expect("walk workspace");
+    assert!(
+        files.len() > 50,
+        "suspiciously few files scanned ({}) — walker broken?",
+        files.len()
+    );
+    let cfg = Config::workspace();
+    let mut diags = Vec::new();
+    for (rel, abs) in &files {
+        let src = std::fs::read_to_string(abs).expect("read source");
+        diags.extend(lint_source(rel, &src, &cfg));
+    }
+    assert!(
+        diags.is_empty(),
+        "workspace is not lint-clean:\n{}",
+        diags
+            .iter()
+            .map(|d| d.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn committed_unsafe_audit_is_current_and_fully_documented() {
+    let root = workspace_root();
+    let files = config::workspace_files(&root).expect("walk workspace");
+    let sites = audit::collect_sites(&files).expect("collect unsafe sites");
+    assert!(
+        sites.iter().all(|s| s.excerpt.is_some()),
+        "undocumented unsafe site reached the audit: {sites:?}"
+    );
+    let rendered = audit::render(&sites);
+    let committed = std::fs::read_to_string(root.join("results/unsafe_audit.md"))
+        .expect("results/unsafe_audit.md must be committed");
+    assert_eq!(
+        committed, rendered,
+        "results/unsafe_audit.md is stale; run `cargo run -p socmix-lint -- audit`"
+    );
+}

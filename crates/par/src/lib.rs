@@ -48,6 +48,10 @@
 //! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
 //! ```
 
+// Every pointer dereference inside an unsafe fn must carry its own
+// unsafe block (and SAFETY comment) instead of riding the signature.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod dag;
 mod pool;
 mod runtime;

@@ -78,7 +78,13 @@ thread_local! {
 /// Type-erased pointer to the borrowed job body. Valid for the
 /// duration of the dispatch call that published it (see module docs).
 struct BodyPtr(*const (dyn Fn(std::ops::Range<usize>) + Sync));
+// SAFETY: the pointee is `Sync` (bound in the type), and the pointer
+// is dereferenced only while the dispatch call that published it is
+// blocked in `run`, which keeps the borrowed closure alive — so the
+// pointer may move to worker threads without outliving its target.
 unsafe impl Send for BodyPtr {}
+// SAFETY: same lifetime argument, and the pointee being `Sync` makes
+// concurrent shared calls from many workers permitted.
 unsafe impl Sync for BodyPtr {}
 
 /// One dispatched job: a chunk plan, a claim cursor, and a completion
@@ -266,6 +272,7 @@ pub(crate) fn run(plan: ChunkPlan, threads: usize, body: &(dyn Fn(std::ops::Rang
             .map(|i| st.free.swap_remove(i));
         let mut handle = slot.unwrap_or_else(|| Arc::new(Job::idle()));
         {
+            // socmix-lint: allow(panicking-api-in-hot-path): invariant assertion — the freelist scan above selected this Arc because strong_count == 1, and nothing else can clone it between the scan and here (the queue mutex is not yet involved).
             let j = Arc::get_mut(&mut handle).expect("freelist header is unique");
             j.plan = plan;
             j.units = units;

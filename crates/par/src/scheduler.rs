@@ -252,7 +252,14 @@ where
 /// Raw-pointer wrapper so disjoint chunks can write one output buffer
 /// without a lock.
 struct SendPtr<T>(*mut T);
+// SAFETY: every chunk body writes only `ptr.add(i)` for `i` inside
+// its own half-open range, and the planner hands out disjoint ranges,
+// so no element is ever aliased across threads; `T: Send` lets the
+// written values change threads.
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: sharing the wrapper shares only the pointer value; all
+// writes stay range-disjoint per the Send argument above, so shared
+// references never yield overlapping `&mut T`.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 #[cfg(test)]
