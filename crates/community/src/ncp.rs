@@ -68,7 +68,7 @@ pub fn ncp_approx<R: Rng + ?Sized>(
         order.sort_by(|&a, &b| {
             let sa = x[a as usize] / g.degree(a).max(1) as f64;
             let sb = x[b as usize] / g.degree(b).max(1) as f64;
-            sb.partial_cmp(&sa).unwrap().then(a.cmp(&b))
+            sb.total_cmp(&sa).then(a.cmp(&b))
         });
         let mut in_set = vec![false; n];
         let mut cut = 0isize;
@@ -112,7 +112,7 @@ pub fn ncp_minimum(points: &[NcpPoint]) -> Option<NcpPoint> {
     points
         .iter()
         .copied()
-        .min_by(|a, b| a.conductance.partial_cmp(&b.conductance).unwrap())
+        .min_by(|a, b| a.conductance.total_cmp(&b.conductance))
 }
 
 /// Conductance of each detected community of a [`Partition`], as NCP
@@ -184,6 +184,29 @@ mod tests {
         let points = ncp_approx(&g, 8, 6, 30, &mut rng);
         assert!(points.windows(2).all(|w| w[0].size < w[1].size));
         assert!(points.iter().all(|p| p.conductance > 0.0));
+    }
+
+    #[test]
+    fn ncp_minimum_tolerates_nan_conductance() {
+        // a NaN conductance used to panic min_by's partial_cmp; under
+        // total_cmp it sorts as the largest value and never wins
+        let points = [
+            NcpPoint {
+                size: 2,
+                conductance: f64::NAN,
+            },
+            NcpPoint {
+                size: 3,
+                conductance: 0.25,
+            },
+            NcpPoint {
+                size: 4,
+                conductance: 0.5,
+            },
+        ];
+        let best = ncp_minimum(&points).unwrap();
+        assert_eq!(best.size, 3);
+        assert_eq!(best.conductance, 0.25);
     }
 
     #[test]

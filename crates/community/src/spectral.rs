@@ -142,11 +142,7 @@ fn kmeans<R: Rng + ?Sized>(
         let mut changed = false;
         for (i, p) in points.iter().enumerate() {
             let best = (0..k)
-                .min_by(|&a, &b| {
-                    dist2(p, &centers[a])
-                        .partial_cmp(&dist2(p, &centers[b]))
-                        .unwrap()
-                })
+                .min_by(|&a, &b| dist2(p, &centers[a]).total_cmp(&dist2(p, &centers[b])))
                 .unwrap() as u32;
             if best != labels[i] {
                 labels[i] = best;

@@ -9,42 +9,71 @@
 use crate::probe::ProbeResult;
 
 /// An empirical CDF over a sample of values.
+///
+/// # NaN policy
+///
+/// A NaN sample carries no ordering information, so the CDF treats it
+/// as *missing data*: construction never panics, NaNs are sorted to
+/// the **end** of [`Cdf::values`] (where they stay inspectable), and
+/// every statistic — [`Cdf::at`], [`Cdf::quantile`], [`Cdf::points`]
+/// — is computed over the non-NaN prefix only, with the non-NaN count
+/// as the denominator. An all-NaN sample behaves like an empty one.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Cdf {
-    /// Sorted sample values (the x axis).
+    /// Sorted sample values (the x axis); NaNs, if any, at the end.
     pub values: Vec<f64>,
+    /// Number of leading non-NaN entries — the effective sample size.
+    pub valid: usize,
 }
 
 impl Cdf {
-    /// Builds a CDF from an unsorted sample.
+    /// Builds a CDF from an unsorted sample. NaNs are sorted to the
+    /// end and excluded from the effective sample (see the type-level
+    /// NaN policy).
     pub fn from_samples(mut samples: Vec<f64>) -> Self {
-        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        Cdf { values: samples }
+        // total_cmp orders every NaN after +∞ once normalized below,
+        // so the non-NaN prefix is exactly the usual sorted sample.
+        samples.sort_by(|a, b| {
+            // normalize -NaN (which total_cmp sorts *before* -∞) onto
+            // +NaN so all NaNs land at the end
+            let key = |v: f64| if v.is_nan() { f64::NAN } else { v };
+            key(*a).total_cmp(&key(*b))
+        });
+        let valid = samples.partition_point(|v| !v.is_nan());
+        Cdf {
+            values: samples,
+            valid,
+        }
     }
 
-    /// Fraction of the sample ≤ `x`.
+    /// Fraction of the (non-NaN) sample ≤ `x`.
     pub fn at(&self, x: f64) -> f64 {
-        if self.values.is_empty() {
+        if self.valid == 0 {
             return 0.0;
         }
-        let idx = self.values.partition_point(|&v| v <= x);
-        idx as f64 / self.values.len() as f64
+        let idx = self.values[..self.valid].partition_point(|&v| v <= x);
+        idx as f64 / self.valid as f64
     }
 
-    /// The `q`-quantile (0 ≤ q ≤ 1) by the nearest-rank method.
+    /// The `q`-quantile (0 ≤ q ≤ 1) of the non-NaN sample by the
+    /// nearest-rank method.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the effective sample is empty (no non-NaN values).
     pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q));
-        assert!(!self.values.is_empty(), "quantile of empty sample");
-        let n = self.values.len();
+        assert!(self.valid > 0, "quantile of empty sample");
+        let n = self.valid;
         let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
         self.values[idx]
     }
 
-    /// `(x, F(x))` pairs suitable for plotting (one per distinct
+    /// `(x, F(x))` pairs suitable for plotting (one per non-NaN
     /// sample point).
     pub fn points(&self) -> Vec<(f64, f64)> {
-        let n = self.values.len() as f64;
-        self.values
+        let n = self.valid as f64;
+        self.values[..self.valid]
             .iter()
             .enumerate()
             .map(|(i, &v)| (v, (i + 1) as f64 / n))
@@ -112,7 +141,7 @@ pub fn band_curves(result: &ProbeResult, bands: &[Band]) -> Vec<BandCurve> {
         .collect();
     for t in 1..=t_max {
         let mut tvds = result.tvds_at(t);
-        tvds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        tvds.sort_by(|a, b| a.total_cmp(b));
         for (b, curve) in bands.iter().zip(&mut out) {
             let lo = ((b.lo * k as f64).floor() as usize).min(k - 1);
             let hi = ((b.hi * k as f64).ceil() as usize).clamp(lo + 1, k);
@@ -180,6 +209,44 @@ mod tests {
     fn empty_cdf_at_is_zero() {
         let c = Cdf::from_samples(vec![]);
         assert_eq!(c.at(1.0), 0.0);
+    }
+
+    #[test]
+    fn cdf_tolerates_nan_samples() {
+        // the ISSUE regression: this used to panic in the sort
+        let c = Cdf::from_samples(vec![f64::NAN, 0.5]);
+        assert_eq!(c.valid, 1);
+        assert_eq!(c.values.len(), 2);
+        assert_eq!(c.values[0], 0.5);
+        assert!(c.values[1].is_nan(), "NaNs sort last");
+        // statistics run over the non-NaN prefix with its own count
+        assert_eq!(c.at(1.0), 1.0);
+        assert_eq!(c.at(0.1), 0.0);
+        assert_eq!(c.quantile(1.0), 0.5);
+        assert_eq!(c.points(), vec![(0.5, 1.0)]);
+    }
+
+    #[test]
+    fn cdf_sorts_negative_nan_last_too() {
+        let c = Cdf::from_samples(vec![-f64::NAN, -1.0, f64::NAN, 2.0]);
+        assert_eq!(c.valid, 2);
+        assert_eq!(&c.values[..2], &[-1.0, 2.0]);
+        assert!(c.values[2].is_nan() && c.values[3].is_nan());
+        assert_eq!(c.at(f64::INFINITY), 1.0);
+    }
+
+    #[test]
+    fn all_nan_cdf_behaves_like_empty() {
+        let c = Cdf::from_samples(vec![f64::NAN, f64::NAN]);
+        assert_eq!(c.valid, 0);
+        assert_eq!(c.at(0.0), 0.0);
+        assert!(c.points().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile of empty sample")]
+    fn all_nan_quantile_panics_like_empty() {
+        Cdf::from_samples(vec![f64::NAN]).quantile(0.5);
     }
 
     #[test]

@@ -89,8 +89,7 @@ pub fn spectral_sweep(g: &Graph, seed: u64) -> SweepCut {
         .collect();
     order.sort_by(|&a, &b| {
         score[a as usize]
-            .partial_cmp(&score[b as usize])
-            .unwrap()
+            .total_cmp(&score[b as usize])
             .then(a.cmp(&b))
     });
     // sweep prefixes, tracking cut size and volume incrementally
@@ -215,5 +214,18 @@ mod tests {
         let g = fixtures::complete(10);
         let sweep = spectral_sweep(&g, 3);
         assert!(sweep.conductance > 0.5);
+    }
+
+    #[test]
+    fn sweep_tolerates_isolated_node_nan_scores() {
+        // an isolated node has degree 0, so its sweep score is
+        // 0/√0 = NaN; the sort used to panic on partial_cmp
+        use socmix_graph::GraphBuilder;
+        let mut b = GraphBuilder::from_edges([(0, 1), (1, 2), (2, 0), (0, 3), (1, 3)]);
+        b.grow_to(5); // node 4 stays isolated
+        let g = b.build();
+        let sweep = spectral_sweep(&g, 0);
+        assert_eq!(sweep.in_set.len(), 5);
+        assert!(sweep.conductance.is_finite());
     }
 }

@@ -3,9 +3,10 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use socmix_graph::Graph;
-use socmix_linalg::power::spectral_radius_in_complement;
+use socmix_linalg::power::{spectral_radius_in_complement, spectral_radius_in_complement_mixed};
 use socmix_linalg::{
-    dense, lanczos_extreme, DeflatedOp, LanczosOptions, PowerOptions, SymmetricWalkOp,
+    dense, lanczos_extreme, lanczos_extreme_mixed, DeflatedOp, DeflatedOpF32, KernelConfig,
+    KernelKind, LanczosOptions, PowerOptions, SymmetricWalkOp, SymmetricWalkOpF32,
 };
 use socmix_markov::ergodicity;
 use socmix_obs::{obs_info, Counter};
@@ -99,10 +100,12 @@ pub struct Slem<'g> {
     lanczos_opts: LanczosOptions,
     power_opts: PowerOptions,
     pool: Pool,
+    kernel: KernelConfig,
 }
 
 impl<'g> Slem<'g> {
-    /// Estimator with the given backend.
+    /// Estimator with the given backend. The matvec kernel defaults to
+    /// the `SOCMIX_KERNEL` environment knob (scalar when unset).
     pub fn new(graph: &'g Graph, method: SlemMethod) -> Self {
         Slem {
             graph,
@@ -111,6 +114,7 @@ impl<'g> Slem<'g> {
             lanczos_opts: LanczosOptions::default(),
             power_opts: PowerOptions::default(),
             pool: Pool::new(),
+            kernel: KernelConfig::from_env(),
         }
     }
 
@@ -158,6 +162,17 @@ impl<'g> Slem<'g> {
     /// changes.
     pub fn pool(mut self, pool: Pool) -> Self {
         self.pool = pool;
+        self
+    }
+
+    /// Overrides the matvec kernel (default: the `SOCMIX_KERNEL`
+    /// environment knob). `Scalar` and `Blocked` produce bit-for-bit
+    /// identical estimates; `F32` routes the iterative backends
+    /// through the mixed-precision drivers, whose final f64 Rayleigh
+    /// polish keeps `|µ_f32 − µ_f64| ≤ 1e-6`. The dense backend
+    /// ignores the kernel.
+    pub fn kernel(mut self, kernel: KernelConfig) -> Self {
+        self.kernel = kernel;
         self
     }
 
@@ -209,10 +224,17 @@ impl<'g> Slem<'g> {
                 }
             }
             SlemMethod::Lanczos => {
-                let sop = SymmetricWalkOp::with_pool(g, self.pool);
+                let sop = SymmetricWalkOp::with_kernel(g, self.pool, self.kernel);
                 let basis = vec![sop.top_eigenvector()];
                 let defl = DeflatedOp::new(sop, &basis);
-                let r = lanczos_extreme(&defl, self.lanczos_opts, &mut rng);
+                let r = if self.kernel.kind == KernelKind::F32 {
+                    let sop32 = SymmetricWalkOpF32::with_kernel(g, self.pool, self.kernel);
+                    let basis32 = vec![sop32.top_eigenvector32()];
+                    let defl32 = DeflatedOpF32::new(sop32, &basis32);
+                    lanczos_extreme_mixed(&defl, &defl32, self.lanczos_opts, &mut rng)
+                } else {
+                    lanczos_extreme(&defl, self.lanczos_opts, &mut rng)
+                };
                 SlemEstimate {
                     mu: r.top.max(-r.bottom).clamp(0.0, 1.0),
                     lambda2: Some(r.top),
@@ -223,10 +245,17 @@ impl<'g> Slem<'g> {
                 }
             }
             SlemMethod::PowerIteration => {
-                let sop = SymmetricWalkOp::with_pool(g, self.pool);
+                let sop = SymmetricWalkOp::with_kernel(g, self.pool, self.kernel);
                 let basis = vec![sop.top_eigenvector()];
                 let defl = DeflatedOp::new(sop, &basis);
-                let mu = spectral_radius_in_complement(&defl, self.power_opts, &mut rng);
+                let mu = if self.kernel.kind == KernelKind::F32 {
+                    let sop32 = SymmetricWalkOpF32::with_kernel(g, self.pool, self.kernel);
+                    let basis32 = vec![sop32.top_eigenvector32()];
+                    let defl32 = DeflatedOpF32::new(sop32, &basis32);
+                    spectral_radius_in_complement_mixed(&defl, &defl32, self.power_opts, &mut rng)
+                } else {
+                    spectral_radius_in_complement(&defl, self.power_opts, &mut rng)
+                };
                 SlemEstimate {
                     mu: mu.radius.clamp(0.0, 1.0),
                     lambda2: None,
@@ -401,6 +430,61 @@ mod tests {
             .unwrap();
         assert_eq!(pserial.mu.to_bits(), ppar.mu.to_bits());
         assert_eq!(pserial.iterations, ppar.iterations);
+    }
+
+    #[test]
+    fn blocked_kernel_estimate_is_bitwise_scalar() {
+        for g in [
+            fixtures::petersen(),
+            fixtures::barbell(5, 2),
+            fixtures::grid(5, 4),
+        ] {
+            for method in [SlemMethod::Lanczos, SlemMethod::PowerIteration] {
+                let scalar = Slem::new(&g, method)
+                    .kernel(KernelConfig::scalar())
+                    .estimate()
+                    .unwrap();
+                let blocked = Slem::new(&g, method)
+                    .kernel(KernelConfig::blocked())
+                    .estimate()
+                    .unwrap();
+                assert_eq!(
+                    scalar.mu.to_bits(),
+                    blocked.mu.to_bits(),
+                    "{method:?} blocked f64 kernel must be bit-for-bit"
+                );
+                assert_eq!(scalar.iterations, blocked.iterations);
+            }
+        }
+    }
+
+    #[test]
+    fn f32_kernel_estimate_within_tolerance_on_fixture_zoo() {
+        // the ISSUE contract: |µ_f32 − µ_f64| ≤ 1e-6 across the zoo
+        for g in [
+            fixtures::petersen(),
+            fixtures::barbell(5, 2),
+            fixtures::lollipop(6, 3),
+            fixtures::grid(5, 4),
+            fixtures::binary_tree(4),
+        ] {
+            for method in [SlemMethod::Lanczos, SlemMethod::PowerIteration] {
+                let exact = Slem::new(&g, method)
+                    .kernel(KernelConfig::scalar())
+                    .estimate()
+                    .unwrap();
+                let mixed = Slem::new(&g, method)
+                    .kernel(KernelConfig::mixed_f32())
+                    .estimate()
+                    .unwrap();
+                assert!(
+                    (mixed.mu - exact.mu).abs() <= 1e-6,
+                    "{method:?}: f32 µ {} vs f64 µ {}",
+                    mixed.mu,
+                    exact.mu
+                );
+            }
+        }
     }
 
     #[test]

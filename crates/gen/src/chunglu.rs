@@ -33,7 +33,7 @@ pub fn chung_lu<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> Graph {
     }
     // sort node indices by weight descending
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b2| weights[b2].partial_cmp(&weights[a]).unwrap());
+    order.sort_by(|&a, &b2| weights[b2].total_cmp(&weights[a]));
     let w = |i: usize| weights[order[i]];
     for i in 0..(n - 1) {
         let wi = w(i);

@@ -24,6 +24,10 @@ pub enum LoadError {
     Parse { line: usize, content: String },
     /// Binary header mismatch or truncated payload.
     Format(String),
+    /// A u64 count or offset in the binary format does not fit this
+    /// platform's `usize` (can only fire on 32-bit targets; on 64-bit
+    /// ones the id-space bound rejects such headers first).
+    Overflow { field: &'static str, value: u64 },
 }
 
 impl std::fmt::Display for LoadError {
@@ -34,6 +38,12 @@ impl std::fmt::Display for LoadError {
                 write!(f, "line {line}: cannot parse edge from {content:?}")
             }
             Self::Format(msg) => write!(f, "bad binary graph: {msg}"),
+            Self::Overflow { field, value } => {
+                write!(
+                    f,
+                    "bad binary graph: {field} {value} does not fit in this platform's usize"
+                )
+            }
         }
     }
 }
@@ -253,7 +263,19 @@ fn read_bin_header<R: Read>(
             )));
         }
     }
-    Ok((n as usize, nt as usize))
+    Ok((
+        checked_usize(n, "node count")?,
+        checked_usize(nt, "target count")?,
+    ))
+}
+
+/// Converts an untrusted u64 field to `usize`, surfacing a typed
+/// [`LoadError::Overflow`] instead of silently truncating on targets
+/// where `usize` is narrower than 64 bits.
+fn checked_usize(value: u64, field: &'static str) -> Result<usize, LoadError> {
+    value
+        .try_into()
+        .map_err(|_| LoadError::Overflow { field, value })
 }
 
 /// Reads the binary arrays after a validated header.
@@ -262,7 +284,7 @@ fn read_bin_body<R: Read>(r: &mut R, n: usize, nt: usize) -> Result<Graph, LoadE
     let mut offsets = Vec::with_capacity((n + 1).min(MAX_PREALLOC));
     for _ in 0..=n {
         r.read_exact(&mut u64buf)?;
-        offsets.push(u64::from_le_bytes(u64buf) as usize);
+        offsets.push(checked_usize(u64::from_le_bytes(u64buf), "offset")?);
     }
     let mut targets = Vec::with_capacity(nt.min(MAX_PREALLOC));
     let mut u32buf = [0u8; 4];
@@ -543,6 +565,18 @@ mod tests {
         let len = buf.len();
         buf[len - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(read_binary(&buf[..]), Err(LoadError::Format(_))));
+    }
+
+    #[test]
+    fn overflow_error_is_typed_and_displayed() {
+        let e = LoadError::Overflow {
+            field: "offset",
+            value: u64::MAX,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("offset") && msg.contains(&u64::MAX.to_string()));
+        // u64 fields that fit convert losslessly
+        assert_eq!(checked_usize(42, "node count").unwrap(), 42);
     }
 
     #[test]

@@ -191,7 +191,7 @@ pub fn jacobi_eigen(m: &DenseMatrix) -> (Vec<f64>, Vec<Vec<f64>>) {
         a.max_offdiag()
     );
     let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (a.get(i, i), i)).collect();
-    pairs.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap());
+    pairs.sort_by(|x, y| y.0.total_cmp(&x.0));
     let eigenvalues: Vec<f64> = pairs.iter().map(|&(l, _)| l).collect();
     let eigenvectors: Vec<Vec<f64>> = pairs
         .iter()

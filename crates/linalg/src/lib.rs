@@ -11,6 +11,10 @@
 //!   `S = D^{-1/2} A D^{-1/2}` (same spectrum, symmetric — the key
 //!   trick that lets us use symmetric methods), lazy and deflated
 //!   wrappers.
+//! - [`kernel`] — matvec kernel selection (`SOCMIX_KERNEL`): the
+//!   scalar baseline, a cache-blocked f64 gather (bit-for-bit equal
+//!   to scalar), and the mixed-precision f32 path with its 1e-6
+//!   tolerance contract.
 //! - [`multivec`] — row-major `n × B` blocks and the batched
 //!   [`multivec::MultiLinearOp`] apply: one CSR traversal serves `B`
 //!   stacked distributions, the GEMM-shaped kernel behind the
@@ -42,6 +46,7 @@
 
 pub mod cg;
 pub mod dense;
+pub mod kernel;
 pub mod lanczos;
 pub mod multivec;
 pub mod op;
@@ -51,7 +56,16 @@ pub mod vecops;
 pub mod workspace;
 
 pub use dense::{jacobi_eigen, DenseMatrix};
-pub use lanczos::{lanczos_extreme, lanczos_topk, LanczosOptions, LanczosResult, TopkResult};
-pub use multivec::{MultiLinearOp, MultiVec};
-pub use op::{DeflatedOp, LazyOp, LinearOp, SymmetricWalkOp, WalkOp};
-pub use power::{power_iteration, PowerOptions, PowerResult, SpectralRadius};
+pub use kernel::{KernelConfig, KernelKind};
+pub use lanczos::{
+    lanczos_extreme, lanczos_extreme_mixed, lanczos_topk, LanczosOptions, LanczosResult, TopkResult,
+};
+pub use multivec::{MultiLinearOp, MultiVec, MultiVecMut};
+pub use op::{
+    DeflatedOp, DeflatedOpF32, LazyOp, LinearOp, LinearOpF32, SymmetricWalkOp, SymmetricWalkOpF32,
+    WalkOp,
+};
+pub use power::{
+    power_iteration, power_iteration_mixed, spectral_radius_in_complement,
+    spectral_radius_in_complement_mixed, PowerOptions, PowerResult, SpectralRadius,
+};

@@ -13,6 +13,7 @@
 //! the same floating-point operations in the same order as the serial
 //! kernel, so batched results are bit-for-bit equal.
 
+use crate::kernel::{self, KernelKind};
 use crate::op::{LazyOp, LinearOp, WalkOp};
 use socmix_obs::Counter;
 
@@ -135,6 +136,13 @@ impl MultiVec {
 /// operations, same order, no reassociation. The batch engine's
 /// equivalence tests rely on it.
 pub trait MultiLinearOp: LinearOp {
+    /// Raw-slice core: computes `Y[:, 0..width] = Op · X[:, 0..width]`
+    /// over row-major blocks with `stride` doubles per row. `xs` and
+    /// `ys` must each hold at least `dim * stride` entries. This is
+    /// the entry point for callers whose blocks live in arena scratch
+    /// rather than an owned [`MultiVec`].
+    fn apply_multi_raw(&self, xs: &[f64], ys: &mut [f64], stride: usize, width: usize);
+
     /// Computes `Y[:, 0..width] = Op · X[:, 0..width]` column-wise in
     /// one traversal.
     ///
@@ -142,19 +150,31 @@ pub trait MultiLinearOp: LinearOp {
     ///
     /// Panics if the blocks disagree with [`LinearOp::dim`] or their
     /// widths differ or are smaller than `width`.
-    fn apply_multi(&self, x: &MultiVec, y: &mut MultiVec, width: usize);
+    fn apply_multi(&self, x: &MultiVec, y: &mut MultiVec, width: usize) {
+        check_block_shapes(self.dim(), x.rows(), x.width(), y.rows(), y.width(), width);
+        self.apply_multi_raw(x.as_slice(), y.as_mut_slice(), x.width(), width);
+    }
 }
 
-fn check_block_shapes(dim: usize, x: &MultiVec, y: &MultiVec, width: usize) {
-    assert_eq!(x.rows(), dim, "input block row mismatch");
-    assert_eq!(y.rows(), dim, "output block row mismatch");
-    assert_eq!(x.width(), y.width(), "block stride mismatch");
-    assert!(width <= x.width(), "active width exceeds block width");
+fn check_block_shapes(
+    dim: usize,
+    x_rows: usize,
+    x_width: usize,
+    y_rows: usize,
+    y_width: usize,
+    width: usize,
+) {
+    assert_eq!(x_rows, dim, "input block row mismatch");
+    assert_eq!(y_rows, dim, "output block row mismatch");
+    assert_eq!(x_width, y_width, "block stride mismatch");
+    assert!(width <= x_width, "active width exceeds block width");
 }
 
 impl MultiLinearOp for WalkOp<'_> {
-    fn apply_multi(&self, x: &MultiVec, y: &mut MultiVec, width: usize) {
-        check_block_shapes(self.dim(), x, y, width);
+    fn apply_multi_raw(&self, xs: &[f64], ys: &mut [f64], stride: usize, width: usize) {
+        let n = self.dim();
+        debug_assert!(xs.len() >= n * stride && ys.len() >= n * stride);
+        debug_assert!(width <= stride);
         if width == 0 {
             return;
         }
@@ -164,46 +184,139 @@ impl MultiLinearOp for WalkOp<'_> {
         let offsets = g.offsets();
         let targets = g.raw_targets();
         let inv_deg = self.inv_degrees();
-        let stride = x.width();
-        let xs = x.as_slice();
-        let n = self.dim();
         // Disjoint row ranges of y per chunk; same SendMut pattern as
         // the serial kernel.
-        let yptr = SendMutF64(y.as_mut_slice().as_mut_ptr());
+        let yptr = SendMutF64(ys.as_mut_ptr());
         let ypref = &yptr;
-        self.pool().for_each_chunk(n, move |range| {
-            for j in range {
-                // SAFETY: chunks own disjoint row ranges of y.
-                let yr = unsafe { std::slice::from_raw_parts_mut(ypref.0.add(j * stride), width) };
-                yr.fill(0.0);
-                for &i in &targets[offsets[j]..offsets[j + 1]] {
-                    let i = i as usize;
-                    let d = inv_deg[i];
-                    let xr = &xs[i * stride..i * stride + width];
-                    // Per column: y[j,c] += x[i,c] * (1/deg i) — the
-                    // exact two-op sequence of the serial kernel
-                    // (z = x·inv rounded, then accumulate).
-                    for c in 0..width {
-                        yr[c] += xr[c] * d;
+        match self.kernel().kind {
+            KernelKind::Scalar => {
+                self.pool().for_each_chunk(n, move |range| {
+                    for j in range {
+                        // SAFETY: chunks own disjoint row ranges of y.
+                        let yr = unsafe {
+                            std::slice::from_raw_parts_mut(ypref.0.add(j * stride), width)
+                        };
+                        yr.fill(0.0);
+                        for &i in &targets[offsets[j]..offsets[j + 1]] {
+                            let i = i as usize;
+                            let d = inv_deg[i];
+                            let xr = &xs[i * stride..i * stride + width];
+                            // Per column: y[j,c] += x[i,c] * (1/deg i) —
+                            // the exact two-op sequence of the serial
+                            // kernel (z = x·inv rounded, accumulate).
+                            for c in 0..width {
+                                yr[c] += xr[c] * d;
+                            }
+                        }
                     }
-                }
+                });
             }
-        });
+            // The blocked multi-gather keeps the per-column operation
+            // sequence of the scalar path (one fma-shaped pair per
+            // edge, ascending columns), so it stays bit-for-bit equal;
+            // there is no f32 block path, so F32 shares it.
+            KernelKind::Blocked | KernelKind::F32 => {
+                // Scale the column tile down by the row footprint so a
+                // tile of x-rows still fits the same cache budget.
+                let tile = (self.kernel().col_tile / width.max(1)).max(1);
+                self.pool().for_each_chunk(n, move |range| {
+                    // SAFETY: chunks own disjoint row ranges of y.
+                    let yr = unsafe {
+                        std::slice::from_raw_parts_mut(
+                            ypref.0.add(range.start * stride),
+                            range.len() * stride,
+                        )
+                    };
+                    kernel::gather_rows_multi_f64(
+                        offsets, targets, inv_deg, xs, stride, width, range, tile, yr,
+                    );
+                });
+            }
+        }
     }
 }
 
 impl<Op: MultiLinearOp> MultiLinearOp for LazyOp<Op> {
-    fn apply_multi(&self, x: &MultiVec, y: &mut MultiVec, width: usize) {
-        self.inner().apply_multi(x, y, width);
-        let stride = x.width();
-        let xs = x.as_slice();
-        let ys = y.as_mut_slice();
-        for i in 0..x.rows() {
+    fn apply_multi_raw(&self, xs: &[f64], ys: &mut [f64], stride: usize, width: usize) {
+        self.inner().apply_multi_raw(xs, ys, stride, width);
+        for i in 0..self.dim() {
             let base = i * stride;
             for c in 0..width {
                 ys[base + c] = 0.5 * (ys[base + c] + xs[base + c]);
             }
         }
+    }
+}
+
+/// A borrowed row-major `n × width` block over caller-owned storage —
+/// the [`MultiVec`] shape without the owned allocation, so batch
+/// drivers can ping-pong blocks carved from arena scratch
+/// ([`crate::workspace::with_arena`]) instead of round-tripping the
+/// allocator per call.
+#[derive(Debug)]
+pub struct MultiVecMut<'a> {
+    data: &'a mut [f64],
+    n: usize,
+    width: usize,
+}
+
+impl<'a> MultiVecMut<'a> {
+    /// Wraps `data` as an `n × width` block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not exactly `n * width` long.
+    pub fn new(data: &'a mut [f64], n: usize, width: usize) -> Self {
+        assert_eq!(data.len(), n * width, "backing slice length mismatch");
+        MultiVecMut { data, n, width }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.n
+    }
+
+    /// Number of columns (the stride).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Entry `(i, c)`.
+    #[inline]
+    pub fn get(&self, i: usize, c: usize) -> f64 {
+        self.data[i * self.width + c]
+    }
+
+    /// Sets entry `(i, c)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, c: usize, v: f64) {
+        self.data[i * self.width + c] = v;
+    }
+
+    /// Swaps columns `a` and `b` in every row.
+    pub fn swap_columns(&mut self, a: usize, b: usize) {
+        assert!(a < self.width && b < self.width, "column out of range");
+        if a == b {
+            return;
+        }
+        for i in 0..self.n {
+            self.data.swap(i * self.width + a, i * self.width + b);
+        }
+    }
+
+    /// Sets every entry to zero.
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// The raw row-major backing slice.
+    pub fn as_slice(&self) -> &[f64] {
+        self.data
+    }
+
+    /// The raw mutable row-major backing slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        self.data
     }
 }
 
@@ -323,6 +436,73 @@ mod tests {
         op.apply_multi(&x, &mut y, 2);
         assert_eq!(y.column(2), vec![9.0; n]);
         assert_eq!(y.column(0), op.apply_vec(&x.column(0)));
+    }
+
+    #[test]
+    fn blocked_multi_is_bitwise_scalar() {
+        use crate::kernel::KernelConfig;
+        let g = diamond();
+        let n = g.num_nodes();
+        let scalar = WalkOp::with_kernel(&g, Pool::serial(), KernelConfig::scalar());
+        let mut x = MultiVec::zeros(n, 3);
+        for c in 0..3 {
+            let col: Vec<f64> = (0..n)
+                .map(|i| ((i * 11 + c * 5) % 7) as f64 / 7.0)
+                .collect();
+            x.set_column(c, &col);
+        }
+        let mut want = MultiVec::zeros(n, 3);
+        scalar.apply_multi(&x, &mut want, 3);
+        for cfg in [
+            KernelConfig::blocked(),
+            KernelConfig::blocked().col_tile(2), // force the multi-tile path
+            KernelConfig::mixed_f32(),           // f64 block path is shared
+        ] {
+            let op = WalkOp::with_kernel(&g, Pool::serial(), cfg);
+            let mut y = MultiVec::zeros(n, 3);
+            op.apply_multi(&x, &mut y, 3);
+            assert_eq!(y.as_slice(), want.as_slice(), "kernel {:?}", cfg.kind);
+        }
+    }
+
+    #[test]
+    fn apply_multi_raw_matches_apply_multi() {
+        let g = diamond();
+        let n = g.num_nodes();
+        let op = WalkOp::with_pool(&g, Pool::serial());
+        let mut x = MultiVec::zeros(n, 2);
+        for c in 0..2 {
+            let col: Vec<f64> = (0..n).map(|i| (i + c) as f64).collect();
+            x.set_column(c, &col);
+        }
+        let mut y = MultiVec::zeros(n, 2);
+        op.apply_multi(&x, &mut y, 2);
+        let mut raw = vec![0.0; n * 2];
+        op.apply_multi_raw(x.as_slice(), &mut raw, 2, 2);
+        assert_eq!(raw.as_slice(), y.as_slice());
+    }
+
+    #[test]
+    fn multivec_mut_view_roundtrip() {
+        let mut backing = vec![0.0; 4 * 2];
+        let mut v = MultiVecMut::new(&mut backing, 4, 2);
+        assert_eq!(v.rows(), 4);
+        assert_eq!(v.width(), 2);
+        v.set(1, 0, 3.0);
+        v.set(1, 1, 4.0);
+        assert_eq!(v.get(1, 0), 3.0);
+        v.swap_columns(0, 1);
+        assert_eq!(v.get(1, 0), 4.0);
+        assert_eq!(v.get(1, 1), 3.0);
+        v.clear();
+        assert!(v.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "backing slice length mismatch")]
+    fn multivec_mut_rejects_short_backing() {
+        let mut backing = vec![0.0; 5];
+        let _ = MultiVecMut::new(&mut backing, 4, 2);
     }
 
     #[test]

@@ -109,7 +109,7 @@ fn ql_implicit(
 
     // sort descending, permuting eigenvector columns alongside
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| d[b].partial_cmp(&d[a]).unwrap());
+    order.sort_by(|&a, &b| d[b].total_cmp(&d[a]));
     let values: Vec<f64> = order.iter().map(|&i| d[i]).collect();
     let vectors = z.map(|z| {
         order

@@ -11,7 +11,7 @@
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// The five invariant rules, in diagnostic-code order.
+/// The six invariant rules, in diagnostic-code order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Rule {
     /// SL001 — every `unsafe` needs an adjacent `// SAFETY:` comment.
@@ -25,15 +25,20 @@ pub enum Rule {
     HashmapIterInNumeric,
     /// SL005 — no panicking APIs in the worker/dispatch hot path.
     PanickingApiInHotPath,
+    /// SL008 — no `.partial_cmp(…).unwrap()` in numeric crates; it
+    /// panics the moment a NaN reaches a sort. Use `f64::total_cmp`,
+    /// which agrees with it on every non-NaN pair.
+    NanUnwrapCompare,
 }
 
 /// All rules, in order.
-pub const RULES: [Rule; 5] = [
+pub const RULES: [Rule; 6] = [
     Rule::UndocumentedUnsafe,
     Rule::BarePrint,
     Rule::StrayEnvRead,
     Rule::HashmapIterInNumeric,
     Rule::PanickingApiInHotPath,
+    Rule::NanUnwrapCompare,
 ];
 
 impl Rule {
@@ -45,6 +50,7 @@ impl Rule {
             Rule::StrayEnvRead => "SL003",
             Rule::HashmapIterInNumeric => "SL004",
             Rule::PanickingApiInHotPath => "SL005",
+            Rule::NanUnwrapCompare => "SL008",
         }
     }
 
@@ -56,6 +62,7 @@ impl Rule {
             Rule::StrayEnvRead => "stray-env-read",
             Rule::HashmapIterInNumeric => "hashmap-iter-in-numeric",
             Rule::PanickingApiInHotPath => "panicking-api-in-hot-path",
+            Rule::NanUnwrapCompare => "nan-unwrap-compare",
         }
     }
 
@@ -109,6 +116,7 @@ pub struct Config {
     pub stray_env_read: Scope,
     pub hashmap_iter_in_numeric: Scope,
     pub panicking_api_in_hot_path: Scope,
+    pub nan_unwrap_compare: Scope,
 }
 
 fn strings(patterns: &[&str]) -> Vec<String> {
@@ -124,6 +132,7 @@ impl Config {
             Rule::StrayEnvRead => &self.stray_env_read,
             Rule::HashmapIterInNumeric => &self.hashmap_iter_in_numeric,
             Rule::PanickingApiInHotPath => &self.panicking_api_in_hot_path,
+            Rule::NanUnwrapCompare => &self.nan_unwrap_compare,
         }
     }
 
@@ -135,6 +144,7 @@ impl Config {
             stray_env_read: Scope::everywhere(),
             hashmap_iter_in_numeric: Scope::everywhere(),
             panicking_api_in_hot_path: Scope::everywhere(),
+            nan_unwrap_compare: Scope::everywhere(),
         }
     }
 
@@ -153,7 +163,7 @@ impl Config {
                 exclude: strings(&["/src/bin/"]),
             },
             // Every SOCMIX_* knob must stay warn-once-validated and
-            // manifest-recorded, so env reads live only in the five
+            // manifest-recorded, so env reads live only in the six
             // designated knob modules.
             stray_env_read: Scope {
                 include: vec![],
@@ -163,6 +173,7 @@ impl Config {
                     "crates/par/src/lib.rs",
                     "crates/core/src/probe.rs",
                     "crates/bench/src/manifest.rs",
+                    "crates/linalg/src/kernel.rs",
                 ]),
             },
             // Unordered iteration reorders float accumulation — banned
@@ -183,6 +194,19 @@ impl Config {
                     "crates/par/src/runtime.rs",
                     "crates/par/src/scheduler.rs",
                     "crates/par/src/dag.rs",
+                ]),
+                exclude: vec![],
+            },
+            // Measurement data flows through sorts and min/max
+            // selections in these crates; a NaN-panicking comparator
+            // turns one bad sample into a crashed run. Same scope as
+            // the hashmap rule: the crates that do the numerics.
+            nan_unwrap_compare: Scope {
+                include: strings(&[
+                    "crates/linalg/src/",
+                    "crates/markov/src/",
+                    "crates/core/src/",
+                    "crates/community/src/",
                 ]),
                 exclude: vec![],
             },
@@ -286,5 +310,7 @@ mod tests {
         assert_eq!(Rule::StrayEnvRead.code(), "SL003");
         assert_eq!(Rule::HashmapIterInNumeric.code(), "SL004");
         assert_eq!(Rule::PanickingApiInHotPath.code(), "SL005");
+        // SL006/SL007 belong to pragma hygiene, hence the gap
+        assert_eq!(Rule::NanUnwrapCompare.code(), "SL008");
     }
 }

@@ -1,4 +1,4 @@
-//! The token-stream rule engine: file analysis, the five invariant
+//! The token-stream rule engine: file analysis, the six invariant
 //! rules, and allow-pragma application.
 //!
 //! A rule never looks at raw text — it walks the significant tokens of
@@ -13,9 +13,9 @@
 //!   rule and carry a justification, and unused ones are themselves
 //!   diagnostics, so stale allows can't accumulate).
 //!
-//! Diagnostics carry stable `SLxxx` codes: SL001–SL005 are the rules
-//! in [`RULES`]; SL006 (malformed pragma) and SL007 (unused pragma)
-//! are pragma hygiene and can never be suppressed by a pragma.
+//! Diagnostics carry stable `SLxxx` codes: SL001–SL005 and SL008 are
+//! the rules in [`RULES`]; SL006 (malformed pragma) and SL007 (unused
+//! pragma) are pragma hygiene and can never be suppressed by a pragma.
 
 use crate::config::{Config, Rule, RULES};
 use crate::lexer::{lex, Token, TokenKind};
@@ -528,6 +528,7 @@ fn run_rule(rule: Rule, rel: &str, a: &Analysis, out: &mut Vec<Diagnostic>) {
         Rule::StrayEnvRead => rule_stray_env_read(rule, rel, a, out),
         Rule::HashmapIterInNumeric => rule_hashmap(rule, rel, a, out),
         Rule::PanickingApiInHotPath => rule_panicking(rule, rel, a, out),
+        Rule::NanUnwrapCompare => rule_nan_unwrap_compare(rule, rel, a, out),
     }
 }
 
@@ -695,6 +696,52 @@ fn rule_panicking(rule: Rule, rel: &str, a: &Analysis, out: &mut Vec<Diagnostic>
                      this is an invariant assertion",
                     t.text
                 ),
+            );
+        }
+    }
+}
+
+fn rule_nan_unwrap_compare(rule: Rule, rel: &str, a: &Analysis, out: &mut Vec<Diagnostic>) {
+    for si in 0..a.sig_len().saturating_sub(1) {
+        let t = a.tok(si);
+        if t.kind != TokenKind::Ident
+            || t.text != "partial_cmp"
+            || a.tok(si + 1).text != "("
+            || a.in_test(t.line)
+        {
+            continue;
+        }
+        // skip the balanced argument list starting at the `(`
+        let mut depth = 0usize;
+        let mut k = si + 1;
+        while k < a.sig_len() {
+            match a.tok(k).text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        // fire only when the call's result is immediately unwrapped —
+        // matched/defaulted partial_cmp handles NaN and stays legal
+        if k + 3 < a.sig_len()
+            && a.tok(k + 1).text == "."
+            && a.tok(k + 2).text == "unwrap"
+            && a.tok(k + 3).text == "("
+        {
+            push(
+                out,
+                rule,
+                rel,
+                t,
+                "`.partial_cmp(…).unwrap()` panics on the first NaN — use \
+                 `f64::total_cmp`, which orders non-NaN values identically"
+                    .to_string(),
             );
         }
     }

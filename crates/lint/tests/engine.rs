@@ -67,6 +67,50 @@ fn poison_propagation_idiom_is_clean() {
     assert_eq!(codes("panic_clean.rs"), Vec::<&str>::new());
 }
 
+/// Every rule except the hot-path one (which flags *any* `.unwrap()`
+/// and would shadow the SL008 fixtures' own unwraps).
+fn all_but_hot_path() -> Config {
+    let mut cfg = Config::all_everywhere();
+    cfg.panicking_api_in_hot_path = Scope {
+        include: vec!["<nowhere>".to_string()],
+        exclude: vec![],
+    };
+    cfg
+}
+
+#[test]
+fn nan_unwrap_compare_fires() {
+    let got: Vec<_> = lint_source(
+        "nan_cmp_fire.rs",
+        &fixture("nan_cmp_fire.rs"),
+        &all_but_hot_path(),
+    )
+    .into_iter()
+    .map(|d| d.code)
+    .collect();
+    assert_eq!(got, vec!["SL008"; 3]);
+}
+
+#[test]
+fn handled_partial_cmp_and_total_cmp_are_clean() {
+    let diags = lint_source(
+        "nan_cmp_clean.rs",
+        &fixture("nan_cmp_clean.rs"),
+        &all_but_hot_path(),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn workspace_scope_confines_nan_rule_to_numeric_crates() {
+    let cfg = Config::workspace();
+    let src = "pub fn f(xs: &mut [f64]) { xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n";
+    let diags = lint_source("crates/core/src/aggregate.rs", src, &cfg);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].code, "SL008");
+    assert!(lint_source("crates/bench/src/output.rs", src, &cfg).is_empty());
+}
+
 #[test]
 fn well_formed_pragmas_suppress() {
     assert_eq!(codes("pragma.rs"), Vec::<&str>::new());

@@ -1,0 +1,41 @@
+//! No diagnostics: total_cmp comparators, partial_cmp whose Option is
+//! actually handled, unwraps of other calls, the phrase in comments
+//! and strings, and test code are all fine.
+
+use std::cmp::Ordering;
+
+pub fn sort_scores(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}
+
+pub fn handled(a: f64, b: f64) -> Ordering {
+    // partial_cmp with a NaN fallback is the rule's whole point
+    a.partial_cmp(&b).unwrap_or(Ordering::Less)
+}
+
+pub fn matched(a: f64, b: f64) -> Option<Ordering> {
+    match a.partial_cmp(&b) {
+        Some(o) => Some(o),
+        None => None,
+    }
+}
+
+pub fn unrelated_unwrap(xs: &[f64]) -> f64 {
+    // an unwrap that does not follow partial_cmp
+    xs.first().copied().unwrap()
+}
+
+pub fn not_code() -> &'static str {
+    // partial_cmp(x).unwrap() in a comment is not code
+    "partial_cmp(x).unwrap() in a string"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic_on_nan() {
+        let mut xs = [2.0f64, 1.0];
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(xs[0], 1.0);
+    }
+}

@@ -1,0 +1,16 @@
+//! Three NaN-panicking comparators in non-test code: 3 x SL008.
+
+pub fn sort_scores(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn best(xs: &[f64]) -> Option<f64> {
+    xs.iter()
+        .copied()
+        .min_by(|a, b| a.partial_cmp(b).unwrap())
+}
+
+pub fn keyed(xs: &mut [(u32, f64)]) {
+    // the argument list may itself contain parentheses and calls
+    xs.sort_by(|a, b| (a.1).partial_cmp(&(b.1).abs()).unwrap());
+}

@@ -5,11 +5,13 @@
 //! pass per source, re-streaming the whole edge array through cache
 //! each time. [`BatchEvolver`] evolves a **block** of `B` sources
 //! simultaneously: one CSR traversal serves all `B` columns
-//! ([`MultiLinearOp::apply_multi`]), two preallocated blocks ping-pong
-//! with no per-step allocation, the per-column TVD-to-π is folded into
-//! the same pass structure, and columns whose TVD has dropped below a
-//! retirement threshold are swapped out of the active prefix so they
-//! stop paying for steps.
+//! ([`MultiLinearOp::apply_multi_raw`]), two ping-pong blocks carved
+//! from the thread-local bump arena (`socmix_linalg::workspace::
+//! with_arena`) ping-pong with no per-step — and, across repeated
+//! probe calls, no per-call — heap allocation, the per-column TVD-to-π
+//! is folded into the same pass structure, and columns whose TVD has
+//! dropped below a retirement threshold are swapped out of the active
+//! prefix so they stop paying for steps.
 //!
 //! # Exactness
 //!
@@ -24,7 +26,8 @@
 use crate::ergodic::WalkKind;
 use crate::stationary::stationary_distribution;
 use socmix_graph::{Graph, NodeId};
-use socmix_linalg::{MultiLinearOp, MultiVec, WalkOp};
+use socmix_linalg::workspace::with_arena;
+use socmix_linalg::{MultiLinearOp, MultiVecMut, WalkOp};
 use socmix_obs::Counter;
 use socmix_par::Pool;
 
@@ -37,9 +40,10 @@ static RETIRED: Counter = Counter::new("markov.batch.retired");
 /// Evolves blocks of source distributions under one walk kernel.
 ///
 /// Construction precomputes π and the inverse-degree table once; the
-/// per-block methods take `&self` and allocate only their two
-/// ping-pong blocks, so one `BatchEvolver` can be shared across the
-/// worker threads that process different blocks.
+/// per-block methods take `&self` and carve their two ping-pong
+/// blocks from the calling thread's scratch arena, so one
+/// `BatchEvolver` can be shared across the worker threads that
+/// process different blocks without contending on the allocator.
 ///
 /// # Example
 ///
@@ -99,18 +103,16 @@ impl<'g> BatchEvolver<'g> {
     }
 
     /// One blocked evolution step `X ← X·P` (or the lazy kernel) over
-    /// the first `width` columns, writing into `next`.
-    fn step_block(&self, cur: &MultiVec, next: &mut MultiVec, width: usize) {
+    /// the first `width` columns of the raw row-major blocks, writing
+    /// into `next`.
+    fn step_block(&self, cur: &[f64], next: &mut [f64], stride: usize, width: usize) {
         STEPS.incr();
-        self.op.apply_multi(cur, next, width);
+        self.op.apply_multi_raw(cur, next, stride, width);
         if self.kind == WalkKind::Lazy {
-            let stride = cur.width();
-            let xs = cur.as_slice();
-            let ys = next.as_mut_slice();
-            for i in 0..cur.rows() {
+            for i in 0..self.graph.num_nodes() {
                 let base = i * stride;
                 for c in 0..width {
-                    ys[base + c] = 0.5 * (ys[base + c] + xs[base + c]);
+                    next[base + c] = 0.5 * (next[base + c] + cur[base + c]);
                 }
             }
         }
@@ -120,10 +122,8 @@ impl<'g> BatchEvolver<'g> {
     /// into `out[0..width]`. Accumulation visits rows in ascending
     /// order — the same order as the serial [`total_variation`] — so
     /// each column's value is bit-for-bit the serial one.
-    fn tvd_block(&self, block: &MultiVec, width: usize, out: &mut [f64]) {
+    fn tvd_block(&self, xs: &[f64], stride: usize, width: usize, out: &mut [f64]) {
         out[..width].fill(0.0);
-        let stride = block.width();
-        let xs = block.as_slice();
         for (i, &pi_i) in self.pi.iter().enumerate() {
             let base = i * stride;
             for c in 0..width {
@@ -163,46 +163,51 @@ impl<'g> BatchEvolver<'g> {
                 "source node {s} is out of range for a graph with {n} nodes"
             );
         }
-        let mut cur = MultiVec::zeros(n, b);
-        for (c, &s) in sources.iter().enumerate() {
-            cur.set(s as usize, c, 1.0);
-        }
-        let mut next = MultiVec::zeros(n, b);
-        let mut out = vec![Vec::with_capacity(t_max); b];
-        // active[j] = original column index stored at packed column j
-        let mut active: Vec<usize> = (0..b).collect();
-        let mut width = b;
-        let mut tvds = vec![0.0f64; b];
-        for _ in 0..t_max {
-            if width == 0 {
-                break;
+        // Both ping-pong blocks live in the thread-local bump arena:
+        // repeated probe calls reuse the same retained slab instead of
+        // round-tripping the allocator per block.
+        with_arena(|arena| {
+            let mut cur = MultiVecMut::new(arena.alloc_f64(n * b), n, b);
+            for (c, &s) in sources.iter().enumerate() {
+                cur.set(s as usize, c, 1.0);
             }
-            self.step_block(&cur, &mut next, width);
-            self.tvd_block(&next, width, &mut tvds);
-            for j in 0..width {
-                out[active[j]].push(tvds[j]);
-            }
-            if let Some(eps) = retire_epsilon {
-                // Sweep the active prefix backwards so a column swapped
-                // in from the end (already examined this step) is never
-                // re-examined.
-                for j in (0..width).rev() {
-                    if tvds[j] < eps {
-                        let k = active[j];
-                        // Pad the remainder with the crossing value:
-                        // the retired column keeps its final TVD.
-                        let d = *out[k].last().expect("just pushed");
-                        out[k].resize(t_max, d);
-                        next.swap_columns(j, width - 1);
-                        active.swap(j, width - 1);
-                        width -= 1;
-                        RETIRED.incr();
+            let mut next = MultiVecMut::new(arena.alloc_f64(n * b), n, b);
+            let mut out = vec![Vec::with_capacity(t_max); b];
+            // active[j] = original column index stored at packed column j
+            let mut active: Vec<usize> = (0..b).collect();
+            let mut width = b;
+            let tvds = arena.alloc_f64(b);
+            for _ in 0..t_max {
+                if width == 0 {
+                    break;
+                }
+                self.step_block(cur.as_slice(), next.as_mut_slice(), b, width);
+                self.tvd_block(next.as_slice(), b, width, tvds);
+                for j in 0..width {
+                    out[active[j]].push(tvds[j]);
+                }
+                if let Some(eps) = retire_epsilon {
+                    // Sweep the active prefix backwards so a column swapped
+                    // in from the end (already examined this step) is never
+                    // re-examined.
+                    for j in (0..width).rev() {
+                        if tvds[j] < eps {
+                            let k = active[j];
+                            // Pad the remainder with the crossing value:
+                            // the retired column keeps its final TVD.
+                            let d = *out[k].last().expect("just pushed");
+                            out[k].resize(t_max, d);
+                            next.swap_columns(j, width - 1);
+                            active.swap(j, width - 1);
+                            width -= 1;
+                            RETIRED.incr();
+                        }
                     }
                 }
+                std::mem::swap(&mut cur, &mut next);
             }
-            std::mem::swap(&mut cur, &mut next);
-        }
-        out
+            out
+        })
     }
 
     /// Per-source minimal `t ≤ t_max` with TVD < ε (`None` where the
@@ -235,30 +240,32 @@ impl<'g> BatchEvolver<'g> {
         let n = self.graph.num_nodes();
         let b = sources.len();
         assert!(b > 0, "tvd_at_lengths_block needs at least one source");
-        let mut cur = MultiVec::zeros(n, b);
-        for (c, &s) in sources.iter().enumerate() {
-            assert!(
-                (s as usize) < n,
-                "source node {s} is out of range for a graph with {n} nodes"
-            );
-            cur.set(s as usize, c, 1.0);
-        }
-        let mut next = MultiVec::zeros(n, b);
-        let mut out = vec![Vec::with_capacity(lengths.len()); b];
-        let mut tvds = vec![0.0f64; b];
-        let mut t = 0usize;
-        for &target in lengths {
-            while t < target {
-                self.step_block(&cur, &mut next, b);
-                std::mem::swap(&mut cur, &mut next);
-                t += 1;
+        with_arena(|arena| {
+            let mut cur = MultiVecMut::new(arena.alloc_f64(n * b), n, b);
+            for (c, &s) in sources.iter().enumerate() {
+                assert!(
+                    (s as usize) < n,
+                    "source node {s} is out of range for a graph with {n} nodes"
+                );
+                cur.set(s as usize, c, 1.0);
             }
-            self.tvd_block(&cur, b, &mut tvds);
-            for (k, row) in out.iter_mut().enumerate() {
-                row.push(tvds[k]);
+            let mut next = MultiVecMut::new(arena.alloc_f64(n * b), n, b);
+            let mut out = vec![Vec::with_capacity(lengths.len()); b];
+            let tvds = arena.alloc_f64(b);
+            let mut t = 0usize;
+            for &target in lengths {
+                while t < target {
+                    self.step_block(cur.as_slice(), next.as_mut_slice(), b, b);
+                    std::mem::swap(&mut cur, &mut next);
+                    t += 1;
+                }
+                self.tvd_block(cur.as_slice(), b, b, tvds);
+                for (k, row) in out.iter_mut().enumerate() {
+                    row.push(tvds[k]);
+                }
             }
-        }
-        out
+            out
+        })
     }
 }
 

@@ -36,7 +36,7 @@ pub fn evaluate_ranking(attacked: &AttackedGraph, scores: &[f64]) -> RankingEval
 
     // AUC by rank statistics: sort ascending, sum honest ranks.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap().then(a.cmp(&b)));
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]).then(a.cmp(&b)));
     // Midrank ties for an unbiased AUC.
     let mut rank = vec![0.0f64; n];
     let mut i = 0usize;
