@@ -24,6 +24,7 @@
 //!   sampler-bias  (extension) BFS vs walk vs forest-fire sampling bias on mu
 //!   null-model    (extension) structure vs degree sequence: mu after rewiring
 //!   ncp           (extension) network community profile minima per dataset
+//!   shard         multi-process backend smoke: partition stats + bitwise verdict
 //!   all           everything above in order
 //! ```
 //!
@@ -99,6 +100,7 @@ const COMMANDS: &[&str] = &[
     "defenses",
     "sampler-bias",
     "null-model",
+    "shard",
 ];
 
 /// Everything a stage needs: the run configuration and the (optional)
@@ -187,6 +189,7 @@ fn stage_artifacts(name: &str, cfg: &RunConfig) -> Vec<(Dataset, f64)> {
             (Dataset::Physics3, (cfg.scale * 2.0).min(1.0)),
         ],
         "sampler-bias" => vec![raw(Dataset::LivejournalA), raw(Dataset::FacebookA)],
+        "shard" => vec![at(Dataset::WikiVote)],
         "null-model" => vec![
             raw(Dataset::WikiVote),
             at(Dataset::Physics1),
@@ -248,12 +251,16 @@ fn dispatch(cmd: &str, ctx: &Ctx<'_>, out: &mut String) -> bool {
         "defenses" => defenses(ctx, out),
         "sampler-bias" => sampler_bias(ctx, out),
         "null-model" => null_model(ctx, out),
+        "shard" => shard_smoke(ctx, out),
         _ => return false,
     }
     true
 }
 
 fn main() {
+    // Must precede everything: re-enters this binary as a shard worker
+    // when spawned with the `shard-worker` subcommand (SOCMIX_SHARDS).
+    socmix_par::shard::worker_check();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cfg, rest) = match RunConfig::parse(&args) {
         Ok(x) => x,
@@ -340,6 +347,7 @@ fn main() {
             &socmix_bench::git_describe(),
             events.as_deref(),
             &socmix_obs::snapshot(),
+            &socmix_par::shard::collect_snapshots(),
         );
         if let Err(e) = std::fs::write(path, manifest.to_pretty()) {
             eprintln!("error: could not write metrics manifest to {path}: {e}");
@@ -354,7 +362,7 @@ fn usage() {
         "usage: repro [--scale S] [--seed N] [--sources K] [--tmax T] [--metrics PATH]\n\
          \x20            [--cache-dir D | --no-cache] [--out-dir D] [--resume | --fresh]\n\
          \x20            [--stage-jobs N] [--quiet] <command>\n\
-         commands: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 sybil-attack whanau average ncp defenses sampler-bias null-model all"
+         commands: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 sybil-attack whanau average ncp defenses sampler-bias null-model shard all"
     );
 }
 
@@ -1202,4 +1210,86 @@ fn null_model(ctx: &Ctx<'_>, out: &mut String) {
         " structure; their mixing collapses to expander speed — slow mixing is"
     );
     outln!(out, " structural, not a degree-sequence artifact)");
+}
+
+// ------------------------------------------ shard backend smoke stage
+
+fn shard_smoke(ctx: &Ctx<'_>, out: &mut String) {
+    let cfg = ctx.cfg;
+    banner(
+        out,
+        "Shard backend: partition statistics and shared-memory equivalence",
+        cfg,
+    );
+    use socmix_community::Partition;
+    use socmix_linalg::{contiguous_labels, DistributedOp, LinearOp, SymmetricWalkOp, WalkOp};
+    use socmix_par::Pool;
+    let g = ctx.gen(Dataset::WikiVote);
+    let n = g.num_nodes();
+    let mut t = Table::new([
+        "shards",
+        "edge cut",
+        "cut frac",
+        "max boundary",
+        "rows/shard",
+    ]);
+    for &k in &[2usize, 4, 8] {
+        let part = Partition::contiguous(n, k);
+        let cut = part.edge_cut(&g);
+        let max_boundary = part
+            .boundary_nodes(&g)
+            .iter()
+            .map(Vec::len)
+            .max()
+            .unwrap_or(0);
+        t.row([
+            k.to_string(),
+            cut.to_string(),
+            format!("{:.4}", cut as f64 / g.num_edges().max(1) as f64),
+            max_boundary.to_string(),
+            n.div_ceil(k).to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    outln!(out);
+    // Bitwise verdict: the multi-process operators against the
+    // shared-memory kernels on a deterministic probe vector. If workers
+    // cannot spawn, the verdict says so instead of failing the stage.
+    let x: Vec<f64> = (0..n)
+        .map(|i| ((i * 2654435761) % 1000) as f64 / 1000.0 - 0.5)
+        .collect();
+    for &k in &[2usize, 4] {
+        let labels = contiguous_labels(n, k);
+        for symmetric in [false, true] {
+            let name = if symmetric { "symmetric" } else { "walk" };
+            let want = if symmetric {
+                SymmetricWalkOp::with_pool(&g, Pool::serial()).apply_vec(&x)
+            } else {
+                WalkOp::with_pool(&g, Pool::serial()).apply_vec(&x)
+            };
+            let built = if symmetric {
+                DistributedOp::symmetric(&g, &labels, k)
+            } else {
+                DistributedOp::walk(&g, &labels, k)
+            };
+            let verdict = match built {
+                Ok(op) => {
+                    let mut y = vec![0.0; n];
+                    match op.try_apply(&x, &mut y) {
+                        Ok(()) => {
+                            if want.iter().zip(&y).all(|(a, b)| a.to_bits() == b.to_bits()) {
+                                "bitwise-equal yes".to_string()
+                            } else {
+                                "bitwise-equal NO".to_string()
+                            }
+                        }
+                        Err(e) => format!("apply failed ({e})"),
+                    }
+                }
+                Err(e) => format!("backend unavailable ({e})"),
+            };
+            outln!(out, "{name} matvec, {k} shards: {verdict}");
+        }
+        progress!("shard: {k} shards done");
+    }
 }

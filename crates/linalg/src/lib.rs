@@ -19,6 +19,11 @@
 //!   [`multivec::MultiLinearOp`] apply: one CSR traversal serves `B`
 //!   stacked distributions, the GEMM-shaped kernel behind the
 //!   sampling probe.
+//! - [`distributed`] — the partitioned-CSR multi-process backend:
+//!   [`distributed::plan_shards`] splits the structure along an
+//!   edge-cut, [`distributed::DistributedOp`] runs the same walk
+//!   operators across worker processes (selected by `SOCMIX_SHARDS`,
+//!   bit-for-bit equal to the shared-memory kernels).
 //! - [`dense`] — dense symmetric **Jacobi** eigensolver, the ground
 //!   truth for everything else on graphs up to a few hundred nodes.
 //! - [`tridiag`] — symmetric tridiagonal QL with implicit shifts,
@@ -46,6 +51,7 @@
 
 pub mod cg;
 pub mod dense;
+pub mod distributed;
 pub mod kernel;
 pub mod lanczos;
 pub mod multivec;
@@ -56,6 +62,7 @@ pub mod vecops;
 pub mod workspace;
 
 pub use dense::{jacobi_eigen, DenseMatrix};
+pub use distributed::{contiguous_labels, plan_shards, DistributedOp, ShardPart, ShardPlan};
 pub use kernel::{KernelConfig, KernelKind};
 pub use lanczos::{
     lanczos_extreme, lanczos_extreme_mixed, lanczos_topk, LanczosOptions, LanczosResult, TopkResult,

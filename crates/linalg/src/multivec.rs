@@ -180,6 +180,16 @@ impl MultiLinearOp for WalkOp<'_> {
         }
         MULTI_MATVECS.incr();
         MULTI_COLUMNS.add(width as u64);
+        if let Some(dist) = self.dist() {
+            match dist.try_apply_multi(xs, ys, stride, width) {
+                Ok(()) => return,
+                Err(e) => socmix_obs::warn_once!(
+                    "shard",
+                    "sharded batched matvec failed ({e}); continuing on the \
+                     shared-memory kernel"
+                ),
+            }
+        }
         let g = self.graph();
         let offsets = g.offsets();
         let targets = g.raw_targets();

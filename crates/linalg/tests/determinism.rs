@@ -6,6 +6,11 @@
 //! across chunks, so a 1-, 2-, 8-, or 32-thread pool must produce
 //! byte-identical output — including when threads vastly outnumber
 //! rows, and on degenerate graphs (no edges, a single edge).
+//!
+//! The multi-process backend extends the same contract across shard
+//! counts (`SOCMIX_SHARDS=1/2/4` bit-for-bit equal to shared memory);
+//! that half lives in `tests/shard_determinism.rs`, a harness-free
+//! binary because its workers are fork/execs of the test executable.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;

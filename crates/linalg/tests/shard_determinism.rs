@@ -1,0 +1,328 @@
+//! Cross-shard determinism of the multi-process matvec backend.
+//!
+//! The distributed contract extends the pool contract one level up:
+//! shard count changes wall-clock and process boundaries, never bits.
+//! Every test here compares the sharded operators at `k = 1, 2, 4`
+//! against a hand-rolled serial reference (independent of the
+//! `SOCMIX_SHARDS` environment, so the assertions stay exact when CI
+//! re-runs this suite with the knob set) over the fixture catalog.
+//!
+//! This binary runs **without** the libtest harness: worker processes
+//! are fork/execs of the current executable, so `main` must call
+//! `socmix_par::shard::worker_check()` before anything else — the
+//! default harness cannot do that, which is exactly the spawn-failure
+//! path the in-crate unit tests cover instead.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socmix_gen::ba::barabasi_albert;
+use socmix_gen::fixtures;
+use socmix_graph::{Graph, GraphBuilder};
+use socmix_linalg::{
+    contiguous_labels, lanczos_extreme, DeflatedOp, DistributedOp, LanczosOptions, LinearOp,
+    MultiLinearOp, MultiVec, SymmetricWalkOp, WalkOp,
+};
+use socmix_par::shard::ShardError;
+use socmix_par::Pool;
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// The fixture catalog every bitwise test sweeps.
+fn catalog() -> Vec<(&'static str, Graph)> {
+    let mut with_isolated = GraphBuilder::from_edges([(0, 1), (1, 2), (2, 0)]);
+    with_isolated.grow_to(6);
+    vec![
+        ("petersen", fixtures::petersen()),
+        ("barbell", fixtures::barbell(6, 0)),
+        ("grid", fixtures::grid(8, 5)),
+        ("cycle", fixtures::cycle(17)),
+        ("tree", fixtures::binary_tree(4)),
+        (
+            "ba",
+            barabasi_albert(300, 3, &mut StdRng::seed_from_u64(42)),
+        ),
+        ("isolated", with_isolated.build()),
+    ]
+}
+
+/// A deterministic but unstructured probe vector.
+fn probe_vector(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| ((i * 2654435761) % 1000) as f64 / 1000.0 - 0.5)
+        .collect()
+}
+
+/// Serial scalar reference for `y = xP` (walk) or `y = Sx`
+/// (symmetric): the ground truth every backend must hit bit-for-bit,
+/// computed without any socmix operator so it cannot itself be
+/// rerouted by `SOCMIX_SHARDS`.
+fn reference_apply(g: &Graph, x: &[f64], symmetric: bool) -> Vec<f64> {
+    let n = g.num_nodes();
+    let inv: Vec<f64> = (0..n)
+        .map(|v| {
+            let d = g.degree(v as u32) as f64;
+            if d == 0.0 {
+                0.0
+            } else if symmetric {
+                1.0 / d.sqrt()
+            } else {
+                1.0 / d
+            }
+        })
+        .collect();
+    let z: Vec<f64> = x.iter().zip(&inv).map(|(xi, iv)| xi * iv).collect();
+    let offsets = g.offsets();
+    let targets = g.raw_targets();
+    (0..n)
+        .map(|j| {
+            let mut acc = 0.0;
+            for &i in &targets[offsets[j]..offsets[j + 1]] {
+                acc += z[i as usize];
+            }
+            if symmetric {
+                acc * inv[j]
+            } else {
+                acc
+            }
+        })
+        .collect()
+}
+
+fn assert_bitwise(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: row {i} differs ({x} vs {y})"
+        );
+    }
+}
+
+fn dist_op(g: &Graph, shards: usize, symmetric: bool) -> DistributedOp<'_> {
+    let labels = contiguous_labels(g.num_nodes(), shards);
+    let built = if symmetric {
+        DistributedOp::symmetric(g, &labels, shards)
+    } else {
+        DistributedOp::walk(g, &labels, shards)
+    };
+    built.unwrap_or_else(|e| panic!("cannot build {shards}-shard backend: {e}"))
+}
+
+/// Single-vector applies: local ops and every shard count against the
+/// serial reference, across the whole catalog.
+fn matvec_bitwise_across_backends() {
+    for (name, g) in catalog() {
+        let x = probe_vector(g.num_nodes());
+        for symmetric in [false, true] {
+            let want = reference_apply(&g, &x, symmetric);
+            let local = if symmetric {
+                SymmetricWalkOp::with_pool(&g, Pool::serial()).apply_vec(&x)
+            } else {
+                WalkOp::with_pool(&g, Pool::serial()).apply_vec(&x)
+            };
+            assert_bitwise(&want, &local, &format!("{name} local sym={symmetric}"));
+            for shards in SHARD_COUNTS {
+                let op = dist_op(&g, shards, symmetric);
+                let mut y = vec![0.0; g.num_nodes()];
+                op.try_apply(&x, &mut y)
+                    .unwrap_or_else(|e| panic!("{name} k={shards}: {e}"));
+                assert_bitwise(&want, &y, &format!("{name} k={shards} sym={symmetric}"));
+            }
+        }
+    }
+}
+
+/// Batched applies through the `MultiLinearOp` surface.
+fn apply_multi_bitwise_across_backends() {
+    for (name, g) in catalog() {
+        let n = g.num_nodes();
+        let width = 4;
+        let mut x = MultiVec::zeros(n, width);
+        for c in 0..width {
+            let col: Vec<f64> = probe_vector(n).iter().map(|v| v * (c + 1) as f64).collect();
+            x.set_column(c, &col);
+        }
+        let want: Vec<Vec<f64>> = (0..width)
+            .map(|c| reference_apply(&g, &x.column(c), false))
+            .collect();
+        for shards in SHARD_COUNTS {
+            let op = dist_op(&g, shards, false);
+            let mut y = MultiVec::zeros(n, width);
+            op.apply_multi(&x, &mut y, width);
+            for (c, want_col) in want.iter().enumerate() {
+                assert_bitwise(
+                    want_col,
+                    &y.column(c),
+                    &format!("{name} k={shards} multi col {c}"),
+                );
+            }
+        }
+    }
+}
+
+/// µ through the full Lanczos pipeline: a `DeflatedOp` over the
+/// sharded symmetric operator must reproduce the local spectrum
+/// bit-for-bit (same seeded start, same operator bits at every step).
+fn mu_bitwise_across_backends() {
+    for (name, g) in [
+        ("petersen", fixtures::petersen()),
+        ("barbell", fixtures::barbell(6, 0)),
+        (
+            "ba",
+            barabasi_albert(300, 3, &mut StdRng::seed_from_u64(42)),
+        ),
+    ] {
+        let opts = LanczosOptions::default();
+        let sop = SymmetricWalkOp::with_pool(&g, Pool::serial());
+        let basis = vec![sop.top_eigenvector()];
+        let local = lanczos_extreme(
+            &DeflatedOp::new(sop, &basis),
+            opts,
+            &mut StdRng::seed_from_u64(7),
+        );
+        for shards in SHARD_COUNTS {
+            let dop = dist_op(&g, shards, true);
+            let dist = lanczos_extreme(
+                &DeflatedOp::new(dop, &basis),
+                opts,
+                &mut StdRng::seed_from_u64(7),
+            );
+            assert_eq!(
+                local.top.to_bits(),
+                dist.top.to_bits(),
+                "{name} k={shards}: λ₂ differs ({} vs {})",
+                local.top,
+                dist.top
+            );
+            assert_eq!(
+                local.bottom.to_bits(),
+                dist.bottom.to_bits(),
+                "{name} k={shards}: λₙ differs ({} vs {})",
+                local.bottom,
+                dist.bottom
+            );
+        }
+    }
+}
+
+/// TVD decay curves: evolve a point source through the walk operator
+/// and measure `0.5·Σ|x − π|` each step — the sampled-TVD probe's
+/// arithmetic — on every backend.
+fn tvd_curves_bitwise_across_backends() {
+    const STEPS: usize = 30;
+    for (name, g) in [
+        ("barbell", fixtures::barbell(6, 0)),
+        ("grid", fixtures::grid(8, 5)),
+        (
+            "ba",
+            barabasi_albert(300, 3, &mut StdRng::seed_from_u64(42)),
+        ),
+    ] {
+        let n = g.num_nodes();
+        let total = g.total_degree() as f64;
+        let pi: Vec<f64> = (0..n).map(|v| g.degree(v as u32) as f64 / total).collect();
+        let tvd = |x: &[f64]| 0.5 * x.iter().zip(&pi).map(|(a, b)| (a - b).abs()).sum::<f64>();
+        let mut want = Vec::with_capacity(STEPS);
+        {
+            let mut x = vec![0.0; n];
+            x[0] = 1.0;
+            for _ in 0..STEPS {
+                x = reference_apply(&g, &x, false);
+                want.push(tvd(&x));
+            }
+        }
+        for shards in SHARD_COUNTS {
+            let op = dist_op(&g, shards, false);
+            let mut x = vec![0.0; n];
+            x[0] = 1.0;
+            let mut y = vec![0.0; n];
+            for (step, want_t) in want.iter().enumerate() {
+                op.try_apply(&x, &mut y)
+                    .unwrap_or_else(|e| panic!("{name} k={shards} step {step}: {e}"));
+                std::mem::swap(&mut x, &mut y);
+                let got = tvd(&x);
+                assert_eq!(
+                    want_t.to_bits(),
+                    got.to_bits(),
+                    "{name} k={shards}: TVD curve diverges at step {step} ({want_t} vs {got})"
+                );
+            }
+        }
+    }
+}
+
+/// Worker death mid-job must surface a typed error (not hang), poison
+/// the group, and a fresh operator must respawn and produce the same
+/// bits. Runs last: it deliberately kills the 2-shard group.
+fn worker_death_is_typed_and_recoverable() {
+    let g = fixtures::grid(8, 5);
+    let x = probe_vector(g.num_nodes());
+    let want = reference_apply(&g, &x, false);
+    let op = dist_op(&g, 2, false);
+    let mut y = vec![0.0; g.num_nodes()];
+    op.try_apply(&x, &mut y).expect("healthy group must apply");
+    assert_bitwise(&want, &y, "pre-death apply");
+    op.group().terminate_worker(1);
+    let err = op
+        .try_apply(&x, &mut y)
+        .expect_err("apply against a dead worker must fail");
+    assert!(
+        matches!(
+            err,
+            ShardError::WorkerDied { .. } | ShardError::GroupPoisoned { .. }
+        ),
+        "unexpected error: {err}"
+    );
+    assert!(op.group().is_poisoned(), "death must poison the group");
+    // every later round fails fast on the poisoned group
+    let again = op.try_apply(&x, &mut y).expect_err("poisoned group");
+    assert!(
+        matches!(again, ShardError::GroupPoisoned { .. }),
+        "unexpected error: {again}"
+    );
+    // the infallible trait surface falls back to the local kernel
+    let mut z = vec![0.0; g.num_nodes()];
+    op.apply(&x, &mut z);
+    assert_bitwise(&want, &z, "post-death fallback");
+    // a fresh operator re-obtains the group, which respawns the dead
+    // worker — and the bits still match
+    let fresh = dist_op(&g, 2, false);
+    let mut y2 = vec![0.0; g.num_nodes()];
+    fresh
+        .try_apply(&x, &mut y2)
+        .expect("respawned group must apply");
+    assert_bitwise(&want, &y2, "post-respawn apply");
+}
+
+fn main() {
+    // Must run before anything else: when spawned as `shard-worker`,
+    // this call serves frames and exits instead of running tests.
+    socmix_par::shard::worker_check();
+
+    let tests: &[(&str, fn())] = &[
+        (
+            "matvec_bitwise_across_backends",
+            matvec_bitwise_across_backends,
+        ),
+        (
+            "apply_multi_bitwise_across_backends",
+            apply_multi_bitwise_across_backends,
+        ),
+        ("mu_bitwise_across_backends", mu_bitwise_across_backends),
+        (
+            "tvd_curves_bitwise_across_backends",
+            tvd_curves_bitwise_across_backends,
+        ),
+        (
+            "worker_death_is_typed_and_recoverable",
+            worker_death_is_typed_and_recoverable,
+        ),
+    ];
+    println!("running {} shard determinism tests", tests.len());
+    for (name, test) in tests {
+        test();
+        println!("test {name} ... ok");
+    }
+    println!("shard determinism suite: all {} tests passed", tests.len());
+}

@@ -163,14 +163,18 @@ impl Config {
                 exclude: strings(&["/src/bin/"]),
             },
             // Every SOCMIX_* knob must stay warn-once-validated and
-            // manifest-recorded, so env reads live only in the six
-            // designated knob modules.
+            // manifest-recorded, so env reads live only in the
+            // designated knob modules. The shard module additionally
+            // owns the worker-rendezvous environment (socket path,
+            // shard index) on both ends of the fork/exec.
             stray_env_read: Scope {
                 include: vec![],
                 exclude: strings(&[
                     "crates/obs/src/event.rs",
                     "crates/obs/src/lib.rs",
                     "crates/par/src/lib.rs",
+                    "crates/par/src/shard/mod.rs",
+                    "crates/par/src/shard/proc.rs",
                     "crates/core/src/probe.rs",
                     "crates/bench/src/manifest.rs",
                     "crates/linalg/src/kernel.rs",
@@ -188,12 +192,15 @@ impl Config {
                 exclude: vec![],
             },
             // A panic on these paths must go through the runtime's
-            // catch_unwind poisoning protocol.
+            // catch_unwind poisoning protocol — and the shard comms/
+            // runtime modules must surface worker failures as typed
+            // `ShardError`s, never a parent-side panic.
             panicking_api_in_hot_path: Scope {
                 include: strings(&[
                     "crates/par/src/runtime.rs",
                     "crates/par/src/scheduler.rs",
                     "crates/par/src/dag.rs",
+                    "crates/par/src/shard/",
                 ]),
                 exclude: vec![],
             },

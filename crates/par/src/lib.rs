@@ -56,8 +56,9 @@ pub mod dag;
 mod pool;
 mod runtime;
 mod scheduler;
+pub mod shard;
 
-pub use dag::{run_dag, DagError};
+pub use dag::{run_dag, run_dag_observed, DagError, DagEvent};
 pub use pool::{Dispatch, Pool};
 pub use scheduler::{
     par_for_each_chunk, par_for_each_chunk_spawn, par_map_indexed, par_reduce_indexed, ChunkPlan,

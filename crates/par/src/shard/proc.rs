@@ -1,0 +1,546 @@
+//! Shard worker process lifecycle: spawn, handshake, request rounds,
+//! death detection, teardown.
+//!
+//! A [`ShardGroup`] owns `k` worker processes, each a fork/exec of the
+//! **current executable** re-entered through the `shard-worker`
+//! subcommand (see [`super::worker_check`]). The parent binds a
+//! per-worker Unix domain socket, passes its path to the child via
+//! `SOCMIX_SHARD_SOCKET`, and talks the frame protocol of
+//! [`super::frame`] over the accepted connection.
+//!
+//! Failure semantics mirror the thread pool's panic poisoning across
+//! the process boundary: a worker that dies mid-job closes its socket,
+//! the next read or write surfaces [`ShardError::WorkerDied`], and the
+//! whole group is **poisoned** — every subsequent round fails fast
+//! with the same typed error instead of hanging, and the next
+//! [`ShardGroup::obtain`] replaces the group with freshly spawned
+//! workers. A child that exits before connecting (e.g. the binary
+//! cannot host a worker) is detected by polling `try_wait` during the
+//! accept loop, so a missing worker entry point costs milliseconds,
+//! not an accept timeout.
+
+use super::frame::{self, REPLY_ACK, REPLY_DATA, REPLY_ERR, REPLY_SNAPSHOT};
+use super::ShardError;
+use socmix_obs::Counter;
+use std::io::Write;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Worker processes spawned over the process lifetime.
+static SPAWNS: Counter = Counter::new("shard.spawns");
+/// Apply rounds driven from the parent side.
+static ROUNDS: Counter = Counter::new("shard.rounds");
+/// Payload bytes shipped to workers (requests).
+static BYTES_OUT: Counter = Counter::new("shard.bytes_out");
+/// Payload bytes received from workers (replies).
+static BYTES_IN: Counter = Counter::new("shard.bytes_in");
+/// Groups poisoned by a worker death.
+static POISONED: Counter = Counter::new("shard.poisoned");
+
+/// How long to wait for a spawned worker to connect back. Generous:
+/// only reached when the child neither connects nor exits.
+const CONNECT_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Monotone counter distinguishing socket paths across groups spawned
+/// by one process.
+static SOCKET_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A shard's slice of a partitioned CSR operator, in wire-ready form.
+/// `offsets`/`targets` describe the shard's rows with columns remapped
+/// to positions in its gathered input slice.
+pub struct ShardSpec<'a> {
+    /// Fingerprint identifying the partitioned graph; workers cache
+    /// loaded blocks by it.
+    pub fingerprint: u64,
+    /// Number of local rows.
+    pub rows: usize,
+    /// Length of the gathered input slice the rows index into.
+    pub inputs: usize,
+    /// Local CSR row offsets (`rows + 1` entries).
+    pub offsets: &'a [usize],
+    /// Local CSR column indices (into the input slice).
+    pub targets: &'a [u32],
+}
+
+/// One live worker: its connection and child handle, plus the set of
+/// fingerprints already loaded into it.
+struct WorkerLink {
+    stream: UnixStream,
+    child: Child,
+    loaded: Vec<u64>,
+}
+
+impl WorkerLink {
+    /// Sends one frame without waiting for the reply.
+    fn send(&mut self, op: u8, segments: &[&[u8]]) -> std::io::Result<()> {
+        let payload: u64 = segments.iter().map(|s| s.len() as u64).sum();
+        BYTES_OUT.add(payload);
+        frame::write_frame_vectored(&mut self.stream, op, segments)?;
+        self.stream.flush()
+    }
+
+    /// Reads one reply frame.
+    fn recv(&mut self) -> std::io::Result<(u8, Vec<u8>)> {
+        let (op, payload) = frame::read_frame(&mut self.stream)?;
+        BYTES_IN.add(payload.len() as u64);
+        Ok((op, payload))
+    }
+}
+
+/// A group of `k` worker processes plus the poisoning flag shared with
+/// every operator routed through it.
+pub struct ShardGroup {
+    shards: usize,
+    workers: Vec<Mutex<WorkerLink>>,
+    /// Serializes request rounds: one apply's send/recv sweep must not
+    /// interleave with another's on the same sockets.
+    round: Mutex<()>,
+    poisoned: AtomicBool,
+}
+
+/// Process-wide group registry, keyed by shard count. Groups persist
+/// so repeated operator constructions reuse live workers; a poisoned
+/// or failed entry is replaced on the next `obtain`.
+fn registry() -> &'static Mutex<Vec<(usize, GroupSlot)>> {
+    static REG: OnceLock<Mutex<Vec<(usize, GroupSlot)>>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Cached outcome of a spawn attempt. Failures are cached too: if this
+/// binary cannot host workers (no `worker_check` hook — e.g. a libtest
+/// harness), every operator construction would otherwise re-pay the
+/// spawn-and-fail round trip.
+enum GroupSlot {
+    Live(Arc<ShardGroup>),
+    Failed(ShardError),
+}
+
+impl ShardGroup {
+    /// Returns the process-wide group of `shards` workers, spawning it
+    /// on first use and respawning it after poisoning. A cached spawn
+    /// failure is returned as-is (no retry storm).
+    pub fn obtain(shards: usize) -> Result<Arc<ShardGroup>, ShardError> {
+        let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((_, slot)) = reg.iter().find(|(k, _)| *k == shards) {
+            match slot {
+                GroupSlot::Live(g) if !g.poisoned.load(Ordering::Acquire) => {
+                    return Ok(Arc::clone(g))
+                }
+                GroupSlot::Failed(e) => return Err(e.clone()),
+                // poisoned: fall through and respawn below
+                GroupSlot::Live(_) => {}
+            }
+        }
+        let outcome = Self::spawn_group(shards);
+        let slot = match &outcome {
+            Ok(g) => GroupSlot::Live(Arc::clone(g)),
+            Err(e) => GroupSlot::Failed(e.clone()),
+        };
+        match reg.iter_mut().find(|(k, _)| *k == shards) {
+            Some(entry) => entry.1 = slot,
+            None => reg.push((shards, slot)),
+        }
+        outcome
+    }
+
+    /// All live groups, for stage broadcast and snapshot collection.
+    pub(super) fn live_groups() -> Vec<Arc<ShardGroup>> {
+        let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+        reg.iter()
+            .filter_map(|(_, slot)| match slot {
+                GroupSlot::Live(g) if !g.poisoned.load(Ordering::Acquire) => Some(Arc::clone(g)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Spawns `shards` workers and completes their handshakes.
+    fn spawn_group(shards: usize) -> Result<Arc<ShardGroup>, ShardError> {
+        let mut workers = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            workers.push(Mutex::new(spawn_worker(shard, shards)?));
+        }
+        Ok(Arc::new(ShardGroup {
+            shards,
+            workers,
+            round: Mutex::new(()),
+            poisoned: AtomicBool::new(false),
+        }))
+    }
+
+    /// Number of worker processes in the group.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Whether a worker death has poisoned the group.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Marks the group dead and returns the typed death error.
+    fn poison(&self, shard: usize) -> ShardError {
+        if !self.poisoned.swap(true, Ordering::AcqRel) {
+            POISONED.incr();
+        }
+        ShardError::WorkerDied { shard }
+    }
+
+    /// Fails fast if the group is already poisoned.
+    fn check_live(&self) -> Result<(), ShardError> {
+        if self.is_poisoned() {
+            // A previous round already identified the dead worker; the
+            // group as a whole is what callers retry against.
+            return Err(ShardError::GroupPoisoned {
+                shards: self.shards,
+            });
+        }
+        Ok(())
+    }
+
+    /// Loads one CSR block per shard (skipping workers that already
+    /// hold the fingerprint). `specs` must have one entry per shard.
+    pub fn load(&self, specs: &[ShardSpec<'_>]) -> Result<(), ShardError> {
+        assert_eq!(specs.len(), self.shards, "one spec per shard");
+        self.check_live()?;
+        let _round = self.round.lock().unwrap_or_else(|e| e.into_inner());
+        // Send every missing block, then collect the acks: workers
+        // parse/install concurrently.
+        let mut sent = vec![false; self.shards];
+        for (shard, spec) in specs.iter().enumerate() {
+            let mut w = self.workers[shard]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            if w.loaded.contains(&spec.fingerprint) {
+                continue;
+            }
+            let header = [
+                spec.fingerprint.to_le_bytes(),
+                (spec.rows as u64).to_le_bytes(),
+                (spec.inputs as u64).to_le_bytes(),
+                (spec.targets.len() as u64).to_le_bytes(),
+            ]
+            .concat();
+            w.send(
+                frame::OP_LOAD,
+                &[
+                    &header,
+                    frame::usizes_as_bytes(spec.offsets),
+                    frame::u32s_as_bytes(spec.targets),
+                ],
+            )
+            .map_err(|_| self.poison(shard))?;
+            sent[shard] = true;
+        }
+        for shard in 0..self.shards {
+            if !sent[shard] {
+                continue;
+            }
+            let mut w = self.workers[shard]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            match w.recv().map_err(|_| self.poison(shard))? {
+                (REPLY_ACK, _) => {
+                    let fp = specs[shard].fingerprint;
+                    w.loaded.push(fp);
+                }
+                (REPLY_ERR, msg) => {
+                    return Err(ShardError::Worker {
+                        shard,
+                        message: String::from_utf8_lossy(&msg).into_owned(),
+                    })
+                }
+                (op, _) => {
+                    return Err(ShardError::Protocol {
+                        shard,
+                        message: format!("unexpected reply {op:#x} to load"),
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// One pipelined apply round: sends every shard its gathered input
+    /// slice, then collects per-row sums into `outputs` (resized per
+    /// shard). Workers compute concurrently between the two sweeps.
+    pub fn apply(
+        &self,
+        fingerprint: u64,
+        inputs: &[Vec<f64>],
+        outputs: &mut [Vec<f64>],
+    ) -> Result<(), ShardError> {
+        self.exchange(fingerprint, None, inputs, outputs)
+    }
+
+    /// Multi-vector apply round: `inputs[s]` is shard `s`'s gathered
+    /// row-major `inputs × width` block, `outputs[s]` receives the
+    /// `rows × width` result block.
+    pub fn apply_multi(
+        &self,
+        fingerprint: u64,
+        width: usize,
+        inputs: &[Vec<f64>],
+        outputs: &mut [Vec<f64>],
+    ) -> Result<(), ShardError> {
+        self.exchange(fingerprint, Some(width), inputs, outputs)
+    }
+
+    /// Shared send-all-then-receive-all round for apply/apply-multi.
+    fn exchange(
+        &self,
+        fingerprint: u64,
+        width: Option<usize>,
+        inputs: &[Vec<f64>],
+        outputs: &mut [Vec<f64>],
+    ) -> Result<(), ShardError> {
+        assert_eq!(inputs.len(), self.shards, "one input slice per shard");
+        assert_eq!(outputs.len(), self.shards, "one output slice per shard");
+        self.check_live()?;
+        let _round = self.round.lock().unwrap_or_else(|e| e.into_inner());
+        ROUNDS.incr();
+        let fp = fingerprint.to_le_bytes();
+        for (shard, z) in inputs.iter().enumerate() {
+            let mut w = self.workers[shard]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            let sent = match width {
+                Some(wd) => {
+                    let wd = (wd as u64).to_le_bytes();
+                    w.send(frame::OP_APPLY_MULTI, &[&fp, &wd, frame::f64s_as_bytes(z)])
+                }
+                None => w.send(frame::OP_APPLY, &[&fp, frame::f64s_as_bytes(z)]),
+            };
+            sent.map_err(|_| self.poison(shard))?;
+        }
+        for (shard, out) in outputs.iter_mut().enumerate() {
+            let mut w = self.workers[shard]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            match w.recv().map_err(|_| self.poison(shard))? {
+                (REPLY_DATA, payload) => {
+                    if !frame::bytes_into_f64s(&payload, out) {
+                        return Err(ShardError::Protocol {
+                            shard,
+                            message: "misaligned data reply".into(),
+                        });
+                    }
+                }
+                (REPLY_ERR, msg) => {
+                    return Err(ShardError::Worker {
+                        shard,
+                        message: String::from_utf8_lossy(&msg).into_owned(),
+                    })
+                }
+                (op, _) => {
+                    return Err(ShardError::Protocol {
+                        shard,
+                        message: format!("unexpected reply {op:#x} to apply"),
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Broadcasts a pipeline stage label to every worker. Best-effort
+    /// telemetry: errors poison the group but are not surfaced (the
+    /// next apply will report them as typed errors).
+    pub fn set_stage(&self, label: &str) {
+        if self.is_poisoned() {
+            return;
+        }
+        let _round = self.round.lock().unwrap_or_else(|e| e.into_inner());
+        for shard in 0..self.shards {
+            let mut w = self.workers[shard]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            if w.send(frame::OP_STAGE, &[label.as_bytes()]).is_err() {
+                let _ = self.poison(shard);
+                return;
+            }
+        }
+        for shard in 0..self.shards {
+            let mut w = self.workers[shard]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            match w.recv() {
+                Ok((REPLY_ACK, _)) => {}
+                _ => {
+                    let _ = self.poison(shard);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Collects each worker's telemetry snapshot (JSON text). Workers
+    /// that fail to reply are skipped (and poison the group).
+    pub fn snapshots(&self) -> Vec<(usize, String)> {
+        if self.is_poisoned() {
+            return Vec::new();
+        }
+        let _round = self.round.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = Vec::new();
+        for shard in 0..self.shards {
+            let mut w = self.workers[shard]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            if w.send(frame::OP_SNAPSHOT, &[]).is_err() {
+                let _ = self.poison(shard);
+                break;
+            }
+            match w.recv() {
+                Ok((REPLY_SNAPSHOT, payload)) => {
+                    out.push((shard, String::from_utf8_lossy(&payload).into_owned()));
+                }
+                _ => {
+                    let _ = self.poison(shard);
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Kills one worker process outright (no shutdown frame). Test
+    /// hook for the death-detection path: the next round must surface
+    /// [`ShardError::WorkerDied`] instead of hanging.
+    pub fn terminate_worker(&self, shard: usize) {
+        let mut w = self.workers[shard]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let _ = w.child.kill();
+        let _ = w.child.wait();
+    }
+}
+
+impl Drop for ShardGroup {
+    fn drop(&mut self) {
+        // Polite shutdown, then reap. Workers also exit on EOF, so a
+        // failed frame still converges once the sockets close.
+        for w in &mut self.workers {
+            let w = w.get_mut().unwrap_or_else(|e| e.into_inner());
+            let _ = w.send(frame::OP_SHUTDOWN, &[]);
+        }
+        for w in &mut self.workers {
+            let w = w.get_mut().unwrap_or_else(|e| e.into_inner());
+            let deadline = Instant::now() + Duration::from_millis(500);
+            loop {
+                match w.child.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) if Instant::now() < deadline => {
+                        std::thread::sleep(Duration::from_millis(5))
+                    }
+                    _ => {
+                        let _ = w.child.kill();
+                        let _ = w.child.wait();
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Spawns one worker process and waits for it to connect.
+fn spawn_worker(shard: usize, total: usize) -> Result<WorkerLink, ShardError> {
+    let exe = std::env::current_exe().map_err(|e| ShardError::Spawn {
+        shard,
+        message: format!("cannot locate current executable: {e}"),
+    })?;
+    let seq = SOCKET_SEQ.fetch_add(1, Ordering::Relaxed);
+    let sock_path = std::env::temp_dir().join(format!(
+        "socmix-shard-{}-{seq}-{shard}.sock",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&sock_path);
+    let listener = UnixListener::bind(&sock_path).map_err(|e| ShardError::Spawn {
+        shard,
+        message: format!("cannot bind {}: {e}", sock_path.display()),
+    })?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| ShardError::Spawn {
+            shard,
+            message: format!("cannot configure listener: {e}"),
+        })?;
+    SPAWNS.incr();
+    let spawned = Command::new(&exe)
+        .arg(super::WORKER_SUBCOMMAND)
+        .env(super::SOCKET_ENV, &sock_path)
+        .env(super::SHARD_ID_ENV, shard.to_string())
+        .env(super::SHARD_TOTAL_ENV, total.to_string())
+        // A worker must never itself shard: clearing the knob breaks
+        // any possible fork recursion.
+        .env_remove("SOCMIX_SHARDS")
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn();
+    let mut child = match spawned {
+        Ok(c) => c,
+        Err(e) => {
+            let _ = std::fs::remove_file(&sock_path);
+            return Err(ShardError::Spawn {
+                shard,
+                message: format!("exec {} failed: {e}", exe.display()),
+            });
+        }
+    };
+    let deadline = Instant::now() + CONNECT_DEADLINE;
+    let stream = loop {
+        match listener.accept() {
+            Ok((stream, _)) => break stream,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                // Child exited without connecting: the target binary
+                // cannot host a worker (e.g. a libtest harness). Fail
+                // fast instead of waiting out the deadline.
+                if let Ok(Some(status)) = child.try_wait() {
+                    let _ = std::fs::remove_file(&sock_path);
+                    return Err(ShardError::Spawn {
+                        shard,
+                        message: format!(
+                            "worker exited before connecting ({status}); the parent binary \
+                             must call socmix_par::shard::worker_check() at startup"
+                        ),
+                    });
+                }
+                if Instant::now() >= deadline {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    let _ = std::fs::remove_file(&sock_path);
+                    return Err(ShardError::ConnectTimeout { shard });
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                let _ = std::fs::remove_file(&sock_path);
+                return Err(ShardError::Spawn {
+                    shard,
+                    message: format!("accept failed: {e}"),
+                });
+            }
+        }
+    };
+    // Connected: the rendezvous path has served its purpose.
+    let _ = std::fs::remove_file(&sock_path);
+    if let Err(e) = stream.set_nonblocking(false) {
+        let _ = child.kill();
+        let _ = child.wait();
+        return Err(ShardError::Spawn {
+            shard,
+            message: format!("cannot configure stream: {e}"),
+        });
+    }
+    Ok(WorkerLink {
+        stream,
+        child,
+        loaded: Vec::new(),
+    })
+}

@@ -1,0 +1,373 @@
+//! The shard worker's serve loop: the code that runs inside each
+//! spawned worker process.
+//!
+//! A worker owns one **local CSR block** per loaded fingerprint: the
+//! rows of its shard with column indices already remapped to positions
+//! in the shard's input slice. Each `Apply` round it receives the
+//! gathered, pre-scaled input slice, runs the plain scalar gather over
+//! its rows, and ships the per-row sums back. All scaling (`1/deg`,
+//! `1/√deg`) happens parent-side, so the worker is operator-agnostic —
+//! the same loaded block serves `WalkOp` and `SymmetricWalkOp`
+//! applications alike.
+//!
+//! Determinism: the local targets preserve the original CSR's per-row
+//! column order under a monotone remap, and the accumulation below
+//! visits them left to right exactly like the shared-memory scalar
+//! kernel — so per-row sums are bit-for-bit identical to the
+//! single-process backend.
+//!
+//! The loop exits on `Shutdown` or on EOF: when the parent dies or
+//! drops the group, the closed socket ends the worker with it.
+
+use super::frame::{self, REPLY_ACK, REPLY_DATA, REPLY_ERR, REPLY_SNAPSHOT};
+use socmix_obs::{Counter, Value};
+use std::io::{BufReader, BufWriter, Read, Write};
+
+/// Apply rounds served by this worker process.
+static APPLIES: Counter = Counter::new("shard.worker.applies");
+/// Multi-vector apply rounds served by this worker process.
+static MULTI_APPLIES: Counter = Counter::new("shard.worker.multi_applies");
+/// CSR blocks loaded (cache misses on the fingerprint table).
+static LOADS: Counter = Counter::new("shard.worker.loads");
+/// Local rows summed across all apply rounds.
+static ROWS: Counter = Counter::new("shard.worker.rows");
+/// Stage-change notifications received from the scheduler.
+static STAGES: Counter = Counter::new("shard.worker.stage_changes");
+
+/// One loaded CSR block: `rows` local rows over `inputs` local columns.
+struct LocalCsr {
+    rows: usize,
+    inputs: usize,
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+}
+
+/// Worker-process state across frames.
+struct WorkerState {
+    shard: usize,
+    /// Loaded blocks, keyed by fingerprint. A plain vec: a worker
+    /// group serves a handful of graphs, not thousands.
+    blocks: Vec<(u64, LocalCsr)>,
+    /// The pipeline stage the scheduler last announced.
+    stage: String,
+    /// Reusable output buffer for apply rounds.
+    out: Vec<f64>,
+}
+
+/// Serves frames from `reader`, replying on `writer`, until shutdown
+/// or EOF. Returns the process exit code. `shard` is this worker's
+/// index, used only for telemetry labels.
+pub(crate) fn serve<R: Read, W: Write>(reader: R, writer: W, shard: usize) -> i32 {
+    let mut reader = BufReader::new(reader);
+    let mut writer = BufWriter::new(writer);
+    let mut state = WorkerState {
+        shard,
+        blocks: Vec::new(),
+        stage: String::new(),
+        out: Vec::new(),
+    };
+    loop {
+        let (op, payload) = match frame::read_frame(&mut reader) {
+            Ok(f) => f,
+            // EOF / reset: the parent went away; exit quietly.
+            Err(_) => return 0,
+        };
+        let result = match op {
+            frame::OP_LOAD => handle_load(&mut state, &payload).map(|()| Reply::Ack),
+            frame::OP_APPLY => handle_apply(&mut state, &payload).map(Reply::Data),
+            frame::OP_APPLY_MULTI => handle_apply_multi(&mut state, &payload).map(Reply::Data),
+            frame::OP_STAGE => {
+                STAGES.incr();
+                state.stage = String::from_utf8_lossy(&payload).into_owned();
+                Ok(Reply::Ack)
+            }
+            frame::OP_SNAPSHOT => Ok(Reply::Snapshot(render_snapshot(&state))),
+            frame::OP_SHUTDOWN => {
+                let _ = frame::write_frame(&mut writer, REPLY_ACK, &[]);
+                let _ = writer.flush();
+                return 0;
+            }
+            other => Err(format!("unknown opcode {other:#x}")),
+        };
+        let written = match &result {
+            Ok(Reply::Ack) => frame::write_frame(&mut writer, REPLY_ACK, &[]),
+            Ok(Reply::Data(n)) => frame::write_frame(
+                &mut writer,
+                REPLY_DATA,
+                frame::f64s_as_bytes(&state.out[..*n]),
+            ),
+            Ok(Reply::Snapshot(json)) => {
+                frame::write_frame(&mut writer, REPLY_SNAPSHOT, json.as_bytes())
+            }
+            Err(msg) => frame::write_frame(&mut writer, REPLY_ERR, msg.as_bytes()),
+        };
+        if written.and_then(|()| writer.flush()).is_err() {
+            // Parent hung up mid-reply; nothing left to serve.
+            return 0;
+        }
+    }
+}
+
+/// What a handled frame replies with. `Data(n)` means the first `n`
+/// entries of the state's output buffer.
+enum Reply {
+    Ack,
+    Data(usize),
+    Snapshot(String),
+}
+
+/// Parses and installs a `Load` payload:
+/// `[fp u64][rows u64][inputs u64][nnz u64][offsets][targets]`.
+fn handle_load(state: &mut WorkerState, payload: &[u8]) -> Result<(), String> {
+    let fp = frame::read_u64(payload, 0).ok_or("load: missing fingerprint")?;
+    let rows = frame::read_u64(payload, 8).ok_or("load: missing rows")? as usize;
+    let inputs = frame::read_u64(payload, 16).ok_or("load: missing inputs")? as usize;
+    let nnz = frame::read_u64(payload, 24).ok_or("load: missing nnz")? as usize;
+    let off_bytes = (rows + 1) * std::mem::size_of::<usize>();
+    let tgt_bytes = nnz * 4;
+    let body = payload.get(32..).ok_or("load: truncated payload")?;
+    if body.len() != off_bytes + tgt_bytes {
+        return Err(format!(
+            "load: payload is {} body bytes, expected {}",
+            body.len(),
+            off_bytes + tgt_bytes
+        ));
+    }
+    let offsets = frame::bytes_to_usizes(&body[..off_bytes]).ok_or("load: misaligned offsets")?;
+    let targets = frame::bytes_to_u32s(&body[off_bytes..]).ok_or("load: misaligned targets")?;
+    // Validate the block once on load so the per-round hot loop can
+    // index without rechecking.
+    if offsets.first() != Some(&0) || offsets.last() != Some(&nnz) {
+        return Err("load: offsets do not span the target array".into());
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err("load: offsets are not monotone".into());
+    }
+    if targets.iter().any(|&c| c as usize >= inputs) {
+        return Err("load: target column out of input range".into());
+    }
+    LOADS.incr();
+    let block = LocalCsr {
+        rows,
+        inputs,
+        offsets,
+        targets,
+    };
+    match state.blocks.iter_mut().find(|(k, _)| *k == fp) {
+        Some(slot) => slot.1 = block,
+        None => state.blocks.push((fp, block)),
+    }
+    Ok(())
+}
+
+/// Looks up a loaded block by fingerprint.
+fn find_block(blocks: &[(u64, LocalCsr)], fp: u64) -> Result<&LocalCsr, String> {
+    blocks
+        .iter()
+        .find(|(k, _)| *k == fp)
+        .map(|(_, b)| b)
+        .ok_or_else(|| format!("apply: fingerprint {fp:#x} not loaded"))
+}
+
+/// Handles `Apply`: `[fp u64][z: inputs × f64]` → per-row sums.
+fn handle_apply(state: &mut WorkerState, payload: &[u8]) -> Result<usize, String> {
+    let fp = frame::read_u64(payload, 0).ok_or("apply: missing fingerprint")?;
+    let block = find_block(&state.blocks, fp)?;
+    let z_bytes = payload.get(8..).ok_or("apply: truncated payload")?;
+    if z_bytes.len() != block.inputs * 8 {
+        return Err(format!(
+            "apply: input slice is {} bytes, block wants {} values",
+            z_bytes.len(),
+            block.inputs
+        ));
+    }
+    let z = frame::bytes_to_f64s(z_bytes).ok_or("apply: misaligned input")?;
+    APPLIES.incr();
+    ROWS.add(block.rows as u64);
+    state.out.resize(block.rows, 0.0);
+    for r in 0..block.rows {
+        let mut acc = 0.0;
+        for &c in &block.targets[block.offsets[r]..block.offsets[r + 1]] {
+            acc += z[c as usize];
+        }
+        state.out[r] = acc;
+    }
+    Ok(block.rows)
+}
+
+/// Handles `ApplyMulti`:
+/// `[fp u64][width u64][zb: inputs × width × f64]` → row-major
+/// `rows × width` sums. Columns accumulate in ascending order, the
+/// same sequence as the shared-memory batched kernel.
+fn handle_apply_multi(state: &mut WorkerState, payload: &[u8]) -> Result<usize, String> {
+    let fp = frame::read_u64(payload, 0).ok_or("apply-multi: missing fingerprint")?;
+    let width = frame::read_u64(payload, 8).ok_or("apply-multi: missing width")? as usize;
+    let block = find_block(&state.blocks, fp)?;
+    let zb_bytes = payload.get(16..).ok_or("apply-multi: truncated payload")?;
+    if width == 0 || zb_bytes.len() != block.inputs * width * 8 {
+        return Err(format!(
+            "apply-multi: block is {} bytes, expected {} × {} values",
+            zb_bytes.len(),
+            block.inputs,
+            width
+        ));
+    }
+    let zb = frame::bytes_to_f64s(zb_bytes).ok_or("apply-multi: misaligned input")?;
+    MULTI_APPLIES.incr();
+    ROWS.add(block.rows as u64);
+    let out_len = block.rows * width;
+    state.out.resize(out_len, 0.0);
+    for r in 0..block.rows {
+        let yr = &mut state.out[r * width..(r + 1) * width];
+        yr.fill(0.0);
+        for &c in &block.targets[block.offsets[r]..block.offsets[r + 1]] {
+            let zr = &zb[c as usize * width..c as usize * width + width];
+            for (y, z) in yr.iter_mut().zip(zr) {
+                *y += z;
+            }
+        }
+    }
+    Ok(out_len)
+}
+
+/// Renders this worker's snapshot: shard index, current stage, loaded
+/// block inventory, and the full `socmix-obs` metrics snapshot.
+fn render_snapshot(state: &WorkerState) -> String {
+    let blocks: Vec<Value> = state
+        .blocks
+        .iter()
+        .map(|(fp, b)| {
+            Value::Obj(vec![
+                ("fingerprint".into(), Value::Str(format!("{fp:016x}"))),
+                ("rows".into(), Value::Int(b.rows as i64)),
+                ("inputs".into(), Value::Int(b.inputs as i64)),
+                ("nnz".into(), Value::Int(b.targets.len() as i64)),
+            ])
+        })
+        .collect();
+    Value::Obj(vec![
+        ("shard".into(), Value::Int(state.shard as i64)),
+        ("pid".into(), Value::Int(std::process::id() as i64)),
+        ("stage".into(), Value::Str(state.stage.clone())),
+        ("blocks".into(), Value::Arr(blocks)),
+        ("metrics".into(), socmix_obs::snapshot().to_json()),
+    ])
+    .to_pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::frame::{
+        read_frame, usizes_as_bytes, write_frame_vectored, OP_APPLY, OP_APPLY_MULTI, OP_LOAD,
+        OP_SNAPSHOT, OP_STAGE,
+    };
+    fn load_payload(
+        fp: u64,
+        rows: usize,
+        inputs: usize,
+        offsets: &[usize],
+        targets: &[u32],
+    ) -> Vec<u8> {
+        let mut p = Vec::new();
+        p.extend_from_slice(&fp.to_le_bytes());
+        p.extend_from_slice(&(rows as u64).to_le_bytes());
+        p.extend_from_slice(&(inputs as u64).to_le_bytes());
+        p.extend_from_slice(&(targets.len() as u64).to_le_bytes());
+        p.extend_from_slice(usizes_as_bytes(offsets));
+        p.extend_from_slice(super::frame::u32s_as_bytes(targets));
+        p
+    }
+
+    fn run_session(requests: Vec<u8>) -> Vec<(u8, Vec<u8>)> {
+        let mut replies = Vec::new();
+        assert_eq!(serve(requests.as_slice(), &mut replies, 0), 0);
+        let mut cur = replies.as_slice();
+        let mut frames = Vec::new();
+        while !cur.is_empty() {
+            frames.push(read_frame(&mut cur).unwrap());
+        }
+        frames
+    }
+
+    #[test]
+    fn load_apply_roundtrip() {
+        // 2 local rows over 3 inputs: row0 = z0 + z2, row1 = z1
+        let mut req = Vec::new();
+        write_frame_vectored(
+            &mut req,
+            OP_LOAD,
+            &[&load_payload(7, 2, 3, &[0, 2, 3], &[0, 2, 1])],
+        )
+        .unwrap();
+        let z = [1.0, 10.0, 100.0];
+        let mut apply = 7u64.to_le_bytes().to_vec();
+        apply.extend_from_slice(super::frame::f64s_as_bytes(&z));
+        write_frame_vectored(&mut req, OP_APPLY, &[&apply]).unwrap();
+        let frames = run_session(req);
+        assert_eq!(frames[0].0, REPLY_ACK);
+        assert_eq!(frames[1].0, REPLY_DATA);
+        let y = super::frame::bytes_to_f64s(&frames[1].1).unwrap();
+        assert_eq!(y, vec![101.0, 10.0]);
+    }
+
+    #[test]
+    fn apply_multi_roundtrip() {
+        let mut req = Vec::new();
+        write_frame_vectored(
+            &mut req,
+            OP_LOAD,
+            &[&load_payload(9, 1, 2, &[0, 2], &[0, 1])],
+        )
+        .unwrap();
+        // width 2, inputs 2: zb = [[1,2],[3,4]] -> row sums [4, 6]
+        let zb = [1.0, 2.0, 3.0, 4.0];
+        let mut apply = 9u64.to_le_bytes().to_vec();
+        apply.extend_from_slice(&2u64.to_le_bytes());
+        apply.extend_from_slice(super::frame::f64s_as_bytes(&zb));
+        write_frame_vectored(&mut req, OP_APPLY_MULTI, &[&apply]).unwrap();
+        let frames = run_session(req);
+        assert_eq!(frames[1].0, REPLY_DATA);
+        let y = super::frame::bytes_to_f64s(&frames[1].1).unwrap();
+        assert_eq!(y, vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn unknown_fingerprint_is_a_typed_reply() {
+        let mut req = Vec::new();
+        let mut apply = 42u64.to_le_bytes().to_vec();
+        apply.extend_from_slice(super::frame::f64s_as_bytes(&[1.0]));
+        write_frame_vectored(&mut req, OP_APPLY, &[&apply]).unwrap();
+        let frames = run_session(req);
+        assert_eq!(frames[0].0, REPLY_ERR);
+        assert!(String::from_utf8_lossy(&frames[0].1).contains("not loaded"));
+    }
+
+    #[test]
+    fn malformed_load_is_rejected() {
+        let mut req = Vec::new();
+        // offsets claim nnz=5 but only 1 target follows
+        write_frame_vectored(&mut req, OP_LOAD, &[&load_payload(1, 1, 1, &[0, 5], &[0])]).unwrap();
+        let frames = run_session(req);
+        assert_eq!(frames[0].0, REPLY_ERR);
+    }
+
+    #[test]
+    fn stage_and_snapshot() {
+        let mut req = Vec::new();
+        write_frame_vectored(&mut req, OP_STAGE, &[b"fig5"]).unwrap();
+        write_frame_vectored(&mut req, OP_SNAPSHOT, &[]).unwrap();
+        let frames = run_session(req);
+        assert_eq!(frames[0].0, REPLY_ACK);
+        assert_eq!(frames[1].0, REPLY_SNAPSHOT);
+        let json = String::from_utf8(frames[1].1.clone()).unwrap();
+        let v = socmix_obs::parse(&json).unwrap();
+        assert_eq!(v.get("stage").and_then(|s| s.as_str()), Some("fig5"));
+        assert_eq!(v.get("shard").and_then(|s| s.as_i64()), Some(0));
+    }
+
+    #[test]
+    fn eof_ends_serve_cleanly() {
+        assert!(run_session(Vec::new()).is_empty());
+    }
+}
