@@ -11,9 +11,13 @@
 //!    from the uninstrumented baseline.
 //! 2. **Enabled** — the price of turning metrics on, which must stay
 //!    cheap enough to leave on during diagnosis (`--metrics` runs).
+//! 3. **Tracing** — `span_start_drop` with the trace gate on records a
+//!    begin/end event pair into the thread-local ring on top of the
+//!    histogram; with it off, `Span::start` still pays only the one
+//!    combined gate load (the disabled numbers must not move).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use socmix_obs::{Counter, Histogram, Span};
+use socmix_obs::{Counter, Histogram, Span, TraceSpan};
 use std::hint::black_box;
 
 static COUNTER: Counter = Counter::new("bench.obs.counter");
@@ -21,12 +25,19 @@ static HIST: Histogram = Histogram::new("bench.obs.hist");
 
 fn bench_disabled(c: &mut Criterion) {
     socmix_obs::set_metrics_enabled(false);
+    socmix_obs::set_trace_enabled(false);
     let mut group = c.benchmark_group("obs_disabled");
     group.bench_function("counter_add", |b| b.iter(|| COUNTER.add(black_box(1))));
     group.bench_function("hist_record", |b| b.iter(|| HIST.record(black_box(42))));
     group.bench_function("span_start_drop", |b| {
         b.iter(|| {
             let span = Span::start(&HIST);
+            black_box(&span);
+        })
+    });
+    group.bench_function("trace_span_drop", |b| {
+        b.iter(|| {
+            let span = TraceSpan::begin("bench.obs.trace");
             black_box(&span);
         })
     });
@@ -48,5 +59,28 @@ fn bench_enabled(c: &mut Criterion) {
     socmix_obs::set_metrics_enabled(false);
 }
 
-criterion_group!(benches, bench_disabled, bench_enabled);
+fn bench_tracing(c: &mut Criterion) {
+    socmix_obs::set_metrics_enabled(true);
+    socmix_obs::set_trace_enabled(true);
+    let mut group = c.benchmark_group("obs_tracing");
+    group.bench_function("span_start_drop", |b| {
+        b.iter(|| {
+            let span = Span::start(&HIST);
+            black_box(&span);
+        })
+    });
+    group.bench_function("trace_span_drop", |b| {
+        b.iter(|| {
+            let span = TraceSpan::begin("bench.obs.trace");
+            black_box(&span);
+        })
+    });
+    group.finish();
+    // Abandon, don't export: the rings just wrap while benching.
+    let _ = socmix_obs::trace::drain();
+    socmix_obs::set_trace_enabled(false);
+    socmix_obs::set_metrics_enabled(false);
+}
+
+criterion_group!(benches, bench_disabled, bench_enabled, bench_tracing);
 criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! `compare` — the bench-regression gate.
+//!
+//! ```text
+//! compare [--threshold F] <baseline.json> <fresh.json>
+//! ```
+//!
+//! Diffs a freshly recorded bench JSON (`cargo bench --bench <name>`
+//! writes `BENCH_<name>.json`) against the committed baseline and
+//! exits 1 when any benchmark's median regressed past the threshold
+//! (default 30%; see `socmix_bench::compare`). Exit 2 is an input
+//! error. CI runs this after re-recording the cheap benches; locally:
+//!
+//! ```text
+//! cargo bench -p socmix-bench --bench obs
+//! cargo run -p socmix-bench --bin compare -- \
+//!     crates/bench/BENCH_obs.json BENCH_obs.json
+//! ```
+
+use socmix_bench::compare::{compare, parse_bench, render, DEFAULT_THRESHOLD};
+
+fn main() {
+    std::process::exit(run(&std::env::args().skip(1).collect::<Vec<_>>()));
+}
+
+fn run(args: &[String]) -> i32 {
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut paths = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => {
+                let v = it.next().and_then(|v| v.parse::<f64>().ok());
+                match v {
+                    Some(t) if t.is_finite() && t >= 0.0 => threshold = t,
+                    _ => {
+                        eprintln!("error: --threshold needs a non-negative number");
+                        return 2;
+                    }
+                }
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("error: unknown flag {flag}");
+                usage();
+                return 2;
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+    let [baseline_path, fresh_path] = paths.as_slice() else {
+        usage();
+        return 2;
+    };
+    let load = |path: &str| -> Result<Vec<_>, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        parse_bench(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (baseline, fresh) = match (load(baseline_path), load(fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let c = compare(&baseline, &fresh, threshold);
+    print!("{}", render(&c, threshold));
+    if c.passed() {
+        0
+    } else {
+        eprintln!("bench gate: FAILED ({} regression(s))", c.regressions.len());
+        1
+    }
+}
+
+fn usage() {
+    eprintln!("usage: compare [--threshold F] <baseline.json> <fresh.json>");
+}

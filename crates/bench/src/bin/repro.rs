@@ -4,8 +4,8 @@
 //!
 //! ```text
 //! repro [--scale S] [--seed N] [--sources K] [--tmax T] [--metrics PATH]
-//!       [--cache-dir D | --no-cache] [--out-dir D] [--resume | --fresh]
-//!       [--stage-jobs N] [--quiet] <command>
+//!       [--trace PATH] [--cache-dir D | --no-cache] [--out-dir D]
+//!       [--resume | --fresh] [--stage-jobs N] [--quiet] <command>
 //!
 //! commands:
 //!   table1        dataset properties and second largest eigenvalues
@@ -293,6 +293,11 @@ fn main() {
         socmix_obs::set_metrics_enabled(true);
         socmix_obs::reset();
     }
+    if cfg.trace.is_some() {
+        // Must be on before workers spawn: the trace context handshake
+        // only happens for workers started while tracing is enabled.
+        socmix_obs::set_trace_enabled(true);
+    }
 
     let cache = cfg.cache_dir.as_ref().map(GraphCache::at);
     let ctx = Ctx {
@@ -337,6 +342,35 @@ fn main() {
     }
     println!("{:<14} {total:9.2}s", "total");
 
+    // Drain the trace before the manifest so `--metrics` condenses the
+    // same merged multi-process event list that goes to disk.
+    let trace_events: Option<Vec<socmix_obs::Value>> = cfg.trace.as_ref().map(|path| {
+        let own = socmix_obs::trace::drain();
+        let labels = socmix_obs::trace::thread_labels();
+        let mut events =
+            socmix_obs::export::chrome_events(&own, std::process::id() as u64, &labels);
+        // Each shard worker ships its buffer as a ready-made chrome
+        // event array (its own pid, clock offset already applied);
+        // merging is a plain concatenation.
+        for (_, shard, json) in socmix_par::shard::collect_traces() {
+            match socmix_obs::parse(&json) {
+                Ok(socmix_obs::Value::Arr(mut rows)) => events.append(&mut rows),
+                _ => progress!("trace: shard {shard} sent an unparsable trace buffer"),
+            }
+        }
+        let dropped = socmix_obs::trace::dropped_events();
+        if dropped > 0 {
+            progress!("trace: ring buffers dropped {dropped} events (oldest first)");
+        }
+        let doc = socmix_obs::export::chrome_trace_document(events.clone());
+        if let Err(e) = std::fs::write(path, doc.to_pretty()) {
+            eprintln!("error: could not write trace to {path}: {e}");
+            std::process::exit(1);
+        }
+        progress!("wrote trace to {path}");
+        events
+    });
+
     if let Some(path) = &cfg.metrics {
         let events = cache.as_ref().map(|c| c.take_events());
         let manifest = socmix_bench::run_manifest(
@@ -348,6 +382,7 @@ fn main() {
             events.as_deref(),
             &socmix_obs::snapshot(),
             &socmix_par::shard::collect_snapshots(),
+            trace_events.as_deref(),
         );
         if let Err(e) = std::fs::write(path, manifest.to_pretty()) {
             eprintln!("error: could not write metrics manifest to {path}: {e}");
@@ -360,8 +395,8 @@ fn main() {
 fn usage() {
     eprintln!(
         "usage: repro [--scale S] [--seed N] [--sources K] [--tmax T] [--metrics PATH]\n\
-         \x20            [--cache-dir D | --no-cache] [--out-dir D] [--resume | --fresh]\n\
-         \x20            [--stage-jobs N] [--quiet] <command>\n\
+         \x20            [--trace PATH] [--cache-dir D | --no-cache] [--out-dir D]\n\
+         \x20            [--resume | --fresh] [--stage-jobs N] [--quiet] <command>\n\
          commands: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 sybil-attack whanau average ncp defenses sampler-bias null-model shard all"
     );
 }

@@ -1,7 +1,9 @@
 //! Shared harness utilities for the `repro` binary and the Criterion
 //! benches: run configuration, aligned-table/CSV output, JSON run
-//! manifests, and the walk-length grids the paper's figures use.
+//! manifests, the bench-regression gate (`compare`), and the
+//! walk-length grids the paper's figures use.
 
+pub mod compare;
 pub mod manifest;
 pub mod output;
 pub mod pipeline;

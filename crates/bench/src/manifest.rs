@@ -22,6 +22,9 @@ use socmix_obs::{MetricsSnapshot, Value};
 /// per-worker telemetry collected from live shard groups
 /// (`socmix_par::shard::collect_snapshots`; empty when the run never
 /// spawned workers) as `(group_size, shard_index, snapshot_json)` rows.
+/// `trace_events` is the merged chrome-format event list from a
+/// `--trace` run (`None` when tracing was off); the manifest condenses
+/// it into a per-stage top-5 exclusive-time profile table.
 // Every parameter is a distinct section of the manifest with exactly
 // one call site; a params struct would just rename the positions.
 #[allow(clippy::too_many_arguments)]
@@ -34,6 +37,7 @@ pub fn run_manifest(
     cache_events: Option<&[CacheEvent]>,
     snapshot: &MetricsSnapshot,
     shard_snapshots: &[(usize, usize, String)],
+    trace_events: Option<&[Value]>,
 ) -> Value {
     let env_knob = |name: &str| match std::env::var(name) {
         Ok(v) => Value::Str(v),
@@ -111,6 +115,7 @@ pub fn run_manifest(
                 ("SOCMIX_KERNEL".into(), env_knob("SOCMIX_KERNEL")),
                 ("SOCMIX_BLOCK".into(), env_knob("SOCMIX_BLOCK")),
                 ("SOCMIX_LOG".into(), env_knob("SOCMIX_LOG")),
+                ("SOCMIX_TRACE".into(), env_knob("SOCMIX_TRACE")),
             ]),
         ),
         (
@@ -148,6 +153,13 @@ pub fn run_manifest(
         ("total_seconds".into(), Value::Float(total_seconds)),
         ("metrics".into(), snapshot.to_json()),
         ("shard_workers".into(), shards),
+        (
+            "trace_profile".into(),
+            match trace_events {
+                Some(events) => socmix_obs::export::exclusive_profile(events, 5),
+                None => Value::Null,
+            },
+        ),
     ])
 }
 
@@ -211,6 +223,7 @@ mod tests {
             Some(&events),
             &socmix_obs::snapshot(),
             &[(2, 0, "{\"counters\":{\"shard.rounds\":5}}".into())],
+            None,
         )
     }
 
@@ -276,6 +289,7 @@ mod tests {
             None,
             &socmix_obs::snapshot(),
             &[],
+            None,
         );
         let cache = m.get("cache").unwrap();
         assert_eq!(cache.get("enabled").unwrap().as_bool(), Some(false));
@@ -329,6 +343,58 @@ mod tests {
                 .as_i64(),
             Some(5)
         );
+    }
+
+    #[test]
+    fn manifest_without_trace_has_null_profile() {
+        let m = sample_manifest();
+        assert!(matches!(m.get("trace_profile"), Some(Value::Null)));
+        let env = m.get("env").unwrap();
+        assert!(env.get("SOCMIX_TRACE").is_some());
+    }
+
+    #[test]
+    fn manifest_condenses_trace_events_into_a_profile() {
+        // One stage span with one nested child: 100us total, 30us
+        // child, so the stage's exclusive time is 70us.
+        let slice = |name: &str, span: i64, parent: i64, dur: f64| {
+            Value::Obj(vec![
+                ("ph".into(), Value::Str("X".into())),
+                ("name".into(), Value::Str(name.into())),
+                ("ts".into(), Value::Float(0.0)),
+                ("dur".into(), Value::Float(dur)),
+                (
+                    "args".into(),
+                    Value::Obj(vec![
+                        ("span".into(), Value::Int(span)),
+                        ("parent".into(), Value::Int(parent)),
+                    ]),
+                ),
+            ])
+        };
+        let events = vec![
+            slice("table1", 1, 0, 100.0),
+            slice("pool.map_ns", 2, 1, 30.0),
+        ];
+        let cfg = RunConfig::default();
+        let m = run_manifest(
+            "table1",
+            &cfg,
+            &sample_stages(),
+            1.0,
+            "deadbeef",
+            None,
+            &socmix_obs::snapshot(),
+            &[],
+            Some(&events),
+        );
+        let profile = m.get("trace_profile").unwrap();
+        let rows = profile.get("table1").unwrap().as_arr().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("name").unwrap().as_str(), Some("table1"));
+        assert_eq!(rows[0].get("exclusive_us").unwrap().as_f64(), Some(70.0));
+        assert_eq!(rows[1].get("name").unwrap().as_str(), Some("pool.map_ns"));
+        assert_eq!(rows[1].get("exclusive_us").unwrap().as_f64(), Some(30.0));
     }
 
     #[test]

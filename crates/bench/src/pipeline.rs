@@ -220,10 +220,15 @@ pub fn run_pipeline(
             )
         } else {
             STAGES_RUN.add(1);
+            // The stage label is the top-level span of this subtree:
+            // every pool/linalg span recorded by the stage body nests
+            // under it, so the exported trace groups work by stage.
+            let trace_span = socmix_obs::TraceSpan::begin(stage.name.clone());
             let t = Instant::now();
             let mut buf = String::new();
             (stage.run)(&mut buf);
             let seconds = t.elapsed().as_secs_f64();
+            drop(trace_span);
             let mut path = None;
             if let Some(dir) = &opts.out_dir {
                 match write_checkpoint(dir, &stage.name, stage.config_hash, &buf, seconds) {

@@ -18,6 +18,11 @@ pub struct RunConfig {
     /// manifest (command, config, per-stage timings, cache provenance,
     /// full metrics snapshot) to this path on exit.
     pub metrics: Option<String>,
+    /// `--trace <path>`: enable span tracing and write a Chrome
+    /// trace-event JSON (loadable in `chrome://tracing` / Perfetto)
+    /// covering the whole run — including shard worker processes — to
+    /// this path on exit.
+    pub trace: Option<String>,
     /// `--quiet`: suppress per-stage progress lines on stderr.
     pub quiet: bool,
     /// Artifact-cache directory for generated graphs (`--cache-dir`),
@@ -45,6 +50,7 @@ impl Default for RunConfig {
             sources: 200,
             t_max: 500,
             metrics: None,
+            trace: None,
             quiet: false,
             cache_dir: Some("results/cache".to_string()),
             out_dir: "results/stages".to_string(),
@@ -57,9 +63,9 @@ impl Default for RunConfig {
 
 impl RunConfig {
     /// Parses `--scale X --seed N --sources K --tmax T --metrics P
-    /// --quiet --cache-dir D --no-cache --out-dir D --resume --fresh
-    /// --stage-jobs N` style flags, returning the config and the
-    /// remaining positional arguments.
+    /// --trace P --quiet --cache-dir D --no-cache --out-dir D
+    /// --resume --fresh --stage-jobs N` style flags, returning the
+    /// config and the remaining positional arguments.
     ///
     /// Unknown flags produce an error string (the binary prints usage).
     pub fn parse(args: &[String]) -> Result<(Self, Vec<String>), String> {
@@ -96,6 +102,13 @@ impl RunConfig {
                         return Err("--metrics needs a non-empty path".into());
                     }
                     cfg.metrics = Some(path.clone());
+                }
+                "--trace" => {
+                    let path = it.next().ok_or("--trace needs a path")?;
+                    if path.is_empty() {
+                        return Err("--trace needs a non-empty path".into());
+                    }
+                    cfg.trace = Some(path.clone());
                 }
                 "--cache-dir" => {
                     let path = it.next().ok_or("--cache-dir needs a path")?;
@@ -237,6 +250,21 @@ mod tests {
     #[test]
     fn rejects_missing_metrics_path() {
         assert!(RunConfig::parse(&strs(&["--metrics"])).is_err());
+    }
+
+    #[test]
+    fn parses_trace_path() {
+        let (cfg, rest) = RunConfig::parse(&strs(&["--trace", "/tmp/t.json", "shard"])).unwrap();
+        assert_eq!(cfg.trace.as_deref(), Some("/tmp/t.json"));
+        assert_eq!(rest, vec!["shard"]);
+        let (cfg, _) = RunConfig::parse(&strs(&["all"])).unwrap();
+        assert_eq!(cfg.trace, None);
+    }
+
+    #[test]
+    fn rejects_missing_trace_path() {
+        assert!(RunConfig::parse(&strs(&["--trace"])).is_err());
+        assert!(RunConfig::parse(&strs(&["--trace", ""])).is_err());
     }
 
     #[test]

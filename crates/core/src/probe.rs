@@ -13,13 +13,17 @@ use rand::SeedableRng;
 use socmix_graph::{sample, Graph, NodeId};
 use socmix_markov::ergodic::WalkKind;
 use socmix_markov::{ergodicity, BatchEvolver, Evolver};
-use socmix_obs::{obs_debug, Counter};
+use socmix_obs::{obs_debug, Counter, Histogram, Span};
 use socmix_par::Pool;
 
 /// Source blocks handed to the pool by probe runs.
 static BLOCKS: Counter = Counter::new("core.probe.blocks");
 /// Sources probed across all probe runs.
 static SOURCES: Counter = Counter::new("core.probe.sources");
+/// Wall time per evolved source block. On a trace timeline each block
+/// is one span on the pool worker that ran it, nested under the
+/// dispatching `pool.map_ns` span.
+static BLOCK_NS: Histogram = Histogram::new("core.probe.block_ns");
 
 /// Default number of sources evolved together per block.
 ///
@@ -218,6 +222,7 @@ impl<'g> MixingProbe<'g> {
             self.kind
         );
         let per_block = self.pool.map_indexed(blocks.len(), |bi| {
+            let _span = Span::start(&BLOCK_NS);
             be.tvd_series_block(blocks[bi], t_max, retire)
         });
         ProbeResult {
@@ -258,6 +263,7 @@ impl<'g> MixingProbe<'g> {
         BLOCKS.add(blocks.len() as u64);
         SOURCES.add(sources.len() as u64);
         let per_block = self.pool.map_indexed(blocks.len(), |bi| {
+            let _span = Span::start(&BLOCK_NS);
             be.tvd_at_lengths_block(blocks[bi], lengths)
         });
         per_block.into_iter().flatten().collect()

@@ -1,9 +1,9 @@
 //! Cross-layer telemetry contracts:
 //!
-//! 1. **Determinism of the numbers** — enabling metrics and debug
-//!    logging must not change any numeric output of [`measure`]
-//!    (bit-for-bit), because instrumentation only reads what the
-//!    algorithms already computed.
+//! 1. **Determinism of the numbers** — enabling metrics, debug
+//!    logging, or span tracing must not change any numeric output of
+//!    [`measure`] (bit-for-bit), because instrumentation only reads
+//!    what the algorithms already computed.
 //! 2. **Determinism of the work counters** — counters that measure
 //!    algorithmic work (matvecs, batch steps, probe blocks) must not
 //!    depend on how many threads the work was scheduled over; only
@@ -65,6 +65,38 @@ fn telemetry_does_not_perturb_measure() {
         "metrics + debug logging must be bit-for-bit invisible"
     );
     assert_eq!(baseline.render(), instrumented.render());
+}
+
+#[test]
+fn tracing_does_not_perturb_measure() {
+    let _g = lock();
+    let graph = fixtures::barbell(8, 2);
+
+    socmix_obs::set_metrics_enabled(false);
+    socmix_obs::set_trace_enabled(false);
+    let baseline = measure(&graph, opts()).unwrap();
+
+    // Full observability: metrics and span tracing both on. Tracing
+    // only timestamps spans the instrumented code already opens, so
+    // the numbers must not move a bit.
+    socmix_obs::set_metrics_enabled(true);
+    socmix_obs::set_trace_enabled(true);
+    let traced = measure(&graph, opts()).unwrap();
+
+    socmix_obs::set_trace_enabled(false);
+    socmix_obs::set_metrics_enabled(false);
+    let events = socmix_obs::trace::drain();
+
+    assert_eq!(
+        fingerprint(&baseline),
+        fingerprint(&traced),
+        "span tracing must be bit-for-bit invisible"
+    );
+    assert_eq!(baseline.render(), traced.render());
+    assert!(
+        !events.is_empty(),
+        "the traced run must actually have recorded spans"
+    );
 }
 
 #[test]

@@ -19,12 +19,15 @@ use crate::vecops::{
     axpy, dot, dot32, norm2, norm2_32, normalize, normalize32, project_out, project_out32, scale,
 };
 use rand::Rng;
-use socmix_obs::{obs_debug, Counter};
+use socmix_obs::{obs_debug, Counter, Histogram, Span};
 
 static RUNS: Counter = Counter::new("linalg.lanczos.runs");
 static STEPS: Counter = Counter::new("linalg.lanczos.steps");
 /// Mixed-precision driver invocations.
 static MIXED_RUNS: Counter = Counter::new("linalg.lanczos.mixed_runs");
+/// Wall time per Lanczos run (extreme/topk, scalar and mixed); on a
+/// trace timeline one span per SLEM solve.
+static RUN_NS: Histogram = Histogram::new("linalg.lanczos.run_ns");
 
 /// β below this level in the f32 recurrence means the Krylov space is
 /// exhausted *at f32 resolution* — continuing would only orthogonalize
@@ -99,6 +102,7 @@ pub fn lanczos_extreme<Op: LinearOp, R: Rng + ?Sized>(
     let n = op.dim();
     assert!(n > 0, "operator must be non-empty");
     RUNS.incr();
+    let _span = Span::start(&RUN_NS);
     let max_iter = opts.max_iter.min(n).max(1);
 
     // random start, normalized
@@ -239,6 +243,7 @@ where
     assert_eq!(op32.dim(), n, "f32/f64 operator dimension mismatch");
     RUNS.incr();
     MIXED_RUNS.incr();
+    let _span = Span::start(&RUN_NS);
     let max_iter = opts.max_iter.min(n).max(1);
 
     // random start, folded into the operator's range (projects out the
@@ -395,6 +400,7 @@ pub fn lanczos_topk<Op: LinearOp, R: Rng + ?Sized>(
     let n = op.dim();
     assert!(n > 0 && k >= 1);
     RUNS.incr();
+    let _span = Span::start(&RUN_NS);
     let max_iter = opts.max_iter.min(n).max(k);
 
     let mut v: Vec<f64> = (0..n).map(|_| rng.random::<f64>() - 0.5).collect();

@@ -17,10 +17,13 @@ use crate::vecops::{
     axpy, dot, dot32, norm2, norm2_32, normalize, normalize32, resid_norm32, scale32,
 };
 use rand::Rng;
-use socmix_obs::{obs_debug, Counter};
+use socmix_obs::{obs_debug, Counter, Histogram, Span};
 
 static RUNS: Counter = Counter::new("linalg.power.runs");
 static ITERS: Counter = Counter::new("linalg.power.iters");
+/// Wall time per power-iteration run (scalar and mixed drivers); on a
+/// trace timeline one span per SLEM solve.
+static RUN_NS: Histogram = Histogram::new("linalg.power.run_ns");
 /// Times the ±pair degeneracy forced the two-step Rayleigh fallback in
 /// [`spectral_radius_in_complement`].
 static TWO_STEP_FALLBACKS: Counter = Counter::new("linalg.power.two_step_fallback");
@@ -106,6 +109,7 @@ pub fn power_iteration<Op: LinearOp, R: Rng + ?Sized>(
     let n = op.dim();
     assert!(n > 0, "operator must be non-empty");
     RUNS.incr();
+    let _span = Span::start(&RUN_NS);
     let mut v: Vec<f64> = (0..n).map(|_| rng.random::<f64>() - 0.5).collect();
     // fold into the operator's range (projects when Op is deflated)
     let w = op.apply_vec(&v);
@@ -196,6 +200,7 @@ where
     assert_eq!(op32.dim(), n, "f32/f64 operator dimension mismatch");
     RUNS.incr();
     MIXED_RUNS.incr();
+    let _span = Span::start(&RUN_NS);
     // --- Phase A: f32 iterations. Same start-up as the f64 driver:
     // draw, fold into the operator's range, normalize-or-bail.
     let mut v32: Vec<f32> = (0..n).map(|_| (rng.random::<f64>() - 0.5) as f32).collect();

@@ -194,13 +194,19 @@ impl Config {
             // A panic on these paths must go through the runtime's
             // catch_unwind poisoning protocol — and the shard comms/
             // runtime modules must surface worker failures as typed
-            // `ShardError`s, never a parent-side panic.
+            // `ShardError`s, never a parent-side panic. The trace
+            // recorder and exporter run inside those same paths (every
+            // pool op and shard frame opens a span), so they are held
+            // to the same standard: poisoned ring-buffer locks are
+            // recovered, never unwrapped.
             panicking_api_in_hot_path: Scope {
                 include: strings(&[
                     "crates/par/src/runtime.rs",
                     "crates/par/src/scheduler.rs",
                     "crates/par/src/dag.rs",
                     "crates/par/src/shard/",
+                    "crates/obs/src/trace.rs",
+                    "crates/obs/src/export.rs",
                 ]),
                 exclude: vec![],
             },

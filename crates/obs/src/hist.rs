@@ -127,6 +127,39 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) from the log₂
+    /// buckets: the bucket holding the target rank is located exactly,
+    /// and the value is interpolated linearly within its `[2^(i-1),
+    /// 2^i)` range — so the estimate is within 2× of the true value,
+    /// the same resolution the buckets themselves carry. Clamped to
+    /// the exact tracked `max`; 0 when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= target {
+                if i == 0 {
+                    return 0;
+                }
+                let lo = 1u64 << (i - 1);
+                // top bucket is open-ended: cap its width at max
+                let hi = if i >= 63 { self.max } else { (1u64 << i) - 1 };
+                let width = hi.saturating_sub(lo) as f64;
+                let frac = (target - seen) as f64 / n as f64;
+                let v = lo + (width * frac) as u64;
+                return v.min(self.max);
+            }
+            seen += n;
+        }
+        self.max
+    }
+
     /// Folds another snapshot of the same logical histogram in
     /// (duplicate-name merging in [`crate::snapshot`]).
     pub(crate) fn merge(&mut self, other: &HistogramSnapshot) {
@@ -139,7 +172,11 @@ impl HistogramSnapshot {
     }
 
     /// Renders as `{ "count": .., "sum": .., "max": .., "mean": ..,
-    /// "buckets": [[lo, n], ..] }` with only non-empty buckets listed.
+    /// "p50": .., "p95": .., "p99": .., "buckets": [[lo, n], ..] }`
+    /// with only non-empty buckets listed. The quantiles are
+    /// bucket-interpolated estimates (see [`quantile`]
+    /// (HistogramSnapshot::quantile)) so manifest consumers get tail
+    /// latencies without eyeballing raw buckets.
     pub fn to_json(&self) -> crate::Value {
         use crate::Value;
         let buckets = self
@@ -157,6 +194,9 @@ impl HistogramSnapshot {
             ("sum".into(), Value::Int(self.sum as i64)),
             ("max".into(), Value::Int(self.max as i64)),
             ("mean".into(), Value::Float(self.mean())),
+            ("p50".into(), Value::Int(self.quantile(0.50) as i64)),
+            ("p95".into(), Value::Int(self.quantile(0.95) as i64)),
+            ("p99".into(), Value::Int(self.quantile(0.99) as i64)),
             ("buckets".into(), Value::Arr(buckets)),
         ])
     }
@@ -212,6 +252,62 @@ mod tests {
             }
         });
         assert_eq!(H.snapshot().count, 40_000);
+    }
+
+    #[test]
+    fn quantiles_land_in_the_right_bucket() {
+        static H: Histogram = Histogram::new("test.hist.quantiles");
+        let _g = crate::test_gate_lock();
+        crate::set_metrics_enabled(true);
+        H.reset();
+        // 90 fast observations (~1µs) and 10 slow ones (~1ms): p50
+        // must sit in the fast bucket, p99 in the slow one.
+        for _ in 0..90 {
+            H.record(1_000);
+        }
+        for _ in 0..10 {
+            H.record(1_000_000);
+        }
+        let s = H.snapshot();
+        let p50 = s.quantile(0.50);
+        let p99 = s.quantile(0.99);
+        assert!((512..2048).contains(&p50), "p50 = {p50}");
+        assert!((524_288..2_097_152).contains(&p99), "p99 = {p99}");
+        assert!(p50 <= s.quantile(0.95) && s.quantile(0.95) <= p99);
+        assert!(s.quantile(1.0) <= s.max);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        static H: Histogram = Histogram::new("test.hist.quantile_edges");
+        let _g = crate::test_gate_lock();
+        crate::set_metrics_enabled(true);
+        H.reset();
+        assert_eq!(H.snapshot().quantile(0.5), 0, "empty histogram");
+        H.record(0);
+        assert_eq!(H.snapshot().quantile(0.99), 0, "all zeros");
+        H.reset();
+        H.record(7);
+        let s = H.snapshot();
+        assert!(s.quantile(0.5) <= 7, "single value clamps to max");
+        assert_eq!(s.quantile(1.0).max(s.quantile(0.0)), s.quantile(1.0));
+    }
+
+    #[test]
+    fn json_includes_quantile_summary() {
+        static H: Histogram = Histogram::new("test.hist.json_quantiles");
+        let _g = crate::test_gate_lock();
+        crate::set_metrics_enabled(true);
+        H.reset();
+        for v in [100u64, 200, 300, 400, 10_000] {
+            H.record(v);
+        }
+        let json = H.snapshot().to_json();
+        let p50 = json.get("p50").and_then(|v| v.as_i64()).unwrap();
+        let p95 = json.get("p95").and_then(|v| v.as_i64()).unwrap();
+        let p99 = json.get("p99").and_then(|v| v.as_i64()).unwrap();
+        assert!(p50 >= 1 && p50 <= p95 && p95 <= p99);
+        assert!(p99 <= 10_000);
     }
 
     #[test]

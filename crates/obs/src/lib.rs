@@ -42,50 +42,78 @@
 //! Metrics default **off** and turn on via the `SOCMIX_METRICS`
 //! environment variable (any non-empty value other than `0`) or
 //! programmatically via [`set_metrics_enabled`] (what `repro
-//! --metrics` does). Logging defaults to `warn` so misconfiguration
+//! --metrics` does). Tracing likewise defaults off and turns on via
+//! `SOCMIX_TRACE=1` or [`set_trace_enabled`] (what `repro --trace`
+//! does); both bits share one atomic so a [`Span`] — which feeds both
+//! a histogram and the trace — still costs a single relaxed load when
+//! everything is off. Logging defaults to `warn` so misconfiguration
 //! warnings (e.g. an invalid `SOCMIX_THREADS`) are visible without any
-//! setup, and is tuned via `SOCMIX_LOG` or [`set_log_level`]. Both
+//! setup, and is tuned via `SOCMIX_LOG` or [`set_log_level`]. All
 //! gates are single atomics: flipping them is safe at any time from
 //! any thread.
 
 mod event;
+pub mod export;
 mod hist;
 mod json;
 mod registry;
 mod span;
+pub mod trace;
 
 pub use event::{emit, log_enabled, log_level, set_log_level, take_recent_events, Level};
 pub use hist::{Histogram, HistogramSnapshot, BUCKETS};
 pub use json::{parse, Value};
 pub use registry::{reset, snapshot, Counter, Gauge, MetricsSnapshot};
 pub use span::Span;
+pub use trace::{TraceEvent, TracePhase, TraceSpan};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
-const GATE_UNINIT: u8 = 0;
-const GATE_OFF: u8 = 1;
-const GATE_ON: u8 = 2;
+/// Gate bit: counters/histograms/span timings record.
+pub(crate) const G_METRICS: u8 = 0b001;
+/// Gate bit: trace begin/end events record.
+pub(crate) const G_TRACE: u8 = 0b010;
+/// Gate bit: the environment has been consulted.
+const G_INIT: u8 = 0b100;
 
-static METRICS: AtomicU8 = AtomicU8::new(GATE_UNINIT);
+/// Metrics and trace gates packed into one atomic so an instrument
+/// that serves both (a [`Span`]) still pays exactly one relaxed load
+/// on the disabled path.
+static GATE: AtomicU8 = AtomicU8::new(0);
 
-/// Whether counters/histograms/spans record anything.
-///
-/// The hot-path check: one relaxed load once the gate has resolved
-/// (the environment is consulted exactly once, lazily).
+/// The resolved gate bits. The hot-path check: one relaxed load once
+/// the gate has resolved (the environment is consulted exactly once,
+/// lazily).
 #[inline]
-pub fn metrics_enabled() -> bool {
-    match METRICS.load(Ordering::Relaxed) {
-        GATE_ON => true,
-        GATE_OFF => false,
-        _ => init_metrics(),
+pub(crate) fn gate() -> u8 {
+    let v = GATE.load(Ordering::Relaxed);
+    if v & G_INIT != 0 {
+        v
+    } else {
+        init_gate()
     }
 }
 
 #[cold]
-fn init_metrics() -> bool {
-    let on = matches!(std::env::var("SOCMIX_METRICS"), Ok(v) if !v.is_empty() && v != "0");
-    METRICS.store(if on { GATE_ON } else { GATE_OFF }, Ordering::Relaxed);
-    on
+fn init_gate() -> u8 {
+    let metrics = matches!(std::env::var("SOCMIX_METRICS"), Ok(v) if !v.is_empty() && v != "0");
+    let tracing = trace::trace_from_env(std::env::var("SOCMIX_TRACE").ok().as_deref());
+    let bits = G_INIT | if metrics { G_METRICS } else { 0 } | if tracing { G_TRACE } else { 0 };
+    // `fetch_or` so a programmatic `set_*_enabled` racing with the
+    // first lazy init is never clobbered by the environment read.
+    GATE.fetch_or(bits, Ordering::Relaxed) | bits
+}
+
+/// Whether counters/histograms/spans record anything.
+#[inline]
+pub fn metrics_enabled() -> bool {
+    gate() & G_METRICS != 0
+}
+
+/// Whether trace begin/end events record (see [`trace`]).
+#[inline]
+pub fn trace_enabled() -> bool {
+    gate() & G_TRACE != 0
 }
 
 /// Turns metric recording on or off, overriding `SOCMIX_METRICS`.
@@ -93,7 +121,25 @@ fn init_metrics() -> bool {
 /// `repro --metrics` calls this so a manifest run needs no environment
 /// setup. Counters touched while the gate was off simply hold zero.
 pub fn set_metrics_enabled(on: bool) {
-    METRICS.store(if on { GATE_ON } else { GATE_OFF }, Ordering::Relaxed);
+    gate(); // resolve the environment first so lazy init cannot undo this
+    if on {
+        GATE.fetch_or(G_METRICS, Ordering::Relaxed);
+    } else {
+        GATE.fetch_and(!G_METRICS, Ordering::Relaxed);
+    }
+}
+
+/// Turns trace recording on or off, overriding `SOCMIX_TRACE`.
+///
+/// `repro --trace` calls this in the parent; shard workers flip it when
+/// the trace-context frame arrives (see `socmix-par`).
+pub fn set_trace_enabled(on: bool) {
+    gate(); // resolve the environment first so lazy init cannot undo this
+    if on {
+        GATE.fetch_or(G_TRACE, Ordering::Relaxed);
+    } else {
+        GATE.fetch_and(!G_TRACE, Ordering::Relaxed);
+    }
 }
 
 /// Serializes unit tests that flip or depend on the process-global
@@ -115,6 +161,23 @@ mod tests {
         assert!(metrics_enabled());
         set_metrics_enabled(false);
         assert!(!metrics_enabled());
+        set_metrics_enabled(true);
+    }
+
+    #[test]
+    fn gates_are_independent() {
+        let _g = test_gate_lock();
+        set_metrics_enabled(true);
+        set_trace_enabled(false);
+        assert!(metrics_enabled());
+        assert!(!trace_enabled());
+        set_trace_enabled(true);
+        assert!(metrics_enabled());
+        assert!(trace_enabled());
+        set_metrics_enabled(false);
+        assert!(!metrics_enabled());
+        assert!(trace_enabled());
+        set_trace_enabled(false);
         set_metrics_enabled(true);
     }
 }

@@ -1,18 +1,23 @@
 //! RAII span timers.
 //!
 //! A [`Span`] reads the clock on creation and records the elapsed
-//! nanoseconds into its [`Histogram`] when finished or dropped. With
-//! metrics off, creation stores `None` and drop does nothing — the
-//! clock is never read, so a span on a hot path costs one relaxed
-//! atomic load when telemetry is disabled. Aggregation is thread-aware
-//! for free: the backing histogram is atomic, so spans opened
-//! concurrently on many pool workers fold into one distribution
-//! without any per-thread state.
+//! nanoseconds into its [`Histogram`] when finished or dropped. When
+//! tracing is on it *also* opens a hierarchical trace span named after
+//! the histogram (see [`crate::trace`]), so every instrumented site in
+//! the workspace shows up on the exported timeline with no changes at
+//! the call sites. With both gates off, creation stores `None` and
+//! drop does nothing — the clock is never read, and because the two
+//! gates share one atomic the disabled cost is still a single relaxed
+//! load. Aggregation is thread-aware for free: the backing histogram
+//! is atomic, so spans opened concurrently on many pool workers fold
+//! into one distribution without any per-thread state.
 
 use crate::hist::Histogram;
+use std::borrow::Cow;
 use std::time::Instant;
 
-/// Times a scope into a histogram (nanoseconds).
+/// Times a scope into a histogram (nanoseconds), and onto the trace
+/// timeline when tracing is enabled.
 ///
 /// ```
 /// static DISPATCH_NS: socmix_obs::Histogram =
@@ -28,15 +33,25 @@ pub struct Span {
     /// [`finish`](Span::finish) — which is what makes finish-then-drop
     /// (and any double finish) record exactly once.
     start: Option<Instant>,
+    /// Open trace span id; 0 when tracing was off at creation or
+    /// after finish (trace end is likewise recorded exactly once).
+    trace_span: u64,
 }
 
 impl Span {
-    /// Opens a span; reads the clock only if metrics are enabled.
+    /// Opens a span; reads the clock only if metrics or tracing are
+    /// enabled (one combined gate load).
     #[inline]
     pub fn start(hist: &'static Histogram) -> Span {
+        let g = crate::gate();
         Span {
             hist,
-            start: crate::metrics_enabled().then(Instant::now),
+            start: (g & crate::G_METRICS != 0).then(Instant::now),
+            trace_span: if g & crate::G_TRACE != 0 {
+                crate::trace::begin_always(Cow::Borrowed(hist.name()))
+            } else {
+                0
+            },
         }
     }
 
@@ -47,6 +62,7 @@ impl Span {
         if let Some(t0) = self.start.take() {
             self.hist.record(t0.elapsed().as_nanos() as u64);
         }
+        crate::trace::end(std::mem::take(&mut self.trace_span));
     }
 }
 
@@ -100,6 +116,43 @@ mod tests {
         }
         crate::set_metrics_enabled(true);
         assert_eq!(H.snapshot().count, 0);
+    }
+
+    #[test]
+    fn traced_span_lands_on_the_trace_timeline() {
+        static H: Histogram = Histogram::new("test.span.traced");
+        let _g = crate::test_gate_lock();
+        crate::set_metrics_enabled(true);
+        crate::set_trace_enabled(true);
+        let _ = crate::trace::drain();
+        H.reset();
+        {
+            let _span = Span::start(&H);
+        }
+        let events = crate::trace::drain();
+        crate::set_trace_enabled(false);
+        assert_eq!(H.snapshot().count, 1, "histogram still records");
+        assert!(
+            events.iter().any(|e| e.name == "test.span.traced"),
+            "trace carries the histogram name: {events:?}"
+        );
+    }
+
+    #[test]
+    fn trace_only_span_skips_the_histogram() {
+        static H: Histogram = Histogram::new("test.span.trace_only");
+        let _g = crate::test_gate_lock();
+        crate::set_metrics_enabled(false);
+        crate::set_trace_enabled(true);
+        let _ = crate::trace::drain();
+        {
+            let _span = Span::start(&H);
+        }
+        let events = crate::trace::drain();
+        crate::set_trace_enabled(false);
+        crate::set_metrics_enabled(true);
+        assert_eq!(H.snapshot().count, 0);
+        assert!(events.iter().any(|e| e.name == "test.span.trace_only"));
     }
 
     #[test]

@@ -22,9 +22,18 @@
 //! parking a pool worker under a long-running stage would starve the
 //! inner parallelism the stage itself relies on.
 
+use socmix_obs::{Histogram, Span};
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
 use std::sync::{Condvar, Mutex};
+
+/// Time a DAG worker spends between finishing one task and acquiring
+/// the next (lock contention plus waiting for dependencies to
+/// unlock). On a trace timeline these spans make scheduling gaps
+/// visible as their own slices instead of unexplained whitespace
+/// between stage spans; they close before the task body starts, so
+/// stage spans stay top-level.
+static DAG_WAIT_NS: Histogram = Histogram::new("dag.task_wait_ns");
 
 /// Errors from validating a task graph.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -212,12 +221,14 @@ where
         for _ in 0..jobs {
             scope.spawn(move || loop {
                 let task = {
+                    let mut wait_span = Span::start(&DAG_WAIT_NS);
                     let mut s = state.lock().unwrap_or_else(|e| e.into_inner());
                     loop {
                         if s.poisoned || s.completed == n {
                             return;
                         }
                         if let Some(t) = s.ready.pop_front() {
+                            wait_span.finish();
                             break t;
                         }
                         // Nothing ready but the run is not over: wait

@@ -1,6 +1,16 @@
 //! A reusable parallelism handle over the persistent runtime.
 
 use crate::scheduler::{self, ChunkPlan};
+use socmix_obs::{Histogram, Span};
+
+/// Wall time of whole pool operations (one record per `map_indexed` /
+/// `for_each_chunk` / `reduce_indexed` call). On a trace timeline
+/// these spans sit between a pipeline stage and the runtime's
+/// per-dispatch spans, naming which flavor of parallel op the stage
+/// spent its time in.
+static POOL_MAP_NS: Histogram = Histogram::new("pool.map_ns");
+static POOL_CHUNKS_NS: Histogram = Histogram::new("pool.for_each_chunk_ns");
+static POOL_REDUCE_NS: Histogram = Histogram::new("pool.reduce_ns");
 
 /// How a [`Pool`] turns a job into running threads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -82,6 +92,7 @@ impl Pool {
         T: Send + Default + Clone,
         F: Fn(usize) -> T + Sync,
     {
+        let _span = Span::start(&POOL_MAP_NS);
         scheduler::map_indexed_dispatch(n, self.threads, self.dispatch, f)
     }
 
@@ -90,6 +101,7 @@ impl Pool {
     where
         F: Fn(std::ops::Range<usize>) + Sync,
     {
+        let _span = Span::start(&POOL_CHUNKS_NS);
         scheduler::run_dispatch(
             ChunkPlan::new(n, self.threads),
             self.threads,
@@ -111,6 +123,7 @@ impl Pool {
         F: Fn(usize) -> T + Sync,
         R: Fn(T, T) -> T + Sync + Send,
     {
+        let _span = Span::start(&POOL_REDUCE_NS);
         scheduler::reduce_indexed_dispatch(n, self.threads, self.dispatch, identity, f, fold)
     }
 }

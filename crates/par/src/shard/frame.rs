@@ -29,6 +29,16 @@ pub const OP_STAGE: u8 = 4;
 pub const OP_SNAPSHOT: u8 = 5;
 /// Parent → worker: exit cleanly.
 pub const OP_SHUTDOWN: u8 = 6;
+/// Parent → worker: adopt trace context. Payload is three `u64`
+/// fields: `[trace_id][parent_span_id][parent_clock_ns]` — the run's
+/// trace id, the parent-process span the worker's top-level spans
+/// hang under, and the parent's trace clock at send time (the worker
+/// stores `parent_clock_ns - its own clock` as its offset, aligning
+/// the two timelines to within half a socket round trip).
+pub const OP_TRACE_CTX: u8 = 7;
+/// Parent → worker: drain and ship recorded trace events
+/// ([`REPLY_TRACE`]).
+pub const OP_TRACE_DRAIN: u8 = 8;
 
 /// Worker → parent: success, no data.
 pub const REPLY_ACK: u8 = 0x81;
@@ -36,6 +46,9 @@ pub const REPLY_ACK: u8 = 0x81;
 pub const REPLY_DATA: u8 = 0x82;
 /// Worker → parent: success, payload is a UTF-8 JSON snapshot.
 pub const REPLY_SNAPSHOT: u8 = 0x83;
+/// Worker → parent: success, payload is a UTF-8 JSON array of
+/// chrome-format trace events (offset-adjusted, worker pid).
+pub const REPLY_TRACE: u8 = 0x84;
 /// Worker → parent: the request failed; payload is a UTF-8 message.
 pub const REPLY_ERR: u8 = 0xff;
 
@@ -263,6 +276,53 @@ mod tests {
         assert!(bytes_to_usizes(&[0u8; 3]).is_none());
         let mut out = Vec::new();
         assert!(!bytes_into_f64s(&[0u8; 9], &mut out));
+    }
+
+    #[test]
+    fn trace_ctx_payload_roundtrip() {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&0xfeed_u64.to_le_bytes());
+        payload.extend_from_slice(&0xbeef_u64.to_le_bytes());
+        payload.extend_from_slice(&123_456_789_u64.to_le_bytes());
+        let mut buf = Vec::new();
+        write_frame(&mut buf, OP_TRACE_CTX, &payload).unwrap();
+        let (op, back) = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(op, OP_TRACE_CTX);
+        assert_eq!(read_u64(&back, 0), Some(0xfeed));
+        assert_eq!(read_u64(&back, 8), Some(0xbeef));
+        assert_eq!(read_u64(&back, 16), Some(123_456_789));
+        assert_eq!(read_u64(&back, 24), None, "exactly three fields");
+    }
+
+    #[test]
+    fn trace_opcodes_are_distinct() {
+        let ops = [
+            OP_LOAD,
+            OP_APPLY,
+            OP_APPLY_MULTI,
+            OP_STAGE,
+            OP_SNAPSHOT,
+            OP_SHUTDOWN,
+            OP_TRACE_CTX,
+            OP_TRACE_DRAIN,
+        ];
+        for (i, a) in ops.iter().enumerate() {
+            for b in &ops[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        let replies = [
+            REPLY_ACK,
+            REPLY_DATA,
+            REPLY_SNAPSHOT,
+            REPLY_TRACE,
+            REPLY_ERR,
+        ];
+        for (i, a) in replies.iter().enumerate() {
+            for b in &replies[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
     }
 
     #[test]

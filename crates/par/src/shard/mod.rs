@@ -201,6 +201,21 @@ pub fn collect_snapshots() -> Vec<(usize, usize, String)> {
     rows
 }
 
+/// Drains per-worker trace buffers from every live group as
+/// `(shards_in_group, shard_index, chrome_events_json)` rows — each
+/// payload is a chrome-format event array (worker pid, offset-aligned
+/// timestamps) that `repro --trace` splices into the parent's
+/// `traceEvents` for one merged multi-process timeline.
+pub fn collect_traces() -> Vec<(usize, usize, String)> {
+    let mut rows = Vec::new();
+    for group in ShardGroup::live_groups() {
+        for (shard, json) in group.traces() {
+            rows.push((group.shards(), shard, json));
+        }
+    }
+    rows
+}
+
 /// Live worker groups (shard counts), for manifest reporting.
 pub fn live_shard_counts() -> Vec<usize> {
     ShardGroup::live_groups()

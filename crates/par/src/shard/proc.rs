@@ -19,7 +19,7 @@
 //! accept loop, so a missing worker entry point costs milliseconds,
 //! not an accept timeout.
 
-use super::frame::{self, REPLY_ACK, REPLY_DATA, REPLY_ERR, REPLY_SNAPSHOT};
+use super::frame::{self, REPLY_ACK, REPLY_DATA, REPLY_ERR, REPLY_SNAPSHOT, REPLY_TRACE};
 use super::ShardError;
 use socmix_obs::Counter;
 use std::io::Write;
@@ -157,11 +157,19 @@ impl ShardGroup {
             .collect()
     }
 
-    /// Spawns `shards` workers and completes their handshakes.
+    /// Spawns `shards` workers and completes their handshakes. When
+    /// the parent is tracing, each worker immediately receives the
+    /// trace context (trace id, the parent's current span, and the
+    /// parent's trace clock for the offset handshake) so its spans
+    /// land on the parent's timeline from the first frame on.
     fn spawn_group(shards: usize) -> Result<Arc<ShardGroup>, ShardError> {
         let mut workers = Vec::with_capacity(shards);
         for shard in 0..shards {
-            workers.push(Mutex::new(spawn_worker(shard, shards)?));
+            let mut link = spawn_worker(shard, shards)?;
+            if socmix_obs::trace_enabled() {
+                send_trace_context(&mut link, shard)?;
+            }
+            workers.push(Mutex::new(link));
         }
         Ok(Arc::new(ShardGroup {
             shards,
@@ -406,6 +414,36 @@ impl ShardGroup {
         out
     }
 
+    /// Drains each worker's trace buffer (chrome-format event-array
+    /// JSON, already offset-adjusted and pid-stamped worker-side).
+    /// Workers that fail to reply are skipped (and poison the group).
+    pub fn traces(&self) -> Vec<(usize, String)> {
+        if self.is_poisoned() {
+            return Vec::new();
+        }
+        let _round = self.round.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = Vec::new();
+        for shard in 0..self.shards {
+            let mut w = self.workers[shard]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            if w.send(frame::OP_TRACE_DRAIN, &[]).is_err() {
+                let _ = self.poison(shard);
+                break;
+            }
+            match w.recv() {
+                Ok((REPLY_TRACE, payload)) => {
+                    out.push((shard, String::from_utf8_lossy(&payload).into_owned()));
+                }
+                _ => {
+                    let _ = self.poison(shard);
+                    break;
+                }
+            }
+        }
+        out
+    }
+
     /// Kills one worker process outright (no shutdown frame). Test
     /// hook for the death-detection path: the next round must surface
     /// [`ShardError::WorkerDied`] instead of hanging.
@@ -446,6 +484,31 @@ impl Drop for ShardGroup {
     }
 }
 
+/// Sends the trace-context frame to a freshly connected worker and
+/// waits for its ack (part of the spawn handshake, so a traced group
+/// is fully contextualized before its first real round).
+fn send_trace_context(link: &mut WorkerLink, shard: usize) -> Result<(), ShardError> {
+    let trace = socmix_obs::trace::trace_id().to_le_bytes();
+    let parent = socmix_obs::trace::current_span().to_le_bytes();
+    let clock = socmix_obs::trace::clock_ns().to_le_bytes();
+    link.send(frame::OP_TRACE_CTX, &[&trace, &parent, &clock])
+        .map_err(|e| ShardError::Spawn {
+            shard,
+            message: format!("trace-context send failed: {e}"),
+        })?;
+    match link.recv() {
+        Ok((REPLY_ACK, _)) => Ok(()),
+        Ok((op, _)) => Err(ShardError::Spawn {
+            shard,
+            message: format!("unexpected reply {op:#x} to trace context"),
+        }),
+        Err(e) => Err(ShardError::Spawn {
+            shard,
+            message: format!("trace-context handshake failed: {e}"),
+        }),
+    }
+}
+
 /// Spawns one worker process and waits for it to connect.
 fn spawn_worker(shard: usize, total: usize) -> Result<WorkerLink, ShardError> {
     let exe = std::env::current_exe().map_err(|e| ShardError::Spawn {
@@ -477,6 +540,10 @@ fn spawn_worker(shard: usize, total: usize) -> Result<WorkerLink, ShardError> {
         // A worker must never itself shard: clearing the knob breaks
         // any possible fork recursion.
         .env_remove("SOCMIX_SHARDS")
+        // Workers trace only via the context frame: enabling through
+        // the environment would record spans before the clock-offset
+        // handshake and misalign them on the merged timeline.
+        .env_remove("SOCMIX_TRACE")
         .stdin(Stdio::null())
         .stdout(Stdio::null())
         .stderr(Stdio::inherit())

@@ -19,8 +19,8 @@
 //! The loop exits on `Shutdown` or on EOF: when the parent dies or
 //! drops the group, the closed socket ends the worker with it.
 
-use super::frame::{self, REPLY_ACK, REPLY_DATA, REPLY_ERR, REPLY_SNAPSHOT};
-use socmix_obs::{Counter, Value};
+use super::frame::{self, REPLY_ACK, REPLY_DATA, REPLY_ERR, REPLY_SNAPSHOT, REPLY_TRACE};
+use socmix_obs::{Counter, Histogram, Span, Value};
 use std::io::{BufReader, BufWriter, Read, Write};
 
 /// Apply rounds served by this worker process.
@@ -33,6 +33,14 @@ static LOADS: Counter = Counter::new("shard.worker.loads");
 static ROWS: Counter = Counter::new("shard.worker.rows");
 /// Stage-change notifications received from the scheduler.
 static STAGES: Counter = Counter::new("shard.worker.stage_changes");
+/// Time spent serving one apply / apply-multi round (parse, gather,
+/// reply encode excluded — just the handler body). With tracing
+/// adopted from the parent, each round is also a span on the merged
+/// timeline, parented under the parent-process span that spawned the
+/// group.
+static APPLY_NS: Histogram = Histogram::new("shard.worker.apply_ns");
+/// Time spent installing a CSR block.
+static LOAD_NS: Histogram = Histogram::new("shard.worker.load_ns");
 
 /// One loaded CSR block: `rows` local rows over `inputs` local columns.
 struct LocalCsr {
@@ -73,15 +81,26 @@ pub(crate) fn serve<R: Read, W: Write>(reader: R, writer: W, shard: usize) -> i3
             Err(_) => return 0,
         };
         let result = match op {
-            frame::OP_LOAD => handle_load(&mut state, &payload).map(|()| Reply::Ack),
-            frame::OP_APPLY => handle_apply(&mut state, &payload).map(Reply::Data),
-            frame::OP_APPLY_MULTI => handle_apply_multi(&mut state, &payload).map(Reply::Data),
+            frame::OP_LOAD => {
+                let _span = Span::start(&LOAD_NS);
+                handle_load(&mut state, &payload).map(|()| Reply::Ack)
+            }
+            frame::OP_APPLY => {
+                let _span = Span::start(&APPLY_NS);
+                handle_apply(&mut state, &payload).map(Reply::Data)
+            }
+            frame::OP_APPLY_MULTI => {
+                let _span = Span::start(&APPLY_NS);
+                handle_apply_multi(&mut state, &payload).map(Reply::Data)
+            }
             frame::OP_STAGE => {
                 STAGES.incr();
                 state.stage = String::from_utf8_lossy(&payload).into_owned();
                 Ok(Reply::Ack)
             }
             frame::OP_SNAPSHOT => Ok(Reply::Snapshot(render_snapshot(&state))),
+            frame::OP_TRACE_CTX => handle_trace_ctx(&payload).map(|()| Reply::Ack),
+            frame::OP_TRACE_DRAIN => Ok(Reply::Trace(render_trace())),
             frame::OP_SHUTDOWN => {
                 let _ = frame::write_frame(&mut writer, REPLY_ACK, &[]);
                 let _ = writer.flush();
@@ -99,6 +118,7 @@ pub(crate) fn serve<R: Read, W: Write>(reader: R, writer: W, shard: usize) -> i3
             Ok(Reply::Snapshot(json)) => {
                 frame::write_frame(&mut writer, REPLY_SNAPSHOT, json.as_bytes())
             }
+            Ok(Reply::Trace(json)) => frame::write_frame(&mut writer, REPLY_TRACE, json.as_bytes()),
             Err(msg) => frame::write_frame(&mut writer, REPLY_ERR, msg.as_bytes()),
         };
         if written.and_then(|()| writer.flush()).is_err() {
@@ -114,6 +134,33 @@ enum Reply {
     Ack,
     Data(usize),
     Snapshot(String),
+    Trace(String),
+}
+
+/// Installs the trace context the parent forwarded at spawn:
+/// `[trace_id u64][parent_span u64][parent_clock_ns u64]`. The clock
+/// offset is computed here, at receipt — the half-round-trip skew
+/// this bakes in is microseconds on a Unix socket, well under span
+/// granularity. Adopting the context also enables tracing; a parent
+/// that never traces never sends this frame.
+fn handle_trace_ctx(payload: &[u8]) -> Result<(), String> {
+    let trace_id = frame::read_u64(payload, 0).ok_or("trace-ctx: missing trace id")?;
+    let parent_span = frame::read_u64(payload, 8).ok_or("trace-ctx: missing parent span")?;
+    let parent_clock = frame::read_u64(payload, 16).ok_or("trace-ctx: missing parent clock")?;
+    let offset = parent_clock as i64 - socmix_obs::trace::clock_ns() as i64;
+    socmix_obs::trace::set_context(trace_id, parent_span, offset);
+    socmix_obs::set_trace_enabled(true);
+    Ok(())
+}
+
+/// Drains this worker's trace rings into a chrome-format event array
+/// (offset-adjusted timestamps, this process's pid) ready to merge
+/// into the parent's `traceEvents`.
+fn render_trace() -> String {
+    let events = socmix_obs::trace::drain();
+    let labels = socmix_obs::trace::thread_labels();
+    let chrome = socmix_obs::export::chrome_events(&events, std::process::id() as u64, &labels);
+    Value::Arr(chrome).to_compact()
 }
 
 /// Parses and installs a `Load` payload:
@@ -369,5 +416,52 @@ mod tests {
     #[test]
     fn eof_ends_serve_cleanly() {
         assert!(run_session(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn trace_ctx_then_drain_ships_adopted_spans() {
+        let mut req = Vec::new();
+        let mut ctx = 0xfeed_u64.to_le_bytes().to_vec();
+        ctx.extend_from_slice(&0xbeef_u64.to_le_bytes());
+        ctx.extend_from_slice(&socmix_obs::trace::clock_ns().to_le_bytes());
+        write_frame_vectored(&mut req, super::frame::OP_TRACE_CTX, &[&ctx]).unwrap();
+        // one traced apply between ctx and drain
+        write_frame_vectored(&mut req, OP_LOAD, &[&load_payload(3, 1, 1, &[0, 1], &[0])]).unwrap();
+        let mut apply = 3u64.to_le_bytes().to_vec();
+        apply.extend_from_slice(super::frame::f64s_as_bytes(&[2.0]));
+        write_frame_vectored(&mut req, OP_APPLY, &[&apply]).unwrap();
+        write_frame_vectored(&mut req, super::frame::OP_TRACE_DRAIN, &[]).unwrap();
+        let frames = run_session(req);
+        socmix_obs::set_trace_enabled(false);
+        assert_eq!(frames[0].0, REPLY_ACK, "ctx acked");
+        assert_eq!(frames[3].0, REPLY_TRACE);
+        let json = String::from_utf8(frames[3].1.clone()).unwrap();
+        let v = socmix_obs::parse(&json).unwrap();
+        let events = v.as_arr().expect("trace reply is an array");
+        let apply_span = events
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("shard.worker.apply_ns"))
+            .expect("apply round recorded a span");
+        // top-level worker spans adopt the forwarded parent
+        assert_eq!(
+            apply_span
+                .get("args")
+                .and_then(|a| a.get("parent"))
+                .and_then(|p| p.as_i64()),
+            Some(0xbeef)
+        );
+        assert_eq!(
+            apply_span.get("pid").and_then(|p| p.as_i64()),
+            Some(std::process::id() as i64)
+        );
+    }
+
+    #[test]
+    fn truncated_trace_ctx_is_a_typed_error() {
+        let mut req = Vec::new();
+        write_frame_vectored(&mut req, super::frame::OP_TRACE_CTX, &[&[0u8; 12]]).unwrap();
+        let frames = run_session(req);
+        assert_eq!(frames[0].0, REPLY_ERR);
+        assert!(String::from_utf8_lossy(&frames[0].1).contains("trace-ctx"));
     }
 }

@@ -1,0 +1,184 @@
+//! Cross-process trace round-trip: spans recorded inside shard worker
+//! processes must come back parented under the coordinator's context
+//! and merge with the parent's own events into one chrome-trace
+//! timeline.
+//!
+//! This binary runs **without** the libtest harness (like
+//! `shard_determinism` in socmix-linalg): worker processes are
+//! fork/execs of the current executable, so `main` must call
+//! `socmix_par::shard::worker_check()` before anything else.
+
+use socmix_obs::Value;
+use socmix_par::shard::{ShardGroup, ShardSpec};
+
+const FINGERPRINT: u64 = 0x7ace_0001;
+
+/// Loads a hand-built 2-shard CSR (4 rows, 2 per shard; every row sums
+/// two entries of the full gathered input) and runs `rounds` apply
+/// rounds, asserting the arithmetic so a silent protocol break cannot
+/// hide behind the trace assertions.
+fn run_shard_rounds(group: &ShardGroup, rounds: usize) {
+    // Row r sums two entries of the gathered input: [z1+z3, z0+z2].
+    let offsets = [0usize, 2, 4];
+    let targets = [1u32, 3, 0, 2];
+    let mk = || ShardSpec {
+        fingerprint: FINGERPRINT,
+        rows: 2,
+        inputs: 4,
+        offsets: &offsets,
+        targets: &targets,
+    };
+    group
+        .load(&[mk(), mk()])
+        .expect("load tiny CSR into both workers");
+    let z = vec![1.0f64, 2.0, 3.0, 4.0];
+    let inputs = vec![z.clone(), z];
+    let mut outputs = vec![Vec::new(), Vec::new()];
+    for round in 0..rounds {
+        group
+            .apply(FINGERPRINT, &inputs, &mut outputs)
+            .unwrap_or_else(|e| panic!("apply round {round}: {e}"));
+        assert_eq!(outputs[0], vec![6.0, 4.0], "shard 0 row sums");
+        assert_eq!(outputs[1], vec![6.0, 4.0], "shard 1 row sums");
+    }
+}
+
+/// The pid a span id was minted in (`span >> 32`; see socmix-obs).
+fn span_pid(span: i64) -> i64 {
+    (span as u64 >> 32) as i64
+}
+
+fn trace_spans_cross_the_process_boundary() {
+    // The root span must be open *before* the group spawns: the trace
+    // context each worker adopts is captured at spawn time.
+    let root = socmix_obs::TraceSpan::begin("roundtrip.root");
+    assert_ne!(root.id(), 0, "tracing must be enabled");
+    let group = ShardGroup::obtain(2).expect("harness-free binary hosts workers");
+    run_shard_rounds(&group, 3);
+
+    let own_pid = std::process::id() as i64;
+    let worker_rows = socmix_par::shard::collect_traces();
+    assert_eq!(worker_rows.len(), 2, "one trace buffer per worker");
+
+    let mut merged: Vec<Value> = Vec::new();
+    let mut worker_pids: Vec<i64> = Vec::new();
+    for (group_size, shard, json) in &worker_rows {
+        assert_eq!(*group_size, 2);
+        let doc = socmix_obs::parse(json)
+            .unwrap_or_else(|e| panic!("shard {shard}: unparsable trace: {e}"));
+        let Value::Arr(events) = doc else {
+            panic!("shard {shard}: trace payload is not an array");
+        };
+        // Every complete slice from this worker carries the worker's
+        // own pid, both in the event row and in its span id; root
+        // spans (empty local stack) are parented under the context
+        // adopted at spawn, which was minted in the parent process.
+        let mut apply_spans = 0;
+        for ev in &events {
+            if ev.get("ph").and_then(Value::as_str) != Some("X") {
+                continue;
+            }
+            let pid = ev.get("pid").and_then(Value::as_i64).expect("pid field");
+            assert_ne!(pid, own_pid, "worker events must carry the worker pid");
+            worker_pids.push(pid);
+            let args = ev.get("args").expect("args field");
+            let span = args.get("span").and_then(Value::as_i64).expect("span id");
+            let parent = args
+                .get("parent")
+                .and_then(Value::as_i64)
+                .expect("parent id");
+            assert_eq!(span_pid(span), pid, "span ids are minted in-process");
+            assert_eq!(
+                span_pid(parent),
+                own_pid,
+                "worker root spans hang off the coordinator's context"
+            );
+            if ev.get("name").and_then(Value::as_str) == Some("shard.worker.apply_ns") {
+                apply_spans += 1;
+            }
+        }
+        assert!(
+            apply_spans >= 3,
+            "shard {shard}: expected one apply span per round, saw {apply_spans}"
+        );
+        merged.extend(events);
+    }
+    worker_pids.sort_unstable();
+    worker_pids.dedup();
+    assert_eq!(worker_pids.len(), 2, "spans from two distinct worker pids");
+
+    // Merge with the parent's own drained events: the full document
+    // must parse and contain all three pids on one timeline.
+    drop(root);
+    let own = socmix_obs::trace::drain();
+    let labels = socmix_obs::trace::thread_labels();
+    merged.extend(socmix_obs::export::chrome_events(
+        &own,
+        own_pid as u64,
+        &labels,
+    ));
+    let doc = socmix_obs::export::chrome_trace_document(merged);
+    let text = doc.to_pretty();
+    let back = socmix_obs::parse(&text).expect("chrome document round-trips");
+    let events = back
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .expect("traceEvents array");
+    let mut pids: Vec<i64> = events
+        .iter()
+        .filter_map(|e| e.get("pid").and_then(Value::as_i64))
+        .collect();
+    pids.sort_unstable();
+    pids.dedup();
+    assert_eq!(pids.len(), 3, "coordinator + 2 workers on one timeline");
+    assert!(
+        events
+            .iter()
+            .any(|e| e.get("name").and_then(Value::as_str) == Some("roundtrip.root")),
+        "the coordinator's root span is on the timeline"
+    );
+}
+
+/// Draining after the buffers were already shipped must yield no
+/// duplicate worker events on the next collection (ring is drained,
+/// not copied).
+fn second_drain_is_empty_of_old_rounds() {
+    let rows = socmix_par::shard::collect_traces();
+    for (_, shard, json) in &rows {
+        let doc = socmix_obs::parse(json).expect("parsable");
+        let n = doc.as_arr().map(|a| {
+            a.iter()
+                .filter(|e| e.get("name").and_then(Value::as_str) == Some("shard.worker.apply_ns"))
+                .count()
+        });
+        assert_eq!(
+            n,
+            Some(0),
+            "shard {shard}: apply spans must not be re-shipped"
+        );
+    }
+}
+
+fn main() {
+    // Must run before anything else: when spawned as `shard-worker`,
+    // this call serves frames and exits instead of running tests.
+    socmix_par::shard::worker_check();
+    socmix_obs::set_trace_enabled(true);
+
+    let tests: &[(&str, fn())] = &[
+        (
+            "trace_spans_cross_the_process_boundary",
+            trace_spans_cross_the_process_boundary,
+        ),
+        (
+            "second_drain_is_empty_of_old_rounds",
+            second_drain_is_empty_of_old_rounds,
+        ),
+    ];
+    println!("running {} trace roundtrip tests", tests.len());
+    for (name, test) in tests {
+        test();
+        println!("test {name} ... ok");
+    }
+    println!("trace roundtrip suite: all {} tests passed", tests.len());
+}
