@@ -53,6 +53,10 @@ pub struct Comparison {
     pub missing: Vec<String>,
     /// Fresh ids absent from the baseline.
     pub added: Vec<String>,
+    /// Pairs with no defined relative delta: a zero or unparseable
+    /// median on either side. Report-only, like `missing`/`added` — a
+    /// NaN ratio must never masquerade as "within noise".
+    pub unmeasurable: Vec<Delta>,
 }
 
 impl Comparison {
@@ -67,9 +71,12 @@ impl Comparison {
 
 /// Parses a recorded bench JSON file into rows.
 ///
-/// Rows without an `id` or a finite `median_ns` are rejected, not
-/// skipped: a malformed baseline silently shrinking to zero rows
-/// would make every future comparison vacuously pass.
+/// Rows without an `id` are rejected, not skipped: a malformed
+/// baseline silently shrinking to zero rows would make every future
+/// comparison vacuously pass. A missing, non-finite, or negative
+/// `median_ns` keeps the row but records the median as NaN — the id
+/// stays visible to the diff, and [`compare`] classifies the pair as
+/// report-only instead of letting a NaN delta pass as within-noise.
 pub fn parse_bench(text: &str) -> Result<Vec<BenchRow>, String> {
     let doc = socmix_obs::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
     let Value::Arr(rows) = doc else {
@@ -85,7 +92,7 @@ pub fn parse_bench(text: &str) -> Result<Vec<BenchRow>, String> {
             .get("median_ns")
             .and_then(Value::as_f64)
             .filter(|m| m.is_finite() && *m >= 0.0)
-            .ok_or_else(|| format!("row {i} ({id}): missing or non-finite \"median_ns\""))?;
+            .unwrap_or(f64::NAN);
         out.push(BenchRow {
             id: id.to_string(),
             median_ns: median,
@@ -118,16 +125,22 @@ pub fn compare(baseline: &[BenchRow], fresh: &[BenchRow], threshold: f64) -> Com
             c.missing.push(id.clone());
             continue;
         };
-        // A zero baseline median (sub-resolution bench) can only be
-        // compared by absolute growth; treat ratio as 1 when both are
-        // zero, regressed when the fresh side became measurable.
-        let ratio = if baseline_ns > 0.0 {
-            fresh_ns / baseline_ns
-        } else if fresh_ns > 0.0 {
-            f64::INFINITY
-        } else {
-            1.0
-        };
+        // A relative delta needs a positive, finite baseline and a
+        // finite fresh median. A zero baseline (sub-resolution bench)
+        // or a NaN from a malformed row has no defined ratio — and a
+        // NaN ratio fails every comparison below, which used to slide
+        // such pairs into `unchanged` as if they had been checked.
+        // They are report-only instead, like missing/added ids.
+        if !(baseline_ns > 0.0 && baseline_ns.is_finite() && fresh_ns.is_finite()) {
+            c.unmeasurable.push(Delta {
+                id: id.clone(),
+                baseline_ns,
+                fresh_ns,
+                ratio: f64::NAN,
+            });
+            continue;
+        }
+        let ratio = fresh_ns / baseline_ns;
         let d = Delta {
             id: id.clone(),
             baseline_ns,
@@ -173,6 +186,13 @@ pub fn render(c: &Comparison, threshold: f64) -> String {
     section("REGRESSED", &c.regressions);
     section("improved", &c.improvements);
     section("unchanged", &c.unchanged);
+    for d in &c.unmeasurable {
+        let _ = writeln!(
+            out,
+            "  no defined delta (zero or malformed median): {} ({} ns -> {} ns)",
+            d.id, d.baseline_ns, d.fresh_ns
+        );
+    }
     for id in &c.missing {
         let _ = writeln!(out, "  missing from fresh run: {id}");
     }
@@ -181,10 +201,11 @@ pub fn render(c: &Comparison, threshold: f64) -> String {
     }
     let _ = writeln!(
         out,
-        "{} regressed, {} improved, {} unchanged (threshold {:.0}%)",
+        "{} regressed, {} improved, {} unchanged, {} unmeasurable (threshold {:.0}%)",
         c.regressions.len(),
         c.improvements.len(),
         c.unchanged.len(),
+        c.unmeasurable.len(),
         threshold * 100.0
     );
     out
@@ -233,9 +254,18 @@ mod tests {
     #[test]
     fn malformed_rows_are_errors_not_skips() {
         assert!(parse_bench("{}").is_err());
-        assert!(parse_bench(r#"[{"median_ns":1.0}]"#).is_err());
-        assert!(parse_bench(r#"[{"id":"a"}]"#).is_err());
-        assert!(parse_bench(r#"[{"id":"a","median_ns":-1.0}]"#).is_err());
+        assert!(parse_bench(r#"[{"median_ns":1.0}]"#).is_err(), "missing id");
+    }
+
+    #[test]
+    fn malformed_medians_parse_as_nan_not_errors() {
+        // The id must survive so the diff can report the pair; the
+        // median becomes NaN, which `compare` routes to report-only.
+        let rows = parse_bench(r#"[{"id":"a"},{"id":"b","median_ns":-1.0}]"#).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].id, "a");
+        assert!(rows[0].median_ns.is_nan(), "missing median is NaN");
+        assert!(rows[1].median_ns.is_nan(), "negative median is NaN");
     }
 
     #[test]
@@ -268,12 +298,30 @@ mod tests {
     }
 
     #[test]
-    fn zero_baseline_regresses_only_when_fresh_is_nonzero() {
-        let c = compare(&[row("z", 0.0)], &[row("z", 0.0)], 0.30);
+    fn zero_or_nan_baseline_is_report_only_never_within_noise() {
+        // The satellite bug: a zero or missing baseline median made
+        // the relative delta NaN (or ±inf), and NaN fails both
+        // threshold comparisons — so the pair silently landed in
+        // `unchanged`, i.e. "checked and fine". Such pairs must be
+        // surfaced as unmeasurable instead, without failing the gate.
+        for bad in [0.0, f64::NAN] {
+            let c = compare(&[row("z", bad)], &[row("z", 2.0)], 0.30);
+            assert!(c.passed(), "report-only, like missing/added ids");
+            assert!(c.unchanged.is_empty(), "must not classify as within-noise");
+            assert!(c.regressions.is_empty() && c.improvements.is_empty());
+            assert_eq!(c.unmeasurable.len(), 1);
+            assert_eq!(c.unmeasurable[0].id, "z");
+            assert!(c.unmeasurable[0].ratio.is_nan());
+        }
+        // A NaN fresh median against a good baseline is just as
+        // undefined.
+        let c = compare(&[row("z", 5.0)], &[row("z", f64::NAN)], 0.30);
         assert!(c.passed());
-        let c = compare(&[row("z", 0.0)], &[row("z", 2.0)], 0.30);
-        assert!(!c.passed());
-        assert!(c.regressions[0].ratio.is_infinite());
+        assert_eq!(c.unmeasurable.len(), 1);
+        // And the report names the pair so re-records are prompted.
+        let text = render(&c, 0.30);
+        assert!(text.contains("no defined delta"), "{text}");
+        assert!(text.contains("1 unmeasurable"), "{text}");
     }
 
     #[test]

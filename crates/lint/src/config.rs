@@ -178,6 +178,7 @@ impl Config {
                     "crates/core/src/probe.rs",
                     "crates/bench/src/manifest.rs",
                     "crates/linalg/src/kernel.rs",
+                    "crates/serve/src/knobs.rs",
                 ]),
             },
             // Unordered iteration reorders float accumulation — banned
@@ -198,7 +199,11 @@ impl Config {
             // recorder and exporter run inside those same paths (every
             // pool op and shard frame opens a span), so they are held
             // to the same standard: poisoned ring-buffer locks are
-            // recovered, never unwrapped.
+            // recovered, never unwrapped. The serve request path is in
+            // scope for the same reason: a panicking worker thread
+            // silently drops its connection and, under a poisoned
+            // mutex, takes every later request down with it — errors
+            // there must be typed 4xx/5xx responses.
             panicking_api_in_hot_path: Scope {
                 include: strings(&[
                     "crates/par/src/runtime.rs",
@@ -207,6 +212,13 @@ impl Config {
                     "crates/par/src/shard/",
                     "crates/obs/src/trace.rs",
                     "crates/obs/src/export.rs",
+                    "crates/serve/src/server.rs",
+                    "crates/serve/src/http.rs",
+                    "crates/serve/src/frames.rs",
+                    "crates/serve/src/batch.rs",
+                    "crates/serve/src/cache.rs",
+                    "crates/serve/src/queries.rs",
+                    "crates/serve/src/catalog.rs",
                 ]),
                 exclude: vec![],
             },

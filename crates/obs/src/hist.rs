@@ -148,12 +148,25 @@ impl HistogramSnapshot {
                     return 0;
                 }
                 let lo = 1u64 << (i - 1);
-                // top bucket is open-ended: cap its width at max
-                let hi = if i >= 63 { self.max } else { (1u64 << i) - 1 };
-                let width = hi.saturating_sub(lo) as f64;
+                // The top bucket is open-ended, so cap its width at
+                // the tracked max — but never below the bucket floor:
+                // in merged snapshots (and mid-record races, where the
+                // bucket increment lands before the max update) `max`
+                // can sit *below* `lo`, and the old `hi - lo` collapse
+                // to width 0 dragged the estimate down to a value the
+                // bucket provably does not contain.
+                let hi = if i + 1 == BUCKETS {
+                    self.max.max(lo)
+                } else {
+                    (1u64 << i) - 1
+                };
+                let width = (hi - lo) as f64;
                 let frac = (target - seen) as f64 / n as f64;
-                let v = lo + (width * frac) as u64;
-                return v.min(self.max);
+                let v = lo.saturating_add((width * frac) as u64);
+                // Clamp to the exact tracked max only when it is
+                // consistent with the bucket; a stale max below `lo`
+                // must not override the bucket's own lower bound.
+                return if self.max >= lo { v.min(self.max) } else { v };
             }
             seen += n;
         }
@@ -291,6 +304,82 @@ mod tests {
         let s = H.snapshot();
         assert!(s.quantile(0.5) <= 7, "single value clamps to max");
         assert_eq!(s.quantile(1.0).max(s.quantile(0.0)), s.quantile(1.0));
+    }
+
+    #[test]
+    fn top_bucket_with_stale_max_does_not_collapse() {
+        // A merged snapshot (or a mid-record race: the bucket RMW
+        // lands before the max RMW) can carry a top-bucket count while
+        // `max` still reads below the bucket floor. The estimate must
+        // respect the bucket's own lower bound instead of degenerating
+        // to the stale max.
+        let s = HistogramSnapshot {
+            name: "stale".into(),
+            count: 1,
+            sum: 1 << 62,
+            max: 0,
+            buckets: {
+                let mut b = vec![0u64; BUCKETS];
+                b[BUCKETS - 1] = 1;
+                b
+            },
+        };
+        let q = s.quantile(1.0);
+        assert!(q >= 1 << 62, "top-bucket estimate collapsed to {q}");
+    }
+
+    #[test]
+    fn merged_snapshots_keep_quantiles_ordered() {
+        static A: Histogram = Histogram::new("test.hist.merge_a");
+        static B: Histogram = Histogram::new("test.hist.merge_b");
+        let _g = crate::test_gate_lock();
+        crate::set_metrics_enabled(true);
+        A.reset();
+        B.reset();
+        for _ in 0..50 {
+            A.record(1_000);
+        }
+        for _ in 0..50 {
+            B.record(1_000_000);
+        }
+        let mut merged = A.snapshot();
+        merged.merge(&B.snapshot());
+        assert_eq!(merged.count, 100);
+        let p25 = merged.quantile(0.25);
+        let p75 = merged.quantile(0.75);
+        assert!((512..2048).contains(&p25), "p25 = {p25}");
+        assert!((524_288..2_097_152).contains(&p75), "p75 = {p75}");
+        assert!(p25 <= p75 && p75 <= merged.max);
+        // Merging an empty snapshot changes nothing.
+        let empty = HistogramSnapshot {
+            name: "empty".into(),
+            count: 0,
+            sum: 0,
+            max: 0,
+            buckets: vec![0; BUCKETS],
+        };
+        let before = merged.quantile(0.5);
+        merged.merge(&empty);
+        assert_eq!(merged.quantile(0.5), before);
+    }
+
+    #[test]
+    fn single_observation_quantiles_are_exact() {
+        static H: Histogram = Histogram::new("test.hist.single_obs");
+        let _g = crate::test_gate_lock();
+        crate::set_metrics_enabled(true);
+        // One observation: every quantile is that observation, because
+        // the interpolation hits the bucket ceiling and the tracked
+        // max clamps it back to the exact value. Includes the
+        // open-ended top bucket (u64::MAX must not overflow).
+        for v in [1u64, 7, 1_000, 1 << 62, u64::MAX] {
+            H.reset();
+            H.record(v);
+            let s = H.snapshot();
+            for q in [0.0, 0.5, 0.99, 1.0] {
+                assert_eq!(s.quantile(q), v, "v = {v}, q = {q}");
+            }
+        }
     }
 
     #[test]

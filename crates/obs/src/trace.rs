@@ -87,6 +87,12 @@ static ADOPTED_PARENT: AtomicU64 = AtomicU64::new(0);
 /// Nanoseconds to add to local timestamps at drain time so they land
 /// on the parent process's timeline (0 in the parent itself).
 static CLOCK_OFFSET_NS: AtomicI64 = AtomicI64::new(0);
+/// Parent-timeline instant at which this process adopted its context
+/// (0 in the parent itself): no event recorded after adoption can
+/// legitimately map earlier than this, so [`drain`] clamps against it
+/// instead of letting a skewed offset saturate timestamps to 0 and
+/// reorder the merged timeline.
+static CLAMP_FLOOR_NS: AtomicU64 = AtomicU64::new(0);
 
 fn epoch() -> Instant {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
@@ -171,6 +177,18 @@ pub fn set_context(trace: u64, parent_span: u64, clock_offset_ns: i64) {
     TRACE_ID.store(trace, Ordering::Relaxed);
     ADOPTED_PARENT.store(parent_span, Ordering::Relaxed);
     CLOCK_OFFSET_NS.store(clock_offset_ns, Ordering::Relaxed);
+    // Record where "now" lands on the parent timeline. Everything this
+    // process traces from here on happens at or after this instant, so
+    // it is the tightest sound floor for drain-time clamping. Only a
+    // negative offset can saturate timestamps toward 0, so the floor
+    // is armed only then — a non-negative offset (including the
+    // parent's own zero context) keeps the mapping untouched.
+    let floor = if clock_offset_ns < 0 {
+        offset_ts(clock_ns(), clock_offset_ns)
+    } else {
+        0
+    };
+    CLAMP_FLOOR_NS.store(floor, Ordering::Relaxed);
 }
 
 /// The installed `(trace_id, adopted_parent, clock_offset_ns)`.
@@ -312,7 +330,10 @@ impl Drop for TraceSpan {
     }
 }
 
-/// Shifts a raw local timestamp onto the parent timeline.
+/// Shifts a raw local timestamp onto the parent timeline. Saturates at
+/// the ends of the `u64` range; [`drain`] additionally clamps against
+/// the context-adoption floor so a skewed negative offset cannot push
+/// events before the adopted epoch.
 fn offset_ts(ts: u64, off: i64) -> u64 {
     if off >= 0 {
         ts.saturating_add(off as u64)
@@ -325,17 +346,39 @@ fn offset_ts(ts: u64, off: i64) -> u64 {
 /// the cross-process clock offset applied. Span stacks are left
 /// intact, so draining mid-run (e.g. at snapshot time in a worker)
 /// keeps later events correctly parented.
+///
+/// Mapped timestamps are clamped to the context-adoption floor: under
+/// a large negative clock offset the raw mapping would saturate toward
+/// 0, producing spans that predate the trace epoch and sort ahead of
+/// the parent's own events. Clamped events keep their relative order
+/// (the sort is stable and ties break on span id), and the first
+/// clamping drain warns once so skewed-clock runs are diagnosable.
 pub fn drain() -> Vec<TraceEvent> {
     let off = CLOCK_OFFSET_NS.load(Ordering::Relaxed);
+    let floor = CLAMP_FLOOR_NS.load(Ordering::Relaxed);
     let bufs: Vec<Arc<Mutex<ThreadBuf>>> =
         threads().lock().unwrap_or_else(|e| e.into_inner()).clone();
     let mut out = Vec::new();
+    let mut clamped = 0u64;
     for buf in bufs {
         let mut b = buf.lock().unwrap_or_else(|e| e.into_inner());
         for mut ev in b.ring.drain(..) {
-            ev.ts_ns = offset_ts(ev.ts_ns, off);
+            let mapped = offset_ts(ev.ts_ns, off);
+            ev.ts_ns = if mapped < floor {
+                clamped += 1;
+                floor
+            } else {
+                mapped
+            };
             out.push(ev);
         }
+    }
+    if clamped > 0 {
+        crate::warn_once!(
+            "trace",
+            "clock offset {off}ns mapped {clamped} trace event(s) before the adopted \
+             epoch; timestamps clamped to the context-adoption floor (skewed clocks?)"
+        );
     }
     out.sort_by_key(|a| (a.ts_ns, a.span));
     out
@@ -467,6 +510,48 @@ mod tests {
         assert_eq!(b.parent, 0xbeef);
         assert!(b.ts_ns >= 1_000_000, "offset not applied: {}", b.ts_ns);
         assert_eq!(adopted_id, 0xfeed);
+    }
+
+    #[test]
+    fn negative_offset_clamps_to_adoption_floor_and_warns() {
+        let _g = crate::test_gate_lock();
+        crate::set_trace_enabled(true);
+        let prev_level = crate::log_level();
+        crate::set_log_level(crate::Level::Warn);
+        let _ = drain();
+        let _ = crate::take_recent_events();
+        let saved = context();
+        // A long-lived worker adopting a fresh context: events already
+        // in its rings predate the adoption, and under a negative
+        // clock offset their raw mapping lands before the parent-time
+        // of adoption (saturating toward 0), reordering the merged
+        // timeline. Any pre-adoption timestamp maps strictly below
+        // the floor, so the drain must clamp it up and warn.
+        let span = begin("pre-adoption");
+        end(span);
+        let off = -((clock_ns() / 2).max(1) as i64);
+        set_context(0xfeed, 0xbeef, off);
+        let floor = CLAMP_FLOOR_NS.load(Ordering::Relaxed);
+        assert!(floor > 0, "adoption floor should be on the timeline");
+        let events = drain();
+        let warnings = crate::take_recent_events();
+        set_context(saved.0, saved.1, saved.2);
+        crate::set_log_level(prev_level);
+        crate::set_trace_enabled(false);
+        let b = events
+            .iter()
+            .find(|e| e.span == span && e.phase == TracePhase::Begin)
+            .expect("begin recorded");
+        assert_eq!(
+            b.ts_ns, floor,
+            "pre-adoption timestamp should clamp exactly to the floor"
+        );
+        assert!(
+            warnings.iter().any(|w| w.contains("clamped")),
+            "clamping should warn once: {warnings:?}"
+        );
+        // Restoring the parent context disarms the floor.
+        assert_eq!(CLAMP_FLOOR_NS.load(Ordering::Relaxed), 0);
     }
 
     #[test]

@@ -39,6 +39,12 @@ pub const OP_TRACE_CTX: u8 = 7;
 /// Parent → worker: drain and ship recorded trace events
 /// ([`REPLY_TRACE`]).
 pub const OP_TRACE_DRAIN: u8 = 8;
+/// Parent → worker, **test hook**: arm the worker to truncate its next
+/// data reply mid-frame (header written, payload cut short) and exit.
+/// Exists so the death-detection path for a worker dying *between* a
+/// reply's header and payload is testable end-to-end; never sent by
+/// production code (companion to `ShardGroup::terminate_worker`).
+pub const OP_DEBUG_TRUNCATE: u8 = 0x7e;
 
 /// Worker → parent: success, no data.
 pub const REPLY_ACK: u8 = 0x81;
@@ -82,8 +88,35 @@ pub fn write_frame_vectored<W: Write>(w: &mut W, op: u8, segments: &[&[u8]]) -> 
     Ok(())
 }
 
-/// Reads one frame, returning `(opcode, payload)`.
+/// Granularity of incremental payload allocation in
+/// [`read_frame_capped`]. The buffer grows by at most this much ahead
+/// of the bytes that have actually arrived, so a forged header costs
+/// one chunk of memory before the short read surfaces, not the
+/// announced length.
+const READ_CHUNK: usize = 1 << 20;
+
+/// Reads one frame, returning `(opcode, payload)`. Accepts any payload
+/// up to [`MAX_FRAME`]; peers that can bound payloads more tightly per
+/// opcode should use [`read_frame_capped`].
 pub fn read_frame<R: Read>(r: &mut R) -> io::Result<(u8, Vec<u8>)> {
+    read_frame_capped(r, |_| MAX_FRAME)
+}
+
+/// Reads one frame, bounding the announced payload length both by
+/// [`MAX_FRAME`] and by a caller-supplied per-opcode cap.
+///
+/// The payload buffer grows in [`READ_CHUNK`] steps as bytes actually
+/// arrive rather than being allocated up front, so a hostile or
+/// desynchronized peer announcing gigabytes it never sends cannot OOM
+/// the process: the allocation tracks delivery, and the inevitable
+/// short read surfaces as an `io::Error` after at most one chunk.
+///
+/// A length above the opcode's cap is an `InvalidData` error *before*
+/// any payload byte is read. Note the stream is left desynchronized in
+/// that case (the announced payload is still in flight); callers are
+/// expected to drop the connection, which is exactly what the shard
+/// lifecycle layer does with any frame error.
+pub fn read_frame_capped<R: Read>(r: &mut R, cap: impl Fn(u8) -> u64) -> io::Result<(u8, Vec<u8>)> {
     let mut header = [0u8; 9];
     r.read_exact(&mut header)?;
     let op = header[0];
@@ -96,8 +129,21 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<(u8, Vec<u8>)> {
             format!("frame length {len} exceeds protocol maximum"),
         ));
     }
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
+    let op_cap = cap(op);
+    if len > op_cap {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap {op_cap} for opcode {op:#04x}"),
+        ));
+    }
+    let len = len as usize;
+    let mut payload = Vec::with_capacity(len.min(READ_CHUNK));
+    while payload.len() < len {
+        let step = (len - payload.len()).min(READ_CHUNK);
+        let filled = payload.len();
+        payload.resize(filled + step, 0);
+        r.read_exact(&mut payload[filled..])?;
+    }
     Ok((op, payload))
 }
 
@@ -236,6 +282,53 @@ mod tests {
         assert!(read_frame(&mut buf.as_slice()).is_err());
         // header alone cut short
         assert!(read_frame(&mut [OP_APPLY, 9].as_slice()).is_err());
+    }
+
+    #[test]
+    fn forged_header_short_reads_without_eager_allocation() {
+        // A hostile peer announces just under MAX_FRAME but delivers
+        // only a handful of bytes. The old codec allocated the full
+        // announced length before reading; the chunked reader must
+        // instead surface the short read after at most one chunk.
+        let mut buf = vec![OP_APPLY];
+        buf.extend_from_slice(&(MAX_FRAME - 1).to_le_bytes());
+        buf.extend_from_slice(&[0xab; 64]);
+        let err = read_frame(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn per_opcode_cap_rejects_before_reading_payload() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, OP_APPLY, &[0u8; 128]).unwrap();
+        let err = read_frame_capped(&mut buf.as_slice(), |op| {
+            if op == OP_APPLY {
+                64
+            } else {
+                MAX_FRAME
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("cap 64"), "{err}");
+        // The same frame passes once the cap admits it.
+        let (op, payload) = read_frame_capped(&mut buf.as_slice(), |_| 128).unwrap();
+        assert_eq!(op, OP_APPLY);
+        assert_eq!(payload.len(), 128);
+    }
+
+    #[test]
+    fn multi_chunk_payload_roundtrips() {
+        // Exercise the incremental-growth path with a payload spanning
+        // several READ_CHUNK steps (plus a ragged tail).
+        let big: Vec<u8> = (0..(READ_CHUNK * 2 + 37))
+            .map(|i| (i % 251) as u8)
+            .collect();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, OP_LOAD, &big).unwrap();
+        let (op, payload) = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(op, OP_LOAD);
+        assert_eq!(payload, big);
     }
 
     #[test]

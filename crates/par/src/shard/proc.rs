@@ -444,6 +444,31 @@ impl ShardGroup {
         out
     }
 
+    /// Arms shard `shard` to truncate its next data reply **mid-frame**
+    /// (reply header written, payload cut short, then exit) so the
+    /// death-detection path for a worker dying between a reply's
+    /// header and payload is testable end-to-end. The arming itself is
+    /// acked; the *next* apply through this group is the one that dies.
+    /// Test hook, companion to [`Self::terminate_worker`] (which
+    /// covers the clean-close death).
+    #[doc(hidden)]
+    pub fn arm_truncated_reply(&self, shard: usize) -> Result<(), ShardError> {
+        self.check_live()?;
+        let _round = self.round.lock().unwrap_or_else(|e| e.into_inner());
+        let mut w = self.workers[shard]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        w.send(frame::OP_DEBUG_TRUNCATE, &[])
+            .map_err(|_| self.poison(shard))?;
+        match w.recv().map_err(|_| self.poison(shard))? {
+            (REPLY_ACK, _) => Ok(()),
+            (op, _) => Err(ShardError::Protocol {
+                shard,
+                message: format!("unexpected reply {op:#x} to truncate arm"),
+            }),
+        }
+    }
+
     /// Kills one worker process outright (no shutdown frame). Test
     /// hook for the death-detection path: the next round must surface
     /// [`ShardError::WorkerDied`] instead of hanging.

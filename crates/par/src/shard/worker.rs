@@ -60,6 +60,10 @@ struct WorkerState {
     stage: String,
     /// Reusable output buffer for apply rounds.
     out: Vec<f64>,
+    /// Armed by [`frame::OP_DEBUG_TRUNCATE`]: the next data reply is
+    /// cut short after its header and the worker exits, simulating
+    /// death mid-frame (test hook).
+    truncate_next_reply: bool,
 }
 
 /// Serves frames from `reader`, replying on `writer`, until shutdown
@@ -73,10 +77,20 @@ pub(crate) fn serve<R: Read, W: Write>(reader: R, writer: W, shard: usize) -> i3
         blocks: Vec::new(),
         stage: String::new(),
         out: Vec::new(),
+        truncate_next_reply: false,
     };
     loop {
-        let (op, payload) = match frame::read_frame(&mut reader) {
+        let (op, payload) = match frame::read_frame_capped(&mut reader, |op| op_cap(op, &state)) {
             Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                // Protocol violation (length over the opcode's cap):
+                // the announced payload is still in flight, so the
+                // stream is desynchronized — reply best-effort and die
+                // rather than misparse whatever follows.
+                let _ = frame::write_frame(&mut writer, REPLY_ERR, e.to_string().as_bytes());
+                let _ = writer.flush();
+                return 1;
+            }
             // EOF / reset: the parent went away; exit quietly.
             Err(_) => return 0,
         };
@@ -99,6 +113,10 @@ pub(crate) fn serve<R: Read, W: Write>(reader: R, writer: W, shard: usize) -> i3
                 Ok(Reply::Ack)
             }
             frame::OP_SNAPSHOT => Ok(Reply::Snapshot(render_snapshot(&state))),
+            frame::OP_DEBUG_TRUNCATE => {
+                state.truncate_next_reply = true;
+                Ok(Reply::Ack)
+            }
             frame::OP_TRACE_CTX => handle_trace_ctx(&payload).map(|()| Reply::Ack),
             frame::OP_TRACE_DRAIN => Ok(Reply::Trace(render_trace())),
             frame::OP_SHUTDOWN => {
@@ -110,6 +128,20 @@ pub(crate) fn serve<R: Read, W: Write>(reader: R, writer: W, shard: usize) -> i3
         };
         let written = match &result {
             Ok(Reply::Ack) => frame::write_frame(&mut writer, REPLY_ACK, &[]),
+            Ok(Reply::Data(n)) if state.truncate_next_reply => {
+                // Armed test hook: write the full header, ship only
+                // half the payload, and die — the parent's in-flight
+                // read_exact must surface this as a short read, the
+                // same signature as a worker killed mid-reply.
+                let bytes = frame::f64s_as_bytes(&state.out[..*n]);
+                let mut header = [0u8; 9];
+                header[0] = REPLY_DATA;
+                header[1..9].copy_from_slice(&(bytes.len() as u64).to_le_bytes());
+                let _ = writer.write_all(&header);
+                let _ = writer.write_all(&bytes[..bytes.len() / 2]);
+                let _ = writer.flush();
+                return 2;
+            }
             Ok(Reply::Data(n)) => frame::write_frame(
                 &mut writer,
                 REPLY_DATA,
@@ -125,6 +157,38 @@ pub(crate) fn serve<R: Read, W: Write>(reader: R, writer: W, shard: usize) -> i3
             // Parent hung up mid-reply; nothing left to serve.
             return 0;
         }
+    }
+}
+
+/// Control frames and not-yet-sized requests may carry up to this much
+/// payload (1 MiB). Generous for stage names and trace contexts, and a
+/// sane floor for apply frames before any block is loaded (which can
+/// only produce a "not loaded" reply anyway).
+const CAP_BASE: u64 = 1 << 20;
+
+/// Widest multi-vector block the apply-multi cap admits per input
+/// column — far above any batcher or probe block width in the
+/// workspace, so it only excludes forged lengths, never real work.
+const CAP_MULTI_WIDTH: u64 = 4096;
+
+/// Per-opcode sanity cap on announced payload lengths, derived from
+/// what this worker has actually loaded: an `Apply` can be no larger
+/// than the widest loaded block's input slice, so a header announcing
+/// gigabytes for it is a forged or desynchronized stream, not work.
+/// Only `Load` may approach [`frame::MAX_FRAME`] — it is the one frame
+/// whose size legitimately scales with the graph.
+fn op_cap(op: u8, state: &WorkerState) -> u64 {
+    let max_inputs = state
+        .blocks
+        .iter()
+        .map(|(_, b)| b.inputs as u64)
+        .max()
+        .unwrap_or(0);
+    match op {
+        frame::OP_LOAD => frame::MAX_FRAME,
+        frame::OP_APPLY => CAP_BASE.max(8 + 8 * max_inputs),
+        frame::OP_APPLY_MULTI => CAP_BASE.max(16 + 8 * max_inputs * CAP_MULTI_WIDTH),
+        _ => CAP_BASE,
     }
 }
 
@@ -411,6 +475,27 @@ mod tests {
         let v = socmix_obs::parse(&json).unwrap();
         assert_eq!(v.get("stage").and_then(|s| s.as_str()), Some("fig5"));
         assert_eq!(v.get("shard").and_then(|s| s.as_i64()), Some(0));
+    }
+
+    #[test]
+    fn over_cap_apply_dies_with_typed_error() {
+        let mut req = Vec::new();
+        // Load a tiny block so the apply cap is derived from real
+        // state, then forge an OP_APPLY header announcing ~2 GiB that
+        // never arrives. The worker must reject on the header alone
+        // (no eager allocation), reply with a typed error, and exit
+        // nonzero because the stream is desynchronized.
+        write_frame_vectored(&mut req, OP_LOAD, &[&load_payload(7, 1, 1, &[0, 1], &[0])]).unwrap();
+        req.push(OP_APPLY);
+        req.extend_from_slice(&(2u64 << 30).to_le_bytes());
+        let mut replies = Vec::new();
+        assert_eq!(serve(req.as_slice(), &mut replies, 0), 1);
+        let mut cur = replies.as_slice();
+        let (op, _) = read_frame(&mut cur).unwrap();
+        assert_eq!(op, REPLY_ACK, "load acked before the forged frame");
+        let (op, msg) = read_frame(&mut cur).unwrap();
+        assert_eq!(op, REPLY_ERR);
+        assert!(String::from_utf8_lossy(&msg).contains("cap"), "{msg:?}");
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! Mid-frame worker death: a shard worker that dies *after* writing a
+//! reply header but *before* the payload must surface as a typed
+//! `WorkerDied` (not a hang, not a protocol misparse), poison the
+//! group, and be replaced by a fresh spawn on the next `obtain`.
+//!
+//! The clean-close death (worker killed between rounds) is covered by
+//! `shard_determinism` in socmix-linalg; this suite covers the short
+//! read landing inside `read_frame`'s payload loop, armed via the
+//! `OP_DEBUG_TRUNCATE` test hook.
+//!
+//! This binary runs **without** the libtest harness (like
+//! `trace_roundtrip`): worker processes are fork/execs of the current
+//! executable, so `main` must call `worker_check()` before anything
+//! else.
+
+use socmix_par::shard::{ShardError, ShardGroup, ShardSpec};
+
+const FINGERPRINT: u64 = 0xdead_0001;
+
+/// One-shard CSR over 4 inputs: row r sums two entries of the gathered
+/// input, so a correct apply returns `[z1+z3, z0+z2]`.
+fn spec<'a>(offsets: &'a [usize], targets: &'a [u32]) -> ShardSpec<'a> {
+    // The borrow checker wants the arrays to outlive the spec; callers
+    // pass the same statics-by-stack pattern as `trace_roundtrip`.
+    ShardSpec {
+        fingerprint: FINGERPRINT,
+        rows: 2,
+        inputs: 4,
+        offsets,
+        targets,
+    }
+}
+
+fn load_and_check(group: &ShardGroup) {
+    let offsets = [0usize, 2, 4];
+    let targets = [1u32, 3, 0, 2];
+    group
+        .load(&[spec(&offsets, &targets)])
+        .expect("load tiny CSR");
+    let inputs = vec![vec![1.0f64, 2.0, 3.0, 4.0]];
+    let mut outputs = vec![Vec::new()];
+    group
+        .apply(FINGERPRINT, &inputs, &mut outputs)
+        .expect("healthy apply");
+    assert_eq!(outputs[0], vec![6.0, 4.0], "row sums over the live worker");
+}
+
+fn mid_frame_death_is_typed_poisoning_and_recoverable() {
+    let group = ShardGroup::obtain(1).expect("harness-free binary hosts workers");
+    load_and_check(&group);
+
+    // Arm the worker: its next data reply writes the full 9-byte
+    // header, half the payload, then the process exits. The parent's
+    // read_exact is left waiting inside the frame payload.
+    group.arm_truncated_reply(0).expect("arming is acked");
+
+    let inputs = vec![vec![1.0f64, 2.0, 3.0, 4.0]];
+    let mut outputs = vec![Vec::new()];
+    let err = group
+        .apply(FINGERPRINT, &inputs, &mut outputs)
+        .expect_err("truncated reply must not parse as success");
+    assert_eq!(
+        err,
+        ShardError::WorkerDied { shard: 0 },
+        "short read mid-frame surfaces as the typed death, got: {err}"
+    );
+    assert!(group.is_poisoned(), "death poisons the whole group");
+
+    // Every subsequent round on the poisoned group fails fast without
+    // touching the dead socket.
+    let err = group
+        .apply(FINGERPRINT, &inputs, &mut outputs)
+        .expect_err("poisoned group refuses rounds");
+    assert_eq!(err, ShardError::GroupPoisoned { shards: 1 });
+
+    // The registry replaces the poisoned group on the next obtain: a
+    // fresh spawn serves correct bits again.
+    let fresh = ShardGroup::obtain(1).expect("respawn after poisoning");
+    assert!(
+        !std::sync::Arc::ptr_eq(&group, &fresh),
+        "obtain must hand back a new group, not the poisoned one"
+    );
+    assert!(!fresh.is_poisoned());
+    load_and_check(&fresh);
+}
+
+fn main() {
+    // Must run before anything else: when spawned as `shard-worker`,
+    // this call serves frames and exits instead of running tests.
+    socmix_par::shard::worker_check();
+
+    let tests: &[(&str, fn())] = &[(
+        "mid_frame_death_is_typed_poisoning_and_recoverable",
+        mid_frame_death_is_typed_poisoning_and_recoverable,
+    )];
+    println!("running {} shard death tests", tests.len());
+    for (name, test) in tests {
+        test();
+        println!("test {name} ... ok");
+    }
+    println!("shard death suite: all {} tests passed", tests.len());
+}

@@ -1,0 +1,339 @@
+//! Leader–follower coalescing of concurrent probe queries.
+//!
+//! Escape-probability probes against the same (graph, walk length)
+//! pair are embarrassingly batchable: each is one column of a
+//! [`MultiLinearOp::apply_multi`](socmix_linalg::MultiLinearOp) block,
+//! and the batched kernel's per-column accumulation order matches the
+//! width-1 kernel exactly, so batching changes *nothing* about the
+//! answer bits — only how many CSR traversals the server pays.
+//!
+//! The protocol: the first query to arrive for a key opens a batch
+//! cell and becomes its **leader**; it waits up to the batch window
+//! (or until the batch fills) for followers, then removes the cell
+//! from the open registry, computes the whole batch, and publishes the
+//! results. Followers just enqueue their node and wait on the cell's
+//! condvar. A window of zero degenerates to per-request dispatch —
+//! that is the bench's comparison baseline, not a separate code path.
+//!
+//! Lock order is always registry → cell, and the compute runs with
+//! *neither* lock held, so a slow matvec never blocks unrelated keys.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use socmix_obs::{Counter, Histogram};
+
+static BATCHES: Counter = Counter::new("serve.batches");
+static BATCHED_QUERIES: Counter = Counter::new("serve.batched_queries");
+static BATCH_WIDTH: Histogram = Histogram::new("serve.batch_width");
+
+/// What a batch computes over: one u64 item per query (for escape
+/// probes, the start node).
+pub type Item = u64;
+
+/// The batch identity: queries coalesce only within the same key
+/// (for escape probes: graph content key ⊕ walk length).
+pub type BatchKey = u64;
+
+enum Phase {
+    /// Leader is still inside the window; followers may join.
+    Filling,
+    /// Leader is computing; the cell is out of the registry.
+    Running,
+    /// Results are published, one per enqueued item.
+    Done(Vec<f64>),
+    /// The compute failed; every waiter gets the same message.
+    Failed(String),
+}
+
+struct Cell {
+    state: Mutex<CellState>,
+    cond: Condvar,
+}
+
+struct CellState {
+    items: Vec<Item>,
+    phase: Phase,
+}
+
+/// The open-batch registry plus batching knobs.
+pub struct Batcher {
+    open: Mutex<HashMap<BatchKey, Arc<Cell>>>,
+    window: Duration,
+    max: usize,
+}
+
+/// Outcome of one batched query.
+pub enum BatchResult {
+    /// The computed value for this query's item.
+    Value(f64),
+    /// The deadline passed while waiting on the batch.
+    Deadline,
+    /// The batch compute failed with this message.
+    Error(String),
+}
+
+impl Batcher {
+    /// A batcher with the given coalescing window and max batch size.
+    /// `window == 0` means every query leads its own batch of one.
+    pub fn new(window: Duration, max: usize) -> Self {
+        Batcher {
+            open: Mutex::new(HashMap::new()),
+            window,
+            max: max.max(1),
+        }
+    }
+
+    /// Runs `item` under `key`, coalescing with concurrent callers.
+    /// `compute` maps the batch's items to one value each, in order;
+    /// it runs on exactly one caller (the leader) per batch, with no
+    /// batcher lock held. `deadline` bounds a follower's wait.
+    pub fn run(
+        &self,
+        key: BatchKey,
+        item: Item,
+        deadline: Instant,
+        compute: impl FnOnce(&[Item]) -> Result<Vec<f64>, String>,
+    ) -> BatchResult {
+        let (cell, index, leader) = self.join(key, item);
+        if leader {
+            self.lead(key, &cell, compute);
+        }
+        self.await_result(&cell, index, deadline)
+    }
+
+    /// Joins (or opens) the cell for `key`; returns the cell, the
+    /// caller's item index, and whether the caller leads.
+    fn join(&self, key: BatchKey, item: Item) -> (Arc<Cell>, usize, bool) {
+        let mut open = self.open.lock().unwrap_or_else(|e| e.into_inner());
+        if self.window > Duration::ZERO {
+            if let Some(cell) = open.get(&key) {
+                let cell = Arc::clone(cell);
+                let mut st = cell.state.lock().unwrap_or_else(|e| e.into_inner());
+                if matches!(st.phase, Phase::Filling) && st.items.len() < self.max {
+                    st.items.push(item);
+                    let index = st.items.len() - 1;
+                    let full = st.items.len() >= self.max;
+                    drop(st);
+                    if full {
+                        // Wake the leader early: the window is moot.
+                        cell.cond.notify_all();
+                    }
+                    return (cell, index, false);
+                }
+                // Cell is full or already running: fall through and
+                // open a fresh one in its place.
+            }
+        }
+        let cell = Arc::new(Cell {
+            state: Mutex::new(CellState {
+                items: vec![item],
+                phase: Phase::Filling,
+            }),
+            cond: Condvar::new(),
+        });
+        if self.window > Duration::ZERO {
+            open.insert(key, Arc::clone(&cell));
+        }
+        (cell, 0, true)
+    }
+
+    /// Leader path: wait out the window, seal the batch, compute,
+    /// publish.
+    fn lead(
+        &self,
+        key: BatchKey,
+        cell: &Arc<Cell>,
+        compute: impl FnOnce(&[Item]) -> Result<Vec<f64>, String>,
+    ) {
+        if self.window > Duration::ZERO {
+            let opened = Instant::now();
+            let mut st = cell.state.lock().unwrap_or_else(|e| e.into_inner());
+            while st.items.len() < self.max {
+                let elapsed = opened.elapsed();
+                if elapsed >= self.window {
+                    break;
+                }
+                let (next, timeout) = cell
+                    .cond
+                    .wait_timeout(st, self.window - elapsed)
+                    .unwrap_or_else(|e| e.into_inner());
+                st = next;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+            st.phase = Phase::Running;
+            drop(st);
+            // Seal: late arrivals for this key now open a new cell.
+            let mut open = self.open.lock().unwrap_or_else(|e| e.into_inner());
+            if open
+                .get(&key)
+                .is_some_and(|current| Arc::ptr_eq(current, cell))
+            {
+                open.remove(&key);
+            }
+        } else {
+            let mut st = cell.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.phase = Phase::Running;
+        }
+
+        // Snapshot the sealed batch; compute with no lock held.
+        let items = {
+            let st = cell.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.items.clone()
+        };
+        BATCHES.incr();
+        BATCHED_QUERIES.add(items.len() as u64);
+        BATCH_WIDTH.record(items.len() as u64);
+        let outcome = compute(&items);
+
+        let mut st = cell.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.phase = match outcome {
+            Ok(values) if values.len() == items.len() => Phase::Done(values),
+            Ok(values) => Phase::Failed(format!(
+                "batch compute returned {} values for {} queries",
+                values.len(),
+                items.len()
+            )),
+            Err(e) => Phase::Failed(e),
+        };
+        drop(st);
+        cell.cond.notify_all();
+    }
+
+    /// Waits for the cell to publish, honoring the caller's deadline.
+    fn await_result(&self, cell: &Arc<Cell>, index: usize, deadline: Instant) -> BatchResult {
+        let mut st = cell.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            match &st.phase {
+                Phase::Done(values) => {
+                    return match values.get(index) {
+                        Some(v) => BatchResult::Value(*v),
+                        None => BatchResult::Error("batch result index out of range".into()),
+                    };
+                }
+                Phase::Failed(e) => return BatchResult::Error(e.clone()),
+                Phase::Filling | Phase::Running => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return BatchResult::Deadline;
+                    }
+                    let (next, _) = cell
+                        .cond
+                        .wait_timeout(st, deadline - now)
+                        .unwrap_or_else(|e| e.into_inner());
+                    st = next;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn far_deadline() -> Instant {
+        Instant::now() + Duration::from_secs(10)
+    }
+
+    #[test]
+    fn window_zero_is_per_request() {
+        let b = Batcher::new(Duration::ZERO, 64);
+        let calls = AtomicUsize::new(0);
+        for i in 0..4u64 {
+            let r = b.run(7, i, far_deadline(), |items| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                assert_eq!(items, &[i], "each query leads alone");
+                Ok(vec![i as f64 * 2.0])
+            });
+            match r {
+                BatchResult::Value(v) => assert_eq!(v, i as f64 * 2.0),
+                _ => panic!("per-request path must succeed"),
+            }
+        }
+        assert_eq!(calls.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn concurrent_queries_coalesce_into_one_compute() {
+        let b = Arc::new(Batcher::new(Duration::from_millis(100), 8));
+        let computes = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for i in 0..8u64 {
+            let b = Arc::clone(&b);
+            let computes = Arc::clone(&computes);
+            handles.push(std::thread::spawn(move || {
+                let r = b.run(42, i, far_deadline(), |items| {
+                    computes.fetch_add(1, Ordering::Relaxed);
+                    Ok(items.iter().map(|&x| x as f64 + 0.5).collect())
+                });
+                match r {
+                    BatchResult::Value(v) => assert_eq!(v, i as f64 + 0.5),
+                    BatchResult::Deadline => panic!("deadline inside a generous window"),
+                    BatchResult::Error(e) => panic!("batch failed: {e}"),
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("batch worker");
+        }
+        // The max=8 batch fills and computes once; thread scheduling
+        // may split it (a straggler missing the window), but it must
+        // never take 8 separate computes.
+        let n = computes.load(Ordering::Relaxed);
+        assert!(
+            n < 8,
+            "8 concurrent queries took {n} computes — no coalescing"
+        );
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let b = Arc::new(Batcher::new(Duration::from_millis(50), 8));
+        let t = {
+            let b = Arc::clone(&b);
+            std::thread::spawn(move || {
+                b.run(1, 10, far_deadline(), |items| {
+                    Ok(items.iter().map(|&x| x as f64).collect())
+                })
+            })
+        };
+        let r = b.run(2, 20, far_deadline(), |items| {
+            assert_eq!(items, &[20], "key 2 never sees key 1's item");
+            Ok(vec![99.0])
+        });
+        assert!(matches!(r, BatchResult::Value(v) if v == 99.0));
+        match t.join().expect("leader thread") {
+            BatchResult::Value(v) => assert_eq!(v, 10.0),
+            _ => panic!("key 1 leader must succeed"),
+        }
+    }
+
+    #[test]
+    fn failures_reach_every_waiter() {
+        let b = Batcher::new(Duration::ZERO, 4);
+        let r = b.run(9, 0, far_deadline(), |_| Err("graph melted".into()));
+        match r {
+            BatchResult::Error(e) => assert!(e.contains("melted")),
+            _ => panic!("compute failure must surface as an error"),
+        }
+    }
+
+    #[test]
+    fn expired_deadline_sheds_instead_of_hanging() {
+        let b = Batcher::new(Duration::ZERO, 4);
+        // Deadline already in the past: even the leader path reports
+        // the shed after computing (the value is dropped, not served
+        // beyond the deadline is fine — the waiter checks first).
+        let past = Instant::now() - Duration::from_millis(1);
+        let r = b.run(9, 0, past, |items| Ok(items.iter().map(|_| 1.0).collect()));
+        // Leader computes then observes Done before checking the
+        // clock, so a Value is also acceptable; what is *not*
+        // acceptable is a hang. Either way this returns.
+        assert!(matches!(r, BatchResult::Value(_) | BatchResult::Deadline));
+    }
+}

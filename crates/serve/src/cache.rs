@@ -1,0 +1,140 @@
+//! Bounded answer cache, keyed by content hash.
+//!
+//! A `/mix` answer depends only on (graph content key, ε, query
+//! class), so the server caches the *rendered response body* — the
+//! cached, per-request, and batched paths all serve byte-identical
+//! strings, which is what the serve-smoke equivalence check compares.
+//!
+//! Eviction is FIFO over insertion order with a fixed entry cap; the
+//! values are small rendered JSON strings, so a size-based budget
+//! would be over-engineering here.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use socmix_obs::Counter;
+
+static HITS: Counter = Counter::new("serve.cache.hit");
+static MISSES: Counter = Counter::new("serve.cache.miss");
+
+/// Default entry cap for the server's answer cache.
+pub const DEFAULT_CAP: usize = 1024;
+
+/// FNV-1a over a list of u64 components — the cache key combinator.
+/// (ε enters via `to_bits`, so `0.25` and `0.250000001` are distinct
+/// keys; no float equality anywhere.)
+pub fn answer_key(parts: &[u64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for part in parts {
+        for b in part.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+struct CacheInner {
+    map: HashMap<u64, Arc<String>>,
+    order: VecDeque<u64>,
+}
+
+/// Bounded rendered-answer cache.
+pub struct AnswerCache {
+    inner: Mutex<CacheInner>,
+    cap: usize,
+}
+
+impl AnswerCache {
+    /// A cache holding at most `cap` rendered answers.
+    pub fn new(cap: usize) -> Self {
+        AnswerCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Cached body for `key`, counting the hit/miss.
+    pub fn get(&self, key: u64) -> Option<Arc<String>> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        match inner.map.get(&key) {
+            Some(v) => {
+                HITS.incr();
+                Some(Arc::clone(v))
+            }
+            None => {
+                MISSES.incr();
+                None
+            }
+        }
+    }
+
+    /// Inserts a rendered body, evicting the oldest entry past the
+    /// cap. Re-inserting an existing key refreshes the value without
+    /// growing the order queue.
+    pub fn put(&self, key: u64, body: Arc<String>) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.map.insert(key, body).is_none() {
+            inner.order.push_back(key);
+            while inner.order.len() > self.cap {
+                if let Some(old) = inner.order.pop_front() {
+                    inner.map.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .map
+            .len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_separate_eps_and_graph() {
+        let a = answer_key(&[1, 0.25f64.to_bits()]);
+        let b = answer_key(&[1, 0.26f64.to_bits()]);
+        let c = answer_key(&[2, 0.25f64.to_bits()]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, answer_key(&[1, 0.25f64.to_bits()]), "deterministic");
+    }
+
+    #[test]
+    fn fifo_eviction_respects_the_cap() {
+        let cache = AnswerCache::new(2);
+        cache.put(1, Arc::new("one".into()));
+        cache.put(2, Arc::new("two".into()));
+        cache.put(3, Arc::new("three".into()));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(1).is_none(), "oldest entry evicted");
+        assert_eq!(cache.get(2).as_deref().map(String::as_str), Some("two"));
+        assert_eq!(cache.get(3).as_deref().map(String::as_str), Some("three"));
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_duplicating_order() {
+        let cache = AnswerCache::new(2);
+        cache.put(1, Arc::new("a".into()));
+        cache.put(1, Arc::new("b".into()));
+        cache.put(2, Arc::new("c".into()));
+        assert_eq!(cache.len(), 2, "no phantom entry from the refresh");
+        assert_eq!(cache.get(1).as_deref().map(String::as_str), Some("b"));
+    }
+}

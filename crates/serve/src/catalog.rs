@@ -1,0 +1,225 @@
+//! The server's loaded-graph registry.
+//!
+//! Graphs come from the `socmix-gen` catalog via [`GraphCache`] (so a
+//! restart at the same `--cache-dir` reloads from disk instead of
+//! regenerating) and stay resident behind `Arc`s until evicted. Each
+//! load also attaches a deterministic Sybil region — derived from the
+//! graph's own content-hash key — so `/escape` and `/admit` answer
+//! against the same adversary on every load of the same graph.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socmix_gen::{Dataset, GraphCache};
+use socmix_graph::Graph;
+use socmix_obs::Counter;
+use socmix_sybil::{attach_sybil_region, AttackParams, AttackedGraph, SybilTopology};
+
+static LOADS: Counter = Counter::new("serve.catalog.loads");
+static EVICTS: Counter = Counter::new("serve.catalog.evicts");
+
+/// One resident graph plus its deterministic attacked twin.
+///
+/// `Debug` prints the identity, not the (potentially huge) graphs.
+pub struct LoadedGraph {
+    /// URL slug (`physics-1`), also the eviction handle.
+    pub slug: String,
+    /// Catalog display name (`Physics 1`).
+    pub name: &'static str,
+    /// Content-hash key from [`GraphCache::key`]; answer-cache keys
+    /// and batch keys derive from this, so two loads of the same
+    /// (dataset, scale, seed) share cached answers.
+    pub key: u64,
+    /// Scale the graph was generated at.
+    pub scale: f64,
+    /// Generation seed.
+    pub seed: u64,
+    /// The honest graph.
+    pub graph: Arc<Graph>,
+    /// The graph with a deterministic Sybil region attached
+    /// (`sybil_count = max(1, n/20)`, `attack_edges = max(1, n/50)`,
+    /// random topology seeded by `key`).
+    pub attacked: Arc<AttackedGraph>,
+}
+
+impl std::fmt::Debug for LoadedGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoadedGraph")
+            .field("slug", &self.slug)
+            .field("key", &format_args!("{:016x}", self.key))
+            .field("n", &self.graph.num_nodes())
+            .field("scale", &self.scale)
+            .field("seed", &self.seed)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Registry of resident graphs, keyed by slug.
+pub struct Catalog {
+    cache: GraphCache,
+    loaded: Mutex<HashMap<String, Arc<LoadedGraph>>>,
+}
+
+/// URL slug for a catalog name: lowercased, spaces become dashes
+/// (`"Physics 1"` → `"physics-1"`).
+pub fn slug(name: &str) -> String {
+    name.to_ascii_lowercase().replace(' ', "-")
+}
+
+/// Resolves a slug back to its catalog dataset.
+pub fn dataset_for(s: &str) -> Option<Dataset> {
+    Dataset::all().iter().copied().find(|d| slug(d.name()) == s)
+}
+
+impl Catalog {
+    /// A catalog backed by the graph cache at `dir`.
+    pub fn at(dir: impl Into<std::path::PathBuf>) -> Self {
+        Catalog {
+            cache: GraphCache::at(dir),
+            loaded: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Loads (or returns the already-resident) graph for `slug` at
+    /// `scale`/`seed`. Errors are strings destined for a 4xx body.
+    pub fn load(&self, slug: &str, scale: f64, seed: u64) -> Result<Arc<LoadedGraph>, String> {
+        let Some(ds) = dataset_for(slug) else {
+            let known: Vec<String> = Dataset::all()
+                .iter()
+                .map(|d| crate::catalog::slug(d.name()))
+                .collect();
+            return Err(format!(
+                "unknown graph {slug:?}; catalog: {}",
+                known.join(", ")
+            ));
+        };
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(format!(
+                "scale must be a positive finite number, got {scale}"
+            ));
+        }
+        {
+            let loaded = self.loaded.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(lg) = loaded.get(slug) {
+                if lg.scale == scale && lg.seed == seed {
+                    return Ok(Arc::clone(lg));
+                }
+            }
+        }
+
+        // Generate outside the registry lock: a big load must not
+        // block queries against other resident graphs.
+        let graph = Arc::new(self.cache.load_or_generate(ds, scale, seed));
+        let n = graph.num_nodes();
+        if n < 3 || graph.num_edges() == 0 {
+            return Err(format!(
+                "graph {slug:?} at scale {scale} has {n} nodes and {} edges; \
+                 too small to serve",
+                graph.num_edges()
+            ));
+        }
+        let key = GraphCache::key(ds, scale, seed);
+        // Deterministic adversary: sized off the honest graph, seeded
+        // by the content key so every load sees the same region.
+        let params = AttackParams {
+            sybil_count: (n / 20).max(1),
+            attack_edges: (n / 50).max(1),
+            topology: SybilTopology::Random { avg_degree: 3.0 },
+        };
+        let mut rng = StdRng::seed_from_u64(key ^ 0x5bd1_e995);
+        let attacked = Arc::new(attach_sybil_region(&graph, params, &mut rng));
+
+        let lg = Arc::new(LoadedGraph {
+            slug: slug.to_string(),
+            name: ds.name(),
+            key,
+            scale,
+            seed,
+            graph,
+            attacked,
+        });
+        LOADS.incr();
+        let mut loaded = self.loaded.lock().unwrap_or_else(|e| e.into_inner());
+        loaded.insert(slug.to_string(), Arc::clone(&lg));
+        Ok(lg)
+    }
+
+    /// The resident graph for `slug`, if any.
+    pub fn get(&self, slug: &str) -> Option<Arc<LoadedGraph>> {
+        let loaded = self.loaded.lock().unwrap_or_else(|e| e.into_inner());
+        loaded.get(slug).cloned()
+    }
+
+    /// Drops the resident graph for `slug`. In-flight queries holding
+    /// the `Arc` finish against the old graph; memory frees when the
+    /// last one drops it.
+    pub fn evict(&self, slug: &str) -> bool {
+        let mut loaded = self.loaded.lock().unwrap_or_else(|e| e.into_inner());
+        let hit = loaded.remove(slug).is_some();
+        if hit {
+            EVICTS.incr();
+        }
+        hit
+    }
+
+    /// Slugs of every resident graph, sorted.
+    pub fn list(&self) -> Vec<Arc<LoadedGraph>> {
+        let loaded = self.loaded.lock().unwrap_or_else(|e| e.into_inner());
+        let mut all: Vec<_> = loaded.values().cloned().collect();
+        all.sort_by(|a, b| a.slug.cmp(&b.slug));
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slugs_cover_the_catalog_uniquely() {
+        let mut seen = std::collections::HashSet::new();
+        for ds in Dataset::all() {
+            let s = slug(ds.name());
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+                "slug {s:?} is URL-safe"
+            );
+            assert!(seen.insert(s.clone()), "slug {s:?} is unique");
+            assert_eq!(dataset_for(&s), Some(*ds), "round-trips");
+        }
+        assert_eq!(dataset_for("no-such-graph"), None);
+    }
+
+    #[test]
+    fn load_get_evict_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("socmix-serve-cat-{}", std::process::id()));
+        let cat = Catalog::at(&dir);
+        let lg = cat.load("wiki-vote", 0.02, 7).expect("tiny load");
+        assert!(lg.graph.num_nodes() > 2);
+        assert!(lg.attacked.graph.num_nodes() > lg.graph.num_nodes());
+        // Second load of the same triple is the same resident Arc.
+        let again = cat.load("wiki-vote", 0.02, 7).expect("cached load");
+        assert!(Arc::ptr_eq(&lg, &again));
+        assert_eq!(cat.list().len(), 1);
+        assert!(cat.evict("wiki-vote"));
+        assert!(!cat.evict("wiki-vote"), "second evict is a miss");
+        assert!(cat.get("wiki-vote").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_graphs_and_bad_scales_are_typed_errors() {
+        let dir = std::env::temp_dir().join(format!("socmix-serve-cat2-{}", std::process::id()));
+        let cat = Catalog::at(&dir);
+        let err = cat.load("atlantis", 1.0, 0).expect_err("unknown slug");
+        assert!(err.contains("unknown graph"));
+        let err = cat.load("wiki-vote", -1.0, 0).expect_err("negative scale");
+        assert!(err.contains("positive"));
+        let err = cat.load("wiki-vote", f64::NAN, 0).expect_err("NaN scale");
+        assert!(err.contains("positive"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

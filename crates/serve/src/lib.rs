@@ -1,0 +1,51 @@
+//! Mixing-time-as-a-service: a long-running server over the socmix
+//! estimators.
+//!
+//! The rest of the workspace measures mixing times in batch — one
+//! `repro` invocation, one answer, one process exit. This crate keeps
+//! the estimators resident and answers the same questions under
+//! sustained traffic:
+//!
+//! - `GET /mix?graph=..&eps=..` — the SLEM µ and the paper's
+//!   mixing-time bracket `T(ε)` ([`socmix_core::MixingBounds`]).
+//! - `GET /escape?graph=..&node=..&w=..` — the probability a `w`-step
+//!   walk from an honest node ends inside the graph's deterministic
+//!   Sybil region.
+//! - `POST /admit` — a SybilLimit admission verdict for a suspect
+//!   list.
+//! - `POST /load` / `POST /evict` / `GET /graphs` — catalog graphs in
+//!   and out of residence (backed by [`socmix_gen::GraphCache`], so
+//!   restarts reload from disk).
+//! - `GET /metrics` / `GET /trace` / `GET /health` — the live ops
+//!   surface: the [`socmix_obs`] snapshot and Chrome-trace export over
+//!   HTTP.
+//!
+//! Two listeners speak the same endpoints: a minimal HTTP/1.1 subset
+//! ([`http`]) and the workspace's length-prefixed frame protocol
+//! ([`frames`]); answer bodies are byte-identical across them.
+//!
+//! # Throughput and overload
+//!
+//! Concurrent escape probes against the same (graph, `w`) coalesce
+//! into one [`socmix_linalg::MultiLinearOp::apply_multi`] batch
+//! ([`batch`]) — the batched kernel's exactness contract makes the
+//! coalesced answers bit-identical to per-request dispatch, so
+//! batching is purely a throughput lever (`SOCMIX_SERVE_BATCH_WINDOW_US=0`
+//! turns it off). `/mix` answers cache by content-hash key
+//! ([`cache`]). Overload is explicit: a bounded accept queue sheds at
+//! the door with a typed 503 (`serve.shed`), and requests that age
+//! past the per-request deadline shed instead of queueing unboundedly
+//! ([`server`]).
+
+pub mod batch;
+pub mod cache;
+pub mod catalog;
+pub mod frames;
+pub mod http;
+pub mod knobs;
+pub mod queries;
+pub mod server;
+
+pub use catalog::{Catalog, LoadedGraph};
+pub use knobs::ServeConfig;
+pub use server::{Server, SHED_BODY};

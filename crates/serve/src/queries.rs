@@ -1,0 +1,308 @@
+//! The three query kernels behind the server's endpoints.
+//!
+//! Everything here returns `Result<_, String>` — the string becomes a
+//! typed JSON error body, never a panic. This module is inside the
+//! SL005 hot-path lint scope: graph and parameter validation happens
+//! *before* calling into estimator APIs whose contracts are assert-
+//! based (`SybilLimit::new` panics on an empty graph, walk evolution
+//! indexes by node id, and so on).
+
+use socmix_core::{MixingBounds, Slem};
+use socmix_linalg::{MultiLinearOp, MultiVec, WalkOp};
+use socmix_obs::{Counter, Histogram, Span, Value};
+use socmix_par::Pool;
+use socmix_sybil::sybillimit::Verification;
+use socmix_sybil::{SybilLimit, SybilLimitParams};
+
+use crate::catalog::LoadedGraph;
+
+static MIX_NS: Histogram = Histogram::new("serve.query.mix_ns");
+static ESCAPE_NS: Histogram = Histogram::new("serve.query.escape_ns");
+static ADMIT_NS: Histogram = Histogram::new("serve.query.admit_ns");
+static SLEM_SOLVES: Counter = Counter::new("serve.slem_solves");
+
+/// Fixed seed for served SLEM solves: two queries for the same graph
+/// must agree bit-for-bit, so the estimator's randomized start vector
+/// is pinned.
+const SLEM_SEED: u64 = 0x0050_c1a1;
+
+/// `GET /mix?graph=..&eps=..` — the SLEM µ and the paper's mixing-time
+/// bracket `T(ε) ∈ [lower, upper]` at the requested ε.
+///
+/// Renders the full JSON body so the answer cache can serve the exact
+/// same bytes.
+pub fn mix(lg: &LoadedGraph, eps: f64, pool: Pool) -> Result<String, String> {
+    if !(eps.is_finite() && eps > 0.0 && eps < 1.0) {
+        return Err(format!("eps must be in (0, 1), got {eps}"));
+    }
+    let _span = Span::start(&MIX_NS);
+    SLEM_SOLVES.incr();
+    let est = Slem::auto(&lg.graph)
+        .seed(SLEM_SEED)
+        .pool(pool)
+        .estimate()
+        .map_err(|e| format!("slem estimation failed: {e}"))?;
+    let bounds = MixingBounds::new(est.mu, lg.graph.num_nodes());
+    let (lower, upper) = bounds.at_epsilon(eps);
+    let mut obj = vec![
+        ("graph".to_string(), Value::Str(lg.slug.clone())),
+        ("n".to_string(), Value::Int(lg.graph.num_nodes() as i64)),
+        ("mu".to_string(), Value::Float(est.mu)),
+        ("eps".to_string(), Value::Float(eps)),
+        ("t_lower".to_string(), Value::Float(lower)),
+        ("t_upper".to_string(), Value::Float(upper)),
+        ("converged".to_string(), Value::Bool(est.converged)),
+        ("iterations".to_string(), Value::Int(est.iterations as i64)),
+    ];
+    if let Some(l2) = est.lambda2 {
+        obj.push(("lambda2".to_string(), Value::Float(l2)));
+    }
+    Ok(Value::Obj(obj).to_compact())
+}
+
+/// Exact escape-probe batch: for each start node, the probability that
+/// a `w`-step walk from it ends inside the Sybil region (non-
+/// absorbing; the "is inside at step w" event, one column of mass
+/// evolution per query).
+///
+/// All columns evolve through the same
+/// [`apply_multi`](MultiLinearOp::apply_multi) sweeps, whose exactness
+/// contract guarantees each column matches the width-1 serial result
+/// bit-for-bit — so batched and per-request dispatch serve identical
+/// bytes.
+pub fn escape_batch(
+    lg: &LoadedGraph,
+    nodes: &[u64],
+    w: usize,
+    pool: Pool,
+) -> Result<Vec<f64>, String> {
+    let attacked = &lg.attacked;
+    let n = attacked.graph.num_nodes();
+    if w == 0 || w > 10_000 {
+        return Err(format!("w must be in 1..=10000, got {w}"));
+    }
+    for &node in nodes {
+        if node as usize >= attacked.honest {
+            return Err(format!(
+                "node {node} is not an honest node (honest ids are 0..{})",
+                attacked.honest
+            ));
+        }
+    }
+    let _span = Span::start(&ESCAPE_NS);
+    let width = nodes.len();
+    let mut x = MultiVec::zeros(n, width);
+    let mut y = MultiVec::zeros(n, width);
+    for (c, &node) in nodes.iter().enumerate() {
+        x.set(node as usize, c, 1.0);
+    }
+    let op = WalkOp::with_pool(&attacked.graph, pool);
+    for _ in 0..w {
+        op.apply_multi(&x, &mut y, width);
+        std::mem::swap(&mut x, &mut y);
+    }
+    // Mass inside the Sybil region at step w, per column. Row-major
+    // summation in row order: identical association for width 1 and
+    // width k, keeping the bit-equivalence contract end to end.
+    let mut probs = vec![0.0f64; width];
+    for row in attacked.honest..n {
+        let vals = x.row(row);
+        for (c, p) in probs.iter_mut().enumerate() {
+            *p += vals[c];
+        }
+    }
+    Ok(probs)
+}
+
+/// Renders one `/escape` response body from a batch-computed value.
+pub fn render_escape(lg: &LoadedGraph, node: u64, w: usize, prob: f64) -> String {
+    Value::Obj(vec![
+        ("graph".to_string(), Value::Str(lg.slug.clone())),
+        ("node".to_string(), Value::Int(node as i64)),
+        ("w".to_string(), Value::Int(w as i64)),
+        ("escape_probability".to_string(), Value::Float(prob)),
+        (
+            "sybil_count".to_string(),
+            Value::Int((lg.attacked.graph.num_nodes() - lg.attacked.honest) as i64),
+        ),
+    ])
+    .to_compact()
+}
+
+/// `POST /admit` — run SybilLimit with `verifier` judging `suspects`
+/// on the loaded graph's attacked twin.
+pub fn admit(
+    lg: &LoadedGraph,
+    verifier: u64,
+    suspects: &[u64],
+    w: usize,
+    pool: Pool,
+) -> Result<String, String> {
+    let attacked = &lg.attacked;
+    let n = attacked.graph.num_nodes();
+    if attacked.graph.num_edges() == 0 {
+        return Err("graph has no edges".to_string());
+    }
+    if w == 0 || w > 10_000 {
+        return Err(format!("w must be in 1..=10000, got {w}"));
+    }
+    if verifier as usize >= attacked.honest {
+        return Err(format!(
+            "verifier {verifier} must be an honest node (0..{})",
+            attacked.honest
+        ));
+    }
+    if suspects.is_empty() || suspects.len() > 4096 {
+        return Err(format!(
+            "suspects must list 1..=4096 nodes, got {}",
+            suspects.len()
+        ));
+    }
+    for &s in suspects {
+        if s as usize >= n {
+            return Err(format!("suspect {s} out of range (graph has {n} nodes)"));
+        }
+    }
+    let _span = Span::start(&ADMIT_NS);
+    let params = SybilLimitParams {
+        w,
+        seed: lg.key,
+        ..SybilLimitParams::default()
+    };
+    let nodes: Vec<u32> = suspects.iter().map(|&s| s as u32).collect();
+    let verification = SybilLimit::new(&attacked.graph, params)
+        .pool(pool)
+        .verify_all(verifier as u32, &nodes);
+    Ok(render_admit(lg, verifier, suspects, &verification))
+}
+
+fn render_admit(lg: &LoadedGraph, verifier: u64, suspects: &[u64], v: &Verification) -> String {
+    let verdicts: Vec<Value> = suspects
+        .iter()
+        .zip(v.accepted.iter().zip(v.intersected.iter()))
+        .map(|(&s, (&accepted, &intersected))| {
+            Value::Obj(vec![
+                ("node".to_string(), Value::Int(s as i64)),
+                (
+                    "sybil".to_string(),
+                    Value::Bool(lg.attacked.is_sybil(s as u32)),
+                ),
+                ("accepted".to_string(), Value::Bool(accepted)),
+                ("intersected".to_string(), Value::Bool(intersected)),
+            ])
+        })
+        .collect();
+    Value::Obj(vec![
+        ("graph".to_string(), Value::Str(lg.slug.clone())),
+        ("verifier".to_string(), Value::Int(verifier as i64)),
+        ("r".to_string(), Value::Int(v.r as i64)),
+        (
+            "accepted_fraction".to_string(),
+            Value::Float(v.accepted_fraction()),
+        ),
+        ("verdicts".to_string(), Value::Arr(verdicts)),
+    ])
+    .to_compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use std::sync::Arc;
+
+    fn tiny() -> Arc<LoadedGraph> {
+        let dir = std::env::temp_dir().join(format!("socmix-serve-q-{}", std::process::id()));
+        Catalog::at(dir)
+            .load("wiki-vote", 0.02, 3)
+            .expect("tiny graph")
+    }
+
+    #[test]
+    fn mix_renders_parseable_json_and_caches_bitwise() {
+        let lg = tiny();
+        let a = mix(&lg, 0.25, Pool::serial()).expect("mix");
+        let b = mix(&lg, 0.25, Pool::serial()).expect("mix again");
+        assert_eq!(a, b, "pinned seed makes repeat solves byte-identical");
+        let doc = socmix_obs::parse(&a).expect("valid JSON");
+        let mu = doc.get("mu").and_then(Value::as_f64).expect("mu field");
+        assert!(
+            mu > 0.0 && mu < 1.0,
+            "connected graph has mu in (0,1), got {mu}"
+        );
+        let lo = doc.get("t_lower").and_then(Value::as_f64).expect("t_lower");
+        let hi = doc.get("t_upper").and_then(Value::as_f64).expect("t_upper");
+        assert!(lo <= hi, "bracket is ordered");
+    }
+
+    #[test]
+    fn mix_rejects_bad_eps() {
+        let lg = tiny();
+        for eps in [0.0, 1.0, -0.5, f64::NAN] {
+            assert!(
+                mix(&lg, eps, Pool::serial()).is_err(),
+                "eps={eps} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_escape_is_bit_identical_to_per_request() {
+        let lg = tiny();
+        let nodes: Vec<u64> = vec![0, 1, 2, 5];
+        let batched = escape_batch(&lg, &nodes, 8, Pool::serial()).expect("batched");
+        for (i, &node) in nodes.iter().enumerate() {
+            let solo = escape_batch(&lg, &[node], 8, Pool::serial()).expect("solo");
+            assert_eq!(
+                solo[0].to_bits(),
+                batched[i].to_bits(),
+                "node {node}: batched column must equal the width-1 result bit-for-bit"
+            );
+            assert!((0.0..=1.0).contains(&solo[0]), "a probability");
+        }
+    }
+
+    #[test]
+    fn escape_validates_nodes_and_w() {
+        let lg = tiny();
+        let sybil = lg.attacked.honest as u64;
+        assert!(escape_batch(&lg, &[sybil], 4, Pool::serial()).is_err());
+        assert!(escape_batch(&lg, &[0], 0, Pool::serial()).is_err());
+        assert!(escape_batch(&lg, &[0], 1_000_000, Pool::serial()).is_err());
+    }
+
+    #[test]
+    fn admit_labels_sybils_and_rejects_bad_input() {
+        let lg = tiny();
+        let sybil = lg.attacked.honest as u64;
+        let body = admit(&lg, 0, &[1, sybil], 10, Pool::serial()).expect("admit run");
+        let doc = socmix_obs::parse(&body).expect("valid JSON");
+        let verdicts = doc
+            .get("verdicts")
+            .and_then(Value::as_arr)
+            .expect("verdicts");
+        assert_eq!(verdicts.len(), 2);
+        assert_eq!(
+            verdicts[0].get("sybil").and_then(Value::as_bool),
+            Some(false)
+        );
+        assert_eq!(
+            verdicts[1].get("sybil").and_then(Value::as_bool),
+            Some(true)
+        );
+
+        assert!(
+            admit(&lg, sybil, &[1], 10, Pool::serial()).is_err(),
+            "sybil verifier"
+        );
+        assert!(
+            admit(&lg, 0, &[], 10, Pool::serial()).is_err(),
+            "no suspects"
+        );
+        assert!(
+            admit(&lg, 0, &[u64::MAX], 10, Pool::serial()).is_err(),
+            "range"
+        );
+        assert!(admit(&lg, 0, &[1], 0, Pool::serial()).is_err(), "w=0");
+    }
+}
