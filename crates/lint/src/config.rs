@@ -1,17 +1,20 @@
-//! Rule identities, per-rule path scoping, and workspace file walking.
+//! Rule identities, per-rule path scoping, the cross-file reference
+//! configuration (gates, protocols, knob modules), and workspace file
+//! walking.
 //!
 //! Scoping is data, not code: each rule carries a [`Scope`] of include
 //! and exclude patterns matched against the `/`-separated path relative
 //! to the workspace root. [`Config::workspace`] encodes the repo's real
 //! invariant map (which crates are "numeric", which modules are the
 //! sanctioned env-knob readers, which files are the parallel runtime's
-//! hot path); tests substitute their own scopes to point the same rules
-//! at fixture files.
+//! hot path, which modules declare the wire protocols); tests
+//! substitute their own scopes to point the same rules at fixture
+//! files.
 
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// The six invariant rules, in diagnostic-code order.
+/// The invariant rules, in diagnostic-code order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Rule {
     /// SL001 — every `unsafe` needs an adjacent `// SAFETY:` comment.
@@ -29,16 +32,37 @@ pub enum Rule {
     /// panics the moment a NaN reaches a sort. Use `f64::total_cmp`,
     /// which agrees with it on every non-NaN pair.
     NanUnwrapCompare,
+    /// SL009 — every non-`Relaxed` atomic ordering, and every
+    /// `Relaxed` on a configured gate/flag, needs an adjacent
+    /// `// ORDERING:` comment (same adjacency contract as SL001's
+    /// `SAFETY:`).
+    UndocumentedAtomicOrdering,
+    /// SL010 — wire-protocol opcode tables must be collision-free
+    /// (within a protocol and across protocols) and every opcode must
+    /// be dispatched and have an explicit payload-cap entry.
+    ProtocolExhaustiveness,
+    /// SL011 — every `"SOCMIX_*"` string must resolve to a knob
+    /// declared in a knob module, and every declared knob must be
+    /// documented in README.md.
+    KnobRegistryDrift,
+    /// SL012 — dotted metric names near (edit distance ≤ 2) a
+    /// registered instrument name must be registered spellings; a typo
+    /// here silently creates a dead counter.
+    MetricNameDrift,
 }
 
 /// All rules, in order.
-pub const RULES: [Rule; 6] = [
+pub const RULES: [Rule; 10] = [
     Rule::UndocumentedUnsafe,
     Rule::BarePrint,
     Rule::StrayEnvRead,
     Rule::HashmapIterInNumeric,
     Rule::PanickingApiInHotPath,
     Rule::NanUnwrapCompare,
+    Rule::UndocumentedAtomicOrdering,
+    Rule::ProtocolExhaustiveness,
+    Rule::KnobRegistryDrift,
+    Rule::MetricNameDrift,
 ];
 
 impl Rule {
@@ -51,6 +75,10 @@ impl Rule {
             Rule::HashmapIterInNumeric => "SL004",
             Rule::PanickingApiInHotPath => "SL005",
             Rule::NanUnwrapCompare => "SL008",
+            Rule::UndocumentedAtomicOrdering => "SL009",
+            Rule::ProtocolExhaustiveness => "SL010",
+            Rule::KnobRegistryDrift => "SL011",
+            Rule::MetricNameDrift => "SL012",
         }
     }
 
@@ -63,6 +91,10 @@ impl Rule {
             Rule::HashmapIterInNumeric => "hashmap-iter-in-numeric",
             Rule::PanickingApiInHotPath => "panicking-api-in-hot-path",
             Rule::NanUnwrapCompare => "nan-unwrap-compare",
+            Rule::UndocumentedAtomicOrdering => "undocumented-atomic-ordering",
+            Rule::ProtocolExhaustiveness => "protocol-exhaustiveness",
+            Rule::KnobRegistryDrift => "knob-registry-drift",
+            Rule::MetricNameDrift => "metric-name-drift",
         }
     }
 
@@ -72,9 +104,10 @@ impl Rule {
     }
 
     /// Whether diagnostics inside `#[cfg(test)]` items are suppressed.
-    /// Tests may print, unwrap, and hash freely — the invariants these
-    /// rules guard protect production numerics and diagnostics.
-    /// `unsafe` is the exception: a SAFETY argument is owed everywhere.
+    /// Tests may print, unwrap, hash, and spin on `SeqCst` freely —
+    /// the invariants these rules guard protect production numerics
+    /// and diagnostics. `unsafe` is the exception: a SAFETY argument
+    /// is owed everywhere.
     pub fn exempts_test_code(self) -> bool {
         !matches!(self, Rule::UndocumentedUnsafe)
     }
@@ -96,6 +129,14 @@ impl Scope {
         Scope::default()
     }
 
+    /// Scope matching no file — for disabling a rule in a test config.
+    pub fn nowhere() -> Scope {
+        Scope {
+            include: vec!["<nowhere>".to_string()],
+            exclude: vec![],
+        }
+    }
+
     fn hit(patterns: &[String], rel: &str) -> bool {
         patterns.iter().any(|p| rel.contains(p.as_str()))
     }
@@ -108,7 +149,26 @@ impl Scope {
     }
 }
 
-/// Per-rule scoping for one lint run.
+/// One wire protocol for SL010: where its opcode table is declared,
+/// where frames are dispatched, and (optionally) which function is the
+/// per-opcode payload-cap table.
+#[derive(Debug, Clone)]
+pub struct ProtocolSpec {
+    /// Display name used in diagnostics.
+    pub name: String,
+    /// Substring matching the declaration file (the `OP_*`/`REPLY_*`
+    /// consts live here).
+    pub decl: String,
+    /// Substrings matching the dispatch file(s): every `OP_*` const
+    /// needs a match-arm mention in one of them (outside the cap fn).
+    pub dispatch: Vec<String>,
+    /// `(file substring, fn name)` of the payload-cap table: every
+    /// `OP_*` const needs an explicit match arm inside that function.
+    pub cap_fn: Option<(String, String)>,
+}
+
+/// Per-rule scoping plus the cross-file reference configuration for
+/// one lint run.
 #[derive(Debug, Clone)]
 pub struct Config {
     pub undocumented_unsafe: Scope,
@@ -117,6 +177,19 @@ pub struct Config {
     pub hashmap_iter_in_numeric: Scope,
     pub panicking_api_in_hot_path: Scope,
     pub nan_unwrap_compare: Scope,
+    pub atomic_ordering: Scope,
+    pub protocol_exhaustiveness: Scope,
+    pub knob_registry: Scope,
+    pub metric_drift: Scope,
+    /// Atomic gates/flags whose `Relaxed` accesses SL009 also holds to
+    /// the `// ORDERING:` contract (matched against identifiers in the
+    /// enclosing statement).
+    pub ordering_gates: Vec<String>,
+    /// The wire protocols SL010 checks.
+    pub protocols: Vec<ProtocolSpec>,
+    /// Substrings matching the files allowed to *declare* `SOCMIX_*`
+    /// knobs (SL011). Empty disables the rule.
+    pub knob_modules: Vec<String>,
 }
 
 fn strings(patterns: &[&str]) -> Vec<String> {
@@ -133,10 +206,18 @@ impl Config {
             Rule::HashmapIterInNumeric => &self.hashmap_iter_in_numeric,
             Rule::PanickingApiInHotPath => &self.panicking_api_in_hot_path,
             Rule::NanUnwrapCompare => &self.nan_unwrap_compare,
+            Rule::UndocumentedAtomicOrdering => &self.atomic_ordering,
+            Rule::ProtocolExhaustiveness => &self.protocol_exhaustiveness,
+            Rule::KnobRegistryDrift => &self.knob_registry,
+            Rule::MetricNameDrift => &self.metric_drift,
         }
     }
 
-    /// Every rule everywhere — the fixture-test configuration.
+    /// Every rule everywhere — the fixture-test configuration. The
+    /// cross-file reference sets (gates, protocols, knob modules)
+    /// start empty, so SL009 fires only its non-`Relaxed` half and
+    /// SL010/SL011 are inert until a test configures them; SL012 is
+    /// inert in any fixture that registers no metric.
     pub fn all_everywhere() -> Config {
         Config {
             undocumented_unsafe: Scope::everywhere(),
@@ -145,6 +226,13 @@ impl Config {
             hashmap_iter_in_numeric: Scope::everywhere(),
             panicking_api_in_hot_path: Scope::everywhere(),
             nan_unwrap_compare: Scope::everywhere(),
+            atomic_ordering: Scope::everywhere(),
+            protocol_exhaustiveness: Scope::everywhere(),
+            knob_registry: Scope::everywhere(),
+            metric_drift: Scope::everywhere(),
+            ordering_gates: vec![],
+            protocols: vec![],
+            knob_modules: vec![],
         }
     }
 
@@ -235,6 +323,51 @@ impl Config {
                 ]),
                 exclude: vec![],
             },
+            // Memory-ordering justifications are owed everywhere: the
+            // pool, the shard runtime, the obs gate, the serve stop
+            // flag all synchronize through atomics.
+            atomic_ordering: Scope::everywhere(),
+            protocol_exhaustiveness: Scope::everywhere(),
+            knob_registry: Scope::everywhere(),
+            metric_drift: Scope::everywhere(),
+            // The obs enablement gate is read with Relaxed on every
+            // metric/trace call — the single hottest atomic in the
+            // workspace, and exactly the place where "relaxed is fine"
+            // deserves a written argument.
+            ordering_gates: strings(&["GATE"]),
+            protocols: vec![
+                ProtocolSpec {
+                    name: "shard".to_string(),
+                    decl: "crates/par/src/shard/frame.rs".to_string(),
+                    dispatch: strings(&["crates/par/src/shard/worker.rs"]),
+                    cap_fn: Some((
+                        "crates/par/src/shard/worker.rs".to_string(),
+                        "op_cap".to_string(),
+                    )),
+                },
+                ProtocolSpec {
+                    name: "serve".to_string(),
+                    decl: "crates/serve/src/frames.rs".to_string(),
+                    dispatch: strings(&["crates/serve/src/frames.rs"]),
+                    cap_fn: Some((
+                        "crates/serve/src/frames.rs".to_string(),
+                        "query_cap".to_string(),
+                    )),
+                },
+            ],
+            // The declarers: knob modules proper plus the shard
+            // rendezvous env. `bench/manifest.rs` mirrors knob names
+            // into run manifests but deliberately does NOT declare —
+            // a typo there must fail to resolve.
+            knob_modules: strings(&[
+                "crates/obs/src/event.rs",
+                "crates/obs/src/lib.rs",
+                "crates/par/src/lib.rs",
+                "crates/par/src/shard/mod.rs",
+                "crates/core/src/probe.rs",
+                "crates/linalg/src/kernel.rs",
+                "crates/serve/src/knobs.rs",
+            ]),
         }
     }
 }
@@ -318,6 +451,7 @@ mod tests {
         assert!(!s.matches("crates/bench/src/bin/repro.rs"));
         assert!(!s.matches("src/cli.rs"));
         assert!(Scope::everywhere().matches("anything.rs"));
+        assert!(!Scope::nowhere().matches("anything.rs"));
     }
 
     #[test]
@@ -337,5 +471,19 @@ mod tests {
         assert_eq!(Rule::PanickingApiInHotPath.code(), "SL005");
         // SL006/SL007 belong to pragma hygiene, hence the gap
         assert_eq!(Rule::NanUnwrapCompare.code(), "SL008");
+        assert_eq!(Rule::UndocumentedAtomicOrdering.code(), "SL009");
+        assert_eq!(Rule::ProtocolExhaustiveness.code(), "SL010");
+        assert_eq!(Rule::KnobRegistryDrift.code(), "SL011");
+        assert_eq!(Rule::MetricNameDrift.code(), "SL012");
+    }
+
+    #[test]
+    fn workspace_config_names_both_protocols() {
+        let cfg = Config::workspace();
+        let names: Vec<_> = cfg.protocols.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["shard", "serve"]);
+        for p in &cfg.protocols {
+            assert!(p.cap_fn.is_some(), "{} protocol has no cap table", p.name);
+        }
     }
 }

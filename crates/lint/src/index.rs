@@ -1,0 +1,727 @@
+//! Pass 1 of the workspace analyzer: a lightweight per-file item
+//! index built from the token stream.
+//!
+//! The cross-file rules (SL009–SL012) cannot work from one file's
+//! tokens alone — an opcode table lives in one module and its dispatch
+//! `match` in another, a knob string is read in a knob module and
+//! echoed in the manifest recorder, a metric is registered in one
+//! crate and referenced in another. This module reduces each file to
+//! the facts those rules consume:
+//!
+//! - **`const` items** with their name, type text, and (when the
+//!   initializer is a single integer literal) numeric value — the raw
+//!   material of the protocol opcode tables;
+//! - **string literals** with their unquoted value — knob names and
+//!   metric names travel as strings;
+//! - **match-arm pattern identifiers**, grouped by the enclosing
+//!   `fn` — how the protocol rule proves an opcode is dispatched and
+//!   has a payload-cap entry;
+//! - **`fn` and inline `mod` spans** from brace matching — the item
+//!   tree the arm grouping hangs off;
+//! - **atomic-ordering sites** (`Ordering::Relaxed` … `SeqCst`) with
+//!   the identifiers of their enclosing statement — SL009's input,
+//!   disambiguated from `cmp::Ordering` by flavor name;
+//! - **metric registrations** (`Counter::new("…")` and friends) — the
+//!   canonical name set for SL012.
+//!
+//! Everything is derived from [`crate::lexer::lex`] output, so text
+//! inside strings, comments, or raw strings can never masquerade as an
+//! item: a raw string containing `pub const OP_FAKE: u8 = 9;` is one
+//! `Str` token and indexes as a string literal, not a const.
+//! Tokens inside attributes (`#[…]`) are excluded from item and
+//! ordering indexing, and attribute string literals (doc text, cfg
+//! values) are flagged so the knob/metric rules can skip them.
+
+use crate::lexer::TokenKind;
+use crate::rules::Analysis;
+
+/// A `const` item: `pub const OP_LOAD: u8 = 1;`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstItem {
+    pub name: String,
+    /// The tokens between `:` and `=`, joined (e.g. `u8`, `& 'static str`).
+    pub type_text: String,
+    /// The initializer's numeric value, when it is a single integer
+    /// literal (decimal, hex, octal, or binary, underscores and type
+    /// suffixes allowed). `None` for any other expression.
+    pub value: Option<u64>,
+    pub line: u32,
+    pub col: u32,
+    pub in_test: bool,
+}
+
+/// A string literal and its unquoted contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrLit {
+    /// The literal's contents (between the quotes, escapes untouched —
+    /// the knob/metric rules match plain identifiers, which never
+    /// contain escapes).
+    pub value: String,
+    pub line: u32,
+    pub col: u32,
+    pub in_test: bool,
+    /// Inside an attribute (`#[doc = "…"]`, `#[cfg(feature = "…")]`):
+    /// documentation or configuration, not runtime data.
+    pub in_attr: bool,
+}
+
+/// One identifier appearing in a `match` arm pattern (between an arm's
+/// start and its `=>`), with the innermost enclosing function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchPatIdent {
+    pub ident: String,
+    /// Name of the innermost `fn` containing the `match` (`None` at
+    /// module scope, e.g. inside a `static`'s initializer).
+    pub in_fn: Option<String>,
+    pub line: u32,
+    pub in_test: bool,
+}
+
+/// A `fn` item's name and line span (brace-matched body).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    pub name: String,
+    pub start_line: u32,
+    pub end_line: u32,
+}
+
+/// An inline `mod` and its line span (`mod name;` declarations have no
+/// body here and are not indexed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModItem {
+    pub name: String,
+    pub start_line: u32,
+    pub end_line: u32,
+}
+
+/// The atomic-ordering flavors. `std::cmp::Ordering`'s variants
+/// (`Less`/`Equal`/`Greater`) are deliberately absent: only these five
+/// names make an `Ordering::` path an atomics site.
+pub const ATOMIC_FLAVORS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// One `Ordering::<flavor>` occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderingSite {
+    /// `Relaxed` | `Acquire` | `Release` | `AcqRel` | `SeqCst`.
+    pub flavor: &'static str,
+    pub line: u32,
+    pub col: u32,
+    pub in_test: bool,
+    /// Identifiers of the enclosing statement (walking back from the
+    /// site to the nearest `;`/`{`/`}`), used to decide whether a
+    /// `Relaxed` touches a configured gate/flag.
+    pub stmt_idents: Vec<String>,
+}
+
+/// A metric registration: `Counter::new("par.jobs.dispatched")`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricReg {
+    /// `Counter` | `Gauge` | `Histogram`.
+    pub kind: &'static str,
+    pub name: String,
+    pub line: u32,
+    pub col: u32,
+    pub in_test: bool,
+}
+
+/// Everything pass 2 needs to know about one file.
+#[derive(Debug, Default)]
+pub struct FileIndex {
+    pub consts: Vec<ConstItem>,
+    pub strings: Vec<StrLit>,
+    pub match_pats: Vec<MatchPatIdent>,
+    pub fns: Vec<FnItem>,
+    pub mods: Vec<ModItem>,
+    pub orderings: Vec<OrderingSite>,
+    pub metrics: Vec<MetricReg>,
+}
+
+/// How far back (in significant tokens) an ordering site's
+/// statement-identifier scan walks before giving up.
+const STMT_SCAN_LIMIT: usize = 24;
+
+/// Strips the quotes (and any raw-string fence) off a string literal's
+/// source text.
+fn unquote(text: &str) -> String {
+    let open = text.find('"');
+    let close = text.rfind('"');
+    match (open, close) {
+        (Some(o), Some(c)) if c > o => text[o + 1..c].to_string(),
+        // unterminated literal at EOF: take what's there
+        (Some(o), _) => text[o + 1..].to_string(),
+        _ => String::new(),
+    }
+}
+
+/// Parses a single integer literal token (`1`, `0x7e`, `0b10`, `0o17`,
+/// `1_000u64`) into its value.
+fn int_value(text: &str) -> Option<u64> {
+    let t: String = text.chars().filter(|&c| c != '_').collect();
+    let (digits, radix) = if let Some(rest) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X"))
+    {
+        (rest, 16)
+    } else if let Some(rest) = t.strip_prefix("0b").or_else(|| t.strip_prefix("0B")) {
+        (rest, 2)
+    } else if let Some(rest) = t.strip_prefix("0o").or_else(|| t.strip_prefix("0O")) {
+        (rest, 8)
+    } else {
+        (t.as_str(), 10)
+    };
+    // cut the type suffix (u8, usize, i64…): the first char that is
+    // not a digit of the radix ends the number
+    let end = digits
+        .char_indices()
+        .find(|&(_, c)| !c.is_digit(radix))
+        .map(|(i, _)| i)
+        .unwrap_or(digits.len());
+    if end == 0 {
+        return None;
+    }
+    u64::from_str_radix(&digits[..end], radix).ok()
+}
+
+impl FileIndex {
+    /// Builds the index from a completed per-file [`Analysis`].
+    pub(crate) fn build(a: &Analysis) -> FileIndex {
+        let mut ix = FileIndex::default();
+        index_strings(a, &mut ix);
+        index_consts(a, &mut ix);
+        index_fns_and_mods(a, &mut ix);
+        index_match_pats(a, &mut ix);
+        index_orderings(a, &mut ix);
+        index_metrics(a, &mut ix);
+        ix
+    }
+
+    /// The `match`-pattern identifiers inside the named function (all
+    /// of them when `fn_name` is `None`).
+    pub fn match_pats_in(&self, fn_name: Option<&str>) -> Vec<&MatchPatIdent> {
+        self.match_pats
+            .iter()
+            .filter(|p| match fn_name {
+                Some(f) => p.in_fn.as_deref() == Some(f),
+                None => true,
+            })
+            .collect()
+    }
+}
+
+fn index_strings(a: &Analysis, ix: &mut FileIndex) {
+    for si in 0..a.sig_len() {
+        let t = a.tok(si);
+        if t.kind == TokenKind::Str {
+            ix.strings.push(StrLit {
+                value: unquote(&t.text),
+                line: t.line,
+                col: t.col,
+                in_test: a.in_test(t.line),
+                in_attr: a.in_attr(si),
+            });
+        }
+    }
+}
+
+fn index_consts(a: &Analysis, ix: &mut FileIndex) {
+    for &si in a.occurrences("const") {
+        if a.in_attr(si) {
+            continue;
+        }
+        // `*const T` raw-pointer types are not items
+        if si > 0 && a.tok(si - 1).text == "*" {
+            continue;
+        }
+        let Some(name_tok) = a.sig_get(si + 1) else {
+            continue;
+        };
+        // `const fn` has no name here; `const N: usize` in a generic
+        // parameter list is indexed too (harmlessly — no `=`, so no
+        // value) because distinguishing it needs real parsing.
+        if name_tok.kind != TokenKind::Ident || name_tok.text == "fn" || name_tok.text == "_" {
+            continue;
+        }
+        if a.sig_get(si + 2).map(|t| t.text.as_str()) != Some(":") {
+            continue;
+        }
+        // type: tokens up to `=` (or `;`/`>`/`,`, ending a valueless
+        // const such as a generic parameter or trait item)
+        let mut j = si + 3;
+        let mut type_parts: Vec<&str> = Vec::new();
+        let mut has_eq = false;
+        while let Some(t) = a.sig_get(j) {
+            match t.text.as_str() {
+                "=" => {
+                    has_eq = true;
+                    break;
+                }
+                ";" | ">" | "," => break,
+                _ => type_parts.push(&t.text),
+            }
+            if type_parts.len() > 16 {
+                break;
+            }
+            j += 1;
+        }
+        // value: exactly one integer literal followed by `;`
+        let value = if has_eq {
+            match (a.sig_get(j + 1), a.sig_get(j + 2)) {
+                (Some(v), Some(semi))
+                    if v.kind == TokenKind::Number && semi.text.as_str() == ";" =>
+                {
+                    int_value(&v.text)
+                }
+                _ => None,
+            }
+        } else {
+            None
+        };
+        ix.consts.push(ConstItem {
+            name: name_tok.text.clone(),
+            type_text: type_parts.join(" "),
+            value,
+            line: a.tok(si).line,
+            col: a.tok(si).col,
+            in_test: a.in_test(a.tok(si).line),
+        });
+    }
+}
+
+/// Finds, starting just after `from`, the first `{` at paren/bracket
+/// depth zero, stopping at a depth-zero `;` (bodyless item). Returns
+/// the sig index of the `{`.
+fn find_body_open(a: &Analysis, from: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut j = from;
+    while let Some(t) = a.sig_get(j) {
+        match t.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if depth == 0 => return Some(j),
+            ";" if depth == 0 => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Brace-matches the block opened at `open` (a `{`), returning the sig
+/// index of the closing `}` (or the last token on unbalanced input).
+fn match_brace(a: &Analysis, open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while let Some(t) = a.sig_get(j) {
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    a.sig_len().saturating_sub(1)
+}
+
+fn index_fns_and_mods(a: &Analysis, ix: &mut FileIndex) {
+    for &si in a.occurrences("fn") {
+        if a.in_attr(si) {
+            continue;
+        }
+        let Some(name) = a.sig_get(si + 1) else {
+            continue;
+        };
+        if name.kind != TokenKind::Ident {
+            continue; // closures / fn-pointer types
+        }
+        if let Some(open) = find_body_open(a, si + 2) {
+            let close = match_brace(a, open);
+            ix.fns.push(FnItem {
+                name: name.text.clone(),
+                start_line: a.tok(si).line,
+                end_line: a.tok(close).end_line(),
+            });
+        }
+    }
+    for &si in a.occurrences("mod") {
+        if a.in_attr(si) {
+            continue;
+        }
+        let (Some(name), Some(open)) = (a.sig_get(si + 1), a.sig_get(si + 2)) else {
+            continue;
+        };
+        if name.kind != TokenKind::Ident || open.text != "{" {
+            continue; // `mod name;` out-of-line declaration
+        }
+        let close = match_brace(a, si + 2);
+        ix.mods.push(ModItem {
+            name: name.text.clone(),
+            start_line: a.tok(si).line,
+            end_line: a.tok(close).end_line(),
+        });
+    }
+}
+
+/// The innermost indexed `fn` whose span contains `line`.
+fn enclosing_fn(fns: &[FnItem], line: u32) -> Option<String> {
+    fns.iter()
+        .filter(|f| (f.start_line..=f.end_line).contains(&line))
+        .max_by_key(|f| f.start_line)
+        .map(|f| f.name.clone())
+}
+
+fn index_match_pats(a: &Analysis, ix: &mut FileIndex) {
+    for &si in a.occurrences("match") {
+        if a.in_attr(si) {
+            continue;
+        }
+        let Some(open) = find_body_open(a, si + 1) else {
+            continue;
+        };
+        let match_line = a.tok(si).line;
+        let in_fn = enclosing_fn(&ix.fns, match_line);
+        let in_test = a.in_test(match_line);
+        // Walk the arm list: collect pattern idents from each arm's
+        // start until its `=>`; skip bodies (brace-matched when
+        // braced, scanned to the depth-1 comma otherwise).
+        let close = match_brace(a, open);
+        let mut j = open + 1;
+        let mut in_pattern = true;
+        let mut paren = 0i32;
+        while j < close {
+            let t = a.tok(j);
+            match t.text.as_str() {
+                "(" | "[" => paren += 1,
+                ")" | "]" => paren -= 1,
+                "{" => {
+                    // a braced sub-pattern (struct pattern) or a
+                    // braced arm body: both are scanned through by
+                    // brace matching; a closed arm body re-opens the
+                    // next pattern
+                    let end = match_brace(a, j);
+                    if !in_pattern && paren == 0 {
+                        in_pattern = true;
+                    }
+                    j = end + 1;
+                    continue;
+                }
+                "=" if paren == 0
+                    && in_pattern
+                    && a.sig_get(j + 1).is_some_and(|n| {
+                        n.text == ">" && n.line == t.line && n.col == t.col + 1
+                    }) =>
+                {
+                    in_pattern = false;
+                    j += 2;
+                    continue;
+                }
+                "," if paren == 0 && !in_pattern => in_pattern = true,
+                _ => {
+                    if in_pattern && t.kind == TokenKind::Ident && paren >= 0 {
+                        ix.match_pats.push(MatchPatIdent {
+                            ident: t.text.clone(),
+                            in_fn: in_fn.clone(),
+                            line: t.line,
+                            in_test,
+                        });
+                    }
+                }
+            }
+            j += 1;
+        }
+    }
+}
+
+fn index_orderings(a: &Analysis, ix: &mut FileIndex) {
+    for &si in a.occurrences("Ordering") {
+        if a.in_attr(si) {
+            continue;
+        }
+        let path = (
+            a.sig_get(si + 1).map(|t| t.text.as_str()),
+            a.sig_get(si + 2).map(|t| t.text.as_str()),
+        );
+        if path != (Some(":"), Some(":")) {
+            continue;
+        }
+        let Some(flavor_tok) = a.sig_get(si + 3) else {
+            continue;
+        };
+        let Some(flavor) = ATOMIC_FLAVORS
+            .iter()
+            .find(|&&f| f == flavor_tok.text)
+            .copied()
+        else {
+            continue; // cmp::Ordering::{Less,Equal,Greater} and friends
+        };
+        let mut stmt_idents = Vec::new();
+        let mut k = si;
+        for _ in 0..STMT_SCAN_LIMIT {
+            if k == 0 {
+                break;
+            }
+            k -= 1;
+            let t = a.tok(k);
+            match t.text.as_str() {
+                ";" | "{" | "}" => break,
+                _ if t.kind == TokenKind::Ident => stmt_idents.push(t.text.clone()),
+                _ => {}
+            }
+        }
+        let t = a.tok(si);
+        ix.orderings.push(OrderingSite {
+            flavor,
+            line: t.line,
+            col: t.col,
+            in_test: a.in_test(t.line),
+            stmt_idents,
+        });
+    }
+}
+
+const METRIC_TYPES: [&str; 3] = ["Counter", "Gauge", "Histogram"];
+
+fn index_metrics(a: &Analysis, ix: &mut FileIndex) {
+    for kind in METRIC_TYPES {
+        for &si in a.occurrences(kind) {
+            let shape = (
+                a.sig_get(si + 1).map(|t| t.text.as_str()),
+                a.sig_get(si + 2).map(|t| t.text.as_str()),
+                a.sig_get(si + 3).map(|t| t.text.as_str()),
+                a.sig_get(si + 4).map(|t| t.text.as_str()),
+            );
+            if shape != (Some(":"), Some(":"), Some("new"), Some("(")) {
+                continue;
+            }
+            let Some(name_tok) = a.sig_get(si + 5) else {
+                continue;
+            };
+            if name_tok.kind != TokenKind::Str {
+                continue;
+            }
+            let t = a.tok(si);
+            ix.metrics.push(MetricReg {
+                kind,
+                name: unquote(&name_tok.text),
+                line: t.line,
+                col: t.col,
+                in_test: a.in_test(t.line),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index(src: &str) -> FileIndex {
+        FileIndex::build(&Analysis::new(src))
+    }
+
+    #[test]
+    fn consts_with_literal_values() {
+        let ix = index(
+            "pub const OP_LOAD: u8 = 1;\n\
+             pub const OP_HEX: u8 = 0x7e;\n\
+             const CAP: u64 = 1 << 20;\n\
+             pub(crate) const NAME: &str = \"x\";\n",
+        );
+        assert_eq!(ix.consts.len(), 4);
+        assert_eq!(ix.consts[0].name, "OP_LOAD");
+        assert_eq!(ix.consts[0].value, Some(1));
+        assert_eq!(ix.consts[0].type_text, "u8");
+        assert_eq!(ix.consts[1].value, Some(0x7e));
+        assert_eq!(
+            ix.consts[2].value, None,
+            "shift expression is not a literal"
+        );
+        assert_eq!(ix.consts[3].value, None);
+    }
+
+    #[test]
+    fn int_literal_forms() {
+        assert_eq!(int_value("1"), Some(1));
+        assert_eq!(int_value("0x7e"), Some(0x7e));
+        assert_eq!(int_value("0b101"), Some(5));
+        assert_eq!(int_value("0o17"), Some(15));
+        assert_eq!(int_value("1_000u64"), Some(1000));
+        assert_eq!(int_value("255u8"), Some(255));
+        assert_eq!(int_value("0x"), None);
+    }
+
+    #[test]
+    fn raw_strings_do_not_index_as_items() {
+        let ix = index(
+            "fn f() -> &'static str {\n\
+             r#\"pub const OP_FAKE: u8 = 9; match x { OP_FAKE => 1 }\"#\n\
+             }\n",
+        );
+        assert!(ix.consts.is_empty(), "{:?}", ix.consts);
+        assert!(ix.match_pats.is_empty());
+        assert_eq!(ix.strings.len(), 1);
+        assert!(ix.strings[0].value.contains("OP_FAKE"));
+    }
+
+    #[test]
+    fn const_fn_and_raw_pointers_are_not_consts() {
+        let ix = index("const fn f(p: *const u8) -> u8 { 0 }\n");
+        assert!(ix.consts.is_empty(), "{:?}", ix.consts);
+    }
+
+    #[test]
+    fn match_pats_group_by_enclosing_fn() {
+        let src = "\
+const A: u8 = 1;
+const B: u8 = 2;
+fn dispatch(op: u8) -> u8 {
+    match op {
+        A => 1,
+        B if op > 0 => { 2 }
+        _ => 0,
+    }
+}
+fn cap(op: u8) -> u8 {
+    match op {
+        A => 9,
+        _ => 1,
+    }
+}
+";
+        let ix = index(src);
+        let in_dispatch: Vec<_> = ix
+            .match_pats_in(Some("dispatch"))
+            .iter()
+            .map(|p| p.ident.clone())
+            .collect();
+        assert!(in_dispatch.contains(&"A".to_string()));
+        assert!(in_dispatch.contains(&"B".to_string()));
+        let in_cap: Vec<_> = ix
+            .match_pats_in(Some("cap"))
+            .iter()
+            .map(|p| p.ident.clone())
+            .collect();
+        assert!(in_cap.contains(&"A".to_string()));
+        assert!(!in_cap.contains(&"B".to_string()));
+    }
+
+    #[test]
+    fn braced_arm_body_without_comma_reopens_patterns() {
+        let src = "\
+fn f(x: u8) -> u8 {
+    match x {
+        FIRST => {}
+        SECOND => 1,
+        _ => 0,
+    }
+}
+";
+        let ix = index(src);
+        let pats: Vec<_> = ix.match_pats.iter().map(|p| p.ident.as_str()).collect();
+        assert!(pats.contains(&"FIRST"), "{pats:?}");
+        assert!(pats.contains(&"SECOND"), "{pats:?}");
+    }
+
+    #[test]
+    fn arm_bodies_do_not_leak_idents_into_patterns() {
+        let src = "\
+fn f(x: u8) -> u8 {
+    match x {
+        ONLY => body_call(other_ident),
+        _ => 0,
+    }
+}
+";
+        let ix = index(src);
+        let pats: Vec<_> = ix.match_pats.iter().map(|p| p.ident.as_str()).collect();
+        assert!(pats.contains(&"ONLY"));
+        assert!(!pats.contains(&"body_call"), "{pats:?}");
+        assert!(!pats.contains(&"other_ident"), "{pats:?}");
+    }
+
+    #[test]
+    fn nested_modules_and_cfg_gated_items_index() {
+        let src = "\
+mod outer {
+    pub const IN_OUTER: u8 = 1;
+    mod inner {
+        #[cfg(unix)]
+        pub const IN_INNER: u8 = 2;
+    }
+}
+#[cfg(test)]
+mod tests {
+    const IN_TEST: u8 = 3;
+}
+";
+        let ix = index(src);
+        let names: Vec<_> = ix.consts.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["IN_OUTER", "IN_INNER", "IN_TEST"]);
+        assert!(!ix.consts[0].in_test);
+        assert!(!ix.consts[1].in_test, "cfg(unix) is not cfg(test)");
+        assert!(ix.consts[2].in_test);
+        let mods: Vec<_> = ix.mods.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(mods, vec!["outer", "inner", "tests"]);
+        // spans nest: inner is inside outer
+        assert!(ix.mods[1].start_line > ix.mods[0].start_line);
+        assert!(ix.mods[1].end_line < ix.mods[0].end_line);
+    }
+
+    #[test]
+    fn atomic_orderings_index_with_statement_idents() {
+        let src = "\
+fn f() {
+    GATE.load(Ordering::Relaxed);
+    FLAG.store(true, Ordering::Release);
+    let c = std::cmp::Ordering::Less;
+}
+";
+        let ix = index(src);
+        assert_eq!(ix.orderings.len(), 2, "{:?}", ix.orderings);
+        assert_eq!(ix.orderings[0].flavor, "Relaxed");
+        assert!(ix.orderings[0].stmt_idents.contains(&"GATE".to_string()));
+        assert_eq!(ix.orderings[1].flavor, "Release");
+        assert!(ix.orderings[1].stmt_idents.contains(&"FLAG".to_string()));
+    }
+
+    #[test]
+    fn metric_registrations_index() {
+        let src = "\
+static A: Counter = Counter::new(\"app.hits\");
+static H: socmix_obs::Histogram = socmix_obs::Histogram::new(\"app.lat_ns\");
+#[cfg(test)]
+mod tests {
+    static T: Counter = Counter::new(\"test.only\");
+}
+";
+        let ix = index(src);
+        assert_eq!(ix.metrics.len(), 3);
+        assert_eq!(ix.metrics[0].name, "app.hits");
+        assert_eq!(ix.metrics[0].kind, "Counter");
+        assert!(!ix.metrics[0].in_test);
+        assert_eq!(ix.metrics[2].name, "app.lat_ns");
+        assert_eq!(ix.metrics[2].kind, "Histogram");
+        assert!(ix.metrics[1].in_test);
+    }
+
+    #[test]
+    fn attribute_strings_are_flagged() {
+        let src = "#[doc = \"SOCMIX_DOCONLY\"]\nfn f() { let s = \"SOCMIX_REAL\"; }\n";
+        let ix = index(src);
+        assert_eq!(ix.strings.len(), 2);
+        assert!(ix.strings[0].in_attr);
+        assert!(!ix.strings[1].in_attr);
+    }
+
+    #[test]
+    fn fn_spans_cover_bodies() {
+        let src = "fn a() {\n    inner();\n}\nfn b<T: Into<u8>>(x: T) -> u8 where T: Copy {\n    x.into()\n}\ntrait T { fn sig(&self); }\n";
+        let ix = index(src);
+        let names: Vec<_> = ix.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"], "bodyless trait sig not indexed");
+        assert_eq!((ix.fns[0].start_line, ix.fns[0].end_line), (1, 3));
+        assert_eq!((ix.fns[1].start_line, ix.fns[1].end_line), (4, 6));
+    }
+}

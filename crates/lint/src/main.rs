@@ -1,5 +1,5 @@
 //! CLI frontend: `check` lints the workspace (or given paths), `audit`
-//! maintains `results/unsafe_audit.md`.
+//! maintains `results/unsafe_audit.md` and `results/ordering_audit.md`.
 //!
 //! Exit codes are part of the CI contract: 0 clean, 1 diagnostics
 //! found (or a stale audit under `--check`), 2 usage or I/O error.
@@ -8,17 +8,18 @@
 
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use socmix_lint::config::{self, Config};
-use socmix_lint::rules::{lint_source, Diagnostic};
-use socmix_lint::{audit, find_workspace_root};
+use socmix_lint::{audit, find_workspace_root, lint_workspace, Diagnostic, Workspace};
 use socmix_obs::Value;
 
 fn main() {
     std::process::exit(run());
 }
 
-const USAGE: &str = "usage: socmix-lint <check [--json] [paths…] | audit [--out PATH] [--check]>";
+const USAGE: &str = "usage: socmix-lint <check [--json] [--timing] [paths…] \
+                     | audit [--out PATH] [--ordering-out PATH] [--check]>";
 
 fn run() -> i32 {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -97,10 +98,12 @@ fn collect_dir(dir: &Path, root: &Path, out: &mut Vec<(String, PathBuf)>) -> io:
 
 fn cmd_check(args: &[String]) -> Result<i32, String> {
     let mut json = false;
+    let mut timing = false;
     let mut paths = Vec::new();
     for a in args {
         match a.as_str() {
             "--json" => json = true,
+            "--timing" => timing = true,
             p if p.starts_with('-') => return Err(format!("unknown flag {p} ({USAGE})")),
             p => paths.push(p.to_string()),
         }
@@ -112,16 +115,20 @@ fn cmd_check(args: &[String]) -> Result<i32, String> {
         explicit_files(&root, &paths)?
     };
     let cfg = Config::workspace();
-    let mut diags: Vec<Diagnostic> = Vec::new();
-    for (rel, abs) in &files {
-        let src =
-            std::fs::read_to_string(abs).map_err(|e| format!("reading {}: {e}", abs.display()))?;
-        diags.extend(lint_source(rel, &src, &cfg));
-    }
+
+    // pass 1: read, lex, and index every file exactly once…
+    let t0 = Instant::now();
+    let ws = Workspace::load(&root, &files).map_err(|e| format!("loading workspace: {e}"))?;
+    let pass1 = t0.elapsed();
+    // …pass 2: every rule (per-file and cross-file) over the shared
+    // analyses
+    let t1 = Instant::now();
+    let diags = lint_workspace(&ws, &cfg);
+    let pass2 = t1.elapsed();
 
     let mut stdout = io::stdout();
     if json {
-        let report = Value::Obj(vec![
+        let mut fields = vec![
             ("tool".into(), Value::Str("socmix-lint".into())),
             ("files_scanned".into(), Value::Int(files.len() as i64)),
             (
@@ -129,11 +136,39 @@ fn cmd_check(args: &[String]) -> Result<i32, String> {
                 Value::Arr(diags.iter().map(diag_json).collect()),
             ),
             ("count".into(), Value::Int(diags.len() as i64)),
-        ]);
-        write!(stdout, "{}", report.to_pretty()).map_err(|e| e.to_string())?;
+        ];
+        if timing {
+            fields.push((
+                "timing_us".into(),
+                Value::Obj(vec![
+                    (
+                        "pass1_lex_index".into(),
+                        Value::Int(pass1.as_micros() as i64),
+                    ),
+                    ("pass2_rules".into(), Value::Int(pass2.as_micros() as i64)),
+                    (
+                        "total".into(),
+                        Value::Int((pass1 + pass2).as_micros() as i64),
+                    ),
+                ]),
+            ));
+        }
+        write!(stdout, "{}", Value::Obj(fields).to_pretty()).map_err(|e| e.to_string())?;
     } else {
         for d in &diags {
             writeln!(stdout, "{}", d.render()).map_err(|e| e.to_string())?;
+        }
+        if timing {
+            writeln!(
+                stdout,
+                "socmix-lint: timing: pass1 lex+index {:.1}ms, pass2 rules {:.1}ms, \
+                 total {:.1}ms over {} files",
+                pass1.as_secs_f64() * 1e3,
+                pass2.as_secs_f64() * 1e3,
+                (pass1 + pass2).as_secs_f64() * 1e3,
+                files.len()
+            )
+            .map_err(|e| e.to_string())?;
         }
         if diags.is_empty() {
             writeln!(stdout, "socmix-lint: clean ({} files)", files.len())
@@ -162,8 +197,47 @@ fn diag_json(d: &Diagnostic) -> Value {
     ])
 }
 
+/// Reports one audit target under `--check`: prints the per-site diff
+/// when stale and returns whether it was.
+fn check_audit_target(target: &Path, rendered: &str, sites: usize) -> Result<bool, String> {
+    let committed = match std::fs::read_to_string(target) {
+        Ok(c) => c,
+        Err(e) => {
+            let _ = writeln!(
+                io::stderr(),
+                "socmix-lint: {} is missing ({e}) — regenerate with \
+                 `cargo run -p socmix-lint -- audit`",
+                target.display()
+            );
+            return Ok(true);
+        }
+    };
+    if committed == rendered {
+        writeln!(
+            io::stdout(),
+            "socmix-lint: {} up to date ({} sites)",
+            target.display(),
+            sites
+        )
+        .map_err(|e| e.to_string())?;
+        return Ok(false);
+    }
+    let diff = audit::diff_rows(&audit::parse_rows(&committed), &audit::parse_rows(rendered));
+    let mut err = io::stderr();
+    let _ = writeln!(err, "socmix-lint: {} is stale:", target.display());
+    if diff.is_empty() {
+        let _ = writeln!(err, "  (site table unchanged; header or summary drifted)");
+    }
+    for line in &diff {
+        let _ = writeln!(err, "  {line}");
+    }
+    let _ = writeln!(err, "  regenerate with `cargo run -p socmix-lint -- audit`");
+    Ok(true)
+}
+
 fn cmd_audit(args: &[String]) -> Result<i32, String> {
     let mut out_path: Option<PathBuf> = None;
+    let mut ordering_out: Option<PathBuf> = None;
     let mut check = false;
     let mut i = 0;
     while i < args.len() {
@@ -174,46 +248,58 @@ fn cmd_audit(args: &[String]) -> Result<i32, String> {
                 let p = args.get(i).ok_or(format!("--out needs a path ({USAGE})"))?;
                 out_path = Some(PathBuf::from(p));
             }
+            "--ordering-out" => {
+                i += 1;
+                let p = args
+                    .get(i)
+                    .ok_or(format!("--ordering-out needs a path ({USAGE})"))?;
+                ordering_out = Some(PathBuf::from(p));
+            }
             p => return Err(format!("unknown argument {p} ({USAGE})")),
         }
         i += 1;
     }
     let root = workspace_root()?;
     let files = config::workspace_files(&root).map_err(|e| format!("scanning workspace: {e}"))?;
-    let sites = audit::collect_sites(&files).map_err(|e| format!("collecting sites: {e}"))?;
-    let rendered = audit::render(&sites);
-    let target = out_path.unwrap_or_else(|| root.join("results/unsafe_audit.md"));
+    let ws = Workspace::load(&root, &files).map_err(|e| format!("loading workspace: {e}"))?;
+    let cfg = Config::workspace();
+
+    let unsafe_sites = audit::collect_sites(&ws);
+    let ordering_sites = audit::collect_ordering_sites(&ws, &cfg);
+    let targets = [
+        (
+            out_path.unwrap_or_else(|| root.join("results/unsafe_audit.md")),
+            audit::render(&unsafe_sites),
+            unsafe_sites.len(),
+        ),
+        (
+            ordering_out.unwrap_or_else(|| root.join("results/ordering_audit.md")),
+            audit::render_ordering(&ordering_sites),
+            ordering_sites.len(),
+        ),
+    ];
 
     if check {
-        let committed = std::fs::read_to_string(&target)
-            .map_err(|e| format!("reading {}: {e}", target.display()))?;
-        if committed == rendered {
-            writeln!(
-                io::stdout(),
-                "socmix-lint: audit up to date ({} sites)",
-                sites.len()
-            )
-            .map_err(|e| e.to_string())?;
-            return Ok(0);
+        let mut stale = false;
+        for (target, rendered, sites) in &targets {
+            stale |= check_audit_target(target, rendered, *sites)?;
         }
-        let _ = writeln!(
-            io::stderr(),
-            "socmix-lint: {} is stale — regenerate with `cargo run -p socmix-lint -- audit`",
-            target.display()
-        );
-        return Ok(1);
+        return Ok(if stale { 1 } else { 0 });
     }
-    if let Some(parent) = target.parent() {
-        std::fs::create_dir_all(parent)
-            .map_err(|e| format!("creating {}: {e}", parent.display()))?;
+    for (target, rendered, sites) in &targets {
+        if let Some(parent) = target.parent() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("creating {}: {e}", parent.display()))?;
+        }
+        std::fs::write(target, rendered)
+            .map_err(|e| format!("writing {}: {e}", target.display()))?;
+        writeln!(
+            io::stdout(),
+            "socmix-lint: wrote {} ({} sites)",
+            target.display(),
+            sites
+        )
+        .map_err(|e| e.to_string())?;
     }
-    std::fs::write(&target, &rendered).map_err(|e| format!("writing {}: {e}", target.display()))?;
-    writeln!(
-        io::stdout(),
-        "socmix-lint: wrote {} ({} sites)",
-        target.display(),
-        sites.len()
-    )
-    .map_err(|e| e.to_string())?;
     Ok(0)
 }

@@ -1,12 +1,16 @@
-//! The token-stream rule engine: file analysis, the six invariant
-//! rules, and allow-pragma application.
+//! The token-stream rule engine: file analysis, the per-file rules,
+//! and allow-pragma application.
 //!
 //! A rule never looks at raw text — it walks the significant tokens of
-//! [`crate::lexer::lex`], with three derived views reconstructed from
+//! [`crate::lexer::lex`], with several derived views reconstructed from
 //! the stream:
 //!
 //! - a **line map** (which lines hold code, attributes, comments, and
-//!   which comments carry a `SAFETY:` marker),
+//!   which comments carry a justification marker such as `SAFETY:` or
+//!   `ORDERING:`),
+//! - an **occurrence index** (identifier text → token positions), so a
+//!   file is lexed once and every rule jumps straight to its trigger
+//!   tokens instead of re-scanning the stream,
 //! - **test regions** (`#[cfg(test)]` items, whose lines most rules
 //!   exempt — see [`Rule::exempts_test_code`]),
 //! - **allow pragmas** (per-site suppressions; each must name a known
@@ -14,10 +18,15 @@
 //!   diagnostics, so stale allows can't accumulate).
 //!
 //! Diagnostics carry stable `SLxxx` codes: SL001–SL005 and SL008 are
-//! the rules in [`RULES`]; SL006 (malformed pragma) and SL007 (unused
+//! the original per-file rules, SL009 is the per-file half of the
+//! cross-file family (the workspace-level rules SL010–SL012 live in
+//! [`crate::cross`]); SL006 (malformed pragma) and SL007 (unused
 //! pragma) are pragma hygiene and can never be suppressed by a pragma.
 
+use std::collections::HashMap;
+
 use crate::config::{Config, Rule, RULES};
+use crate::index::{FileIndex, OrderingSite};
 use crate::lexer::{lex, Token, TokenKind};
 
 /// The comment marker that introduces an allow pragma.
@@ -59,11 +68,18 @@ struct Pragma {
     line: u32,
 }
 
-/// Token stream plus the derived per-line and per-region views.
+/// Token stream plus the derived per-line and per-region views. Built
+/// once per file (pass 1) and shared by every rule, the item index,
+/// and the audit renderers.
 pub(crate) struct Analysis {
     tokens: Vec<Token>,
     /// Indices of significant (non-comment) tokens.
     sig: Vec<usize>,
+    /// Per-sig-token attribute membership (`#[…]` / `#![…]` spans).
+    attr: Vec<bool>,
+    /// Identifier text → ascending sig positions: the occurrence index
+    /// the rules jump through instead of re-scanning the stream.
+    occ: HashMap<String, Vec<usize>>,
     /// 1-based per-line flags.
     has_sig: Vec<bool>,
     has_nonattr_sig: Vec<bool>,
@@ -84,6 +100,13 @@ impl Analysis {
             .filter(|&i| tokens[i].kind.is_significant())
             .collect();
         let attr = attribute_spans(&tokens, &sig);
+
+        let mut occ: HashMap<String, Vec<usize>> = HashMap::new();
+        for (si, &ti) in sig.iter().enumerate() {
+            if tokens[ti].kind == TokenKind::Ident {
+                occ.entry(tokens[ti].text.clone()).or_default().push(si);
+            }
+        }
 
         let mut has_sig = vec![false; max_line + 2];
         let mut has_nonattr_sig = vec![false; max_line + 2];
@@ -117,6 +140,8 @@ impl Analysis {
         let mut a = Analysis {
             tokens,
             sig,
+            attr,
+            occ,
             has_sig,
             has_nonattr_sig,
             comment,
@@ -128,12 +153,27 @@ impl Analysis {
         a
     }
 
-    fn tok(&self, si: usize) -> &Token {
+    pub(crate) fn tok(&self, si: usize) -> &Token {
         &self.tokens[self.sig[si]]
     }
 
-    fn sig_len(&self) -> usize {
+    pub(crate) fn sig_get(&self, si: usize) -> Option<&Token> {
+        self.sig.get(si).map(|&ti| &self.tokens[ti])
+    }
+
+    pub(crate) fn sig_len(&self) -> usize {
         self.sig.len()
+    }
+
+    /// Whether the significant token at `si` lies inside an attribute.
+    pub(crate) fn in_attr(&self, si: usize) -> bool {
+        self.attr.get(si).copied().unwrap_or(false)
+    }
+
+    /// Sig positions of every identifier token spelled `ident`, in
+    /// stream order (empty when the file never mentions it).
+    pub(crate) fn occurrences(&self, ident: &str) -> &[usize] {
+        self.occ.get(ident).map(Vec::as_slice).unwrap_or(&[])
     }
 
     fn has_sig_line(&self, line: u32) -> bool {
@@ -153,8 +193,8 @@ impl Analysis {
         self.comment.get(line as usize).and_then(|c| c.as_deref())
     }
 
-    fn safety_on(&self, line: u32) -> bool {
-        self.comment_on(line).is_some_and(|c| c.contains("SAFETY:"))
+    fn marker_on(&self, line: u32, marker: &str) -> bool {
+        self.comment_on(line).is_some_and(|c| c.contains(marker))
     }
 
     pub(crate) fn in_test(&self, line: u32) -> bool {
@@ -163,12 +203,13 @@ impl Analysis {
             .any(|&(lo, hi)| (lo..=hi).contains(&line))
     }
 
-    /// Whether an `unsafe` on `line` has an adjacent `SAFETY:` comment:
-    /// trailing on the same line, or in the contiguous comment block
-    /// directly above (attribute-only lines may intervene; a blank
-    /// line breaks adjacency).
-    pub(crate) fn safety_documented(&self, line: u32) -> bool {
-        if self.safety_on(line) {
+    /// Whether a site on `line` has an adjacent justification comment
+    /// containing `marker` (`SAFETY:` for unsafe sites, `ORDERING:`
+    /// for atomics): trailing on the same line, or in the contiguous
+    /// comment block directly above (attribute-only lines may
+    /// intervene; a blank line breaks adjacency).
+    pub(crate) fn marker_documented(&self, line: u32, marker: &str) -> bool {
+        if self.marker_on(line, marker) {
             return true;
         }
         let mut l = line.saturating_sub(1);
@@ -183,7 +224,7 @@ impl Analysis {
             if self.comment_on(l).is_none() {
                 return false;
             }
-            if self.safety_on(l) {
+            if self.marker_on(l, marker) {
                 return true;
             }
             l -= 1;
@@ -191,13 +232,13 @@ impl Analysis {
         false
     }
 
-    /// The text of the `SAFETY:` comment adjacent to `line`, cleaned
-    /// and truncated for the audit table (None: undocumented).
-    pub(crate) fn safety_excerpt(&self, line: u32) -> Option<String> {
-        if self.safety_on(line) {
-            return Some(clean_excerpt(&[self.comment_on(line).unwrap()]));
+    /// The text of the `marker` comment adjacent to `line`, cleaned
+    /// and truncated for the audit tables (None: undocumented).
+    pub(crate) fn marker_excerpt(&self, line: u32, marker: &str) -> Option<String> {
+        if self.marker_on(line, marker) {
+            return Some(clean_excerpt(&[self.comment_on(line).unwrap()], marker));
         }
-        // find the SAFETY line by the same upward walk as the check
+        // find the marker line by the same upward walk as the check
         let mut l = line.saturating_sub(1);
         let mut ls = 0u32;
         while l >= 1 {
@@ -211,7 +252,7 @@ impl Analysis {
             if self.comment_on(l).is_none() {
                 break;
             }
-            if self.safety_on(l) {
+            if self.marker_on(l, marker) {
                 ls = l;
                 break;
             }
@@ -227,7 +268,7 @@ impl Analysis {
                 _ => break,
             }
         }
-        Some(clean_excerpt(&parts))
+        Some(clean_excerpt(&parts, marker))
     }
 
     /// Every `unsafe` site in the file, as
@@ -235,16 +276,14 @@ impl Analysis {
     /// inventory's raw material. `None` excerpt means undocumented.
     pub(crate) fn unsafe_sites(&self) -> Vec<(u32, u32, &'static str, Option<String>)> {
         let mut sites = Vec::new();
-        for si in 0..self.sig_len() {
+        for &si in self.occurrences("unsafe") {
             let t = self.tok(si);
-            if t.kind == TokenKind::Ident && t.text == "unsafe" {
-                sites.push((
-                    t.line,
-                    t.col,
-                    unsafe_kind(self, si),
-                    self.safety_excerpt(t.line),
-                ));
-            }
+            sites.push((
+                t.line,
+                t.col,
+                unsafe_kind(self, si),
+                self.marker_excerpt(t.line, "SAFETY:"),
+            ));
         }
         sites
     }
@@ -445,7 +484,7 @@ fn find_test_regions(tokens: &[Token], sig: &[usize]) -> Vec<(u32, u32)> {
     regions
 }
 
-fn clean_excerpt(parts: &[&str]) -> String {
+fn clean_excerpt(parts: &[&str], marker: &str) -> String {
     let mut words = Vec::new();
     for part in parts {
         for w in part.split_whitespace() {
@@ -461,8 +500,8 @@ fn clean_excerpt(parts: &[&str]) -> String {
         }
     }
     let joined = words.join(" ");
-    let after = match joined.find("SAFETY:") {
-        Some(p) => joined[p + "SAFETY:".len()..].trim(),
+    let after = match joined.find(marker) {
+        Some(p) => joined[p + marker.len()..].trim(),
         None => joined.as_str(),
     };
     let mut out: String = after.chars().take(96).collect();
@@ -472,23 +511,49 @@ fn clean_excerpt(parts: &[&str]) -> String {
     out
 }
 
-/// Lints one source file under the given configuration.
-pub fn lint_source(rel: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
-    let a = Analysis::new(src);
-    let mut diags = Vec::new();
+/// Runs every per-file rule in scope for `rel` over one analyzed file,
+/// appending findings to `out`. The cross-file rules (SL010–SL012) are
+/// not run here — they need the whole workspace and live in
+/// [`crate::cross::lint_workspace`]. Pragmas are *not* applied here
+/// either, so cross-file diagnostics landing in this file get the same
+/// suppression pass (see [`apply_pragmas`]).
+pub(crate) fn run_per_file_rules(
+    rel: &str,
+    a: &Analysis,
+    ix: &FileIndex,
+    cfg: &Config,
+    out: &mut Vec<Diagnostic>,
+) {
     for rule in RULES {
-        if cfg.scope(rule).matches(rel) {
-            run_rule(rule, rel, &a, &mut diags);
+        if !cfg.scope(rule).matches(rel) {
+            continue;
+        }
+        match rule {
+            Rule::UndocumentedUnsafe => rule_undocumented_unsafe(rule, rel, a, out),
+            Rule::BarePrint => rule_bare_print(rule, rel, a, out),
+            Rule::StrayEnvRead => rule_stray_env_read(rule, rel, a, out),
+            Rule::HashmapIterInNumeric => rule_hashmap(rule, rel, a, out),
+            Rule::PanickingApiInHotPath => rule_panicking(rule, rel, a, out),
+            Rule::NanUnwrapCompare => rule_nan_unwrap_compare(rule, rel, a, out),
+            Rule::UndocumentedAtomicOrdering => {
+                rule_atomic_ordering(rule, rel, a, ix, &cfg.ordering_gates, out)
+            }
+            // workspace-level rules, handled by lint_workspace
+            Rule::ProtocolExhaustiveness | Rule::KnobRegistryDrift | Rule::MetricNameDrift => {}
         }
     }
-    apply_pragmas(rel, &a, &mut diags);
-    diags.sort_by(|x, y| (x.line, x.col, x.code).cmp(&(y.line, y.col, y.code)));
-    diags
 }
 
-fn apply_pragmas(rel: &str, a: &Analysis, diags: &mut Vec<Diagnostic>) {
+/// Applies `rel`'s allow pragmas to the diagnostics that landed in
+/// `rel` (entries for other paths pass through untouched), then
+/// reports pragma hygiene: malformed pragmas (SL006) and pragmas that
+/// suppressed nothing (SL007).
+pub(crate) fn apply_pragmas(rel: &str, a: &Analysis, diags: &mut Vec<Diagnostic>) {
     let mut used = vec![false; a.pragmas.len()];
     diags.retain(|d| {
+        if d.path != rel {
+            return true;
+        }
         for (k, p) in a.pragmas.iter().enumerate() {
             if p.target == d.line && p.rules.iter().any(|r| r.name() == d.rule) {
                 used[k] = true;
@@ -521,17 +586,6 @@ fn apply_pragmas(rel: &str, a: &Analysis, diags: &mut Vec<Diagnostic>) {
     }
 }
 
-fn run_rule(rule: Rule, rel: &str, a: &Analysis, out: &mut Vec<Diagnostic>) {
-    match rule {
-        Rule::UndocumentedUnsafe => rule_undocumented_unsafe(rule, rel, a, out),
-        Rule::BarePrint => rule_bare_print(rule, rel, a, out),
-        Rule::StrayEnvRead => rule_stray_env_read(rule, rel, a, out),
-        Rule::HashmapIterInNumeric => rule_hashmap(rule, rel, a, out),
-        Rule::PanickingApiInHotPath => rule_panicking(rule, rel, a, out),
-        Rule::NanUnwrapCompare => rule_nan_unwrap_compare(rule, rel, a, out),
-    }
-}
-
 fn push(out: &mut Vec<Diagnostic>, rule: Rule, rel: &str, t: &Token, message: String) {
     out.push(Diagnostic {
         code: rule.code(),
@@ -559,9 +613,9 @@ fn unsafe_kind(a: &Analysis, si: usize) -> &'static str {
 }
 
 fn rule_undocumented_unsafe(rule: Rule, rel: &str, a: &Analysis, out: &mut Vec<Diagnostic>) {
-    for si in 0..a.sig_len() {
+    for &si in a.occurrences("unsafe") {
         let t = a.tok(si);
-        if t.kind == TokenKind::Ident && t.text == "unsafe" && !a.safety_documented(t.line) {
+        if !a.marker_documented(t.line, "SAFETY:") {
             let kind = unsafe_kind(a, si);
             push(
                 out,
@@ -577,24 +631,22 @@ fn rule_undocumented_unsafe(rule: Rule, rel: &str, a: &Analysis, out: &mut Vec<D
 const PRINT_MACROS: [&str; 5] = ["println", "eprintln", "print", "eprint", "dbg"];
 
 fn rule_bare_print(rule: Rule, rel: &str, a: &Analysis, out: &mut Vec<Diagnostic>) {
-    for si in 0..a.sig_len().saturating_sub(1) {
-        let t = a.tok(si);
-        if t.kind == TokenKind::Ident
-            && PRINT_MACROS.contains(&t.text.as_str())
-            && a.tok(si + 1).text == "!"
-            && !a.in_test(t.line)
-        {
-            push(
-                out,
-                rule,
-                rel,
-                t,
-                format!(
-                    "bare `{}!` in a library crate — route diagnostics through socmix-obs \
-                     events or render into a caller-provided buffer",
-                    t.text
-                ),
-            );
+    for name in PRINT_MACROS {
+        for &si in a.occurrences(name) {
+            let t = a.tok(si);
+            if a.sig_get(si + 1).is_some_and(|n| n.text == "!") && !a.in_test(t.line) {
+                push(
+                    out,
+                    rule,
+                    rel,
+                    t,
+                    format!(
+                        "bare `{}!` in a library crate — route diagnostics through socmix-obs \
+                         events or render into a caller-provided buffer",
+                        t.text
+                    ),
+                );
+            }
         }
     }
 }
@@ -602,14 +654,15 @@ fn rule_bare_print(rule: Rule, rel: &str, a: &Analysis, out: &mut Vec<Diagnostic
 const ENV_FNS: [&str; 6] = ["var", "var_os", "vars", "vars_os", "set_var", "remove_var"];
 
 fn rule_stray_env_read(rule: Rule, rel: &str, a: &Analysis, out: &mut Vec<Diagnostic>) {
-    for si in 0..a.sig_len().saturating_sub(3) {
+    for &si in a.occurrences("env") {
         let t = a.tok(si);
-        if t.kind == TokenKind::Ident
-            && t.text == "env"
-            && a.tok(si + 1).text == ":"
-            && a.tok(si + 2).text == ":"
-            && a.tok(si + 3).kind == TokenKind::Ident
-            && ENV_FNS.contains(&a.tok(si + 3).text.as_str())
+        let path = (
+            a.sig_get(si + 1).map(|x| x.text.as_str()),
+            a.sig_get(si + 2).map(|x| x.text.as_str()),
+        );
+        if path == (Some(":"), Some(":"))
+            && a.sig_get(si + 3)
+                .is_some_and(|f| f.kind == TokenKind::Ident && ENV_FNS.contains(&f.text.as_str()))
             && !a.in_test(t.line)
         {
             push(
@@ -629,24 +682,23 @@ fn rule_stray_env_read(rule: Rule, rel: &str, a: &Analysis, out: &mut Vec<Diagno
 }
 
 fn rule_hashmap(rule: Rule, rel: &str, a: &Analysis, out: &mut Vec<Diagnostic>) {
-    for si in 0..a.sig_len() {
-        let t = a.tok(si);
-        if t.kind == TokenKind::Ident
-            && (t.text == "HashMap" || t.text == "HashSet")
-            && !a.in_test(t.line)
-        {
-            push(
-                out,
-                rule,
-                rel,
-                t,
-                format!(
-                    "`{}` in a numeric crate — unordered iteration reorders float \
-                     accumulation; use Vec/BTreeMap, or add an allow pragma if the \
-                     container is provably never iterated",
-                    t.text
-                ),
-            );
+    for name in ["HashMap", "HashSet"] {
+        for &si in a.occurrences(name) {
+            let t = a.tok(si);
+            if !a.in_test(t.line) {
+                push(
+                    out,
+                    rule,
+                    rel,
+                    t,
+                    format!(
+                        "`{}` in a numeric crate — unordered iteration reorders float \
+                         accumulation; use Vec/BTreeMap, or add an allow pragma if the \
+                         container is provably never iterated",
+                        t.text
+                    ),
+                );
+            }
         }
     }
 }
@@ -654,35 +706,35 @@ fn rule_hashmap(rule: Rule, rel: &str, a: &Analysis, out: &mut Vec<Diagnostic>) 
 const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
 
 fn rule_panicking(rule: Rule, rel: &str, a: &Analysis, out: &mut Vec<Diagnostic>) {
-    for si in 0..a.sig_len() {
-        let t = a.tok(si);
-        if t.kind != TokenKind::Ident || a.in_test(t.line) {
-            continue;
+    for name in PANIC_MACROS {
+        for &si in a.occurrences(name) {
+            let t = a.tok(si);
+            if a.sig_get(si + 1).is_some_and(|n| n.text == "!") && !a.in_test(t.line) {
+                push(
+                    out,
+                    rule,
+                    rel,
+                    t,
+                    format!(
+                        "`{}!` in the worker/dispatch path — a panic here must go through \
+                         the catch_unwind poisoning protocol",
+                        t.text
+                    ),
+                );
+            }
         }
-        if PANIC_MACROS.contains(&t.text.as_str())
-            && si + 1 < a.sig_len()
-            && a.tok(si + 1).text == "!"
-        {
-            push(
-                out,
-                rule,
-                rel,
-                t,
-                format!(
-                    "`{}!` in the worker/dispatch path — a panic here must go through \
-                     the catch_unwind poisoning protocol",
-                    t.text
-                ),
-            );
-            continue;
-        }
-        if (t.text == "unwrap" || t.text == "expect")
-            && si >= 1
-            && si + 1 < a.sig_len()
-            && a.tok(si + 1).text == "("
-            && matches!(a.tok(si - 1).text.as_str(), "." | ":")
-        {
-            if t.text == "unwrap" && is_poison_propagation(a, si) {
+    }
+    for name in ["unwrap", "expect"] {
+        for &si in a.occurrences(name) {
+            let t = a.tok(si);
+            if a.in_test(t.line)
+                || si == 0
+                || a.sig_get(si + 1).is_none_or(|n| n.text != "(")
+                || !matches!(a.tok(si - 1).text.as_str(), "." | ":")
+            {
+                continue;
+            }
+            if name == "unwrap" && is_poison_propagation(a, si) {
                 continue;
             }
             push(
@@ -702,13 +754,9 @@ fn rule_panicking(rule: Rule, rel: &str, a: &Analysis, out: &mut Vec<Diagnostic>
 }
 
 fn rule_nan_unwrap_compare(rule: Rule, rel: &str, a: &Analysis, out: &mut Vec<Diagnostic>) {
-    for si in 0..a.sig_len().saturating_sub(1) {
+    for &si in a.occurrences("partial_cmp") {
         let t = a.tok(si);
-        if t.kind != TokenKind::Ident
-            || t.text != "partial_cmp"
-            || a.tok(si + 1).text != "("
-            || a.in_test(t.line)
-        {
+        if a.sig_get(si + 1).is_none_or(|n| n.text != "(") || a.in_test(t.line) {
             continue;
         }
         // skip the balanced argument list starting at the `(`
@@ -775,4 +823,66 @@ fn is_poison_propagation(a: &Analysis, si: usize) -> bool {
         k -= 1;
     }
     k >= 1 && matches!(a.tok(k - 1).text.as_str(), "lock" | "wait")
+}
+
+/// Whether an ordering site owes an `// ORDERING:` justification under
+/// the configured gate list — SL009's firing condition, shared with
+/// the ordering-audit renderer so the committed inventory and the rule
+/// agree on the site set. Non-`Relaxed` always does; `Relaxed` only
+/// when the enclosing statement touches a configured gate/flag, where
+/// "relaxed is fine" is itself a claim that needs an argument.
+pub(crate) fn ordering_needs_doc(site: &OrderingSite, gates: &[String]) -> bool {
+    if site.flavor != "Relaxed" {
+        return true;
+    }
+    site.stmt_idents
+        .iter()
+        .any(|i| gates.iter().any(|g| g == i))
+}
+
+fn rule_atomic_ordering(
+    rule: Rule,
+    rel: &str,
+    a: &Analysis,
+    ix: &FileIndex,
+    gates: &[String],
+    out: &mut Vec<Diagnostic>,
+) {
+    // one diagnostic per line: compare_exchange names two orderings in
+    // one call, and a single ORDERING: comment covers the pair
+    let mut last_line = 0u32;
+    for site in &ix.orderings {
+        if site.in_test || !ordering_needs_doc(site, gates) {
+            continue;
+        }
+        if a.marker_documented(site.line, "ORDERING:") {
+            continue;
+        }
+        if site.line == last_line {
+            continue;
+        }
+        last_line = site.line;
+        let what = if site.flavor == "Relaxed" {
+            let gate = site
+                .stmt_idents
+                .iter()
+                .find(|i| gates.iter().any(|g| &g == i))
+                .map(String::as_str)
+                .unwrap_or("gate");
+            format!("`Ordering::Relaxed` on synchronization gate `{gate}`")
+        } else {
+            format!("`Ordering::{}`", site.flavor)
+        };
+        out.push(Diagnostic {
+            code: rule.code(),
+            rule: rule.name(),
+            path: rel.to_string(),
+            line: site.line,
+            col: site.col,
+            message: format!(
+                "{what} without an adjacent `// ORDERING:` comment justifying the \
+                 memory ordering"
+            ),
+        });
+    }
 }

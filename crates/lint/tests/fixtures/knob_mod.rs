@@ -1,0 +1,6 @@
+//! Fixture: a knob module — the strings it holds *declare* knobs for
+//! SL011's registry.
+
+/// The knob registry: consumers may echo these names; README.md must
+/// document each.
+pub const KNOBS: [&str; 2] = ["SOCMIX_ALPHA", "SOCMIX_BETA"];

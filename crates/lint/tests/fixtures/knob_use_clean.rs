@@ -1,0 +1,10 @@
+//! Fixture: every knob mention resolves to the registry in
+//! `knob_mod.rs`.
+
+pub fn declared() -> &'static str {
+    "SOCMIX_ALPHA"
+}
+
+pub fn also_declared() -> [&'static str; 2] {
+    ["SOCMIX_ALPHA", "SOCMIX_BETA"]
+}

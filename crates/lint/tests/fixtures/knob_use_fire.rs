@@ -1,0 +1,19 @@
+//! Fixture: knob mentions outside a knob module — one resolves, one is
+//! a typo that never reached the registry.
+
+pub fn declared() -> &'static str {
+    "SOCMIX_ALPHA"
+}
+
+/// Fires: `SOCMIX_GAMMA` is declared nowhere.
+pub fn undeclared() -> &'static str {
+    "SOCMIX_GAMMA"
+}
+
+#[cfg(test)]
+mod tests {
+    /// Test code may invent knob names freely.
+    fn invented() -> &'static str {
+        "SOCMIX_TEST_ONLY"
+    }
+}

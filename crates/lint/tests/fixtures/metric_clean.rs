@@ -1,0 +1,11 @@
+//! Fixture: exact registered spellings and names too far from any
+//! registration to be drift.
+
+pub fn dashboard_keys() -> [&'static str; 3] {
+    ["cache.hits", "req.lat_ns", "totally.unrelated_name"]
+}
+
+/// Not metric-shaped: never considered.
+pub fn not_metrics() -> [&'static str; 2] {
+    ["Cache.hits", "single"]
+}

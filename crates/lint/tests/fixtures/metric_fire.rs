@@ -1,0 +1,7 @@
+//! Fixture: near-miss spellings of registered metrics — each is within
+//! edit distance 2 of a canonical name in `metric_reg.rs` without
+//! being one.
+
+pub fn dashboard_keys() -> [&'static str; 2] {
+    ["cache.hit", "req.latns"]
+}

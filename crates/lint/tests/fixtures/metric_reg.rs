@@ -1,0 +1,12 @@
+//! Fixture: instrument registrations — these names are the canonical
+//! spellings SL012 measures drift against.
+
+static HITS: Counter = Counter::new("cache.hits");
+static LAT: Histogram = Histogram::new("req.lat_ns");
+static DEPTH: Gauge = Gauge::new("queue.depth");
+
+#[cfg(test)]
+mod tests {
+    /// Test registrations are not canonical.
+    static SCRATCH: Counter = Counter::new("test.scratch");
+}

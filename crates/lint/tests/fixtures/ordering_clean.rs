@@ -1,0 +1,44 @@
+//! Fixture: every justified form the `ORDERING:` adjacency contract
+//! accepts, plus the accesses that owe nothing.
+
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+
+static READY: AtomicBool = AtomicBool::new(false);
+static STATE: AtomicU8 = AtomicU8::new(0);
+
+pub fn block_above() -> bool {
+    // ORDERING: Acquire pairs with the Release store in `trailing` so
+    // an observer of the flag sees the payload published before it.
+    READY.load(Ordering::Acquire)
+}
+
+pub fn trailing() {
+    READY.store(true, Ordering::Release); // ORDERING: publishes the payload
+}
+
+// A multi-line justification block, ending directly above the site.
+pub fn wordy() -> u8 {
+    // The swap must both publish this thread's writes and observe the
+    // previous owner's, hence the combined ordering.
+    // ORDERING: AcqRel — release publishes, acquire observes; see the
+    // paragraph above.
+    STATE.swap(3, Ordering::AcqRel)
+}
+
+pub fn relaxed_needs_nothing() -> u8 {
+    STATE.load(Ordering::Relaxed)
+}
+
+pub fn cmp_ordering_is_not_atomic(a: u64, b: u64) -> std::cmp::Ordering {
+    a.cmp(&b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn undocumented_in_tests_is_fine() {
+        let _ = STATE.swap(2, Ordering::SeqCst);
+    }
+}

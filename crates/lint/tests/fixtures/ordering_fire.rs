@@ -1,0 +1,48 @@
+//! Fixture: non-`Relaxed` atomics without `// ORDERING:` comments.
+//! Four fires — the `compare_exchange`'s two orderings share a line
+//! and dedupe to one diagnostic.
+
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+
+static READY: AtomicBool = AtomicBool::new(false);
+static STATE: AtomicU8 = AtomicU8::new(0);
+
+pub fn load_it() -> bool {
+    READY.load(Ordering::Acquire)
+}
+
+pub fn swap_it() -> u8 {
+    STATE.swap(1, Ordering::AcqRel)
+}
+
+pub fn store_it() {
+    READY.store(true, Ordering::SeqCst);
+}
+
+pub fn cas_once() {
+    let _ = STATE.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire);
+}
+
+// Relaxed owes nothing while no gate list is configured.
+pub fn relaxed_is_free() -> u8 {
+    STATE.load(Ordering::Relaxed)
+}
+
+// `cmp::Ordering` variants are not memory orderings.
+pub fn not_atomic(a: u64, b: u64) -> std::cmp::Ordering {
+    if a < b {
+        std::cmp::Ordering::Less
+    } else {
+        std::cmp::Ordering::Greater
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_are_exempt() {
+        READY.store(true, Ordering::SeqCst);
+    }
+}

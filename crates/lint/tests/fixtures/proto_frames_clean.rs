@@ -1,0 +1,6 @@
+//! Fixture: a defect-free protocol declaration; see
+//! `proto_worker_clean.rs` for its dispatch/cap counterpart.
+
+pub const OP_PING: u8 = 0x01;
+pub const OP_DATA: u8 = 0x02;
+pub const REPLY_OK: u8 = 0x81;

@@ -1,0 +1,20 @@
+//! Fixture: a protocol declaration carrying every SL010 defect. Its
+//! dispatch/cap counterpart is `proto_worker_fire.rs`.
+
+/// Dispatched and capped — clean.
+pub const OP_PING: u8 = 0x01;
+/// Collides with `OP_PING` — fires (duplicate value).
+pub const OP_PONG: u8 = 0x01;
+/// Dispatched and capped — clean.
+pub const OP_DATA: u8 = 0x02;
+/// Never dispatched, never capped — fires twice.
+pub const OP_ORPHAN: u8 = 0x03;
+/// Dispatched but absent from the cap table — fires once.
+pub const OP_UNCAPPED: u8 = 0x04;
+
+pub const BASE: u8 = 0x40;
+/// Not a single integer literal — fires (uncheckable table entry).
+pub const OP_COMPUTED: u8 = BASE;
+
+/// Replies share the value space but owe no dispatch/cap entries.
+pub const REPLY_OK: u8 = 0x81;

@@ -1,0 +1,6 @@
+//! Fixture: a second protocol whose opcode space collides with
+//! `proto_frames_clean.rs` — a frame sent to the wrong listener could
+//! be mistaken for valid traffic.
+
+pub const OP_Q_PING: u8 = 0x01;
+pub const OP_Q_STATS: u8 = 0x10;

@@ -1,0 +1,22 @@
+//! Fixture: dispatch and payload-cap tables for
+//! `proto_frames_fire.rs` — deliberately missing `OP_ORPHAN` from both
+//! and `OP_UNCAPPED` from the cap table.
+
+pub fn dispatch(op: u8) -> u8 {
+    match op {
+        OP_PING => 1,
+        OP_PONG => 2,
+        OP_DATA => 3,
+        OP_UNCAPPED => 4,
+        OP_COMPUTED => 5,
+        _ => 0,
+    }
+}
+
+pub fn cap(op: u8) -> u64 {
+    match op {
+        OP_PING | OP_PONG | OP_DATA => 1024,
+        OP_COMPUTED => 64,
+        _ => 0,
+    }
+}

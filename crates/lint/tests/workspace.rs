@@ -1,17 +1,17 @@
 //! Self-checks over the real workspace: the tree must be lint-clean
-//! under the workspace invariant map, and the committed unsafe audit
-//! must match a fresh rendering.
+//! under the workspace invariant map (all rules, SL001–SL012, with the
+//! cross-file reference sets loaded), and both committed audits —
+//! unsafe and ordering — must match a fresh rendering.
 
 use std::path::PathBuf;
 
-use socmix_lint::{audit, config, lint_source, Config};
+use socmix_lint::{audit, config, lint_workspace, Config, Workspace};
 
 fn workspace_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
 }
 
-#[test]
-fn workspace_is_lint_clean() {
+fn load_workspace() -> Workspace {
     let root = workspace_root();
     let files = config::workspace_files(&root).expect("walk workspace");
     assert!(
@@ -19,12 +19,17 @@ fn workspace_is_lint_clean() {
         "suspiciously few files scanned ({}) — walker broken?",
         files.len()
     );
-    let cfg = Config::workspace();
-    let mut diags = Vec::new();
-    for (rel, abs) in &files {
-        let src = std::fs::read_to_string(abs).expect("read source");
-        diags.extend(lint_source(rel, &src, &cfg));
-    }
+    Workspace::load(&root, &files).expect("read workspace sources")
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let ws = load_workspace();
+    assert!(
+        ws.readme.is_some(),
+        "README.md must load — SL011/SL012 documentation checks depend on it"
+    );
+    let diags = lint_workspace(&ws, &Config::workspace());
     assert!(
         diags.is_empty(),
         "workspace is not lint-clean:\n{}",
@@ -38,18 +43,44 @@ fn workspace_is_lint_clean() {
 
 #[test]
 fn committed_unsafe_audit_is_current_and_fully_documented() {
-    let root = workspace_root();
-    let files = config::workspace_files(&root).expect("walk workspace");
-    let sites = audit::collect_sites(&files).expect("collect unsafe sites");
+    let ws = load_workspace();
+    let sites = audit::collect_sites(&ws);
     assert!(
         sites.iter().all(|s| s.excerpt.is_some()),
         "undocumented unsafe site reached the audit: {sites:?}"
     );
     let rendered = audit::render(&sites);
-    let committed = std::fs::read_to_string(root.join("results/unsafe_audit.md"))
+    let committed = std::fs::read_to_string(workspace_root().join("results/unsafe_audit.md"))
         .expect("results/unsafe_audit.md must be committed");
     assert_eq!(
         committed, rendered,
         "results/unsafe_audit.md is stale; run `cargo run -p socmix-lint -- audit`"
+    );
+}
+
+#[test]
+fn committed_ordering_audit_is_current_and_fully_documented() {
+    let ws = load_workspace();
+    let cfg = Config::workspace();
+    let sites = audit::collect_ordering_sites(&ws, &cfg);
+    assert!(
+        !sites.is_empty(),
+        "the workspace synchronizes through atomics — an empty ordering audit \
+         means the collector broke"
+    );
+    assert!(
+        sites.iter().all(|s| s.excerpt.is_some()),
+        "undocumented ordering site reached the audit: {:?}",
+        sites
+            .iter()
+            .filter(|s| s.excerpt.is_none())
+            .collect::<Vec<_>>()
+    );
+    let rendered = audit::render_ordering(&sites);
+    let committed = std::fs::read_to_string(workspace_root().join("results/ordering_audit.md"))
+        .expect("results/ordering_audit.md must be committed");
+    assert_eq!(
+        committed, rendered,
+        "results/ordering_audit.md is stale; run `cargo run -p socmix-lint -- audit`"
     );
 }

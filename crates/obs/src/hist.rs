@@ -53,6 +53,9 @@ impl Histogram {
         if !crate::metrics_enabled() {
             return;
         }
+        // ORDERING: Acquire pairs with the AcqRel swap in `register` so
+        // a thread that sees the flag set also sees the registration it
+        // guards; a stale `false` is harmless — the swap dedupes.
         if !self.registered.load(Ordering::Acquire) {
             self.register();
         }
@@ -94,6 +97,9 @@ impl Histogram {
 
     #[cold]
     fn register(&'static self) {
+        // ORDERING: AcqRel — the release half publishes the flag to the
+        // Acquire fast-path load in `record`; the RMW's atomicity picks
+        // exactly one winner, so the registry sees each histogram once.
         if !self.registered.swap(true, Ordering::AcqRel) {
             crate::registry::register_hist(self);
         }

@@ -86,6 +86,10 @@ static GATE: AtomicU8 = AtomicU8::new(0);
 /// lazily).
 #[inline]
 pub(crate) fn gate() -> u8 {
+    // ORDERING: Relaxed — the gate is a pure enable flag: no data is
+    // published under it, every instrument is internally synchronized,
+    // and the only cost of a stale read is one recording skipped or
+    // dropped during an enable/disable race, which the API permits.
     let v = GATE.load(Ordering::Relaxed);
     if v & G_INIT != 0 {
         v
@@ -101,6 +105,8 @@ fn init_gate() -> u8 {
     let bits = G_INIT | if metrics { G_METRICS } else { 0 } | if tracing { G_TRACE } else { 0 };
     // `fetch_or` so a programmatic `set_*_enabled` racing with the
     // first lazy init is never clobbered by the environment read.
+    // ORDERING: Relaxed — the RMW is already atomic against concurrent
+    // initializers; the gate guards no other memory (see `gate()`).
     GATE.fetch_or(bits, Ordering::Relaxed) | bits
 }
 
@@ -123,8 +129,11 @@ pub fn trace_enabled() -> bool {
 pub fn set_metrics_enabled(on: bool) {
     gate(); // resolve the environment first so lazy init cannot undo this
     if on {
+        // ORDERING: Relaxed — flag flip only; recordings racing the
+        // transition may land on either side, which the API permits.
         GATE.fetch_or(G_METRICS, Ordering::Relaxed);
     } else {
+        // ORDERING: Relaxed — same argument as the enable arm.
         GATE.fetch_and(!G_METRICS, Ordering::Relaxed);
     }
 }
@@ -136,8 +145,12 @@ pub fn set_metrics_enabled(on: bool) {
 pub fn set_trace_enabled(on: bool) {
     gate(); // resolve the environment first so lazy init cannot undo this
     if on {
+        // ORDERING: Relaxed — same argument as `set_metrics_enabled`:
+        // the gate publishes nothing; span begin/end around the flip
+        // may straddle it harmlessly.
         GATE.fetch_or(G_TRACE, Ordering::Relaxed);
     } else {
+        // ORDERING: Relaxed — same argument as the enable arm.
         GATE.fetch_and(!G_TRACE, Ordering::Relaxed);
     }
 }

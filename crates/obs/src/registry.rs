@@ -42,6 +42,9 @@ impl Counter {
         if !crate::metrics_enabled() {
             return;
         }
+        // ORDERING: Acquire pairs with the AcqRel swap in `register` so
+        // a thread that sees the flag set also sees the registration it
+        // guards; a stale `false` is harmless — the swap dedupes.
         if !self.registered.load(Ordering::Acquire) {
             self.register();
         }
@@ -66,6 +69,9 @@ impl Counter {
 
     #[cold]
     fn register(&'static self) {
+        // ORDERING: AcqRel — release publishes the flag to the Acquire
+        // fast-path load in `add`; the RMW picks exactly one winner, so
+        // the registry sees each counter once.
         if !self.registered.swap(true, Ordering::AcqRel) {
             registry().lock().unwrap().counters.push(self);
         }
@@ -96,6 +102,8 @@ impl Gauge {
         if !crate::metrics_enabled() {
             return;
         }
+        // ORDERING: Acquire pairs with the AcqRel swap in `register`,
+        // same contract as `Counter::add`.
         if !self.registered.load(Ordering::Acquire) {
             self.register();
         }
@@ -114,6 +122,9 @@ impl Gauge {
 
     #[cold]
     fn register(&'static self) {
+        // ORDERING: AcqRel — release publishes the flag to the Acquire
+        // fast-path load in `add`; the RMW picks exactly one winner, so
+        // the registry sees each gauge once.
         if !self.registered.swap(true, Ordering::AcqRel) {
             registry().lock().unwrap().gauges.push(self);
         }

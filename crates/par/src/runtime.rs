@@ -149,16 +149,21 @@ impl Job {
             let mut retired = 1;
             if let Err(payload) = outcome {
                 BODY_PANICS.incr();
-                let handed_out = self
-                    .cursor
-                    .swap(self.units, Ordering::AcqRel)
-                    .min(self.units);
-                retired += self.units - handed_out;
+                // ORDERING: AcqRel — release makes the poisoning
+                // visible together with everything this worker did
+                // before the panic; acquire orders the handed-out
+                // reading before the retirement arithmetic below.
+                let handed_out = self.cursor.swap(self.units, Ordering::AcqRel);
+                retired += self.units - handed_out.min(self.units);
                 let mut slot = self.panic.lock().unwrap();
                 if slot.is_none() {
                     *slot = Some(payload);
                 }
             }
+            // ORDERING: AcqRel — release publishes this worker's body
+            // effects to whoever observes the count hit zero; acquire
+            // makes the last decrementer see every other worker's
+            // effects before the dispatcher is woken.
             if self.remaining.fetch_sub(retired, Ordering::AcqRel) == retired {
                 let _g = self.done.lock().unwrap();
                 self.done_cv.notify_all();
@@ -323,6 +328,9 @@ pub(crate) fn run(plan: ChunkPlan, threads: usize, body: &(dyn Fn(std::ops::Rang
     // terminates even when the job was cut short.
     {
         let mut g = job.done.lock().unwrap();
+        // ORDERING: Acquire pairs with the AcqRel fetch_sub in
+        // `run_chunks`: seeing zero here means every worker's body
+        // effects happened-before the dispatcher returns the borrow.
         while job.remaining.load(Ordering::Acquire) != 0 {
             g = job.done_cv.wait(g).unwrap();
         }

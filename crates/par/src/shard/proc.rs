@@ -126,6 +126,9 @@ impl ShardGroup {
         let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
         if let Some((_, slot)) = reg.iter().find(|(k, _)| *k == shards) {
             match slot {
+                // ORDERING: Acquire pairs with the AcqRel swap in
+                // `poison` — a caller that sees the flag clear sees the
+                // group state from before any death was recorded.
                 GroupSlot::Live(g) if !g.poisoned.load(Ordering::Acquire) => {
                     return Ok(Arc::clone(g))
                 }
@@ -151,6 +154,8 @@ impl ShardGroup {
         let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
         reg.iter()
             .filter_map(|(_, slot)| match slot {
+                // ORDERING: Acquire — same pairing with `poison` as in
+                // `obtain`; skips groups whose death is already public.
                 GroupSlot::Live(g) if !g.poisoned.load(Ordering::Acquire) => Some(Arc::clone(g)),
                 _ => None,
             })
@@ -186,11 +191,17 @@ impl ShardGroup {
 
     /// Whether a worker death has poisoned the group.
     pub fn is_poisoned(&self) -> bool {
+        // ORDERING: Acquire pairs with the AcqRel swap in `poison` so a
+        // caller that observes the poison also observes the link state
+        // (dead pipe, half-written frame) that caused it.
         self.poisoned.load(Ordering::Acquire)
     }
 
     /// Marks the group dead and returns the typed death error.
     fn poison(&self, shard: usize) -> ShardError {
+        // ORDERING: AcqRel — release publishes the broken link state to
+        // the Acquire readers above; the RMW picks one winner so the
+        // poison counter increments once per group death.
         if !self.poisoned.swap(true, Ordering::AcqRel) {
             POISONED.incr();
         }

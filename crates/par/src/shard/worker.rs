@@ -188,6 +188,19 @@ fn op_cap(op: u8, state: &WorkerState) -> u64 {
         frame::OP_LOAD => frame::MAX_FRAME,
         frame::OP_APPLY => CAP_BASE.max(8 + 8 * max_inputs),
         frame::OP_APPLY_MULTI => CAP_BASE.max(16 + 8 * max_inputs * CAP_MULTI_WIDTH),
+        // Control frames, named per opcode so the protocol-
+        // exhaustiveness rule (SL010) can hold this table to
+        // `frame.rs`: a new opcode without a sizing decision here
+        // fails `socmix-lint check`.
+        frame::OP_STAGE
+        | frame::OP_SNAPSHOT
+        | frame::OP_SHUTDOWN
+        | frame::OP_TRACE_CTX
+        | frame::OP_TRACE_DRAIN
+        | frame::OP_DEBUG_TRUNCATE => CAP_BASE,
+        // Unknown opcodes keep the base cap: the dispatch loop owns
+        // the typed unknown-opcode reply, and a cap of 0 would turn
+        // that into a length error instead.
         _ => CAP_BASE,
     }
 }

@@ -55,6 +55,26 @@ pub const REPLY_Q_SHED: u8 = 0xa2;
 /// is an attack or a bug, and is rejected before allocation.
 const QUERY_CAP: u64 = 1 << 20;
 
+/// Cap for queries whose payload is at most a graph name or empty (a
+/// metrics snapshot, an evict): 4 KiB admits any real request while
+/// rejecting a forged header three orders of magnitude earlier.
+const QUERY_CAP_SMALL: u64 = 4 << 10;
+
+/// Per-opcode payload cap, enforced on the frame header before any
+/// allocation. Every routed opcode appears explicitly — socmix-lint's
+/// protocol-exhaustiveness rule (SL010) holds this table and [`route`]
+/// to the opcode list above, so adding a query without sizing its
+/// payload fails `check`.
+fn query_cap(op: u8) -> u64 {
+    match op {
+        OP_Q_MIX | OP_Q_ESCAPE | OP_Q_ADMIT | OP_Q_LOAD => QUERY_CAP,
+        OP_Q_METRICS | OP_Q_EVICT => QUERY_CAP_SMALL,
+        // Unknown opcodes get the small cap: enough to read the frame
+        // and answer through `route`'s typed unknown-opcode reply.
+        _ => QUERY_CAP_SMALL,
+    }
+}
+
 static FRAME_QUERIES: Counter = Counter::new("serve.frame_queries");
 
 /// Best-effort shed reply for a connection rejected at accept.
@@ -92,7 +112,7 @@ pub(crate) fn serve_frame_conn(shared: &Shared, stream: TcpStream, arrived: Inst
     let mut reader = BufReader::new(stream);
     let mut first = true;
     loop {
-        let (op, payload) = match frame::read_frame_capped(&mut reader, |_| QUERY_CAP) {
+        let (op, payload) = match frame::read_frame_capped(&mut reader, query_cap) {
             Ok(f) => f,
             Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
                 let body = format!("{{\"error\":{}}}", json_escape(&e.to_string()));

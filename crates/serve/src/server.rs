@@ -410,6 +410,9 @@ impl ConnQueue {
             if let Some(conn) = q.pop_front() {
                 return Some(conn);
             }
+            // ORDERING: Acquire pairs with the Release store in
+            // `shutdown` so a worker that observes the stop also sees
+            // the state the shutting-down thread settled beforehand.
             if stop.load(Ordering::Acquire) {
                 return None;
             }
@@ -513,6 +516,9 @@ impl Server {
 
     /// Stops accepting, drains the workers, and joins every thread.
     pub fn shutdown(mut self) {
+        // ORDERING: Release pairs with the Acquire loads on the accept
+        // and worker threads — everything this thread did before the
+        // stop is visible to a thread that exits because of it.
         self.stop.store(true, Ordering::Release);
         // Unblock the accept calls with a throwaway connection each.
         let _ = TcpStream::connect(self.addr);
@@ -541,12 +547,16 @@ fn spawn_acceptor(
             let (stream, _) = match listener.accept() {
                 Ok(pair) => pair,
                 Err(_) => {
+                    // ORDERING: Acquire pairs with the Release store in
+                    // `shutdown` (see `ConnQueue::pop`).
                     if stop.load(Ordering::Acquire) {
                         return;
                     }
                     continue;
                 }
             };
+            // ORDERING: Acquire — same pairing; the wake-up connection
+            // from `shutdown` lands here, after the store.
             if stop.load(Ordering::Acquire) {
                 return;
             }
